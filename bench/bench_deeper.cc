@@ -1,0 +1,118 @@
+// Experiment F5a (Figure 5 / Sec. 5.2): DeepER vs classical ER baselines
+// across domains and dirtiness levels. Shape to reproduce: DeepER stays
+// competitive with the feature-engineered matcher everywhere, and the
+// fixed-threshold rule collapses as dirtiness (especially synonym noise)
+// grows — with NO per-domain feature engineering for DeepER.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/datagen/er_benchmark.h"
+#include "src/embedding/word2vec.h"
+#include "src/er/baselines.h"
+#include "src/er/blocking.h"
+#include "src/er/deeper.h"
+#include "src/er/evaluation.h"
+#include "src/er/features.h"
+
+using namespace autodc;          // NOLINT
+using namespace autodc::bench;   // NOLINT
+
+namespace {
+
+struct RunScores {
+  er::PrfScore deeper;
+  er::PrfScore feature;
+  er::PrfScore rule;
+};
+
+RunScores RunOne(datagen::ErDomain domain, double dirtiness,
+                 double synonym_rate, uint64_t seed) {
+  datagen::ErBenchmarkConfig cfg;
+  cfg.domain = domain;
+  cfg.num_entities = 150;
+  cfg.dirtiness = dirtiness;
+  cfg.synonym_rate = synonym_rate;
+  cfg.seed = seed;
+  datagen::ErBenchmark bench = datagen::GenerateErBenchmark(cfg);
+
+  embedding::Word2VecConfig wcfg;
+  wcfg.sgns.dim = 24;
+  wcfg.sgns.epochs = 6;
+  wcfg.sgns.seed = seed;
+  embedding::EmbeddingStore words = embedding::TrainWordEmbeddingsFromTables(
+      {&bench.left, &bench.right}, wcfg);
+
+  Rng rng(seed + 1);
+  auto hard = er::AttributeBlocking(bench.left, bench.right, 0);
+  auto train = er::SampleTrainingPairsWithHardNegatives(
+      bench.left.num_rows(), bench.right.num_rows(), bench.matches, hard, 5,
+      0.6, &rng);
+
+  std::vector<er::RowPair> all;
+  for (size_t l = 0; l < bench.left.num_rows(); ++l) {
+    for (size_t r = 0; r < bench.right.num_rows(); ++r) all.push_back({l, r});
+  }
+
+  RunScores out;
+  er::DeepErConfig dcfg;
+  dcfg.epochs = 40;
+  dcfg.learning_rate = 1e-2f;
+  dcfg.seed = seed;
+  er::DeepEr deeper(&words, dcfg);
+  deeper.FitWeights({&bench.left, &bench.right});
+  deeper.Train(bench.left, bench.right, train);
+  out.deeper = er::Evaluate(deeper.Match(bench.left, bench.right, all, 0.9),
+                            bench.matches);
+
+  er::FeatureMatcher feature(bench.left.schema(), {16}, 0.01f, 40, seed);
+  feature.Train(bench.left, bench.right, train);
+  out.feature = er::Evaluate(feature.Match(bench.left, bench.right, all),
+                             bench.matches);
+
+  er::ThresholdMatcher rule(0.5);
+  out.rule =
+      er::Evaluate(rule.Match(bench.left, bench.right, all), bench.matches);
+  return out;
+}
+
+const char* DomainName(datagen::ErDomain d) {
+  switch (d) {
+    case datagen::ErDomain::kProducts: return "products";
+    case datagen::ErDomain::kPersons: return "persons";
+    case datagen::ErDomain::kCitations: return "citations";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader(
+      "Experiment F5a — DeepER framework (Figure 5, Sec. 5.2)",
+      "F1 of DeepER (no feature engineering) vs feature-engineered ML and\n"
+      "threshold-rule baselines, across domains and dirtiness. Expected\n"
+      "shape: DeepER competitive throughout; rule baseline collapses as\n"
+      "dirtiness/synonym noise grows.");
+
+  PrintRow({"domain/dirtiness", "DeepER-F1", "FeatML-F1", "Rule-F1",
+            "DeepER-P", "DeepER-R"});
+  for (datagen::ErDomain domain :
+       {datagen::ErDomain::kProducts, datagen::ErDomain::kPersons,
+        datagen::ErDomain::kCitations}) {
+    for (double dirt : {0.2, 0.4, 0.6}) {
+      double synonyms = domain == datagen::ErDomain::kProducts ? dirt : 0.0;
+      RunScores s = RunOne(domain, dirt, synonyms, 17);
+      std::string label =
+          std::string(DomainName(domain)) + " d=" + Fmt(dirt, 1);
+      PrintRow({label, Fmt(s.deeper.f1), Fmt(s.feature.f1), Fmt(s.rule.f1),
+                Fmt(s.deeper.precision), Fmt(s.deeper.recall)});
+    }
+  }
+  std::printf(
+      "\nNote: FeatML uses %zu hand-designed per-attribute similarity\n"
+      "features; DeepER uses only pre-trained embeddings (ease-of-use\n"
+      "claim of Sec. 5.2).\n",
+      er::HandcraftedFeatureDim(
+          datagen::GenerateErBenchmark({}).left.schema()));
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Experiment C1 (Sec. 5.1, Seeping Semantics): the coherent-groups
+// semantic matcher vs a purely syntactic matcher on the synthetic
+// enterprise lake. Shape: the semantic matcher surfaces all planted
+// links (isoform<->protein, pcr<->assay) ABOVE the spurious
+// name-similar pair (biopsy_site<->site_components); the syntactic
+// matcher ranks the spurious pair first. Also: the hybrid neural-IR
+// table search hits the expected table for every planted query.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/datagen/enterprise.h"
+#include "src/discovery/ekg.h"
+#include "src/discovery/search.h"
+#include "src/discovery/semantic_matcher.h"
+#include "src/embedding/word2vec.h"
+
+using namespace autodc;         // NOLINT
+using namespace autodc::bench;  // NOLINT
+
+namespace {
+double FindScore(const std::vector<discovery::ColumnMatch>& matches,
+                 const datagen::ColumnLink& link, size_t* rank) {
+  size_t r = 0;
+  for (const discovery::ColumnMatch& m : matches) {
+    ++r;
+    if ((m.table_a == link.table_a && m.column_a == link.column_a &&
+         m.table_b == link.table_b && m.column_b == link.column_b) ||
+        (m.table_a == link.table_b && m.column_a == link.column_b &&
+         m.table_b == link.table_a && m.column_b == link.column_a)) {
+      *rank = r;
+      return m.score;
+    }
+  }
+  *rank = 0;
+  return -1.0;
+}
+}  // namespace
+
+int main() {
+  datagen::EnterpriseLake lake = datagen::GenerateEnterpriseLake();
+  std::vector<const data::Table*> tables;
+  for (const data::Table& t : lake.tables) tables.push_back(&t);
+
+  embedding::Word2VecConfig wcfg;
+  wcfg.sgns.dim = 24;
+  wcfg.sgns.epochs = 10;
+  wcfg.sgns.seed = 3;
+  embedding::EmbeddingStore words =
+      embedding::TrainWordEmbeddingsFromTables(tables, wcfg);
+
+  discovery::SemanticColumnMatcher semantic(&words);
+  auto sem_matches = semantic.MatchLake(tables);
+  auto syn_matches = discovery::SyntacticColumnMatches(tables);
+
+  PrintHeader(
+      "Experiment C1 — semantic link discovery (Sec. 5.1)",
+      "Planted semantic links and the planted spurious (name-similar but\n"
+      "semantically-unrelated) pair, scored and ranked by both matchers.\n"
+      "Shape: semantic matcher ranks true links above the spurious one;\n"
+      "the syntactic matcher is fooled.");
+
+  PrintRow({"column pair", "sem score", "sem rank", "syn score",
+            "syn rank"});
+  auto report = [&](const datagen::ColumnLink& link, const char* tag) {
+    size_t sem_rank = 0, syn_rank = 0;
+    double ss = FindScore(sem_matches, link, &sem_rank);
+    double ys = FindScore(syn_matches, link, &syn_rank);
+    PrintRow({std::string(tag) + " " + link.column_a + "<->" + link.column_b,
+              Fmt(ss), FmtInt(sem_rank), Fmt(ys), FmtInt(syn_rank)});
+  };
+  for (const datagen::ColumnLink& link : lake.semantic_links) {
+    report(link, "[true]");
+  }
+  for (const datagen::ColumnLink& link : lake.spurious_links) {
+    report(link, "[spur]");
+  }
+
+  // Table search over the lake.
+  std::printf("\nNeural-IR table search (query -> expected table):\n");
+  discovery::TableSearchEngine engine(&words);
+  engine.Index(tables);
+  PrintRow({"query", "hit@1", "hit@2", "top result"});
+  size_t hits1 = 0;
+  for (const auto& q : lake.queries) {
+    auto results = engine.Search(q.text);
+    bool h1 = !results.empty() && results[0].table == q.expected_table;
+    bool h2 = h1 || (results.size() > 1 && results[1].table ==
+                                               q.expected_table);
+    if (h1) ++hits1;
+    PrintRow({q.text, h1 ? "yes" : "no", h2 ? "yes" : "no",
+              results.empty() ? "-" : results[0].table});
+  }
+  std::printf("hit@1: %zu/%zu\n", hits1, lake.queries.size());
+
+  // EKG expansion demo.
+  discovery::EnterpriseKnowledgeGraph ekg =
+      discovery::EnterpriseKnowledgeGraph::Build(tables, sem_matches, 0.3);
+  std::printf("\nEKG: tables related to 'lab_results' (thematic expansion):\n");
+  for (const auto& [table, weight] : ekg.RelatedTables("lab_results")) {
+    std::printf("  %-20s %.3f\n", table.c_str(), weight);
+  }
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Experiment C2 (Sec. 5.3, MIDA [25]): denoising-autoencoder multiple
+// imputation vs mean/mode and kNN, as the missingness rate grows.
+// Shape: DAE and kNN exploit cross-column structure (zip<->city,
+// level->salary) and stay far above mean/mode; the DAE degrades
+// gracefully as missingness rises.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/cleaning/imputation.h"
+#include "src/common/rng.h"
+
+using namespace autodc;         // NOLINT
+using namespace autodc::bench;  // NOLINT
+
+namespace {
+
+data::Table StructuredTable(size_t n, uint64_t seed) {
+  data::Table t(data::Schema({{"city", data::ValueType::kString},
+                              {"zip", data::ValueType::kString},
+                              {"level", data::ValueType::kInt},
+                              {"salary", data::ValueType::kDouble}}));
+  const char* cities[] = {"springfield", "riverton", "fairview", "salem"};
+  const char* zips[] = {"11111", "22222", "33333", "44444"};
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    int k = static_cast<int>(rng.UniformInt(0, 3));
+    int64_t level = rng.UniformInt(1, 5);
+    double salary = 40000.0 + 10000.0 * static_cast<double>(level) +
+                    rng.Normal(0, 1500);
+    t.AppendRow({data::Value(cities[k]), data::Value(zips[k]),
+                 data::Value(level), data::Value(salary)});
+  }
+  return t;
+}
+
+struct Scores {
+  double cat_acc = 0.0;   // categorical accuracy
+  double num_mae = 0.0;   // numeric mean absolute error
+};
+
+Scores Evaluate(cleaning::Imputer* imputer, double missing_rate,
+                uint64_t seed) {
+  data::Table clean = StructuredTable(400, seed);
+  data::Table dirty = clean;
+  Rng rng(seed + 1);
+  std::vector<std::pair<size_t, size_t>> hidden;
+  for (size_t r = 0; r < clean.num_rows(); ++r) {
+    for (size_t c = 0; c < clean.num_columns(); ++c) {
+      if (rng.Bernoulli(missing_rate)) {
+        dirty.Set(r, c, data::Value::Null());
+        hidden.emplace_back(r, c);
+      }
+    }
+  }
+  imputer->Fit(dirty);
+  Scores s;
+  size_t cat_total = 0, cat_hit = 0, num_total = 0;
+  double mae = 0.0;
+  for (const auto& [r, c] : hidden) {
+    data::Value v = imputer->Impute(dirty, r, c);
+    if (c <= 1) {
+      ++cat_total;
+      if (v.ToString() == clean.at(r, c).ToString()) ++cat_hit;
+    } else {
+      bool ok = false;
+      double x = v.ToNumeric(&ok);
+      if (ok) {
+        mae += std::fabs(x - clean.at(r, c).ToNumeric());
+        ++num_total;
+      } else {
+        mae += 50000.0;  // failed numeric imputation penalized
+        ++num_total;
+      }
+    }
+  }
+  s.cat_acc = cat_total > 0 ? static_cast<double>(cat_hit) / cat_total : 0.0;
+  s.num_mae = num_total > 0 ? mae / num_total : 0.0;
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader(
+      "Experiment C2 — DAE multiple imputation vs baselines (Sec. 5.3)",
+      "Hidden-cell recovery on a relation with cross-column structure\n"
+      "(zip determines city; level determines salary). Categorical\n"
+      "accuracy (higher better) and numeric MAE in $ (lower better).");
+
+  PrintRow({"missingness", "method", "cat acc", "num MAE"});
+  for (double rate : {0.05, 0.15, 0.30}) {
+    cleaning::MeanModeImputer mean;
+    cleaning::KnnImputer knn(5);
+    cleaning::DaeImputerConfig dcfg;
+    dcfg.epochs = 80;
+    cleaning::DaeImputer dae(dcfg);
+    Scores sm = Evaluate(&mean, rate, 8);
+    Scores sk = Evaluate(&knn, rate, 8);
+    Scores sd = Evaluate(&dae, rate, 8);
+    PrintRow({Fmt(rate, 2), "mean/mode", Fmt(sm.cat_acc, 2),
+              Fmt(sm.num_mae, 0)});
+    PrintRow({"", "kNN (k=5)", Fmt(sk.cat_acc, 2), Fmt(sk.num_mae, 0)});
+    PrintRow({"", "DAE (MIDA)", Fmt(sd.cat_acc, 2), Fmt(sd.num_mae, 0)});
+  }
+  return 0;
+}

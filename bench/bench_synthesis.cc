@@ -1,0 +1,132 @@
+// Experiment C3 (Sec. 4 / 5.3, FlashFill [27]): program synthesis for
+// data transformation. Shape: classic standardization tasks are
+// recovered from <= 3 input-output examples; held-out accuracy rises
+// with the number of examples (more examples prune overfit programs);
+// and the SEMANTIC transformation (country -> capital) that no string
+// program can express is solved by the embedding-offset learner.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/datagen/corpus.h"
+#include "src/embedding/word2vec.h"
+#include "src/synthesis/dsl.h"
+#include "src/synthesis/semantic.h"
+
+using namespace autodc;         // NOLINT
+using namespace autodc::bench;  // NOLINT
+
+namespace {
+
+struct Task {
+  const char* name;
+  std::vector<synthesis::Example> pool;  // first k train, rest held out
+};
+
+std::vector<Task> MakeTasks() {
+  return {
+      {"abbrev first name",
+       {{"john smith", "J. Smith"},
+        {"mary jones", "M. Jones"},
+        {"carol davis", "C. Davis"},
+        {"robert brown", "R. Brown"},
+        {"linda wilson", "L. Wilson"},
+        {"james taylor", "J. Taylor"}}},
+      {"last, first -> first last",
+       {{"smith, john", "john smith"},
+        {"jones, mary", "mary jones"},
+        {"davis, carol", "carol davis"},
+        {"brown, robert", "robert brown"},
+        {"wilson, linda", "linda wilson"}}},
+      {"phone dashes",
+       {{"555 123 4567", "555-123-4567"},
+        {"800 555 0199", "800-555-0199"},
+        {"212 867 5309", "212-867-5309"},
+        {"310 555 2368", "310-555-2368"}}},
+      {"uppercase code",
+       {{"usa", "USA"}, {"uk", "UK"}, {"eu", "EU"}, {"un", "UN"}}},
+      {"title-case city",
+       {{"NEW york", "New York"},
+        {"LOS angeles", "Los Angeles"},
+        {"SAN diego", "San Diego"},
+        {"LAS vegas", "Las Vegas"}}},
+  };
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader(
+      "Experiment C3 — program synthesis for transformation (Sec. 4)",
+      "Held-out accuracy of the synthesized program vs number of\n"
+      "examples given. Shape: 1 example often suffices thanks to the\n"
+      "token-over-constant ranking; 2-3 examples always do.");
+
+  PrintRow({"task", "k=1", "k=2", "k=3", "program (k=3)"});
+  for (const Task& task : MakeTasks()) {
+    std::vector<std::string> cells = {task.name};
+    std::string program_text = "-";
+    for (size_t k = 1; k <= 3; ++k) {
+      std::vector<synthesis::Example> train(task.pool.begin(),
+                                            task.pool.begin() + k);
+      auto prog = synthesis::SynthesizeStringProgram(train);
+      if (!prog.ok()) {
+        cells.push_back("fail");
+        continue;
+      }
+      size_t hit = 0, total = 0;
+      for (size_t i = k; i < task.pool.size(); ++i) {
+        ++total;
+        if (prog.ValueOrDie().Apply(task.pool[i].input) ==
+            task.pool[i].output) {
+          ++hit;
+        }
+      }
+      cells.push_back(total > 0
+                          ? Fmt(static_cast<double>(hit) / total, 2)
+                          : "n/a");
+      if (k == 3) program_text = prog.ValueOrDie().ToString();
+    }
+    cells.push_back(program_text);
+    for (size_t i = 0; i < cells.size(); ++i) {
+      std::printf(i == 0 ? "%-26s" : (i < 4 ? "%8s" : "  %s"),
+                  cells[i].c_str());
+    }
+    std::printf("\n");
+  }
+
+  // Semantic transformation: beyond any string DSL.
+  std::printf(
+      "\nSemantic transformation (country -> capital) from 3 examples,\n"
+      "via embedding offsets (string programs cannot express this):\n");
+  datagen::SemanticCorpus corpus = datagen::GenerateSemanticCorpus();
+  embedding::Word2VecConfig wcfg;
+  wcfg.sgns.dim = 32;
+  wcfg.sgns.epochs = 8;
+  wcfg.sgns.seed = 7;
+  embedding::EmbeddingStore words =
+      embedding::TrainWordEmbeddings(corpus.sentences, wcfg);
+  synthesis::SemanticTransformLearner learner(&words);
+  std::vector<synthesis::Example> train;
+  for (size_t i = 0; i < 3; ++i) {
+    train.push_back({corpus.country_capitals[i].first,
+                     corpus.country_capitals[i].second});
+  }
+  learner.Fit(train).ok();
+  // A string-DSL attempt on the same examples for contrast.
+  auto dsl_try = synthesis::SynthesizeStringProgram(train);
+  PrintRow({"input", "expected", "semantic", "string DSL"});
+  size_t hits = 0, total = 0;
+  for (size_t i = 3; i < corpus.country_capitals.size(); ++i) {
+    const auto& [country, capital] = corpus.country_capitals[i];
+    auto got = learner.Transform(country);
+    std::string sem = got.ok() ? got.ValueOrDie() : "(error)";
+    std::string dsl = dsl_try.ok() ? dsl_try.ValueOrDie().Apply(country)
+                                   : "(no program)";
+    if (sem == capital) ++hits;
+    ++total;
+    PrintRow({country, capital, sem, dsl});
+  }
+  std::printf("semantic accuracy: %zu/%zu; string DSL: %s\n", hits, total,
+              dsl_try.ok() ? "found an overfit program" : "correctly fails");
+  return 0;
+}

@@ -1,0 +1,149 @@
+// Experiment C4 (Sec. 6.1, "Deep Learning is Computing Heavy"): wall-
+// clock cost of the DC models on a single CPU core, via google-benchmark.
+// Shape: the paper's counterpoint holds — a DeepER-style light-weight
+// model "can be trained in a matter of minutes even on a CPU" (here:
+// seconds at benchmark scale), and prediction is comparable to classical
+// ML inference.
+#include <benchmark/benchmark.h>
+
+#include "src/datagen/er_benchmark.h"
+#include "src/embedding/word2vec.h"
+#include "src/er/baselines.h"
+#include "src/er/deeper.h"
+#include "src/cleaning/imputation.h"
+#include "src/nn/autoencoder.h"
+
+using namespace autodc;  // NOLINT
+
+namespace {
+
+struct Fixture {
+  datagen::ErBenchmark bench;
+  embedding::EmbeddingStore words;
+  std::vector<er::PairLabel> train;
+
+  Fixture() {
+    datagen::ErBenchmarkConfig cfg;
+    cfg.domain = datagen::ErDomain::kProducts;
+    cfg.num_entities = 100;
+    cfg.dirtiness = 0.4;
+    cfg.seed = 17;
+    bench = datagen::GenerateErBenchmark(cfg);
+    embedding::Word2VecConfig wcfg;
+    wcfg.sgns.dim = 24;
+    wcfg.sgns.epochs = 4;
+    wcfg.sgns.seed = 5;
+    words = embedding::TrainWordEmbeddingsFromTables(
+        {&bench.left, &bench.right}, wcfg);
+    Rng rng(7);
+    train = er::SampleTrainingPairs(bench.left.num_rows(),
+                                    bench.right.num_rows(), bench.matches, 5,
+                                    &rng);
+  }
+};
+
+Fixture& GetFixture() {
+  static Fixture* f = new Fixture();
+  return *f;
+}
+
+void BM_Word2VecPretraining(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  for (auto _ : state) {
+    embedding::Word2VecConfig wcfg;
+    wcfg.sgns.dim = 24;
+    wcfg.sgns.epochs = static_cast<size_t>(state.range(0));
+    wcfg.sgns.seed = 5;
+    auto store = embedding::TrainWordEmbeddingsFromTables(
+        {&f.bench.left, &f.bench.right}, wcfg);
+    benchmark::DoNotOptimize(store.size());
+  }
+}
+BENCHMARK(BM_Word2VecPretraining)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_DeepErTrainAverage(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  for (auto _ : state) {
+    er::DeepErConfig cfg;
+    cfg.epochs = static_cast<size_t>(state.range(0));
+    er::DeepEr model(&f.words, cfg);
+    model.FitWeights({&f.bench.left, &f.bench.right});
+    benchmark::DoNotOptimize(
+        model.Train(f.bench.left, f.bench.right, f.train));
+  }
+}
+BENCHMARK(BM_DeepErTrainAverage)->Arg(10)->Arg(25)->Unit(benchmark::kMillisecond);
+
+void BM_DeepErTrainLstm(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  std::vector<er::PairLabel> small(f.train.begin(),
+                                   f.train.begin() +
+                                       std::min<size_t>(60, f.train.size()));
+  for (auto _ : state) {
+    er::DeepErConfig cfg;
+    cfg.composition = er::TupleComposition::kLstm;
+    cfg.lstm_hidden = 8;
+    cfg.epochs = 2;
+    cfg.max_tokens_per_tuple = 12;
+    er::DeepEr model(&f.words, cfg);
+    benchmark::DoNotOptimize(
+        model.Train(f.bench.left, f.bench.right, small));
+  }
+}
+BENCHMARK(BM_DeepErTrainLstm)->Unit(benchmark::kMillisecond);
+
+void BM_DeepErPredict(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  static er::DeepEr* model = []() {
+    Fixture& f2 = GetFixture();
+    er::DeepErConfig cfg;
+    cfg.epochs = 10;
+    auto* m = new er::DeepEr(&f2.words, cfg);
+    m->FitWeights({&f2.bench.left, &f2.bench.right});
+    m->Train(f2.bench.left, f2.bench.right, f2.train);
+    return m;
+  }();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& p = f.train[i % f.train.size()];
+    benchmark::DoNotOptimize(model->PredictProba(
+        f.bench.left.row(p.left), f.bench.right.row(p.right)));
+    ++i;
+  }
+}
+BENCHMARK(BM_DeepErPredict)->Unit(benchmark::kMicrosecond);
+
+void BM_ClassicalFeaturePredict(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  static er::FeatureMatcher* model = []() {
+    Fixture& f2 = GetFixture();
+    auto* m = new er::FeatureMatcher(f2.bench.left.schema(), {16}, 0.01f, 10,
+                                     3);
+    m->Train(f2.bench.left, f2.bench.right, f2.train);
+    return m;
+  }();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& p = f.train[i % f.train.size()];
+    benchmark::DoNotOptimize(model->PredictProba(
+        f.bench.left.row(p.left), f.bench.right.row(p.right)));
+    ++i;
+  }
+}
+BENCHMARK(BM_ClassicalFeaturePredict)->Unit(benchmark::kMicrosecond);
+
+void BM_DaeImputerTrain(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  for (auto _ : state) {
+    cleaning::DaeImputerConfig cfg;
+    cfg.epochs = 20;
+    cleaning::DaeImputer imputer(cfg);
+    imputer.Fit(f.bench.left);
+    benchmark::DoNotOptimize(&imputer);
+  }
+}
+BENCHMARK(BM_DaeImputerTrain)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

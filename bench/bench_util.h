@@ -1,0 +1,56 @@
+#ifndef AUTODC_BENCH_BENCH_UTIL_H_
+#define AUTODC_BENCH_BENCH_UTIL_H_
+
+// Shared table-printing helpers for the experiment harnesses. Every
+// bench binary prints the paper-shaped rows for one experiment id from
+// DESIGN.md's index.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace autodc::bench {
+
+/// Prints a header box naming the experiment.
+inline void PrintHeader(const std::string& experiment,
+                        const std::string& claim) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("%s\n", claim.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// Fixed-width row printer: first cell 28 chars, rest 12.
+inline void PrintRow(const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    std::printf(i == 0 ? "%-28s" : "%12s", cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+inline std::string Fmt(double v, int precision = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string FmtInt(size_t v) { return std::to_string(v); }
+
+/// Wall-clock timer.
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace autodc::bench
+
+#endif  // AUTODC_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,114 @@
+#include "src/cleaning/encoding.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace autodc::cleaning {
+
+void TableEncoder::Fit(const data::Table& table, const Options& options) {
+  size_t ncols = table.num_columns();
+  numeric_.assign(ncols, false);
+  offsets_.assign(ncols, 0);
+  widths_.assign(ncols, 0);
+  stats_.assign(ncols, ColumnStats{});
+  schema_ = table.schema();
+  dim_ = 0;
+
+  for (size_t c = 0; c < ncols; ++c) {
+    data::ValueType ty = table.schema().column(c).type;
+    bool numeric =
+        ty == data::ValueType::kInt || ty == data::ValueType::kDouble;
+    numeric_[c] = numeric;
+    offsets_[c] = dim_;
+    ColumnStats& st = stats_[c];
+    if (numeric) {
+      double sum = 0.0, sq = 0.0;
+      size_t n = 0;
+      for (size_t r = 0; r < table.num_rows(); ++r) {
+        bool ok = false;
+        double v = table.at(r, c).ToNumeric(&ok);
+        if (!ok) continue;
+        sum += v;
+        sq += v * v;
+        ++n;
+      }
+      if (n > 0) {
+        st.mean = sum / static_cast<double>(n);
+        double var = sq / static_cast<double>(n) - st.mean * st.mean;
+        st.stddev = var > 1e-12 ? std::sqrt(var) : 1.0;
+      }
+      widths_[c] = 1;
+    } else {
+      // Most frequent values get dedicated one-hot slots.
+      std::map<std::string, size_t> counts;
+      for (size_t r = 0; r < table.num_rows(); ++r) {
+        const data::Value& v = table.at(r, c);
+        if (!v.is_null()) counts[v.ToString()]++;
+      }
+      std::vector<std::pair<std::string, size_t>> ranked(counts.begin(),
+                                                         counts.end());
+      std::sort(ranked.begin(), ranked.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.second != b.second) return a.second > b.second;
+                  return a.first < b.first;
+                });
+      size_t k = std::min(options.max_categories, ranked.size());
+      for (size_t i = 0; i < k; ++i) {
+        st.category_index.emplace(ranked[i].first, i);
+        st.categories.push_back(ranked[i].first);
+      }
+      widths_[c] = k + 1;  // +1 "other" slot
+    }
+    dim_ += widths_[c];
+  }
+}
+
+std::vector<float> TableEncoder::EncodeRow(const data::Row& row) const {
+  std::vector<float> out(dim_, 0.0f);
+  for (size_t c = 0; c < widths_.size(); ++c) {
+    const data::Value& v = row[c];
+    if (v.is_null()) continue;
+    if (numeric_[c]) {
+      bool ok = false;
+      double x = v.ToNumeric(&ok);
+      if (ok) {
+        out[offsets_[c]] = static_cast<float>(
+            (x - stats_[c].mean) / stats_[c].stddev);
+      }
+    } else {
+      auto it = stats_[c].category_index.find(v.ToString());
+      size_t slot = it != stats_[c].category_index.end()
+                        ? it->second
+                        : widths_[c] - 1;  // "other"
+      out[offsets_[c] + slot] = 1.0f;
+    }
+  }
+  return out;
+}
+
+data::Value TableEncoder::DecodeColumn(const std::vector<float>& encoded,
+                                       size_t c) const {
+  if (numeric_[c]) {
+    double x = static_cast<double>(encoded[offsets_[c]]) * stats_[c].stddev +
+               stats_[c].mean;
+    if (schema_.column(c).type == data::ValueType::kInt) {
+      return data::Value(static_cast<int64_t>(std::llround(x)));
+    }
+    return data::Value(x);
+  }
+  size_t best = 0;
+  float best_v = encoded[offsets_[c]];
+  for (size_t i = 1; i < widths_[c]; ++i) {
+    if (encoded[offsets_[c] + i] > best_v) {
+      best_v = encoded[offsets_[c] + i];
+      best = i;
+    }
+  }
+  if (best < stats_[c].categories.size()) {
+    return data::Value(stats_[c].categories[best]);
+  }
+  return data::Value::Null();  // "other" slot decodes to null
+}
+
+}  // namespace autodc::cleaning

@@ -1,0 +1,66 @@
+#ifndef AUTODC_CLEANING_ENCODING_H_
+#define AUTODC_CLEANING_ENCODING_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/data/table.h"
+
+namespace autodc::cleaning {
+
+/// Bidirectional codec between table rows and dense float vectors, the
+/// interface neural cleaning models need. Numeric columns are
+/// standardized (z-score); categorical/string columns are one-hot over
+/// their most frequent values (rarer values map to an "other" slot).
+/// Nulls encode to zeros (with the caller tracking the missing mask).
+struct TableEncoderOptions {
+  /// Cap on one-hot width per categorical column.
+  size_t max_categories = 20;
+};
+
+class TableEncoder {
+ public:
+  using Options = TableEncoderOptions;
+
+  /// Learns per-column statistics from `table`.
+  void Fit(const data::Table& table, const Options& options = {});
+
+  /// Total encoded dimensionality.
+  size_t dim() const { return dim_; }
+
+  /// Encodes one row (nulls -> zero block).
+  std::vector<float> EncodeRow(const data::Row& row) const;
+
+  /// The [begin, end) slice of the encoding belonging to column `c`.
+  std::pair<size_t, size_t> ColumnSpan(size_t c) const {
+    return {offsets_[c], offsets_[c] + widths_[c]};
+  }
+
+  /// Decodes the value of column `c` from an encoded vector: numeric
+  /// columns un-standardize; categorical columns take the arg-max slot.
+  data::Value DecodeColumn(const std::vector<float>& encoded,
+                           size_t c) const;
+
+  size_t num_columns() const { return widths_.size(); }
+  bool IsNumeric(size_t c) const { return numeric_[c]; }
+
+ private:
+  struct ColumnStats {
+    double mean = 0.0;
+    double stddev = 1.0;
+    std::vector<std::string> categories;  ///< slot -> value
+    std::unordered_map<std::string, size_t> category_index;
+  };
+
+  size_t dim_ = 0;
+  std::vector<bool> numeric_;
+  std::vector<size_t> offsets_;
+  std::vector<size_t> widths_;
+  std::vector<ColumnStats> stats_;
+  data::Schema schema_;
+};
+
+}  // namespace autodc::cleaning
+
+#endif  // AUTODC_CLEANING_ENCODING_H_

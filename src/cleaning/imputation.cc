@@ -1,0 +1,175 @@
+#include "src/cleaning/imputation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "src/text/similarity.h"
+
+namespace autodc::cleaning {
+
+size_t Imputer::FitAndFillAll(data::Table* table) {
+  Fit(*table);
+  size_t filled = 0;
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    for (size_t c = 0; c < table->num_columns(); ++c) {
+      if (!table->at(r, c).is_null()) continue;
+      data::Value v = Impute(*table, r, c);
+      if (!v.is_null()) {
+        table->Set(r, c, std::move(v));
+        ++filled;
+      }
+    }
+  }
+  return filled;
+}
+
+void MeanModeImputer::Fit(const data::Table& table) {
+  fill_values_.assign(table.num_columns(), data::Value::Null());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    data::ValueType ty = table.schema().column(c).type;
+    if (ty == data::ValueType::kInt || ty == data::ValueType::kDouble) {
+      double sum = 0.0;
+      size_t n = 0;
+      for (size_t r = 0; r < table.num_rows(); ++r) {
+        bool ok = false;
+        double v = table.at(r, c).ToNumeric(&ok);
+        if (ok) {
+          sum += v;
+          ++n;
+        }
+      }
+      if (n > 0) {
+        double mean = sum / static_cast<double>(n);
+        fill_values_[c] = ty == data::ValueType::kInt
+                              ? data::Value(static_cast<int64_t>(
+                                    std::llround(mean)))
+                              : data::Value(mean);
+      }
+    } else {
+      std::map<std::string, size_t> counts;
+      for (size_t r = 0; r < table.num_rows(); ++r) {
+        const data::Value& v = table.at(r, c);
+        if (!v.is_null()) counts[v.ToString()]++;
+      }
+      size_t best = 0;
+      for (const auto& [value, n] : counts) {
+        if (n > best) {
+          best = n;
+          fill_values_[c] = data::Value(value);
+        }
+      }
+    }
+  }
+}
+
+data::Value MeanModeImputer::Impute(const data::Table& /*table*/,
+                                    size_t /*row*/, size_t col) const {
+  return fill_values_[col];
+}
+
+void KnnImputer::Fit(const data::Table& table) {
+  encoder_.Fit(table);
+  encoded_rows_.clear();
+  row_ids_.clear();
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    encoded_rows_.push_back(encoder_.EncodeRow(table.row(r)));
+    row_ids_.push_back(r);
+  }
+}
+
+data::Value KnnImputer::Impute(const data::Table& table, size_t row,
+                               size_t col) const {
+  // Distance over the columns observed in the query row, excluding the
+  // target column.
+  std::vector<float> query = encoder_.EncodeRow(table.row(row));
+  auto [t_begin, t_end] = encoder_.ColumnSpan(col);
+
+  std::vector<std::pair<double, size_t>> scored;
+  for (size_t i = 0; i < encoded_rows_.size(); ++i) {
+    size_t r = row_ids_[i];
+    if (r == row) continue;
+    if (table.at(r, col).is_null()) continue;  // neighbour must observe col
+    double d2 = 0.0;
+    for (size_t j = 0; j < query.size(); ++j) {
+      if (j >= t_begin && j < t_end) continue;
+      double d = static_cast<double>(query[j]) - encoded_rows_[i][j];
+      d2 += d * d;
+    }
+    scored.emplace_back(d2, r);
+  }
+  if (scored.empty()) return data::Value::Null();
+  size_t take = std::min(k_, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + take, scored.end());
+
+  if (encoder_.IsNumeric(col)) {
+    double sum = 0.0;
+    size_t n = 0;
+    for (size_t i = 0; i < take; ++i) {
+      bool ok = false;
+      double v = table.at(scored[i].second, col).ToNumeric(&ok);
+      if (ok) {
+        sum += v;
+        ++n;
+      }
+    }
+    if (n == 0) return data::Value::Null();
+    double mean = sum / static_cast<double>(n);
+    if (table.schema().column(col).type == data::ValueType::kInt) {
+      return data::Value(static_cast<int64_t>(std::llround(mean)));
+    }
+    return data::Value(mean);
+  }
+  // Majority vote among the neighbours.
+  std::map<std::string, size_t> votes;
+  for (size_t i = 0; i < take; ++i) {
+    votes[table.at(scored[i].second, col).ToString()]++;
+  }
+  std::string best;
+  size_t best_n = 0;
+  for (const auto& [value, n] : votes) {
+    if (n > best_n) {
+      best_n = n;
+      best = value;
+    }
+  }
+  if (best_n == 0) return data::Value::Null();
+  return data::Value(best);
+}
+
+void DaeImputer::Fit(const data::Table& table) {
+  encoder_.Fit(table);
+  rng_ = std::make_unique<Rng>(config_.seed);
+  nn::AutoencoderConfig acfg;
+  acfg.input_dim = encoder_.dim();
+  acfg.hidden_dim = config_.hidden_dim;
+  acfg.corruption = config_.corruption;
+  acfg.learning_rate = config_.learning_rate;
+  acfg.activation = nn::Activation::kTanh;
+  dae_ = std::make_unique<nn::Autoencoder>(nn::AutoencoderKind::kDenoising,
+                                           acfg, rng_.get());
+  // Train on rows with no missing values (complete cases); the DAE's own
+  // corruption teaches it to restore masked blocks.
+  nn::Batch complete;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    bool has_null = false;
+    for (const data::Value& v : table.row(r)) {
+      if (v.is_null()) {
+        has_null = true;
+        break;
+      }
+    }
+    if (!has_null) complete.push_back(encoder_.EncodeRow(table.row(r)));
+  }
+  if (!complete.empty()) dae_->Train(complete, config_.epochs);
+}
+
+data::Value DaeImputer::Impute(const data::Table& table, size_t row,
+                               size_t col) const {
+  if (dae_ == nullptr) return data::Value::Null();
+  std::vector<float> encoded = encoder_.EncodeRow(table.row(row));
+  std::vector<float> reconstructed = dae_->Reconstruct(encoded);
+  return encoder_.DecodeColumn(reconstructed, col);
+}
+
+}  // namespace autodc::cleaning

@@ -1,0 +1,91 @@
+#ifndef AUTODC_CLEANING_IMPUTATION_H_
+#define AUTODC_CLEANING_IMPUTATION_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/cleaning/encoding.h"
+#include "src/data/table.h"
+#include "src/nn/autoencoder.h"
+
+namespace autodc::cleaning {
+
+/// Fills every null cell of `table` in place (derived classes decide
+/// how) and reports how many cells were filled.
+class Imputer {
+ public:
+  virtual ~Imputer() = default;
+
+  /// Learns whatever statistics/model the method needs from the observed
+  /// (non-null) parts of `table`.
+  virtual void Fit(const data::Table& table) = 0;
+
+  /// Predicts a value for cell (row, col); the cell is known to be null.
+  virtual data::Value Impute(const data::Table& table, size_t row,
+                             size_t col) const = 0;
+
+  /// Fit + fill all nulls; returns the number of imputed cells.
+  size_t FitAndFillAll(data::Table* table);
+};
+
+/// Column mean (numeric) / mode (categorical) — the simple baseline the
+/// paper calls "not applicable to DC tasks" in its naive form.
+class MeanModeImputer : public Imputer {
+ public:
+  void Fit(const data::Table& table) override;
+  data::Value Impute(const data::Table& table, size_t row,
+                     size_t col) const override;
+
+ private:
+  std::vector<data::Value> fill_values_;
+};
+
+/// k-nearest-neighbour imputation: the missing cell takes the
+/// mean/majority of the k most similar complete rows (similarity over
+/// the encoded observed attributes).
+class KnnImputer : public Imputer {
+ public:
+  explicit KnnImputer(size_t k = 5) : k_(k) {}
+  void Fit(const data::Table& table) override;
+  data::Value Impute(const data::Table& table, size_t row,
+                     size_t col) const override;
+
+ private:
+  size_t k_;
+  TableEncoder encoder_;
+  std::vector<std::vector<float>> encoded_rows_;
+  std::vector<size_t> row_ids_;
+};
+
+struct DaeImputerConfig {
+  size_t hidden_dim = 16;
+  size_t epochs = 60;
+  float corruption = 0.25f;
+  float learning_rate = 1e-2f;
+  uint64_t seed = 42;
+};
+
+/// MIDA-style multiple imputation with a denoising autoencoder [25]
+/// (Sec. 5.3): train a DAE on encoded rows with stochastic corruption;
+/// at imputation time the row (nulls zeroed) is reconstructed and the
+/// missing column decoded from the reconstruction. Captures local
+/// (tuple-level) and global (relation-level) patterns jointly.
+class DaeImputer : public Imputer {
+ public:
+  explicit DaeImputer(const DaeImputerConfig& config = {})
+      : config_(config) {}
+  void Fit(const data::Table& table) override;
+  data::Value Impute(const data::Table& table, size_t row,
+                     size_t col) const override;
+
+ private:
+  DaeImputerConfig config_;
+  TableEncoder encoder_;
+  std::unique_ptr<Rng> rng_;
+  std::unique_ptr<nn::Autoencoder> dae_;
+};
+
+}  // namespace autodc::cleaning
+
+#endif  // AUTODC_CLEANING_IMPUTATION_H_

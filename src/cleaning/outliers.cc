@@ -1,0 +1,108 @@
+#include "src/cleaning/outliers.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/cleaning/encoding.h"
+#include "src/nn/autoencoder.h"
+
+namespace autodc::cleaning {
+
+std::vector<OutlierCell> ZScoreOutliers(const data::Table& table, size_t col,
+                                        double threshold) {
+  std::vector<OutlierCell> out;
+  double sum = 0.0, sq = 0.0;
+  size_t n = 0;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    bool ok = false;
+    double v = table.at(r, col).ToNumeric(&ok);
+    if (!ok) continue;
+    sum += v;
+    sq += v * v;
+    ++n;
+  }
+  if (n < 2) return out;
+  double mean = sum / static_cast<double>(n);
+  double var = sq / static_cast<double>(n) - mean * mean;
+  double stddev = var > 1e-12 ? std::sqrt(var) : 0.0;
+  if (stddev == 0.0) return out;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    bool ok = false;
+    double v = table.at(r, col).ToNumeric(&ok);
+    if (!ok) continue;
+    double z = std::fabs(v - mean) / stddev;
+    if (z > threshold) out.push_back(OutlierCell{r, col, z});
+  }
+  return out;
+}
+
+std::vector<OutlierCell> IqrOutliers(const data::Table& table, size_t col,
+                                     double k) {
+  std::vector<OutlierCell> out;
+  std::vector<double> values;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    bool ok = false;
+    double v = table.at(r, col).ToNumeric(&ok);
+    if (ok) values.push_back(v);
+  }
+  if (values.size() < 4) return out;
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  double q1 = sorted[sorted.size() / 4];
+  double q3 = sorted[(sorted.size() * 3) / 4];
+  double iqr = q3 - q1;
+  double lo = q1 - k * iqr;
+  double hi = q3 + k * iqr;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    bool ok = false;
+    double v = table.at(r, col).ToNumeric(&ok);
+    if (!ok) continue;
+    if (v < lo || v > hi) {
+      double severity = v < lo ? (lo - v) / std::max(iqr, 1e-9)
+                               : (v - hi) / std::max(iqr, 1e-9);
+      out.push_back(OutlierCell{r, col, severity});
+    }
+  }
+  return out;
+}
+
+std::vector<OutlierCell> AutoencoderRowOutliers(
+    const data::Table& table, const AutoencoderOutlierConfig& config) {
+  std::vector<OutlierCell> out;
+  if (table.num_rows() < 8) return out;
+  TableEncoder encoder;
+  encoder.Fit(table);
+  nn::Batch rows;
+  rows.reserve(table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    rows.push_back(encoder.EncodeRow(table.row(r)));
+  }
+  Rng rng(config.seed);
+  nn::AutoencoderConfig acfg;
+  acfg.input_dim = encoder.dim();
+  acfg.hidden_dim = config.hidden_dim;
+  acfg.activation = nn::Activation::kTanh;
+  nn::Autoencoder ae(nn::AutoencoderKind::kPlain, acfg, &rng);
+  ae.Train(rows, config.epochs);
+
+  std::vector<double> errors;
+  errors.reserve(rows.size());
+  for (const auto& row : rows) {
+    errors.push_back(ae.ReconstructionError(row));
+  }
+  double mean = 0.0;
+  for (double e : errors) mean += e;
+  mean /= static_cast<double>(errors.size());
+  double var = 0.0;
+  for (double e : errors) var += (e - mean) * (e - mean);
+  var /= static_cast<double>(errors.size());
+  double cutoff = mean + config.sigma * std::sqrt(var);
+  for (size_t r = 0; r < errors.size(); ++r) {
+    if (errors[r] > cutoff) {
+      out.push_back(OutlierCell{r, 0, errors[r]});
+    }
+  }
+  return out;
+}
+
+}  // namespace autodc::cleaning

@@ -1,0 +1,45 @@
+#ifndef AUTODC_CLEANING_OUTLIERS_H_
+#define AUTODC_CLEANING_OUTLIERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/data/table.h"
+
+namespace autodc::cleaning {
+
+/// One flagged cell.
+struct OutlierCell {
+  size_t row = 0;
+  size_t col = 0;
+  double score = 0.0;  ///< detector-specific severity (higher = worse)
+};
+
+/// Z-score detector over one numeric column: |x - mean| / stddev >
+/// threshold flags the cell.
+std::vector<OutlierCell> ZScoreOutliers(const data::Table& table, size_t col,
+                                        double threshold = 3.0);
+
+/// Tukey IQR fence detector: x outside [Q1 - k*IQR, Q3 + k*IQR].
+std::vector<OutlierCell> IqrOutliers(const data::Table& table, size_t col,
+                                     double k = 1.5);
+
+struct AutoencoderOutlierConfig {
+  size_t hidden_dim = 4;
+  size_t epochs = 40;
+  /// Rows whose reconstruction error exceeds mean + `sigma` * stddev of
+  /// training errors are flagged.
+  double sigma = 3.0;
+  uint64_t seed = 42;
+};
+
+/// Row-level anomaly detection via autoencoder reconstruction error
+/// (Sec. 3.1's "detect anomalous data that does not match a group of
+/// values" through the representation-learning lens). Returns row
+/// indices with scores (the reconstruction error).
+std::vector<OutlierCell> AutoencoderRowOutliers(
+    const data::Table& table, const AutoencoderOutlierConfig& config = {});
+
+}  // namespace autodc::cleaning
+
+#endif  // AUTODC_CLEANING_OUTLIERS_H_

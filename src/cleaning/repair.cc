@@ -1,0 +1,99 @@
+#include "src/cleaning/repair.h"
+
+#include <map>
+#include <unordered_map>
+
+namespace autodc::cleaning {
+
+std::vector<CellRepair> RepairFdViolations(
+    data::Table* table, const std::vector<data::FunctionalDependency>& fds) {
+  std::vector<CellRepair> repairs;
+  for (const data::FunctionalDependency& fd : fds) {
+    // Group rows by LHS rendering (nulls never group).
+    std::unordered_map<std::string, std::vector<size_t>> groups;
+    for (size_t r = 0; r < table->num_rows(); ++r) {
+      bool has_null = false;
+      std::string key;
+      for (size_t c : fd.lhs) {
+        const data::Value& v = table->at(r, c);
+        if (v.is_null()) {
+          has_null = true;
+          break;
+        }
+        key += "\x01" + v.ToString();
+      }
+      if (!has_null) groups[key].push_back(r);
+    }
+    for (const auto& [key, rows] : groups) {
+      (void)key;
+      if (rows.size() < 2) continue;
+      // Majority RHS value; ties break to the first-seen value so the
+      // repair is deterministic.
+      std::map<std::string, size_t> counts;
+      std::map<std::string, data::Value> values;
+      for (size_t r : rows) {
+        const data::Value& v = table->at(r, fd.rhs);
+        std::string s = v.ToString();
+        counts[s]++;
+        values.emplace(s, v);
+      }
+      if (counts.size() < 2) continue;  // already consistent
+      std::string best;
+      size_t best_n = 0;
+      for (const auto& [s, n] : counts) {
+        if (n > best_n) {
+          best_n = n;
+          best = s;
+        }
+      }
+      const data::Value& target = values.at(best);
+      for (size_t r : rows) {
+        if (table->at(r, fd.rhs) == target) continue;
+        repairs.push_back(
+            CellRepair{r, fd.rhs, table->at(r, fd.rhs), target});
+        table->Set(r, fd.rhs, target);
+      }
+    }
+  }
+  return repairs;
+}
+
+data::Row ConsolidateCluster(const data::Table& table,
+                             const std::vector<size_t>& cluster_rows) {
+  data::Row out(table.num_columns(), data::Value::Null());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    std::map<std::string, size_t> counts;
+    std::map<std::string, data::Value> values;
+    for (size_t r : cluster_rows) {
+      const data::Value& v = table.at(r, c);
+      if (v.is_null()) continue;
+      std::string s = v.ToString();
+      counts[s]++;
+      values.emplace(s, v);
+    }
+    size_t best_n = 0;
+    std::string best;
+    for (const auto& [s, n] : counts) {
+      // Majority wins; ties prefer the longer rendering ("John Smith"
+      // over "J Smith").
+      if (n > best_n || (n == best_n && s.size() > best.size())) {
+        best_n = n;
+        best = s;
+      }
+    }
+    if (best_n > 0) out[c] = values.at(best);
+  }
+  return out;
+}
+
+data::Table FuseClusters(const data::Table& table,
+                         const std::vector<std::vector<size_t>>& clusters) {
+  data::Table out(table.schema(), table.name() + "_fused");
+  for (const std::vector<size_t>& cluster : clusters) {
+    if (cluster.empty()) continue;
+    out.AppendRow(ConsolidateCluster(table, cluster));
+  }
+  return out;
+}
+
+}  // namespace autodc::cleaning

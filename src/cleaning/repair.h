@@ -1,0 +1,43 @@
+#ifndef AUTODC_CLEANING_REPAIR_H_
+#define AUTODC_CLEANING_REPAIR_H_
+
+#include <vector>
+
+#include "src/data/dependencies.h"
+#include "src/data/table.h"
+
+namespace autodc::cleaning {
+
+/// One cell change applied by a repair.
+struct CellRepair {
+  size_t row = 0;
+  size_t col = 0;
+  data::Value old_value;
+  data::Value new_value;
+};
+
+/// Minimal FD repair by majority vote: for every LHS group violating an
+/// FD, every RHS cell is rewritten to the group's most frequent RHS value
+/// (the fewest-changes repair under value-equality cost). Repairs are
+/// applied in place; the change list is returned.
+std::vector<CellRepair> RepairFdViolations(
+    data::Table* table, const std::vector<data::FunctionalDependency>& fds);
+
+/// Golden-record consolidation (the entity-consolidation problem of
+/// Sec. 4): given a cluster of rows referring to the same entity, build
+/// the single best record — per attribute, the most frequent non-null
+/// value; ties break to the LONGEST value (more information), matching
+/// the "John Smith" over "J Smith" preference example.
+data::Row ConsolidateCluster(const data::Table& table,
+                             const std::vector<size_t>& cluster_rows);
+
+/// Knowledge fusion as imputation (Sec. 5.3): in each cluster, attributes
+/// with conflicting values are treated as missing and re-predicted; here
+/// conflicts resolve by consolidation into a fused output table with one
+/// row per cluster.
+data::Table FuseClusters(const data::Table& table,
+                         const std::vector<std::vector<size_t>>& clusters);
+
+}  // namespace autodc::cleaning
+
+#endif  // AUTODC_CLEANING_REPAIR_H_

@@ -1,0 +1,89 @@
+#ifndef AUTODC_COMMON_RESULT_H_
+#define AUTODC_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <utility>
+#include <variant>
+
+#include "src/common/status.h"
+
+namespace autodc {
+
+/// Either a value of type T or a non-OK Status explaining why the value
+/// could not be produced. Mirrors arrow::Result.
+///
+/// Typical use:
+///   Result<Table> r = Table::FromCsv(path);
+///   if (!r.ok()) return r.status();
+///   Table t = std::move(r).ValueOrDie();
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit so `return value;` works).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Constructs from a non-OK status (implicit so AUTODC_RETURN_NOT_OK and
+  /// `return Status::...;` work). Storing an OK status is a programming
+  /// error and is reported as kInternal.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns the error status, or OK if this holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// Returns the value; aborts if this holds an error.
+  const T& ValueOrDie() const& {
+    DieIfError();
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    DieIfError();
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    DieIfError();
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// Returns the value, or `fallback` on error.
+  T ValueOr(T fallback) const {
+    if (ok()) return std::get<T>(repr_);
+    return fallback;
+  }
+
+ private:
+  void DieIfError() const {
+    if (!ok()) {
+      std::cerr << "Result::ValueOrDie on error: "
+                << std::get<Status>(repr_).ToString() << std::endl;
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace autodc
+
+/// Assigns the value of a Result expression to `lhs`, or propagates the
+/// error to the caller.
+#define AUTODC_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define AUTODC_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define AUTODC_ASSIGN_OR_RETURN_NAME(a, b) AUTODC_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define AUTODC_ASSIGN_OR_RETURN(lhs, expr)                                  \
+  AUTODC_ASSIGN_OR_RETURN_IMPL(                                             \
+      AUTODC_ASSIGN_OR_RETURN_NAME(_autodc_result_, __COUNTER__), lhs, expr)
+
+#endif  // AUTODC_COMMON_RESULT_H_

@@ -1,0 +1,88 @@
+#ifndef AUTODC_COMMON_RNG_H_
+#define AUTODC_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace autodc {
+
+/// Deterministic random number generator used by every stochastic component
+/// in the library. All samplers, trainers, and data generators take an
+/// explicit seed so experiments are reproducible bit-for-bit.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0) {
+    std::uniform_real_distribution<double> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Standard normal scaled to (mean, stddev).
+  double Normal(double mean = 0.0, double stddev = 1.0) {
+    std::normal_distribution<double> d(mean, stddev);
+    return d(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) {
+    std::bernoulli_distribution d(p);
+    return d(engine_);
+  }
+
+  /// Index drawn from the (unnormalized, non-negative) weights.
+  /// Returns 0 for an all-zero weight vector.
+  size_t Categorical(const std::vector<double>& weights) {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    if (total <= 0.0) return 0;
+    double r = Uniform(0.0, total);
+    double acc = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      acc += weights[i];
+      if (r < acc) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) (k clamped to n).
+  std::vector<size_t> SampleIndices(size_t n, size_t k) {
+    if (k > n) k = n;
+    std::vector<size_t> idx(n);
+    for (size_t i = 0; i < n; ++i) idx[i] = i;
+    // Partial Fisher-Yates: only the first k positions need to be shuffled.
+    for (size_t i = 0; i < k; ++i) {
+      size_t j = static_cast<size_t>(
+          UniformInt(static_cast<int64_t>(i), static_cast<int64_t>(n) - 1));
+      std::swap(idx[i], idx[j]);
+    }
+    idx.resize(k);
+    return idx;
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace autodc
+
+#endif  // AUTODC_COMMON_RNG_H_

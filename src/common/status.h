@@ -1,0 +1,90 @@
+#ifndef AUTODC_COMMON_STATUS_H_
+#define AUTODC_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace autodc {
+
+/// Error categories used across the library. Follows the Arrow/RocksDB
+/// convention of a small closed set of machine-readable codes plus a
+/// free-form human-readable message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIoError,
+  kNotImplemented,
+  kInternal,
+};
+
+/// Returns a stable lowercase name for `code` (e.g. "invalid_argument").
+const char* StatusCodeName(StatusCode code);
+
+/// Result of a fallible operation that produces no value.
+///
+/// AutoDC library code does not throw exceptions across API boundaries;
+/// every operation that can fail returns a `Status` (or a `Result<T>`,
+/// see result.h). A default-constructed Status is OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders as "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace autodc
+
+/// Propagates a non-OK Status to the caller. Usable in functions
+/// returning Status or Result<T>.
+#define AUTODC_RETURN_NOT_OK(expr)             \
+  do {                                         \
+    ::autodc::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                 \
+  } while (false)
+
+#endif  // AUTODC_COMMON_STATUS_H_

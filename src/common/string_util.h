@@ -1,0 +1,40 @@
+#ifndef AUTODC_COMMON_STRING_UTIL_H_
+#define AUTODC_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace autodc {
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Splits `s` on runs of whitespace, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins `parts` with `delim`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view delim);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+/// ASCII uppercase copy.
+std::string ToUpper(std::string_view s);
+
+/// Strips leading and trailing whitespace.
+std::string Trim(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True if `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Capitalizes the first character, lowercases the rest ("john" -> "John").
+std::string Capitalize(std::string_view s);
+
+}  // namespace autodc
+
+#endif  // AUTODC_COMMON_STRING_UTIL_H_

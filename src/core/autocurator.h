@@ -1,0 +1,64 @@
+#ifndef AUTODC_CORE_AUTOCURATOR_H_
+#define AUTODC_CORE_AUTOCURATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/core/pipeline.h"
+#include "src/data/table.h"
+
+namespace autodc::core {
+
+/// Configuration of the self-driving curation run.
+struct AutoCuratorConfig {
+  /// The analyst's free-text description of the data they need.
+  std::string task_query;
+  /// Tables discovery may select (the best match plus schema-compatible
+  /// relatives get unioned).
+  size_t max_tables = 2;
+  /// Semantic-match score required to align a column across tables.
+  double schema_match_threshold = 0.35;
+  /// DeepER match-probability threshold for intra-table deduplication.
+  double dedup_threshold = 0.9;
+  /// Training pairs for the self-supervised dedup model come from exact/
+  /// near-exact duplicates (weak supervision); this many noisy negatives
+  /// are sampled per positive.
+  size_t negatives_per_positive = 4;
+  /// Discover FDs with LHS up to this size and repair their violations.
+  size_t fd_max_lhs = 1;
+  /// Only repair FDs whose confidence on the dirty data is at least this
+  /// (a true dependency dirtied a little stays above; coincidences don't).
+  double fd_min_confidence = 0.9;
+  uint64_t seed = 42;
+};
+
+/// Outcome of a curation run, for reporting and assertions.
+struct CurationResult {
+  data::Table curated;
+  PipelineContext context;  ///< per-stage report and metrics
+};
+
+/// The AutoDC end-to-end driver (Figure 1): given an ocean of source
+/// tables and an analytic task description, it
+///   1. learns distributed representations over the whole lake,
+///   2. DISCOVERS the relevant table(s) via embedding search,
+///   3. INTEGRATES schema-compatible relatives (semantic column match +
+///      union) and deduplicates entities (DeepER + LSH blocking +
+///      golden-record fusion),
+///   4. CLEANS the result (FD discovery + repair, DAE imputation),
+/// producing one analysis-ready table.
+class AutoCurator {
+ public:
+  explicit AutoCurator(const AutoCuratorConfig& config) : config_(config) {}
+
+  Result<CurationResult> Curate(
+      const std::vector<data::Table>& sources) const;
+
+ private:
+  AutoCuratorConfig config_;
+};
+
+}  // namespace autodc::core
+
+#endif  // AUTODC_CORE_AUTOCURATOR_H_

@@ -1,0 +1,36 @@
+#include "src/core/pipeline.h"
+
+namespace autodc::core {
+
+Pipeline& Pipeline::Add(std::unique_ptr<Stage> stage) {
+  stages_.push_back(std::move(stage));
+  return *this;
+}
+
+Pipeline& Pipeline::Add(std::string name,
+                        std::function<Status(PipelineContext*)> fn) {
+  stages_.push_back(
+      std::make_unique<LambdaStage>(std::move(name), std::move(fn)));
+  return *this;
+}
+
+Status Pipeline::Run(PipelineContext* context) const {
+  for (const auto& stage : stages_) {
+    Status s = stage->Run(context);
+    if (!s.ok()) {
+      return Status(s.code(),
+                    "stage '" + stage->name() + "': " + s.message());
+    }
+    context->Log("[stage done] " + stage->name());
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Pipeline::StageNames() const {
+  std::vector<std::string> names;
+  names.reserve(stages_.size());
+  for (const auto& s : stages_) names.push_back(s->name());
+  return names;
+}
+
+}  // namespace autodc::core

@@ -1,0 +1,74 @@
+#ifndef AUTODC_CORE_PIPELINE_H_
+#define AUTODC_CORE_PIPELINE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/data/table.h"
+#include "src/embedding/embedding_store.h"
+
+namespace autodc::core {
+
+/// Shared mutable state flowing through a curation pipeline: the working
+/// table set, the pre-trained embedding store (the "holistic knowledge"
+/// of Sec. 3.3 every downstream stage reuses), and a free-form report.
+struct PipelineContext {
+  std::vector<data::Table> tables;
+  std::shared_ptr<embedding::EmbeddingStore> words;
+  /// Stage-emitted human-readable findings, in execution order.
+  std::vector<std::string> report;
+  /// Stage-emitted numeric metrics ("stage.key" -> value).
+  std::map<std::string, double> metrics;
+
+  void Log(const std::string& line) { report.push_back(line); }
+  void Metric(const std::string& key, double value) { metrics[key] = value; }
+};
+
+/// One step of the DC pipeline of Figure 1 (discovery, integration,
+/// cleaning, ...). Stages are composable and reorderable.
+class Stage {
+ public:
+  virtual ~Stage() = default;
+  virtual std::string name() const = 0;
+  virtual Status Run(PipelineContext* context) = 0;
+};
+
+/// Adapter for building stages from lambdas.
+class LambdaStage : public Stage {
+ public:
+  LambdaStage(std::string name,
+              std::function<Status(PipelineContext*)> body)
+      : name_(std::move(name)), body_(std::move(body)) {}
+  std::string name() const override { return name_; }
+  Status Run(PipelineContext* context) override { return body_(context); }
+
+ private:
+  std::string name_;
+  std::function<Status(PipelineContext*)> body_;
+};
+
+/// Linear orchestration of stages — the automatic end-to-end DC pipeline
+/// the paper's "promised land" describes (Sec. 3). Execution stops at
+/// the first failing stage; the error names the stage.
+class Pipeline {
+ public:
+  Pipeline& Add(std::unique_ptr<Stage> stage);
+  Pipeline& Add(std::string name, std::function<Status(PipelineContext*)> fn);
+
+  /// Runs every stage over `context`.
+  Status Run(PipelineContext* context) const;
+
+  size_t num_stages() const { return stages_.size(); }
+  std::vector<std::string> StageNames() const;
+
+ private:
+  std::vector<std::unique_ptr<Stage>> stages_;
+};
+
+}  // namespace autodc::core
+
+#endif  // AUTODC_CORE_PIPELINE_H_

@@ -1,0 +1,255 @@
+#include "src/data/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace autodc::data {
+
+namespace {
+
+// Splits raw CSV text into records of fields, honoring quotes.
+Result<std::vector<std::vector<std::string>>> Tokenize(
+    const std::string& text, char delim) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  bool any_char = false;
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      field.push_back(c);
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      in_quotes = true;
+      any_char = true;
+      ++i;
+      continue;
+    }
+    if (c == delim) {
+      fields.push_back(std::move(field));
+      field.clear();
+      any_char = true;
+      ++i;
+      continue;
+    }
+    if (c == '\r') {
+      ++i;
+      continue;
+    }
+    if (c == '\n') {
+      if (any_char || !field.empty() || !fields.empty()) {
+        fields.push_back(std::move(field));
+        field.clear();
+        records.push_back(std::move(fields));
+        fields.clear();
+        any_char = false;
+      }
+      ++i;
+      continue;
+    }
+    field.push_back(c);
+    any_char = true;
+    ++i;
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quote in CSV input");
+  }
+  if (any_char || !field.empty() || !fields.empty()) {
+    fields.push_back(std::move(field));
+    records.push_back(std::move(fields));
+  }
+  return records;
+}
+
+bool ParseInt(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+// GCC 12 emits a -Wmaybe-uninitialized false positive when a
+// std::variant-holding Value temporary is inlined into vector::push_back
+// (GCC PR 105562-family); the values below are always initialized.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+Result<Table> ReadCsvString(const std::string& text,
+                            const CsvOptions& options) {
+  std::vector<std::vector<std::string>> records;
+  AUTODC_ASSIGN_OR_RETURN(records, Tokenize(text, options.delimiter));
+  if (records.empty()) return Table{};
+
+  std::vector<std::string> names;
+  size_t first_data = 0;
+  if (options.has_header) {
+    names = records[0];
+    first_data = 1;
+  } else {
+    for (size_t c = 0; c < records[0].size(); ++c) {
+      names.push_back("c" + std::to_string(c));
+    }
+  }
+  size_t ncols = names.size();
+
+  // Infer per-column types over the data records.
+  std::vector<ValueType> types(ncols, ValueType::kString);
+  if (options.infer_types) {
+    for (size_t c = 0; c < ncols; ++c) {
+      bool all_int = true;
+      bool all_double = true;
+      bool any_value = false;
+      for (size_t r = first_data; r < records.size(); ++r) {
+        if (c >= records[r].size()) continue;
+        const std::string& f = records[r][c];
+        if (f.empty()) continue;
+        any_value = true;
+        int64_t iv;
+        double dv;
+        if (!ParseInt(f, &iv)) all_int = false;
+        if (!ParseDouble(f, &dv)) all_double = false;
+      }
+      if (any_value && all_int) {
+        types[c] = ValueType::kInt;
+      } else if (any_value && all_double) {
+        types[c] = ValueType::kDouble;
+      }
+    }
+  }
+
+  std::vector<Column> cols;
+  for (size_t c = 0; c < ncols; ++c) cols.push_back(Column{names[c], types[c]});
+  Table table{Schema(std::move(cols))};
+
+  for (size_t r = first_data; r < records.size(); ++r) {
+    if (records[r].size() != ncols) {
+      return Status::InvalidArgument(
+          "CSV record " + std::to_string(r) + " has " +
+          std::to_string(records[r].size()) + " fields, expected " +
+          std::to_string(ncols));
+    }
+    Row row;
+    row.reserve(ncols);
+    for (size_t c = 0; c < ncols; ++c) {
+      const std::string& f = records[r][c];
+      if (f.empty()) {
+        row.push_back(Value::Null());
+        continue;
+      }
+      switch (types[c]) {
+        case ValueType::kInt: {
+          int64_t iv = 0;
+          ParseInt(f, &iv);
+          row.push_back(Value(iv));
+          break;
+        }
+        case ValueType::kDouble: {
+          double dv = 0.0;
+          ParseDouble(f, &dv);
+          row.push_back(Value(dv));
+          break;
+        }
+        default:
+          row.push_back(Value(f));
+      }
+    }
+    AUTODC_RETURN_NOT_OK(table.AppendRow(std::move(row)));
+  }
+  return table;
+}
+
+#pragma GCC diagnostic pop
+
+Result<Table> ReadCsvFile(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto result = ReadCsvString(buf.str(), options);
+  if (result.ok()) {
+    result.ValueOrDie().set_name(path);
+  }
+  return result;
+}
+
+namespace {
+std::string EscapeField(const std::string& f, char delim) {
+  bool needs_quote = f.find(delim) != std::string::npos ||
+                     f.find('"') != std::string::npos ||
+                     f.find('\n') != std::string::npos;
+  if (!needs_quote) return f;
+  std::string out = "\"";
+  for (char c : f) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+}  // namespace
+
+std::string WriteCsvString(const Table& table, const CsvOptions& options) {
+  std::ostringstream os;
+  if (options.has_header) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) os << options.delimiter;
+      os << EscapeField(table.schema().column(c).name, options.delimiter);
+    }
+    os << "\n";
+  }
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    // A single empty field would serialize as a blank line, which readers
+    // (including ours) skip; quote it so the row survives a round trip.
+    if (table.num_columns() == 1 && table.at(r, 0).ToString().empty()) {
+      os << "\"\"\n";
+      continue;
+    }
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) os << options.delimiter;
+      os << EscapeField(table.at(r, c).ToString(), options.delimiter);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  out << WriteCsvString(table, options);
+  if (!out) return Status::IoError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace autodc::data

@@ -1,0 +1,42 @@
+#ifndef AUTODC_DATA_CSV_H_
+#define AUTODC_DATA_CSV_H_
+
+#include <string>
+
+#include "src/common/result.h"
+#include "src/data/table.h"
+
+namespace autodc::data {
+
+/// Options for CSV parsing and serialization.
+struct CsvOptions {
+  char delimiter = ',';
+  /// When true (default) the first line supplies column names; otherwise
+  /// columns are named c0, c1, ....
+  bool has_header = true;
+  /// When true, columns whose every non-empty field parses as a number are
+  /// typed kInt/kDouble instead of kString. Empty fields become nulls.
+  bool infer_types = true;
+};
+
+/// Parses RFC-4180-style CSV text (quotes, escaped quotes, embedded
+/// delimiters and newlines inside quotes) into a Table.
+Result<Table> ReadCsvString(const std::string& text,
+                            const CsvOptions& options = {});
+
+/// Reads a CSV file from disk.
+Result<Table> ReadCsvFile(const std::string& path,
+                          const CsvOptions& options = {});
+
+/// Serializes `table` as CSV text (header included when
+/// options.has_header). Fields containing the delimiter, quotes, or
+/// newlines are quoted.
+std::string WriteCsvString(const Table& table, const CsvOptions& options = {});
+
+/// Writes `table` to a CSV file.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options = {});
+
+}  // namespace autodc::data
+
+#endif  // AUTODC_DATA_CSV_H_

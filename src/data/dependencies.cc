@@ -1,0 +1,201 @@
+#include "src/data/dependencies.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+namespace autodc::data {
+
+namespace {
+
+// Key of a row restricted to `cols`, with a sentinel making nulls unequal
+// to everything (each null gets a unique key suffix).
+std::string LhsKey(const Row& row, const std::vector<size_t>& cols,
+                   size_t row_index, bool* has_null) {
+  std::string key;
+  *has_null = false;
+  for (size_t c : cols) {
+    if (row[c].is_null()) {
+      *has_null = true;
+      key += "\x01null:" + std::to_string(row_index);
+    } else {
+      key += "\x01" + row[c].ToString();
+    }
+  }
+  return key;
+}
+
+}  // namespace
+
+std::string FunctionalDependency::ToString(const Schema& schema) const {
+  std::ostringstream os;
+  for (size_t i = 0; i < lhs.size(); ++i) {
+    if (i > 0) os << ",";
+    os << schema.column(lhs[i]).name;
+  }
+  os << " -> " << schema.column(rhs).name;
+  return os.str();
+}
+
+std::vector<Violation> FindViolations(const Table& table,
+                                      const FunctionalDependency& fd,
+                                      size_t fd_index) {
+  std::vector<Violation> out;
+  // Group rows by LHS key; within a group, any two rows with differing RHS
+  // violate. To keep output size linear-ish we report each offending row
+  // paired with the group's first row holding a different RHS value.
+  std::unordered_map<std::string, std::vector<size_t>> groups;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    bool has_null = false;
+    std::string key = LhsKey(table.row(r), fd.lhs, r, &has_null);
+    if (has_null) continue;  // null LHS never matches anything
+    groups[key].push_back(r);
+  }
+  for (const auto& [key, rows] : groups) {
+    (void)key;
+    if (rows.size() < 2) continue;
+    for (size_t i = 1; i < rows.size(); ++i) {
+      const Value& a = table.at(rows[0], fd.rhs);
+      const Value& b = table.at(rows[i], fd.rhs);
+      if (a != b) {
+        out.push_back(Violation{fd_index, rows[0], rows[i]});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> FindAllViolations(
+    const Table& table, const std::vector<FunctionalDependency>& fds) {
+  std::vector<Violation> out;
+  for (size_t i = 0; i < fds.size(); ++i) {
+    std::vector<Violation> v = FindViolations(table, fds[i], i);
+    out.insert(out.end(), v.begin(), v.end());
+  }
+  return out;
+}
+
+bool Holds(const Table& table, const FunctionalDependency& fd) {
+  return FindViolations(table, fd).empty();
+}
+
+double Confidence(const Table& table, const FunctionalDependency& fd) {
+  // For each LHS group, the best single RHS value "explains"
+  // max_count rows; confidence = sum(max_count) / total grouped rows.
+  std::unordered_map<std::string, std::map<std::string, size_t>> groups;
+  size_t total = 0;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    bool has_null = false;
+    std::string key = LhsKey(table.row(r), fd.lhs, r, &has_null);
+    if (has_null) continue;
+    groups[key][table.at(r, fd.rhs).ToString()]++;
+    ++total;
+  }
+  if (total == 0) return 1.0;
+  size_t kept = 0;
+  for (const auto& [key, counts] : groups) {
+    (void)key;
+    size_t best = 0;
+    for (const auto& [v, n] : counts) {
+      (void)v;
+      best = std::max(best, n);
+    }
+    kept += best;
+  }
+  return static_cast<double>(kept) / static_cast<double>(total);
+}
+
+std::vector<FunctionalDependency> DiscoverFds(const Table& table,
+                                              size_t max_lhs) {
+  std::vector<FunctionalDependency> found;
+  size_t n = table.num_columns();
+  if (n == 0) return found;
+
+  // Levelwise: all LHS subsets of size 1..max_lhs (by index combinations).
+  std::vector<std::vector<size_t>> level;
+  for (size_t c = 0; c < n; ++c) level.push_back({c});
+
+  auto lhs_subsumed = [&](const std::vector<size_t>& lhs, size_t rhs) {
+    // Minimality: skip if a known FD's LHS is a subset of this lhs with the
+    // same rhs.
+    for (const FunctionalDependency& f : found) {
+      if (f.rhs != rhs) continue;
+      bool subset = std::all_of(f.lhs.begin(), f.lhs.end(), [&](size_t a) {
+        return std::find(lhs.begin(), lhs.end(), a) != lhs.end();
+      });
+      if (subset) return true;
+    }
+    return false;
+  };
+
+  for (size_t size = 1; size <= max_lhs && !level.empty(); ++size) {
+    for (const std::vector<size_t>& lhs : level) {
+      for (size_t rhs = 0; rhs < n; ++rhs) {
+        if (std::find(lhs.begin(), lhs.end(), rhs) != lhs.end()) continue;
+        if (lhs_subsumed(lhs, rhs)) continue;
+        FunctionalDependency fd{lhs, rhs};
+        if (Holds(table, fd)) found.push_back(fd);
+      }
+    }
+    // Build the next level: extend each LHS with a strictly larger index.
+    std::vector<std::vector<size_t>> next;
+    for (const std::vector<size_t>& lhs : level) {
+      for (size_t c = lhs.back() + 1; c < n; ++c) {
+        std::vector<size_t> ext = lhs;
+        ext.push_back(c);
+        next.push_back(std::move(ext));
+      }
+    }
+    level = std::move(next);
+  }
+  return found;
+}
+
+std::vector<Violation> FindCfdViolations(const Table& table,
+                                         const ConditionalFd& cfd,
+                                         size_t fd_index) {
+  std::vector<Violation> out;
+  const FunctionalDependency& fd = cfd.fd;
+  auto matches_lhs_pattern = [&](size_t r) {
+    for (size_t i = 0; i < fd.lhs.size(); ++i) {
+      const std::string& p = cfd.pattern[i];
+      if (p == ConditionalFd::kWildcard) continue;
+      if (table.at(r, fd.lhs[i]).ToString() != p) return false;
+    }
+    return true;
+  };
+  const std::string& rhs_pattern = cfd.pattern.back();
+
+  // Single-row violations against a constant RHS pattern.
+  if (rhs_pattern != ConditionalFd::kWildcard) {
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      if (!matches_lhs_pattern(r)) continue;
+      if (table.at(r, fd.rhs).ToString() != rhs_pattern) {
+        out.push_back(Violation{fd_index, r, r});
+      }
+    }
+    return out;
+  }
+
+  // Pairwise violations within the pattern-restricted subset.
+  std::unordered_map<std::string, std::vector<size_t>> groups;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (!matches_lhs_pattern(r)) continue;
+    bool has_null = false;
+    std::string key = LhsKey(table.row(r), fd.lhs, r, &has_null);
+    if (has_null) continue;
+    groups[key].push_back(r);
+  }
+  for (const auto& [key, rows] : groups) {
+    (void)key;
+    for (size_t i = 1; i < rows.size(); ++i) {
+      if (table.at(rows[0], fd.rhs) != table.at(rows[i], fd.rhs)) {
+        out.push_back(Violation{fd_index, rows[0], rows[i]});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace autodc::data

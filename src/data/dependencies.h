@@ -1,0 +1,77 @@
+#ifndef AUTODC_DATA_DEPENDENCIES_H_
+#define AUTODC_DATA_DEPENDENCIES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/data/table.h"
+
+namespace autodc::data {
+
+/// A functional dependency lhs -> rhs over column indices: any two tuples
+/// agreeing on every lhs attribute must agree on the rhs attribute.
+/// These are the integrity constraints Figure 4 of the paper adds as
+/// directed edges to the heterogeneous table graph.
+struct FunctionalDependency {
+  std::vector<size_t> lhs;
+  size_t rhs = 0;
+
+  std::string ToString(const Schema& schema) const;
+};
+
+/// A pair of row indices that jointly violate a dependency, plus which
+/// dependency they violate.
+struct Violation {
+  size_t fd_index = 0;
+  size_t row_a = 0;
+  size_t row_b = 0;
+};
+
+/// Returns every violating row pair for `fd` in `table`. Null values on the
+/// LHS never match (SQL semantics); null RHS values conflict with non-null
+/// ones.
+std::vector<Violation> FindViolations(const Table& table,
+                                      const FunctionalDependency& fd,
+                                      size_t fd_index = 0);
+
+/// Returns violations of all `fds`.
+std::vector<Violation> FindAllViolations(
+    const Table& table, const std::vector<FunctionalDependency>& fds);
+
+/// True if `fd` holds exactly on `table`.
+bool Holds(const Table& table, const FunctionalDependency& fd);
+
+/// Fraction of row pairs sharing an LHS value that also agree on RHS
+/// (1.0 = exact FD). Used to rank approximate dependencies.
+double Confidence(const Table& table, const FunctionalDependency& fd);
+
+/// Discovers all minimal FDs with |LHS| <= max_lhs that hold exactly on
+/// `table` (a small TANE-style levelwise search; exponential in max_lhs,
+/// intended for the narrow relations used in curation experiments).
+std::vector<FunctionalDependency> DiscoverFds(const Table& table,
+                                              size_t max_lhs = 2);
+
+/// A conditional functional dependency: an embedded FD plus a pattern
+/// tableau restricting it to tuples matching constant patterns.
+/// A pattern value of "_" (kWildcard) matches anything.
+struct ConditionalFd {
+  FunctionalDependency fd;
+  /// One pattern per lhs attribute plus one for rhs, aligned with
+  /// fd.lhs order then fd.rhs. "_" is a wildcard; anything else must equal
+  /// the cell's string rendering.
+  std::vector<std::string> pattern;
+
+  static constexpr const char* kWildcard = "_";
+};
+
+/// Returns violating row pairs for a CFD: both rows must match the pattern
+/// on the lhs, agree on lhs, and then disagree on rhs (or disagree with a
+/// constant rhs pattern — single-row violations are reported as (r, r)).
+std::vector<Violation> FindCfdViolations(const Table& table,
+                                         const ConditionalFd& cfd,
+                                         size_t fd_index = 0);
+
+}  // namespace autodc::data
+
+#endif  // AUTODC_DATA_DEPENDENCIES_H_

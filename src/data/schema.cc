@@ -1,0 +1,44 @@
+#include "src/data/schema.h"
+
+namespace autodc::data {
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    index_.emplace(columns_[i].name, i);
+  }
+}
+
+Schema Schema::OfStrings(const std::vector<std::string>& names) {
+  std::vector<Column> cols;
+  cols.reserve(names.size());
+  for (const std::string& n : names) {
+    cols.push_back(Column{n, ValueType::kString});
+  }
+  return Schema(std::move(cols));
+}
+
+std::optional<size_t> Schema::IndexOf(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> Schema::Names() const {
+  std::vector<std::string> names;
+  names.reserve(columns_.size());
+  for (const Column& c : columns_) names.push_back(c.name);
+  return names;
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name != other.columns_[i].name ||
+        columns_[i].type != other.columns_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace autodc::data

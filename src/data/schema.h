@@ -1,0 +1,47 @@
+#ifndef AUTODC_DATA_SCHEMA_H_
+#define AUTODC_DATA_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/data/value.h"
+
+namespace autodc::data {
+
+/// A named, typed attribute of a relation.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kString;
+};
+
+/// Ordered list of columns describing a relation's shape.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  /// Convenience: all-string schema from names.
+  static Schema OfStrings(const std::vector<std::string>& names);
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column named `name`, or nullopt.
+  std::optional<size_t> IndexOf(const std::string& name) const;
+
+  /// Column names in order.
+  std::vector<std::string> Names() const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<Column> columns_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace autodc::data
+
+#endif  // AUTODC_DATA_SCHEMA_H_

@@ -1,0 +1,99 @@
+#include "src/data/table.h"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace autodc::data {
+
+Status Table::AppendRow(Row row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(schema_.num_columns()) + " for table '" + name_ + "'");
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Result<Value> Table::Get(size_t row, const std::string& column) const {
+  auto idx = schema_.IndexOf(column);
+  if (!idx.has_value()) {
+    return Status::NotFound("no column '" + column + "' in table '" + name_ +
+                            "'");
+  }
+  if (row >= rows_.size()) {
+    return Status::OutOfRange("row " + std::to_string(row) + " >= " +
+                              std::to_string(rows_.size()));
+  }
+  return rows_[row][*idx];
+}
+
+std::vector<Value> Table::ColumnValues(size_t col) const {
+  std::vector<Value> out;
+  out.reserve(rows_.size());
+  for (const Row& r : rows_) out.push_back(r[col]);
+  return out;
+}
+
+std::vector<Value> Table::DistinctColumnValues(size_t col) const {
+  std::unordered_set<Value, ValueHash> seen;
+  std::vector<Value> out;
+  for (const Row& r : rows_) {
+    const Value& v = r[col];
+    if (v.is_null()) continue;
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+Result<Table> Table::Project(const std::vector<size_t>& cols) const {
+  std::vector<Column> out_cols;
+  for (size_t c : cols) {
+    if (c >= schema_.num_columns()) {
+      return Status::OutOfRange("column index " + std::to_string(c));
+    }
+    out_cols.push_back(schema_.column(c));
+  }
+  Table out{Schema(std::move(out_cols)), name_};
+  for (const Row& r : rows_) {
+    Row nr;
+    nr.reserve(cols.size());
+    for (size_t c : cols) nr.push_back(r[c]);
+    AUTODC_RETURN_NOT_OK(out.AppendRow(std::move(nr)));
+  }
+  return out;
+}
+
+double Table::NullFraction() const {
+  if (rows_.empty() || schema_.num_columns() == 0) return 0.0;
+  size_t nulls = 0;
+  for (const Row& r : rows_) {
+    for (const Value& v : r) {
+      if (v.is_null()) ++nulls;
+    }
+  }
+  return static_cast<double>(nulls) /
+         static_cast<double>(rows_.size() * schema_.num_columns());
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::ostringstream os;
+  os << "Table '" << name_ << "' (" << num_rows() << " rows)\n";
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    if (c > 0) os << " | ";
+    os << schema_.column(c).name;
+  }
+  os << "\n";
+  for (size_t r = 0; r < rows_.size() && r < max_rows; ++r) {
+    for (size_t c = 0; c < schema_.num_columns(); ++c) {
+      if (c > 0) os << " | ";
+      os << rows_[r][c].ToString();
+    }
+    os << "\n";
+  }
+  if (rows_.size() > max_rows) os << "... (" << rows_.size() - max_rows
+                                  << " more)\n";
+  return os.str();
+}
+
+}  // namespace autodc::data

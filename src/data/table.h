@@ -1,0 +1,81 @@
+#ifndef AUTODC_DATA_TABLE_H_
+#define AUTODC_DATA_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/data/schema.h"
+#include "src/data/value.h"
+
+namespace autodc::data {
+
+/// A tuple: one row of a relation.
+using Row = std::vector<Value>;
+
+/// An in-memory relation: a schema plus a row store. This is the substrate
+/// object every AutoDC task (discovery, ER, cleaning, imputation) operates
+/// on. Row-major storage keeps tuple-level operations (the dominant access
+/// pattern in curation) cache-friendly and simple.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema, std::string name = "")
+      : schema_(std::move(schema)), name_(std::move(name)) {}
+
+  const Schema& schema() const { return schema_; }
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return schema_.num_columns(); }
+
+  /// Appends a row; fails if the arity does not match the schema.
+  Status AppendRow(Row row);
+
+  const Row& row(size_t i) const { return rows_[i]; }
+  Row* mutable_row(size_t i) { return &rows_[i]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  const Value& at(size_t row, size_t col) const { return rows_[row][col]; }
+  void Set(size_t row, size_t col, Value v) { rows_[row][col] = std::move(v); }
+
+  /// Cell addressed by column name; error if the column does not exist or
+  /// the row is out of range.
+  Result<Value> Get(size_t row, const std::string& column) const;
+
+  /// All values of one column, in row order.
+  std::vector<Value> ColumnValues(size_t col) const;
+
+  /// Distinct non-null values of one column.
+  std::vector<Value> DistinctColumnValues(size_t col) const;
+
+  /// Rows for which `predicate` returns true, as a new table.
+  template <typename Pred>
+  Table Filter(Pred predicate) const {
+    Table out(schema_, name_);
+    for (const Row& r : rows_) {
+      if (predicate(r)) out.rows_.push_back(r);
+    }
+    return out;
+  }
+
+  /// New table with only the given column indices (in the given order).
+  Result<Table> Project(const std::vector<size_t>& cols) const;
+
+  /// Fraction of cells that are null.
+  double NullFraction() const;
+
+  /// Human-readable rendering of the first `max_rows` rows.
+  std::string ToString(size_t max_rows = 10) const;
+
+ private:
+  Schema schema_;
+  std::string name_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace autodc::data
+
+#endif  // AUTODC_DATA_TABLE_H_

@@ -1,0 +1,98 @@
+#include "src/data/table_graph.h"
+
+namespace autodc::data {
+
+namespace {
+std::string NodeKey(size_t column, const std::string& value) {
+  return std::to_string(column) + "\x01" + value;
+}
+std::string EdgeKey(size_t from, size_t to, EdgeKind kind) {
+  return std::to_string(from) + "\x01" + std::to_string(to) + "\x01" +
+         std::to_string(static_cast<int>(kind));
+}
+}  // namespace
+
+size_t TableGraph::GetOrAddNode(size_t column, const std::string& value) {
+  std::string key = NodeKey(column, value);
+  auto it = node_index_.find(key);
+  if (it != node_index_.end()) return it->second;
+  size_t id = nodes_.size();
+  nodes_.push_back(Node{column, value});
+  adjacency_.emplace_back();
+  adjacency_edges_.emplace_back();
+  node_index_.emplace(std::move(key), id);
+  return id;
+}
+
+void TableGraph::AddEdge(size_t from, size_t to, EdgeKind kind,
+                         double weight) {
+  std::string key = EdgeKey(from, to, kind);
+  auto it = edge_index_.find(key);
+  if (it != edge_index_.end()) {
+    edges_[it->second].weight += weight;
+    return;
+  }
+  size_t id = edges_.size();
+  edges_.push_back(Edge{from, to, kind, weight});
+  adjacency_[from].push_back(to);
+  adjacency_edges_[from].push_back(id);
+  edge_index_.emplace(std::move(key), id);
+}
+
+TableGraph TableGraph::Build(const Table& table,
+                             const std::vector<FunctionalDependency>& fds) {
+  TableGraph g;
+  size_t ncols = table.num_columns();
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    // Resolve node ids of this tuple's non-null cells.
+    std::vector<int64_t> ids(ncols, -1);
+    for (size_t c = 0; c < ncols; ++c) {
+      const Value& v = table.at(r, c);
+      if (v.is_null()) continue;
+      ids[c] = static_cast<int64_t>(g.GetOrAddNode(c, v.ToString()));
+    }
+    // Undirected co-occurrence edges between every cell pair of the tuple,
+    // stored in both directions so adjacency walks see them.
+    for (size_t a = 0; a < ncols; ++a) {
+      if (ids[a] < 0) continue;
+      for (size_t b = a + 1; b < ncols; ++b) {
+        if (ids[b] < 0) continue;
+        g.AddEdge(static_cast<size_t>(ids[a]), static_cast<size_t>(ids[b]),
+                  EdgeKind::kCoOccurrence, 1.0);
+        g.AddEdge(static_cast<size_t>(ids[b]), static_cast<size_t>(ids[a]),
+                  EdgeKind::kCoOccurrence, 1.0);
+      }
+    }
+    // Directed FD edges from each LHS cell to the RHS cell.
+    for (const FunctionalDependency& fd : fds) {
+      if (ids[fd.rhs] < 0) continue;
+      for (size_t lhs_col : fd.lhs) {
+        if (ids[lhs_col] < 0) continue;
+        g.AddEdge(static_cast<size_t>(ids[lhs_col]),
+                  static_cast<size_t>(ids[fd.rhs]),
+                  EdgeKind::kFunctionalDependency, 1.0);
+      }
+    }
+  }
+  return g;
+}
+
+int64_t TableGraph::FindNode(size_t column, const std::string& value) const {
+  auto it = node_index_.find(NodeKey(column, value));
+  if (it == node_index_.end()) return -1;
+  return static_cast<int64_t>(it->second);
+}
+
+std::vector<size_t> TableGraph::ValueNodes(const std::string& value) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].value == value) out.push_back(i);
+  }
+  return out;
+}
+
+std::string TableGraph::NodeLabel(size_t i, const Schema& schema) const {
+  return schema.column(nodes_[i].column).name + "=" + nodes_[i].value;
+}
+
+}  // namespace autodc::data

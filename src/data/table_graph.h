@@ -1,0 +1,89 @@
+#ifndef AUTODC_DATA_TABLE_GRAPH_H_
+#define AUTODC_DATA_TABLE_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/data/dependencies.h"
+#include "src/data/table.h"
+
+namespace autodc::data {
+
+/// Kind of relationship an edge encodes (Figure 4 of the paper).
+enum class EdgeKind {
+  /// Two values co-occur in the same tuple (undirected; stored both ways).
+  kCoOccurrence = 0,
+  /// Directed edge u -> v induced by a functional dependency whose LHS
+  /// attribute holds u and RHS attribute holds v.
+  kFunctionalDependency,
+};
+
+/// The heterogeneous graph representation of a relation proposed in
+/// Sec. 3.1 / Figure 4: each node is a distinct (attribute, value) pair;
+/// edges carry co-occurrence and integrity-constraint relationships.
+///
+/// Qualifying nodes by attribute keeps "1" in Department ID distinct from
+/// "1" in Employee ID, matching the figure, while `ValueNodes()` lets
+/// callers look up every node carrying a given raw value.
+class TableGraph {
+ public:
+  struct Node {
+    size_t column = 0;      ///< attribute index in the source schema
+    std::string value;      ///< canonical string rendering of the cell
+  };
+  struct Edge {
+    size_t from = 0;
+    size_t to = 0;
+    EdgeKind kind = EdgeKind::kCoOccurrence;
+    double weight = 1.0;    ///< co-occurrence count or FD support
+  };
+
+  /// Builds the graph for `table`: one node per distinct non-null
+  /// (column, value) cell, undirected co-occurrence edges between all
+  /// values of the same tuple (weight = #tuples they share), and directed
+  /// FD edges for every supplied dependency (single-attribute LHS only;
+  /// composite LHS dependencies contribute edges from each LHS attribute).
+  static TableGraph Build(const Table& table,
+                          const std::vector<FunctionalDependency>& fds = {});
+
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+  const Node& node(size_t i) const { return nodes_[i]; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Node id for (column, value), or -1.
+  int64_t FindNode(size_t column, const std::string& value) const;
+
+  /// All node ids whose value string equals `value` (any column).
+  std::vector<size_t> ValueNodes(const std::string& value) const;
+
+  /// Outgoing adjacency (includes both directions of undirected edges).
+  const std::vector<size_t>& Neighbors(size_t node) const {
+    return adjacency_[node];
+  }
+  /// Edge indices leaving `node`, aligned with Neighbors().
+  const std::vector<size_t>& NeighborEdges(size_t node) const {
+    return adjacency_edges_[node];
+  }
+
+  /// Human-readable label "<column_name>=<value>".
+  std::string NodeLabel(size_t i, const Schema& schema) const;
+
+ private:
+  size_t GetOrAddNode(size_t column, const std::string& value);
+  void AddEdge(size_t from, size_t to, EdgeKind kind, double weight);
+
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<size_t>> adjacency_;
+  std::vector<std::vector<size_t>> adjacency_edges_;
+  std::unordered_map<std::string, size_t> node_index_;
+  // (from, kind, to) -> edge index, for weight accumulation.
+  std::unordered_map<std::string, size_t> edge_index_;
+};
+
+}  // namespace autodc::data
+
+#endif  // AUTODC_DATA_TABLE_GRAPH_H_

@@ -1,0 +1,82 @@
+#include "src/data/value.h"
+
+#include <functional>
+#include <sstream>
+
+namespace autodc::data {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull: return "null";
+    case ValueType::kInt: return "int";
+    case ValueType::kDouble: return "double";
+    case ValueType::kString: return "string";
+  }
+  return "unknown";
+}
+
+double Value::ToNumeric(bool* ok) const {
+  if (ok != nullptr) *ok = true;
+  switch (type()) {
+    case ValueType::kInt:
+      return static_cast<double>(AsInt());
+    case ValueType::kDouble:
+      return AsDouble();
+    default:
+      if (ok != nullptr) *ok = false;
+      return 0.0;
+  }
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "";
+    case ValueType::kInt:
+      return std::to_string(AsInt());
+    case ValueType::kDouble: {
+      std::ostringstream os;
+      os << AsDouble();
+      return os.str();
+    }
+    case ValueType::kString:
+      return AsString();
+  }
+  return "";
+}
+
+bool Value::operator<(const Value& other) const {
+  ValueType a = type();
+  ValueType b = other.type();
+  auto rank = [](ValueType t) {
+    switch (t) {
+      case ValueType::kNull: return 0;
+      case ValueType::kInt:
+      case ValueType::kDouble: return 1;
+      case ValueType::kString: return 2;
+    }
+    return 3;
+  };
+  if (rank(a) != rank(b)) return rank(a) < rank(b);
+  if (rank(a) == 1) {
+    return ToNumeric() < other.ToNumeric();
+  }
+  if (a == ValueType::kString) return AsString() < other.AsString();
+  return false;  // both null
+}
+
+size_t ValueHash::operator()(const Value& v) const {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case ValueType::kInt:
+      return std::hash<int64_t>()(v.AsInt());
+    case ValueType::kDouble:
+      return std::hash<double>()(v.AsDouble());
+    case ValueType::kString:
+      return std::hash<std::string>()(v.AsString());
+  }
+  return 0;
+}
+
+}  // namespace autodc::data

@@ -1,0 +1,71 @@
+#ifndef AUTODC_DATA_VALUE_H_
+#define AUTODC_DATA_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace autodc::data {
+
+/// Physical type of a cell value.
+enum class ValueType { kNull = 0, kInt, kDouble, kString };
+
+const char* ValueTypeName(ValueType t);
+
+/// A single cell: the smallest data element in a relation (Sec. 3.1 of the
+/// paper). Values are immutable once constructed and cheap to copy for the
+/// non-string types.
+class Value {
+ public:
+  /// Null value.
+  Value() : repr_(std::monostate{}) {}
+  explicit Value(int64_t v) : repr_(v) {}
+  explicit Value(double v) : repr_(v) {}
+  explicit Value(std::string v) : repr_(std::move(v)) {}
+  explicit Value(const char* v) : repr_(std::string(v)) {}
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const {
+    switch (repr_.index()) {
+      case 0: return ValueType::kNull;
+      case 1: return ValueType::kInt;
+      case 2: return ValueType::kDouble;
+      default: return ValueType::kString;
+    }
+  }
+
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// Typed accessors. Calling the wrong accessor is a programming error
+  /// (checked via std::get, which throws std::bad_variant_access in debug
+  /// use; library code always checks type() first).
+  int64_t AsInt() const { return std::get<int64_t>(repr_); }
+  double AsDouble() const { return std::get<double>(repr_); }
+  const std::string& AsString() const { return std::get<std::string>(repr_); }
+
+  /// Numeric view: ints and doubles convert; everything else yields 0 and
+  /// `ok=false` if provided.
+  double ToNumeric(bool* ok = nullptr) const;
+
+  /// Canonical text rendering used for hashing, embeddings, and CSV output.
+  /// Null renders as the empty string.
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const { return repr_ == other.repr_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  /// Total order: nulls < ints/doubles (by numeric value) < strings.
+  bool operator<(const Value& other) const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> repr_;
+};
+
+/// Hash functor so Value can key unordered containers.
+struct ValueHash {
+  size_t operator()(const Value& v) const;
+};
+
+}  // namespace autodc::data
+
+#endif  // AUTODC_DATA_VALUE_H_

@@ -1,0 +1,105 @@
+#include "src/datagen/corpus.h"
+
+#include "src/common/rng.h"
+
+namespace autodc::datagen {
+
+namespace {
+
+// The Figure 3 concept grid: concept -> {feature markers}.
+struct Concept {
+  const char* word;
+  bool female;
+  bool young;
+  bool royal;
+};
+constexpr Concept kConcepts[] = {
+    {"man", false, false, false},      {"woman", true, false, false},
+    {"boy", false, true, false},       {"girl", true, true, false},
+    {"prince", false, true, true},     {"princess", true, true, true},
+    {"king", false, false, true},      {"queen", true, false, true},
+};
+
+constexpr const char* kCountryCapitals[][2] = {
+    {"france", "paris"},    {"germany", "berlin"}, {"italy", "rome"},
+    {"spain", "madrid"},    {"japan", "tokyo"},    {"egypt", "cairo"},
+    {"canada", "ottawa"},   {"brazil", "brasilia"},
+};
+
+constexpr const char* kFillers[] = {"the", "a",  "was", "seen",  "near",
+                                    "old", "new", "very", "quite", "then"};
+
+std::string PickFiller(Rng* rng) {
+  return kFillers[rng->UniformInt(0, 9)];
+}
+
+}  // namespace
+
+SemanticCorpus GenerateSemanticCorpus(const SemanticCorpusConfig& config) {
+  Rng rng(config.seed);
+  SemanticCorpus corpus;
+
+  // Concept sentences: the concept word plus its feature markers. Two
+  // concepts sharing markers end up with similar contexts, and concept
+  // pairs differing in exactly one marker (king/queen vs man/woman) give
+  // parallel offset vectors — the mechanism behind word analogies.
+  for (const Concept& c : kConcepts) {
+    for (size_t s = 0; s < config.sentences_per_concept; ++s) {
+      std::vector<std::string> sent;
+      sent.push_back(c.word);
+      if (rng.Bernoulli(config.marker_prob)) {
+        sent.push_back(c.female ? "female" : "male");
+      }
+      if (rng.Bernoulli(config.marker_prob)) {
+        sent.push_back(c.young ? "child" : "adult");
+      }
+      if (rng.Bernoulli(config.marker_prob)) {
+        sent.push_back(c.royal ? "royal" : "common");
+      }
+      for (size_t f = 0; f < config.filler_words; ++f) {
+        sent.push_back(PickFiller(&rng));
+      }
+      rng.Shuffle(&sent);
+      corpus.sentences.push_back(std::move(sent));
+    }
+  }
+
+  // Country/capital sentences: each pair shares a private context token
+  // (the country itself) while capitals share the "capital city" role
+  // markers and countries share the "nation" role marker.
+  for (const auto& cc : kCountryCapitals) {
+    corpus.country_capitals.emplace_back(cc[0], cc[1]);
+    for (size_t s = 0; s < config.sentences_per_concept; ++s) {
+      std::vector<std::string> country_sent = {cc[0], "nation",
+                                               PickFiller(&rng)};
+      std::vector<std::string> capital_sent = {cc[1], "capital", "city",
+                                               cc[0], PickFiller(&rng)};
+      rng.Shuffle(&country_sent);
+      rng.Shuffle(&capital_sent);
+      corpus.sentences.push_back(std::move(country_sent));
+      corpus.sentences.push_back(std::move(capital_sent));
+    }
+  }
+  rng.Shuffle(&corpus.sentences);
+
+  corpus.analogies = {
+      {"man", "woman", "king", "queen"},
+      {"man", "woman", "prince", "princess"},
+      {"boy", "girl", "prince", "princess"},
+      {"king", "queen", "prince", "princess"},
+      {"france", "paris", "germany", "berlin"},
+      {"italy", "rome", "spain", "madrid"},
+      {"japan", "tokyo", "egypt", "cairo"},
+  };
+  corpus.related_pairs = {
+      {"king", "queen"},   {"prince", "princess"}, {"man", "woman"},
+      {"girl", "princess"}, {"paris", "berlin"},   {"france", "germany"},
+  };
+  corpus.unrelated_pairs = {
+      {"king", "paris"},   {"girl", "tokyo"},  {"france", "princess"},
+      {"berlin", "woman"}, {"madrid", "boy"},
+  };
+  return corpus;
+}
+
+}  // namespace autodc::datagen

@@ -1,0 +1,47 @@
+#ifndef AUTODC_DATAGEN_CORPUS_H_
+#define AUTODC_DATAGEN_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace autodc::datagen {
+
+struct SemanticCorpusConfig {
+  size_t sentences_per_concept = 150;
+  /// Probability each feature marker appears in a concept's sentence.
+  double marker_prob = 0.9;
+  size_t filler_words = 2;  ///< random noise words per sentence
+  uint64_t seed = 42;
+};
+
+/// A synthetic corpus with planted semantic structure, standing in for
+/// the large natural corpora word2vec/GloVe are trained on. It encodes
+/// the exact examples the paper uses: the Figure 3 royalty/gender/youth
+/// concept grid and the country-capital relation of Sec. 2.2/4, so the
+/// "king - man + woman ≈ queen" arithmetic is testable.
+struct SemanticCorpus {
+  std::vector<std::vector<std::string>> sentences;
+
+  /// Analogy ground truth: a : b :: c : d.
+  struct Quad {
+    std::string a, b, c, d;
+  };
+  std::vector<Quad> analogies;
+
+  /// Pairs that must embed close together (same semantic neighbourhood).
+  std::vector<std::pair<std::string, std::string>> related_pairs;
+  /// Pairs that must embed far apart.
+  std::vector<std::pair<std::string, std::string>> unrelated_pairs;
+
+  /// All country and capital tokens (used by the synthesis module's
+  /// semantic-transformation experiment).
+  std::vector<std::pair<std::string, std::string>> country_capitals;
+};
+
+SemanticCorpus GenerateSemanticCorpus(const SemanticCorpusConfig& config = {});
+
+}  // namespace autodc::datagen
+
+#endif  // AUTODC_DATAGEN_CORPUS_H_

@@ -1,0 +1,133 @@
+#include "src/datagen/enterprise.h"
+
+#include "src/common/rng.h"
+
+namespace autodc::datagen {
+
+namespace {
+
+using data::Schema;
+using data::Table;
+using data::Value;
+
+// Shared value vocabularies. Columns drawing from the same pool are
+// semantically linked no matter what they are named.
+const char* const kProteins[] = {
+    "p53 kinase",    "insulin receptor", "hemoglobin beta",
+    "actin filament", "myosin heavy",    "collagen alpha",
+    "keratin complex", "tubulin gamma",  "ferritin light",
+    "albumin serum"};
+const char* const kAssays[] = {
+    "pcr amplification", "elisa screen",    "western blot",
+    "mass spectrometry", "flow cytometry",  "gel electrophoresis",
+    "sequencing panel",  "microarray scan"};
+const char* const kOrganisms[] = {"human", "mouse", "yeast", "zebrafish",
+                                  "fruitfly"};
+const char* const kBodySites[] = {"liver lobe",   "lung apex",
+                                  "kidney cortex", "skin dermis",
+                                  "colon mucosa", "breast tissue"};
+const char* const kHardware[] = {"valve gasket",  "pump rotor",
+                                 "filter housing", "sensor bracket",
+                                 "tube fitting",  "seal oring"};
+const char* const kPeople[] = {
+    "alice johnson", "bob smith",    "carol davis", "dan miller",
+    "erin wilson",   "frank moore",  "grace taylor", "henry clark"};
+const char* const kProducts[] = {"laptop stand", "desk lamp", "usb hub",
+                                 "monitor arm", "webcam hd", "keyboard pad"};
+const char* const kRegions[] = {"north", "south", "east", "west",
+                                "central"};
+const char* const kSuppliers[] = {"acme corp", "globex inc", "initech llc",
+                                  "umbrella co"};
+
+template <size_t N>
+Value Pick(const char* const (&arr)[N], Rng* rng) {
+  return Value(
+      std::string(arr[rng->UniformInt(0, static_cast<int64_t>(N) - 1)]));
+}
+
+}  // namespace
+
+EnterpriseLake GenerateEnterpriseLake(const EnterpriseConfig& config) {
+  Rng rng(config.seed);
+  EnterpriseLake lake;
+  size_t n = config.rows_per_table;
+
+  // ---- Bio domain ------------------------------------------------------
+  Table protein_catalog(Schema::OfStrings({"protein", "organism", "function"}),
+                        "protein_catalog");
+  for (size_t i = 0; i < n; ++i) {
+    protein_catalog.AppendRow({Pick(kProteins, &rng), Pick(kOrganisms, &rng),
+                               Value("binding transport signaling")});
+  }
+  // lab_results names its protein column "isoform" and its assay column
+  // "assay" — the exact links the pharma deployment surfaced.
+  Table lab_results(
+      Schema({{"isoform", data::ValueType::kString},
+              {"assay", data::ValueType::kString},
+              {"result_value", data::ValueType::kDouble}}),
+      "lab_results");
+  for (size_t i = 0; i < n; ++i) {
+    lab_results.AppendRow({Pick(kProteins, &rng), Pick(kAssays, &rng),
+                           Value(rng.Uniform(0.0, 100.0))});
+  }
+  Table experiments(Schema::OfStrings({"pcr", "sample", "readout"}),
+                    "experiments");
+  for (size_t i = 0; i < n; ++i) {
+    experiments.AppendRow({Pick(kAssays, &rng), Pick(kBodySites, &rng),
+                           Value("positive")});
+  }
+
+  // ---- Clinical vs facilities: the spurious syntactic pair -------------
+  Table biopsies(Schema::OfStrings({"biopsy_site", "pathology"}),
+                 "biopsies");
+  for (size_t i = 0; i < n; ++i) {
+    biopsies.AppendRow({Pick(kBodySites, &rng), Value("benign lesion")});
+  }
+  Table inventory(Schema::OfStrings({"site_components", "supplier"}),
+                  "inventory");
+  for (size_t i = 0; i < n; ++i) {
+    inventory.AppendRow({Pick(kHardware, &rng), Pick(kSuppliers, &rng)});
+  }
+
+  // ---- Sales domain ----------------------------------------------------
+  Table orders(Schema({{"customer", data::ValueType::kString},
+                       {"product", data::ValueType::kString},
+                       {"amount", data::ValueType::kDouble}}),
+               "orders");
+  for (size_t i = 0; i < n; ++i) {
+    orders.AppendRow({Pick(kPeople, &rng), Pick(kProducts, &rng),
+                      Value(rng.Uniform(10.0, 500.0))});
+  }
+  Table crm_contacts(Schema::OfStrings({"client", "region"}),
+                     "crm_contacts");
+  for (size_t i = 0; i < n; ++i) {
+    crm_contacts.AppendRow({Pick(kPeople, &rng), Pick(kRegions, &rng)});
+  }
+
+  lake.tables = {std::move(protein_catalog), std::move(lab_results),
+                 std::move(experiments),     std::move(biopsies),
+                 std::move(inventory),       std::move(orders),
+                 std::move(crm_contacts)};
+
+  lake.semantic_links = {
+      {"protein_catalog", "protein", "lab_results", "isoform"},
+      {"lab_results", "assay", "experiments", "pcr"},
+      {"experiments", "sample", "biopsies", "biopsy_site"},
+      {"orders", "customer", "crm_contacts", "client"},
+  };
+  lake.spurious_links = {
+      // Names share the token "site" but the value domains are disjoint
+      // (body parts vs machine parts) — the Sec. 5.1 false positive.
+      {"biopsies", "biopsy_site", "inventory", "site_components"},
+  };
+  lake.queries = {
+      {"protein assay measurements", "lab_results"},
+      {"pcr experiment readout", "experiments"},
+      {"customer product purchases", "orders"},
+      {"biopsy pathology findings", "biopsies"},
+      {"component supplier parts", "inventory"},
+  };
+  return lake;
+}
+
+}  // namespace autodc::datagen

@@ -1,0 +1,51 @@
+#ifndef AUTODC_DATAGEN_ENTERPRISE_H_
+#define AUTODC_DATAGEN_ENTERPRISE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/data/table.h"
+
+namespace autodc::datagen {
+
+/// A planted ground-truth column pair in the synthetic enterprise lake.
+struct ColumnLink {
+  std::string table_a;
+  std::string column_a;
+  std::string table_b;
+  std::string column_b;
+};
+
+struct EnterpriseConfig {
+  size_t rows_per_table = 60;
+  uint64_t seed = 42;
+};
+
+/// A synthetic multi-table "enterprise data lake" mimicking the pharma
+/// deployment of Sec. 5.1 (Seeping Semantics): tables from several
+/// business domains whose semantically-equivalent columns carry
+/// *different names* (isoform vs protein, pcr vs assay), plus column-name
+/// pairs that *look* alike syntactically but are semantically unrelated
+/// (biopsy_site vs site_components). A semantic matcher must surface
+/// `semantic_links` and reject `spurious_links`.
+struct EnterpriseLake {
+  std::vector<data::Table> tables;
+  /// Same-concept columns under different names (should be linked).
+  std::vector<ColumnLink> semantic_links;
+  /// Name-similar but concept-disjoint columns (should NOT be linked).
+  std::vector<ColumnLink> spurious_links;
+  /// Keyword queries with their single best-matching table, for the
+  /// neural-IR search experiment.
+  struct Query {
+    std::string text;
+    std::string expected_table;
+  };
+  std::vector<Query> queries;
+};
+
+EnterpriseLake GenerateEnterpriseLake(const EnterpriseConfig& config = {});
+
+}  // namespace autodc::datagen
+
+#endif  // AUTODC_DATAGEN_ENTERPRISE_H_

@@ -1,0 +1,229 @@
+#include "src/datagen/er_benchmark.h"
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+#include "src/common/string_util.h"
+#include "src/datagen/perturb.h"
+
+namespace autodc::datagen {
+
+namespace {
+
+using data::Row;
+using data::Schema;
+using data::Table;
+using data::Value;
+
+const char* const kBrands[] = {
+    "sony", "samsung", "apple", "lenovo", "dell", "asus", "panasonic",
+    "canon", "nikon", "logitech", "philips", "toshiba", "acer", "hp"};
+const char* const kCategories[] = {"laptop", "camera",  "phone",
+                                   "monitor", "printer", "tablet",
+                                   "headphones", "keyboard"};
+const char* const kAdjectives[] = {"pro", "ultra", "max",   "mini",
+                                   "plus", "lite",  "prime", "elite"};
+// Synonym table for the category attribute: surface forms differ wildly
+// but denote the same concept.
+const char* const kCategorySynonyms[][2] = {
+    {"laptop", "notebook"},       {"camera", "camcorder"},
+    {"phone", "handset"},         {"monitor", "display"},
+    {"printer", "copier"},        {"tablet", "slate"},
+    {"headphones", "earphones"},  {"keyboard", "keypad"}};
+
+// Returns the synonym of `s` if it participates in a synonym pair.
+std::string SynonymOf(const std::string& s) {
+  for (const auto& pair : kCategorySynonyms) {
+    if (s == pair[0]) return pair[1];
+    if (s == pair[1]) return pair[0];
+  }
+  return s;
+}
+
+const char* const kFirstNames[] = {
+    "james", "mary", "john",  "patricia", "robert", "jennifer", "michael",
+    "linda", "david", "susan", "richard", "karen",  "joseph",   "nancy",
+    "thomas", "lisa", "charles", "betty", "daniel", "sandra"};
+const char* const kLastNames[] = {
+    "smith", "johnson", "williams", "brown",  "jones",  "garcia",
+    "miller", "davis",  "rodriguez", "martinez", "hernandez", "lopez",
+    "gonzalez", "wilson", "anderson", "taylor", "moore", "jackson"};
+const char* const kCities[] = {"springfield", "riverton", "fairview",
+                               "greenville", "bristol",  "clinton",
+                               "georgetown", "salem",    "madison",
+                               "franklin"};
+const char* const kStreets[] = {"oak", "maple", "cedar", "pine",
+                                "elm", "walnut", "willow", "birch"};
+
+const char* const kTitleWords[] = {
+    "learning",  "deep",      "neural",    "entity",   "resolution",
+    "data",      "curation",  "embedding", "database", "cleaning",
+    "matching",  "discovery", "scalable",  "efficient", "distributed",
+    "adaptive",  "robust",    "automatic", "holistic",  "semantic"};
+const char* const kVenues[] = {"vldb", "sigmod", "icde", "edbt", "cidr",
+                               "kdd", "www", "aaai"};
+
+template <size_t N>
+std::string Pick(const char* const (&arr)[N], Rng* rng) {
+  return arr[rng->UniformInt(0, static_cast<int64_t>(N) - 1)];
+}
+
+Schema SchemaFor(ErDomain domain) {
+  switch (domain) {
+    case ErDomain::kProducts:
+      return Schema({{"brand", data::ValueType::kString},
+                     {"model", data::ValueType::kString},
+                     {"category", data::ValueType::kString},
+                     {"price", data::ValueType::kDouble},
+                     {"description", data::ValueType::kString}});
+    case ErDomain::kPersons:
+      return Schema({{"name", data::ValueType::kString},
+                     {"city", data::ValueType::kString},
+                     {"street", data::ValueType::kString},
+                     {"phone", data::ValueType::kString},
+                     {"email", data::ValueType::kString}});
+    case ErDomain::kCitations:
+      return Schema({{"title", data::ValueType::kString},
+                     {"authors", data::ValueType::kString},
+                     {"venue", data::ValueType::kString},
+                     {"year", data::ValueType::kInt}});
+  }
+  return Schema(std::vector<data::Column>{});
+}
+
+Row MakeEntity(ErDomain domain, Rng* rng) {
+  switch (domain) {
+    case ErDomain::kProducts: {
+      std::string brand = Pick(kBrands, rng);
+      std::string model = Pick(kAdjectives, rng) + " " +
+                          std::to_string(rng->UniformInt(100, 9999));
+      std::string category = Pick(kCategories, rng);
+      double price = rng->Uniform(50, 2000);
+      std::string desc = brand + " " + category + " " + model + " " +
+                         Pick(kAdjectives, rng) + " edition";
+      return {Value(brand), Value(model), Value(category), Value(price),
+              Value(desc)};
+    }
+    case ErDomain::kPersons: {
+      std::string name = Pick(kFirstNames, rng) + " " + Pick(kLastNames, rng);
+      std::string city = Pick(kCities, rng);
+      std::string street = std::to_string(rng->UniformInt(1, 999)) + " " +
+                           Pick(kStreets, rng) + " st";
+      std::string phone = std::to_string(rng->UniformInt(200, 999)) + "-" +
+                          std::to_string(rng->UniformInt(200, 999)) + "-" +
+                          std::to_string(rng->UniformInt(1000, 9999));
+      std::vector<std::string> parts = SplitWhitespace(name);
+      std::string email = parts[0] + "." + parts[1] + "@example.com";
+      return {Value(name), Value(city), Value(street), Value(phone),
+              Value(email)};
+    }
+    case ErDomain::kCitations: {
+      std::string title;
+      size_t words = static_cast<size_t>(rng->UniformInt(4, 8));
+      for (size_t i = 0; i < words; ++i) {
+        if (i > 0) title += " ";
+        title += Pick(kTitleWords, rng);
+      }
+      size_t nauthors = static_cast<size_t>(rng->UniformInt(1, 3));
+      std::string authors;
+      for (size_t i = 0; i < nauthors; ++i) {
+        if (i > 0) authors += " and ";
+        authors += Pick(kFirstNames, rng);
+        authors += " ";
+        authors += Pick(kLastNames, rng);
+      }
+      return {Value(title), Value(authors), Value(Pick(kVenues, rng)),
+              Value(rng->UniformInt(1995, 2020))};
+    }
+  }
+  return {};
+}
+
+// Corrupts a copy of `row` per the config's dirtiness.
+Row MakeDuplicate(const Row& row, const ErBenchmarkConfig& config, Rng* rng) {
+  Row dup = row;
+  // Synonym substitution on the products category (column 2), mirrored in
+  // the description (column 4) where the category word also appears.
+  if (config.domain == ErDomain::kProducts &&
+      rng->Bernoulli(config.synonym_rate) && !dup[2].is_null()) {
+    std::string cat = dup[2].AsString();
+    std::string syn = SynonymOf(cat);
+    if (syn != cat) {
+      dup[2] = Value(syn);
+      if (!dup[4].is_null()) {
+        std::string desc = dup[4].AsString();
+        size_t pos = desc.find(cat);
+        if (pos != std::string::npos) desc.replace(pos, cat.size(), syn);
+        dup[4] = Value(desc);
+      }
+    }
+  }
+  for (data::Value& v : dup) {
+    if (v.is_null() || !rng->Bernoulli(config.dirtiness)) continue;
+    if (v.type() == data::ValueType::kString &&
+        rng->Bernoulli(config.null_rate)) {
+      v = Value::Null();
+      continue;
+    }
+    switch (v.type()) {
+      case data::ValueType::kString: {
+        const std::string& s = v.AsString();
+        std::string out;
+        switch (rng->UniformInt(0, 5)) {
+          case 0: out = Typo(s, rng); break;
+          case 1: out = Typos(s, 2, rng); break;
+          case 2: out = AbbreviateFirstWord(s); break;
+          case 3: out = SwapAdjacentWords(s, rng); break;
+          case 4: out = DropWord(s, rng); break;
+          default: out = ChangeCase(s, rng); break;
+        }
+        v = Value(out);
+        break;
+      }
+      case data::ValueType::kDouble:
+        v = Value(Jitter(v.AsDouble(), 0.05, rng));
+        break;
+      case data::ValueType::kInt:
+        // Off-by-small-amount errors (e.g. publication year).
+        v = Value(v.AsInt() + rng->UniformInt(-1, 1));
+        break;
+      default:
+        break;
+    }
+  }
+  return dup;
+}
+
+}  // namespace
+
+ErBenchmark GenerateErBenchmark(const ErBenchmarkConfig& config) {
+  Rng rng(config.seed);
+  ErBenchmark bench;
+  Schema schema = SchemaFor(config.domain);
+  bench.left = Table(schema, "left");
+  bench.right = Table(schema, "right");
+
+  for (size_t e = 0; e < config.num_entities; ++e) {
+    Row entity = MakeEntity(config.domain, &rng);
+    bool in_both = rng.Bernoulli(config.overlap);
+    if (in_both) {
+      size_t l = bench.left.num_rows();
+      size_t r = bench.right.num_rows();
+      bench.left.AppendRow(entity);
+      bench.right.AppendRow(MakeDuplicate(entity, config, &rng));
+      bench.matches.emplace_back(l, r);
+    } else if (rng.Bernoulli(0.5)) {
+      bench.left.AppendRow(std::move(entity));
+    } else {
+      bench.right.AppendRow(std::move(entity));
+    }
+  }
+  return bench;
+}
+
+bool IsMatch(const ErBenchmark& bench, size_t l, size_t r) {
+  return std::find(bench.matches.begin(), bench.matches.end(),
+                   std::make_pair(l, r)) != bench.matches.end();
+}
+
+}  // namespace autodc::datagen

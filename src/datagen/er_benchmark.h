@@ -1,0 +1,57 @@
+#ifndef AUTODC_DATAGEN_ER_BENCHMARK_H_
+#define AUTODC_DATAGEN_ER_BENCHMARK_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/data/table.h"
+
+namespace autodc::datagen {
+
+/// Which realistic schema the generator mimics. These stand in for the
+/// standard ER benchmark datasets (DBLP-ACM, Walmart-Amazon,
+/// Fodors-Zagat) the DeepER line of work evaluates on.
+enum class ErDomain {
+  kProducts = 0,  ///< brand, model, category, price, description
+  kPersons,       ///< name, city, street, phone, email
+  kCitations,     ///< title, authors, venue, year
+};
+
+struct ErBenchmarkConfig {
+  ErDomain domain = ErDomain::kProducts;
+  size_t num_entities = 200;   ///< distinct real-world entities
+  /// Fraction of entities that appear in BOTH tables (as a dirty pair);
+  /// the rest appear in only one table.
+  double overlap = 0.5;
+  /// Perturbation intensity of the duplicate copy, in [0,1]: probability
+  /// that each cell of the duplicate is corrupted.
+  double dirtiness = 0.4;
+  /// Probability that a corrupted string cell is nulled instead.
+  double null_rate = 0.05;
+  /// Probability the duplicate uses a *synonym* for its category-like
+  /// attribute (laptop -> notebook). Synonyms preserve semantics but
+  /// destroy string similarity — the error channel that separates
+  /// embedding-based matchers from edit-distance ones.
+  double synonym_rate = 0.3;
+  uint64_t seed = 42;
+};
+
+/// A two-table ER task with ground truth, mirroring the record-linkage
+/// setting of Figure 5.
+struct ErBenchmark {
+  data::Table left;
+  data::Table right;
+  /// Ground-truth matches as (left row, right row) pairs.
+  std::vector<std::pair<size_t, size_t>> matches;
+};
+
+/// Generates a deterministic dirty-duplicate benchmark.
+ErBenchmark GenerateErBenchmark(const ErBenchmarkConfig& config);
+
+/// True if (l, r) is a ground-truth match (linear scan helper for tests).
+bool IsMatch(const ErBenchmark& bench, size_t l, size_t r);
+
+}  // namespace autodc::datagen
+
+#endif  // AUTODC_DATAGEN_ER_BENCHMARK_H_

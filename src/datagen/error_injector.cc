@@ -1,0 +1,85 @@
+#include "src/datagen/error_injector.h"
+
+#include "src/common/rng.h"
+#include "src/datagen/perturb.h"
+
+namespace autodc::datagen {
+
+InjectionResult InjectErrors(
+    const data::Table& clean,
+    const std::vector<data::FunctionalDependency>& fds,
+    const ErrorInjectionConfig& config) {
+  Rng rng(config.seed);
+  InjectionResult result;
+  result.dirty = clean;
+
+  // Cache column domains for FD-violation substitution.
+  std::vector<std::vector<data::Value>> domains(clean.num_columns());
+  for (size_t c = 0; c < clean.num_columns(); ++c) {
+    domains[c] = clean.DistinctColumnValues(c);
+  }
+
+  for (size_t r = 0; r < result.dirty.num_rows(); ++r) {
+    // FD violations first (cell-level errors may then stack elsewhere).
+    if (!fds.empty() && rng.Bernoulli(config.fd_violation_rate)) {
+      const data::FunctionalDependency& fd =
+          fds[static_cast<size_t>(rng.UniformInt(
+              0, static_cast<int64_t>(fds.size()) - 1))];
+      const data::Value& cur = result.dirty.at(r, fd.rhs);
+      const std::vector<data::Value>& dom = domains[fd.rhs];
+      if (dom.size() >= 2) {
+        data::Value replacement = cur;
+        for (int attempt = 0; attempt < 10 && replacement == cur; ++attempt) {
+          replacement = dom[static_cast<size_t>(rng.UniformInt(
+              0, static_cast<int64_t>(dom.size()) - 1))];
+        }
+        if (replacement != cur) {
+          result.errors.push_back(
+              InjectedError{r, fd.rhs, ErrorKind::kFdViolation, cur});
+          result.dirty.Set(r, fd.rhs, replacement);
+        }
+      }
+    }
+    for (size_t c = 0; c < result.dirty.num_columns(); ++c) {
+      const data::Value& v = result.dirty.at(r, c);
+      if (v.is_null()) continue;
+      if (rng.Bernoulli(config.null_rate)) {
+        result.errors.push_back(InjectedError{r, c, ErrorKind::kNull, v});
+        result.dirty.Set(r, c, data::Value::Null());
+        continue;
+      }
+      switch (v.type()) {
+        case data::ValueType::kString:
+          if (rng.Bernoulli(config.typo_rate)) {
+            result.errors.push_back(InjectedError{r, c, ErrorKind::kTypo, v});
+            result.dirty.Set(r, c, data::Value(Typo(v.AsString(), &rng)));
+          }
+          break;
+        case data::ValueType::kDouble:
+          if (rng.Bernoulli(config.outlier_rate)) {
+            result.errors.push_back(
+                InjectedError{r, c, ErrorKind::kOutlier, v});
+            double factor = rng.Uniform(10.0, 50.0);
+            result.dirty.Set(r, c, data::Value(v.AsDouble() * factor));
+          }
+          break;
+        case data::ValueType::kInt:
+          if (rng.Bernoulli(config.outlier_rate)) {
+            result.errors.push_back(
+                InjectedError{r, c, ErrorKind::kOutlier, v});
+            double factor = rng.Uniform(10.0, 50.0);
+            result.dirty.Set(
+                r, c,
+                data::Value(static_cast<int64_t>(
+                    static_cast<double>(v.AsInt()) * factor)));
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace autodc::datagen

@@ -1,0 +1,49 @@
+#ifndef AUTODC_DATAGEN_ERROR_INJECTOR_H_
+#define AUTODC_DATAGEN_ERROR_INJECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/data/dependencies.h"
+#include "src/data/table.h"
+
+namespace autodc::datagen {
+
+/// What kind of error was injected into a cell.
+enum class ErrorKind { kTypo = 0, kNull, kFdViolation, kOutlier };
+
+/// Ground-truth record of one injected error.
+struct InjectedError {
+  size_t row = 0;
+  size_t col = 0;
+  ErrorKind kind = ErrorKind::kTypo;
+  data::Value original;  ///< the clean value that was destroyed
+};
+
+struct ErrorInjectionConfig {
+  double typo_rate = 0.02;          ///< per string cell
+  double null_rate = 0.03;          ///< per cell (missing values)
+  double fd_violation_rate = 0.02;  ///< per row, when FDs are supplied
+  double outlier_rate = 0.01;       ///< per numeric cell (x10-50 scaling)
+  uint64_t seed = 42;
+};
+
+/// The dirty table plus the exact cells that were corrupted — the
+/// evaluation contract of a BART-style error generator [4]: repair
+/// algorithms are scored against `errors`.
+struct InjectionResult {
+  data::Table dirty;
+  std::vector<InjectedError> errors;
+};
+
+/// Injects typos, nulls, FD violations, and numeric outliers into a copy
+/// of `clean`. FD violations overwrite the RHS cell of a row with a
+/// different value drawn from the same column's domain, so exactly the
+/// supplied constraint is broken.
+InjectionResult InjectErrors(const data::Table& clean,
+                             const std::vector<data::FunctionalDependency>& fds,
+                             const ErrorInjectionConfig& config);
+
+}  // namespace autodc::datagen
+
+#endif  // AUTODC_DATAGEN_ERROR_INJECTOR_H_

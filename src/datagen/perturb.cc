@@ -1,0 +1,116 @@
+#include "src/datagen/perturb.h"
+
+#include "src/common/string_util.h"
+
+namespace autodc::datagen {
+
+namespace {
+constexpr const char* kAlphabet = "abcdefghijklmnopqrstuvwxyz";
+
+char RandomLetter(Rng* rng) {
+  return kAlphabet[rng->UniformInt(0, 25)];
+}
+}  // namespace
+
+std::string Typo(const std::string& s, Rng* rng) {
+  if (s.empty()) return s;
+  std::string out = s;
+  size_t pos = static_cast<size_t>(
+      rng->UniformInt(0, static_cast<int64_t>(out.size()) - 1));
+  switch (rng->UniformInt(0, 3)) {
+    case 0:  // substitution
+      out[pos] = RandomLetter(rng);
+      break;
+    case 1:  // deletion
+      out.erase(pos, 1);
+      break;
+    case 2:  // insertion
+      out.insert(out.begin() + static_cast<int64_t>(pos), RandomLetter(rng));
+      break;
+    default:  // adjacent transposition
+      if (pos + 1 < out.size()) std::swap(out[pos], out[pos + 1]);
+      else out[pos] = RandomLetter(rng);
+  }
+  return out;
+}
+
+std::string Typos(const std::string& s, size_t n, Rng* rng) {
+  std::string out = s;
+  for (size_t i = 0; i < n; ++i) out = Typo(out, rng);
+  return out;
+}
+
+std::string AbbreviateFirstWord(const std::string& s) {
+  std::vector<std::string> words = SplitWhitespace(s);
+  if (words.empty() || words[0].empty()) return s;
+  words[0] = std::string(1, words[0][0]) + ".";
+  return Join(words, " ");
+}
+
+std::string SwapAdjacentWords(const std::string& s, Rng* rng) {
+  std::vector<std::string> words = SplitWhitespace(s);
+  if (words.size() < 2) return s;
+  size_t i = static_cast<size_t>(
+      rng->UniformInt(0, static_cast<int64_t>(words.size()) - 2));
+  std::swap(words[i], words[i + 1]);
+  return Join(words, " ");
+}
+
+std::string DropWord(const std::string& s, Rng* rng) {
+  std::vector<std::string> words = SplitWhitespace(s);
+  if (words.size() < 2) return s;
+  size_t i = static_cast<size_t>(
+      rng->UniformInt(0, static_cast<int64_t>(words.size()) - 1));
+  words.erase(words.begin() + static_cast<int64_t>(i));
+  return Join(words, " ");
+}
+
+std::string ChangeCase(const std::string& s, Rng* rng) {
+  switch (rng->UniformInt(0, 2)) {
+    case 0:
+      return ToLower(s);
+    case 1:
+      return ToUpper(s);
+    default: {
+      std::vector<std::string> words = SplitWhitespace(s);
+      for (std::string& w : words) w = Capitalize(w);
+      return Join(words, " ");
+    }
+  }
+}
+
+double Jitter(double v, double epsilon, Rng* rng) {
+  return v * (1.0 + rng->Uniform(-epsilon, epsilon));
+}
+
+void PerturbRow(data::Row* row, double cell_prob, Rng* rng) {
+  for (data::Value& v : *row) {
+    if (v.is_null() || !rng->Bernoulli(cell_prob)) continue;
+    switch (v.type()) {
+      case data::ValueType::kString: {
+        const std::string& s = v.AsString();
+        std::string out;
+        switch (rng->UniformInt(0, 4)) {
+          case 0: out = Typo(s, rng); break;
+          case 1: out = AbbreviateFirstWord(s); break;
+          case 2: out = SwapAdjacentWords(s, rng); break;
+          case 3: out = DropWord(s, rng); break;
+          default: out = ChangeCase(s, rng); break;
+        }
+        v = data::Value(out);
+        break;
+      }
+      case data::ValueType::kInt:
+        v = data::Value(static_cast<int64_t>(
+            Jitter(static_cast<double>(v.AsInt()), 0.02, rng)));
+        break;
+      case data::ValueType::kDouble:
+        v = data::Value(Jitter(v.AsDouble(), 0.02, rng));
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace autodc::datagen

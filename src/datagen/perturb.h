@@ -1,0 +1,44 @@
+#ifndef AUTODC_DATAGEN_PERTURB_H_
+#define AUTODC_DATAGEN_PERTURB_H_
+
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/data/table.h"
+
+namespace autodc::datagen {
+
+/// Label-preserving string transformations (Sec. 6.2.2): each returns a
+/// corrupted-but-same-entity variant of `s`. These double as the error
+/// channels of the ER benchmark generator and as augmentation operators.
+
+/// Random single-character edit: substitution, deletion, insertion, or
+/// adjacent transposition.
+std::string Typo(const std::string& s, Rng* rng);
+
+/// Applies `n` independent typos.
+std::string Typos(const std::string& s, size_t n, Rng* rng);
+
+/// Abbreviates the first word to its initial: "John Smith" -> "J. Smith".
+std::string AbbreviateFirstWord(const std::string& s);
+
+/// Swaps two adjacent words: "John Smith" -> "Smith John".
+std::string SwapAdjacentWords(const std::string& s, Rng* rng);
+
+/// Drops one word (if more than one).
+std::string DropWord(const std::string& s, Rng* rng);
+
+/// Random case change: lower, UPPER, or Title.
+std::string ChangeCase(const std::string& s, Rng* rng);
+
+/// Numeric jitter: multiplies by (1 +- epsilon).
+double Jitter(double v, double epsilon, Rng* rng);
+
+/// Applies a randomly chosen label-preserving transformation to the
+/// string cells of `row` (in place); numeric cells get jitter with
+/// probability `cell_prob`. Used for ER-pair data augmentation.
+void PerturbRow(data::Row* row, double cell_prob, Rng* rng);
+
+}  // namespace autodc::datagen
+
+#endif  // AUTODC_DATAGEN_PERTURB_H_

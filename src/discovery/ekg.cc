@@ -1,0 +1,104 @@
+#include "src/discovery/ekg.h"
+
+#include <algorithm>
+
+namespace autodc::discovery {
+
+namespace {
+std::string Key(const std::string& table, const std::string& column) {
+  return table + "\x01" + column;
+}
+}  // namespace
+
+size_t EnterpriseKnowledgeGraph::AddNode(Node node) {
+  std::string key = Key(node.table, node.column);
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  size_t id = nodes_.size();
+  index_.emplace(std::move(key), id);
+  nodes_.push_back(std::move(node));
+  adjacency_.emplace_back();
+  return id;
+}
+
+EnterpriseKnowledgeGraph EnterpriseKnowledgeGraph::Build(
+    const std::vector<const data::Table*>& tables,
+    const std::vector<ColumnMatch>& matches, double link_threshold) {
+  EnterpriseKnowledgeGraph g;
+  for (const data::Table* t : tables) {
+    size_t tid = g.AddNode(Node{NodeKind::kTable, t->name(), ""});
+    for (const data::Column& c : t->schema().columns()) {
+      size_t cid = g.AddNode(Node{NodeKind::kColumn, t->name(), c.name});
+      size_t eid = g.edges_.size();
+      g.edges_.push_back(Edge{tid, cid, EdgeKind::kHasColumn, 1.0});
+      g.adjacency_[tid].push_back(eid);
+      g.adjacency_[cid].push_back(eid);
+    }
+  }
+  for (const ColumnMatch& m : matches) {
+    if (m.score < link_threshold) continue;
+    int64_t a = g.FindColumn(m.table_a, m.column_a);
+    int64_t b = g.FindColumn(m.table_b, m.column_b);
+    if (a < 0 || b < 0) continue;
+    size_t eid = g.edges_.size();
+    g.edges_.push_back(Edge{static_cast<size_t>(a), static_cast<size_t>(b),
+                            EdgeKind::kSemanticLink, m.score});
+    g.adjacency_[static_cast<size_t>(a)].push_back(eid);
+    g.adjacency_[static_cast<size_t>(b)].push_back(eid);
+  }
+  return g;
+}
+
+int64_t EnterpriseKnowledgeGraph::FindTable(const std::string& table) const {
+  auto it = index_.find(Key(table, ""));
+  if (it == index_.end()) return -1;
+  return static_cast<int64_t>(it->second);
+}
+
+int64_t EnterpriseKnowledgeGraph::FindColumn(
+    const std::string& table, const std::string& column) const {
+  auto it = index_.find(Key(table, column));
+  if (it == index_.end()) return -1;
+  return static_cast<int64_t>(it->second);
+}
+
+std::vector<std::pair<std::string, double>>
+EnterpriseKnowledgeGraph::RelatedTables(const std::string& table) const {
+  std::unordered_map<std::string, double> best;
+  for (const Edge& e : edges_) {
+    if (e.kind != EdgeKind::kSemanticLink) continue;
+    const Node& a = nodes_[e.from];
+    const Node& b = nodes_[e.to];
+    if (a.table == table && b.table != table) {
+      double& w = best[b.table];
+      w = std::max(w, e.weight);
+    } else if (b.table == table && a.table != table) {
+      double& w = best[a.table];
+      w = std::max(w, e.weight);
+    }
+  }
+  std::vector<std::pair<std::string, double>> out(best.begin(), best.end());
+  std::sort(out.begin(), out.end(), [](const auto& x, const auto& y) {
+    return x.second > y.second;
+  });
+  return out;
+}
+
+bool EnterpriseKnowledgeGraph::AreLinked(const std::string& table_a,
+                                         const std::string& column_a,
+                                         const std::string& table_b,
+                                         const std::string& column_b) const {
+  int64_t a = FindColumn(table_a, column_a);
+  int64_t b = FindColumn(table_b, column_b);
+  if (a < 0 || b < 0) return false;
+  for (const Edge& e : edges_) {
+    if (e.kind != EdgeKind::kSemanticLink) continue;
+    if ((e.from == static_cast<size_t>(a) && e.to == static_cast<size_t>(b)) ||
+        (e.from == static_cast<size_t>(b) && e.to == static_cast<size_t>(a))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace autodc::discovery

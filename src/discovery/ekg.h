@@ -1,0 +1,74 @@
+#ifndef AUTODC_DISCOVERY_EKG_H_
+#define AUTODC_DISCOVERY_EKG_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/discovery/semantic_matcher.h"
+
+namespace autodc::discovery {
+
+/// The Enterprise Knowledge Graph of Sec. 5.1: nodes are data elements
+/// (tables, columns) and edges carry relationships (column containment,
+/// semantic links surfaced by the matcher). Analysts navigate it to find
+/// thematically related datasets.
+class EnterpriseKnowledgeGraph {
+ public:
+  enum class NodeKind { kTable = 0, kColumn };
+  struct Node {
+    NodeKind kind = NodeKind::kTable;
+    std::string table;
+    std::string column;  ///< empty for table nodes
+
+    std::string Label() const {
+      return column.empty() ? table : table + "." + column;
+    }
+  };
+  enum class EdgeKind { kHasColumn = 0, kSemanticLink };
+  struct Edge {
+    size_t from = 0;
+    size_t to = 0;
+    EdgeKind kind = EdgeKind::kHasColumn;
+    double weight = 1.0;
+  };
+
+  /// Builds the graph: a node per table and per column, kHasColumn edges
+  /// within tables, and kSemanticLink edges for every column match at or
+  /// above `link_threshold`.
+  static EnterpriseKnowledgeGraph Build(
+      const std::vector<const data::Table*>& tables,
+      const std::vector<ColumnMatch>& matches, double link_threshold);
+
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+  const Node& node(size_t i) const { return nodes_[i]; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Node id of a table or column, or -1.
+  int64_t FindTable(const std::string& table) const;
+  int64_t FindColumn(const std::string& table,
+                     const std::string& column) const;
+
+  /// Tables connected to `table` through at least one semantic column
+  /// link, with the strongest link weight. Sorted descending.
+  std::vector<std::pair<std::string, double>> RelatedTables(
+      const std::string& table) const;
+
+  /// True if the two columns are semantically linked in the graph.
+  bool AreLinked(const std::string& table_a, const std::string& column_a,
+                 const std::string& table_b,
+                 const std::string& column_b) const;
+
+ private:
+  size_t AddNode(Node node);
+
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+  std::unordered_map<std::string, size_t> index_;
+  std::vector<std::vector<size_t>> adjacency_;  ///< edge ids per node
+};
+
+}  // namespace autodc::discovery
+
+#endif  // AUTODC_DISCOVERY_EKG_H_

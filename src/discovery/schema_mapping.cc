@@ -1,0 +1,61 @@
+#include "src/discovery/schema_mapping.h"
+
+#include <algorithm>
+
+namespace autodc::discovery {
+
+size_t SchemaMapping::num_mapped() const {
+  return mapping.size() -
+         static_cast<size_t>(std::count(mapping.begin(), mapping.end(),
+                                        static_cast<int64_t>(-1)));
+}
+
+SchemaMapping MapSchema(const SemanticColumnMatcher& matcher,
+                        const data::Table& target, const data::Table& source,
+                        double threshold) {
+  SchemaMapping out;
+  out.mapping.assign(target.num_columns(), -1);
+  std::vector<bool> used(source.num_columns(), false);
+  for (size_t tc = 0; tc < target.num_columns(); ++tc) {
+    double best = -1.0;
+    size_t best_col = 0;
+    for (size_t sc = 0; sc < source.num_columns(); ++sc) {
+      if (used[sc]) continue;
+      double s = matcher.ScorePair(target, tc, source, sc);
+      if (s > best) {
+        best = s;
+        best_col = sc;
+      }
+    }
+    if (best >= threshold) {
+      out.mapping[tc] = static_cast<int64_t>(best_col);
+      used[best_col] = true;
+      out.total_score += best;
+    }
+  }
+  return out;
+}
+
+Status UnionInto(data::Table* target, const data::Table& source,
+                 const SchemaMapping& mapping) {
+  if (mapping.mapping.size() != target->num_columns()) {
+    return Status::InvalidArgument("mapping arity != target arity");
+  }
+  for (int64_t m : mapping.mapping) {
+    if (m >= static_cast<int64_t>(source.num_columns())) {
+      return Status::OutOfRange("mapping references missing source column");
+    }
+  }
+  for (size_t r = 0; r < source.num_rows(); ++r) {
+    data::Row row(target->num_columns(), data::Value::Null());
+    for (size_t tc = 0; tc < target->num_columns(); ++tc) {
+      if (mapping.mapping[tc] >= 0) {
+        row[tc] = source.at(r, static_cast<size_t>(mapping.mapping[tc]));
+      }
+    }
+    AUTODC_RETURN_NOT_OK(target->AppendRow(std::move(row)));
+  }
+  return Status::OK();
+}
+
+}  // namespace autodc::discovery

@@ -1,0 +1,38 @@
+#ifndef AUTODC_DISCOVERY_SCHEMA_MAPPING_H_
+#define AUTODC_DISCOVERY_SCHEMA_MAPPING_H_
+
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/data/table.h"
+#include "src/discovery/semantic_matcher.h"
+
+namespace autodc::discovery {
+
+/// An injective column mapping from a target schema onto a source table:
+/// mapping[i] is the source column feeding target column i, or -1 when
+/// no source column scored above the threshold.
+struct SchemaMapping {
+  std::vector<int64_t> mapping;
+  double total_score = 0.0;
+
+  /// Number of mapped target columns.
+  size_t num_mapped() const;
+};
+
+/// Greedy injective schema matching: for each column of `target` (in
+/// order), picks the highest-scoring unused column of `source` under the
+/// semantic matcher, keeping it only if the score reaches `threshold`.
+/// This is the schema-mapping step of the integration stage (Figure 1).
+SchemaMapping MapSchema(const SemanticColumnMatcher& matcher,
+                        const data::Table& target, const data::Table& source,
+                        double threshold);
+
+/// Re-shapes `source` rows into `target`'s schema using `mapping`
+/// (unmapped columns become nulls) and appends them to `*target`.
+Status UnionInto(data::Table* target, const data::Table& source,
+                 const SchemaMapping& mapping);
+
+}  // namespace autodc::discovery
+
+#endif  // AUTODC_DISCOVERY_SCHEMA_MAPPING_H_

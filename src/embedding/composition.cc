@@ -1,0 +1,115 @@
+#include "src/embedding/composition.h"
+
+#include <cmath>
+#include <functional>
+
+#include "src/common/rng.h"
+#include "src/text/tokenizer.h"
+
+namespace autodc::embedding {
+
+std::vector<float> TrigramHashVector(const std::string& token, size_t dim) {
+  std::vector<float> out(dim, 0.0f);
+  std::vector<std::string> grams = text::CharNgrams(token, 3);
+  for (const std::string& g : grams) {
+    // Deterministic per-trigram pseudo-random direction.
+    Rng rng(std::hash<std::string>()(g));
+    for (size_t i = 0; i < dim; ++i) {
+      out[i] += static_cast<float>(rng.Normal());
+    }
+  }
+  double norm = 0.0;
+  for (float x : out) norm += static_cast<double>(x) * x;
+  norm = std::sqrt(norm);
+  if (norm > 1e-12) {
+    for (float& x : out) x = static_cast<float>(x / norm);
+  }
+  return out;
+}
+
+std::vector<float> EmbedTokens(const EmbeddingStore& words,
+                               const std::vector<std::string>& tokens,
+                               Composition method, const SifWeights& sif) {
+  std::vector<float> out(words.dim(), 0.0f);
+  double total_weight = 0.0;
+  for (const std::string& tok : tokens) {
+    const std::vector<float>* v = words.Find(tok);
+    std::vector<float> subword;
+    uint64_t count = 0;
+    if (sif.vocabulary != nullptr) {
+      int64_t id = sif.vocabulary->IdOf(tok);
+      if (id >= 0) count = sif.vocabulary->CountOf(static_cast<size_t>(id));
+    }
+    if (sif.trigram_fallback_below > 0 &&
+        (v == nullptr || count < sif.trigram_fallback_below)) {
+      subword = TrigramHashVector(tok, words.dim());
+      v = &subword;
+    }
+    if (v == nullptr) continue;
+    double w = 1.0;
+    if (method == Composition::kSifWeighted && sif.vocabulary != nullptr) {
+      double freq = 0.0;
+      if (sif.vocabulary->total_count() > 0) {
+        freq = static_cast<double>(count) /
+               static_cast<double>(sif.vocabulary->total_count());
+      }
+      w = sif.a / (sif.a + freq);
+    }
+    for (size_t i = 0; i < out.size(); ++i) {
+      out[i] += static_cast<float>(w * (*v)[i]);
+    }
+    total_weight += w;
+  }
+  if (total_weight > 0.0) {
+    for (float& x : out) x = static_cast<float>(x / total_weight);
+  }
+  return out;
+}
+
+std::vector<float> EmbedTuple(const EmbeddingStore& words,
+                              const data::Row& row, Composition method,
+                              const SifWeights& sif) {
+  std::vector<std::string> tokens;
+  for (const data::Value& v : row) {
+    if (v.is_null()) continue;
+    for (std::string& tok : text::Tokenize(v.ToString())) {
+      tokens.push_back(std::move(tok));
+    }
+  }
+  return EmbedTokens(words, tokens, method, sif);
+}
+
+std::vector<float> EmbedColumn(const EmbeddingStore& words,
+                               const data::Table& table, size_t column,
+                               Composition method, const SifWeights& sif) {
+  std::vector<std::string> tokens =
+      text::Tokenize(table.schema().column(column).name);
+  for (const data::Value& v : table.DistinctColumnValues(column)) {
+    for (std::string& tok : text::Tokenize(v.ToString())) {
+      tokens.push_back(std::move(tok));
+    }
+  }
+  return EmbedTokens(words, tokens, method, sif);
+}
+
+std::vector<float> EmbedTable(const EmbeddingStore& words,
+                              const data::Table& table, Composition method,
+                              const SifWeights& sif) {
+  std::vector<float> out(words.dim(), 0.0f);
+  if (table.num_columns() == 0) return out;
+  size_t counted = 0;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    std::vector<float> col = EmbedColumn(words, table, c, method, sif);
+    double norm = 0.0;
+    for (float x : col) norm += static_cast<double>(x) * x;
+    if (norm == 0.0) continue;
+    for (size_t i = 0; i < out.size(); ++i) out[i] += col[i];
+    ++counted;
+  }
+  if (counted > 0) {
+    for (float& x : out) x /= static_cast<float>(counted);
+  }
+  return out;
+}
+
+}  // namespace autodc::embedding

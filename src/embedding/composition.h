@@ -1,0 +1,68 @@
+#ifndef AUTODC_EMBEDDING_COMPOSITION_H_
+#define AUTODC_EMBEDDING_COMPOSITION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/data/table.h"
+#include "src/embedding/embedding_store.h"
+#include "src/text/vocabulary.h"
+
+namespace autodc::embedding {
+
+/// Composition strategies for building tuple/column/table vectors from
+/// word vectors (Sec. 3.1 "Compositional Distributed Representations").
+/// kAverage is the paper's "common approach"; kSifWeighted downweights
+/// frequent tokens (smooth inverse frequency); the LSTM composition lives
+/// in er::DeepEr since it is trainable.
+enum class Composition { kAverage = 0, kSifWeighted };
+
+/// Optional token-frequency statistics for SIF weighting.
+struct SifWeights {
+  const text::Vocabulary* vocabulary = nullptr;
+  double a = 1e-3;  ///< SIF smoothing constant
+  /// fastText-style subword fallback: tokens missing from the store or
+  /// seen fewer than this many times are embedded as the normalized sum
+  /// of deterministic trigram-hash vectors instead of their (unreliable)
+  /// learned vector. Dirty variants like "1234" vs "12334" then embed
+  /// close together, which learned rare-token vectors cannot provide.
+  /// 0 disables the fallback for in-vocabulary tokens (missing tokens are
+  /// simply skipped).
+  uint64_t trigram_fallback_below = 0;
+};
+
+/// Deterministic pseudo-embedding of a token from hashed character
+/// trigrams (no training). Two tokens sharing most trigrams get highly
+/// similar vectors.
+std::vector<float> TrigramHashVector(const std::string& token, size_t dim);
+
+/// Embeds a list of word tokens by (weighted-)averaging their word
+/// vectors; unknown tokens are skipped. Returns the zero vector if no
+/// token is known.
+std::vector<float> EmbedTokens(const EmbeddingStore& words,
+                               const std::vector<std::string>& tokens,
+                               Composition method = Composition::kAverage,
+                               const SifWeights& sif = {});
+
+/// Tuple2Vec: tokenizes every cell of the row and composes (Sec. 3.1).
+std::vector<float> EmbedTuple(const EmbeddingStore& words,
+                              const data::Row& row,
+                              Composition method = Composition::kAverage,
+                              const SifWeights& sif = {});
+
+/// Column2Vec: composes over the column's distinct values (plus the
+/// column name, which carries schema-level signal for schema matching).
+std::vector<float> EmbedColumn(const EmbeddingStore& words,
+                               const data::Table& table, size_t column,
+                               Composition method = Composition::kAverage,
+                               const SifWeights& sif = {});
+
+/// Table2Vec: average of the table's column embeddings.
+std::vector<float> EmbedTable(const EmbeddingStore& words,
+                              const data::Table& table,
+                              Composition method = Composition::kAverage,
+                              const SifWeights& sif = {});
+
+}  // namespace autodc::embedding
+
+#endif  // AUTODC_EMBEDDING_COMPOSITION_H_

@@ -1,0 +1,126 @@
+#include "src/embedding/embedding_store.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "src/text/similarity.h"
+
+namespace autodc::embedding {
+
+Status EmbeddingStore::Add(const std::string& key, std::vector<float> vector) {
+  if (dim_ == 0) dim_ = vector.size();
+  if (vector.size() != dim_) {
+    return Status::InvalidArgument(
+        "vector for '" + key + "' has dim " + std::to_string(vector.size()) +
+        ", store dim is " + std::to_string(dim_));
+  }
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    vectors_[it->second] = std::move(vector);
+    return Status::OK();
+  }
+  index_.emplace(key, keys_.size());
+  keys_.push_back(key);
+  vectors_.push_back(std::move(vector));
+  return Status::OK();
+}
+
+const std::vector<float>* EmbeddingStore::Find(const std::string& key) const {
+  auto it = index_.find(key);
+  if (it == index_.end()) return nullptr;
+  return &vectors_[it->second];
+}
+
+std::vector<Neighbor> EmbeddingStore::NearestToVector(
+    const std::vector<float>& query, size_t k,
+    const std::vector<std::string>& exclude) const {
+  std::unordered_set<std::string> skip(exclude.begin(), exclude.end());
+  std::vector<Neighbor> scored;
+  scored.reserve(keys_.size());
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    if (skip.count(keys_[i]) > 0) continue;
+    scored.push_back(
+        Neighbor{keys_[i], text::CosineSimilarity(query, vectors_[i])});
+  }
+  size_t take = std::min(k, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + take, scored.end(),
+                    [](const Neighbor& a, const Neighbor& b) {
+                      return a.similarity > b.similarity;
+                    });
+  scored.resize(take);
+  return scored;
+}
+
+Result<std::vector<Neighbor>> EmbeddingStore::Nearest(const std::string& key,
+                                                      size_t k) const {
+  const std::vector<float>* v = Find(key);
+  if (v == nullptr) return Status::NotFound("no embedding for '" + key + "'");
+  return NearestToVector(*v, k, {key});
+}
+
+Result<double> EmbeddingStore::Similarity(const std::string& a,
+                                          const std::string& b) const {
+  const std::vector<float>* va = Find(a);
+  const std::vector<float>* vb = Find(b);
+  if (va == nullptr) return Status::NotFound("no embedding for '" + a + "'");
+  if (vb == nullptr) return Status::NotFound("no embedding for '" + b + "'");
+  return text::CosineSimilarity(*va, *vb);
+}
+
+Result<std::vector<Neighbor>> EmbeddingStore::Analogy(const std::string& a,
+                                                      const std::string& b,
+                                                      const std::string& c,
+                                                      size_t k) const {
+  const std::vector<float>* va = Find(a);
+  const std::vector<float>* vb = Find(b);
+  const std::vector<float>* vc = Find(c);
+  if (va == nullptr || vb == nullptr || vc == nullptr) {
+    return Status::NotFound("analogy term missing from store");
+  }
+  std::vector<float> q(dim_);
+  for (size_t i = 0; i < dim_; ++i) {
+    q[i] = (*vb)[i] - (*va)[i] + (*vc)[i];
+  }
+  return NearestToVector(q, k, {a, b, c});
+}
+
+void EmbeddingStore::CenterAndNormalize() {
+  if (vectors_.empty() || dim_ == 0) return;
+  std::vector<double> mean(dim_, 0.0);
+  for (const auto& v : vectors_) {
+    for (size_t i = 0; i < dim_; ++i) mean[i] += v[i];
+  }
+  for (double& m : mean) m /= static_cast<double>(vectors_.size());
+  for (auto& v : vectors_) {
+    double norm = 0.0;
+    for (size_t i = 0; i < dim_; ++i) {
+      v[i] = static_cast<float>(v[i] - mean[i]);
+      norm += static_cast<double>(v[i]) * v[i];
+    }
+    norm = std::sqrt(norm);
+    if (norm > 1e-12) {
+      for (size_t i = 0; i < dim_; ++i) {
+        v[i] = static_cast<float>(v[i] / norm);
+      }
+    }
+  }
+}
+
+std::vector<float> EmbeddingStore::AverageOf(
+    const std::vector<std::string>& keys) const {
+  std::vector<float> avg(dim_, 0.0f);
+  size_t found = 0;
+  for (const std::string& key : keys) {
+    const std::vector<float>* v = Find(key);
+    if (v == nullptr) continue;
+    for (size_t i = 0; i < dim_; ++i) avg[i] += (*v)[i];
+    ++found;
+  }
+  if (found > 0) {
+    for (float& x : avg) x /= static_cast<float>(found);
+  }
+  return avg;
+}
+
+}  // namespace autodc::embedding

@@ -1,0 +1,81 @@
+#ifndef AUTODC_EMBEDDING_EMBEDDING_STORE_H_
+#define AUTODC_EMBEDDING_EMBEDDING_STORE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace autodc::embedding {
+
+/// A scored neighbour returned by similarity search.
+struct Neighbor {
+  std::string key;
+  double similarity = 0.0;
+};
+
+/// Immutable-ish map from string keys (words, cells, "column:value" node
+/// labels) to dense vectors, with cosine nearest-neighbour search and the
+/// vector-arithmetic analogy queries of Sec. 2.2 (king - man + woman ≈
+/// queen).
+class EmbeddingStore {
+ public:
+  EmbeddingStore() = default;
+  explicit EmbeddingStore(size_t dim) : dim_(dim) {}
+
+  /// Inserts or overwrites a vector (must match the store dimensionality;
+  /// the first Add fixes it when constructed with dim 0).
+  Status Add(const std::string& key, std::vector<float> vector);
+
+  /// Vector for key, or nullptr.
+  const std::vector<float>* Find(const std::string& key) const;
+
+  bool Contains(const std::string& key) const {
+    return index_.count(key) > 0;
+  }
+  size_t size() const { return keys_.size(); }
+  size_t dim() const { return dim_; }
+  const std::vector<std::string>& keys() const { return keys_; }
+
+  /// k nearest neighbours of `query` by cosine similarity, excluding the
+  /// keys listed in `exclude`.
+  std::vector<Neighbor> NearestToVector(
+      const std::vector<float>& query, size_t k,
+      const std::vector<std::string>& exclude = {}) const;
+
+  /// k nearest neighbours of an existing key (itself excluded).
+  Result<std::vector<Neighbor>> Nearest(const std::string& key,
+                                        size_t k) const;
+
+  /// Cosine similarity between two stored keys; error if either missing.
+  Result<double> Similarity(const std::string& a, const std::string& b) const;
+
+  /// Solves a : b :: c : ? via the offset method — returns the nearest
+  /// key to (b - a + c), excluding a, b, c.
+  Result<std::vector<Neighbor>> Analogy(const std::string& a,
+                                        const std::string& b,
+                                        const std::string& c,
+                                        size_t k = 3) const;
+
+  /// Mean vector of the keys that exist in the store; zero vector if none
+  /// do. Used by coherent-group matching and query embedding.
+  std::vector<float> AverageOf(const std::vector<std::string>& keys) const;
+
+  /// Common-component removal: subtracts the store-wide mean vector from
+  /// every embedding, then L2-normalizes each. Small-corpus embeddings
+  /// share a large common direction that crushes all cosine similarities
+  /// toward 1; removing it restores discriminative geometry (the SIF
+  /// "common component" trick).
+  void CenterAndNormalize();
+
+ private:
+  size_t dim_ = 0;
+  std::unordered_map<std::string, size_t> index_;
+  std::vector<std::string> keys_;
+  std::vector<std::vector<float>> vectors_;
+};
+
+}  // namespace autodc::embedding
+
+#endif  // AUTODC_EMBEDDING_EMBEDDING_STORE_H_

@@ -1,0 +1,62 @@
+#include "src/embedding/graph_embedding.h"
+
+namespace autodc::embedding {
+
+std::vector<std::vector<size_t>> GenerateWalks(
+    const data::TableGraph& graph, const GraphEmbeddingConfig& config) {
+  Rng rng(config.seed);
+  std::vector<std::vector<size_t>> walks;
+  walks.reserve(graph.num_nodes() * config.walks_per_node);
+  std::vector<double> weights;
+  for (size_t start = 0; start < graph.num_nodes(); ++start) {
+    for (size_t w = 0; w < config.walks_per_node; ++w) {
+      std::vector<size_t> walk = {start};
+      size_t cur = start;
+      for (size_t step = 1; step < config.walk_length; ++step) {
+        const std::vector<size_t>& nbrs = graph.Neighbors(cur);
+        if (nbrs.empty()) break;
+        const std::vector<size_t>& edge_ids = graph.NeighborEdges(cur);
+        weights.clear();
+        weights.reserve(nbrs.size());
+        for (size_t ei : edge_ids) {
+          const data::TableGraph::Edge& e = graph.edges()[ei];
+          double wgt = e.weight;
+          if (e.kind == data::EdgeKind::kFunctionalDependency) {
+            wgt *= config.fd_edge_boost;
+          }
+          weights.push_back(wgt);
+        }
+        cur = nbrs[rng.Categorical(weights)];
+        walk.push_back(cur);
+      }
+      walks.push_back(std::move(walk));
+    }
+  }
+  return walks;
+}
+
+std::string GraphNodeKey(const data::Schema& schema, size_t column,
+                         const std::string& value) {
+  return schema.column(column).name + ":" + value;
+}
+
+EmbeddingStore TrainTableGraphEmbeddings(const data::TableGraph& graph,
+                                         const data::Schema& schema,
+                                         const GraphEmbeddingConfig& config) {
+  std::vector<std::vector<size_t>> walks = GenerateWalks(graph, config);
+  SgnsModel model(graph.num_nodes(), config.sgns);
+  // Negatives drawn uniformly over nodes (walk corpora are already
+  // frequency-weighted by degree).
+  std::vector<double> uniform(graph.num_nodes(), 1.0);
+  model.Train(walks, uniform);
+
+  EmbeddingStore store(config.sgns.dim);
+  for (size_t i = 0; i < graph.num_nodes(); ++i) {
+    const data::TableGraph::Node& n = graph.node(i);
+    store.Add(GraphNodeKey(schema, n.column, n.value), model.VectorOf(i))
+        .ok();
+  }
+  return store;
+}
+
+}  // namespace autodc::embedding

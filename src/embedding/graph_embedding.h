@@ -1,0 +1,44 @@
+#ifndef AUTODC_EMBEDDING_GRAPH_EMBEDDING_H_
+#define AUTODC_EMBEDDING_GRAPH_EMBEDDING_H_
+
+#include <vector>
+
+#include "src/data/table_graph.h"
+#include "src/embedding/embedding_store.h"
+#include "src/embedding/sgns.h"
+
+namespace autodc::embedding {
+
+/// Parameters for weighted random walks over the heterogeneous table
+/// graph of Figure 4.
+struct GraphEmbeddingConfig {
+  SgnsConfig sgns;
+  size_t walks_per_node = 10;
+  size_t walk_length = 12;
+  /// Multiplier applied to FD edges when sampling the next step: the
+  /// paper's point is that integrity constraints are strong semantic
+  /// hints, so walks should prefer them.
+  double fd_edge_boost = 2.0;
+  uint64_t seed = 42;
+};
+
+/// Generates `walks_per_node` weighted random walks from every node;
+/// next-step probabilities are proportional to edge weight, with FD edges
+/// boosted by `fd_edge_boost`. Dead-end nodes produce length-1 walks.
+std::vector<std::vector<size_t>> GenerateWalks(
+    const data::TableGraph& graph, const GraphEmbeddingConfig& config);
+
+/// DeepWalk-style node embeddings: random walks become "sentences" and
+/// SGNS learns node vectors. Keys in the returned store are
+/// "<column_name>:<value>" labels (schema needed for naming).
+EmbeddingStore TrainTableGraphEmbeddings(const data::TableGraph& graph,
+                                         const data::Schema& schema,
+                                         const GraphEmbeddingConfig& config);
+
+/// Key helper matching TrainTableGraphEmbeddings' naming scheme.
+std::string GraphNodeKey(const data::Schema& schema, size_t column,
+                         const std::string& value);
+
+}  // namespace autodc::embedding
+
+#endif  // AUTODC_EMBEDDING_GRAPH_EMBEDDING_H_

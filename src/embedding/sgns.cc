@@ -1,0 +1,125 @@
+#include "src/embedding/sgns.h"
+
+#include <cmath>
+
+namespace autodc::embedding {
+
+namespace {
+constexpr size_t kNegativeTableSize = 1 << 17;
+
+inline float FastSigmoid(float x) {
+  if (x > 8.0f) return 1.0f;
+  if (x < -8.0f) return 0.0f;
+  return 1.0f / (1.0f + std::exp(-x));
+}
+}  // namespace
+
+SgnsModel::SgnsModel(size_t vocab_size, const SgnsConfig& config)
+    : config_(config), rng_(config.seed) {
+  in_.resize(vocab_size);
+  out_.resize(vocab_size);
+  float scale = 0.5f / static_cast<float>(config.dim);
+  for (size_t i = 0; i < vocab_size; ++i) {
+    in_[i].resize(config.dim);
+    out_[i].assign(config.dim, 0.0f);
+    for (size_t d = 0; d < config.dim; ++d) {
+      in_[i][d] = static_cast<float>(rng_.Uniform(-scale, scale));
+    }
+  }
+}
+
+double SgnsModel::UpdatePair(size_t center, size_t context, double lr) {
+  std::vector<float>& v = in_[center];
+  std::vector<float> v_update(config_.dim, 0.0f);
+  double loss = 0.0;
+
+  // One positive target plus `negatives` sampled non-targets.
+  for (size_t k = 0; k <= config_.negatives; ++k) {
+    size_t target;
+    float label;
+    if (k == 0) {
+      target = context;
+      label = 1.0f;
+    } else {
+      target = negative_table_[static_cast<size_t>(rng_.UniformInt(
+          0, static_cast<int64_t>(negative_table_.size()) - 1))];
+      if (target == context) continue;
+      label = 0.0f;
+    }
+    std::vector<float>& u = out_[target];
+    float dot = 0.0f;
+    for (size_t d = 0; d < config_.dim; ++d) dot += v[d] * u[d];
+    float pred = FastSigmoid(dot);
+    loss += label > 0.5f ? -std::log(std::max(pred, 1e-7f))
+                         : -std::log(std::max(1.0f - pred, 1e-7f));
+    float g = static_cast<float>(lr) * (label - pred);
+    for (size_t d = 0; d < config_.dim; ++d) {
+      v_update[d] += g * u[d];
+      u[d] += g * v[d];
+    }
+  }
+  for (size_t d = 0; d < config_.dim; ++d) v[d] += v_update[d];
+  return loss;
+}
+
+double SgnsModel::Train(const std::vector<std::vector<size_t>>& sequences,
+                        const std::vector<double>& negative_weights) {
+  // Build the cumulative negative-sampling table once.
+  negative_table_.clear();
+  negative_table_.reserve(kNegativeTableSize);
+  double total = 0.0;
+  for (double w : negative_weights) total += w;
+  if (total <= 0.0 || negative_weights.empty()) {
+    // Degenerate: uniform over vocab.
+    for (size_t i = 0; i < kNegativeTableSize; ++i) {
+      negative_table_.push_back(i % std::max<size_t>(in_.size(), 1));
+    }
+  } else {
+    size_t id = 0;
+    double acc = negative_weights[0];
+    for (size_t i = 0; i < kNegativeTableSize; ++i) {
+      double pos = (static_cast<double>(i) + 0.5) / kNegativeTableSize * total;
+      while (pos > acc && id + 1 < negative_weights.size()) {
+        ++id;
+        acc += negative_weights[id];
+      }
+      negative_table_.push_back(id);
+    }
+  }
+
+  double epoch_loss = 0.0;
+  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    // Linear learning-rate decay across epochs, as in word2vec.
+    double lr = config_.learning_rate *
+                (1.0 - static_cast<double>(epoch) /
+                           static_cast<double>(config_.epochs));
+    lr = std::max(lr, config_.learning_rate * 1e-2);
+    epoch_loss = 0.0;
+    size_t pairs = 0;
+    for (const std::vector<size_t>& seq : sequences) {
+      for (size_t i = 0; i < seq.size(); ++i) {
+        // Dynamic window as in word2vec: actual window in [1, W].
+        size_t w = static_cast<size_t>(
+            rng_.UniformInt(1, static_cast<int64_t>(config_.window)));
+        size_t lo = i >= w ? i - w : 0;
+        size_t hi = std::min(seq.size(), i + w + 1);
+        for (size_t j = lo; j < hi; ++j) {
+          if (j == i) continue;
+          epoch_loss += UpdatePair(seq[i], seq[j], lr);
+          ++pairs;
+        }
+      }
+    }
+    if (pairs > 0) epoch_loss /= static_cast<double>(pairs);
+  }
+  if (config_.average_in_out) {
+    for (size_t i = 0; i < in_.size(); ++i) {
+      for (size_t d = 0; d < config_.dim; ++d) {
+        in_[i][d] = 0.5f * (in_[i][d] + out_[i][d]);
+      }
+    }
+  }
+  return epoch_loss;
+}
+
+}  // namespace autodc::embedding

@@ -1,0 +1,62 @@
+#ifndef AUTODC_EMBEDDING_SGNS_H_
+#define AUTODC_EMBEDDING_SGNS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace autodc::embedding {
+
+/// Hyperparameters of skip-gram with negative sampling (word2vec [40]).
+struct SgnsConfig {
+  size_t dim = 32;          ///< embedding dimensionality
+  size_t window = 4;        ///< max context offset W (Sec. 3.1 limitation 2)
+  size_t negatives = 5;     ///< negative samples per positive pair
+  size_t epochs = 5;
+  double learning_rate = 0.025;
+  uint64_t seed = 42;
+  /// When true (default) the final vector of a token is the average of
+  /// its center and context vectors. Pure center vectors only align for
+  /// tokens with *shared contexts*; averaging additionally aligns tokens
+  /// that *directly co-occur* — exactly the "(Brazil, Brasilia) become
+  /// similar" behaviour Sec. 3.1 describes for cell embeddings.
+  bool average_in_out = true;
+};
+
+/// Skip-gram-with-negative-sampling trainer over sequences of dense token
+/// ids. This is the shared training core behind word embeddings (tuples
+/// as documents) and graph embeddings (random walks as sentences), so the
+/// Figure-3/Figure-4 comparisons differ only in the corpus fed in.
+class SgnsModel {
+ public:
+  SgnsModel(size_t vocab_size, const SgnsConfig& config);
+
+  /// Trains on the corpus. `negative_weights` is the (unnormalized)
+  /// distribution negatives are drawn from — typically unigram^0.75.
+  /// Returns the mean logistic loss of the final epoch.
+  double Train(const std::vector<std::vector<size_t>>& sequences,
+               const std::vector<double>& negative_weights);
+
+  /// Input ("center") vector of a token.
+  const std::vector<float>& VectorOf(size_t id) const { return in_[id]; }
+  std::vector<std::vector<float>>& mutable_vectors() { return in_; }
+
+  size_t vocab_size() const { return in_.size(); }
+  size_t dim() const { return config_.dim; }
+  const SgnsConfig& config() const { return config_; }
+
+ private:
+  // One (center, context) update with negative sampling; returns loss.
+  double UpdatePair(size_t center, size_t context, double lr);
+
+  SgnsConfig config_;
+  Rng rng_;
+  std::vector<std::vector<float>> in_;   ///< center vectors (the output)
+  std::vector<std::vector<float>> out_;  ///< context vectors
+  std::vector<size_t> negative_table_;   ///< pre-built sampling table
+};
+
+}  // namespace autodc::embedding
+
+#endif  // AUTODC_EMBEDDING_SGNS_H_

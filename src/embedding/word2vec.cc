@@ -1,0 +1,85 @@
+#include "src/embedding/word2vec.h"
+
+#include "src/text/tokenizer.h"
+
+namespace autodc::embedding {
+
+namespace {
+
+// Shared pipeline: vocab -> id sequences -> SGNS -> store.
+EmbeddingStore TrainFromTokenSequences(
+    const std::vector<std::vector<std::string>>& sentences,
+    const Word2VecConfig& config) {
+  text::Vocabulary vocab;
+  for (const auto& s : sentences) vocab.AddAll(s);
+  if (config.min_count > 1) vocab.PruneRare(config.min_count);
+
+  std::vector<std::vector<size_t>> sequences;
+  sequences.reserve(sentences.size());
+  for (const auto& s : sentences) {
+    std::vector<size_t> seq;
+    seq.reserve(s.size());
+    for (const std::string& tok : s) {
+      int64_t id = vocab.IdOf(tok);
+      if (id >= 0) seq.push_back(static_cast<size_t>(id));
+    }
+    if (seq.size() >= 2) sequences.push_back(std::move(seq));
+  }
+
+  SgnsModel model(vocab.size(), config.sgns);
+  model.Train(sequences, vocab.UnigramWeights(0.75));
+
+  EmbeddingStore store(config.sgns.dim);
+  for (size_t id = 0; id < vocab.size(); ++id) {
+    store.Add(vocab.TokenOf(id), model.VectorOf(id)).ok();
+  }
+  if (config.center_and_normalize) store.CenterAndNormalize();
+  return store;
+}
+
+}  // namespace
+
+EmbeddingStore TrainWordEmbeddings(
+    const std::vector<std::vector<std::string>>& sentences,
+    const Word2VecConfig& config) {
+  return TrainFromTokenSequences(sentences, config);
+}
+
+EmbeddingStore TrainCellEmbeddingsNaive(
+    const std::vector<const data::Table*>& tables,
+    const Word2VecConfig& config) {
+  std::vector<std::vector<std::string>> sentences;
+  for (const data::Table* t : tables) {
+    for (size_t r = 0; r < t->num_rows(); ++r) {
+      std::vector<std::string> sentence;
+      for (size_t c = 0; c < t->num_columns(); ++c) {
+        const data::Value& v = t->at(r, c);
+        if (!v.is_null()) sentence.push_back(v.ToString());
+      }
+      if (!sentence.empty()) sentences.push_back(std::move(sentence));
+    }
+  }
+  return TrainFromTokenSequences(sentences, config);
+}
+
+EmbeddingStore TrainWordEmbeddingsFromTables(
+    const std::vector<const data::Table*>& tables,
+    const Word2VecConfig& config) {
+  std::vector<std::vector<std::string>> sentences;
+  for (const data::Table* t : tables) {
+    for (size_t r = 0; r < t->num_rows(); ++r) {
+      std::vector<std::string> sentence;
+      for (size_t c = 0; c < t->num_columns(); ++c) {
+        const data::Value& v = t->at(r, c);
+        if (v.is_null()) continue;
+        for (std::string& tok : text::Tokenize(v.ToString())) {
+          sentence.push_back(std::move(tok));
+        }
+      }
+      if (!sentence.empty()) sentences.push_back(std::move(sentence));
+    }
+  }
+  return TrainFromTokenSequences(sentences, config);
+}
+
+}  // namespace autodc::embedding

@@ -1,0 +1,47 @@
+#ifndef AUTODC_EMBEDDING_WORD2VEC_H_
+#define AUTODC_EMBEDDING_WORD2VEC_H_
+
+#include <string>
+#include <vector>
+
+#include "src/data/table.h"
+#include "src/embedding/embedding_store.h"
+#include "src/embedding/sgns.h"
+#include "src/text/vocabulary.h"
+
+namespace autodc::embedding {
+
+struct Word2VecConfig {
+  SgnsConfig sgns;
+  size_t min_count = 1;  ///< drop tokens rarer than this
+  /// Apply common-component removal + L2 normalization to the finished
+  /// store (recommended for small corpora; see
+  /// EmbeddingStore::CenterAndNormalize).
+  bool center_and_normalize = true;
+};
+
+/// Trains word embeddings over a plain text corpus (one token list per
+/// sentence) and exposes them as an EmbeddingStore.
+EmbeddingStore TrainWordEmbeddings(
+    const std::vector<std::vector<std::string>>& sentences,
+    const Word2VecConfig& config = {});
+
+/// The naive tuples-as-documents adaptation of Sec. 3.1: each row of each
+/// table becomes a "sentence" whose words are the cells' string values
+/// (cell text is used verbatim as one token, qualified by nothing —
+/// exactly the naive scheme whose limitations the paper enumerates).
+/// Returns one embedding per distinct cell value.
+EmbeddingStore TrainCellEmbeddingsNaive(
+    const std::vector<const data::Table*>& tables,
+    const Word2VecConfig& config = {});
+
+/// Tokenized variant used for textual attributes: rows become sentences
+/// of word tokens from every cell, giving word-level vectors that
+/// compositional tuple embeddings are built from.
+EmbeddingStore TrainWordEmbeddingsFromTables(
+    const std::vector<const data::Table*>& tables,
+    const Word2VecConfig& config = {});
+
+}  // namespace autodc::embedding
+
+#endif  // AUTODC_EMBEDDING_WORD2VEC_H_

@@ -1,0 +1,79 @@
+#include "src/er/baselines.h"
+
+#include "src/er/features.h"
+#include "src/text/similarity.h"
+
+namespace autodc::er {
+
+namespace {
+std::string RowText(const data::Row& row) {
+  std::string out;
+  for (const data::Value& v : row) {
+    if (v.is_null()) continue;
+    out += v.ToString();
+    out += " ";
+  }
+  return out;
+}
+}  // namespace
+
+double ThresholdMatcher::Score(const data::Row& a, const data::Row& b) const {
+  return text::TokenJaccard(RowText(a), RowText(b));
+}
+
+std::vector<RowPair> ThresholdMatcher::Match(
+    const data::Table& left, const data::Table& right,
+    const std::vector<RowPair>& candidates) const {
+  std::vector<RowPair> out;
+  for (const RowPair& c : candidates) {
+    if (Score(left.row(c.first), right.row(c.second)) >= threshold_) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+FeatureMatcher::FeatureMatcher(const data::Schema& schema,
+                               std::vector<size_t> hidden,
+                               float learning_rate, size_t epochs,
+                               uint64_t seed)
+    : schema_(schema), epochs_(epochs), rng_(seed) {
+  nn::ClassifierConfig cfg;
+  cfg.input_dim = HandcraftedFeatureDim(schema);
+  cfg.hidden = std::move(hidden);
+  cfg.learning_rate = learning_rate;
+  classifier_ = std::make_unique<nn::BinaryClassifier>(cfg, &rng_);
+}
+
+double FeatureMatcher::Train(const data::Table& left,
+                             const data::Table& right,
+                             const std::vector<PairLabel>& pairs) {
+  nn::Batch features;
+  std::vector<int> labels;
+  features.reserve(pairs.size());
+  for (const PairLabel& p : pairs) {
+    features.push_back(HandcraftedPairFeatures(left.row(p.left),
+                                               right.row(p.right), schema_));
+    labels.push_back(p.label);
+  }
+  return classifier_->Train(features, labels, epochs_);
+}
+
+double FeatureMatcher::PredictProba(const data::Row& a,
+                                    const data::Row& b) const {
+  return classifier_->PredictProba(HandcraftedPairFeatures(a, b, schema_));
+}
+
+std::vector<RowPair> FeatureMatcher::Match(
+    const data::Table& left, const data::Table& right,
+    const std::vector<RowPair>& candidates, double threshold) const {
+  std::vector<RowPair> out;
+  for (const RowPair& c : candidates) {
+    if (PredictProba(left.row(c.first), right.row(c.second)) >= threshold) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace autodc::er

@@ -1,0 +1,57 @@
+#ifndef AUTODC_ER_BASELINES_H_
+#define AUTODC_ER_BASELINES_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/data/table.h"
+#include "src/er/deeper.h"
+#include "src/er/evaluation.h"
+#include "src/nn/classifier.h"
+
+namespace autodc::er {
+
+/// Rule baseline: declares a match when the token-Jaccard similarity of
+/// the concatenated tuple text exceeds a threshold. The "ad-hoc,
+/// similarity function + threshold" approach the paper contrasts with.
+class ThresholdMatcher {
+ public:
+  explicit ThresholdMatcher(double threshold = 0.5)
+      : threshold_(threshold) {}
+
+  double Score(const data::Row& a, const data::Row& b) const;
+  std::vector<RowPair> Match(const data::Table& left,
+                             const data::Table& right,
+                             const std::vector<RowPair>& candidates) const;
+
+ private:
+  double threshold_;
+};
+
+/// Classical ML baseline: logistic regression (or small MLP) over the
+/// handcrafted per-attribute similarity features — the Magellan-style
+/// feature-engineering approach requiring expert-designed similarity
+/// functions.
+class FeatureMatcher {
+ public:
+  FeatureMatcher(const data::Schema& schema, std::vector<size_t> hidden,
+                 float learning_rate, size_t epochs, uint64_t seed = 42);
+
+  double Train(const data::Table& left, const data::Table& right,
+               const std::vector<PairLabel>& pairs);
+  double PredictProba(const data::Row& a, const data::Row& b) const;
+  std::vector<RowPair> Match(const data::Table& left,
+                             const data::Table& right,
+                             const std::vector<RowPair>& candidates,
+                             double threshold = 0.5) const;
+
+ private:
+  data::Schema schema_;
+  size_t epochs_;
+  Rng rng_;
+  std::unique_ptr<nn::BinaryClassifier> classifier_;
+};
+
+}  // namespace autodc::er
+
+#endif  // AUTODC_ER_BASELINES_H_

@@ -1,0 +1,82 @@
+#include "src/er/blocking.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/common/rng.h"
+#include "src/text/tokenizer.h"
+
+namespace autodc::er {
+
+std::vector<RowPair> AttributeBlocking(const data::Table& left,
+                                       const data::Table& right,
+                                       size_t column) {
+  auto key_of = [column](const data::Table& t, size_t r) -> std::string {
+    const data::Value& v = t.at(r, column);
+    if (v.is_null()) return "";
+    std::vector<std::string> toks = text::Tokenize(v.ToString());
+    return toks.empty() ? "" : toks[0];
+  };
+  std::unordered_map<std::string, std::vector<size_t>> right_blocks;
+  for (size_t r = 0; r < right.num_rows(); ++r) {
+    std::string key = key_of(right, r);
+    if (!key.empty()) right_blocks[key].push_back(r);
+  }
+  std::vector<RowPair> out;
+  for (size_t l = 0; l < left.num_rows(); ++l) {
+    std::string key = key_of(left, l);
+    if (key.empty()) continue;
+    auto it = right_blocks.find(key);
+    if (it == right_blocks.end()) continue;
+    for (size_t r : it->second) out.emplace_back(l, r);
+  }
+  return out;
+}
+
+LshBlocker::LshBlocker(size_t dim, size_t bits, size_t tables, uint64_t seed)
+    : dim_(dim), bits_(bits), num_tables_(tables) {
+  Rng rng(seed);
+  hyperplanes_.resize(bits * tables);
+  for (auto& h : hyperplanes_) {
+    h.resize(dim);
+    for (float& x : h) x = static_cast<float>(rng.Normal());
+  }
+}
+
+uint64_t LshBlocker::HashVector(const std::vector<float>& v,
+                                size_t table) const {
+  uint64_t code = 0;
+  for (size_t b = 0; b < bits_; ++b) {
+    const std::vector<float>& h = hyperplanes_[table * bits_ + b];
+    double dot = 0.0;
+    size_t n = std::min(dim_, v.size());
+    for (size_t i = 0; i < n; ++i) dot += static_cast<double>(h[i]) * v[i];
+    code = (code << 1) | (dot >= 0.0 ? 1u : 0u);
+  }
+  return code;
+}
+
+std::vector<RowPair> LshBlocker::Candidates(
+    const std::vector<std::vector<float>>& left,
+    const std::vector<std::vector<float>>& right) const {
+  struct PairHash {
+    size_t operator()(const RowPair& p) const {
+      return p.first * 1000003u + p.second;
+    }
+  };
+  std::unordered_set<RowPair, PairHash> seen;
+  for (size_t t = 0; t < num_tables_; ++t) {
+    std::unordered_map<uint64_t, std::vector<size_t>> buckets;
+    for (size_t r = 0; r < right.size(); ++r) {
+      buckets[HashVector(right[r], t)].push_back(r);
+    }
+    for (size_t l = 0; l < left.size(); ++l) {
+      auto it = buckets.find(HashVector(left[l], t));
+      if (it == buckets.end()) continue;
+      for (size_t r : it->second) seen.insert({l, r});
+    }
+  }
+  return std::vector<RowPair>(seen.begin(), seen.end());
+}
+
+}  // namespace autodc::er

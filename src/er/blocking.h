@@ -1,0 +1,50 @@
+#ifndef AUTODC_ER_BLOCKING_H_
+#define AUTODC_ER_BLOCKING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/data/table.h"
+#include "src/er/evaluation.h"
+
+namespace autodc::er {
+
+/// Classical blocking: candidate pairs are rows sharing a blocking key
+/// derived from ONE attribute (here: the attribute's first word token,
+/// lowercased). This is the "traditional methods that consider only few
+/// attributes" baseline of Sec. 5.2 — cheap, but brittle when the keyed
+/// attribute is dirty.
+std::vector<RowPair> AttributeBlocking(const data::Table& left,
+                                       const data::Table& right,
+                                       size_t column);
+
+/// Random-hyperplane LSH blocking over dense tuple embeddings — DeepER's
+/// blocking contribution: it sees ALL attributes through the embedding
+/// and produces far smaller candidate sets at equal recall.
+class LshBlocker {
+ public:
+  /// `bits` hyperplanes per table and `tables` independent hash tables;
+  /// more tables raise recall, more bits shrink buckets.
+  LshBlocker(size_t dim, size_t bits, size_t tables, uint64_t seed = 42);
+
+  /// Candidate pairs: (l, r) collide in at least one hash table.
+  std::vector<RowPair> Candidates(
+      const std::vector<std::vector<float>>& left,
+      const std::vector<std::vector<float>>& right) const;
+
+  size_t bits() const { return bits_; }
+  size_t tables() const { return num_tables_; }
+
+ private:
+  uint64_t HashVector(const std::vector<float>& v, size_t table) const;
+
+  size_t dim_;
+  size_t bits_;
+  size_t num_tables_;
+  /// hyperplanes_[t * bits + b] is one random normal vector of length dim.
+  std::vector<std::vector<float>> hyperplanes_;
+};
+
+}  // namespace autodc::er
+
+#endif  // AUTODC_ER_BLOCKING_H_

@@ -1,0 +1,368 @@
+#include "src/er/deeper.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "src/embedding/composition.h"
+#include "src/er/features.h"
+#include "src/nn/optimizer.h"
+#include "src/nn/serialize.h"
+#include "src/text/tokenizer.h"
+
+namespace autodc::er {
+
+std::vector<PairLabel> SampleTrainingPairs(size_t left_rows,
+                                           size_t right_rows,
+                                           const std::vector<RowPair>& matches,
+                                           size_t negatives_per_positive,
+                                           Rng* rng) {
+  struct PairHash {
+    size_t operator()(const RowPair& p) const {
+      return p.first * 1000003u + p.second;
+    }
+  };
+  std::unordered_set<RowPair, PairHash> match_set(matches.begin(),
+                                                  matches.end());
+  std::vector<PairLabel> out;
+  for (const RowPair& m : matches) {
+    out.push_back(PairLabel{m.first, m.second, 1});
+  }
+  size_t want = matches.size() * negatives_per_positive;
+  size_t attempts = 0;
+  std::unordered_set<RowPair, PairHash> sampled;
+  while (sampled.size() < want && attempts < want * 50 && left_rows > 0 &&
+         right_rows > 0) {
+    ++attempts;
+    RowPair p{static_cast<size_t>(
+                  rng->UniformInt(0, static_cast<int64_t>(left_rows) - 1)),
+              static_cast<size_t>(
+                  rng->UniformInt(0, static_cast<int64_t>(right_rows) - 1))};
+    if (match_set.count(p) > 0 || sampled.count(p) > 0) continue;
+    sampled.insert(p);
+    out.push_back(PairLabel{p.first, p.second, 0});
+  }
+  return out;
+}
+
+std::vector<PairLabel> SampleTrainingPairsWithHardNegatives(
+    size_t left_rows, size_t right_rows, const std::vector<RowPair>& matches,
+    const std::vector<RowPair>& hard_pool, size_t negatives_per_positive,
+    double hard_fraction, Rng* rng) {
+  struct PairHash {
+    size_t operator()(const RowPair& p) const {
+      return p.first * 1000003u + p.second;
+    }
+  };
+  std::unordered_set<RowPair, PairHash> match_set(matches.begin(),
+                                                  matches.end());
+  std::vector<RowPair> hard_negatives;
+  for (const RowPair& p : hard_pool) {
+    if (match_set.count(p) == 0) hard_negatives.push_back(p);
+  }
+  size_t want = matches.size() * negatives_per_positive;
+  size_t want_hard = static_cast<size_t>(want * hard_fraction);
+
+  std::vector<PairLabel> out;
+  for (const RowPair& m : matches) {
+    out.push_back(PairLabel{m.first, m.second, 1});
+  }
+  rng->Shuffle(&hard_negatives);
+  for (size_t i = 0; i < hard_negatives.size() && i < want_hard; ++i) {
+    out.push_back(PairLabel{hard_negatives[i].first, hard_negatives[i].second,
+                            0});
+  }
+  size_t have_hard = std::min(hard_negatives.size(), want_hard);
+  // Top up with random negatives.
+  std::vector<PairLabel> random = SampleTrainingPairs(
+      left_rows, right_rows, matches,
+      matches.empty() ? 0 : (want - have_hard) / matches.size() + 1, rng);
+  size_t added = 0;
+  for (const PairLabel& p : random) {
+    if (p.label == 1) continue;
+    if (added + have_hard >= want) break;
+    out.push_back(p);
+    ++added;
+  }
+  return out;
+}
+
+DeepEr::DeepEr(const embedding::EmbeddingStore* words,
+               const DeepErConfig& config)
+    : words_(words), config_(config), rng_(config.seed) {
+  if (config_.composition == TupleComposition::kAverage) {
+    // The classifier is created lazily on first Train/Predict: its input
+    // width depends on the schema's column count (see SimilarityVector).
+  } else {
+    encoder_ = std::make_unique<nn::LstmEncoder>(
+        words_->dim(), config_.lstm_hidden, config_.bidirectional, &rng_);
+    size_t enc_dim = encoder_->output_dim();
+    size_t feat_dim = 2 * enc_dim + 1;
+    size_t hidden = config_.classifier_hidden.empty()
+                        ? 16
+                        : config_.classifier_hidden[0];
+    head1_ = std::make_unique<nn::Linear>(feat_dim, hidden, &rng_);
+    head2_ = std::make_unique<nn::Linear>(hidden, 1, &rng_);
+  }
+}
+
+std::vector<nn::VarPtr> DeepEr::AllParameters() const {
+  std::vector<nn::VarPtr> params = encoder_->Parameters();
+  for (const nn::VarPtr& p : head1_->Parameters()) params.push_back(p);
+  for (const nn::VarPtr& p : head2_->Parameters()) params.push_back(p);
+  return params;
+}
+
+nn::VarPtr DeepEr::EncodeTuple(const data::Row& row) const {
+  std::vector<nn::VarPtr> seq;
+  for (const data::Value& v : row) {
+    if (v.is_null()) continue;
+    for (const std::string& tok : text::Tokenize(v.ToString())) {
+      const std::vector<float>* vec = words_->Find(tok);
+      std::vector<float> subword;
+      if (vec == nullptr) {
+        // Subword fallback keeps out-of-vocabulary (typo-ridden) tokens
+        // in the sequence instead of dropping signal.
+        subword = embedding::TrigramHashVector(tok, words_->dim());
+        vec = &subword;
+      }
+      seq.push_back(nn::Constant(nn::Tensor::FromVector(*vec)));
+      if (seq.size() >= config_.max_tokens_per_tuple) break;
+    }
+    if (seq.size() >= config_.max_tokens_per_tuple) break;
+  }
+  return encoder_->Encode(seq);
+}
+
+namespace {
+// |x| built from two relus so it stays on the tape.
+nn::VarPtr Abs(const nn::VarPtr& x) {
+  return nn::Add(nn::Relu(x), nn::Relu(nn::Scale(x, -1.0f)));
+}
+}  // namespace
+
+nn::VarPtr DeepEr::PairLogit(const data::Row& a, const data::Row& b,
+                             bool train) const {
+  nn::VarPtr ea = EncodeTuple(a);
+  nn::VarPtr eb = EncodeTuple(b);
+  nn::VarPtr diff = Abs(nn::Sub(ea, eb));
+  nn::VarPtr prod = nn::Mul(ea, eb);
+  // Cosine as a derived scalar feature (dot of normalized values,
+  // computed outside the tape — a fixed similarity input, not a trained
+  // path, mirroring DeepER's similarity-vector design).
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < ea->value.size(); ++i) {
+    dot += static_cast<double>(ea->value[i]) * eb->value[i];
+    na += static_cast<double>(ea->value[i]) * ea->value[i];
+    nb += static_cast<double>(eb->value[i]) * eb->value[i];
+  }
+  float cos = (na > 0 && nb > 0)
+                  ? static_cast<float>(dot / (std::sqrt(na) * std::sqrt(nb)))
+                  : 0.0f;
+  nn::VarPtr cos_feat = nn::Constant(nn::Tensor({1}, {cos}));
+  nn::VarPtr features = nn::Concat({diff, prod, cos_feat});
+  nn::VarPtr h = nn::Relu(head1_->Forward(features, train));
+  return head2_->Forward(h, train);  // {1,1}
+}
+
+void DeepEr::FitWeights(const std::vector<const data::Table*>& tables) {
+  token_counts_ = text::Vocabulary();
+  for (const data::Table* t : tables) {
+    for (size_t r = 0; r < t->num_rows(); ++r) {
+      for (size_t c = 0; c < t->num_columns(); ++c) {
+        const data::Value& v = t->at(r, c);
+        if (v.is_null()) continue;
+        token_counts_.AddAll(text::Tokenize(v.ToString()));
+      }
+    }
+  }
+  use_sif_ = true;
+}
+
+std::vector<float> DeepEr::AttributeEmbedding(const data::Value& v) const {
+  if (v.is_null()) return std::vector<float>(words_->dim(), 0.0f);
+  std::vector<std::string> tokens = text::Tokenize(v.ToString());
+  if (use_sif_) {
+    embedding::SifWeights sif;
+    sif.vocabulary = &token_counts_;
+    sif.trigram_fallback_below = 5;
+    return embedding::EmbedTokens(*words_, tokens,
+                                  embedding::Composition::kSifWeighted, sif);
+  }
+  return embedding::EmbedTokens(*words_, tokens);
+}
+
+namespace {
+double VecCosine(const std::vector<float>& a, const std::vector<float>& b) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+}  // namespace
+
+std::vector<float> DeepEr::SimilarityVector(const data::Row& a,
+                                            const data::Row& b) const {
+  std::vector<float> f;
+  f.reserve(3 * a.size() + 1);
+  for (size_t c = 0; c < a.size(); ++c) {
+    bool any_null = a[c].is_null() || b[c].is_null();
+    f.push_back(any_null ? 1.0f : 0.0f);
+    if (any_null) {
+      f.push_back(0.0f);
+      f.push_back(0.0f);
+      continue;
+    }
+    bool a_num = false, b_num = false;
+    double x = a[c].ToNumeric(&a_num);
+    double y = b[c].ToNumeric(&b_num);
+    if (a_num && b_num) {
+      // Heterogeneity handling (Sec. 3.2): numeric cells compare
+      // numerically — token embeddings of digit strings carry no metric
+      // structure.
+      double scale = std::max({std::fabs(x), std::fabs(y), 1e-9});
+      f.push_back(static_cast<float>(1.0 - std::fabs(x - y) / scale));
+      f.push_back(x == y ? 1.0f : 0.0f);
+      continue;
+    }
+    std::vector<float> ea = AttributeEmbedding(a[c]);
+    std::vector<float> eb = AttributeEmbedding(b[c]);
+    f.push_back(static_cast<float>(VecCosine(ea, eb)));
+    double d2 = 0.0;
+    for (size_t i = 0; i < ea.size(); ++i) {
+      double d = static_cast<double>(ea[i]) - eb[i];
+      d2 += d * d;
+    }
+    f.push_back(static_cast<float>(std::sqrt(d2)));
+  }
+  f.push_back(static_cast<float>(
+      VecCosine(EmbedTupleVector(a), EmbedTupleVector(b))));
+  return f;
+}
+
+void DeepEr::EnsureAvgClassifier(size_t num_columns) {
+  if (avg_classifier_ != nullptr) return;
+  nn::ClassifierConfig ccfg;
+  ccfg.input_dim = 3 * num_columns + 1;
+  ccfg.hidden = config_.classifier_hidden;
+  ccfg.learning_rate = config_.learning_rate;
+  ccfg.positive_weight = config_.positive_weight;
+  avg_classifier_ = std::make_unique<nn::BinaryClassifier>(ccfg, &rng_);
+}
+
+double DeepEr::Train(const data::Table& left, const data::Table& right,
+                     const std::vector<PairLabel>& pairs) {
+  if (config_.composition == TupleComposition::kAverage) {
+    EnsureAvgClassifier(left.num_columns());
+    nn::Batch features;
+    std::vector<int> labels;
+    features.reserve(pairs.size());
+    for (const PairLabel& p : pairs) {
+      features.push_back(
+          SimilarityVector(left.row(p.left), right.row(p.right)));
+      labels.push_back(p.label);
+    }
+    return avg_classifier_->Train(features, labels, config_.epochs);
+  }
+
+  // LSTM path: per-pair SGD through the unrolled encoders.
+  nn::Adam opt(AllParameters(), config_.learning_rate);
+  std::vector<size_t> order(pairs.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  double last = 0.0;
+  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng_.Shuffle(&order);
+    double total = 0.0;
+    for (size_t i : order) {
+      const PairLabel& p = pairs[i];
+      nn::VarPtr logit =
+          PairLogit(left.row(p.left), right.row(p.right), /*train=*/true);
+      nn::Tensor target({1, 1});
+      target.at(0, 0) = p.label > 0 ? 1.0f : 0.0f;
+      nn::VarPtr loss = nn::BceWithLogitsLoss(logit, target);
+      if (p.label > 0 && config_.positive_weight != 1.0f) {
+        loss = nn::Scale(loss, config_.positive_weight);
+      }
+      total += loss->value[0];
+      nn::Backward(loss);
+      opt.ClipGradients(1.0f);
+      opt.Step();
+    }
+    last = pairs.empty() ? 0.0 : total / static_cast<double>(pairs.size());
+  }
+  return last;
+}
+
+double DeepEr::PredictProba(const data::Row& a, const data::Row& b) const {
+  if (config_.composition == TupleComposition::kAverage) {
+    if (avg_classifier_ == nullptr) return 0.0;  // untrained
+    return avg_classifier_->PredictProba(SimilarityVector(a, b));
+  }
+  nn::VarPtr logit = PairLogit(a, b, /*train=*/false);
+  return 1.0 / (1.0 + std::exp(-static_cast<double>(logit->value[0])));
+}
+
+std::vector<RowPair> DeepEr::Match(const data::Table& left,
+                                   const data::Table& right,
+                                   const std::vector<RowPair>& candidates,
+                                   double threshold) const {
+  std::vector<RowPair> out;
+  for (const RowPair& c : candidates) {
+    if (PredictProba(left.row(c.first), right.row(c.second)) >= threshold) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void DeepEr::InitForSchema(const data::Schema& schema) {
+  if (config_.composition == TupleComposition::kAverage) {
+    EnsureAvgClassifier(schema.num_columns());
+  }
+}
+
+std::vector<nn::VarPtr> DeepEr::TrainableParameters() const {
+  if (config_.composition == TupleComposition::kAverage) {
+    if (avg_classifier_ == nullptr) return {};
+    return avg_classifier_->Parameters();
+  }
+  return AllParameters();
+}
+
+Status DeepEr::SaveCheckpoint(const std::string& path) const {
+  std::vector<nn::VarPtr> params = TrainableParameters();
+  if (params.empty()) {
+    return Status::FailedPrecondition(
+        "model has no parameters yet (call Train or InitForSchema first)");
+  }
+  return nn::SaveParametersToFile(params, path);
+}
+
+Status DeepEr::LoadCheckpoint(const std::string& path) {
+  std::vector<nn::VarPtr> params = TrainableParameters();
+  if (params.empty()) {
+    return Status::FailedPrecondition(
+        "model has no parameters yet (call InitForSchema first)");
+  }
+  return nn::LoadParametersFromFile(params, path);
+}
+
+std::vector<float> DeepEr::EmbedTupleVector(const data::Row& row) const {
+  if (config_.composition == TupleComposition::kAverage) {
+    if (use_sif_) {
+      embedding::SifWeights sif;
+      sif.vocabulary = &token_counts_;
+      sif.trigram_fallback_below = 5;
+      return embedding::EmbedTuple(*words_, row,
+                                   embedding::Composition::kSifWeighted, sif);
+    }
+    return embedding::EmbedTuple(*words_, row);
+  }
+  nn::VarPtr enc = EncodeTuple(row);
+  return enc->value.vec();
+}
+
+}  // namespace autodc::er

@@ -1,0 +1,61 @@
+#include "src/er/evaluation.h"
+
+#include <unordered_set>
+
+namespace autodc::er {
+
+namespace {
+struct PairHash {
+  size_t operator()(const RowPair& p) const {
+    return p.first * 1000003u + p.second;
+  }
+};
+}  // namespace
+
+PrfScore Evaluate(const std::vector<RowPair>& predicted,
+                  const std::vector<RowPair>& truth) {
+  std::unordered_set<RowPair, PairHash> truth_set(truth.begin(), truth.end());
+  std::unordered_set<RowPair, PairHash> pred_set(predicted.begin(),
+                                                 predicted.end());
+  PrfScore s;
+  for (const RowPair& p : pred_set) {
+    if (truth_set.count(p) > 0) {
+      ++s.true_positives;
+    } else {
+      ++s.false_positives;
+    }
+  }
+  for (const RowPair& p : truth_set) {
+    if (pred_set.count(p) == 0) ++s.false_negatives;
+  }
+  size_t denom_p = s.true_positives + s.false_positives;
+  size_t denom_r = s.true_positives + s.false_negatives;
+  s.precision = denom_p > 0 ? static_cast<double>(s.true_positives) / denom_p
+                            : 0.0;
+  s.recall = denom_r > 0 ? static_cast<double>(s.true_positives) / denom_r
+                         : 0.0;
+  s.f1 = (s.precision + s.recall) > 0.0
+             ? 2.0 * s.precision * s.recall / (s.precision + s.recall)
+             : 0.0;
+  return s;
+}
+
+double PairCompleteness(const std::vector<RowPair>& candidates,
+                        const std::vector<RowPair>& truth) {
+  if (truth.empty()) return 1.0;
+  std::unordered_set<RowPair, PairHash> cand_set(candidates.begin(),
+                                                 candidates.end());
+  size_t hit = 0;
+  for (const RowPair& p : truth) {
+    if (cand_set.count(p) > 0) ++hit;
+  }
+  return static_cast<double>(hit) / static_cast<double>(truth.size());
+}
+
+double ReductionRatio(size_t num_candidates, size_t n_left, size_t n_right) {
+  double total = static_cast<double>(n_left) * static_cast<double>(n_right);
+  if (total <= 0.0) return 0.0;
+  return 1.0 - static_cast<double>(num_candidates) / total;
+}
+
+}  // namespace autodc::er

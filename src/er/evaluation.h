@@ -1,0 +1,37 @@
+#ifndef AUTODC_ER_EVALUATION_H_
+#define AUTODC_ER_EVALUATION_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace autodc::er {
+
+/// A (left row, right row) identifier pair.
+using RowPair = std::pair<size_t, size_t>;
+
+/// Precision/recall/F1 of a predicted match set against ground truth.
+struct PrfScore {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t false_negatives = 0;
+};
+
+/// Scores `predicted` against `truth` (both as unordered pair sets).
+PrfScore Evaluate(const std::vector<RowPair>& predicted,
+                  const std::vector<RowPair>& truth);
+
+/// Fraction of true pairs surviving in `candidates` — blocking quality.
+double PairCompleteness(const std::vector<RowPair>& candidates,
+                        const std::vector<RowPair>& truth);
+
+/// 1 - |candidates| / (n_left * n_right) — how much comparison work
+/// blocking saved.
+double ReductionRatio(size_t num_candidates, size_t n_left, size_t n_right);
+
+}  // namespace autodc::er
+
+#endif  // AUTODC_ER_EVALUATION_H_

@@ -1,0 +1,84 @@
+#include "src/er/features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/text/similarity.h"
+
+namespace autodc::er {
+
+namespace {
+constexpr size_t kStringFeatures = 5;
+constexpr size_t kNumericFeatures = 2;
+constexpr size_t kNullFeatures = 1;
+}  // namespace
+
+size_t HandcraftedFeatureDim(const data::Schema& schema) {
+  size_t dim = 0;
+  for (const data::Column& c : schema.columns()) {
+    dim += kNullFeatures;
+    if (c.type == data::ValueType::kInt ||
+        c.type == data::ValueType::kDouble) {
+      dim += kNumericFeatures;
+    } else {
+      dim += kStringFeatures;
+    }
+  }
+  return dim;
+}
+
+std::vector<float> HandcraftedPairFeatures(const data::Row& a,
+                                           const data::Row& b,
+                                           const data::Schema& schema) {
+  std::vector<float> f;
+  f.reserve(HandcraftedFeatureDim(schema));
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    const data::Value& va = a[c];
+    const data::Value& vb = b[c];
+    bool any_null = va.is_null() || vb.is_null();
+    f.push_back(any_null ? 1.0f : 0.0f);
+    bool numeric = schema.column(c).type == data::ValueType::kInt ||
+                   schema.column(c).type == data::ValueType::kDouble;
+    if (numeric) {
+      if (any_null) {
+        f.push_back(0.0f);
+        f.push_back(0.0f);
+      } else {
+        double x = va.ToNumeric();
+        double y = vb.ToNumeric();
+        double scale = std::max({std::fabs(x), std::fabs(y), 1e-9});
+        f.push_back(static_cast<float>(1.0 - std::fabs(x - y) / scale));
+        f.push_back(x == y ? 1.0f : 0.0f);
+      }
+    } else {
+      if (any_null) {
+        f.insert(f.end(), kStringFeatures, 0.0f);
+      } else {
+        const std::string sa = va.ToString();
+        const std::string sb = vb.ToString();
+        f.push_back(static_cast<float>(text::LevenshteinSimilarity(sa, sb)));
+        f.push_back(static_cast<float>(text::JaroWinklerSimilarity(sa, sb)));
+        f.push_back(static_cast<float>(text::TokenJaccard(sa, sb)));
+        f.push_back(static_cast<float>(text::TrigramJaccard(sa, sb)));
+        f.push_back(static_cast<float>(text::MongeElkan(sa, sb)));
+      }
+    }
+  }
+  return f;
+}
+
+std::vector<float> EmbeddingPairFeatures(const std::vector<float>& ea,
+                                         const std::vector<float>& eb) {
+  std::vector<float> f;
+  f.reserve(EmbeddingFeatureDim(ea.size()));
+  for (size_t i = 0; i < ea.size(); ++i) {
+    f.push_back(std::fabs(ea[i] - eb[i]));
+  }
+  for (size_t i = 0; i < ea.size(); ++i) {
+    f.push_back(ea[i] * eb[i]);
+  }
+  f.push_back(static_cast<float>(text::CosineSimilarity(ea, eb)));
+  return f;
+}
+
+}  // namespace autodc::er

@@ -1,0 +1,33 @@
+#ifndef AUTODC_ER_FEATURES_H_
+#define AUTODC_ER_FEATURES_H_
+
+#include <vector>
+
+#include "src/data/table.h"
+#include "src/embedding/embedding_store.h"
+
+namespace autodc::er {
+
+/// Classical handcrafted pair features — what "traditional machine
+/// learning based approaches" (Sec. 5.2) engineer per attribute pair:
+/// Levenshtein, Jaro-Winkler, token Jaccard, trigram Jaccard, Monge-Elkan
+/// for strings; relative difference for numerics; a both/either-null
+/// indicator per attribute.
+std::vector<float> HandcraftedPairFeatures(const data::Row& a,
+                                           const data::Row& b,
+                                           const data::Schema& schema);
+
+/// Dimensionality of HandcraftedPairFeatures for `schema`.
+size_t HandcraftedFeatureDim(const data::Schema& schema);
+
+/// DeepER-style distributional pair features from precomputed tuple
+/// embeddings: [ |ea - eb| , ea * eb , cos(ea, eb) ].
+std::vector<float> EmbeddingPairFeatures(const std::vector<float>& ea,
+                                         const std::vector<float>& eb);
+
+/// Dimensionality of EmbeddingPairFeatures for embedding dim d: 2d + 1.
+inline size_t EmbeddingFeatureDim(size_t dim) { return 2 * dim + 1; }
+
+}  // namespace autodc::er
+
+#endif  // AUTODC_ER_FEATURES_H_

@@ -1,0 +1,166 @@
+#include "src/nn/autoencoder.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace autodc::nn {
+
+namespace {
+Tensor BatchToTensor(const Batch& data, const std::vector<size_t>& idx) {
+  size_t d = data.empty() ? 0 : data[0].size();
+  Tensor t({idx.size(), d});
+  for (size_t i = 0; i < idx.size(); ++i) {
+    for (size_t j = 0; j < d; ++j) t.at(i, j) = data[idx[i]][j];
+  }
+  return t;
+}
+
+VarPtr ApplyActivation(const VarPtr& x, Activation a) {
+  switch (a) {
+    case Activation::kIdentity: return x;
+    case Activation::kSigmoid: return Sigmoid(x);
+    case Activation::kTanh: return Tanh(x);
+    case Activation::kRelu: return Relu(x);
+    case Activation::kLeakyRelu: return LeakyRelu(x);
+  }
+  return x;
+}
+
+// Mean absolute value of all elements (L1 / n) — the sparsity penalty.
+VarPtr MeanAbs(const VarPtr& x) {
+  // |x| = x * sign(x); implement via relu(x) + relu(-x).
+  return Mean(Add(Relu(x), Relu(Scale(x, -1.0f))));
+}
+}  // namespace
+
+Autoencoder::Autoencoder(AutoencoderKind kind, const AutoencoderConfig& config,
+                         Rng* rng)
+    : kind_(kind), config_(config), rng_(rng) {
+  size_t in = config.input_dim;
+  size_t hid = config.hidden_dim;
+  assert(in > 0 && hid > 0);
+  enc_w_ = nn::Parameter(Tensor::Xavier(in, hid, rng));
+  enc_b_ = nn::Parameter(Tensor::Zeros({hid}));
+  dec_w_ = nn::Parameter(Tensor::Xavier(hid, in, rng));
+  dec_b_ = nn::Parameter(Tensor::Zeros({in}));
+  if (kind_ == AutoencoderKind::kVariational) {
+    mu_w_ = nn::Parameter(Tensor::Xavier(hid, hid, rng));
+    mu_b_ = nn::Parameter(Tensor::Zeros({hid}));
+    logvar_w_ = nn::Parameter(Tensor::Xavier(hid, hid, rng));
+    logvar_b_ = nn::Parameter(Tensor::Zeros({hid}));
+  }
+  optimizer_ = std::make_unique<Adam>(Parameters(), config.learning_rate);
+}
+
+std::vector<VarPtr> Autoencoder::Parameters() const {
+  std::vector<VarPtr> out = {enc_w_, enc_b_, dec_w_, dec_b_};
+  if (kind_ == AutoencoderKind::kVariational) {
+    out.push_back(mu_w_);
+    out.push_back(mu_b_);
+    out.push_back(logvar_w_);
+    out.push_back(logvar_b_);
+  }
+  return out;
+}
+
+VarPtr Autoencoder::BuildLoss(const Tensor& input, const Tensor& target,
+                              bool train) {
+  VarPtr x = Constant(input);
+  VarPtr code = ApplyActivation(AddBias(MatMulOp(x, enc_w_), enc_b_),
+                                config_.activation);
+  VarPtr loss;
+  if (kind_ == AutoencoderKind::kVariational) {
+    VarPtr mu = AddBias(MatMulOp(code, mu_w_), mu_b_);
+    VarPtr logvar = AddBias(MatMulOp(code, logvar_w_), logvar_b_);
+    VarPtr z = mu;
+    if (train) {
+      // Reparameterization: z = mu + exp(logvar/2) * eps.
+      Tensor eps(mu->value.shape());
+      for (size_t i = 0; i < eps.size(); ++i) {
+        eps[i] = static_cast<float>(rng_->Normal());
+      }
+      z = Add(mu, Mul(Exp(Scale(logvar, 0.5f)), Constant(std::move(eps))));
+    }
+    VarPtr recon = AddBias(MatMulOp(z, dec_w_), dec_b_);
+    VarPtr rec_loss = MseLoss(recon, target);
+    // KL(q||N(0,1)) = -0.5 mean(1 + logvar - mu^2 - exp(logvar)).
+    VarPtr kl = Scale(
+        Mean(Sub(Add(AddScalar(logvar, 1.0f), Scale(Square(mu), -1.0f)),
+                 Exp(logvar))),
+        -0.5f);
+    loss = Add(rec_loss, Scale(kl, config_.kl_weight));
+  } else {
+    VarPtr recon = AddBias(MatMulOp(code, dec_w_), dec_b_);
+    loss = MseLoss(recon, target);
+    if (kind_ == AutoencoderKind::kSparse) {
+      loss = Add(loss, Scale(MeanAbs(code), config_.sparsity_weight));
+    }
+  }
+  return loss;
+}
+
+double Autoencoder::TrainEpoch(const Batch& data, size_t batch_size) {
+  if (data.empty()) return 0.0;
+  std::vector<size_t> order(data.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng_->Shuffle(&order);
+
+  double total = 0.0;
+  size_t batches = 0;
+  for (size_t start = 0; start < order.size(); start += batch_size) {
+    size_t end = std::min(order.size(), start + batch_size);
+    std::vector<size_t> idx(order.begin() + start, order.begin() + end);
+    Tensor target = BatchToTensor(data, idx);
+    Tensor input = target;
+    if (kind_ == AutoencoderKind::kDenoising) {
+      // Stochastically corrupt the input; reconstruct the clean original.
+      for (size_t i = 0; i < input.size(); ++i) {
+        if (rng_->Bernoulli(config_.corruption)) input[i] = 0.0f;
+      }
+    }
+    VarPtr loss = BuildLoss(input, target, /*train=*/true);
+    total += loss->value[0];
+    ++batches;
+    Backward(loss);
+    optimizer_->ClipGradients(5.0f);
+    optimizer_->Step();
+  }
+  return batches > 0 ? total / static_cast<double>(batches) : 0.0;
+}
+
+double Autoencoder::Train(const Batch& data, size_t epochs,
+                          size_t batch_size) {
+  double loss = 0.0;
+  for (size_t e = 0; e < epochs; ++e) loss = TrainEpoch(data, batch_size);
+  return loss;
+}
+
+std::vector<float> Autoencoder::Encode(const std::vector<float>& x) const {
+  Tensor input({1, x.size()}, x);
+  VarPtr code = ApplyActivation(
+      AddBias(MatMulOp(Constant(input), enc_w_), enc_b_),
+      config_.activation);
+  if (kind_ == AutoencoderKind::kVariational) {
+    code = AddBias(MatMulOp(code, mu_w_), mu_b_);
+  }
+  return code->value.vec();
+}
+
+std::vector<float> Autoencoder::Reconstruct(const std::vector<float>& x) const {
+  std::vector<float> code = Encode(x);
+  Tensor c({1, code.size()}, code);
+  VarPtr recon = AddBias(MatMulOp(Constant(c), dec_w_), dec_b_);
+  return recon->value.vec();
+}
+
+double Autoencoder::ReconstructionError(const std::vector<float>& x) const {
+  std::vector<float> r = Reconstruct(x);
+  double s = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    double d = static_cast<double>(r[i]) - x[i];
+    s += d * d;
+  }
+  return x.empty() ? 0.0 : s / static_cast<double>(x.size());
+}
+
+}  // namespace autodc::nn

@@ -1,0 +1,75 @@
+#ifndef AUTODC_NN_AUTOENCODER_H_
+#define AUTODC_NN_AUTOENCODER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/nn/layers.h"
+#include "src/nn/optimizer.h"
+
+namespace autodc::nn {
+
+/// Variants of the autoencoder family the paper singles out as relevant to
+/// data curation (Sec. 2.1, Figure 2(e)-(h)).
+enum class AutoencoderKind {
+  kPlain = 0,   ///< reconstruction loss only
+  kSparse,      ///< + L1 penalty on the code (Figure 2(f))
+  kDenoising,   ///< reconstructs clean input from corrupted input (2(g))
+  kVariational  ///< probabilistic latent with KL regularizer (2(h))
+};
+
+struct AutoencoderConfig {
+  size_t input_dim = 0;
+  size_t hidden_dim = 0;          ///< code dimensionality (d' < d)
+  Activation activation = Activation::kRelu;
+  float sparsity_weight = 1e-3f;  ///< sparse: L1 coefficient on the code
+  float corruption = 0.3f;        ///< denoising: per-element zeroing prob
+  float kl_weight = 1.0f;         ///< variational: KL term weight
+  float learning_rate = 1e-2f;
+};
+
+/// A single-hidden-layer autoencoder covering all four paper variants.
+/// Encoder: code = act(x W1 + b1); decoder: x' = code W2 + b2 (VAE uses a
+/// {mu, logvar} head and the reparameterization trick).
+class Autoencoder {
+ public:
+  Autoencoder(AutoencoderKind kind, const AutoencoderConfig& config,
+              Rng* rng);
+
+  /// One pass over `data` in minibatches; returns the mean loss.
+  double TrainEpoch(const Batch& data, size_t batch_size = 16);
+
+  /// Trains for `epochs` passes; returns the final epoch's mean loss.
+  double Train(const Batch& data, size_t epochs, size_t batch_size = 16);
+
+  /// Deterministic code for x (VAE returns the mean).
+  std::vector<float> Encode(const std::vector<float>& x) const;
+
+  /// Round trip through the bottleneck.
+  std::vector<float> Reconstruct(const std::vector<float>& x) const;
+
+  /// Mean squared reconstruction error of x — the anomaly score used by
+  /// the cleaning module's autoencoder outlier detector.
+  double ReconstructionError(const std::vector<float>& x) const;
+
+  AutoencoderKind kind() const { return kind_; }
+  const AutoencoderConfig& config() const { return config_; }
+  std::vector<VarPtr> Parameters() const;
+
+ private:
+  // Builds the tape for one batch and returns (loss, reconstruction).
+  VarPtr BuildLoss(const Tensor& input, const Tensor& target, bool train);
+
+  AutoencoderKind kind_;
+  AutoencoderConfig config_;
+  Rng* rng_;
+  VarPtr enc_w_, enc_b_;            // {in, hidden}, {hidden}
+  VarPtr mu_w_, mu_b_;              // VAE heads {hidden, hidden}
+  VarPtr logvar_w_, logvar_b_;
+  VarPtr dec_w_, dec_b_;            // {hidden, in}, {in}
+  std::unique_ptr<Adam> optimizer_;
+};
+
+}  // namespace autodc::nn
+
+#endif  // AUTODC_NN_AUTOENCODER_H_

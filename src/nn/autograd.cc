@@ -1,0 +1,509 @@
+#include "src/nn/autograd.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+namespace autodc::nn {
+
+VarPtr Constant(Tensor value) {
+  return std::make_shared<Variable>(std::move(value), /*requires_grad=*/false);
+}
+
+VarPtr Parameter(Tensor value) {
+  return std::make_shared<Variable>(std::move(value), /*requires_grad=*/true);
+}
+
+namespace {
+
+// A node needs gradient flow if it is a parameter or any ancestor is.
+bool NeedsGrad(const std::vector<VarPtr>& parents) {
+  for (const VarPtr& p : parents) {
+    if (p->requires_grad) return true;
+  }
+  return false;
+}
+
+VarPtr MakeOp(Tensor value, std::vector<VarPtr> parents,
+              std::function<void()> backward) {
+  auto out = std::make_shared<Variable>(std::move(value));
+  out->requires_grad = NeedsGrad(parents);
+  if (out->requires_grad) {
+    out->parents = std::move(parents);
+    out->backward_fn = std::move(backward);
+  }
+  return out;
+}
+
+}  // namespace
+
+void Backward(const VarPtr& root) {
+  assert(root->value.size() == 1 && "Backward requires a scalar root");
+  // Iterative topological sort (graphs can be deep for unrolled RNNs).
+  std::vector<Variable*> order;
+  std::unordered_set<Variable*> visited;
+  std::vector<std::pair<Variable*, size_t>> stack;
+  stack.emplace_back(root.get(), 0);
+  visited.insert(root.get());
+  while (!stack.empty()) {
+    auto& [node, child] = stack.back();
+    if (child < node->parents.size()) {
+      Variable* parent = node->parents[child].get();
+      ++child;
+      if (parent->requires_grad && visited.insert(parent).second) {
+        stack.emplace_back(parent, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  // `order` is parents-before-children; walk it children-first.
+  root->EnsureGrad();
+  root->grad[0] = 1.0f;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Variable* node = *it;
+    // Nodes without gradient flow keep no parent ownership; never run
+    // their (inert) backward closures.
+    if (node->requires_grad && node->backward_fn) {
+      for (const VarPtr& p : node->parents) {
+        if (p->requires_grad) p->EnsureGrad();
+      }
+      node->backward_fn();
+    }
+  }
+}
+
+VarPtr Add(const VarPtr& a, const VarPtr& b) {
+  assert(a->value.SameShape(b->value));
+  Tensor out = a->value;
+  Axpy(b->value, 1.0f, &out);
+  auto result = MakeOp(std::move(out), {a, b}, nullptr);
+  Variable* r = result.get();
+  Variable* pa = a.get();
+  Variable* pb = b.get();
+  result->backward_fn = [r, pa, pb]() {
+    if (pa->requires_grad) Axpy(r->grad, 1.0f, &pa->grad);
+    if (pb->requires_grad) Axpy(r->grad, 1.0f, &pb->grad);
+  };
+  return result;
+}
+
+VarPtr Sub(const VarPtr& a, const VarPtr& b) {
+  assert(a->value.SameShape(b->value));
+  Tensor out = a->value;
+  Axpy(b->value, -1.0f, &out);
+  auto result = MakeOp(std::move(out), {a, b}, nullptr);
+  Variable* r = result.get();
+  Variable* pa = a.get();
+  Variable* pb = b.get();
+  result->backward_fn = [r, pa, pb]() {
+    if (pa->requires_grad) Axpy(r->grad, 1.0f, &pa->grad);
+    if (pb->requires_grad) Axpy(r->grad, -1.0f, &pb->grad);
+  };
+  return result;
+}
+
+VarPtr Mul(const VarPtr& a, const VarPtr& b) {
+  assert(a->value.SameShape(b->value));
+  Tensor out = a->value;
+  for (size_t i = 0; i < out.size(); ++i) out[i] *= b->value[i];
+  auto result = MakeOp(std::move(out), {a, b}, nullptr);
+  Variable* r = result.get();
+  Variable* pa = a.get();
+  Variable* pb = b.get();
+  result->backward_fn = [r, pa, pb]() {
+    for (size_t i = 0; i < r->grad.size(); ++i) {
+      if (pa->requires_grad) pa->grad[i] += r->grad[i] * pb->value[i];
+      if (pb->requires_grad) pb->grad[i] += r->grad[i] * pa->value[i];
+    }
+  };
+  return result;
+}
+
+VarPtr Scale(const VarPtr& a, float s) {
+  Tensor out = a->value;
+  for (size_t i = 0; i < out.size(); ++i) out[i] *= s;
+  auto result = MakeOp(std::move(out), {a}, nullptr);
+  Variable* r = result.get();
+  Variable* pa = a.get();
+  result->backward_fn = [r, pa, s]() {
+    if (pa->requires_grad) Axpy(r->grad, s, &pa->grad);
+  };
+  return result;
+}
+
+VarPtr AddScalar(const VarPtr& a, float s) {
+  Tensor out = a->value;
+  for (size_t i = 0; i < out.size(); ++i) out[i] += s;
+  auto result = MakeOp(std::move(out), {a}, nullptr);
+  Variable* r = result.get();
+  Variable* pa = a.get();
+  result->backward_fn = [r, pa]() {
+    if (pa->requires_grad) Axpy(r->grad, 1.0f, &pa->grad);
+  };
+  return result;
+}
+
+VarPtr MatMulOp(const VarPtr& a, const VarPtr& b) {
+  Tensor out = MatMul(a->value, b->value);
+  auto result = MakeOp(std::move(out), {a, b}, nullptr);
+  Variable* r = result.get();
+  Variable* pa = a.get();
+  Variable* pb = b.get();
+  result->backward_fn = [r, pa, pb]() {
+    // dA = dC * B^T ; dB = A^T * dC
+    if (pa->requires_grad) {
+      Tensor da = MatMulTransB(r->grad, pb->value);
+      Axpy(da, 1.0f, &pa->grad);
+    }
+    if (pb->requires_grad) {
+      Tensor db = MatMulTransA(pa->value, r->grad);
+      Axpy(db, 1.0f, &pb->grad);
+    }
+  };
+  return result;
+}
+
+VarPtr AddBias(const VarPtr& a, const VarPtr& bias) {
+  size_t n = a->value.rows();
+  size_t k = a->value.cols();
+  assert(bias->value.size() == k);
+  Tensor out = a->value;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < k; ++j) out.at(i, j) += bias->value[j];
+  }
+  auto result = MakeOp(std::move(out), {a, bias}, nullptr);
+  Variable* r = result.get();
+  Variable* pa = a.get();
+  Variable* pbias = bias.get();
+  result->backward_fn = [r, pa, pbias, n, k]() {
+    if (pa->requires_grad) Axpy(r->grad, 1.0f, &pa->grad);
+    if (pbias->requires_grad) {
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < k; ++j) {
+          pbias->grad[j] += r->grad.at(i, j);
+        }
+      }
+    }
+  };
+  return result;
+}
+
+namespace {
+
+// Generic unary elementwise op: forward maps x->y; backward_factor
+// computes dy/dx from (x, y).
+template <typename Fwd, typename Dfn>
+VarPtr UnaryOp(const VarPtr& a, Fwd fwd, Dfn dydx) {
+  Tensor out = a->value;
+  for (size_t i = 0; i < out.size(); ++i) out[i] = fwd(out[i]);
+  auto result = std::make_shared<Variable>(std::move(out));
+  result->requires_grad = a->requires_grad;
+  if (result->requires_grad) {
+    result->parents = {a};
+    Variable* r = result.get();
+    Variable* pa = a.get();
+    result->backward_fn = [r, pa, dydx]() {
+      for (size_t i = 0; i < r->grad.size(); ++i) {
+        pa->grad[i] += r->grad[i] * dydx(pa->value[i], r->value[i]);
+      }
+    };
+  }
+  return result;
+}
+
+}  // namespace
+
+VarPtr Sigmoid(const VarPtr& a) {
+  return UnaryOp(
+      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+VarPtr Tanh(const VarPtr& a) {
+  return UnaryOp(
+      a, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+VarPtr Relu(const VarPtr& a) {
+  return UnaryOp(
+      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+VarPtr LeakyRelu(const VarPtr& a, float alpha) {
+  return UnaryOp(
+      a, [alpha](float x) { return x > 0.0f ? x : alpha * x; },
+      [alpha](float x, float) { return x > 0.0f ? 1.0f : alpha; });
+}
+
+VarPtr Exp(const VarPtr& a) {
+  return UnaryOp(
+      a, [](float x) { return std::exp(x); },
+      [](float, float y) { return y; });
+}
+
+VarPtr Log(const VarPtr& a, float eps) {
+  return UnaryOp(
+      a, [eps](float x) { return std::log(std::max(x, eps)); },
+      [eps](float x, float) { return 1.0f / std::max(x, eps); });
+}
+
+VarPtr Square(const VarPtr& a) {
+  return UnaryOp(
+      a, [](float x) { return x * x; },
+      [](float x, float) { return 2.0f * x; });
+}
+
+VarPtr Sum(const VarPtr& a) {
+  Tensor out({1});
+  out[0] = static_cast<float>(a->value.Sum());
+  auto result = MakeOp(std::move(out), {a}, nullptr);
+  Variable* r = result.get();
+  Variable* pa = a.get();
+  result->backward_fn = [r, pa]() {
+    if (!pa->requires_grad) return;
+    float g = r->grad[0];
+    for (size_t i = 0; i < pa->grad.size(); ++i) pa->grad[i] += g;
+  };
+  return result;
+}
+
+VarPtr Mean(const VarPtr& a) {
+  size_t n = std::max<size_t>(a->value.size(), 1);
+  return Scale(Sum(a), 1.0f / static_cast<float>(n));
+}
+
+VarPtr Concat(const std::vector<VarPtr>& parts) {
+  size_t total = 0;
+  for (const VarPtr& p : parts) total += p->value.size();
+  Tensor out({total});
+  size_t off = 0;
+  for (const VarPtr& p : parts) {
+    for (size_t i = 0; i < p->value.size(); ++i) out[off + i] = p->value[i];
+    off += p->value.size();
+  }
+  std::vector<VarPtr> parents = parts;
+  auto result = MakeOp(std::move(out), std::move(parents), nullptr);
+  Variable* r = result.get();
+  std::vector<Variable*> raw;
+  raw.reserve(parts.size());
+  for (const VarPtr& p : parts) raw.push_back(p.get());
+  result->backward_fn = [r, raw]() {
+    size_t off2 = 0;
+    for (Variable* p : raw) {
+      if (p->requires_grad) {
+        for (size_t i = 0; i < p->value.size(); ++i) {
+          p->grad[i] += r->grad[off2 + i];
+        }
+      }
+      off2 += p->value.size();
+    }
+  };
+  return result;
+}
+
+VarPtr Rows(const VarPtr& matrix, const std::vector<size_t>& indices) {
+  size_t d = matrix->value.cols();
+  Tensor out({indices.size(), d});
+  for (size_t i = 0; i < indices.size(); ++i) {
+    assert(indices[i] < matrix->value.rows());
+    for (size_t j = 0; j < d; ++j) {
+      out.at(i, j) = matrix->value.at(indices[i], j);
+    }
+  }
+  auto result = MakeOp(std::move(out), {matrix}, nullptr);
+  Variable* r = result.get();
+  Variable* pm = matrix.get();
+  std::vector<size_t> idx = indices;
+  result->backward_fn = [r, pm, idx]() {
+    if (!pm->requires_grad) return;
+    size_t d2 = pm->value.cols();
+    for (size_t i = 0; i < idx.size(); ++i) {
+      for (size_t j = 0; j < d2; ++j) {
+        pm->grad.at(idx[i], j) += r->grad.at(i, j);
+      }
+    }
+  };
+  return result;
+}
+
+VarPtr MeanRows(const VarPtr& a) {
+  size_t n = a->value.rows();
+  size_t d = a->value.cols();
+  Tensor out({d});
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) out[j] += a->value.at(i, j);
+  }
+  float inv = n > 0 ? 1.0f / static_cast<float>(n) : 0.0f;
+  for (size_t j = 0; j < d; ++j) out[j] *= inv;
+  auto result = MakeOp(std::move(out), {a}, nullptr);
+  Variable* r = result.get();
+  Variable* pa = a.get();
+  result->backward_fn = [r, pa, n, d, inv]() {
+    if (!pa->requires_grad) return;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < d; ++j) {
+        pa->grad.at(i, j) += r->grad[j] * inv;
+      }
+    }
+  };
+  return result;
+}
+
+VarPtr DropoutOp(const VarPtr& a, float p, bool train, Rng* rng) {
+  if (!train || p <= 0.0f) return a;
+  Tensor mask(a->value.shape());
+  float keep = 1.0f - p;
+  for (size_t i = 0; i < mask.size(); ++i) {
+    mask[i] = rng->Bernoulli(keep) ? 1.0f / keep : 0.0f;
+  }
+  Tensor out = a->value;
+  for (size_t i = 0; i < out.size(); ++i) out[i] *= mask[i];
+  auto result = MakeOp(std::move(out), {a}, nullptr);
+  Variable* r = result.get();
+  Variable* pa = a.get();
+  auto mask_ptr = std::make_shared<Tensor>(std::move(mask));
+  result->backward_fn = [r, pa, mask_ptr]() {
+    if (!pa->requires_grad) return;
+    for (size_t i = 0; i < r->grad.size(); ++i) {
+      pa->grad[i] += r->grad[i] * (*mask_ptr)[i];
+    }
+  };
+  return result;
+}
+
+namespace {
+// Fills `out` with row-wise softmax of `in` ({n,k} or rank-1 treated as
+// one row).
+void SoftmaxInto(const Tensor& in, Tensor* out) {
+  size_t k = in.rank() == 2 ? in.cols() : in.size();
+  size_t n = in.size() / std::max<size_t>(k, 1);
+  for (size_t i = 0; i < n; ++i) {
+    const float* row = in.data() + i * k;
+    float* orow = out->data() + i * k;
+    float mx = row[0];
+    for (size_t j = 1; j < k; ++j) mx = std::max(mx, row[j]);
+    double z = 0.0;
+    for (size_t j = 0; j < k; ++j) {
+      orow[j] = std::exp(row[j] - mx);
+      z += orow[j];
+    }
+    for (size_t j = 0; j < k; ++j) {
+      orow[j] = static_cast<float>(orow[j] / z);
+    }
+  }
+}
+}  // namespace
+
+VarPtr SoftmaxRows(const VarPtr& a) {
+  Tensor out(a->value.shape());
+  SoftmaxInto(a->value, &out);
+  auto result = MakeOp(std::move(out), {a}, nullptr);
+  Variable* r = result.get();
+  Variable* pa = a.get();
+  result->backward_fn = [r, pa]() {
+    if (!pa->requires_grad) return;
+    size_t k = r->value.rank() == 2 ? r->value.cols() : r->value.size();
+    size_t n = r->value.size() / std::max<size_t>(k, 1);
+    for (size_t i = 0; i < n; ++i) {
+      const float* y = r->value.data() + i * k;
+      const float* dy = r->grad.data() + i * k;
+      float* dx = pa->grad.data() + i * k;
+      double dot = 0.0;
+      for (size_t j = 0; j < k; ++j) dot += static_cast<double>(dy[j]) * y[j];
+      for (size_t j = 0; j < k; ++j) {
+        dx[j] += y[j] * (dy[j] - static_cast<float>(dot));
+      }
+    }
+  };
+  return result;
+}
+
+VarPtr MseLoss(const VarPtr& pred, const Tensor& target) {
+  assert(pred->value.SameShape(target));
+  Tensor out({1});
+  double s = 0.0;
+  for (size_t i = 0; i < target.size(); ++i) {
+    double d = static_cast<double>(pred->value[i]) - target[i];
+    s += d * d;
+  }
+  size_t n = std::max<size_t>(target.size(), 1);
+  out[0] = static_cast<float>(s / static_cast<double>(n));
+  auto result = MakeOp(std::move(out), {pred}, nullptr);
+  Variable* r = result.get();
+  Variable* pp = pred.get();
+  auto tgt = std::make_shared<Tensor>(target);
+  result->backward_fn = [r, pp, tgt, n]() {
+    if (!pp->requires_grad) return;
+    float g = r->grad[0] * 2.0f / static_cast<float>(n);
+    for (size_t i = 0; i < tgt->size(); ++i) {
+      pp->grad[i] += g * (pp->value[i] - (*tgt)[i]);
+    }
+  };
+  return result;
+}
+
+VarPtr BceWithLogitsLoss(const VarPtr& logits, const Tensor& targets) {
+  assert(logits->value.SameShape(targets));
+  size_t n = std::max<size_t>(targets.size(), 1);
+  Tensor out({1});
+  double s = 0.0;
+  for (size_t i = 0; i < targets.size(); ++i) {
+    double x = logits->value[i];
+    double t = targets[i];
+    // log(1+exp(x)) computed stably: max(x,0) + log1p(exp(-|x|))
+    double lse = std::max(x, 0.0) + std::log1p(std::exp(-std::fabs(x)));
+    s += lse - t * x;
+  }
+  out[0] = static_cast<float>(s / static_cast<double>(n));
+  auto result = MakeOp(std::move(out), {logits}, nullptr);
+  Variable* r = result.get();
+  Variable* pl = logits.get();
+  auto tgt = std::make_shared<Tensor>(targets);
+  result->backward_fn = [r, pl, tgt, n]() {
+    if (!pl->requires_grad) return;
+    float g = r->grad[0] / static_cast<float>(n);
+    for (size_t i = 0; i < tgt->size(); ++i) {
+      float sig = 1.0f / (1.0f + std::exp(-pl->value[i]));
+      pl->grad[i] += g * (sig - (*tgt)[i]);
+    }
+  };
+  return result;
+}
+
+VarPtr SoftmaxCrossEntropyLoss(const VarPtr& logits,
+                               const std::vector<size_t>& labels) {
+  size_t k = logits->value.cols();
+  size_t n = logits->value.rows();
+  assert(labels.size() == n);
+  Tensor probs(logits->value.shape());
+  SoftmaxInto(logits->value, &probs);
+  Tensor out({1});
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    s -= std::log(std::max(probs.at(i, labels[i]), 1e-12f));
+  }
+  out[0] = static_cast<float>(s / std::max<size_t>(n, 1));
+  auto result = MakeOp(std::move(out), {logits}, nullptr);
+  Variable* r = result.get();
+  Variable* pl = logits.get();
+  auto probs_ptr = std::make_shared<Tensor>(std::move(probs));
+  std::vector<size_t> lab = labels;
+  result->backward_fn = [r, pl, probs_ptr, lab, n, k]() {
+    if (!pl->requires_grad) return;
+    float g = r->grad[0] / static_cast<float>(std::max<size_t>(n, 1));
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < k; ++j) {
+        float p = probs_ptr->at(i, j);
+        pl->grad.at(i, j) += g * (p - (j == lab[i] ? 1.0f : 0.0f));
+      }
+    }
+  };
+  return result;
+}
+
+}  // namespace autodc::nn

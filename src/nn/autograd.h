@@ -1,0 +1,105 @@
+#ifndef AUTODC_NN_AUTOGRAD_H_
+#define AUTODC_NN_AUTOGRAD_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/nn/tensor.h"
+
+namespace autodc::nn {
+
+class Variable;
+/// Shared handle to a node of the dynamic computation graph.
+using VarPtr = std::shared_ptr<Variable>;
+
+/// A node in the reverse-mode autodiff tape: a value, its gradient, and a
+/// closure that propagates the gradient to its parents. Graphs are built
+/// dynamically by the op functions below (define-by-run), so RNNs unroll
+/// naturally.
+class Variable {
+ public:
+  explicit Variable(Tensor value, bool requires_grad = false)
+      : value(std::move(value)), requires_grad(requires_grad) {}
+
+  Tensor value;
+  Tensor grad;  ///< allocated on demand; same shape as value
+  bool requires_grad = false;
+  std::vector<VarPtr> parents;
+  /// Propagates this->grad into parents' grads. Null for leaves.
+  std::function<void()> backward_fn;
+
+  /// Allocates (zeroed) grad storage if absent.
+  void EnsureGrad() {
+    if (grad.size() != value.size()) grad = Tensor::Zeros(value.shape());
+  }
+  void ZeroGrad() {
+    if (grad.size() == value.size()) grad.Fill(0.0f);
+  }
+};
+
+/// Leaf that does not require gradients (inputs, targets).
+VarPtr Constant(Tensor value);
+/// Leaf that accumulates gradients (trainable parameter).
+VarPtr Parameter(Tensor value);
+
+/// Runs reverse-mode backprop from `root`, which must be a scalar
+/// (size()==1). Seeds d(root)/d(root)=1 and accumulates into every
+/// reachable parameter's grad.
+void Backward(const VarPtr& root);
+
+// ---- Elementwise and linear-algebra ops -------------------------------
+// All ops allocate a fresh output Variable wired into the tape. Shape
+// preconditions are asserted; graph construction code is expected to pass
+// conforming shapes.
+
+VarPtr Add(const VarPtr& a, const VarPtr& b);        ///< same shape
+VarPtr Sub(const VarPtr& a, const VarPtr& b);        ///< same shape
+VarPtr Mul(const VarPtr& a, const VarPtr& b);        ///< elementwise, same shape
+VarPtr Scale(const VarPtr& a, float s);
+VarPtr AddScalar(const VarPtr& a, float s);
+/// Matrix product: a {n,m} x b {m,k} -> {n,k}.
+VarPtr MatMulOp(const VarPtr& a, const VarPtr& b);
+/// Adds rank-1 bias {k} to each row of a {n,k} matrix.
+VarPtr AddBias(const VarPtr& a, const VarPtr& bias);
+
+VarPtr Sigmoid(const VarPtr& a);
+VarPtr Tanh(const VarPtr& a);
+VarPtr Relu(const VarPtr& a);
+VarPtr LeakyRelu(const VarPtr& a, float alpha = 0.01f);
+VarPtr Exp(const VarPtr& a);
+/// Natural log of max(a, eps) for numerical safety.
+VarPtr Log(const VarPtr& a, float eps = 1e-8f);
+VarPtr Square(const VarPtr& a);
+
+/// Scalar sum of all elements.
+VarPtr Sum(const VarPtr& a);
+/// Scalar mean of all elements.
+VarPtr Mean(const VarPtr& a);
+/// Concatenates rank-1 vectors into one rank-1 vector.
+VarPtr Concat(const std::vector<VarPtr>& parts);
+/// Gathers rows of a {v,d} embedding matrix by index -> {n,d}. Gradient is
+/// scattered back into the matrix rows (sparse update pattern).
+VarPtr Rows(const VarPtr& matrix, const std::vector<size_t>& indices);
+/// Mean over rows of a {n,d} matrix -> {d}.
+VarPtr MeanRows(const VarPtr& a);
+/// Inverted dropout: active only when `train`; scales kept units by 1/(1-p).
+VarPtr DropoutOp(const VarPtr& a, float p, bool train, Rng* rng);
+/// Row-wise softmax of a {n,k} matrix (or rank-1 {k}).
+VarPtr SoftmaxRows(const VarPtr& a);
+
+// ---- Loss ops (scalar outputs) ----------------------------------------
+
+/// Mean squared error between prediction and a constant target.
+VarPtr MseLoss(const VarPtr& pred, const Tensor& target);
+/// Mean binary cross-entropy of logits against {0,1} targets
+/// (numerically stable log-sum-exp form).
+VarPtr BceWithLogitsLoss(const VarPtr& logits, const Tensor& targets);
+/// Mean softmax cross-entropy of row logits {n,k} against class labels.
+VarPtr SoftmaxCrossEntropyLoss(const VarPtr& logits,
+                               const std::vector<size_t>& labels);
+
+}  // namespace autodc::nn
+
+#endif  // AUTODC_NN_AUTOGRAD_H_

@@ -1,0 +1,93 @@
+#ifndef AUTODC_NN_CLASSIFIER_H_
+#define AUTODC_NN_CLASSIFIER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/nn/layers.h"
+#include "src/nn/optimizer.h"
+
+namespace autodc::nn {
+
+struct ClassifierConfig {
+  size_t input_dim = 0;
+  std::vector<size_t> hidden = {32};   ///< hidden layer widths
+  Activation activation = Activation::kRelu;
+  float learning_rate = 1e-2f;
+  float dropout = 0.0f;
+  /// Weight applied to positive examples in the BCE loss — the
+  /// cost-sensitive handle for skewed label distributions (Sec. 6.1).
+  float positive_weight = 1.0f;
+};
+
+/// Binary MLP classifier trained with (weighted) BCE on dense feature
+/// vectors. This is the classification head of DeepER and of the weak
+/// supervision experiments.
+class BinaryClassifier {
+ public:
+  BinaryClassifier(const ClassifierConfig& config, Rng* rng);
+
+  /// One epoch of minibatch training; returns mean loss.
+  double TrainEpoch(const Batch& features, const std::vector<int>& labels,
+                    size_t batch_size = 32);
+
+  /// Trains `epochs` epochs; returns final epoch mean loss.
+  double Train(const Batch& features, const std::vector<int>& labels,
+               size_t epochs, size_t batch_size = 32);
+
+  /// Trains against probabilistic (soft) labels in [0,1], the interface
+  /// weak supervision needs.
+  double TrainSoft(const Batch& features, const std::vector<double>& probs,
+                   size_t epochs, size_t batch_size = 32);
+
+  /// P(label=1 | x).
+  double PredictProba(const std::vector<float>& x) const;
+  /// Batched probabilities.
+  std::vector<double> PredictProbaBatch(const Batch& xs) const;
+  /// Thresholded decision.
+  int Predict(const std::vector<float>& x, double threshold = 0.5) const;
+
+  std::vector<VarPtr> Parameters() const { return model_->Parameters(); }
+  size_t NumParameters() const { return model_->NumParameters(); }
+
+ private:
+  double RunEpoch(const Batch& features, const std::vector<float>& targets,
+                  size_t batch_size);
+
+  ClassifierConfig config_;
+  Rng* rng_;
+  std::unique_ptr<Sequential> model_;
+  std::unique_ptr<Adam> optimizer_;
+};
+
+/// Multiclass MLP classifier with softmax cross-entropy, used by the
+/// architecture-zoo benchmark.
+class MulticlassClassifier {
+ public:
+  MulticlassClassifier(size_t input_dim, const std::vector<size_t>& hidden,
+                       size_t num_classes, float lr, Rng* rng);
+
+  double TrainEpoch(const Batch& features, const std::vector<size_t>& labels,
+                    size_t batch_size = 32);
+  double Train(const Batch& features, const std::vector<size_t>& labels,
+               size_t epochs, size_t batch_size = 32);
+
+  /// Class probabilities for x.
+  std::vector<double> PredictProba(const std::vector<float>& x) const;
+  size_t Predict(const std::vector<float>& x) const;
+  /// Fraction correct.
+  double Accuracy(const Batch& features,
+                  const std::vector<size_t>& labels) const;
+
+  std::vector<VarPtr> Parameters() const { return model_->Parameters(); }
+
+ private:
+  Rng* rng_;
+  size_t num_classes_;
+  std::unique_ptr<Sequential> model_;
+  std::unique_ptr<Adam> optimizer_;
+};
+
+}  // namespace autodc::nn
+
+#endif  // AUTODC_NN_CLASSIFIER_H_

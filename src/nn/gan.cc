@@ -1,0 +1,127 @@
+#include "src/nn/gan.h"
+
+#include <cassert>
+
+namespace autodc::nn {
+
+Gan::Gan(const GanConfig& config, Rng* rng) : config_(config), rng_(rng) {
+  assert(config.data_dim > 0);
+  generator_ = Sequential::Mlp(
+      {config.latent_dim, config.hidden_dim, config.data_dim},
+      Activation::kLeakyRelu, rng);
+  discriminator_ = Sequential::Mlp({config.data_dim, config.hidden_dim, 1},
+                                   Activation::kLeakyRelu, rng);
+  g_opt_ = std::make_unique<Adam>(generator_->Parameters(),
+                                  config.lr_generator);
+  d_opt_ = std::make_unique<Adam>(discriminator_->Parameters(),
+                                  config.lr_discriminator);
+}
+
+Tensor Gan::SampleNoise(size_t n) {
+  Tensor z({n, config_.latent_dim});
+  for (size_t i = 0; i < z.size(); ++i) {
+    z[i] = static_cast<float>(rng_->Normal());
+  }
+  return z;
+}
+
+VarPtr Gan::GeneratorForward(const Tensor& noise) const {
+  return generator_->Forward(Constant(noise), /*train=*/true);
+}
+
+VarPtr Gan::DiscriminatorForward(const VarPtr& rows) const {
+  return discriminator_->Forward(rows, /*train=*/true);
+}
+
+Gan::StepStats Gan::TrainStep(const Batch& real_batch) {
+  StepStats stats;
+  size_t n = real_batch.size();
+  if (n == 0) return stats;
+
+  // ---- Discriminator step: real rows labelled 1, fake rows labelled 0.
+  Tensor real({n, config_.data_dim});
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < config_.data_dim; ++j) {
+      real.at(i, j) = real_batch[i][j];
+    }
+  }
+  VarPtr fake = GeneratorForward(SampleNoise(n));
+  // Detach the generator from the discriminator step: copy fake values
+  // into a constant so D's loss does not backprop into G.
+  VarPtr fake_detached = Constant(fake->value);
+
+  VarPtr d_real = DiscriminatorForward(Constant(real));
+  VarPtr d_fake = DiscriminatorForward(fake_detached);
+  VarPtr d_loss = Add(BceWithLogitsLoss(d_real, Tensor::Ones({n, 1})),
+                      BceWithLogitsLoss(d_fake, Tensor::Zeros({n, 1})));
+  stats.d_loss = d_loss->value[0];
+  size_t correct = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (d_real->value.at(i, 0) > 0.0f) ++correct;
+    if (d_fake->value.at(i, 0) <= 0.0f) ++correct;
+  }
+  stats.d_accuracy = static_cast<double>(correct) / (2.0 * n);
+  Backward(d_loss);
+  d_opt_->ClipGradients(5.0f);
+  d_opt_->Step();
+
+  // ---- Generator step: fresh fakes must be classified real.
+  VarPtr fake2 = GeneratorForward(SampleNoise(n));
+  VarPtr d_fake2 = DiscriminatorForward(fake2);
+  VarPtr g_loss = BceWithLogitsLoss(d_fake2, Tensor::Ones({n, 1}));
+  stats.g_loss = g_loss->value[0];
+  Backward(g_loss);
+  g_opt_->ClipGradients(5.0f);
+  g_opt_->Step();
+  // The generator step also deposited gradients in D; drop them so they
+  // do not leak into D's next update.
+  for (const VarPtr& p : discriminator_->Parameters()) p->ZeroGrad();
+
+  return stats;
+}
+
+Gan::StepStats Gan::Train(const Batch& data, size_t epochs,
+                          size_t batch_size) {
+  StepStats last;
+  if (data.empty()) return last;
+  for (size_t e = 0; e < epochs; ++e) {
+    std::vector<size_t> order(data.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    rng_->Shuffle(&order);
+    for (size_t start = 0; start < order.size(); start += batch_size) {
+      size_t end = std::min(order.size(), start + batch_size);
+      Batch batch;
+      batch.reserve(end - start);
+      for (size_t i = start; i < end; ++i) batch.push_back(data[order[i]]);
+      last = TrainStep(batch);
+    }
+  }
+  return last;
+}
+
+Batch Gan::Generate(size_t n) {
+  VarPtr fake = generator_->Forward(Constant(SampleNoise(n)), /*train=*/false);
+  Batch out(n, std::vector<float>(config_.data_dim));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < config_.data_dim; ++j) {
+      out[i][j] = fake->value.at(i, j);
+    }
+  }
+  return out;
+}
+
+double Gan::DiscriminatorScore(const std::vector<float>& x) const {
+  Tensor t({1, x.size()}, x);
+  VarPtr logit = discriminator_->Forward(Constant(t), /*train=*/false);
+  return 1.0 / (1.0 + std::exp(-logit->value[0]));
+}
+
+std::vector<VarPtr> Gan::GeneratorParameters() const {
+  return generator_->Parameters();
+}
+
+std::vector<VarPtr> Gan::DiscriminatorParameters() const {
+  return discriminator_->Parameters();
+}
+
+}  // namespace autodc::nn

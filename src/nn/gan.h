@@ -1,0 +1,68 @@
+#ifndef AUTODC_NN_GAN_H_
+#define AUTODC_NN_GAN_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/nn/autoencoder.h"
+#include "src/nn/layers.h"
+#include "src/nn/optimizer.h"
+
+namespace autodc::nn {
+
+struct GanConfig {
+  size_t latent_dim = 8;
+  size_t data_dim = 0;
+  size_t hidden_dim = 32;
+  float lr_generator = 1e-3f;
+  float lr_discriminator = 1e-3f;
+};
+
+/// Vanilla GAN (Figure 2(i)): an MLP generator mapping latent noise to
+/// data space and an MLP discriminator emitting a real/fake logit. Used
+/// by the synthetic-data-generation experiments of Sec. 6.2.3.
+class Gan {
+ public:
+  Gan(const GanConfig& config, Rng* rng);
+
+  struct StepStats {
+    double d_loss = 0.0;
+    double g_loss = 0.0;
+    /// Discriminator accuracy on this step's real+fake batch; ~0.5 at the
+    /// adversarial equilibrium the paper describes ("fool the dealer").
+    double d_accuracy = 0.0;
+  };
+
+  /// One adversarial step on a minibatch of real rows: trains D on
+  /// real-vs-fake, then trains G to fool D.
+  StepStats TrainStep(const Batch& real_batch);
+
+  /// Trains for `epochs` passes over `data` in minibatches; returns the
+  /// final step's stats.
+  StepStats Train(const Batch& data, size_t epochs, size_t batch_size = 16);
+
+  /// Draws n synthetic rows from the generator.
+  Batch Generate(size_t n);
+
+  /// Discriminator probability that x is real.
+  double DiscriminatorScore(const std::vector<float>& x) const;
+
+  std::vector<VarPtr> GeneratorParameters() const;
+  std::vector<VarPtr> DiscriminatorParameters() const;
+
+ private:
+  VarPtr GeneratorForward(const Tensor& noise) const;
+  VarPtr DiscriminatorForward(const VarPtr& rows) const;
+  Tensor SampleNoise(size_t n);
+
+  GanConfig config_;
+  Rng* rng_;
+  std::unique_ptr<Sequential> generator_;
+  std::unique_ptr<Sequential> discriminator_;
+  std::unique_ptr<Adam> g_opt_;
+  std::unique_ptr<Adam> d_opt_;
+};
+
+}  // namespace autodc::nn
+
+#endif  // AUTODC_NN_GAN_H_

@@ -1,0 +1,179 @@
+#include "src/nn/layers.h"
+
+#include <cassert>
+
+namespace autodc::nn {
+
+size_t Module::NumParameters() const {
+  size_t n = 0;
+  for (const VarPtr& p : Parameters()) n += p->value.size();
+  return n;
+}
+
+void Module::ZeroGrad() {
+  for (const VarPtr& p : Parameters()) p->ZeroGrad();
+}
+
+Linear::Linear(size_t in_features, size_t out_features, Rng* rng, bool bias)
+    : in_features_(in_features), out_features_(out_features) {
+  // Stored as {in, out} so forward is input {n,in} x W {in,out}.
+  weight_ = nn::Parameter(Tensor::Xavier(in_features, out_features, rng));
+  if (bias) bias_ = nn::Parameter(Tensor::Zeros({out_features}));
+}
+
+VarPtr Linear::Forward(const VarPtr& input, bool /*train*/) {
+  // Accept rank-1 input as a single-row matrix.
+  VarPtr x = input;
+  if (x->value.rank() == 1) {
+    // Reshape by wrapping: create a rank-2 alias node via Rows-free path.
+    // Cheap approach: treat as {1, n} matrix with shared data copy.
+    Tensor m({1, x->value.size()}, x->value.vec());
+    VarPtr wrapped = std::make_shared<Variable>(std::move(m));
+    wrapped->requires_grad = x->requires_grad;
+    if (wrapped->requires_grad) {
+      wrapped->parents = {x};
+      Variable* w = wrapped.get();
+      Variable* px = x.get();
+      wrapped->backward_fn = [w, px]() {
+        for (size_t i = 0; i < w->grad.size(); ++i) px->grad[i] += w->grad[i];
+      };
+    }
+    x = wrapped;
+  }
+  assert(x->value.cols() == in_features_);
+  VarPtr out = MatMulOp(x, weight_);
+  if (bias_) out = AddBias(out, bias_);
+  return out;
+}
+
+std::vector<VarPtr> Linear::Parameters() const {
+  if (bias_) return {weight_, bias_};
+  return {weight_};
+}
+
+VarPtr ActivationLayer::Forward(const VarPtr& input, bool /*train*/) {
+  switch (kind_) {
+    case Activation::kIdentity: return input;
+    case Activation::kSigmoid: return Sigmoid(input);
+    case Activation::kTanh: return Tanh(input);
+    case Activation::kRelu: return Relu(input);
+    case Activation::kLeakyRelu: return LeakyRelu(input);
+  }
+  return input;
+}
+
+Sequential& Sequential::Add(std::unique_ptr<Module> m) {
+  modules_.push_back(std::move(m));
+  return *this;
+}
+
+std::unique_ptr<Sequential> Sequential::Mlp(const std::vector<size_t>& widths,
+                                            Activation hidden, Rng* rng) {
+  auto seq = std::make_unique<Sequential>();
+  for (size_t i = 0; i + 1 < widths.size(); ++i) {
+    seq->Add(std::make_unique<Linear>(widths[i], widths[i + 1], rng));
+    if (i + 2 < widths.size()) {
+      seq->Add(std::make_unique<ActivationLayer>(hidden));
+    }
+  }
+  return seq;
+}
+
+VarPtr Sequential::Forward(const VarPtr& input, bool train) {
+  VarPtr x = input;
+  for (auto& m : modules_) x = m->Forward(x, train);
+  return x;
+}
+
+std::vector<VarPtr> Sequential::Parameters() const {
+  std::vector<VarPtr> out;
+  for (const auto& m : modules_) {
+    for (const VarPtr& p : m->Parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+EmbeddingTable::EmbeddingTable(size_t vocab_size, size_t dim, Rng* rng) {
+  table_ = nn::Parameter(
+      Tensor::RandomUniform({vocab_size, dim}, 0.5f / dim, rng));
+}
+
+VarPtr EmbeddingTable::Lookup(const std::vector<size_t>& ids) const {
+  return Rows(table_, ids);
+}
+
+Conv1D::Conv1D(size_t in_channels, size_t filters, size_t kernel, Rng* rng)
+    : in_channels_(in_channels), filters_(filters), kernel_(kernel) {
+  weight_ = nn::Parameter(Tensor::Xavier(kernel * in_channels, filters, rng));
+  bias_ = nn::Parameter(Tensor::Zeros({filters}));
+}
+
+VarPtr Conv1D::Forward(const VarPtr& input, bool /*train*/) {
+  // input: {time, in_channels}. Build the im2col matrix {time-k+1,
+  // k*in_channels} as a tape op, then reuse MatMul + bias.
+  size_t time = input->value.rows();
+  size_t c = input->value.cols();
+  assert(c == in_channels_);
+  assert(time >= kernel_);
+  size_t out_t = time - kernel_ + 1;
+  Tensor cols({out_t, kernel_ * c});
+  for (size_t t = 0; t < out_t; ++t) {
+    for (size_t k = 0; k < kernel_; ++k) {
+      for (size_t j = 0; j < c; ++j) {
+        cols.at(t, k * c + j) = input->value.at(t + k, j);
+      }
+    }
+  }
+  auto im2col = std::make_shared<Variable>(std::move(cols));
+  im2col->requires_grad = input->requires_grad;
+  if (im2col->requires_grad) {
+    im2col->parents = {input};
+    Variable* r = im2col.get();
+    Variable* pin = input.get();
+    size_t kernel = kernel_;
+    im2col->backward_fn = [r, pin, kernel, c, out_t]() {
+      for (size_t t = 0; t < out_t; ++t) {
+        for (size_t k = 0; k < kernel; ++k) {
+          for (size_t j = 0; j < c; ++j) {
+            pin->grad.at(t + k, j) += r->grad.at(t, k * c + j);
+          }
+        }
+      }
+    };
+  }
+  return AddBias(MatMulOp(im2col, weight_), bias_);
+}
+
+std::vector<VarPtr> Conv1D::Parameters() const { return {weight_, bias_}; }
+
+VarPtr GlobalMaxPoolRows(const VarPtr& input) {
+  size_t n = input->value.rows();
+  size_t d = input->value.cols();
+  Tensor out({d});
+  std::vector<size_t> argmax(d, 0);
+  for (size_t j = 0; j < d; ++j) {
+    float best = input->value.at(0, j);
+    for (size_t i = 1; i < n; ++i) {
+      if (input->value.at(i, j) > best) {
+        best = input->value.at(i, j);
+        argmax[j] = i;
+      }
+    }
+    out[j] = best;
+  }
+  auto result = std::make_shared<Variable>(std::move(out));
+  result->requires_grad = input->requires_grad;
+  if (result->requires_grad) {
+    result->parents = {input};
+    Variable* r = result.get();
+    Variable* pin = input.get();
+    result->backward_fn = [r, pin, argmax, d]() {
+      for (size_t j = 0; j < d; ++j) {
+        pin->grad.at(argmax[j], j) += r->grad[j];
+      }
+    };
+  }
+  return result;
+}
+
+}  // namespace autodc::nn

@@ -1,0 +1,154 @@
+#ifndef AUTODC_NN_LAYERS_H_
+#define AUTODC_NN_LAYERS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/nn/autograd.h"
+
+namespace autodc::nn {
+
+/// Dense batch of row vectors used by trainers throughout the library.
+using Batch = std::vector<std::vector<float>>;
+
+/// Base class for trainable components. A module owns parameters (leaf
+/// Variables with requires_grad) and maps an input Variable to an output
+/// Variable, extending the tape.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Forward pass. `train` toggles train-time behavior (dropout).
+  virtual VarPtr Forward(const VarPtr& input, bool train) = 0;
+
+  /// All trainable parameters, in a stable order (used by optimizers and
+  /// serialization).
+  virtual std::vector<VarPtr> Parameters() const = 0;
+
+  /// Total scalar parameter count.
+  size_t NumParameters() const;
+
+  /// Zeroes every parameter gradient.
+  void ZeroGrad();
+};
+
+/// Fully-connected layer: y = x W^T + b for x {n, in} -> {n, out}.
+class Linear : public Module {
+ public:
+  Linear(size_t in_features, size_t out_features, Rng* rng,
+         bool bias = true);
+
+  VarPtr Forward(const VarPtr& input, bool train) override;
+  std::vector<VarPtr> Parameters() const override;
+
+  size_t in_features() const { return in_features_; }
+  size_t out_features() const { return out_features_; }
+  const VarPtr& weight() const { return weight_; }
+  const VarPtr& bias() const { return bias_; }
+
+ private:
+  size_t in_features_;
+  size_t out_features_;
+  VarPtr weight_;  ///< {in, out} so forward is a plain MatMul
+  VarPtr bias_;    ///< {out} or null
+};
+
+/// Parameter-free activation layers so architectures compose uniformly.
+enum class Activation { kIdentity, kSigmoid, kTanh, kRelu, kLeakyRelu };
+
+class ActivationLayer : public Module {
+ public:
+  explicit ActivationLayer(Activation kind) : kind_(kind) {}
+  VarPtr Forward(const VarPtr& input, bool train) override;
+  std::vector<VarPtr> Parameters() const override { return {}; }
+
+ private:
+  Activation kind_;
+};
+
+/// Inverted dropout layer (active only in train mode).
+class Dropout : public Module {
+ public:
+  Dropout(float p, Rng* rng) : p_(p), rng_(rng) {}
+  VarPtr Forward(const VarPtr& input, bool train) override {
+    return DropoutOp(input, p_, train, rng_);
+  }
+  std::vector<VarPtr> Parameters() const override { return {}; }
+
+ private:
+  float p_;
+  Rng* rng_;
+};
+
+/// Composition of modules applied in order. This is the "fully-connected
+/// network" builder of Figure 2(b): alternate Linear and ActivationLayer.
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+
+  /// Appends a module; returns *this for chaining.
+  Sequential& Add(std::unique_ptr<Module> m);
+
+  /// Convenience: builds an MLP with the given layer widths and a uniform
+  /// hidden activation; the output layer is linear (no activation).
+  static std::unique_ptr<Sequential> Mlp(const std::vector<size_t>& widths,
+                                         Activation hidden, Rng* rng);
+
+  VarPtr Forward(const VarPtr& input, bool train) override;
+  std::vector<VarPtr> Parameters() const override;
+
+  size_t num_modules() const { return modules_.size(); }
+  Module* module(size_t i) { return modules_[i].get(); }
+
+ private:
+  std::vector<std::unique_ptr<Module>> modules_;
+};
+
+/// Token-id -> dense-vector lookup table (the distributed-representation
+/// primitive of Sec. 2.2). Forward input is ignored; use Lookup().
+class EmbeddingTable {
+ public:
+  EmbeddingTable(size_t vocab_size, size_t dim, Rng* rng);
+
+  /// Rows for `ids` as a {n, dim} Variable on the tape (gradients scatter
+  /// back into the table).
+  VarPtr Lookup(const std::vector<size_t>& ids) const;
+
+  size_t vocab_size() const { return table_->value.rows(); }
+  size_t dim() const { return table_->value.cols(); }
+  const VarPtr& table() const { return table_; }
+  std::vector<VarPtr> Parameters() const { return {table_}; }
+
+ private:
+  VarPtr table_;
+};
+
+/// 1-D convolution over a {time, channels} input (Figure 2(c)):
+/// `filters` kernels of width `kernel`, stride 1, valid padding.
+/// Output is {time - kernel + 1, filters}.
+class Conv1D : public Module {
+ public:
+  Conv1D(size_t in_channels, size_t filters, size_t kernel, Rng* rng);
+
+  VarPtr Forward(const VarPtr& input, bool train) override;
+  std::vector<VarPtr> Parameters() const override;
+
+  size_t kernel() const { return kernel_; }
+
+ private:
+  size_t in_channels_;
+  size_t filters_;
+  size_t kernel_;
+  VarPtr weight_;  ///< {kernel * in_channels, filters}
+  VarPtr bias_;    ///< {filters}
+};
+
+/// Max pooling over the time axis of a {time, channels} input, collapsing
+/// to a rank-1 {channels} vector (global max pool).
+VarPtr GlobalMaxPoolRows(const VarPtr& input);
+
+}  // namespace autodc::nn
+
+#endif  // AUTODC_NN_LAYERS_H_

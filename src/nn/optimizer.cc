@@ -1,0 +1,82 @@
+#include "src/nn/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace autodc::nn {
+
+void Optimizer::ClipGradients(float limit) {
+  for (const VarPtr& p : params_) {
+    if (p->grad.size() != p->value.size()) continue;
+    for (size_t i = 0; i < p->grad.size(); ++i) {
+      p->grad[i] = std::clamp(p->grad[i], -limit, limit);
+    }
+  }
+}
+
+void Sgd::ApplyStep() {
+  for (const VarPtr& p : params_) {
+    if (p->grad.size() != p->value.size()) continue;
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      float g = p->grad[i] + weight_decay_ * p->value[i];
+      p->value[i] -= lr_ * g;
+    }
+  }
+}
+
+Momentum::Momentum(std::vector<VarPtr> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  velocity_.reserve(params_.size());
+  for (const VarPtr& p : params_) {
+    velocity_.push_back(Tensor::Zeros(p->value.shape()));
+  }
+}
+
+void Momentum::ApplyStep() {
+  for (size_t k = 0; k < params_.size(); ++k) {
+    const VarPtr& p = params_[k];
+    if (p->grad.size() != p->value.size()) continue;
+    Tensor& v = velocity_[k];
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      v[i] = momentum_ * v[i] - lr_ * p->grad[i];
+      p->value[i] += v[i];
+    }
+  }
+}
+
+Adam::Adam(std::vector<VarPtr> params, float lr, float beta1, float beta2,
+           float eps)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const VarPtr& p : params_) {
+    m_.push_back(Tensor::Zeros(p->value.shape()));
+    v_.push_back(Tensor::Zeros(p->value.shape()));
+  }
+}
+
+void Adam::ApplyStep() {
+  ++t_;
+  float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t k = 0; k < params_.size(); ++k) {
+    const VarPtr& p = params_[k];
+    if (p->grad.size() != p->value.size()) continue;
+    Tensor& m = m_[k];
+    Tensor& v = v_[k];
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      float g = p->grad[i];
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * g;
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * g * g;
+      float mhat = m[i] / bc1;
+      float vhat = v[i] / bc2;
+      p->value[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace autodc::nn

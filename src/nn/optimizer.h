@@ -1,0 +1,79 @@
+#ifndef AUTODC_NN_OPTIMIZER_H_
+#define AUTODC_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "src/nn/autograd.h"
+
+namespace autodc::nn {
+
+/// Base interface: applies one update from accumulated gradients, then the
+/// caller (or Step itself via zero_grad) clears them.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<VarPtr> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one gradient step and zeroes gradients.
+  void Step() {
+    ApplyStep();
+    for (const VarPtr& p : params_) p->ZeroGrad();
+  }
+
+  /// Clips every parameter's gradient to [-limit, limit] elementwise.
+  void ClipGradients(float limit);
+
+  const std::vector<VarPtr>& params() const { return params_; }
+
+ protected:
+  virtual void ApplyStep() = 0;
+  std::vector<VarPtr> params_;
+};
+
+/// Plain stochastic gradient descent with optional L2 weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<VarPtr> params, float lr, float weight_decay = 0.0f)
+      : Optimizer(std::move(params)), lr_(lr), weight_decay_(weight_decay) {}
+
+ protected:
+  void ApplyStep() override;
+
+ private:
+  float lr_;
+  float weight_decay_;
+};
+
+/// SGD with classical momentum.
+class Momentum : public Optimizer {
+ public:
+  Momentum(std::vector<VarPtr> params, float lr, float momentum = 0.9f);
+
+ protected:
+  void ApplyStep() override;
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<VarPtr> params, float lr = 1e-3f, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f);
+
+ protected:
+  void ApplyStep() override;
+
+ private:
+  float lr_, beta1_, beta2_, eps_;
+  std::vector<Tensor> m_, v_;
+  int64_t t_ = 0;
+};
+
+}  // namespace autodc::nn
+
+#endif  // AUTODC_NN_OPTIMIZER_H_

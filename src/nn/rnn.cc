@@ -1,0 +1,139 @@
+#include "src/nn/rnn.h"
+
+#include <cassert>
+
+namespace autodc::nn {
+
+namespace {
+
+// Rank-1 x {d} times W {d,k} -> rank-1 {k}: wrap x as {1,d}, MatMul,
+// then unwrap. The wrap/unwrap nodes pass gradients straight through.
+VarPtr VecMat(const VarPtr& x, const VarPtr& w) {
+  Tensor m({1, x->value.size()}, x->value.vec());
+  auto wrapped = std::make_shared<Variable>(std::move(m));
+  wrapped->requires_grad = x->requires_grad;
+  if (wrapped->requires_grad) {
+    wrapped->parents = {x};
+    Variable* r = wrapped.get();
+    Variable* px = x.get();
+    wrapped->backward_fn = [r, px]() {
+      for (size_t i = 0; i < r->grad.size(); ++i) px->grad[i] += r->grad[i];
+    };
+  }
+  VarPtr prod = MatMulOp(wrapped, w);  // {1,k}
+  Tensor flat({prod->value.size()}, prod->value.vec());
+  auto out = std::make_shared<Variable>(std::move(flat));
+  out->requires_grad = prod->requires_grad;
+  if (out->requires_grad) {
+    out->parents = {prod};
+    Variable* r = out.get();
+    Variable* pp = prod.get();
+    out->backward_fn = [r, pp]() {
+      for (size_t i = 0; i < r->grad.size(); ++i) pp->grad[i] += r->grad[i];
+    };
+  }
+  return out;
+}
+
+// Slice of a rank-1 vector [begin, begin+len).
+VarPtr Slice(const VarPtr& x, size_t begin, size_t len) {
+  Tensor out({len});
+  for (size_t i = 0; i < len; ++i) out[i] = x->value[begin + i];
+  auto result = std::make_shared<Variable>(std::move(out));
+  result->requires_grad = x->requires_grad;
+  if (result->requires_grad) {
+    result->parents = {x};
+    Variable* r = result.get();
+    Variable* px = x.get();
+    result->backward_fn = [r, px, begin, len]() {
+      for (size_t i = 0; i < len; ++i) px->grad[begin + i] += r->grad[i];
+    };
+  }
+  return result;
+}
+
+}  // namespace
+
+RnnCell::RnnCell(size_t input_dim, size_t hidden_dim, Rng* rng)
+    : input_dim_(input_dim), hidden_dim_(hidden_dim) {
+  wx_ = nn::Parameter(Tensor::Xavier(input_dim, hidden_dim, rng));
+  wh_ = nn::Parameter(Tensor::Xavier(hidden_dim, hidden_dim, rng));
+  b_ = nn::Parameter(Tensor::Zeros({hidden_dim}));
+}
+
+VarPtr RnnCell::Step(const VarPtr& x, const VarPtr& h) const {
+  assert(x->value.size() == input_dim_);
+  assert(h->value.size() == hidden_dim_);
+  VarPtr pre = Add(Add(VecMat(x, wx_), VecMat(h, wh_)), b_);
+  return nn::Tanh(pre);
+}
+
+VarPtr RnnCell::InitialState() const {
+  return Constant(Tensor::Zeros({hidden_dim_}));
+}
+
+std::vector<VarPtr> RnnCell::Parameters() const { return {wx_, wh_, b_}; }
+
+LstmCell::LstmCell(size_t input_dim, size_t hidden_dim, Rng* rng)
+    : input_dim_(input_dim), hidden_dim_(hidden_dim) {
+  w_ = nn::Parameter(
+      Tensor::Xavier(input_dim + hidden_dim, 4 * hidden_dim, rng));
+  Tensor bias = Tensor::Zeros({4 * hidden_dim});
+  // Forget-gate bias starts at 1 (standard trick: remember by default).
+  for (size_t i = hidden_dim; i < 2 * hidden_dim; ++i) bias[i] = 1.0f;
+  b_ = nn::Parameter(std::move(bias));
+}
+
+LstmCell::State LstmCell::Step(const VarPtr& x, const State& state) const {
+  assert(x->value.size() == input_dim_);
+  VarPtr xh = Concat({x, state.h});          // {input+hidden}
+  VarPtr gates = Add(VecMat(xh, w_), b_);    // {4*hidden}
+  size_t hd = hidden_dim_;
+  VarPtr i = nn::Sigmoid(Slice(gates, 0, hd));
+  VarPtr f = nn::Sigmoid(Slice(gates, hd, hd));
+  VarPtr g = nn::Tanh(Slice(gates, 2 * hd, hd));
+  VarPtr o = nn::Sigmoid(Slice(gates, 3 * hd, hd));
+  VarPtr c = Add(Mul(f, state.c), Mul(i, g));
+  VarPtr h = Mul(o, nn::Tanh(c));
+  return State{h, c};
+}
+
+LstmCell::State LstmCell::InitialState() const {
+  return State{Constant(Tensor::Zeros({hidden_dim_})),
+               Constant(Tensor::Zeros({hidden_dim_}))};
+}
+
+std::vector<VarPtr> LstmCell::Parameters() const { return {w_, b_}; }
+
+LstmEncoder::LstmEncoder(size_t input_dim, size_t hidden_dim,
+                         bool bidirectional, Rng* rng)
+    : forward_(input_dim, hidden_dim, rng), hidden_dim_(hidden_dim) {
+  if (bidirectional) {
+    backward_ = std::make_unique<LstmCell>(input_dim, hidden_dim, rng);
+  }
+}
+
+VarPtr LstmEncoder::Encode(const std::vector<VarPtr>& sequence) const {
+  LstmCell::State fw = forward_.InitialState();
+  for (const VarPtr& x : sequence) fw = forward_.Step(x, fw);
+  if (!backward_) return fw.h;
+  LstmCell::State bw = backward_->InitialState();
+  for (auto it = sequence.rbegin(); it != sequence.rend(); ++it) {
+    bw = backward_->Step(*it, bw);
+  }
+  return Concat({fw.h, bw.h});
+}
+
+size_t LstmEncoder::output_dim() const {
+  return backward_ ? 2 * hidden_dim_ : hidden_dim_;
+}
+
+std::vector<VarPtr> LstmEncoder::Parameters() const {
+  std::vector<VarPtr> out = forward_.Parameters();
+  if (backward_) {
+    for (const VarPtr& p : backward_->Parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace autodc::nn

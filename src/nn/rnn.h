@@ -1,0 +1,87 @@
+#ifndef AUTODC_NN_RNN_H_
+#define AUTODC_NN_RNN_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/nn/layers.h"
+
+namespace autodc::nn {
+
+/// Elman RNN cell (Figure 2(d)): h' = tanh(x W_x + h W_h + b).
+/// Inputs and states are rank-1 vectors; the cell is unrolled by the
+/// caller one step at a time (define-by-run).
+class RnnCell {
+ public:
+  RnnCell(size_t input_dim, size_t hidden_dim, Rng* rng);
+
+  /// One step: consumes x {input_dim} and h {hidden_dim}, returns new h.
+  VarPtr Step(const VarPtr& x, const VarPtr& h) const;
+
+  /// Zero initial state.
+  VarPtr InitialState() const;
+
+  size_t hidden_dim() const { return hidden_dim_; }
+  std::vector<VarPtr> Parameters() const;
+
+ private:
+  size_t input_dim_;
+  size_t hidden_dim_;
+  VarPtr wx_;  ///< {input_dim, hidden}
+  VarPtr wh_;  ///< {hidden, hidden}
+  VarPtr b_;   ///< {hidden}
+};
+
+/// LSTM cell with forget/input/output gates and cell memory, the paper's
+/// recommended composition model for tuple embeddings (Sec. 3.1, Fig. 5).
+class LstmCell {
+ public:
+  LstmCell(size_t input_dim, size_t hidden_dim, Rng* rng);
+
+  struct State {
+    VarPtr h;
+    VarPtr c;
+  };
+
+  /// One step over input x.
+  State Step(const VarPtr& x, const State& state) const;
+
+  State InitialState() const;
+
+  size_t hidden_dim() const { return hidden_dim_; }
+  std::vector<VarPtr> Parameters() const;
+
+ private:
+  // One fused weight {input+hidden, 4*hidden} ordered [i, f, g, o].
+  size_t input_dim_;
+  size_t hidden_dim_;
+  VarPtr w_;
+  VarPtr b_;
+};
+
+/// Direction-aware sequence encoder: runs an LSTM over a sequence of
+/// rank-1 input vectors and returns the final hidden state (or the
+/// concatenation of both directions' final states when bidirectional).
+/// This is DeepER's tuple-composition model.
+class LstmEncoder {
+ public:
+  LstmEncoder(size_t input_dim, size_t hidden_dim, bool bidirectional,
+              Rng* rng);
+
+  /// Encodes the sequence; empty input yields the zero state.
+  VarPtr Encode(const std::vector<VarPtr>& sequence) const;
+
+  /// Output dimensionality: hidden (uni) or 2*hidden (bi).
+  size_t output_dim() const;
+
+  std::vector<VarPtr> Parameters() const;
+
+ private:
+  LstmCell forward_;
+  std::unique_ptr<LstmCell> backward_;
+  size_t hidden_dim_;
+};
+
+}  // namespace autodc::nn
+
+#endif  // AUTODC_NN_RNN_H_

@@ -1,0 +1,83 @@
+#include "src/nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+
+namespace autodc::nn {
+
+namespace {
+constexpr uint32_t kMagic = 0x41444330;  // "ADC0"
+
+template <typename T>
+void WritePod(std::ostream* out, T v) {
+  out->write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream* in, T* v) {
+  in->read(reinterpret_cast<char*>(v), sizeof(T));
+  return static_cast<bool>(*in);
+}
+}  // namespace
+
+Status SaveParameters(const std::vector<VarPtr>& params, std::ostream* out) {
+  WritePod(out, kMagic);
+  WritePod(out, static_cast<uint64_t>(params.size()));
+  for (const VarPtr& p : params) {
+    WritePod(out, static_cast<uint32_t>(p->value.rank()));
+    for (size_t d : p->value.shape()) {
+      WritePod(out, static_cast<uint64_t>(d));
+    }
+    out->write(reinterpret_cast<const char*>(p->value.data()),
+               static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+  }
+  if (!*out) return Status::IoError("parameter write failed");
+  return Status::OK();
+}
+
+Status LoadParameters(const std::vector<VarPtr>& params, std::istream* in) {
+  uint32_t magic = 0;
+  if (!ReadPod(in, &magic) || magic != kMagic) {
+    return Status::InvalidArgument("bad checkpoint magic");
+  }
+  uint64_t count = 0;
+  if (!ReadPod(in, &count)) return Status::IoError("truncated checkpoint");
+  if (count != params.size()) {
+    return Status::InvalidArgument(
+        "checkpoint has " + std::to_string(count) + " tensors, model has " +
+        std::to_string(params.size()));
+  }
+  for (const VarPtr& p : params) {
+    uint32_t rank = 0;
+    if (!ReadPod(in, &rank)) return Status::IoError("truncated checkpoint");
+    std::vector<size_t> shape(rank);
+    for (uint32_t i = 0; i < rank; ++i) {
+      uint64_t d = 0;
+      if (!ReadPod(in, &d)) return Status::IoError("truncated checkpoint");
+      shape[i] = static_cast<size_t>(d);
+    }
+    if (shape != p->value.shape()) {
+      return Status::InvalidArgument("checkpoint tensor shape mismatch");
+    }
+    in->read(reinterpret_cast<char*>(p->value.data()),
+             static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+    if (!*in) return Status::IoError("truncated checkpoint data");
+  }
+  return Status::OK();
+}
+
+Status SaveParametersToFile(const std::vector<VarPtr>& params,
+                            const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open '" + path + "'");
+  return SaveParameters(params, &out);
+}
+
+Status LoadParametersFromFile(const std::vector<VarPtr>& params,
+                              const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open '" + path + "'");
+  return LoadParameters(params, &in);
+}
+
+}  // namespace autodc::nn

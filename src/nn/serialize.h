@@ -1,0 +1,31 @@
+#ifndef AUTODC_NN_SERIALIZE_H_
+#define AUTODC_NN_SERIALIZE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/nn/autograd.h"
+
+namespace autodc::nn {
+
+/// Writes parameter tensors to a stream in a simple binary format
+/// (magic, count, then rank/dims/float data per tensor).
+Status SaveParameters(const std::vector<VarPtr>& params, std::ostream* out);
+
+/// Reads tensors back into the given parameters. Shapes must match the
+/// saved checkpoint exactly — this restores weights into an
+/// already-constructed model (the usual pre-trained-model workflow of
+/// Sec. 3.3).
+Status LoadParameters(const std::vector<VarPtr>& params, std::istream* in);
+
+/// File-path conveniences.
+Status SaveParametersToFile(const std::vector<VarPtr>& params,
+                            const std::string& path);
+Status LoadParametersFromFile(const std::vector<VarPtr>& params,
+                              const std::string& path);
+
+}  // namespace autodc::nn
+
+#endif  // AUTODC_NN_SERIALIZE_H_

@@ -1,0 +1,163 @@
+#include "src/nn/tensor.h"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace autodc::nn {
+
+namespace {
+size_t NumElements(const std::vector<size_t>& shape) {
+  size_t n = 1;
+  for (size_t d : shape) n *= d;
+  if (shape.empty()) n = 0;
+  return n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<size_t> shape)
+    : shape_(std::move(shape)), data_(NumElements(shape_), 0.0f) {}
+
+Tensor::Tensor(std::vector<size_t> shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  assert(data_.size() == NumElements(shape_));
+}
+
+Tensor Tensor::Full(std::vector<size_t> shape, float v) {
+  Tensor t(std::move(shape));
+  t.Fill(v);
+  return t;
+}
+
+Tensor Tensor::RandomUniform(std::vector<size_t> shape, float scale,
+                             Rng* rng) {
+  Tensor t(std::move(shape));
+  for (size_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng->Uniform(-scale, scale));
+  }
+  return t;
+}
+
+Tensor Tensor::RandomNormal(std::vector<size_t> shape, float stddev,
+                            Rng* rng) {
+  Tensor t(std::move(shape));
+  for (size_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng->Normal(0.0, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::Xavier(size_t fan_out, size_t fan_in, Rng* rng) {
+  float scale = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return RandomUniform({fan_out, fan_in}, scale, rng);
+}
+
+Tensor Tensor::FromVector(const std::vector<float>& v) {
+  return Tensor({v.size()}, v);
+}
+
+void Tensor::Fill(float v) {
+  for (float& x : data_) x = v;
+}
+
+double Tensor::Sum() const {
+  double s = 0.0;
+  for (float x : data_) s += x;
+  return s;
+}
+
+double Tensor::Mean() const {
+  if (data_.empty()) return 0.0;
+  return Sum() / static_cast<double>(data_.size());
+}
+
+double Tensor::Norm() const {
+  double s = 0.0;
+  for (float x : data_) s += static_cast<double>(x) * x;
+  return std::sqrt(s);
+}
+
+size_t Tensor::ArgMax() const {
+  size_t best = 0;
+  for (size_t i = 1; i < data_.size(); ++i) {
+    if (data_[i] > data_[best]) best = i;
+  }
+  return best;
+}
+
+Tensor Tensor::RowCopy(size_t r) const {
+  size_t c = cols();
+  Tensor out({c});
+  for (size_t j = 0; j < c; ++j) out[j] = at(r, j);
+  return out;
+}
+
+std::string Tensor::ShapeString() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) os << ",";
+    os << shape_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+void Axpy(const Tensor& b, float scale, Tensor* a) {
+  assert(a->size() == b.size());
+  float* ad = a->data();
+  const float* bd = b.data();
+  for (size_t i = 0; i < b.size(); ++i) ad[i] += bd[i] * scale;
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  size_t n = a.rows(), m = a.cols(), k = b.cols();
+  assert(b.rows() == m);
+  Tensor c({n, k});
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      float av = a.at(i, j);
+      if (av == 0.0f) continue;
+      const float* brow = b.data() + j * k;
+      float* crow = c.data() + i * k;
+      for (size_t t = 0; t < k; ++t) crow[t] += av * brow[t];
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
+  size_t m = a.rows(), n = a.cols(), k = b.cols();
+  assert(b.rows() == m);
+  Tensor c({n, k});
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * n;
+    const float* brow = b.data() + i * k;
+    for (size_t j = 0; j < n; ++j) {
+      float av = arow[j];
+      if (av == 0.0f) continue;
+      float* crow = c.data() + j * k;
+      for (size_t t = 0; t < k; ++t) crow[t] += av * brow[t];
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
+  size_t n = a.rows(), m = a.cols(), k = b.rows();
+  assert(b.cols() == m);
+  Tensor c({n, k});
+  for (size_t i = 0; i < n; ++i) {
+    const float* arow = a.data() + i * m;
+    float* crow = c.data() + i * k;
+    for (size_t t = 0; t < k; ++t) {
+      const float* brow = b.data() + t * m;
+      double dot = 0.0;
+      for (size_t j = 0; j < m; ++j) dot += static_cast<double>(arow[j]) * brow[j];
+      crow[t] = static_cast<float>(dot);
+    }
+  }
+  return c;
+}
+
+}  // namespace autodc::nn

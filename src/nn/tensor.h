@@ -1,0 +1,85 @@
+#ifndef AUTODC_NN_TENSOR_H_
+#define AUTODC_NN_TENSOR_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace autodc::nn {
+
+/// Dense float32 tensor of rank 1 or 2. This is the numeric workhorse of
+/// the from-scratch deep-learning substrate: small, contiguous, row-major.
+/// Rank-2 shape is {rows, cols}; rank-1 is {n}.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<size_t> shape);
+  Tensor(std::vector<size_t> shape, std::vector<float> data);
+
+  static Tensor Zeros(std::vector<size_t> shape) { return Tensor(std::move(shape)); }
+  static Tensor Full(std::vector<size_t> shape, float v);
+  static Tensor Ones(std::vector<size_t> shape) { return Full(std::move(shape), 1.0f); }
+  /// i.i.d. Uniform(-scale, scale).
+  static Tensor RandomUniform(std::vector<size_t> shape, float scale, Rng* rng);
+  /// i.i.d. Normal(0, stddev).
+  static Tensor RandomNormal(std::vector<size_t> shape, float stddev, Rng* rng);
+  /// Xavier/Glorot uniform for a {fan_out, fan_in} weight matrix.
+  static Tensor Xavier(size_t fan_out, size_t fan_in, Rng* rng);
+  /// Rank-1 tensor from values.
+  static Tensor FromVector(const std::vector<float>& v);
+
+  const std::vector<size_t>& shape() const { return shape_; }
+  size_t rank() const { return shape_.size(); }
+  size_t size() const { return data_.size(); }
+  size_t rows() const { return shape_.empty() ? 0 : shape_[0]; }
+  size_t cols() const { return shape_.size() < 2 ? 1 : shape_[1]; }
+
+  float& operator[](size_t i) { return data_[i]; }
+  float operator[](size_t i) const { return data_[i]; }
+  float& at(size_t r, size_t c) { return data_[r * cols() + c]; }
+  float at(size_t r, size_t c) const { return data_[r * cols() + c]; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  const std::vector<float>& vec() const { return data_; }
+
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  /// Sets every element to v.
+  void Fill(float v);
+  /// Sum of elements.
+  double Sum() const;
+  /// Mean of elements (0 for empty).
+  double Mean() const;
+  /// L2 norm.
+  double Norm() const;
+  /// Index of the maximum element (row-major; 0 for empty).
+  size_t ArgMax() const;
+  /// View of row r of a rank-2 tensor as a rank-1 tensor (copies).
+  Tensor RowCopy(size_t r) const;
+
+  std::string ShapeString() const;
+
+ private:
+  std::vector<size_t> shape_;
+  std::vector<float> data_;
+};
+
+/// In-place a += b * scale (shapes must match).
+void Axpy(const Tensor& b, float scale, Tensor* a);
+
+/// C = A * B for rank-2 A {n,m} and B {m,k}. Aborts on shape mismatch in
+/// debug; callers validate shapes at graph-construction time.
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// C = A^T * B for A {m,n}, B {m,k} -> {n,k}.
+Tensor MatMulTransA(const Tensor& a, const Tensor& b);
+
+/// C = A * B^T for A {n,m}, B {k,m} -> {n,k}.
+Tensor MatMulTransB(const Tensor& a, const Tensor& b);
+
+}  // namespace autodc::nn
+
+#endif  // AUTODC_NN_TENSOR_H_

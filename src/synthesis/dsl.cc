@@ -1,0 +1,217 @@
+#include "src/synthesis/dsl.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "src/common/string_util.h"
+#include "src/text/tokenizer.h"
+
+namespace autodc::synthesis {
+
+namespace {
+
+std::string ApplyCase(const std::string& token, CaseKind kind) {
+  switch (kind) {
+    case CaseKind::kIdentity: return token;
+    case CaseKind::kLower: return ToLower(token);
+    case CaseKind::kUpper: return ToUpper(token);
+    case CaseKind::kTitle: return Capitalize(token);
+  }
+  return token;
+}
+
+// Resolves a possibly-negative token index; returns -1 if out of range.
+int ResolveIndex(int index, size_t ntokens) {
+  int n = static_cast<int>(ntokens);
+  int i = index < 0 ? n + index : index;
+  if (i < 0 || i >= n) return -1;
+  return i;
+}
+
+std::string EmitAtom(const Atom& atom, const std::vector<std::string>& tokens) {
+  switch (atom.kind) {
+    case Atom::Kind::kConst:
+      return atom.text;
+    case Atom::Kind::kToken: {
+      int i = ResolveIndex(atom.token, tokens.size());
+      if (i < 0) return "";
+      return ApplyCase(tokens[static_cast<size_t>(i)], atom.case_kind);
+    }
+    case Atom::Kind::kInitial: {
+      int i = ResolveIndex(atom.token, tokens.size());
+      if (i < 0 || tokens[static_cast<size_t>(i)].empty()) return "";
+      return std::string(
+          1, static_cast<char>(std::toupper(static_cast<unsigned char>(
+                 tokens[static_cast<size_t>(i)][0]))));
+    }
+  }
+  return "";
+}
+
+const char* CaseName(CaseKind k) {
+  switch (k) {
+    case CaseKind::kIdentity: return "";
+    case CaseKind::kLower: return ".lower";
+    case CaseKind::kUpper: return ".upper";
+    case CaseKind::kTitle: return ".title";
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string Atom::ToString() const {
+  switch (kind) {
+    case Kind::kConst:
+      return "\"" + text + "\"";
+    case Kind::kToken:
+      return "Token(" + std::to_string(token) + ")" + CaseName(case_kind);
+    case Kind::kInitial:
+      return "Initial(" + std::to_string(token) + ")";
+  }
+  return "?";
+}
+
+std::string Program::Apply(const std::string& input) const {
+  std::vector<std::string> tokens = text::TokenizeKeepCase(input);
+  std::string out;
+  for (const Atom& atom : atoms) out += EmitAtom(atom, tokens);
+  return out;
+}
+
+std::string Program::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    if (i > 0) out += " + ";
+    out += atoms[i].ToString();
+  }
+  return out;
+}
+
+size_t Program::Cost() const {
+  size_t cost = 0;
+  for (const Atom& atom : atoms) {
+    cost += 10;
+    if (atom.kind == Atom::Kind::kConst) {
+      cost += 2;
+      for (char c : atom.text) {
+        // Alphanumeric constants almost certainly overfit the examples
+        // (they copy content); separator/punctuation constants are the
+        // legitimate use. Price them accordingly.
+        cost += std::isalnum(static_cast<unsigned char>(c)) ? 30 : 1;
+      }
+    }
+    if (atom.case_kind != CaseKind::kIdentity) cost += 1;
+  }
+  return cost;
+}
+
+Result<Program> SynthesizeStringProgram(const std::vector<Example>& examples,
+                                        const SynthesisConfig& config) {
+  if (examples.empty()) {
+    return Status::InvalidArgument("need at least one example");
+  }
+  const Example& first = examples[0];
+  std::vector<std::string> tokens = text::TokenizeKeepCase(first.input);
+  const std::string& target = first.output;
+
+  // Candidate non-const atoms, each paired with its emission on the
+  // first example.
+  struct Cand {
+    Atom atom;
+    std::string emission;
+  };
+  std::vector<Cand> cands;
+  int n = static_cast<int>(tokens.size());
+  for (int sign = 0; sign < 2; ++sign) {
+    for (int i = 0; i < n; ++i) {
+      int index = sign == 0 ? i : i - n;  // 0..n-1 and -n..-1
+      for (CaseKind ck : {CaseKind::kIdentity, CaseKind::kLower,
+                          CaseKind::kUpper, CaseKind::kTitle}) {
+        Atom a{Atom::Kind::kToken, "", index, ck};
+        std::string e = EmitAtom(a, tokens);
+        if (!e.empty()) cands.push_back({a, e});
+      }
+      Atom init{Atom::Kind::kInitial, "", index, CaseKind::kIdentity};
+      std::string ie = EmitAtom(init, tokens);
+      if (!ie.empty()) cands.push_back({init, ie});
+    }
+  }
+
+  // DFS over output positions, extending with candidate atoms whose
+  // emission matches, or short constants copied from the output.
+  struct State {
+    size_t pos = 0;
+    Program program;
+  };
+  std::vector<Program> complete;
+  std::vector<State> stack = {State{}};
+  size_t visited = 0;
+  while (!stack.empty() && visited < config.beam) {
+    State s = std::move(stack.back());
+    stack.pop_back();
+    ++visited;
+    if (s.pos == target.size()) {
+      if (!s.program.atoms.empty() || target.empty()) {
+        complete.push_back(s.program);
+      }
+      continue;
+    }
+    if (s.program.atoms.size() >= config.max_atoms) continue;
+    bool prev_const = !s.program.atoms.empty() &&
+                      s.program.atoms.back().kind == Atom::Kind::kConst;
+    // Constants first (pushed first = popped last, so token atoms are
+    // explored before constants — they generalize better). Never emit two
+    // consecutive constants (a single longer constant covers that).
+    if (!prev_const) {
+      size_t max_len = std::min(config.max_const_len,
+                                target.size() - s.pos);
+      for (size_t len = 1; len <= max_len; ++len) {
+        State next = s;
+        next.program.atoms.push_back(
+            Atom{Atom::Kind::kConst, target.substr(s.pos, len), 0,
+                 CaseKind::kIdentity});
+        next.pos = s.pos + len;
+        stack.push_back(std::move(next));
+      }
+      // Whole-remaining-output constant (covers constant-only programs).
+      if (target.size() - s.pos > config.max_const_len) {
+        State next = s;
+        next.program.atoms.push_back(
+            Atom{Atom::Kind::kConst, target.substr(s.pos), 0,
+                 CaseKind::kIdentity});
+        next.pos = target.size();
+        stack.push_back(std::move(next));
+      }
+    }
+    for (const Cand& cand : cands) {
+      if (target.compare(s.pos, cand.emission.size(), cand.emission) != 0) {
+        continue;
+      }
+      State next = s;
+      next.program.atoms.push_back(cand.atom);
+      next.pos = s.pos + cand.emission.size();
+      stack.push_back(std::move(next));
+    }
+  }
+
+  // Keep programs consistent with every example; pick the cheapest.
+  const Program* best = nullptr;
+  for (const Program& p : complete) {
+    bool ok = true;
+    for (size_t e = 1; e < examples.size(); ++e) {
+      if (p.Apply(examples[e].input) != examples[e].output) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    if (best == nullptr || p.Cost() < best->Cost()) best = &p;
+  }
+  if (best == nullptr) {
+    return Status::NotFound("no program within budget explains all examples");
+  }
+  return *best;
+}
+
+}  // namespace autodc::synthesis

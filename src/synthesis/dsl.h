@@ -1,0 +1,68 @@
+#ifndef AUTODC_SYNTHESIS_DSL_H_
+#define AUTODC_SYNTHESIS_DSL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace autodc::synthesis {
+
+/// Case transform applied to a token.
+enum class CaseKind { kIdentity = 0, kLower, kUpper, kTitle };
+
+/// One atom of the FlashFill-style string DSL (Sec. 4 / [27]): a program
+/// is a concatenation of atoms, each emitting a piece of the output.
+/// Token indices may be negative (-1 = last token).
+struct Atom {
+  enum class Kind {
+    kConst = 0,  ///< emit `text` verbatim
+    kToken,      ///< emit input token `token` under `case_kind`
+    kInitial,    ///< emit the uppercase first character of token `token`
+  };
+  Kind kind = Kind::kConst;
+  std::string text;                         ///< kConst payload
+  int token = 0;                            ///< kToken/kInitial index
+  CaseKind case_kind = CaseKind::kIdentity; ///< kToken transform
+
+  std::string ToString() const;
+};
+
+/// A synthesized string-transformation program.
+struct Program {
+  std::vector<Atom> atoms;
+
+  /// Runs the program on `input`; atoms referencing out-of-range tokens
+  /// emit nothing.
+  std::string Apply(const std::string& input) const;
+
+  /// Human-readable rendering, e.g. `Initial(0) + "." + " " + Token(1)`.
+  std::string ToString() const;
+
+  /// Ranking cost: fewer atoms and fewer constant characters are
+  /// preferred (constants overfit the examples).
+  size_t Cost() const;
+};
+
+/// One input-output example.
+struct Example {
+  std::string input;
+  std::string output;
+};
+
+struct SynthesisConfig {
+  size_t max_atoms = 6;
+  size_t max_const_len = 3;   ///< longest non-whole-output constant
+  size_t beam = 5000;         ///< search-state budget
+};
+
+/// Enumerative synthesis: finds the lowest-cost program consistent with
+/// every example, searching decompositions of the first example's output
+/// into atom emissions and validating against the rest. Returns
+/// kNotFound when no program within the budget explains all examples.
+Result<Program> SynthesizeStringProgram(const std::vector<Example>& examples,
+                                        const SynthesisConfig& config = {});
+
+}  // namespace autodc::synthesis
+
+#endif  // AUTODC_SYNTHESIS_DSL_H_

@@ -1,0 +1,160 @@
+#include "src/synthesis/etl.h"
+
+#include <algorithm>
+
+namespace autodc::synthesis {
+
+data::Table EtlPipeline::Apply(const data::Table& source) const {
+  data::Table out(target_schema, source.name() + "_etl");
+  for (size_t r = 0; r < source.num_rows(); ++r) {
+    data::Row row;
+    row.reserve(rules.size());
+    for (const ColumnRule& rule : rules) {
+      switch (rule.kind) {
+        case ColumnRule::Kind::kCopy:
+          row.push_back(source.at(r, rule.source_column));
+          break;
+        case ColumnRule::Kind::kTransform: {
+          const data::Value& v = source.at(r, rule.source_column);
+          if (v.is_null()) {
+            row.push_back(data::Value::Null());
+          } else {
+            row.push_back(data::Value(rule.program.Apply(v.ToString())));
+          }
+          break;
+        }
+        case ColumnRule::Kind::kConstant:
+          row.push_back(data::Value(rule.constant));
+          break;
+      }
+    }
+    out.AppendRow(std::move(row));
+  }
+  return out;
+}
+
+std::string EtlPipeline::ToString(const data::Schema& source_schema) const {
+  std::string out;
+  for (size_t c = 0; c < rules.size(); ++c) {
+    const ColumnRule& rule = rules[c];
+    out += target_schema.column(c).name + " <- ";
+    switch (rule.kind) {
+      case ColumnRule::Kind::kCopy:
+        out += "copy(" + source_schema.column(rule.source_column).name + ")";
+        break;
+      case ColumnRule::Kind::kTransform:
+        out += "transform(" +
+               source_schema.column(rule.source_column).name + ", " +
+               rule.program.ToString() + ")";
+        break;
+      case ColumnRule::Kind::kConstant:
+        out += "const(\"" + rule.constant + "\")";
+        break;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<EtlPipeline> SynthesizeEtl(const data::Table& source,
+                                  const data::Table& target_example,
+                                  const EtlSynthesisConfig& config) {
+  if (target_example.num_rows() == 0 ||
+      target_example.num_rows() > source.num_rows()) {
+    return Status::InvalidArgument(
+        "target example must be non-empty and no longer than the source");
+  }
+  size_t nrows = std::min(config.max_example_rows, target_example.num_rows());
+
+  EtlPipeline pipeline;
+  pipeline.target_schema = target_example.schema();
+
+  for (size_t tc = 0; tc < target_example.num_columns(); ++tc) {
+    bool solved = false;
+    // 1) Constant column?
+    bool all_same = true;
+    std::string first = target_example.at(0, tc).ToString();
+    for (size_t r = 1; r < target_example.num_rows(); ++r) {
+      if (target_example.at(r, tc).ToString() != first) {
+        all_same = false;
+        break;
+      }
+    }
+    // 2) Verbatim copy of some source column (checked over ALL example
+    // rows).
+    for (size_t sc = 0; sc < source.num_columns() && !solved; ++sc) {
+      bool copies = true;
+      for (size_t r = 0; r < target_example.num_rows(); ++r) {
+        if (!(source.at(r, sc) == target_example.at(r, tc))) {
+          copies = false;
+          break;
+        }
+      }
+      if (copies) {
+        pipeline.rules.push_back(
+            ColumnRule{ColumnRule::Kind::kCopy, sc, {}, ""});
+        solved = true;
+      }
+    }
+    if (solved) continue;
+    // 3) Constant column (checked before transforms: a pure-constant
+    // string program would otherwise masquerade as a transform).
+    if (all_same) {
+      pipeline.rules.push_back(
+          ColumnRule{ColumnRule::Kind::kConstant, 0, {}, first});
+      continue;
+    }
+    // 4) String program over some source column.
+    Program best_program;
+    size_t best_source = 0;
+    size_t best_cost = SIZE_MAX;
+    for (size_t sc = 0; sc < source.num_columns(); ++sc) {
+      std::vector<Example> examples;
+      bool usable = true;
+      for (size_t r = 0; r < nrows; ++r) {
+        const data::Value& in = source.at(r, sc);
+        const data::Value& out = target_example.at(r, tc);
+        if (in.is_null() || out.is_null()) {
+          usable = false;
+          break;
+        }
+        examples.push_back(Example{in.ToString(), out.ToString()});
+      }
+      if (!usable) continue;
+      Result<Program> prog =
+          SynthesizeStringProgram(examples, config.string_synthesis);
+      if (!prog.ok()) continue;
+      // Validate on the remaining example rows.
+      bool valid = true;
+      for (size_t r = nrows; r < target_example.num_rows(); ++r) {
+        const data::Value& in = source.at(r, sc);
+        if (in.is_null()) continue;
+        if (prog.ValueOrDie().Apply(in.ToString()) !=
+            target_example.at(r, tc).ToString()) {
+          valid = false;
+          break;
+        }
+      }
+      if (!valid) continue;
+      size_t cost = prog.ValueOrDie().Cost();
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_program = std::move(prog).ValueOrDie();
+        best_source = sc;
+      }
+    }
+    if (best_cost != SIZE_MAX) {
+      pipeline.rules.push_back(ColumnRule{ColumnRule::Kind::kTransform,
+                                          best_source, best_program, ""});
+      solved = true;
+    }
+    if (!solved) {
+      return Status::NotFound(
+          "cannot explain target column '" +
+          target_example.schema().column(tc).name + "'");
+    }
+  }
+  return pipeline;
+}
+
+}  // namespace autodc::synthesis

@@ -1,0 +1,56 @@
+#ifndef AUTODC_SYNTHESIS_ETL_H_
+#define AUTODC_SYNTHESIS_ETL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/data/table.h"
+#include "src/synthesis/dsl.h"
+
+namespace autodc::synthesis {
+
+/// How one target column is produced from the source table.
+struct ColumnRule {
+  enum class Kind {
+    kCopy = 0,     ///< verbatim copy of source column
+    kTransform,    ///< string program applied to source column
+    kConstant,     ///< same constant for every row
+  };
+  Kind kind = Kind::kCopy;
+  size_t source_column = 0;
+  Program program;       ///< kTransform payload
+  std::string constant;  ///< kConstant payload
+};
+
+/// A synthesized ETL mapping: per target column, a rule telling how to
+/// derive it from the source table (Sec. 4 "Program Synthesis from ETL
+/// Scripts": given input-output tuples, identify the series of
+/// operations generating the virtual relation).
+struct EtlPipeline {
+  data::Schema target_schema;
+  std::vector<ColumnRule> rules;
+
+  /// Applies the pipeline to a (full) source table.
+  data::Table Apply(const data::Table& source) const;
+
+  std::string ToString(const data::Schema& source_schema) const;
+};
+
+struct EtlSynthesisConfig {
+  SynthesisConfig string_synthesis;
+  /// How many example rows to use (rows beyond this validate only).
+  size_t max_example_rows = 5;
+};
+
+/// Synthesizes an ETL pipeline from a source table and an example target
+/// table whose row i is the desired output for source row i. Fails with
+/// kNotFound when some target column cannot be explained by any source
+/// column under the DSL.
+Result<EtlPipeline> SynthesizeEtl(const data::Table& source,
+                                  const data::Table& target_example,
+                                  const EtlSynthesisConfig& config = {});
+
+}  // namespace autodc::synthesis
+
+#endif  // AUTODC_SYNTHESIS_ETL_H_

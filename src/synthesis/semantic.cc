@@ -1,0 +1,65 @@
+#include "src/synthesis/semantic.h"
+
+#include "src/common/string_util.h"
+
+namespace autodc::synthesis {
+
+Status SemanticTransformLearner::Fit(const std::vector<Example>& examples) {
+  if (examples.empty()) {
+    return Status::InvalidArgument("need at least one example pair");
+  }
+  offset_.assign(store_->dim(), 0.0f);
+  memorized_.clear();
+  size_t used = 0;
+  for (const Example& e : examples) {
+    std::string in = ToLower(e.input);
+    std::string out = ToLower(e.output);
+    memorized_[in] = out;
+    const std::vector<float>* vi = store_->Find(in);
+    const std::vector<float>* vo = store_->Find(out);
+    if (vi == nullptr || vo == nullptr) continue;
+    for (size_t d = 0; d < offset_.size(); ++d) {
+      offset_[d] += (*vo)[d] - (*vi)[d];
+    }
+    ++used;
+  }
+  if (used == 0) {
+    return Status::FailedPrecondition(
+        "no example pair has both sides in the embedding store");
+  }
+  for (float& x : offset_) x /= static_cast<float>(used);
+  return Status::OK();
+}
+
+Result<std::vector<embedding::Neighbor>>
+SemanticTransformLearner::TransformTopK(const std::string& input,
+                                        size_t k) const {
+  std::string in = ToLower(input);
+  const std::vector<float>* vi = store_->Find(in);
+  if (vi == nullptr) {
+    return Status::NotFound("input '" + input + "' not in embedding store");
+  }
+  std::vector<float> q(offset_.size());
+  for (size_t d = 0; d < q.size(); ++d) q[d] = (*vi)[d] + offset_[d];
+  // Exclude the input and all training inputs (they are answered by
+  // memorization, and their vectors sit close to the query).
+  std::vector<std::string> exclude = {in};
+  for (const auto& [train_in, train_out] : memorized_) {
+    (void)train_out;
+    exclude.push_back(train_in);
+  }
+  return store_->NearestToVector(q, k, exclude);
+}
+
+Result<std::string> SemanticTransformLearner::Transform(
+    const std::string& input) const {
+  std::string in = ToLower(input);
+  auto it = memorized_.find(in);
+  if (it != memorized_.end()) return it->second;
+  std::vector<embedding::Neighbor> top;
+  AUTODC_ASSIGN_OR_RETURN(top, TransformTopK(input, 1));
+  if (top.empty()) return Status::NotFound("empty embedding store");
+  return top[0].key;
+}
+
+}  // namespace autodc::synthesis

@@ -1,0 +1,48 @@
+#ifndef AUTODC_SYNTHESIS_SEMANTIC_H_
+#define AUTODC_SYNTHESIS_SEMANTIC_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/embedding/embedding_store.h"
+#include "src/synthesis/dsl.h"
+
+namespace autodc::synthesis {
+
+/// Learner for *semantic* transformations (Sec. 4): from example pairs
+/// like {(France, Paris), (Germany, Berlin)} it learns the relation as an
+/// average embedding offset and applies it to new inputs by nearest-
+/// neighbour lookup — the transformation "is the capital of" is not
+/// expressible as any syntactic string program.
+class SemanticTransformLearner {
+ public:
+  /// `store` provides both the relation geometry and the output
+  /// vocabulary; it must outlive the learner.
+  explicit SemanticTransformLearner(const embedding::EmbeddingStore* store)
+      : store_(store) {}
+
+  /// Learns the offset vector from example pairs (inputs/outputs are
+  /// single tokens, lowercased). Fails if no example has both ends in
+  /// the store.
+  Status Fit(const std::vector<Example>& examples);
+
+  /// Applies the relation: nearest store key to v(input) + offset,
+  /// excluding the input itself and any training strings. Memorized
+  /// training pairs are answered exactly.
+  Result<std::string> Transform(const std::string& input) const;
+
+  /// Top-k candidates with scores (for inspection).
+  Result<std::vector<embedding::Neighbor>> TransformTopK(
+      const std::string& input, size_t k) const;
+
+ private:
+  const embedding::EmbeddingStore* store_;
+  std::vector<float> offset_;
+  std::unordered_map<std::string, std::string> memorized_;
+};
+
+}  // namespace autodc::synthesis
+
+#endif  // AUTODC_SYNTHESIS_SEMANTIC_H_

@@ -1,0 +1,153 @@
+#include "src/text/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "src/text/tokenizer.h"
+
+namespace autodc::text {
+
+size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  size_t n = a.size();
+  size_t m = b.size();
+  if (n == 0) return m;
+  if (m == 0) return n;
+  std::vector<size_t> prev(m + 1);
+  std::vector<size_t> cur(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = j;
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = i;
+    for (size_t j = 1; j <= m; ++j) {
+      size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, prev[j - 1] + cost});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+double LevenshteinSimilarity(std::string_view a, std::string_view b) {
+  size_t maxlen = std::max(a.size(), b.size());
+  if (maxlen == 0) return 1.0;
+  return 1.0 - static_cast<double>(LevenshteinDistance(a, b)) /
+                   static_cast<double>(maxlen);
+}
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  size_t n = a.size();
+  size_t m = b.size();
+  if (n == 0 && m == 0) return 1.0;
+  if (n == 0 || m == 0) return 0.0;
+  size_t window = std::max(n, m) / 2;
+  if (window > 0) window -= 1;
+  std::vector<bool> a_match(n, false), b_match(m, false);
+  size_t matches = 0;
+  for (size_t i = 0; i < n; ++i) {
+    size_t lo = (i > window) ? i - window : 0;
+    size_t hi = std::min(m, i + window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (b_match[j] || a[i] != b[j]) continue;
+      a_match[i] = b_match[j] = true;
+      ++matches;
+      break;
+    }
+  }
+  if (matches == 0) return 0.0;
+  // Count transpositions among matched characters.
+  size_t t = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!a_match[i]) continue;
+    while (!b_match[j]) ++j;
+    if (a[i] != b[j]) ++t;
+    ++j;
+  }
+  double dm = static_cast<double>(matches);
+  return (dm / n + dm / m + (dm - t / 2.0) / dm) / 3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b) {
+  double jaro = JaroSimilarity(a, b);
+  size_t prefix = 0;
+  size_t maxp = std::min({a.size(), b.size(), static_cast<size_t>(4)});
+  while (prefix < maxp && a[prefix] == b[prefix]) ++prefix;
+  return jaro + 0.1 * static_cast<double>(prefix) * (1.0 - jaro);
+}
+
+namespace {
+double SetJaccard(const std::vector<std::string>& xs,
+                  const std::vector<std::string>& ys) {
+  if (xs.empty() && ys.empty()) return 1.0;
+  std::unordered_set<std::string> sa(xs.begin(), xs.end());
+  std::unordered_set<std::string> sb(ys.begin(), ys.end());
+  size_t inter = 0;
+  for (const std::string& s : sa) {
+    if (sb.count(s) > 0) ++inter;
+  }
+  size_t uni = sa.size() + sb.size() - inter;
+  if (uni == 0) return 1.0;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+}  // namespace
+
+double TokenJaccard(std::string_view a, std::string_view b) {
+  return SetJaccard(Tokenize(a), Tokenize(b));
+}
+
+double TrigramJaccard(std::string_view a, std::string_view b) {
+  return SetJaccard(CharNgrams(a, 3), CharNgrams(b, 3));
+}
+
+double MongeElkan(std::string_view a, std::string_view b) {
+  std::vector<std::string> ta = Tokenize(a);
+  std::vector<std::string> tb = Tokenize(b);
+  if (ta.empty()) return tb.empty() ? 1.0 : 0.0;
+  if (tb.empty()) return 0.0;
+  double sum = 0.0;
+  for (const std::string& x : ta) {
+    double best = 0.0;
+    for (const std::string& y : tb) {
+      best = std::max(best, JaroWinklerSimilarity(x, y));
+    }
+    sum += best;
+  }
+  return sum / static_cast<double>(ta.size());
+}
+
+namespace {
+template <typename T>
+double CosineImpl(const std::vector<T>& a, const std::vector<T>& b) {
+  if (a.size() != b.size() || a.empty()) return 0.0;
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+    na += static_cast<double>(a[i]) * static_cast<double>(a[i]);
+    nb += static_cast<double>(b[i]) * static_cast<double>(b[i]);
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+}  // namespace
+
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  return CosineImpl(a, b);
+}
+double CosineSimilarity(const std::vector<float>& a,
+                        const std::vector<float>& b) {
+  return CosineImpl(a, b);
+}
+
+double EuclideanDistance(const std::vector<float>& a,
+                         const std::vector<float>& b) {
+  double s = 0.0;
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace autodc::text

@@ -1,0 +1,67 @@
+#include "src/text/tokenizer.h"
+
+#include <cctype>
+
+#include "src/common/string_util.h"
+
+namespace autodc::text {
+
+std::vector<std::string> Tokenize(std::string_view s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char raw : s) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      cur.push_back(static_cast<char>(std::tolower(c)));
+    } else if (!cur.empty()) {
+      out.push_back(std::move(cur));
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+std::vector<std::string> TokenizeKeepCase(std::string_view s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char raw : s) {
+    if (std::isalnum(static_cast<unsigned char>(raw))) {
+      cur.push_back(raw);
+    } else if (!cur.empty()) {
+      out.push_back(std::move(cur));
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+std::vector<std::string> CharNgrams(std::string_view s, size_t n) {
+  std::vector<std::string> out;
+  if (n == 0) return out;
+  std::string padded(n - 1, '#');
+  padded += autodc::ToLower(s);
+  padded.append(n - 1, '#');
+  if (padded.size() < n) return out;
+  for (size_t i = 0; i + n <= padded.size(); ++i) {
+    out.push_back(padded.substr(i, n));
+  }
+  return out;
+}
+
+std::vector<std::string> WordNgrams(std::string_view s, size_t n) {
+  std::vector<std::string> tokens = Tokenize(s);
+  std::vector<std::string> out;
+  if (n == 0 || tokens.size() < n) return out;
+  for (size_t i = 0; i + n <= tokens.size(); ++i) {
+    std::string gram = tokens[i];
+    for (size_t j = 1; j < n; ++j) {
+      gram += "_" + tokens[i + j];
+    }
+    out.push_back(std::move(gram));
+  }
+  return out;
+}
+
+}  // namespace autodc::text

@@ -1,0 +1,27 @@
+#ifndef AUTODC_TEXT_TOKENIZER_H_
+#define AUTODC_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace autodc::text {
+
+/// Splits text into lowercase word tokens. Alphanumeric runs form tokens;
+/// everything else is a separator. "J. Smith, Ph.D" -> {"j","smith","ph","d"}.
+std::vector<std::string> Tokenize(std::string_view s);
+
+/// Like Tokenize but preserves the original character case — needed by
+/// the synthesis DSL whose case operators must see the raw tokens.
+std::vector<std::string> TokenizeKeepCase(std::string_view s);
+
+/// Character n-grams of `s` (lowercased), padded with '#'.
+/// Trigrams of "abc" -> {"##a","#ab","abc","bc#","c##"}.
+std::vector<std::string> CharNgrams(std::string_view s, size_t n = 3);
+
+/// Word n-grams over Tokenize(s), joined by '_'.
+std::vector<std::string> WordNgrams(std::string_view s, size_t n);
+
+}  // namespace autodc::text
+
+#endif  // AUTODC_TEXT_TOKENIZER_H_

@@ -1,0 +1,118 @@
+#include "src/text/vocabulary.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace autodc::text {
+
+size_t Vocabulary::Add(const std::string& token) {
+  ++total_;
+  auto it = index_.find(token);
+  if (it != index_.end()) {
+    ++counts_[it->second];
+    return it->second;
+  }
+  size_t id = tokens_.size();
+  index_.emplace(token, id);
+  tokens_.push_back(token);
+  counts_.push_back(1);
+  return id;
+}
+
+void Vocabulary::AddAll(const std::vector<std::string>& tokens) {
+  for (const std::string& t : tokens) Add(t);
+}
+
+int64_t Vocabulary::IdOf(const std::string& token) const {
+  auto it = index_.find(token);
+  if (it == index_.end()) return -1;
+  return static_cast<int64_t>(it->second);
+}
+
+std::vector<double> Vocabulary::UnigramWeights(double power) const {
+  std::vector<double> w(counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    w[i] = std::pow(static_cast<double>(counts_[i]), power);
+  }
+  return w;
+}
+
+std::vector<int64_t> Vocabulary::PruneRare(uint64_t min_count) {
+  std::vector<int64_t> remap(tokens_.size(), -1);
+  std::vector<std::string> new_tokens;
+  std::vector<uint64_t> new_counts;
+  std::unordered_map<std::string, size_t> new_index;
+  uint64_t new_total = 0;
+  for (size_t i = 0; i < tokens_.size(); ++i) {
+    if (counts_[i] < min_count) continue;
+    remap[i] = static_cast<int64_t>(new_tokens.size());
+    new_index.emplace(tokens_[i], new_tokens.size());
+    new_tokens.push_back(tokens_[i]);
+    new_counts.push_back(counts_[i]);
+    new_total += counts_[i];
+  }
+  tokens_ = std::move(new_tokens);
+  counts_ = std::move(new_counts);
+  index_ = std::move(new_index);
+  total_ = new_total;
+  return remap;
+}
+
+void TfIdf::Fit(const std::vector<std::vector<std::string>>& docs) {
+  num_docs_ = docs.size();
+  std::vector<uint64_t> doc_freq;
+  for (const auto& doc : docs) {
+    std::unordered_set<size_t> seen;
+    for (const std::string& tok : doc) {
+      size_t id = vocab_.Add(tok);
+      if (id >= doc_freq.size()) doc_freq.resize(id + 1, 0);
+      seen.insert(id);
+    }
+    for (size_t id : seen) ++doc_freq[id];
+  }
+  idf_.resize(vocab_.size());
+  for (size_t i = 0; i < idf_.size(); ++i) {
+    // Smoothed idf, never negative.
+    idf_[i] = std::log((1.0 + static_cast<double>(num_docs_)) /
+                       (1.0 + static_cast<double>(doc_freq[i]))) +
+              1.0;
+  }
+}
+
+std::unordered_map<size_t, double> TfIdf::Transform(
+    const std::vector<std::string>& doc) const {
+  std::unordered_map<size_t, double> tf;
+  for (const std::string& tok : doc) {
+    int64_t id = vocab_.IdOf(tok);
+    if (id < 0) continue;  // out-of-vocabulary tokens are dropped
+    tf[static_cast<size_t>(id)] += 1.0;
+  }
+  for (auto& [id, weight] : tf) {
+    weight *= idf_[id];
+  }
+  return tf;
+}
+
+double TfIdf::SparseCosine(const std::unordered_map<size_t, double>& a,
+                           const std::unordered_map<size_t, double>& b) {
+  const auto& small = a.size() <= b.size() ? a : b;
+  const auto& large = a.size() <= b.size() ? b : a;
+  double dot = 0.0;
+  for (const auto& [id, w] : small) {
+    auto it = large.find(id);
+    if (it != large.end()) dot += w * it->second;
+  }
+  double na = 0.0, nb = 0.0;
+  for (const auto& [id, w] : a) {
+    (void)id;
+    na += w * w;
+  }
+  for (const auto& [id, w] : b) {
+    (void)id;
+    nb += w * w;
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+}  // namespace autodc::text

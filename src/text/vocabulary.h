@@ -1,0 +1,71 @@
+#ifndef AUTODC_TEXT_VOCABULARY_H_
+#define AUTODC_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace autodc::text {
+
+/// Bidirectional token <-> dense-id map with frequency counts. The id
+/// space is what embedding matrices are indexed by.
+class Vocabulary {
+ public:
+  /// Adds one occurrence of `token`, creating an id on first sight.
+  size_t Add(const std::string& token);
+
+  /// Adds every token of `tokens`.
+  void AddAll(const std::vector<std::string>& tokens);
+
+  /// Id of `token`, or -1 if unknown.
+  int64_t IdOf(const std::string& token) const;
+
+  const std::string& TokenOf(size_t id) const { return tokens_[id]; }
+  size_t size() const { return tokens_.size(); }
+  uint64_t CountOf(size_t id) const { return counts_[id]; }
+  uint64_t total_count() const { return total_; }
+
+  /// Unigram distribution raised to `power` (word2vec uses 0.75 for the
+  /// negative-sampling table).
+  std::vector<double> UnigramWeights(double power = 0.75) const;
+
+  /// Drops tokens seen fewer than `min_count` times, reassigning ids.
+  /// Returns old-id -> new-id (or -1 for dropped tokens).
+  std::vector<int64_t> PruneRare(uint64_t min_count);
+
+ private:
+  std::unordered_map<std::string, size_t> index_;
+  std::vector<std::string> tokens_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+/// Term-frequency / inverse-document-frequency weighting over a corpus of
+/// token lists. Produces sparse document vectors used by the discovery
+/// module's syntactic ranking baseline.
+class TfIdf {
+ public:
+  /// Builds document frequencies from the corpus (one token vector per
+  /// document).
+  void Fit(const std::vector<std::vector<std::string>>& docs);
+
+  /// Sparse tf-idf vector for a document: token-id -> weight.
+  std::unordered_map<size_t, double> Transform(
+      const std::vector<std::string>& doc) const;
+
+  /// Cosine similarity between two sparse vectors.
+  static double SparseCosine(const std::unordered_map<size_t, double>& a,
+                             const std::unordered_map<size_t, double>& b);
+
+  const Vocabulary& vocabulary() const { return vocab_; }
+
+ private:
+  Vocabulary vocab_;
+  std::vector<double> idf_;
+  size_t num_docs_ = 0;
+};
+
+}  // namespace autodc::text
+
+#endif  // AUTODC_TEXT_VOCABULARY_H_

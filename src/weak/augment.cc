@@ -1,0 +1,26 @@
+#include "src/weak/augment.h"
+
+#include "src/datagen/perturb.h"
+
+namespace autodc::weak {
+
+std::vector<er::PairLabel> AugmentErTrainingPairs(
+    const data::Table& left, data::Table* right,
+    const std::vector<er::PairLabel>& pairs, const AugmentConfig& config) {
+  Rng rng(config.seed);
+  std::vector<er::PairLabel> out = pairs;
+  for (const er::PairLabel& p : pairs) {
+    if (p.label != 1) continue;
+    for (size_t k = 0; k < config.copies_per_positive; ++k) {
+      data::Row copy = right->row(p.right);
+      datagen::PerturbRow(&copy, config.cell_perturb_prob, &rng);
+      size_t new_row = right->num_rows();
+      if (!right->AppendRow(std::move(copy)).ok()) continue;
+      out.push_back(er::PairLabel{p.left, new_row, 1});
+    }
+  }
+  (void)left;
+  return out;
+}
+
+}  // namespace autodc::weak

@@ -1,0 +1,35 @@
+#ifndef AUTODC_WEAK_AUGMENT_H_
+#define AUTODC_WEAK_AUGMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/data/table.h"
+#include "src/er/deeper.h"
+
+namespace autodc::weak {
+
+struct AugmentConfig {
+  /// Synthetic variants generated per labeled positive pair.
+  size_t copies_per_positive = 3;
+  /// Per-cell perturbation probability for each synthetic copy.
+  double cell_perturb_prob = 0.4;
+  uint64_t seed = 42;
+};
+
+/// Data augmentation for entity resolution (Sec. 6.2.2): every labeled
+/// MATCH (l, r) spawns extra training rows by applying label-preserving
+/// transformations (typos, abbreviation, word swap/drop, case, jitter)
+/// to copies of the right-hand tuple — the pair stays a match by
+/// construction. Negative pairs are left alone (perturbing them cannot
+/// flip them to matches, but adds no signal either).
+///
+/// Appends the synthetic right-hand tuples to `*right` and returns the
+/// enlarged training-pair list.
+std::vector<er::PairLabel> AugmentErTrainingPairs(
+    const data::Table& left, data::Table* right,
+    const std::vector<er::PairLabel>& pairs, const AugmentConfig& config);
+
+}  // namespace autodc::weak
+
+#endif  // AUTODC_WEAK_AUGMENT_H_

@@ -1,0 +1,98 @@
+#include "src/weak/labeling.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace autodc::weak {
+
+std::vector<std::vector<int>> ApplyLabelingFunctions(
+    const std::vector<LabelingFunction>& lfs, size_t num_items) {
+  std::vector<std::vector<int>> votes(num_items,
+                                      std::vector<int>(lfs.size(), kAbstain));
+  for (size_t i = 0; i < num_items; ++i) {
+    for (size_t j = 0; j < lfs.size(); ++j) {
+      votes[i][j] = lfs[j].vote(i);
+    }
+  }
+  return votes;
+}
+
+std::vector<double> MajorityVote(const std::vector<std::vector<int>>& votes) {
+  std::vector<double> out;
+  out.reserve(votes.size());
+  for (const std::vector<int>& row : votes) {
+    size_t ones = 0, total = 0;
+    for (int v : row) {
+      if (v == kAbstain) continue;
+      ++total;
+      if (v == 1) ++ones;
+    }
+    out.push_back(total == 0
+                      ? 0.5
+                      : static_cast<double>(ones) / static_cast<double>(total));
+  }
+  return out;
+}
+
+std::vector<double> LabelModel::EStep(
+    const std::vector<std::vector<int>>& votes) const {
+  std::vector<double> probs;
+  probs.reserve(votes.size());
+  for (const std::vector<int>& row : votes) {
+    // log P(y=1, votes) vs log P(y=0, votes) under independent LFs with
+    // per-LF accuracy a_j: P(vote=y | y) = a_j, P(vote!=y | y) = 1-a_j.
+    double log1 = std::log(std::max(prior_, 1e-9));
+    double log0 = std::log(std::max(1.0 - prior_, 1e-9));
+    for (size_t j = 0; j < row.size(); ++j) {
+      if (row[j] == kAbstain) continue;
+      double a = std::clamp(accuracies_[j], 1e-6, 1.0 - 1e-6);
+      if (row[j] == 1) {
+        log1 += std::log(a);
+        log0 += std::log(1.0 - a);
+      } else {
+        log1 += std::log(1.0 - a);
+        log0 += std::log(a);
+      }
+    }
+    double mx = std::max(log1, log0);
+    double p1 = std::exp(log1 - mx);
+    double p0 = std::exp(log0 - mx);
+    probs.push_back(p1 / (p1 + p0));
+  }
+  return probs;
+}
+
+std::vector<double> LabelModel::FitPredict(
+    const std::vector<std::vector<int>>& votes) {
+  size_t num_lfs = votes.empty() ? 0 : votes[0].size();
+  accuracies_.assign(num_lfs, config_.initial_accuracy);
+  prior_ = 0.5;
+  std::vector<double> probs;
+  for (size_t iter = 0; iter < config_.em_iterations; ++iter) {
+    probs = EStep(votes);
+    // M step: re-estimate accuracies and prior from soft labels.
+    std::vector<double> correct(num_lfs, config_.smoothing);
+    std::vector<double> total(num_lfs, 2.0 * config_.smoothing);
+    double prior_sum = 0.0;
+    for (size_t i = 0; i < votes.size(); ++i) {
+      prior_sum += probs[i];
+      for (size_t j = 0; j < num_lfs; ++j) {
+        int v = votes[i][j];
+        if (v == kAbstain) continue;
+        // Expected correctness: P(y=v) given the soft label.
+        correct[j] += v == 1 ? probs[i] : 1.0 - probs[i];
+        total[j] += 1.0;
+      }
+    }
+    for (size_t j = 0; j < num_lfs; ++j) {
+      accuracies_[j] = correct[j] / total[j];
+    }
+    prior_ = votes.empty()
+                 ? 0.5
+                 : std::clamp(prior_sum / static_cast<double>(votes.size()),
+                              0.05, 0.95);
+  }
+  return EStep(votes);
+}
+
+}  // namespace autodc::weak

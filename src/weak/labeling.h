@@ -1,0 +1,64 @@
+#ifndef AUTODC_WEAK_LABELING_H_
+#define AUTODC_WEAK_LABELING_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace autodc::weak {
+
+/// A labeling function's vote on one item: 0/1, or kAbstain.
+constexpr int kAbstain = -1;
+
+/// A Snorkel-style labeling function [47]: a cheap, noisy heuristic the
+/// domain expert writes instead of hand-labeling ("if two tuples have
+/// the same country but different capitals, they are in error").
+/// The item is abstract (index into the caller's dataset).
+struct LabelingFunction {
+  std::string name;
+  std::function<int(size_t item)> vote;
+};
+
+/// Dense matrix of votes: votes[i][j] = LF j's vote on item i.
+std::vector<std::vector<int>> ApplyLabelingFunctions(
+    const std::vector<LabelingFunction>& lfs, size_t num_items);
+
+/// Majority-vote baseline: probabilistic label = fraction of non-
+/// abstaining LFs voting 1 (0.5 when all abstain).
+std::vector<double> MajorityVote(const std::vector<std::vector<int>>& votes);
+
+struct LabelModelConfig {
+  size_t em_iterations = 30;
+  double smoothing = 1.0;      ///< Laplace smoothing of accuracy counts
+  double initial_accuracy = 0.7;
+};
+
+/// The generative label model: learns each LF's accuracy via EM under
+/// the conditionally-independent-LFs assumption and outputs calibrated
+/// probabilistic labels. Accurate LFs get more weight than noisy ones —
+/// the improvement over majority vote that Snorkel demonstrated.
+class LabelModel {
+ public:
+  explicit LabelModel(const LabelModelConfig& config = {})
+      : config_(config) {}
+
+  /// Fits accuracies and returns P(y=1 | votes) per item.
+  std::vector<double> FitPredict(
+      const std::vector<std::vector<int>>& votes);
+
+  /// Estimated accuracy per LF (valid after FitPredict).
+  const std::vector<double>& accuracies() const { return accuracies_; }
+  /// Estimated class prior P(y=1).
+  double prior() const { return prior_; }
+
+ private:
+  std::vector<double> EStep(const std::vector<std::vector<int>>& votes) const;
+
+  LabelModelConfig config_;
+  std::vector<double> accuracies_;
+  double prior_ = 0.5;
+};
+
+}  // namespace autodc::weak
+
+#endif  // AUTODC_WEAK_LABELING_H_

@@ -1,0 +1,178 @@
+// Tests for Status/Result, Rng determinism, and string utilities.
+#include <gtest/gtest.h>
+
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/string_util.h"
+
+namespace autodc {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad arity");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad arity");
+  EXPECT_EQ(s.ToString(), "invalid_argument: bad arity");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "unknown");
+  }
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto inner = []() { return Status::NotFound("x"); };
+  auto outer = [&]() -> Status {
+    AUTODC_RETURN_NOT_OK(inner());
+    return Status::OK();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::IoError("disk");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, OkStatusIsRejected) {
+  Result<int> r = Status::OK();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto make = [](bool fail) -> Result<int> {
+    if (fail) return Status::NotFound("gone");
+    return 7;
+  };
+  auto use = [&](bool fail) -> Result<int> {
+    int v = 0;
+    AUTODC_ASSIGN_OR_RETURN(v, make(fail));
+    return v + 1;
+  };
+  EXPECT_EQ(use(false).ValueOrDie(), 8);
+  EXPECT_EQ(use(true).status().code(), StatusCode::kNotFound);
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000000), b.UniformInt(0, 1000000));
+  }
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, BernoulliRespectsProbability) {
+  Rng rng(2);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Bernoulli(0.3)) ++heads;
+  }
+  EXPECT_NEAR(heads / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(3);
+  std::vector<double> w = {1.0, 3.0};
+  int ones = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Categorical(w) == 1) ++ones;
+  }
+  EXPECT_NEAR(ones / 10000.0, 0.75, 0.03);
+}
+
+TEST(RngTest, CategoricalAllZeroWeightsReturnsZero) {
+  Rng rng(4);
+  std::vector<double> w = {0.0, 0.0, 0.0};
+  EXPECT_EQ(rng.Categorical(w), 0u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(5);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> sorted = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, SampleIndicesDistinct) {
+  Rng rng(6);
+  std::vector<size_t> idx = rng.SampleIndices(100, 10);
+  EXPECT_EQ(idx.size(), 10u);
+  std::sort(idx.begin(), idx.end());
+  EXPECT_EQ(std::unique(idx.begin(), idx.end()), idx.end());
+  for (size_t i : idx) EXPECT_LT(i, 100u);
+}
+
+TEST(RngTest, SampleIndicesClampsToN) {
+  Rng rng(7);
+  EXPECT_EQ(rng.SampleIndices(3, 10).size(), 3u);
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("x", ','), (std::vector<std::string>{"x"}));
+}
+
+TEST(StringUtilTest, SplitWhitespaceDropsEmpty) {
+  EXPECT_EQ(SplitWhitespace("  a \t b\nc  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StringUtilTest, JoinRoundTrips) {
+  std::vector<std::string> parts = {"a", "b", "c"};
+  EXPECT_EQ(Join(parts, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, CaseConversions) {
+  EXPECT_EQ(ToLower("HeLLo"), "hello");
+  EXPECT_EQ(ToUpper("HeLLo"), "HELLO");
+  EXPECT_EQ(Capitalize("jOHN"), "John");
+  EXPECT_EQ(Capitalize(""), "");
+}
+
+TEST(StringUtilTest, TrimStripsWhitespace) {
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("ar", "bar"));
+}
+
+}  // namespace
+}  // namespace autodc

@@ -1,0 +1,334 @@
+// Tests for the relational substrate: values, schemas, tables, CSV, FDs,
+// CFDs, FD discovery, and the Figure-4 heterogeneous table graph.
+#include <gtest/gtest.h>
+
+#include "src/data/csv.h"
+#include "src/data/dependencies.h"
+#include "src/data/schema.h"
+#include "src/data/table.h"
+#include "src/data/table_graph.h"
+#include "src/data/value.h"
+
+namespace autodc::data {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value(int64_t{5}).type(), ValueType::kInt);
+  EXPECT_EQ(Value(2.5).type(), ValueType::kDouble);
+  EXPECT_EQ(Value("hi").type(), ValueType::kString);
+  EXPECT_EQ(Value(int64_t{5}).AsInt(), 5);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value("hi").AsString(), "hi");
+}
+
+TEST(ValueTest, ToNumericConversions) {
+  bool ok = false;
+  EXPECT_DOUBLE_EQ(Value(int64_t{3}).ToNumeric(&ok), 3.0);
+  EXPECT_TRUE(ok);
+  EXPECT_DOUBLE_EQ(Value(1.5).ToNumeric(&ok), 1.5);
+  EXPECT_TRUE(ok);
+  Value("abc").ToNumeric(&ok);
+  EXPECT_FALSE(ok);
+  Value::Null().ToNumeric(&ok);
+  EXPECT_FALSE(ok);
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Null().ToString(), "");
+  EXPECT_EQ(Value(int64_t{42}).ToString(), "42");
+  EXPECT_EQ(Value("x").ToString(), "x");
+}
+
+TEST(ValueTest, EqualityAndOrdering) {
+  EXPECT_EQ(Value(int64_t{1}), Value(int64_t{1}));
+  EXPECT_NE(Value(int64_t{1}), Value(1.0));  // different types
+  EXPECT_LT(Value::Null(), Value(int64_t{0}));
+  EXPECT_LT(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_LT(Value(int64_t{3}), Value("a"));  // numbers < strings
+  EXPECT_LT(Value("a"), Value("b"));
+  // Cross numeric comparison int vs double by value.
+  EXPECT_LT(Value(int64_t{1}), Value(1.5));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  ValueHash h;
+  EXPECT_EQ(h(Value("abc")), h(Value("abc")));
+  EXPECT_EQ(h(Value(int64_t{7})), h(Value(int64_t{7})));
+}
+
+TEST(SchemaTest, IndexLookup) {
+  Schema s = Schema::OfStrings({"a", "b", "c"});
+  EXPECT_EQ(s.num_columns(), 3u);
+  EXPECT_EQ(*s.IndexOf("b"), 1u);
+  EXPECT_FALSE(s.IndexOf("z").has_value());
+  EXPECT_EQ(s.Names(), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(TableTest, AppendRowChecksArity) {
+  Table t(Schema::OfStrings({"a", "b"}));
+  EXPECT_TRUE(t.AppendRow({Value("1"), Value("2")}).ok());
+  Status s = t.AppendRow({Value("1")});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TableTest, GetByName) {
+  Table t(Schema::OfStrings({"a", "b"}), "test");
+  ASSERT_TRUE(t.AppendRow({Value("x"), Value("y")}).ok());
+  EXPECT_EQ(t.Get(0, "b").ValueOrDie().AsString(), "y");
+  EXPECT_EQ(t.Get(0, "zz").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(t.Get(5, "a").status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(TableTest, DistinctColumnValuesSkipsNulls) {
+  Table t(Schema::OfStrings({"a"}));
+  ASSERT_TRUE(t.AppendRow({Value("x")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Null()}).ok());
+  ASSERT_TRUE(t.AppendRow({Value("x")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value("y")}).ok());
+  EXPECT_EQ(t.DistinctColumnValues(0).size(), 2u);
+}
+
+TEST(TableTest, FilterAndProject) {
+  Table t(Schema::OfStrings({"a", "b"}));
+  ASSERT_TRUE(t.AppendRow({Value("1"), Value("x")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value("2"), Value("y")}).ok());
+  Table f = t.Filter([](const Row& r) { return r[0].AsString() == "2"; });
+  EXPECT_EQ(f.num_rows(), 1u);
+  Table p = t.Project({1}).ValueOrDie();
+  EXPECT_EQ(p.num_columns(), 1u);
+  EXPECT_EQ(p.schema().column(0).name, "b");
+  EXPECT_EQ(t.Project({9}).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(TableTest, NullFraction) {
+  Table t(Schema::OfStrings({"a", "b"}));
+  ASSERT_TRUE(t.AppendRow({Value("1"), Value::Null()}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Null(), Value::Null()}).ok());
+  EXPECT_DOUBLE_EQ(t.NullFraction(), 0.75);
+}
+
+TEST(CsvTest, ParsesHeaderAndTypes) {
+  auto r = ReadCsvString("id,name,score\n1,alice,3.5\n2,bob,4\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Table& t = r.ValueOrDie();
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.schema().column(0).type, ValueType::kInt);
+  EXPECT_EQ(t.schema().column(1).type, ValueType::kString);
+  EXPECT_EQ(t.schema().column(2).type, ValueType::kDouble);
+  EXPECT_EQ(t.at(0, 1).AsString(), "alice");
+  EXPECT_EQ(t.at(1, 0).AsInt(), 2);
+}
+
+TEST(CsvTest, QuotedFieldsWithDelimitersAndNewlines) {
+  auto r = ReadCsvString(
+      "a,b\n\"x,y\",\"line1\nline2\"\n\"He said \"\"hi\"\"\",plain\n");
+  ASSERT_TRUE(r.ok());
+  const Table& t = r.ValueOrDie();
+  EXPECT_EQ(t.at(0, 0).AsString(), "x,y");
+  EXPECT_EQ(t.at(0, 1).AsString(), "line1\nline2");
+  EXPECT_EQ(t.at(1, 0).AsString(), "He said \"hi\"");
+}
+
+TEST(CsvTest, EmptyFieldsBecomeNulls) {
+  auto r = ReadCsvString("a,b\n1,\n,2\n");
+  ASSERT_TRUE(r.ok());
+  const Table& t = r.ValueOrDie();
+  EXPECT_TRUE(t.at(0, 1).is_null());
+  EXPECT_TRUE(t.at(1, 0).is_null());
+}
+
+TEST(CsvTest, RaggedRowIsError) {
+  auto r = ReadCsvString("a,b\n1,2,3\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, UnterminatedQuoteIsError) {
+  auto r = ReadCsvString("a\n\"oops\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CsvTest, RoundTrip) {
+  auto r = ReadCsvString("a,b\nhello,\"x,y\"\n1,2\n",
+                         CsvOptions{.infer_types = false});
+  ASSERT_TRUE(r.ok());
+  std::string out = WriteCsvString(r.ValueOrDie());
+  auto r2 = ReadCsvString(out, CsvOptions{.infer_types = false});
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.ValueOrDie().at(0, 1).AsString(), "x,y");
+}
+
+TEST(CsvTest, NoHeaderNamesColumns) {
+  auto r = ReadCsvString("1,2\n3,4\n", CsvOptions{.has_header = false});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().schema().column(0).name, "c0");
+  EXPECT_EQ(r.ValueOrDie().num_rows(), 2u);
+}
+
+// The employee example from Figure 4 of the paper: FD1 EmployeeID ->
+// DepartmentID is violated by rows 0 and 3 (same name different dept is
+// fine — names are not keys — but id 0001/0004 map consistently; we
+// construct the canonical violation instead).
+Table EmployeeTable() {
+  Table t(Schema::OfStrings(
+      {"EmployeeID", "EmployeeName", "DepartmentID", "DepartmentName"}));
+  EXPECT_TRUE(
+      t.AppendRow({Value("0001"), Value("John Doe"), Value("1"),
+                   Value("Human Resources")}).ok());
+  EXPECT_TRUE(t.AppendRow({Value("0002"), Value("Jane Doe"), Value("2"),
+                           Value("Marketing")}).ok());
+  EXPECT_TRUE(
+      t.AppendRow({Value("0003"), Value("John Smith"), Value("1"),
+                   Value("Human Resources")}).ok());
+  EXPECT_TRUE(t.AppendRow({Value("0004"), Value("John Doe"), Value("1"),
+                           Value("Finance")}).ok());
+  return t;
+}
+
+TEST(DependenciesTest, HoldsAndViolations) {
+  Table t = EmployeeTable();
+  // EmployeeID -> DepartmentID holds (ids are unique).
+  FunctionalDependency fd1{{0}, 2};
+  EXPECT_TRUE(Holds(t, fd1));
+  // DepartmentID -> DepartmentName is violated: dept 1 is both
+  // "Human Resources" (rows 0,2) and "Finance" (row 3).
+  FunctionalDependency fd2{{2}, 3};
+  EXPECT_FALSE(Holds(t, fd2));
+  auto v = FindViolations(t, fd2);
+  ASSERT_FALSE(v.empty());
+  EXPECT_LT(Confidence(t, fd2), 1.0);
+  EXPECT_DOUBLE_EQ(Confidence(t, fd1), 1.0);
+}
+
+TEST(DependenciesTest, NullLhsNeverMatches) {
+  Table t(Schema::OfStrings({"a", "b"}));
+  ASSERT_TRUE(t.AppendRow({Value::Null(), Value("1")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Null(), Value("2")}).ok());
+  EXPECT_TRUE(Holds(t, FunctionalDependency{{0}, 1}));
+}
+
+TEST(DependenciesTest, CompositeLhs) {
+  Table t(Schema::OfStrings({"a", "b", "c"}));
+  ASSERT_TRUE(t.AppendRow({Value("1"), Value("x"), Value("p")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value("1"), Value("y"), Value("q")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value("1"), Value("x"), Value("p")}).ok());
+  EXPECT_TRUE(Holds(t, FunctionalDependency{{0, 1}, 2}));
+  EXPECT_FALSE(Holds(t, FunctionalDependency{{0}, 2}));
+}
+
+TEST(DependenciesTest, DiscoverFindsMinimalFds) {
+  Table t = EmployeeTable();
+  auto fds = DiscoverFds(t, 1);
+  // EmployeeID (a key) determines everything: 3 FDs with LHS {0}.
+  int from_id = 0;
+  for (const auto& fd : fds) {
+    if (fd.lhs == std::vector<size_t>{0}) ++from_id;
+  }
+  EXPECT_EQ(from_id, 3);
+  // DepartmentID -> DepartmentName must NOT be discovered (violated).
+  for (const auto& fd : fds) {
+    EXPECT_FALSE((fd.lhs == std::vector<size_t>{2} && fd.rhs == 3));
+  }
+}
+
+TEST(DependenciesTest, DiscoverRespectsMinimality) {
+  Table t(Schema::OfStrings({"k", "a", "b"}));
+  ASSERT_TRUE(t.AppendRow({Value("1"), Value("x"), Value("p")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value("2"), Value("x"), Value("q")}).ok());
+  auto fds = DiscoverFds(t, 2);
+  // k->a and k->b hold with |LHS|=1; no FD with LHS {k,a} etc. should be
+  // reported for the same RHS.
+  for (const auto& fd : fds) {
+    if (fd.lhs.size() == 2) {
+      EXPECT_EQ(std::count(fd.lhs.begin(), fd.lhs.end(), 0u), 0)
+          << "non-minimal FD extending key reported";
+    }
+  }
+}
+
+TEST(DependenciesTest, CfdConstantPattern) {
+  Table t = EmployeeTable();
+  // CFD: DepartmentID=1 -> DepartmentName="Human Resources".
+  ConditionalFd cfd{FunctionalDependency{{2}, 3}, {"1", "Human Resources"}};
+  auto v = FindCfdViolations(t, cfd);
+  ASSERT_EQ(v.size(), 1u);  // row 3 (Finance) breaks it
+  EXPECT_EQ(v[0].row_a, 3u);
+  EXPECT_EQ(v[0].row_b, 3u);
+}
+
+TEST(DependenciesTest, CfdWildcardPattern) {
+  Table t = EmployeeTable();
+  ConditionalFd cfd{FunctionalDependency{{2}, 3},
+                    {ConditionalFd::kWildcard, ConditionalFd::kWildcard}};
+  EXPECT_FALSE(FindCfdViolations(t, cfd).empty());
+}
+
+TEST(TableGraphTest, BuildsFigure4Graph) {
+  Table t = EmployeeTable();
+  std::vector<FunctionalDependency> fds = {{{0}, 2}, {{2}, 3}};
+  TableGraph g = TableGraph::Build(t, fds);
+  // 4 ids + 3 names + 2 dept ids + 3 dept names = 12 nodes.
+  EXPECT_EQ(g.num_nodes(), 12u);
+  // Same value in different columns -> distinct nodes.
+  EXPECT_GE(g.FindNode(0, "0001"), 0);
+  EXPECT_EQ(g.FindNode(1, "0001"), -1);
+  // "John Doe" appears once as a node even though in two tuples.
+  EXPECT_EQ(g.ValueNodes("John Doe").size(), 1u);
+}
+
+TEST(TableGraphTest, CoOccurrenceWeightsAccumulate) {
+  Table t = EmployeeTable();
+  TableGraph g = TableGraph::Build(t);
+  // DepartmentID "1" co-occurs with DepartmentName "Human Resources" twice.
+  int64_t dept = g.FindNode(2, "1");
+  int64_t name = g.FindNode(3, "Human Resources");
+  ASSERT_GE(dept, 0);
+  ASSERT_GE(name, 0);
+  double weight = 0.0;
+  for (size_t ei : g.NeighborEdges(static_cast<size_t>(dept))) {
+    const TableGraph::Edge& e = g.edges()[ei];
+    if (e.to == static_cast<size_t>(name) &&
+        e.kind == EdgeKind::kCoOccurrence) {
+      weight = e.weight;
+    }
+  }
+  EXPECT_DOUBLE_EQ(weight, 2.0);
+}
+
+TEST(TableGraphTest, FdEdgesAreDirected) {
+  Table t = EmployeeTable();
+  std::vector<FunctionalDependency> fds = {{{0}, 2}};
+  TableGraph g = TableGraph::Build(t, fds);
+  int64_t emp = g.FindNode(0, "0001");
+  int64_t dept = g.FindNode(2, "1");
+  ASSERT_GE(emp, 0);
+  ASSERT_GE(dept, 0);
+  bool fd_edge_found = false;
+  for (size_t ei : g.NeighborEdges(static_cast<size_t>(emp))) {
+    const TableGraph::Edge& e = g.edges()[ei];
+    if (e.to == static_cast<size_t>(dept) &&
+        e.kind == EdgeKind::kFunctionalDependency) {
+      fd_edge_found = true;
+    }
+  }
+  EXPECT_TRUE(fd_edge_found);
+  // No FD edge in the reverse direction.
+  for (size_t ei : g.NeighborEdges(static_cast<size_t>(dept))) {
+    const TableGraph::Edge& e = g.edges()[ei];
+    EXPECT_FALSE(e.to == static_cast<size_t>(emp) &&
+                 e.kind == EdgeKind::kFunctionalDependency);
+  }
+}
+
+TEST(TableGraphTest, NullCellsProduceNoNodes) {
+  Table t(Schema::OfStrings({"a", "b"}));
+  ASSERT_TRUE(t.AppendRow({Value("x"), Value::Null()}).ok());
+  TableGraph g = TableGraph::Build(t);
+  EXPECT_EQ(g.num_nodes(), 1u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace autodc::data

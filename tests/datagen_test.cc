@@ -1,0 +1,301 @@
+// Tests for the synthetic data generators: perturbations preserve
+// identity-relevant structure, the ER benchmark is well-formed and
+// deterministic, the error injector's ground truth is exact, and the
+// enterprise lake plants the advertised links.
+#include <gtest/gtest.h>
+
+#include "src/datagen/corpus.h"
+#include "src/datagen/enterprise.h"
+#include "src/datagen/er_benchmark.h"
+#include "src/datagen/error_injector.h"
+#include "src/datagen/perturb.h"
+#include "src/text/similarity.h"
+
+namespace autodc::datagen {
+namespace {
+
+TEST(PerturbTest, TypoChangesAtMostOneEditAway) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    std::string s = "hello world";
+    std::string out = Typo(s, &rng);
+    EXPECT_LE(text::LevenshteinDistance(s, out), 2u);  // transposition = 2
+  }
+  EXPECT_EQ(Typo("", &rng), "");
+}
+
+TEST(PerturbTest, AbbreviateFirstWord) {
+  EXPECT_EQ(AbbreviateFirstWord("john smith"), "j. smith");
+  EXPECT_EQ(AbbreviateFirstWord("solo"), "s.");
+  EXPECT_EQ(AbbreviateFirstWord(""), "");
+}
+
+TEST(PerturbTest, SwapAndDropNeedTwoWords) {
+  Rng rng(2);
+  EXPECT_EQ(SwapAdjacentWords("single", &rng), "single");
+  EXPECT_EQ(DropWord("single", &rng), "single");
+  EXPECT_EQ(SwapAdjacentWords("a b", &rng), "b a");
+  EXPECT_EQ(DropWord("a b", &rng).size(), 1u);
+}
+
+TEST(PerturbTest, ChangeCasePreservesLetters) {
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    std::string out = ChangeCase("Hello World", &rng);
+    std::string lower;
+    for (char c : out) {
+      if (!std::isspace(static_cast<unsigned char>(c)))
+        lower += static_cast<char>(std::tolower(c));
+    }
+    EXPECT_EQ(lower, "helloworld");
+  }
+}
+
+TEST(PerturbTest, JitterBounded) {
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    double v = Jitter(100.0, 0.05, &rng);
+    EXPECT_GE(v, 95.0);
+    EXPECT_LE(v, 105.0);
+  }
+}
+
+TEST(PerturbTest, PerturbRowKeepsNullsNull) {
+  Rng rng(5);
+  data::Row row = {data::Value("abc def"), data::Value::Null(),
+                   data::Value(100.0)};
+  PerturbRow(&row, 1.0, &rng);
+  EXPECT_TRUE(row[1].is_null());
+  EXPECT_EQ(row[0].type(), data::ValueType::kString);
+  EXPECT_EQ(row[2].type(), data::ValueType::kDouble);
+}
+
+class ErBenchmarkDomainTest : public ::testing::TestWithParam<ErDomain> {};
+
+TEST_P(ErBenchmarkDomainTest, WellFormedAndDeterministic) {
+  ErBenchmarkConfig cfg;
+  cfg.domain = GetParam();
+  cfg.num_entities = 100;
+  cfg.seed = 11;
+  ErBenchmark a = GenerateErBenchmark(cfg);
+  ErBenchmark b = GenerateErBenchmark(cfg);
+  // Determinism.
+  EXPECT_EQ(a.left.num_rows(), b.left.num_rows());
+  EXPECT_EQ(a.matches, b.matches);
+  ASSERT_GT(a.matches.size(), 0u);
+  // Match indices are valid.
+  for (const auto& [l, r] : a.matches) {
+    EXPECT_LT(l, a.left.num_rows());
+    EXPECT_LT(r, a.right.num_rows());
+  }
+  // Both tables share the domain schema.
+  EXPECT_TRUE(a.left.schema() == a.right.schema());
+  EXPECT_GT(a.left.num_columns(), 2u);
+}
+
+TEST_P(ErBenchmarkDomainTest, MatchedPairsAreMoreSimilarThanRandomPairs) {
+  ErBenchmarkConfig cfg;
+  cfg.domain = GetParam();
+  cfg.num_entities = 150;
+  cfg.dirtiness = 0.4;
+  cfg.seed = 12;
+  ErBenchmark bench = GenerateErBenchmark(cfg);
+  auto row_text = [](const data::Table& t, size_t r) {
+    std::string s;
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      s += t.at(r, c).ToString() + " ";
+    }
+    return s;
+  };
+  double match_sim = 0.0;
+  for (const auto& [l, r] : bench.matches) {
+    match_sim += text::TokenJaccard(row_text(bench.left, l),
+                                    row_text(bench.right, r));
+  }
+  match_sim /= static_cast<double>(bench.matches.size());
+  Rng rng(13);
+  double random_sim = 0.0;
+  size_t trials = 200;
+  for (size_t i = 0; i < trials; ++i) {
+    size_t l = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(bench.left.num_rows()) - 1));
+    size_t r = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(bench.right.num_rows()) - 1));
+    if (IsMatch(bench, l, r)) continue;
+    random_sim += text::TokenJaccard(row_text(bench.left, l),
+                                     row_text(bench.right, r));
+  }
+  random_sim /= static_cast<double>(trials);
+  EXPECT_GT(match_sim, random_sim + 0.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDomains, ErBenchmarkDomainTest,
+                         ::testing::Values(ErDomain::kProducts,
+                                           ErDomain::kPersons,
+                                           ErDomain::kCitations));
+
+TEST(ErBenchmarkTest, DirtinessZeroMakesExactDuplicates) {
+  ErBenchmarkConfig cfg;
+  cfg.dirtiness = 0.0;
+  cfg.synonym_rate = 0.0;
+  cfg.num_entities = 50;
+  ErBenchmark bench = GenerateErBenchmark(cfg);
+  for (const auto& [l, r] : bench.matches) {
+    for (size_t c = 0; c < bench.left.num_columns(); ++c) {
+      EXPECT_EQ(bench.left.at(l, c), bench.right.at(r, c));
+    }
+  }
+}
+
+TEST(ErBenchmarkTest, OverlapControlsMatchCount) {
+  ErBenchmarkConfig low;
+  low.overlap = 0.1;
+  low.num_entities = 400;
+  ErBenchmarkConfig high = low;
+  high.overlap = 0.9;
+  EXPECT_GT(GenerateErBenchmark(high).matches.size(),
+            GenerateErBenchmark(low).matches.size() * 3);
+}
+
+TEST(ErrorInjectorTest, GroundTruthMatchesActualCorruptions) {
+  // Build a clean table, inject, then verify each recorded error cell
+  // really differs from the clean value and every changed cell is
+  // recorded (modulo stacked errors on the same cell, excluded here by
+  // low rates and checking dirty != clean <=> recorded).
+  data::Table clean(data::Schema::OfStrings({"city", "zip"}));
+  const char* cities[] = {"springfield", "riverton", "fairview"};
+  const char* zips[] = {"11111", "22222", "33333"};
+  Rng rng(20);
+  for (int i = 0; i < 200; ++i) {
+    int k = static_cast<int>(rng.UniformInt(0, 2));
+    ASSERT_TRUE(
+        clean.AppendRow({data::Value(cities[k]), data::Value(zips[k])}).ok());
+  }
+  std::vector<data::FunctionalDependency> fds = {{{0}, 1}};
+  ErrorInjectionConfig cfg;
+  cfg.typo_rate = 0.05;
+  cfg.null_rate = 0.05;
+  cfg.fd_violation_rate = 0.05;
+  InjectionResult result = InjectErrors(clean, fds, cfg);
+  EXPECT_GT(result.errors.size(), 10u);
+  for (const InjectedError& e : result.errors) {
+    EXPECT_EQ(e.original, clean.at(e.row, e.col));
+  }
+  // Every cell that differs from clean is covered by some error record.
+  size_t diff_cells = 0;
+  for (size_t r = 0; r < clean.num_rows(); ++r) {
+    for (size_t c = 0; c < clean.num_columns(); ++c) {
+      if (!(result.dirty.at(r, c) == clean.at(r, c))) ++diff_cells;
+    }
+  }
+  // Stacked errors on one cell produce one diff but >=1 records.
+  EXPECT_LE(diff_cells, result.errors.size());
+  EXPECT_GT(diff_cells, 0u);
+}
+
+TEST(ErrorInjectorTest, FdViolationsActuallyViolate) {
+  data::Table clean(data::Schema::OfStrings({"country", "capital"}));
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(clean
+                    .AppendRow({data::Value(i % 2 ? "france" : "italy"),
+                                data::Value(i % 2 ? "paris" : "rome")})
+                    .ok());
+  }
+  std::vector<data::FunctionalDependency> fds = {{{0}, 1}};
+  EXPECT_TRUE(data::FindAllViolations(clean, fds).empty());
+  ErrorInjectionConfig cfg;
+  cfg.typo_rate = 0.0;
+  cfg.null_rate = 0.0;
+  cfg.outlier_rate = 0.0;
+  cfg.fd_violation_rate = 0.2;
+  InjectionResult result = InjectErrors(clean, fds, cfg);
+  ASSERT_GT(result.errors.size(), 0u);
+  EXPECT_FALSE(data::FindAllViolations(result.dirty, fds).empty());
+}
+
+TEST(ErrorInjectorTest, OutliersScaleNumericCells) {
+  data::Table clean(data::Schema({{"v", data::ValueType::kDouble}}));
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(clean.AppendRow({data::Value(10.0)}).ok());
+  }
+  ErrorInjectionConfig cfg;
+  cfg.typo_rate = 0;
+  cfg.null_rate = 0;
+  cfg.fd_violation_rate = 0;
+  cfg.outlier_rate = 0.1;
+  InjectionResult result = InjectErrors(clean, {}, cfg);
+  ASSERT_GT(result.errors.size(), 5u);
+  for (const InjectedError& e : result.errors) {
+    EXPECT_EQ(e.kind, ErrorKind::kOutlier);
+    EXPECT_GE(result.dirty.at(e.row, e.col).AsDouble(), 100.0 - 1e-9);
+  }
+}
+
+TEST(SemanticCorpusTest, ContainsPlantedStructure) {
+  SemanticCorpus corpus = GenerateSemanticCorpus();
+  EXPECT_GT(corpus.sentences.size(), 1000u);
+  EXPECT_GE(corpus.analogies.size(), 5u);
+  EXPECT_EQ(corpus.country_capitals.size(), 8u);
+  // Determinism.
+  SemanticCorpus again = GenerateSemanticCorpus();
+  EXPECT_EQ(corpus.sentences.size(), again.sentences.size());
+  EXPECT_EQ(corpus.sentences[0], again.sentences[0]);
+}
+
+TEST(EnterpriseLakeTest, TablesAndLinksWellFormed) {
+  EnterpriseLake lake = GenerateEnterpriseLake();
+  EXPECT_EQ(lake.tables.size(), 7u);
+  auto find_table = [&](const std::string& name) -> const data::Table* {
+    for (const data::Table& t : lake.tables) {
+      if (t.name() == name) return &t;
+    }
+    return nullptr;
+  };
+  for (const ColumnLink& link : lake.semantic_links) {
+    const data::Table* a = find_table(link.table_a);
+    const data::Table* b = find_table(link.table_b);
+    ASSERT_NE(a, nullptr) << link.table_a;
+    ASSERT_NE(b, nullptr) << link.table_b;
+    EXPECT_TRUE(a->schema().IndexOf(link.column_a).has_value());
+    EXPECT_TRUE(b->schema().IndexOf(link.column_b).has_value());
+  }
+  for (const auto& q : lake.queries) {
+    EXPECT_NE(find_table(q.expected_table), nullptr);
+  }
+}
+
+TEST(EnterpriseLakeTest, SemanticLinksShareValueVocabulary) {
+  EnterpriseLake lake = GenerateEnterpriseLake();
+  auto column_values = [&](const std::string& table,
+                           const std::string& col) {
+    for (const data::Table& t : lake.tables) {
+      if (t.name() != table) continue;
+      auto idx = t.schema().IndexOf(col);
+      std::vector<std::string> out;
+      for (const data::Value& v : t.DistinctColumnValues(*idx)) {
+        out.push_back(v.ToString());
+      }
+      return out;
+    }
+    return std::vector<std::string>{};
+  };
+  auto overlap = [](const std::vector<std::string>& a,
+                    const std::vector<std::string>& b) {
+    size_t inter = 0;
+    for (const std::string& x : a) {
+      if (std::find(b.begin(), b.end(), x) != b.end()) ++inter;
+    }
+    return a.empty() ? 0.0 : static_cast<double>(inter) / a.size();
+  };
+  // protein <-> isoform share values heavily.
+  auto p = column_values("protein_catalog", "protein");
+  auto i = column_values("lab_results", "isoform");
+  EXPECT_GT(overlap(p, i), 0.5);
+  // The spurious pair shares nothing.
+  auto bio = column_values("biopsies", "biopsy_site");
+  auto inv = column_values("inventory", "site_components");
+  EXPECT_DOUBLE_EQ(overlap(bio, inv), 0.0);
+}
+
+}  // namespace
+}  // namespace autodc::datagen

@@ -1,0 +1,298 @@
+// Tests for the embedding stack: SGNS learns planted semantics, the
+// store's neighbour/analogy queries work, graph embeddings respect the
+// Figure-4 structure, and composition produces usable tuple vectors.
+#include <gtest/gtest.h>
+
+#include "src/data/table_graph.h"
+#include "src/datagen/corpus.h"
+#include "src/embedding/composition.h"
+#include "src/embedding/embedding_store.h"
+#include "src/embedding/graph_embedding.h"
+#include "src/embedding/sgns.h"
+#include "src/embedding/word2vec.h"
+#include "src/text/similarity.h"
+
+namespace autodc::embedding {
+namespace {
+
+TEST(EmbeddingStoreTest, AddFindAndDimEnforcement) {
+  EmbeddingStore store;
+  ASSERT_TRUE(store.Add("a", {1.0f, 0.0f}).ok());
+  EXPECT_EQ(store.dim(), 2u);
+  EXPECT_FALSE(store.Add("b", {1.0f, 0.0f, 0.0f}).ok());
+  ASSERT_NE(store.Find("a"), nullptr);
+  EXPECT_EQ(store.Find("zz"), nullptr);
+  // Overwrite keeps size stable.
+  ASSERT_TRUE(store.Add("a", {0.0f, 1.0f}).ok());
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_FLOAT_EQ((*store.Find("a"))[1], 1.0f);
+}
+
+TEST(EmbeddingStoreTest, NearestNeighborsOrdering) {
+  EmbeddingStore store;
+  ASSERT_TRUE(store.Add("x", {1.0f, 0.0f}).ok());
+  ASSERT_TRUE(store.Add("near", {0.9f, 0.1f}).ok());
+  ASSERT_TRUE(store.Add("far", {0.0f, 1.0f}).ok());
+  auto nn = store.Nearest("x", 2).ValueOrDie();
+  ASSERT_EQ(nn.size(), 2u);
+  EXPECT_EQ(nn[0].key, "near");
+  EXPECT_EQ(nn[1].key, "far");
+  EXPECT_GT(nn[0].similarity, nn[1].similarity);
+  EXPECT_FALSE(store.Nearest("missing", 2).ok());
+}
+
+TEST(EmbeddingStoreTest, SimilarityErrorsOnMissingKeys) {
+  EmbeddingStore store;
+  ASSERT_TRUE(store.Add("a", {1.0f}).ok());
+  EXPECT_FALSE(store.Similarity("a", "b").ok());
+  EXPECT_FALSE(store.Similarity("b", "a").ok());
+  EXPECT_DOUBLE_EQ(store.Similarity("a", "a").ValueOrDie(), 1.0);
+}
+
+TEST(EmbeddingStoreTest, AnalogyArithmetic) {
+  // Hand-crafted vectors where b - a + c lands exactly on d.
+  EmbeddingStore store;
+  ASSERT_TRUE(store.Add("a", {0.0f, 0.0f}).ok());
+  ASSERT_TRUE(store.Add("b", {1.0f, 0.0f}).ok());
+  ASSERT_TRUE(store.Add("c", {0.0f, 1.0f}).ok());
+  ASSERT_TRUE(store.Add("d", {1.0f, 1.0f}).ok());
+  ASSERT_TRUE(store.Add("decoy", {-1.0f, -1.0f}).ok());
+  auto result = store.Analogy("a", "b", "c").ValueOrDie();
+  ASSERT_FALSE(result.empty());
+  EXPECT_EQ(result[0].key, "d");
+}
+
+TEST(EmbeddingStoreTest, AverageOfSkipsUnknown) {
+  EmbeddingStore store;
+  ASSERT_TRUE(store.Add("a", {2.0f, 0.0f}).ok());
+  ASSERT_TRUE(store.Add("b", {0.0f, 2.0f}).ok());
+  auto avg = store.AverageOf({"a", "b", "unknown"});
+  EXPECT_FLOAT_EQ(avg[0], 1.0f);
+  EXPECT_FLOAT_EQ(avg[1], 1.0f);
+  auto zero = store.AverageOf({"nope"});
+  EXPECT_FLOAT_EQ(zero[0], 0.0f);
+}
+
+// The central Figure-3 claim: distributed representations learned from
+// co-occurrence place semantically related words close together.
+class SemanticCorpusTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    datagen::SemanticCorpus corpus = datagen::GenerateSemanticCorpus();
+    Word2VecConfig cfg;
+    cfg.sgns.dim = 32;
+    cfg.sgns.window = 4;
+    cfg.sgns.epochs = 8;
+    cfg.sgns.seed = 7;
+    store_ = new EmbeddingStore(TrainWordEmbeddings(corpus.sentences, cfg));
+    corpus_ = new datagen::SemanticCorpus(std::move(corpus));
+  }
+  static void TearDownTestSuite() {
+    delete store_;
+    delete corpus_;
+    store_ = nullptr;
+    corpus_ = nullptr;
+  }
+  static EmbeddingStore* store_;
+  static datagen::SemanticCorpus* corpus_;
+};
+
+EmbeddingStore* SemanticCorpusTest::store_ = nullptr;
+datagen::SemanticCorpus* SemanticCorpusTest::corpus_ = nullptr;
+
+TEST_F(SemanticCorpusTest, RelatedPairsBeatUnrelatedPairs) {
+  double related = 0.0;
+  for (const auto& [a, b] : corpus_->related_pairs) {
+    related += store_->Similarity(a, b).ValueOrDie();
+  }
+  related /= corpus_->related_pairs.size();
+  double unrelated = 0.0;
+  for (const auto& [a, b] : corpus_->unrelated_pairs) {
+    unrelated += store_->Similarity(a, b).ValueOrDie();
+  }
+  unrelated /= corpus_->unrelated_pairs.size();
+  EXPECT_GT(related, unrelated + 0.2)
+      << "related=" << related << " unrelated=" << unrelated;
+}
+
+TEST_F(SemanticCorpusTest, KingMinusManPlusWomanIsNearQueen) {
+  auto result = store_->Analogy("man", "woman", "king", 3).ValueOrDie();
+  ASSERT_FALSE(result.empty());
+  std::vector<std::string> top;
+  for (const auto& n : result) top.push_back(n.key);
+  EXPECT_TRUE(std::find(top.begin(), top.end(), "queen") != top.end())
+      << "queen not in top-3 for king - man + woman";
+}
+
+TEST_F(SemanticCorpusTest, MajorityOfPlantedAnalogiesHold) {
+  size_t hits = 0;
+  for (const auto& q : corpus_->analogies) {
+    auto result = store_->Analogy(q.a, q.b, q.c, 3);
+    if (!result.ok()) continue;
+    for (const auto& n : result.ValueOrDie()) {
+      if (n.key == q.d) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(hits * 2, corpus_->analogies.size())
+      << hits << "/" << corpus_->analogies.size() << " analogies held";
+}
+
+TEST(SgnsTest, CooccurringTokensConverge) {
+  // Two tokens always appearing together must embed closer than two
+  // tokens never appearing together.
+  std::vector<std::vector<size_t>> seqs;
+  Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    // {0,1} always co-occur; {2,3} always co-occur; never across.
+    if (rng.Bernoulli(0.5)) seqs.push_back({0, 1});
+    else seqs.push_back({2, 3});
+  }
+  SgnsConfig cfg;
+  cfg.dim = 16;
+  cfg.epochs = 10;
+  SgnsModel model(4, cfg);
+  std::vector<double> uniform(4, 1.0);
+  model.Train(seqs, uniform);
+  auto cos = [&](size_t a, size_t b) {
+    return text::CosineSimilarity(model.VectorOf(a), model.VectorOf(b));
+  };
+  EXPECT_GT(cos(0, 1), cos(0, 2));
+  EXPECT_GT(cos(2, 3), cos(1, 3));
+}
+
+TEST(SgnsTest, TrainingLossDecreases) {
+  std::vector<std::vector<size_t>> seqs;
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    seqs.push_back({static_cast<size_t>(rng.UniformInt(0, 4)),
+                    static_cast<size_t>(rng.UniformInt(0, 4)),
+                    static_cast<size_t>(rng.UniformInt(5, 9))});
+  }
+  SgnsConfig one_epoch;
+  one_epoch.epochs = 1;
+  SgnsModel early(10, one_epoch);
+  std::vector<double> uniform(10, 1.0);
+  double first = early.Train(seqs, uniform);
+  SgnsConfig many;
+  many.epochs = 15;
+  SgnsModel late(10, many);
+  double last = late.Train(seqs, uniform);
+  EXPECT_LT(last, first);
+}
+
+TEST(GraphEmbeddingTest, WalksRespectGraphStructure) {
+  data::Table t(data::Schema::OfStrings({"a", "b"}));
+  ASSERT_TRUE(t.AppendRow({data::Value("x"), data::Value("y")}).ok());
+  ASSERT_TRUE(t.AppendRow({data::Value("p"), data::Value("q")}).ok());
+  data::TableGraph g = data::TableGraph::Build(t);
+  GraphEmbeddingConfig cfg;
+  cfg.walks_per_node = 5;
+  cfg.walk_length = 4;
+  auto walks = GenerateWalks(g, cfg);
+  EXPECT_EQ(walks.size(), g.num_nodes() * 5);
+  // x(0) and y(1) form one component; p(2), q(3) the other. No walk can
+  // cross components.
+  for (const auto& walk : walks) {
+    bool comp0 = walk[0] <= 1;
+    for (size_t node : walk) {
+      EXPECT_EQ(node <= 1, comp0) << "walk crossed components";
+    }
+  }
+}
+
+TEST(GraphEmbeddingTest, TupleCoMembersEmbedClose) {
+  // Table where attribute values always pair up: (a1,b1), (a2,b2).
+  data::Table t(data::Schema::OfStrings({"A", "B"}));
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(t.AppendRow({data::Value("a1"), data::Value("b1")}).ok());
+    ASSERT_TRUE(t.AppendRow({data::Value("a2"), data::Value("b2")}).ok());
+  }
+  data::TableGraph g = data::TableGraph::Build(t);
+  GraphEmbeddingConfig cfg;
+  cfg.sgns.dim = 8;
+  cfg.sgns.epochs = 10;
+  cfg.walks_per_node = 20;
+  cfg.walk_length = 6;
+  EmbeddingStore store = TrainTableGraphEmbeddings(g, t.schema(), cfg);
+  double paired =
+      store.Similarity("A:a1", "B:b1").ValueOrDie();
+  double unpaired =
+      store.Similarity("A:a1", "B:b2").ValueOrDie();
+  EXPECT_GT(paired, unpaired);
+}
+
+TEST(CompositionTest, TupleEmbeddingAveragesKnownTokens) {
+  EmbeddingStore words;
+  ASSERT_TRUE(words.Add("red", {1.0f, 0.0f}).ok());
+  ASSERT_TRUE(words.Add("apple", {0.0f, 1.0f}).ok());
+  data::Row row = {data::Value("Red Apple"), data::Value::Null()};
+  auto v = EmbedTuple(words, row);
+  EXPECT_FLOAT_EQ(v[0], 0.5f);
+  EXPECT_FLOAT_EQ(v[1], 0.5f);
+}
+
+TEST(CompositionTest, SifDownweightsFrequentTokens) {
+  EmbeddingStore words;
+  ASSERT_TRUE(words.Add("the", {1.0f, 0.0f}).ok());
+  ASSERT_TRUE(words.Add("rare", {0.0f, 1.0f}).ok());
+  text::Vocabulary vocab;
+  for (int i = 0; i < 1000; ++i) vocab.Add("the");
+  vocab.Add("rare");
+  SifWeights sif;
+  sif.vocabulary = &vocab;
+  auto v = EmbedTokens(words, {"the", "rare"}, Composition::kSifWeighted,
+                       sif);
+  EXPECT_GT(v[1], v[0] * 10.0f) << "frequent token not downweighted";
+}
+
+TEST(CompositionTest, ColumnEmbeddingUsesNameAndValues) {
+  EmbeddingStore words;
+  ASSERT_TRUE(words.Add("price", {1.0f, 0.0f}).ok());
+  ASSERT_TRUE(words.Add("cheap", {0.0f, 1.0f}).ok());
+  data::Table t(data::Schema::OfStrings({"price"}));
+  ASSERT_TRUE(t.AppendRow({data::Value("cheap")}).ok());
+  auto v = EmbedColumn(words, t, 0);
+  EXPECT_GT(v[0], 0.0f);
+  EXPECT_GT(v[1], 0.0f);
+}
+
+TEST(CompositionTest, TableEmbeddingNonZeroForKnownVocab) {
+  EmbeddingStore words;
+  ASSERT_TRUE(words.Add("a", {1.0f, 1.0f}).ok());
+  data::Table t(data::Schema::OfStrings({"a"}));
+  ASSERT_TRUE(t.AppendRow({data::Value("a")}).ok());
+  auto v = EmbedTable(words, t);
+  EXPECT_GT(v[0], 0.0f);
+  // Empty table embeds to zero.
+  data::Table empty(data::Schema::OfStrings({"zzz"}));
+  auto z = EmbedTable(words, empty);
+  EXPECT_FLOAT_EQ(z[0], 0.0f);
+}
+
+TEST(Word2VecTest, NaiveCellEmbeddingsLinkCoOccurringCells) {
+  // Country/Capital relation repeated: cell embeddings of a pair must be
+  // closer than across pairs (the working case of the naive adaptation).
+  data::Table t(data::Schema::OfStrings({"Country", "Capital"}));
+  Rng rng(5);
+  for (int i = 0; i < 60; ++i) {
+    if (rng.Bernoulli(0.5)) {
+      ASSERT_TRUE(
+          t.AppendRow({data::Value("brazil"), data::Value("brasilia")}).ok());
+    } else {
+      ASSERT_TRUE(
+          t.AppendRow({data::Value("france"), data::Value("paris")}).ok());
+    }
+  }
+  Word2VecConfig cfg;
+  cfg.sgns.dim = 12;
+  cfg.sgns.epochs = 12;
+  EmbeddingStore store = TrainCellEmbeddingsNaive({&t}, cfg);
+  EXPECT_GT(store.Similarity("brazil", "brasilia").ValueOrDie(),
+            store.Similarity("brazil", "paris").ValueOrDie());
+}
+
+}  // namespace
+}  // namespace autodc::embedding

@@ -1,0 +1,286 @@
+// Cross-module integration tests: CSV -> curation, DeepER checkpointing
+// and transfer (Sec. 3.3 pre-trained models), schema mapping + union,
+// and the error-inject -> detect -> repair -> impute loop.
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "src/cleaning/imputation.h"
+#include "src/cleaning/outliers.h"
+#include "src/cleaning/repair.h"
+#include "src/core/autocurator.h"
+#include "src/data/csv.h"
+#include "src/datagen/er_benchmark.h"
+#include "src/datagen/error_injector.h"
+#include "src/discovery/schema_mapping.h"
+#include "src/embedding/word2vec.h"
+#include "src/er/blocking.h"
+#include "src/er/deeper.h"
+#include "src/er/evaluation.h"
+
+namespace autodc {
+namespace {
+
+TEST(IntegrationTest, CsvRoundTripThroughCuration) {
+  // Serialize a generated table to CSV, read it back, curate it.
+  datagen::ErBenchmarkConfig cfg;
+  cfg.domain = datagen::ErDomain::kProducts;
+  cfg.num_entities = 40;
+  cfg.dirtiness = 0.2;
+  cfg.synonym_rate = 0.0;
+  cfg.seed = 3;
+  datagen::ErBenchmark bench = datagen::GenerateErBenchmark(cfg);
+  data::Table catalog(bench.left.schema(), "catalog");
+  for (size_t r = 0; r < bench.left.num_rows(); ++r) {
+    ASSERT_TRUE(catalog.AppendRow(bench.left.row(r)).ok());
+  }
+  std::string csv = data::WriteCsvString(catalog);
+  data::Table reread = data::ReadCsvString(csv).ValueOrDie();
+  reread.set_name("catalog");
+  ASSERT_EQ(reread.num_rows(), catalog.num_rows());
+
+  core::AutoCuratorConfig ccfg;
+  ccfg.task_query = "product brand price";
+  ccfg.max_tables = 1;
+  auto result = core::AutoCurator(ccfg).Curate({reread});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result.ValueOrDie().curated.num_rows(), 0u);
+}
+
+TEST(IntegrationTest, DeepErCheckpointRoundTrip) {
+  datagen::ErBenchmarkConfig cfg;
+  cfg.domain = datagen::ErDomain::kProducts;
+  cfg.num_entities = 80;
+  cfg.seed = 5;
+  datagen::ErBenchmark bench = datagen::GenerateErBenchmark(cfg);
+  embedding::Word2VecConfig wcfg;
+  wcfg.sgns.dim = 16;
+  wcfg.sgns.epochs = 4;
+  embedding::EmbeddingStore words = embedding::TrainWordEmbeddingsFromTables(
+      {&bench.left, &bench.right}, wcfg);
+  Rng rng(7);
+  auto train = er::SampleTrainingPairs(bench.left.num_rows(),
+                                       bench.right.num_rows(), bench.matches,
+                                       4, &rng);
+  er::DeepErConfig dcfg;
+  dcfg.epochs = 15;
+  er::DeepEr model(&words, dcfg);
+  model.FitWeights({&bench.left, &bench.right});
+  model.Train(bench.left, bench.right, train);
+  const std::string path = "/tmp/autodc_deeper_ckpt.bin";
+  ASSERT_TRUE(model.SaveCheckpoint(path).ok());
+
+  // Fresh model (different seed -> different init) restores exactly.
+  er::DeepErConfig dcfg2 = dcfg;
+  dcfg2.seed = 999;
+  er::DeepEr restored(&words, dcfg2);
+  restored.FitWeights({&bench.left, &bench.right});
+  restored.InitForSchema(bench.left.schema());
+  ASSERT_TRUE(restored.LoadCheckpoint(path).ok());
+  for (const auto& [l, r] : bench.matches) {
+    EXPECT_NEAR(model.PredictProba(bench.left.row(l), bench.right.row(r)),
+                restored.PredictProba(bench.left.row(l), bench.right.row(r)),
+                1e-6);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IntegrationTest, CheckpointBeforeInitFails) {
+  embedding::EmbeddingStore words(8);
+  ASSERT_TRUE(words.Add("x", std::vector<float>(8, 0.1f)).ok());
+  er::DeepErConfig cfg;
+  er::DeepEr model(&words, cfg);
+  EXPECT_EQ(model.SaveCheckpoint("/tmp/never.bin").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(model.LoadCheckpoint("/tmp/never.bin").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(IntegrationTest, TransferLearningBeatsColdStartWithFewLabels) {
+  // Sec. 3.3 / 6.2.5: pre-train a matcher on one (large) linkage task,
+  // fine-tune on a second task with very few labels; compare against
+  // training from scratch on the same few labels.
+  embedding::Word2VecConfig wcfg;
+  wcfg.sgns.dim = 20;
+  wcfg.sgns.epochs = 5;
+  wcfg.sgns.seed = 5;
+
+  datagen::ErBenchmarkConfig big_cfg;
+  big_cfg.domain = datagen::ErDomain::kProducts;
+  big_cfg.num_entities = 200;
+  big_cfg.dirtiness = 0.5;
+  big_cfg.synonym_rate = 0.4;
+  big_cfg.seed = 21;
+  datagen::ErBenchmark big = datagen::GenerateErBenchmark(big_cfg);
+
+  datagen::ErBenchmarkConfig small_cfg = big_cfg;
+  small_cfg.num_entities = 120;
+  small_cfg.seed = 99;  // different data, same domain
+  datagen::ErBenchmark small = datagen::GenerateErBenchmark(small_cfg);
+
+  // A shared embedding space (trained over both corpora — the enterprise
+  // "holistic knowledge").
+  embedding::EmbeddingStore words = embedding::TrainWordEmbeddingsFromTables(
+      {&big.left, &big.right, &small.left, &small.right}, wcfg);
+
+  // Pre-train on the big task.
+  Rng rng(7);
+  auto big_train = er::SampleTrainingPairs(
+      big.left.num_rows(), big.right.num_rows(), big.matches, 5, &rng);
+  er::DeepErConfig dcfg;
+  dcfg.epochs = 30;
+  dcfg.learning_rate = 1e-2f;
+  er::DeepEr pretrained(&words, dcfg);
+  pretrained.FitWeights({&big.left, &big.right});
+  pretrained.Train(big.left, big.right, big_train);
+  const std::string path = "/tmp/autodc_transfer_ckpt.bin";
+  ASSERT_TRUE(pretrained.SaveCheckpoint(path).ok());
+
+  // Tiny labeled set on the small task.
+  std::vector<er::RowPair> few(small.matches.begin(),
+                               small.matches.begin() + 5);
+  Rng rng2(8);
+  auto few_train = er::SampleTrainingPairs(
+      small.left.num_rows(), small.right.num_rows(), few, 5, &rng2);
+  std::vector<er::RowPair> all;
+  for (size_t l = 0; l < small.left.num_rows(); ++l) {
+    for (size_t r = 0; r < small.right.num_rows(); ++r) all.push_back({l, r});
+  }
+
+  // Cold start.
+  er::DeepErConfig cold_cfg = dcfg;
+  cold_cfg.epochs = 10;
+  er::DeepEr cold(&words, cold_cfg);
+  cold.FitWeights({&small.left, &small.right});
+  cold.Train(small.left, small.right, few_train);
+  er::PrfScore cold_score = er::Evaluate(
+      cold.Match(small.left, small.right, all, 0.9), small.matches);
+
+  // Warm start: load the pre-trained weights, fine-tune the same amount.
+  er::DeepErConfig warm_cfg = cold_cfg;
+  warm_cfg.seed = 77;
+  er::DeepEr warm(&words, warm_cfg);
+  warm.FitWeights({&small.left, &small.right});
+  warm.InitForSchema(small.left.schema());
+  ASSERT_TRUE(warm.LoadCheckpoint(path).ok());
+  warm.Train(small.left, small.right, few_train);
+  er::PrfScore warm_score = er::Evaluate(
+      warm.Match(small.left, small.right, all, 0.9), small.matches);
+
+  std::remove(path.c_str());
+  EXPECT_GT(warm_score.f1, cold_score.f1)
+      << "transfer (" << warm_score.f1 << ") should beat cold start ("
+      << cold_score.f1 << ") with 5 labels";
+}
+
+TEST(IntegrationTest, SchemaMappingAndUnion) {
+  // Two tables over shared value vocabularies but different column names
+  // (customer vs client, product vs item); enough rows for embeddings.
+  const char* people[] = {"alice johnson", "bob smith", "carol davis",
+                          "dan miller"};
+  const char* products[] = {"desk lamp", "usb hub", "monitor arm",
+                            "webcam hd"};
+  const char* regions[] = {"north", "south", "east", "west"};
+  data::Table target(data::Schema::OfStrings({"customer", "product"}),
+                     "orders");
+  data::Table source(data::Schema::OfStrings({"item", "client", "region"}),
+                     "crm");
+  Rng rng(6);
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(target
+                    .AppendRow({data::Value(people[rng.UniformInt(0, 3)]),
+                                data::Value(products[rng.UniformInt(0, 3)])})
+                    .ok());
+    ASSERT_TRUE(source
+                    .AppendRow({data::Value(products[rng.UniformInt(0, 3)]),
+                                data::Value(people[rng.UniformInt(0, 3)]),
+                                data::Value(regions[rng.UniformInt(0, 3)])})
+                    .ok());
+  }
+
+  embedding::Word2VecConfig wcfg;
+  wcfg.sgns.epochs = 8;
+  embedding::EmbeddingStore words = embedding::TrainWordEmbeddingsFromTables(
+      {&target, &source}, wcfg);
+  discovery::SemanticColumnMatcher matcher(&words);
+  discovery::SchemaMapping mapping =
+      discovery::MapSchema(matcher, target, source, 0.2);
+  ASSERT_EQ(mapping.mapping.size(), 2u);
+  EXPECT_EQ(mapping.mapping[0], 1);  // customer <- client
+  EXPECT_EQ(mapping.mapping[1], 0);  // product <- item
+  EXPECT_EQ(mapping.num_mapped(), 2u);
+  size_t before = target.num_rows();
+  ASSERT_TRUE(discovery::UnionInto(&target, source, mapping).ok());
+  ASSERT_EQ(target.num_rows(), before + source.num_rows());
+  EXPECT_EQ(target.at(before, 0).ToString(), source.at(0, 1).ToString());
+  EXPECT_EQ(target.at(before, 1).ToString(), source.at(0, 0).ToString());
+}
+
+TEST(IntegrationTest, UnionRejectsBadMapping) {
+  data::Table target(data::Schema::OfStrings({"a"}));
+  data::Table source(data::Schema::OfStrings({"b"}));
+  discovery::SchemaMapping wrong;
+  wrong.mapping = {0, 1};  // arity mismatch
+  EXPECT_FALSE(discovery::UnionInto(&target, source, wrong).ok());
+  discovery::SchemaMapping oob;
+  oob.mapping = {7};
+  EXPECT_FALSE(discovery::UnionInto(&target, source, oob).ok());
+}
+
+TEST(IntegrationTest, InjectDetectRepairImputeLoop) {
+  // The full cleaning loop on one relation, asserting end-state quality.
+  data::Table clean(data::Schema({{"city", data::ValueType::kString},
+                                  {"zip", data::ValueType::kString},
+                                  {"pop", data::ValueType::kDouble}}));
+  const char* cities[] = {"springfield", "riverton", "fairview"};
+  const char* zips[] = {"11111", "22222", "33333"};
+  Rng rng(4);
+  for (int i = 0; i < 250; ++i) {
+    int k = static_cast<int>(rng.UniformInt(0, 2));
+    ASSERT_TRUE(clean.AppendRow({data::Value(cities[k]), data::Value(zips[k]),
+                                 data::Value(rng.Normal(50000, 3000))})
+                    .ok());
+  }
+  std::vector<data::FunctionalDependency> fds = {{{0}, 1}};
+  datagen::ErrorInjectionConfig ecfg;
+  ecfg.typo_rate = 0.0;
+  ecfg.null_rate = 0.05;
+  ecfg.fd_violation_rate = 0.08;
+  ecfg.outlier_rate = 0.03;
+  auto injected = datagen::InjectErrors(clean, fds, ecfg);
+  data::Table dirty = injected.dirty;
+
+  // Outliers found.
+  auto outliers = cleaning::ZScoreOutliers(dirty, 2);
+  size_t true_outliers = 0;
+  for (const datagen::InjectedError& e : injected.errors) {
+    if (e.kind == datagen::ErrorKind::kOutlier) ++true_outliers;
+  }
+  EXPECT_GE(outliers.size(), true_outliers / 2);
+
+  // Repair restores FD consistency.
+  cleaning::RepairFdViolations(&dirty, fds);
+  EXPECT_TRUE(data::FindAllViolations(dirty, fds).empty());
+
+  // Imputation removes all nulls.
+  cleaning::DaeImputerConfig icfg;
+  icfg.epochs = 40;
+  cleaning::DaeImputer dae(icfg);
+  dae.FitAndFillAll(&dirty);
+  cleaning::MeanModeImputer fallback;
+  fallback.FitAndFillAll(&dirty);
+  EXPECT_DOUBLE_EQ(dirty.NullFraction(), 0.0);
+
+  // Most nulled categorical cells recovered exactly.
+  size_t hit = 0, total = 0;
+  for (const datagen::InjectedError& e : injected.errors) {
+    if (e.kind != datagen::ErrorKind::kNull || e.col > 1) continue;
+    ++total;
+    if (dirty.at(e.row, e.col).ToString() == e.original.ToString()) ++hit;
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(static_cast<double>(hit) / total, 0.7);
+}
+
+}  // namespace
+}  // namespace autodc

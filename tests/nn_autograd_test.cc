@@ -1,0 +1,383 @@
+// Tests for the autodiff engine: analytic gradients are verified against
+// central-difference numerical gradients for every op, then end-to-end
+// learning behavior is checked on small tasks.
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "src/nn/autograd.h"
+#include "src/nn/layers.h"
+#include "src/nn/optimizer.h"
+#include "src/nn/rnn.h"
+
+namespace autodc::nn {
+namespace {
+
+// Builds the graph via `make_loss` (which must read from the given
+// parameters), backprops, and compares every analytic gradient against a
+// numerical estimate.
+void CheckGradients(const std::vector<VarPtr>& params,
+                    const std::function<VarPtr()>& make_loss,
+                    float tol = 2e-2f) {
+  VarPtr loss = make_loss();
+  ASSERT_EQ(loss->value.size(), 1u);
+  for (const VarPtr& p : params) p->ZeroGrad();
+  Backward(loss);
+
+  const float h = 1e-3f;
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    const VarPtr& p = params[pi];
+    ASSERT_EQ(p->grad.size(), p->value.size());
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      float orig = p->value[i];
+      p->value[i] = orig + h;
+      float up = make_loss()->value[0];
+      p->value[i] = orig - h;
+      float down = make_loss()->value[0];
+      p->value[i] = orig;
+      float numeric = (up - down) / (2.0f * h);
+      float analytic = p->grad[i];
+      EXPECT_NEAR(analytic, numeric, tol)
+          << "param " << pi << " element " << i;
+    }
+  }
+}
+
+TEST(AutogradTest, AddSubMulGradients) {
+  Rng rng(1);
+  VarPtr a = Parameter(Tensor::RandomUniform({4}, 1.0f, &rng));
+  VarPtr b = Parameter(Tensor::RandomUniform({4}, 1.0f, &rng));
+  CheckGradients({a, b}, [&]() { return Sum(Mul(Add(a, b), Sub(a, b))); });
+}
+
+TEST(AutogradTest, MatMulGradients) {
+  Rng rng(2);
+  VarPtr a = Parameter(Tensor::RandomUniform({3, 4}, 1.0f, &rng));
+  VarPtr b = Parameter(Tensor::RandomUniform({4, 2}, 1.0f, &rng));
+  CheckGradients({a, b}, [&]() { return Sum(MatMulOp(a, b)); });
+}
+
+TEST(AutogradTest, MatMulChainGradients) {
+  Rng rng(3);
+  VarPtr a = Parameter(Tensor::RandomUniform({2, 3}, 1.0f, &rng));
+  VarPtr b = Parameter(Tensor::RandomUniform({3, 3}, 1.0f, &rng));
+  VarPtr c = Parameter(Tensor::RandomUniform({3, 2}, 1.0f, &rng));
+  CheckGradients(
+      {a, b, c}, [&]() { return Sum(Square(MatMulOp(MatMulOp(a, b), c))); });
+}
+
+TEST(AutogradTest, AddBiasGradients) {
+  Rng rng(4);
+  VarPtr a = Parameter(Tensor::RandomUniform({3, 5}, 1.0f, &rng));
+  VarPtr bias = Parameter(Tensor::RandomUniform({5}, 1.0f, &rng));
+  CheckGradients({a, bias}, [&]() { return Sum(Square(AddBias(a, bias))); });
+}
+
+TEST(AutogradTest, ActivationGradients) {
+  Rng rng(5);
+  VarPtr a = Parameter(Tensor::RandomUniform({6}, 0.9f, &rng));
+  CheckGradients({a}, [&]() { return Sum(Sigmoid(a)); });
+  CheckGradients({a}, [&]() { return Sum(Tanh(a)); });
+  CheckGradients({a}, [&]() { return Sum(LeakyRelu(a, 0.1f)); });
+  CheckGradients({a}, [&]() { return Sum(Exp(a)); });
+  CheckGradients({a}, [&]() { return Sum(Square(a)); });
+}
+
+TEST(AutogradTest, LogGradient) {
+  Rng rng(6);
+  VarPtr a = Parameter(Tensor::RandomUniform({5}, 0.4f, &rng));
+  for (size_t i = 0; i < a->value.size(); ++i) {
+    a->value[i] = std::fabs(a->value[i]) + 0.5f;  // keep away from eps
+  }
+  CheckGradients({a}, [&]() { return Sum(Log(a)); });
+}
+
+TEST(AutogradTest, MeanAndScaleGradients) {
+  Rng rng(7);
+  VarPtr a = Parameter(Tensor::RandomUniform({8}, 1.0f, &rng));
+  CheckGradients({a}, [&]() { return Scale(Mean(Square(a)), 3.0f); });
+}
+
+TEST(AutogradTest, ConcatGradients) {
+  Rng rng(8);
+  VarPtr a = Parameter(Tensor::RandomUniform({3}, 1.0f, &rng));
+  VarPtr b = Parameter(Tensor::RandomUniform({2}, 1.0f, &rng));
+  CheckGradients({a, b}, [&]() { return Sum(Square(Concat({a, b}))); });
+}
+
+TEST(AutogradTest, RowsGatherGradients) {
+  Rng rng(9);
+  VarPtr m = Parameter(Tensor::RandomUniform({5, 3}, 1.0f, &rng));
+  std::vector<size_t> idx = {0, 2, 2, 4};  // repeated row accumulates
+  CheckGradients({m}, [&]() { return Sum(Square(Rows(m, idx))); });
+}
+
+TEST(AutogradTest, MeanRowsGradients) {
+  Rng rng(10);
+  VarPtr m = Parameter(Tensor::RandomUniform({4, 3}, 1.0f, &rng));
+  CheckGradients({m}, [&]() { return Sum(Square(MeanRows(m))); });
+}
+
+TEST(AutogradTest, SoftmaxGradients) {
+  Rng rng(11);
+  VarPtr a = Parameter(Tensor::RandomUniform({2, 4}, 1.0f, &rng));
+  // Weighted sum of softmax outputs so the gradient is nontrivial.
+  Tensor w({2, 4});
+  for (size_t i = 0; i < w.size(); ++i) w[i] = static_cast<float>(i + 1);
+  CheckGradients(
+      {a}, [&]() { return Sum(Mul(SoftmaxRows(a), Constant(w))); });
+}
+
+TEST(AutogradTest, MseLossGradients) {
+  Rng rng(12);
+  VarPtr a = Parameter(Tensor::RandomUniform({3, 2}, 1.0f, &rng));
+  Tensor target = Tensor::RandomUniform({3, 2}, 1.0f, &rng);
+  CheckGradients({a}, [&]() { return MseLoss(a, target); });
+}
+
+TEST(AutogradTest, BceWithLogitsGradients) {
+  Rng rng(13);
+  VarPtr a = Parameter(Tensor::RandomUniform({4, 1}, 2.0f, &rng));
+  Tensor target({4, 1});
+  target.at(0, 0) = 1.0f;
+  target.at(2, 0) = 1.0f;
+  CheckGradients({a}, [&]() { return BceWithLogitsLoss(a, target); });
+}
+
+TEST(AutogradTest, SoftmaxCrossEntropyGradients) {
+  Rng rng(14);
+  VarPtr a = Parameter(Tensor::RandomUniform({3, 4}, 1.5f, &rng));
+  std::vector<size_t> labels = {1, 0, 3};
+  CheckGradients({a},
+                 [&]() { return SoftmaxCrossEntropyLoss(a, labels); });
+}
+
+TEST(AutogradTest, LinearLayerGradients) {
+  Rng rng(15);
+  Linear lin(3, 2, &rng);
+  Tensor x = Tensor::RandomUniform({4, 3}, 1.0f, &rng);
+  Tensor t = Tensor::RandomUniform({4, 2}, 1.0f, &rng);
+  CheckGradients(lin.Parameters(), [&]() {
+    return MseLoss(lin.Forward(Constant(x), true), t);
+  });
+}
+
+TEST(AutogradTest, Conv1DGradients) {
+  Rng rng(16);
+  Conv1D conv(2, 3, 2, &rng);
+  Tensor x = Tensor::RandomUniform({5, 2}, 1.0f, &rng);
+  CheckGradients(conv.Parameters(), [&]() {
+    return Sum(Square(conv.Forward(Constant(x), true)));
+  });
+}
+
+TEST(AutogradTest, GlobalMaxPoolGradients) {
+  Rng rng(17);
+  VarPtr m = Parameter(Tensor::RandomUniform({4, 3}, 1.0f, &rng));
+  CheckGradients({m}, [&]() { return Sum(Square(GlobalMaxPoolRows(m))); });
+}
+
+TEST(AutogradTest, RnnCellGradients) {
+  Rng rng(18);
+  RnnCell cell(3, 4, &rng);
+  Tensor x0 = Tensor::RandomUniform({3}, 1.0f, &rng);
+  Tensor x1 = Tensor::RandomUniform({3}, 1.0f, &rng);
+  CheckGradients(cell.Parameters(), [&]() {
+    VarPtr h = cell.InitialState();
+    h = cell.Step(Constant(x0), h);
+    h = cell.Step(Constant(x1), h);
+    return Sum(Square(h));
+  });
+}
+
+TEST(AutogradTest, LstmCellGradients) {
+  Rng rng(19);
+  LstmCell cell(2, 3, &rng);
+  Tensor x0 = Tensor::RandomUniform({2}, 1.0f, &rng);
+  Tensor x1 = Tensor::RandomUniform({2}, 1.0f, &rng);
+  CheckGradients(cell.Parameters(), [&]() {
+    LstmCell::State s = cell.InitialState();
+    s = cell.Step(Constant(x0), s);
+    s = cell.Step(Constant(x1), s);
+    return Sum(Square(s.h));
+  });
+}
+
+TEST(AutogradTest, BiLstmEncoderGradients) {
+  Rng rng(20);
+  LstmEncoder enc(2, 3, /*bidirectional=*/true, &rng);
+  EXPECT_EQ(enc.output_dim(), 6u);
+  std::vector<Tensor> xs;
+  for (int i = 0; i < 3; ++i) {
+    xs.push_back(Tensor::RandomUniform({2}, 1.0f, &rng));
+  }
+  CheckGradients(enc.Parameters(), [&]() {
+    std::vector<VarPtr> seq;
+    for (const Tensor& x : xs) seq.push_back(Constant(x));
+    return Sum(Square(enc.Encode(seq)));
+  });
+}
+
+TEST(AutogradTest, GradientAccumulatesAcrossSharedSubexpressions) {
+  // f = (a+a) summed -> df/da = 2 everywhere.
+  VarPtr a = Parameter(Tensor::Ones({3}));
+  VarPtr loss = Sum(Add(a, a));
+  Backward(loss);
+  for (size_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(a->grad[i], 2.0f);
+}
+
+TEST(AutogradTest, ConstantsReceiveNoGradient) {
+  VarPtr c = Constant(Tensor::Ones({2}));
+  VarPtr p = Parameter(Tensor::Ones({2}));
+  VarPtr loss = Sum(Mul(c, p));
+  Backward(loss);
+  EXPECT_EQ(c->grad.size(), 0u);  // never allocated
+  EXPECT_EQ(p->grad.size(), 2u);
+}
+
+TEST(AutogradTest, DeepChainDoesNotOverflowStack) {
+  // 5000 chained ops exercise the iterative topological sort.
+  VarPtr a = Parameter(Tensor::Ones({1}));
+  VarPtr x = a;
+  for (int i = 0; i < 5000; ++i) x = AddScalar(x, 0.0f);
+  VarPtr loss = Sum(x);
+  Backward(loss);
+  EXPECT_FLOAT_EQ(a->grad[0], 1.0f);
+}
+
+TEST(TrainingTest, MlpLearnsXor) {
+  Rng rng(21);
+  auto mlp = Sequential::Mlp({2, 8, 1}, Activation::kTanh, &rng);
+  Adam opt(mlp->Parameters(), 0.05f);
+  Tensor x({4, 2}, {0, 0, 0, 1, 1, 0, 1, 1});
+  Tensor y({4, 1}, {0, 1, 1, 0});
+  double last = 1e9;
+  for (int epoch = 0; epoch < 400; ++epoch) {
+    VarPtr loss = BceWithLogitsLoss(mlp->Forward(Constant(x), true), y);
+    last = loss->value[0];
+    Backward(loss);
+    opt.Step();
+  }
+  EXPECT_LT(last, 0.1);
+  VarPtr out = mlp->Forward(Constant(x), false);
+  EXPECT_LT(out->value.at(0, 0), 0.0f);
+  EXPECT_GT(out->value.at(1, 0), 0.0f);
+  EXPECT_GT(out->value.at(2, 0), 0.0f);
+  EXPECT_LT(out->value.at(3, 0), 0.0f);
+}
+
+TEST(TrainingTest, LstmLearnsSequenceParity) {
+  // Classify whether a +-1 sequence contains an even number of -1s: a
+  // long-range dependency an order-insensitive model cannot capture.
+  Rng rng(22);
+  LstmEncoder enc(1, 8, false, &rng);
+  Linear head(8, 1, &rng);
+  std::vector<VarPtr> params = enc.Parameters();
+  for (const VarPtr& p : head.Parameters()) params.push_back(p);
+  Adam opt(params, 0.02f);
+
+  auto make_example = [&](Rng* r, std::vector<Tensor>* xs) {
+    int parity = 0;
+    xs->clear();
+    for (int t = 0; t < 4; ++t) {
+      bool neg = r->Bernoulli(0.5);
+      if (neg) parity ^= 1;
+      Tensor v({1});
+      v[0] = neg ? -1.0f : 1.0f;
+      xs->push_back(v);
+    }
+    return parity;
+  };
+
+  Rng data_rng(7);
+  for (int step = 0; step < 2500; ++step) {
+    std::vector<Tensor> xs;
+    int parity = make_example(&data_rng, &xs);
+    std::vector<VarPtr> seq;
+    for (const Tensor& t : xs) seq.push_back(Constant(t));
+    VarPtr h = enc.Encode(seq);
+    VarPtr logit = head.Forward(h, true);
+    Tensor target({1, 1});
+    target.at(0, 0) = static_cast<float>(parity);
+    VarPtr loss = BceWithLogitsLoss(logit, target);
+    Backward(loss);
+    opt.ClipGradients(1.0f);
+    opt.Step();
+  }
+  // Evaluate on fresh sequences.
+  Rng eval_rng(99);
+  int correct = 0;
+  for (int i = 0; i < 50; ++i) {
+    std::vector<Tensor> xs;
+    int parity = make_example(&eval_rng, &xs);
+    std::vector<VarPtr> seq;
+    for (const Tensor& t : xs) seq.push_back(Constant(t));
+    VarPtr logit = head.Forward(enc.Encode(seq), false);
+    int pred = logit->value[0] > 0.0f ? 1 : 0;
+    if (pred == parity) ++correct;
+  }
+  EXPECT_GE(correct, 40) << "LSTM failed to learn parity";
+}
+
+TEST(OptimizerTest, SgdConvergesOnQuadratic) {
+  VarPtr w = Parameter(Tensor::Full({3}, 5.0f));
+  Sgd opt({w}, 0.1f);
+  for (int i = 0; i < 200; ++i) {
+    VarPtr loss = Mean(Square(w));
+    Backward(loss);
+    opt.Step();
+  }
+  EXPECT_LT(w->value.Norm(), 1e-3);
+}
+
+TEST(OptimizerTest, MomentumConvergesOnQuadratic) {
+  VarPtr w = Parameter(Tensor::Full({3}, 5.0f));
+  Momentum opt({w}, 0.05f, 0.9f);
+  for (int i = 0; i < 200; ++i) {
+    VarPtr loss = Mean(Square(w));
+    Backward(loss);
+    opt.Step();
+  }
+  EXPECT_LT(w->value.Norm(), 1e-2);
+}
+
+TEST(OptimizerTest, AdamConvergesOnQuadratic) {
+  VarPtr w = Parameter(Tensor::Full({3}, 5.0f));
+  Adam opt({w}, 0.1f);
+  for (int i = 0; i < 500; ++i) {
+    VarPtr loss = Mean(Square(w));
+    Backward(loss);
+    opt.Step();
+  }
+  EXPECT_LT(w->value.Norm(), 1e-2);
+}
+
+TEST(OptimizerTest, GradientClippingBoundsUpdates) {
+  VarPtr w = Parameter(Tensor::Full({2}, 100.0f));
+  Sgd opt({w}, 1.0f);
+  VarPtr loss = Sum(Square(w));  // grad = 200 per element
+  Backward(loss);
+  opt.ClipGradients(0.5f);
+  EXPECT_FLOAT_EQ(w->grad[0], 0.5f);
+  opt.Step();
+  EXPECT_FLOAT_EQ(w->value[0], 99.5f);
+}
+
+TEST(DropoutTest, InferencePassesThroughAndTrainZeroesSome) {
+  Rng rng(30);
+  VarPtr x = Constant(Tensor::Ones({1000}));
+  VarPtr kept = DropoutOp(x, 0.5f, /*train=*/false, &rng);
+  EXPECT_EQ(kept.get(), x.get());  // no-op at inference
+  VarPtr dropped = DropoutOp(x, 0.5f, /*train=*/true, &rng);
+  size_t zeros = 0;
+  for (size_t i = 0; i < dropped->value.size(); ++i) {
+    if (dropped->value[i] == 0.0f) ++zeros;
+    else EXPECT_FLOAT_EQ(dropped->value[i], 2.0f);  // inverted scaling
+  }
+  EXPECT_GT(zeros, 350u);
+  EXPECT_LT(zeros, 650u);
+}
+
+}  // namespace
+}  // namespace autodc::nn

@@ -1,0 +1,332 @@
+// Tests for the model-level nn components: autoencoder family, GAN,
+// classifiers, embedding table, and checkpoint serialization.
+#include <cstdio>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/nn/autoencoder.h"
+#include "src/nn/classifier.h"
+#include "src/nn/gan.h"
+#include "src/nn/serialize.h"
+
+namespace autodc::nn {
+namespace {
+
+// Synthetic data living near a 2-D plane inside 6-D space, so a width-2
+// bottleneck can reconstruct it well.
+Batch PlanarData(size_t n, Rng* rng) {
+  Batch data;
+  for (size_t i = 0; i < n; ++i) {
+    float u = static_cast<float>(rng->Uniform(-1, 1));
+    float v = static_cast<float>(rng->Uniform(-1, 1));
+    data.push_back({u, v, u + v, u - v, 0.5f * u, 0.5f * v});
+  }
+  return data;
+}
+
+TEST(AutoencoderTest, PlainLearnsCompression) {
+  Rng rng(1);
+  AutoencoderConfig cfg;
+  cfg.input_dim = 6;
+  cfg.hidden_dim = 3;
+  cfg.activation = Activation::kTanh;
+  cfg.learning_rate = 0.01f;
+  Autoencoder ae(AutoencoderKind::kPlain, cfg, &rng);
+  Batch data = PlanarData(200, &rng);
+  double first = ae.TrainEpoch(data);
+  double last = ae.Train(data, 40);
+  EXPECT_LT(last, first * 0.5) << "loss did not decrease";
+  EXPECT_EQ(ae.Encode(data[0]).size(), 3u);
+  EXPECT_EQ(ae.Reconstruct(data[0]).size(), 6u);
+}
+
+TEST(AutoencoderTest, SparsePenaltyShrinksCodes) {
+  Rng rng(2);
+  AutoencoderConfig cfg;
+  cfg.input_dim = 6;
+  cfg.hidden_dim = 8;
+  cfg.sparsity_weight = 0.0f;
+  Autoencoder dense_ae(AutoencoderKind::kSparse, cfg, &rng);
+  Rng rng2(2);
+  cfg.sparsity_weight = 0.05f;
+  Autoencoder sparse_ae(AutoencoderKind::kSparse, cfg, &rng2);
+  Batch data = PlanarData(150, &rng);
+  dense_ae.Train(data, 30);
+  sparse_ae.Train(data, 30);
+  auto l1 = [](const std::vector<float>& v) {
+    double s = 0.0;
+    for (float x : v) s += std::fabs(x);
+    return s;
+  };
+  double dense_l1 = 0.0, sparse_l1 = 0.0;
+  for (size_t i = 0; i < 20; ++i) {
+    dense_l1 += l1(dense_ae.Encode(data[i]));
+    sparse_l1 += l1(sparse_ae.Encode(data[i]));
+  }
+  EXPECT_LT(sparse_l1, dense_l1);
+}
+
+TEST(AutoencoderTest, DenoisingReconstructsCorruptedInput) {
+  Rng rng(3);
+  AutoencoderConfig cfg;
+  cfg.input_dim = 6;
+  cfg.hidden_dim = 4;
+  cfg.corruption = 0.3f;
+  cfg.learning_rate = 0.01f;
+  Autoencoder dae(AutoencoderKind::kDenoising, cfg, &rng);
+  Batch data = PlanarData(300, &rng);
+  dae.Train(data, 60);
+  // Zero one coordinate and check the DAE restores it approximately.
+  double err = 0.0;
+  for (size_t i = 0; i < 30; ++i) {
+    std::vector<float> corrupted = data[i];
+    corrupted[2] = 0.0f;  // x2 = u+v, recoverable from the others
+    std::vector<float> restored = dae.Reconstruct(corrupted);
+    err += std::fabs(restored[2] - data[i][2]);
+  }
+  err /= 30.0;
+  EXPECT_LT(err, 0.35) << "denoising AE failed to restore corrupted cell";
+}
+
+TEST(AutoencoderTest, VariationalTrainsAndEncodes) {
+  Rng rng(4);
+  AutoencoderConfig cfg;
+  cfg.input_dim = 6;
+  cfg.hidden_dim = 3;
+  cfg.kl_weight = 0.05f;
+  cfg.learning_rate = 0.01f;
+  Autoencoder vae(AutoencoderKind::kVariational, cfg, &rng);
+  Batch data = PlanarData(150, &rng);
+  double first = vae.TrainEpoch(data);
+  double last = vae.Train(data, 40);
+  EXPECT_LT(last, first);
+  EXPECT_EQ(vae.Encode(data[0]).size(), 3u);
+  // VAE latent is deterministic at inference (mean head).
+  EXPECT_EQ(vae.Encode(data[0]), vae.Encode(data[0]));
+}
+
+TEST(AutoencoderTest, ReconstructionErrorSeparatesOutliers) {
+  Rng rng(5);
+  AutoencoderConfig cfg;
+  cfg.input_dim = 6;
+  cfg.hidden_dim = 2;
+  cfg.activation = Activation::kTanh;
+  Autoencoder ae(AutoencoderKind::kPlain, cfg, &rng);
+  Batch data = PlanarData(300, &rng);
+  ae.Train(data, 60);
+  double inlier = ae.ReconstructionError(data[0]);
+  // A point far off the training manifold.
+  double outlier = ae.ReconstructionError({5, -5, 0, 0, 5, -5});
+  EXPECT_GT(outlier, inlier * 5.0);
+}
+
+TEST(GanTest, TrainsTowardEquilibriumAndGeneratesInRange) {
+  Rng rng(6);
+  // Real data: 2-D points on a small square around (0.5, -0.5).
+  Batch real;
+  for (int i = 0; i < 200; ++i) {
+    real.push_back({static_cast<float>(0.5 + rng.Uniform(-0.1, 0.1)),
+                    static_cast<float>(-0.5 + rng.Uniform(-0.1, 0.1))});
+  }
+  GanConfig cfg;
+  cfg.latent_dim = 4;
+  cfg.data_dim = 2;
+  cfg.hidden_dim = 16;
+  Gan gan(cfg, &rng);
+  Gan::StepStats stats = gan.Train(real, 30);
+  (void)stats;
+  Batch fake = gan.Generate(100);
+  ASSERT_EQ(fake.size(), 100u);
+  double mx = 0.0, my = 0.0;
+  for (const auto& p : fake) {
+    mx += p[0];
+    my += p[1];
+  }
+  mx /= 100.0;
+  my /= 100.0;
+  // Generator mean should migrate toward the real cluster.
+  EXPECT_NEAR(mx, 0.5, 0.3);
+  EXPECT_NEAR(my, -0.5, 0.3);
+}
+
+TEST(GanTest, DiscriminatorScoreIsProbability) {
+  Rng rng(7);
+  GanConfig cfg;
+  cfg.data_dim = 2;
+  Gan gan(cfg, &rng);
+  double s = gan.DiscriminatorScore({0.0f, 0.0f});
+  EXPECT_GE(s, 0.0);
+  EXPECT_LE(s, 1.0);
+}
+
+TEST(BinaryClassifierTest, LearnsLinearlySeparableData) {
+  Rng rng(8);
+  ClassifierConfig cfg;
+  cfg.input_dim = 2;
+  cfg.hidden = {8};
+  cfg.learning_rate = 0.05f;
+  BinaryClassifier clf(cfg, &rng);
+  Batch x;
+  std::vector<int> y;
+  for (int i = 0; i < 200; ++i) {
+    float a = static_cast<float>(rng.Uniform(-1, 1));
+    float b = static_cast<float>(rng.Uniform(-1, 1));
+    x.push_back({a, b});
+    y.push_back(a + b > 0 ? 1 : 0);
+  }
+  clf.Train(x, y, 30);
+  int correct = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (clf.Predict(x[i]) == y[i]) ++correct;
+  }
+  EXPECT_GT(correct, 185);
+}
+
+TEST(BinaryClassifierTest, PositiveWeightShiftsDecisions) {
+  // 95:5 imbalance; the weighted model should recall more positives.
+  Rng rng(9);
+  Batch x;
+  std::vector<int> y;
+  for (int i = 0; i < 400; ++i) {
+    bool pos = rng.Bernoulli(0.05);
+    float a = static_cast<float>(rng.Uniform(0, 1)) + (pos ? 0.4f : 0.0f);
+    x.push_back({a});
+    y.push_back(pos ? 1 : 0);
+  }
+  ClassifierConfig plain_cfg;
+  plain_cfg.input_dim = 1;
+  plain_cfg.hidden = {4};
+  BinaryClassifier plain(plain_cfg, &rng);
+  plain.Train(x, y, 20);
+  ClassifierConfig weighted_cfg = plain_cfg;
+  weighted_cfg.positive_weight = 10.0f;
+  Rng rng2(9);
+  BinaryClassifier weighted(weighted_cfg, &rng2);
+  weighted.Train(x, y, 20);
+  int plain_pos = 0, weighted_pos = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    plain_pos += plain.Predict(x[i]);
+    weighted_pos += weighted.Predict(x[i]);
+  }
+  EXPECT_GE(weighted_pos, plain_pos);
+}
+
+TEST(BinaryClassifierTest, SoftLabelsTrain) {
+  Rng rng(10);
+  ClassifierConfig cfg;
+  cfg.input_dim = 1;
+  cfg.hidden = {4};
+  BinaryClassifier clf(cfg, &rng);
+  Batch x = {{0.0f}, {1.0f}};
+  std::vector<double> probs = {0.1, 0.9};
+  clf.TrainSoft(x, probs, 200);
+  EXPECT_LT(clf.PredictProba({0.0f}), 0.5);
+  EXPECT_GT(clf.PredictProba({1.0f}), 0.5);
+}
+
+TEST(MulticlassClassifierTest, LearnsThreeClusters) {
+  Rng rng(11);
+  MulticlassClassifier clf(2, {16}, 3, 0.05f, &rng);
+  Batch x;
+  std::vector<size_t> y;
+  const float cx[3] = {0.0f, 2.0f, -2.0f};
+  const float cy[3] = {2.0f, -1.0f, -1.0f};
+  for (int i = 0; i < 300; ++i) {
+    size_t c = static_cast<size_t>(rng.UniformInt(0, 2));
+    x.push_back({cx[c] + static_cast<float>(rng.Normal(0, 0.3)),
+                 cy[c] + static_cast<float>(rng.Normal(0, 0.3))});
+    y.push_back(c);
+  }
+  clf.Train(x, y, 30);
+  EXPECT_GT(clf.Accuracy(x, y), 0.95);
+  auto probs = clf.PredictProba(x[0]);
+  double sum = 0.0;
+  for (double p : probs) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-5);
+}
+
+TEST(EmbeddingTableTest, LookupAndGradientScatter) {
+  Rng rng(12);
+  EmbeddingTable emb(10, 4, &rng);
+  EXPECT_EQ(emb.vocab_size(), 10u);
+  EXPECT_EQ(emb.dim(), 4u);
+  VarPtr rows = emb.Lookup({1, 3, 1});
+  EXPECT_EQ(rows->value.rows(), 3u);
+  VarPtr loss = Sum(Square(rows));
+  Backward(loss);
+  const VarPtr& table = emb.table();
+  // Row 1 used twice, row 3 once, row 0 never.
+  double g1 = 0.0, g3 = 0.0, g0 = 0.0;
+  for (size_t j = 0; j < 4; ++j) {
+    g1 += std::fabs(table->grad.at(1, j));
+    g3 += std::fabs(table->grad.at(3, j));
+    g0 += std::fabs(table->grad.at(0, j));
+  }
+  EXPECT_GT(g1, 0.0);
+  EXPECT_GT(g3, 0.0);
+  EXPECT_DOUBLE_EQ(g0, 0.0);
+}
+
+TEST(SerializeTest, RoundTripRestoresWeights) {
+  Rng rng(13);
+  auto model = Sequential::Mlp({3, 5, 2}, Activation::kRelu, &rng);
+  std::ostringstream out;
+  ASSERT_TRUE(SaveParameters(model->Parameters(), &out).ok());
+
+  Rng rng2(99);  // different init
+  auto model2 = Sequential::Mlp({3, 5, 2}, Activation::kRelu, &rng2);
+  std::istringstream in(out.str());
+  ASSERT_TRUE(LoadParameters(model2->Parameters(), &in).ok());
+
+  auto p1 = model->Parameters();
+  auto p2 = model2->Parameters();
+  ASSERT_EQ(p1.size(), p2.size());
+  for (size_t i = 0; i < p1.size(); ++i) {
+    ASSERT_EQ(p1[i]->value.size(), p2[i]->value.size());
+    for (size_t j = 0; j < p1[i]->value.size(); ++j) {
+      EXPECT_FLOAT_EQ(p1[i]->value[j], p2[i]->value[j]);
+    }
+  }
+}
+
+TEST(SerializeTest, ShapeMismatchRejected) {
+  Rng rng(14);
+  auto small = Sequential::Mlp({2, 3}, Activation::kRelu, &rng);
+  auto big = Sequential::Mlp({2, 4}, Activation::kRelu, &rng);
+  std::ostringstream out;
+  ASSERT_TRUE(SaveParameters(small->Parameters(), &out).ok());
+  std::istringstream in(out.str());
+  Status s = LoadParameters(big->Parameters(), &in);
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(SerializeTest, CountMismatchRejected) {
+  Rng rng(15);
+  auto one = Sequential::Mlp({2, 3}, Activation::kRelu, &rng);
+  auto two = Sequential::Mlp({2, 3, 4}, Activation::kRelu, &rng);
+  std::ostringstream out;
+  ASSERT_TRUE(SaveParameters(one->Parameters(), &out).ok());
+  std::istringstream in(out.str());
+  EXPECT_FALSE(LoadParameters(two->Parameters(), &in).ok());
+}
+
+TEST(SerializeTest, BadMagicRejected) {
+  Rng rng(16);
+  auto model = Sequential::Mlp({2, 3}, Activation::kRelu, &rng);
+  std::istringstream in("garbage data");
+  EXPECT_FALSE(LoadParameters(model->Parameters(), &in).ok());
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  Rng rng(17);
+  auto model = Sequential::Mlp({2, 2}, Activation::kRelu, &rng);
+  std::string path = "/tmp/autodc_ckpt_test.bin";
+  ASSERT_TRUE(SaveParametersToFile(model->Parameters(), path).ok());
+  ASSERT_TRUE(LoadParametersFromFile(model->Parameters(), path).ok());
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadParametersFromFile(model->Parameters(), path).ok());
+}
+
+}  // namespace
+}  // namespace autodc::nn

@@ -1,0 +1,248 @@
+// Property-based tests: invariants that must hold across randomized
+// inputs, swept with parameterized gtest.
+#include <gtest/gtest.h>
+
+#include "src/cleaning/repair.h"
+#include "src/data/csv.h"
+#include "src/data/dependencies.h"
+#include "src/datagen/er_benchmark.h"
+#include "src/er/blocking.h"
+#include "src/er/evaluation.h"
+#include "src/nn/tensor.h"
+#include "src/synthesis/dsl.h"
+#include "src/common/string_util.h"
+#include "src/text/similarity.h"
+
+namespace autodc {
+namespace {
+
+// ---------- CSV round trip over random tables --------------------------
+
+class CsvRoundTripProperty : public ::testing::TestWithParam<uint64_t> {};
+
+data::Table RandomTable(uint64_t seed) {
+  Rng rng(seed);
+  size_t ncols = static_cast<size_t>(rng.UniformInt(1, 5));
+  std::vector<data::Column> cols;
+  for (size_t c = 0; c < ncols; ++c) {
+    cols.push_back(
+        data::Column{"col" + std::to_string(c), data::ValueType::kString});
+  }
+  data::Table t{data::Schema(cols)};
+  const char* nasty[] = {"plain",      "with,comma", "with\"quote",
+                         "with\nnewline", "",        "  spaces  ",
+                         "ünïcödé-ish", "a,b\",\"c"};
+  size_t nrows = static_cast<size_t>(rng.UniformInt(0, 20));
+  for (size_t r = 0; r < nrows; ++r) {
+    data::Row row;
+    for (size_t c = 0; c < ncols; ++c) {
+      if (rng.Bernoulli(0.15)) {
+        row.push_back(data::Value::Null());
+      } else {
+        row.push_back(data::Value(std::string(nasty[rng.UniformInt(0, 7)])));
+      }
+    }
+    t.AppendRow(std::move(row));
+  }
+  return t;
+}
+
+TEST_P(CsvRoundTripProperty, WriteThenReadPreservesCells) {
+  data::Table original = RandomTable(GetParam());
+  std::string csv = data::WriteCsvString(original);
+  auto reread = data::ReadCsvString(csv, data::CsvOptions{.infer_types = false});
+  ASSERT_TRUE(reread.ok()) << reread.status().ToString();
+  const data::Table& t = reread.ValueOrDie();
+  if (original.num_rows() == 0) return;  // headers only
+  ASSERT_EQ(t.num_rows(), original.num_rows());
+  ASSERT_EQ(t.num_columns(), original.num_columns());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      // Nulls and empty strings are indistinguishable in CSV; compare
+      // textual renderings.
+      EXPECT_EQ(t.at(r, c).ToString(), original.at(r, c).ToString())
+          << "cell (" << r << "," << c << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsvRoundTripProperty,
+                         ::testing::Range<uint64_t>(1, 16));
+
+// ---------- FD repair invariants ---------------------------------------
+
+class RepairProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RepairProperty, RepairEliminatesViolationsAndIsIdempotent) {
+  Rng rng(GetParam());
+  // Random table over small domains so FDs are violated organically.
+  data::Table t(data::Schema::OfStrings({"a", "b", "c"}));
+  size_t nrows = static_cast<size_t>(rng.UniformInt(5, 60));
+  for (size_t r = 0; r < nrows; ++r) {
+    t.AppendRow({data::Value("a" + std::to_string(rng.UniformInt(0, 3))),
+                 data::Value("b" + std::to_string(rng.UniformInt(0, 5))),
+                 data::Value("c" + std::to_string(rng.UniformInt(0, 2)))});
+  }
+  std::vector<data::FunctionalDependency> fds = {{{0}, 1}, {{0, 1}, 2}};
+  cleaning::RepairFdViolations(&t, fds);
+  EXPECT_TRUE(data::FindAllViolations(t, fds).empty());
+  auto second = cleaning::RepairFdViolations(&t, fds);
+  EXPECT_TRUE(second.empty()) << "repair is not idempotent";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RepairProperty,
+                         ::testing::Range<uint64_t>(1, 16));
+
+// ---------- Synthesis soundness ----------------------------------------
+
+class SynthesisSoundness : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SynthesisSoundness, SynthesizedProgramsReproduceTheirExamples) {
+  // Random ground-truth program -> generate examples -> synthesize ->
+  // the result must reproduce every example exactly (soundness), even if
+  // it is not the same program.
+  Rng rng(GetParam());
+  const char* first[] = {"john", "mary", "carol", "frank", "diane"};
+  const char* last[] = {"smith", "jones", "davis", "moore", "kim"};
+  std::vector<synthesis::Example> examples;
+  int variant = static_cast<int>(rng.UniformInt(0, 2));
+  for (int i = 0; i < 3; ++i) {
+    std::string f = first[rng.UniformInt(0, 4)];
+    std::string l = last[rng.UniformInt(0, 4)];
+    std::string in = f + " " + l;
+    std::string out;
+    switch (variant) {
+      case 0:
+        out = std::string(1, static_cast<char>(std::toupper(f[0]))) + ". " +
+              ToUpper(l);
+        break;
+      case 1:
+        out = l + ", " + f;
+        break;
+      default:
+        out = ToUpper(f);
+    }
+    examples.push_back({in, out});
+  }
+  auto prog = synthesis::SynthesizeStringProgram(examples);
+  ASSERT_TRUE(prog.ok()) << "variant " << variant << ": "
+                         << prog.status().ToString();
+  for (const synthesis::Example& e : examples) {
+    EXPECT_EQ(prog.ValueOrDie().Apply(e.input), e.output);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SynthesisSoundness,
+                         ::testing::Range<uint64_t>(1, 21));
+
+// ---------- LSH candidate-set invariants --------------------------------
+
+class LshProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LshProperty, CandidatesValidDeterministicAndMonotoneInTables) {
+  Rng rng(GetParam());
+  std::vector<std::vector<float>> left, right;
+  for (int i = 0; i < 30; ++i) {
+    std::vector<float> v(8), w(8);
+    for (int d = 0; d < 8; ++d) {
+      v[d] = static_cast<float>(rng.Normal());
+      w[d] = static_cast<float>(rng.Normal());
+    }
+    left.push_back(v);
+    right.push_back(w);
+  }
+  er::LshBlocker one(8, 6, 1, GetParam());
+  er::LshBlocker four(8, 6, 4, GetParam());
+  auto c1 = one.Candidates(left, right);
+  auto c1_again = one.Candidates(left, right);
+  auto c4 = four.Candidates(left, right);
+  // Valid indices.
+  for (const er::RowPair& p : c4) {
+    EXPECT_LT(p.first, left.size());
+    EXPECT_LT(p.second, right.size());
+  }
+  // Determinism.
+  EXPECT_EQ(c1.size(), c1_again.size());
+  // Monotone: more tables can only add candidate pairs (same planes for
+  // table 0 since the seed prefixes match per-table hyperplanes).
+  EXPECT_GE(c4.size(), c1.size());
+  // Identical vectors always collide.
+  auto self = one.Candidates(left, left);
+  size_t diagonal = 0;
+  for (const er::RowPair& p : self) {
+    if (p.first == p.second) ++diagonal;
+  }
+  EXPECT_EQ(diagonal, left.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LshProperty,
+                         ::testing::Range<uint64_t>(1, 11));
+
+// ---------- Tensor algebra invariants -----------------------------------
+
+class TensorProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TensorProperty, MatMulAssociativityAndTransposeIdentities) {
+  Rng rng(GetParam());
+  nn::Tensor a = nn::Tensor::RandomUniform({3, 4}, 1.0f, &rng);
+  nn::Tensor b = nn::Tensor::RandomUniform({4, 5}, 1.0f, &rng);
+  nn::Tensor c = nn::Tensor::RandomUniform({5, 2}, 1.0f, &rng);
+  nn::Tensor ab_c = nn::MatMul(nn::MatMul(a, b), c);
+  nn::Tensor a_bc = nn::MatMul(a, nn::MatMul(b, c));
+  ASSERT_TRUE(ab_c.SameShape(a_bc));
+  for (size_t i = 0; i < ab_c.size(); ++i) {
+    EXPECT_NEAR(ab_c[i], a_bc[i], 1e-4);
+  }
+  // MatMulTransB(a, b) == a * b^T computed directly.
+  nn::Tensor bt({5, 4});
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 5; ++j) bt.at(j, i) = b.at(i, j);
+  }
+  nn::Tensor direct = nn::MatMul(a, b);
+  nn::Tensor viaT = nn::MatMulTransB(a, bt);
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_NEAR(direct[i], viaT[i], 1e-4);
+  }
+  // MatMulTransA(a, x) == a^T * x.
+  nn::Tensor x = nn::Tensor::RandomUniform({3, 2}, 1.0f, &rng);
+  nn::Tensor at({4, 3});
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 4; ++j) at.at(j, i) = a.at(i, j);
+  }
+  nn::Tensor lhs = nn::MatMulTransA(a, x);
+  nn::Tensor rhs = nn::MatMul(at, x);
+  for (size_t i = 0; i < lhs.size(); ++i) {
+    EXPECT_NEAR(lhs[i], rhs[i], 1e-4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TensorProperty,
+                         ::testing::Range<uint64_t>(1, 11));
+
+// ---------- ER benchmark generator invariants ---------------------------
+
+class ErBenchmarkProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ErBenchmarkProperty, MatchesAreBijectiveAndInRange) {
+  datagen::ErBenchmarkConfig cfg;
+  cfg.num_entities = 80;
+  cfg.seed = GetParam();
+  cfg.domain = static_cast<datagen::ErDomain>(GetParam() % 3);
+  datagen::ErBenchmark bench = datagen::GenerateErBenchmark(cfg);
+  std::vector<bool> left_used(bench.left.num_rows(), false);
+  std::vector<bool> right_used(bench.right.num_rows(), false);
+  for (const auto& [l, r] : bench.matches) {
+    ASSERT_LT(l, bench.left.num_rows());
+    ASSERT_LT(r, bench.right.num_rows());
+    EXPECT_FALSE(left_used[l]) << "left row in two matches";
+    EXPECT_FALSE(right_used[r]) << "right row in two matches";
+    left_used[l] = true;
+    right_used[r] = true;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ErBenchmarkProperty,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace autodc

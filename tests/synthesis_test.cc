@@ -1,0 +1,246 @@
+// Tests for program synthesis: the string DSL semantics, the enumerative
+// synthesizer on classic FlashFill tasks, semantic transformations via
+// embedding offsets, and ETL pipeline synthesis.
+#include <gtest/gtest.h>
+
+#include "src/datagen/corpus.h"
+#include "src/embedding/word2vec.h"
+#include "src/synthesis/dsl.h"
+#include "src/synthesis/etl.h"
+#include "src/synthesis/semantic.h"
+
+namespace autodc::synthesis {
+namespace {
+
+TEST(DslTest, AtomSemantics) {
+  Program p;
+  p.atoms = {Atom{Atom::Kind::kInitial, "", 0, CaseKind::kIdentity},
+             Atom{Atom::Kind::kConst, ". ", 0, CaseKind::kIdentity},
+             Atom{Atom::Kind::kToken, "", 1, CaseKind::kTitle}};
+  EXPECT_EQ(p.Apply("john smith"), "J. Smith");
+  EXPECT_EQ(p.Apply("jane doe"), "J. Doe");
+  // Missing tokens emit nothing.
+  EXPECT_EQ(p.Apply("solo"), "S. ");
+}
+
+TEST(DslTest, NegativeTokenIndex) {
+  Program p;
+  p.atoms = {Atom{Atom::Kind::kToken, "", -1, CaseKind::kUpper}};
+  EXPECT_EQ(p.Apply("a b c"), "C");
+  EXPECT_EQ(p.Apply("single"), "SINGLE");
+  EXPECT_EQ(p.Apply(""), "");
+}
+
+TEST(DslTest, CaseTransforms) {
+  Program lower{{Atom{Atom::Kind::kToken, "", 0, CaseKind::kLower}}};
+  Program upper{{Atom{Atom::Kind::kToken, "", 0, CaseKind::kUpper}}};
+  Program title{{Atom{Atom::Kind::kToken, "", 0, CaseKind::kTitle}}};
+  EXPECT_EQ(lower.Apply("HeLLo"), "hello");
+  EXPECT_EQ(upper.Apply("HeLLo"), "HELLO");
+  EXPECT_EQ(title.Apply("hELLO"), "Hello");
+}
+
+TEST(DslTest, ProgramToStringIsReadable) {
+  Program p{{Atom{Atom::Kind::kInitial, "", 0, CaseKind::kIdentity},
+             Atom{Atom::Kind::kConst, ".", 0, CaseKind::kIdentity}}};
+  EXPECT_EQ(p.ToString(), "Initial(0) + \".\"");
+}
+
+// The paper's own example: {(John Smith, J Smith), (Jane Doe, J Doe)}.
+TEST(SynthesisTest, PaperNameAbbreviationExample) {
+  auto prog = SynthesizeStringProgram({{"John Smith", "J Smith"},
+                                       {"Jane Doe", "J Doe"}});
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  const Program& p = prog.ValueOrDie();
+  EXPECT_EQ(p.Apply("Alice Cooper"), "A Cooper");
+  EXPECT_EQ(p.Apply("Bob Marley"), "B Marley");
+}
+
+TEST(SynthesisTest, FirstInitialDotLastName) {
+  auto prog = SynthesizeStringProgram({{"john smith", "J. Smith"},
+                                       {"mary jones", "M. Jones"}});
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  EXPECT_EQ(prog.ValueOrDie().Apply("carol davis"), "C. Davis");
+}
+
+TEST(SynthesisTest, PhoneNumberReformat) {
+  auto prog = SynthesizeStringProgram({{"555 123 4567", "555-123-4567"},
+                                       {"800 555 0199", "800-555-0199"}});
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  EXPECT_EQ(prog.ValueOrDie().Apply("212 867 5309"), "212-867-5309");
+}
+
+TEST(SynthesisTest, ReorderLastFirst) {
+  auto prog = SynthesizeStringProgram({{"smith, john", "john smith"},
+                                       {"doe, jane", "jane doe"}});
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  EXPECT_EQ(prog.ValueOrDie().Apply("brown, bob"), "bob brown");
+}
+
+TEST(SynthesisTest, UppercaseNormalization) {
+  auto prog = SynthesizeStringProgram({{"usa", "USA"}, {"uk", "UK"}});
+  ASSERT_TRUE(prog.ok());
+  EXPECT_EQ(prog.ValueOrDie().Apply("eu"), "EU");
+}
+
+TEST(SynthesisTest, SingleExampleGeneralizesViaTokenAtoms) {
+  // With one example, token atoms are preferred over constants, so the
+  // program generalizes rather than memorizes.
+  auto prog = SynthesizeStringProgram({{"hello world", "world"}});
+  ASSERT_TRUE(prog.ok());
+  EXPECT_EQ(prog.ValueOrDie().Apply("foo bar"), "bar");
+}
+
+TEST(SynthesisTest, ImpossibleTaskReturnsNotFound) {
+  // Output bears no relation to input and differs across examples.
+  auto prog = SynthesizeStringProgram(
+      {{"aaa", "xyz123"}, {"aaa", "completely different"}});
+  EXPECT_FALSE(prog.ok());
+  EXPECT_EQ(prog.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SynthesisTest, EmptyExamplesRejected) {
+  EXPECT_EQ(SynthesizeStringProgram({}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SynthesisTest, MoreExamplesPruneOverfitPrograms) {
+  // One example admits the constant program; a second example kills it.
+  auto one = SynthesizeStringProgram({{"a b", "b"}});
+  ASSERT_TRUE(one.ok());
+  auto two = SynthesizeStringProgram({{"a b", "b"}, {"c d", "d"}});
+  ASSERT_TRUE(two.ok());
+  EXPECT_EQ(two.ValueOrDie().Apply("x y"), "y");
+}
+
+class SemanticTransformTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    datagen::SemanticCorpus corpus = datagen::GenerateSemanticCorpus();
+    embedding::Word2VecConfig cfg;
+    cfg.sgns.dim = 32;
+    cfg.sgns.epochs = 8;
+    cfg.sgns.seed = 7;
+    store_ = new embedding::EmbeddingStore(
+        embedding::TrainWordEmbeddings(corpus.sentences, cfg));
+    corpus_ = new datagen::SemanticCorpus(std::move(corpus));
+  }
+  static void TearDownTestSuite() {
+    delete store_;
+    delete corpus_;
+    store_ = nullptr;
+    corpus_ = nullptr;
+  }
+  static embedding::EmbeddingStore* store_;
+  static datagen::SemanticCorpus* corpus_;
+};
+
+embedding::EmbeddingStore* SemanticTransformTest::store_ = nullptr;
+datagen::SemanticCorpus* SemanticTransformTest::corpus_ = nullptr;
+
+TEST_F(SemanticTransformTest, LearnsCountryToCapital) {
+  // Train on 3 example pairs; apply to the remaining countries. This is
+  // the Sec. 4 semantic-transformation task: {(France, Paris), (Germany,
+  // Berlin)} -> learn "capital of".
+  SemanticTransformLearner learner(store_);
+  std::vector<Example> train;
+  for (size_t i = 0; i < 3; ++i) {
+    train.push_back(Example{corpus_->country_capitals[i].first,
+                            corpus_->country_capitals[i].second});
+  }
+  ASSERT_TRUE(learner.Fit(train).ok());
+  size_t hits = 0, total = 0;
+  for (size_t i = 3; i < corpus_->country_capitals.size(); ++i) {
+    auto top = learner.TransformTopK(corpus_->country_capitals[i].first, 3);
+    if (!top.ok()) continue;
+    ++total;
+    for (const auto& n : top.ValueOrDie()) {
+      if (n.key == corpus_->country_capitals[i].second) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GE(hits * 3, total * 2)
+      << hits << "/" << total << " capitals recovered in top-3";
+}
+
+TEST_F(SemanticTransformTest, MemorizesTrainingPairs) {
+  SemanticTransformLearner learner(store_);
+  ASSERT_TRUE(learner.Fit({{"france", "paris"}}).ok());
+  EXPECT_EQ(learner.Transform("France").ValueOrDie(), "paris");
+}
+
+TEST_F(SemanticTransformTest, UnknownInputErrors) {
+  SemanticTransformLearner learner(store_);
+  ASSERT_TRUE(learner.Fit({{"france", "paris"}}).ok());
+  EXPECT_FALSE(learner.Transform("atlantis").ok());
+}
+
+TEST_F(SemanticTransformTest, FitFailsWithoutEmbeddings) {
+  SemanticTransformLearner learner(store_);
+  EXPECT_FALSE(learner.Fit({{"nocoverage", "nothere"}}).ok());
+  EXPECT_FALSE(learner.Fit({}).ok());
+}
+
+TEST(EtlTest, SynthesizesCopyTransformAndConstant) {
+  data::Table source(data::Schema::OfStrings({"name", "city"}));
+  ASSERT_TRUE(source.AppendRow({data::Value("john smith"),
+                                data::Value("springfield")}).ok());
+  ASSERT_TRUE(source.AppendRow({data::Value("mary jones"),
+                                data::Value("riverton")}).ok());
+  ASSERT_TRUE(source.AppendRow({data::Value("carol davis"),
+                                data::Value("fairview")}).ok());
+
+  data::Table target(data::Schema::OfStrings({"display", "city", "source"}));
+  ASSERT_TRUE(target.AppendRow({data::Value("J. Smith"),
+                                data::Value("springfield"),
+                                data::Value("crm")}).ok());
+  ASSERT_TRUE(target.AppendRow({data::Value("M. Jones"),
+                                data::Value("riverton"),
+                                data::Value("crm")}).ok());
+  ASSERT_TRUE(target.AppendRow({data::Value("C. Davis"),
+                                data::Value("fairview"),
+                                data::Value("crm")}).ok());
+
+  auto pipeline = SynthesizeEtl(source, target);
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  const EtlPipeline& etl = pipeline.ValueOrDie();
+  EXPECT_EQ(etl.rules[0].kind, ColumnRule::Kind::kTransform);
+  EXPECT_EQ(etl.rules[1].kind, ColumnRule::Kind::kCopy);
+  EXPECT_EQ(etl.rules[2].kind, ColumnRule::Kind::kConstant);
+
+  // Apply to new data.
+  data::Table more(source.schema());
+  ASSERT_TRUE(more.AppendRow({data::Value("bob brown"),
+                              data::Value("salem")}).ok());
+  data::Table out = etl.Apply(more);
+  EXPECT_EQ(out.at(0, 0).AsString(), "B. Brown");
+  EXPECT_EQ(out.at(0, 1).AsString(), "salem");
+  EXPECT_EQ(out.at(0, 2).AsString(), "crm");
+}
+
+TEST(EtlTest, UnexplainableColumnFails) {
+  data::Table source(data::Schema::OfStrings({"a"}));
+  ASSERT_TRUE(source.AppendRow({data::Value("x")}).ok());
+  ASSERT_TRUE(source.AppendRow({data::Value("y")}).ok());
+  data::Table target(data::Schema::OfStrings({"t"}));
+  ASSERT_TRUE(target.AppendRow({data::Value("first-output")}).ok());
+  ASSERT_TRUE(target.AppendRow({data::Value("totally unrelated")}).ok());
+  auto pipeline = SynthesizeEtl(source, target);
+  EXPECT_FALSE(pipeline.ok());
+}
+
+TEST(EtlTest, TargetLongerThanSourceRejected) {
+  data::Table source(data::Schema::OfStrings({"a"}));
+  ASSERT_TRUE(source.AppendRow({data::Value("x")}).ok());
+  data::Table target(data::Schema::OfStrings({"t"}));
+  ASSERT_TRUE(target.AppendRow({data::Value("x")}).ok());
+  ASSERT_TRUE(target.AppendRow({data::Value("y")}).ok());
+  EXPECT_EQ(SynthesizeEtl(source, target).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace autodc::synthesis

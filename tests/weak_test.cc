@@ -1,0 +1,161 @@
+// Tests for weak supervision: the label model recovers per-LF accuracy
+// and beats majority vote when LF quality is skewed (the Snorkel claim),
+// plus ER training-pair augmentation.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/weak/augment.h"
+#include "src/weak/labeling.h"
+
+namespace autodc::weak {
+namespace {
+
+// Synthetic weak-supervision world: true labels drawn with prior p1;
+// each LF votes with its own accuracy and abstains with its own rate.
+struct World {
+  std::vector<int> truth;
+  std::vector<std::vector<int>> votes;
+};
+
+World MakeWorld(size_t n, const std::vector<double>& accuracies,
+                const std::vector<double>& abstain_rates, double prior,
+                uint64_t seed) {
+  Rng rng(seed);
+  World w;
+  w.truth.resize(n);
+  w.votes.assign(n, std::vector<int>(accuracies.size(), kAbstain));
+  for (size_t i = 0; i < n; ++i) {
+    int y = rng.Bernoulli(prior) ? 1 : 0;
+    w.truth[i] = y;
+    for (size_t j = 0; j < accuracies.size(); ++j) {
+      if (rng.Bernoulli(abstain_rates[j])) continue;
+      bool correct = rng.Bernoulli(accuracies[j]);
+      w.votes[i][j] = correct ? y : 1 - y;
+    }
+  }
+  return w;
+}
+
+double Accuracy(const std::vector<double>& probs,
+                const std::vector<int>& truth) {
+  size_t hit = 0;
+  for (size_t i = 0; i < probs.size(); ++i) {
+    if ((probs[i] >= 0.5 ? 1 : 0) == truth[i]) ++hit;
+  }
+  return static_cast<double>(hit) / static_cast<double>(probs.size());
+}
+
+TEST(LabelingTest, ApplyFunctionsBuildsVoteMatrix) {
+  std::vector<LabelingFunction> lfs = {
+      {"always1", [](size_t) { return 1; }},
+      {"even0", [](size_t i) { return i % 2 == 0 ? 0 : kAbstain; }},
+  };
+  auto votes = ApplyLabelingFunctions(lfs, 4);
+  ASSERT_EQ(votes.size(), 4u);
+  EXPECT_EQ(votes[0][0], 1);
+  EXPECT_EQ(votes[0][1], 0);
+  EXPECT_EQ(votes[1][1], kAbstain);
+}
+
+TEST(LabelingTest, MajorityVoteBasics) {
+  std::vector<std::vector<int>> votes = {
+      {1, 1, 0}, {kAbstain, kAbstain, kAbstain}, {0, kAbstain, 0}};
+  auto probs = MajorityVote(votes);
+  EXPECT_NEAR(probs[0], 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(probs[1], 0.5);
+  EXPECT_DOUBLE_EQ(probs[2], 0.0);
+}
+
+TEST(LabelModelTest, RecoversLfAccuracies) {
+  World w = MakeWorld(3000, {0.9, 0.6, 0.75}, {0.1, 0.1, 0.1}, 0.5, 1);
+  LabelModel model;
+  model.FitPredict(w.votes);
+  const auto& acc = model.accuracies();
+  ASSERT_EQ(acc.size(), 3u);
+  EXPECT_NEAR(acc[0], 0.9, 0.07);
+  EXPECT_NEAR(acc[1], 0.6, 0.1);
+  EXPECT_NEAR(acc[2], 0.75, 0.08);
+  // Ordering is what matters downstream.
+  EXPECT_GT(acc[0], acc[2]);
+  EXPECT_GT(acc[2], acc[1]);
+}
+
+TEST(LabelModelTest, BeatsMajorityVoteWithSkewedLfQuality) {
+  // One excellent LF drowned out by three mediocre ones: majority vote
+  // weights them equally; the label model learns to trust the good one.
+  World w = MakeWorld(4000, {0.95, 0.55, 0.55, 0.55},
+                      {0.05, 0.05, 0.05, 0.05}, 0.5, 2);
+  double mv = Accuracy(MajorityVote(w.votes), w.truth);
+  LabelModel model;
+  double lm = Accuracy(model.FitPredict(w.votes), w.truth);
+  EXPECT_GT(lm, mv + 0.03) << "label model " << lm << " vs majority " << mv;
+  EXPECT_GT(lm, 0.85);
+}
+
+TEST(LabelModelTest, HandlesHeavyAbstention) {
+  World w = MakeWorld(2000, {0.85, 0.85}, {0.7, 0.7}, 0.5, 3);
+  LabelModel model;
+  auto probs = model.FitPredict(w.votes);
+  // Items with zero votes must sit at the learned prior (~0.5), not 0/1.
+  for (size_t i = 0; i < w.votes.size(); ++i) {
+    if (w.votes[i][0] == kAbstain && w.votes[i][1] == kAbstain) {
+      EXPECT_GT(probs[i], 0.2);
+      EXPECT_LT(probs[i], 0.8);
+    }
+  }
+}
+
+TEST(LabelModelTest, EstimatesClassPrior) {
+  World w = MakeWorld(3000, {0.9, 0.9}, {0.0, 0.0}, 0.2, 4);
+  LabelModel model;
+  model.FitPredict(w.votes);
+  EXPECT_NEAR(model.prior(), 0.2, 0.08);
+}
+
+TEST(LabelModelTest, EmptyVotesSafe) {
+  LabelModel model;
+  auto probs = model.FitPredict({});
+  EXPECT_TRUE(probs.empty());
+}
+
+TEST(AugmentTest, PositivesSpawnLabelPreservingCopies) {
+  data::Table left(data::Schema::OfStrings({"name"}), "l");
+  data::Table right(data::Schema::OfStrings({"name"}), "r");
+  ASSERT_TRUE(left.AppendRow({data::Value("john smith")}).ok());
+  ASSERT_TRUE(right.AppendRow({data::Value("john smith")}).ok());
+  ASSERT_TRUE(right.AppendRow({data::Value("someone else")}).ok());
+  std::vector<er::PairLabel> pairs = {{0, 0, 1}, {0, 1, 0}};
+  AugmentConfig cfg;
+  cfg.copies_per_positive = 4;
+  auto augmented = AugmentErTrainingPairs(left, &right, pairs, cfg);
+  // 2 originals + 4 synthetic positives.
+  EXPECT_EQ(augmented.size(), 6u);
+  EXPECT_EQ(right.num_rows(), 6u);
+  size_t pos = 0;
+  for (const er::PairLabel& p : augmented) {
+    if (p.label == 1) {
+      ++pos;
+      EXPECT_LT(p.right, right.num_rows());
+    }
+  }
+  EXPECT_EQ(pos, 5u);
+}
+
+TEST(AugmentTest, DeterministicWithSeed) {
+  data::Table left(data::Schema::OfStrings({"n"}), "l");
+  data::Table r1(data::Schema::OfStrings({"n"}), "r");
+  ASSERT_TRUE(left.AppendRow({data::Value("alpha beta")}).ok());
+  ASSERT_TRUE(r1.AppendRow({data::Value("alpha beta")}).ok());
+  data::Table r2 = r1;
+  std::vector<er::PairLabel> pairs = {{0, 0, 1}};
+  AugmentConfig cfg;
+  AugmentErTrainingPairs(left, &r1, pairs, cfg);
+  AugmentErTrainingPairs(left, &r2, pairs, cfg);
+  ASSERT_EQ(r1.num_rows(), r2.num_rows());
+  for (size_t i = 0; i < r1.num_rows(); ++i) {
+    EXPECT_EQ(r1.at(i, 0).ToString(), r2.at(i, 0).ToString());
+  }
+}
+
+}  // namespace
+}  // namespace autodc::weak
