@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_analogy.dir/bench/bench_analogy.cc.o"
+  "CMakeFiles/bench_analogy.dir/bench/bench_analogy.cc.o.d"
+  "bench/bench_analogy"
+  "bench/bench_analogy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_analogy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_deeper.dir/bench/bench_deeper.cc.o"
+  "CMakeFiles/bench_deeper.dir/bench/bench_deeper.cc.o.d"
+  "bench/bench_deeper"
+  "bench/bench_deeper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_deeper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

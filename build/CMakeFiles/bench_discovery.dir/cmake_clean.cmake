@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_discovery.dir/bench/bench_discovery.cc.o"
+  "CMakeFiles/bench_discovery.dir/bench/bench_discovery.cc.o.d"
+  "bench/bench_discovery"
+  "bench/bench_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

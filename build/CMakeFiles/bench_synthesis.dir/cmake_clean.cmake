@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_synthesis.dir/bench/bench_synthesis.cc.o"
+  "CMakeFiles/bench_synthesis.dir/bench/bench_synthesis.cc.o.d"
+  "bench/bench_synthesis"
+  "bench/bench_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table_graph.dir/bench/bench_table_graph.cc.o"
+  "CMakeFiles/bench_table_graph.dir/bench/bench_table_graph.cc.o.d"
+  "bench/bench_table_graph"
+  "bench/bench_table_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

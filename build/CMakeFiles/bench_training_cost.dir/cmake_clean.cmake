@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_training_cost.dir/bench/bench_training_cost.cc.o"
+  "CMakeFiles/bench_training_cost.dir/bench/bench_training_cost.cc.o.d"
+  "bench/bench_training_cost"
+  "bench/bench_training_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_training_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

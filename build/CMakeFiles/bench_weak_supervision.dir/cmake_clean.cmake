@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_weak_supervision.dir/bench/bench_weak_supervision.cc.o"
+  "CMakeFiles/bench_weak_supervision.dir/bench/bench_weak_supervision.cc.o.d"
+  "bench/bench_weak_supervision"
+  "bench/bench_weak_supervision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_weak_supervision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

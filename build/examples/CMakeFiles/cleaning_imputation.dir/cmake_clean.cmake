@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cleaning_imputation.dir/cleaning_imputation.cpp.o"
+  "CMakeFiles/cleaning_imputation.dir/cleaning_imputation.cpp.o.d"
+  "cleaning_imputation"
+  "cleaning_imputation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cleaning_imputation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discovery_search.dir/discovery_search.cpp.o"
+  "CMakeFiles/discovery_search.dir/discovery_search.cpp.o.d"
+  "discovery_search"
+  "discovery_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discovery_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/er_product_matching.dir/er_product_matching.cpp.o"
+  "CMakeFiles/er_product_matching.dir/er_product_matching.cpp.o.d"
+  "er_product_matching"
+  "er_product_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/er_product_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

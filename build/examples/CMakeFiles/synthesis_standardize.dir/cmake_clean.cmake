@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthesis_standardize.dir/synthesis_standardize.cpp.o"
+  "CMakeFiles/synthesis_standardize.dir/synthesis_standardize.cpp.o.d"
+  "synthesis_standardize"
+  "synthesis_standardize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthesis_standardize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

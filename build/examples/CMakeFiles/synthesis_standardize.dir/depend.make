@@ -1,0 +1,2 @@
+# Empty dependencies file for synthesis_standardize.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cleaning/encoding.cc" "src/CMakeFiles/autodc.dir/cleaning/encoding.cc.o" "gcc" "src/CMakeFiles/autodc.dir/cleaning/encoding.cc.o.d"
+  "/root/repo/src/cleaning/imputation.cc" "src/CMakeFiles/autodc.dir/cleaning/imputation.cc.o" "gcc" "src/CMakeFiles/autodc.dir/cleaning/imputation.cc.o.d"
+  "/root/repo/src/cleaning/outliers.cc" "src/CMakeFiles/autodc.dir/cleaning/outliers.cc.o" "gcc" "src/CMakeFiles/autodc.dir/cleaning/outliers.cc.o.d"
+  "/root/repo/src/cleaning/repair.cc" "src/CMakeFiles/autodc.dir/cleaning/repair.cc.o" "gcc" "src/CMakeFiles/autodc.dir/cleaning/repair.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/autodc.dir/common/status.cc.o" "gcc" "src/CMakeFiles/autodc.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/autodc.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/autodc.dir/common/string_util.cc.o.d"
+  "/root/repo/src/core/autocurator.cc" "src/CMakeFiles/autodc.dir/core/autocurator.cc.o" "gcc" "src/CMakeFiles/autodc.dir/core/autocurator.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/CMakeFiles/autodc.dir/core/pipeline.cc.o" "gcc" "src/CMakeFiles/autodc.dir/core/pipeline.cc.o.d"
+  "/root/repo/src/data/csv.cc" "src/CMakeFiles/autodc.dir/data/csv.cc.o" "gcc" "src/CMakeFiles/autodc.dir/data/csv.cc.o.d"
+  "/root/repo/src/data/dependencies.cc" "src/CMakeFiles/autodc.dir/data/dependencies.cc.o" "gcc" "src/CMakeFiles/autodc.dir/data/dependencies.cc.o.d"
+  "/root/repo/src/data/schema.cc" "src/CMakeFiles/autodc.dir/data/schema.cc.o" "gcc" "src/CMakeFiles/autodc.dir/data/schema.cc.o.d"
+  "/root/repo/src/data/table.cc" "src/CMakeFiles/autodc.dir/data/table.cc.o" "gcc" "src/CMakeFiles/autodc.dir/data/table.cc.o.d"
+  "/root/repo/src/data/table_graph.cc" "src/CMakeFiles/autodc.dir/data/table_graph.cc.o" "gcc" "src/CMakeFiles/autodc.dir/data/table_graph.cc.o.d"
+  "/root/repo/src/data/value.cc" "src/CMakeFiles/autodc.dir/data/value.cc.o" "gcc" "src/CMakeFiles/autodc.dir/data/value.cc.o.d"
+  "/root/repo/src/datagen/corpus.cc" "src/CMakeFiles/autodc.dir/datagen/corpus.cc.o" "gcc" "src/CMakeFiles/autodc.dir/datagen/corpus.cc.o.d"
+  "/root/repo/src/datagen/enterprise.cc" "src/CMakeFiles/autodc.dir/datagen/enterprise.cc.o" "gcc" "src/CMakeFiles/autodc.dir/datagen/enterprise.cc.o.d"
+  "/root/repo/src/datagen/er_benchmark.cc" "src/CMakeFiles/autodc.dir/datagen/er_benchmark.cc.o" "gcc" "src/CMakeFiles/autodc.dir/datagen/er_benchmark.cc.o.d"
+  "/root/repo/src/datagen/error_injector.cc" "src/CMakeFiles/autodc.dir/datagen/error_injector.cc.o" "gcc" "src/CMakeFiles/autodc.dir/datagen/error_injector.cc.o.d"
+  "/root/repo/src/datagen/perturb.cc" "src/CMakeFiles/autodc.dir/datagen/perturb.cc.o" "gcc" "src/CMakeFiles/autodc.dir/datagen/perturb.cc.o.d"
+  "/root/repo/src/discovery/ekg.cc" "src/CMakeFiles/autodc.dir/discovery/ekg.cc.o" "gcc" "src/CMakeFiles/autodc.dir/discovery/ekg.cc.o.d"
+  "/root/repo/src/discovery/schema_mapping.cc" "src/CMakeFiles/autodc.dir/discovery/schema_mapping.cc.o" "gcc" "src/CMakeFiles/autodc.dir/discovery/schema_mapping.cc.o.d"
+  "/root/repo/src/discovery/search.cc" "src/CMakeFiles/autodc.dir/discovery/search.cc.o" "gcc" "src/CMakeFiles/autodc.dir/discovery/search.cc.o.d"
+  "/root/repo/src/discovery/semantic_matcher.cc" "src/CMakeFiles/autodc.dir/discovery/semantic_matcher.cc.o" "gcc" "src/CMakeFiles/autodc.dir/discovery/semantic_matcher.cc.o.d"
+  "/root/repo/src/embedding/composition.cc" "src/CMakeFiles/autodc.dir/embedding/composition.cc.o" "gcc" "src/CMakeFiles/autodc.dir/embedding/composition.cc.o.d"
+  "/root/repo/src/embedding/embedding_store.cc" "src/CMakeFiles/autodc.dir/embedding/embedding_store.cc.o" "gcc" "src/CMakeFiles/autodc.dir/embedding/embedding_store.cc.o.d"
+  "/root/repo/src/embedding/graph_embedding.cc" "src/CMakeFiles/autodc.dir/embedding/graph_embedding.cc.o" "gcc" "src/CMakeFiles/autodc.dir/embedding/graph_embedding.cc.o.d"
+  "/root/repo/src/embedding/sgns.cc" "src/CMakeFiles/autodc.dir/embedding/sgns.cc.o" "gcc" "src/CMakeFiles/autodc.dir/embedding/sgns.cc.o.d"
+  "/root/repo/src/embedding/word2vec.cc" "src/CMakeFiles/autodc.dir/embedding/word2vec.cc.o" "gcc" "src/CMakeFiles/autodc.dir/embedding/word2vec.cc.o.d"
+  "/root/repo/src/er/baselines.cc" "src/CMakeFiles/autodc.dir/er/baselines.cc.o" "gcc" "src/CMakeFiles/autodc.dir/er/baselines.cc.o.d"
+  "/root/repo/src/er/blocking.cc" "src/CMakeFiles/autodc.dir/er/blocking.cc.o" "gcc" "src/CMakeFiles/autodc.dir/er/blocking.cc.o.d"
+  "/root/repo/src/er/deeper.cc" "src/CMakeFiles/autodc.dir/er/deeper.cc.o" "gcc" "src/CMakeFiles/autodc.dir/er/deeper.cc.o.d"
+  "/root/repo/src/er/evaluation.cc" "src/CMakeFiles/autodc.dir/er/evaluation.cc.o" "gcc" "src/CMakeFiles/autodc.dir/er/evaluation.cc.o.d"
+  "/root/repo/src/er/features.cc" "src/CMakeFiles/autodc.dir/er/features.cc.o" "gcc" "src/CMakeFiles/autodc.dir/er/features.cc.o.d"
+  "/root/repo/src/nn/autoencoder.cc" "src/CMakeFiles/autodc.dir/nn/autoencoder.cc.o" "gcc" "src/CMakeFiles/autodc.dir/nn/autoencoder.cc.o.d"
+  "/root/repo/src/nn/autograd.cc" "src/CMakeFiles/autodc.dir/nn/autograd.cc.o" "gcc" "src/CMakeFiles/autodc.dir/nn/autograd.cc.o.d"
+  "/root/repo/src/nn/classifier.cc" "src/CMakeFiles/autodc.dir/nn/classifier.cc.o" "gcc" "src/CMakeFiles/autodc.dir/nn/classifier.cc.o.d"
+  "/root/repo/src/nn/gan.cc" "src/CMakeFiles/autodc.dir/nn/gan.cc.o" "gcc" "src/CMakeFiles/autodc.dir/nn/gan.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/CMakeFiles/autodc.dir/nn/layers.cc.o" "gcc" "src/CMakeFiles/autodc.dir/nn/layers.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/CMakeFiles/autodc.dir/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/autodc.dir/nn/optimizer.cc.o.d"
+  "/root/repo/src/nn/rnn.cc" "src/CMakeFiles/autodc.dir/nn/rnn.cc.o" "gcc" "src/CMakeFiles/autodc.dir/nn/rnn.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/CMakeFiles/autodc.dir/nn/serialize.cc.o" "gcc" "src/CMakeFiles/autodc.dir/nn/serialize.cc.o.d"
+  "/root/repo/src/nn/tensor.cc" "src/CMakeFiles/autodc.dir/nn/tensor.cc.o" "gcc" "src/CMakeFiles/autodc.dir/nn/tensor.cc.o.d"
+  "/root/repo/src/synthesis/dsl.cc" "src/CMakeFiles/autodc.dir/synthesis/dsl.cc.o" "gcc" "src/CMakeFiles/autodc.dir/synthesis/dsl.cc.o.d"
+  "/root/repo/src/synthesis/etl.cc" "src/CMakeFiles/autodc.dir/synthesis/etl.cc.o" "gcc" "src/CMakeFiles/autodc.dir/synthesis/etl.cc.o.d"
+  "/root/repo/src/synthesis/semantic.cc" "src/CMakeFiles/autodc.dir/synthesis/semantic.cc.o" "gcc" "src/CMakeFiles/autodc.dir/synthesis/semantic.cc.o.d"
+  "/root/repo/src/text/similarity.cc" "src/CMakeFiles/autodc.dir/text/similarity.cc.o" "gcc" "src/CMakeFiles/autodc.dir/text/similarity.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/CMakeFiles/autodc.dir/text/tokenizer.cc.o" "gcc" "src/CMakeFiles/autodc.dir/text/tokenizer.cc.o.d"
+  "/root/repo/src/text/vocabulary.cc" "src/CMakeFiles/autodc.dir/text/vocabulary.cc.o" "gcc" "src/CMakeFiles/autodc.dir/text/vocabulary.cc.o.d"
+  "/root/repo/src/weak/augment.cc" "src/CMakeFiles/autodc.dir/weak/augment.cc.o" "gcc" "src/CMakeFiles/autodc.dir/weak/augment.cc.o.d"
+  "/root/repo/src/weak/labeling.cc" "src/CMakeFiles/autodc.dir/weak/labeling.cc.o" "gcc" "src/CMakeFiles/autodc.dir/weak/labeling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weak_test.dir/weak_test.cc.o"
+  "CMakeFiles/weak_test.dir/weak_test.cc.o.d"
+  "weak_test"
+  "weak_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weak_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
