@@ -1,0 +1,203 @@
+// Experiment P1 (ROADMAP "fast as the hardware allows"): serial vs
+// multi-threaded wall clock for the three hot paths the autodc::common
+// parallel runtime accelerates — blocked matmul, Hogwild SGNS training,
+// and LSH blocking + DeepER candidate scoring. Shape: near-linear matmul
+// scaling, word2vec-style Hogwild scaling for SGNS, and large gains for
+// the embarrassingly parallel ER stages. Emits one RESULT_JSON line per
+// section plus a combined summary (speedups depend on the machine; the
+// numbers in EXPERIMENTS.md are from the recorded run).
+//
+// Thread count: AUTODC_BENCH_THREADS env var, default 4.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+#include "src/common/parallel.h"
+#include "src/common/rng.h"
+#include "src/datagen/er_benchmark.h"
+#include "src/embedding/sgns.h"
+#include "src/embedding/word2vec.h"
+#include "src/er/blocking.h"
+#include "src/er/deeper.h"
+#include "src/nn/tensor.h"
+
+using namespace autodc;         // NOLINT
+using namespace autodc::bench;  // NOLINT
+
+namespace {
+
+size_t BenchThreads() {
+  if (const char* env = std::getenv("AUTODC_BENCH_THREADS")) {
+    long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<size_t>(v);
+  }
+  return 4;
+}
+
+JsonObject BenchMatMul(size_t threads) {
+  constexpr size_t kN = 512;
+  Rng rng(42);
+  nn::Tensor a = nn::Tensor::RandomUniform({kN, kN}, 1.0f, &rng);
+  nn::Tensor b = nn::Tensor::RandomUniform({kN, kN}, 1.0f, &rng);
+
+  SetNumThreads(1);
+  nn::Tensor ref;
+  double serial = TimeSeconds([&]() { ref = nn::MatMul(a, b); }, 3);
+
+  SetNumThreads(threads);
+  nn::Tensor par;
+  double parallel = TimeSeconds([&]() { par = nn::MatMul(a, b); }, 3);
+  SetNumThreads(1);
+
+  // Guard: the threaded kernel must agree with the serial one.
+  double max_abs_diff = 0.0;
+  for (size_t i = 0; i < ref.size(); ++i) {
+    double d = std::fabs(static_cast<double>(ref[i]) - par[i]);
+    if (d > max_abs_diff) max_abs_diff = d;
+  }
+
+  JsonObject o;
+  o.Set("size", kN)
+      .Set("serial_s", serial)
+      .Set("parallel_s", parallel)
+      .Set("speedup", serial / parallel)
+      .Set("max_abs_diff", max_abs_diff);
+  return o;
+}
+
+JsonObject BenchSgnsEpoch(size_t threads) {
+  constexpr size_t kVocab = 2000;
+  constexpr size_t kSeqs = 400;
+  constexpr size_t kSeqLen = 60;
+  Rng rng(7);
+  std::vector<std::vector<size_t>> seqs(kSeqs);
+  for (auto& seq : seqs) {
+    seq.resize(kSeqLen);
+    for (size_t& tok : seq) {
+      tok = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(kVocab) - 1));
+    }
+  }
+  std::vector<double> weights(kVocab, 1.0);
+
+  embedding::SgnsConfig cfg;
+  cfg.dim = 64;
+  cfg.window = 4;
+  cfg.negatives = 5;
+  cfg.epochs = 1;
+  cfg.seed = 3;
+
+  cfg.num_threads = 1;
+  double serial = TimeSeconds([&]() {
+    embedding::SgnsModel model(kVocab, cfg);
+    model.Train(seqs, weights);
+  });
+
+  SetNumThreads(threads);
+  cfg.num_threads = threads;
+  double parallel = TimeSeconds([&]() {
+    embedding::SgnsModel model(kVocab, cfg);
+    model.Train(seqs, weights);
+  });
+  SetNumThreads(1);
+
+  JsonObject o;
+  o.Set("vocab", kVocab)
+      .Set("tokens", kSeqs * kSeqLen)
+      .Set("dim", cfg.dim)
+      .Set("serial_s", serial)
+      .Set("parallel_s", parallel)
+      .Set("speedup", serial / parallel);
+  return o;
+}
+
+JsonObject BenchBlockingAndScoring(size_t threads) {
+  datagen::ErBenchmarkConfig cfg;
+  cfg.domain = datagen::ErDomain::kProducts;
+  cfg.num_entities = 250;
+  cfg.dirtiness = 0.4;
+  cfg.seed = 17;
+  datagen::ErBenchmark bench = datagen::GenerateErBenchmark(cfg);
+
+  embedding::Word2VecConfig wcfg;
+  wcfg.sgns.dim = 24;
+  wcfg.sgns.epochs = 3;
+  wcfg.sgns.seed = 5;
+  embedding::EmbeddingStore words = embedding::TrainWordEmbeddingsFromTables(
+      {&bench.left, &bench.right}, wcfg);
+
+  er::DeepErConfig dcfg;
+  dcfg.epochs = 5;
+  er::DeepEr model(&words, dcfg);
+  model.FitWeights({&bench.left, &bench.right});
+  Rng prng(7);
+  std::vector<er::PairLabel> train = er::SampleTrainingPairs(
+      bench.left.num_rows(), bench.right.num_rows(), bench.matches, 3, &prng);
+  model.Train(bench.left, bench.right, train);
+
+  std::vector<std::vector<float>> lv, rv;
+  for (size_t i = 0; i < bench.left.num_rows(); ++i) {
+    lv.push_back(model.EmbedTupleVector(bench.left.row(i)));
+  }
+  for (size_t i = 0; i < bench.right.num_rows(); ++i) {
+    rv.push_back(model.EmbedTupleVector(bench.right.row(i)));
+  }
+  er::LshBlocker lsh(words.dim(), 6, 16, 21);
+
+  SetNumThreads(1);
+  std::vector<er::RowPair> cands;
+  double block_serial = TimeSeconds([&]() { cands = lsh.Candidates(lv, rv); });
+  double score_serial = TimeSeconds(
+      [&]() { model.Match(bench.left, bench.right, cands, 0.5); });
+
+  SetNumThreads(threads);
+  std::vector<er::RowPair> cands_p;
+  double block_parallel =
+      TimeSeconds([&]() { cands_p = lsh.Candidates(lv, rv); });
+  double score_parallel = TimeSeconds(
+      [&]() { model.Match(bench.left, bench.right, cands_p, 0.5); });
+  SetNumThreads(1);
+
+  JsonObject o;
+  o.Set("candidates", cands.size())
+      .Set("candidates_parallel", cands_p.size())  // must match serial
+      .Set("block_serial_s", block_serial)
+      .Set("block_parallel_s", block_parallel)
+      .Set("block_speedup", block_serial / block_parallel)
+      .Set("score_serial_s", score_serial)
+      .Set("score_parallel_s", score_parallel)
+      .Set("score_speedup", score_serial / score_parallel);
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  size_t threads = BenchThreads();
+  PrintHeader(
+      "Experiment P1 — parallel runtime speedup (serial vs " +
+          std::to_string(threads) + " threads)",
+      "Wall clock of the three hottest paths with the autodc ThreadPool\n"
+      "off (1 thread) and on. Expected shape: near-linear matmul scaling,\n"
+      "Hogwild SGNS scaling as in word2vec, and embarrassing parallelism\n"
+      "for LSH blocking + DeepER pair scoring.");
+
+  JsonObject matmul = BenchMatMul(threads);
+  JsonObject sgns = BenchSgnsEpoch(threads);
+  JsonObject er = BenchBlockingAndScoring(threads);
+
+  PrintRow({"section", "result"});
+  PrintRow({"matmul 512^3", matmul.str()});
+  PrintRow({"sgns 1 epoch", sgns.str()});
+  PrintRow({"blocking+scoring", er.str()});
+
+  JsonObject summary;
+  summary.Set("bench", std::string("bench_parallel"))
+      .Set("threads", threads)
+      .SetRaw("matmul", matmul.str())
+      .SetRaw("sgns_epoch", sgns.str())
+      .SetRaw("er", er.str());
+  PrintJsonLine(summary);
+  return 0;
+}

@@ -91,6 +91,14 @@ int main() {
   PrintRow({"entity-count error", Fmt(dedup_err), "0.000"});
   PrintRow({"null fraction out", Fmt(r.curated.NullFraction()), "0.000"});
   PrintRow({"wall clock (s)", Fmt(seconds, 1), "-"});
+  JsonObject json;
+  json.Set("bench", std::string("bench_pipeline"))
+      .Set("rows_out", r.curated.num_rows())
+      .Set("true_entities", true_entities)
+      .Set("entity_count_error", dedup_err)
+      .Set("null_fraction_out", r.curated.NullFraction())
+      .Set("wall_clock_s", seconds);
+  PrintJsonLine(json);
   std::printf(
       "\n(The dedup stage uses NO hand labels: weak supervision from\n"
       "near-identical candidates trains the DeepER matcher — the Sec. 6.2\n"

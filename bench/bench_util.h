@@ -46,10 +46,66 @@ class Timer {
                                          start_)
         .count();
   }
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
 
  private:
   std::chrono::steady_clock::time_point start_;
 };
+
+/// Wall-clock seconds of `fn()`, minimum over `reps` runs (minimum is
+/// the standard noise-robust statistic for bench loops).
+template <typename Fn>
+double TimeSeconds(Fn&& fn, size_t reps = 1) {
+  double best = 0.0;
+  for (size_t r = 0; r < reps; ++r) {
+    Timer t;
+    fn();
+    double s = t.Seconds();
+    if (r == 0 || s < best) best = s;
+  }
+  return best;
+}
+
+/// Tiny JSON object builder so every bench can emit one machine-readable
+/// result line next to its human-readable table. Values are inserted in
+/// call order; nested objects go in via SetRaw(child.str()).
+class JsonObject {
+ public:
+  JsonObject& Set(const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return SetRaw(key, buf);
+  }
+  JsonObject& Set(const std::string& key, size_t v) {
+    return SetRaw(key, std::to_string(v));
+  }
+  JsonObject& Set(const std::string& key, const std::string& v) {
+    std::string quoted = "\"";
+    for (char c : v) {
+      if (c == '"' || c == '\\') quoted.push_back('\\');
+      quoted.push_back(c);
+    }
+    quoted.push_back('"');
+    return SetRaw(key, quoted);
+  }
+  /// Inserts `raw` verbatim — for numbers formatted elsewhere or nested
+  /// JsonObject::str() payloads.
+  JsonObject& SetRaw(const std::string& key, const std::string& raw) {
+    if (!body_.empty()) body_ += ",";
+    body_ += "\"" + key + "\":" + raw;
+    return *this;
+  }
+  std::string str() const { return "{" + body_ + "}"; }
+
+ private:
+  std::string body_;
+};
+
+/// Prints one `RESULT_JSON {...}` line; the prefix lets scripts grep the
+/// machine-readable record out of the table output.
+inline void PrintJsonLine(const JsonObject& o) {
+  std::printf("RESULT_JSON %s\n", o.str().c_str());
+}
 
 }  // namespace autodc::bench
 

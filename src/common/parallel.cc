@@ -1,0 +1,161 @@
+#include "src/common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+
+namespace autodc {
+
+namespace {
+
+thread_local bool t_in_worker = false;
+
+// Global pool storage. Guarded by a mutex only at (re)creation;
+// steady-state access is a relaxed pointer load.
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;
+std::atomic<ThreadPool*> g_pool_ptr{nullptr};
+
+size_t DefaultThreads() {
+  if (const char* env = std::getenv("AUTODC_NUM_THREADS")) {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 1) return static_cast<size_t>(v);
+  }
+  size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t threads) {
+  size_t workers = threads <= 1 ? 0 : threads - 1;
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_in_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this]() { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+ThreadPool* ThreadPool::Global() {
+  ThreadPool* p = g_pool_ptr.load(std::memory_order_acquire);
+  if (p != nullptr) return p;
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (g_pool == nullptr) {
+    g_pool = std::make_unique<ThreadPool>(DefaultThreads());
+    g_pool_ptr.store(g_pool.get(), std::memory_order_release);
+  }
+  return g_pool.get();
+}
+
+size_t NumThreads() { return ThreadPool::Global()->concurrency(); }
+
+void SetNumThreads(size_t n) {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  g_pool_ptr.store(nullptr, std::memory_order_release);
+  g_pool.reset();  // joins old workers before the new pool exists
+  g_pool = std::make_unique<ThreadPool>(std::max<size_t>(n, 1));
+  g_pool_ptr.store(g_pool.get(), std::memory_order_release);
+}
+
+bool InParallelWorker() { return t_in_worker; }
+
+namespace {
+
+// Latch counting outstanding chunks of one ParallelFor call.
+struct ForState {
+  std::mutex mu;
+  std::condition_variable done;
+  size_t remaining = 0;
+};
+
+}  // namespace
+
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn) {
+  if (end <= begin) return;
+  size_t n = end - begin;
+  if (grain == 0) grain = 1;
+  ThreadPool* pool = ThreadPool::Global();
+  size_t threads = pool->concurrency();
+  if (threads <= 1 || InParallelWorker() || n <= grain) {
+    fn(begin, end);
+    return;
+  }
+  size_t chunks = std::min(threads, (n + grain - 1) / grain);
+  size_t chunk = (n + chunks - 1) / chunks;
+
+  // The caller is one of the pool's logical threads: it runs chunk 0
+  // inline while the workers take the rest.
+  ForState state;
+  state.remaining = chunks - 1;
+  for (size_t c = 1; c < chunks; ++c) {
+    size_t lo = begin + c * chunk;
+    size_t hi = std::min(end, lo + chunk);
+    pool->Submit([&state, &fn, lo, hi]() {
+      fn(lo, hi);
+      std::lock_guard<std::mutex> lock(state.mu);
+      if (--state.remaining == 0) state.done.notify_one();
+    });
+  }
+  fn(begin, std::min(end, begin + chunk));
+  std::unique_lock<std::mutex> lock(state.mu);
+  state.done.wait(lock, [&state]() { return state.remaining == 0; });
+}
+
+double ParallelReduce(size_t begin, size_t end, size_t grain,
+                      const std::function<double(size_t, size_t)>& fn) {
+  if (end <= begin) return 0.0;
+  size_t n = end - begin;
+  if (grain == 0) grain = 1;
+  size_t threads = NumThreads();
+  if (threads <= 1 || InParallelWorker() || n <= grain) {
+    return fn(begin, end);
+  }
+  size_t chunks = std::min(threads, (n + grain - 1) / grain);
+  std::vector<double> partial(chunks, 0.0);
+  size_t chunk = (n + chunks - 1) / chunks;
+  ParallelFor(begin, end, grain, [&](size_t lo, size_t hi) {
+    // Recover the chunk index from the (static, deterministic) layout so
+    // partials combine in chunk order regardless of scheduling.
+    size_t c = (lo - begin) / chunk;
+    partial[c] += fn(lo, hi);
+  });
+  double total = 0.0;
+  for (double p : partial) total += p;
+  return total;
+}
+
+}  // namespace autodc

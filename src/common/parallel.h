@@ -1,0 +1,88 @@
+#ifndef AUTODC_COMMON_PARALLEL_H_
+#define AUTODC_COMMON_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace autodc {
+
+/// Fixed-size worker pool behind the ParallelFor/ParallelReduce
+/// primitives. One lazily-initialized global instance serves the whole
+/// library; tests and benches may construct their own.
+///
+/// Sizing of the global pool: `AUTODC_NUM_THREADS` env var if set,
+/// otherwise `std::thread::hardware_concurrency()`. A size of 0 or 1
+/// means "no workers": every parallel primitive then runs inline on the
+/// calling thread, which keeps single-threaded runs bit-identical to the
+/// pre-pool implementation (determinism-sensitive tests pin 1 thread).
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 and 1 both mean zero workers — the
+  /// caller always participates, so one worker thread would only add a
+  /// handoff).
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw.
+  void Submit(std::function<void()> fn);
+
+  /// Number of worker threads (0 when serial).
+  size_t num_workers() const { return workers_.size(); }
+
+  /// Logical concurrency this pool provides: workers + the calling
+  /// thread, i.e. at least 1.
+  size_t concurrency() const { return workers_.size() + 1; }
+
+  /// The process-wide pool. First call initializes it from
+  /// AUTODC_NUM_THREADS / hardware_concurrency.
+  static ThreadPool* Global();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Logical thread count of the global runtime (>= 1).
+size_t NumThreads();
+
+/// Replaces the global pool with one of logical size `n` (n threads
+/// total including the caller; n <= 1 disables workers). Intended for
+/// bench/test setup — must not race with in-flight parallel work.
+void SetNumThreads(size_t n);
+
+/// True when called from inside a pool worker. Parallel primitives use
+/// this to degrade to serial execution instead of deadlocking on nested
+/// parallelism (a worker waiting on subtasks that only it could run).
+bool InParallelWorker();
+
+/// Splits [begin, end) into at most NumThreads() contiguous chunks of at
+/// least `grain` elements and runs `fn(chunk_begin, chunk_end)` on the
+/// pool, blocking until every chunk finished. Runs `fn(begin, end)`
+/// inline when the range is empty-adjacent small, the runtime is serial,
+/// or the caller is already a pool worker. Chunking is static and
+/// depends only on (range, grain, thread count), never on scheduling.
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn);
+
+/// ParallelFor that sums one double per chunk. Partial sums are
+/// combined in chunk order, so the result is deterministic for a fixed
+/// thread count.
+double ParallelReduce(size_t begin, size_t end, size_t grain,
+                      const std::function<double(size_t, size_t)>& fn);
+
+}  // namespace autodc
+
+#endif  // AUTODC_COMMON_PARALLEL_H_

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "src/common/parallel.h"
+
 namespace autodc::embedding {
 
 namespace {
@@ -28,7 +30,8 @@ SgnsModel::SgnsModel(size_t vocab_size, const SgnsConfig& config)
   }
 }
 
-double SgnsModel::UpdatePair(size_t center, size_t context, double lr) {
+double SgnsModel::UpdatePair(size_t center, size_t context, double lr,
+                             Rng* rng) {
   std::vector<float>& v = in_[center];
   std::vector<float> v_update(config_.dim, 0.0f);
   double loss = 0.0;
@@ -41,7 +44,7 @@ double SgnsModel::UpdatePair(size_t center, size_t context, double lr) {
       target = context;
       label = 1.0f;
     } else {
-      target = negative_table_[static_cast<size_t>(rng_.UniformInt(
+      target = negative_table_[static_cast<size_t>(rng->UniformInt(
           0, static_cast<int64_t>(negative_table_.size()) - 1))];
       if (target == context) continue;
       label = 0.0f;
@@ -59,6 +62,28 @@ double SgnsModel::UpdatePair(size_t center, size_t context, double lr) {
     }
   }
   for (size_t d = 0; d < config_.dim; ++d) v[d] += v_update[d];
+  return loss;
+}
+
+double SgnsModel::TrainRange(
+    const std::vector<std::vector<size_t>>& sequences, size_t begin,
+    size_t end, double lr, Rng* rng, size_t* pairs) {
+  double loss = 0.0;
+  for (size_t s = begin; s < end; ++s) {
+    const std::vector<size_t>& seq = sequences[s];
+    for (size_t i = 0; i < seq.size(); ++i) {
+      // Dynamic window as in word2vec: actual window in [1, W].
+      size_t w = static_cast<size_t>(
+          rng->UniformInt(1, static_cast<int64_t>(config_.window)));
+      size_t lo = i >= w ? i - w : 0;
+      size_t hi = std::min(seq.size(), i + w + 1);
+      for (size_t j = lo; j < hi; ++j) {
+        if (j == i) continue;
+        loss += UpdatePair(seq[i], seq[j], lr, rng);
+        ++*pairs;
+      }
+    }
+  }
   return loss;
 }
 
@@ -87,6 +112,24 @@ double SgnsModel::Train(const std::vector<std::vector<size_t>>& sequences,
     }
   }
 
+  size_t threads =
+      config_.num_threads == 0 ? NumThreads() : config_.num_threads;
+  // No point sharding below one sequence per worker.
+  threads = std::min(threads, std::max<size_t>(sequences.size(), 1));
+
+  // Hogwild workers: one deterministic RNG stream per shard, reused
+  // across epochs (matching the serial path, whose single stream also
+  // spans epochs).
+  std::vector<Rng> worker_rngs;
+  if (threads > 1) {
+    worker_rngs.reserve(threads);
+    for (size_t t = 0; t < threads; ++t) {
+      // SplitMix-style spread so adjacent worker seeds do not produce
+      // correlated mt19937_64 init states.
+      worker_rngs.emplace_back(config_.seed + 0x9E3779B97F4A7C15ull * (t + 1));
+    }
+  }
+
   double epoch_loss = 0.0;
   for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
     // Linear learning-rate decay across epochs, as in word2vec.
@@ -96,18 +139,31 @@ double SgnsModel::Train(const std::vector<std::vector<size_t>>& sequences,
     lr = std::max(lr, config_.learning_rate * 1e-2);
     epoch_loss = 0.0;
     size_t pairs = 0;
-    for (const std::vector<size_t>& seq : sequences) {
-      for (size_t i = 0; i < seq.size(); ++i) {
-        // Dynamic window as in word2vec: actual window in [1, W].
-        size_t w = static_cast<size_t>(
-            rng_.UniformInt(1, static_cast<int64_t>(config_.window)));
-        size_t lo = i >= w ? i - w : 0;
-        size_t hi = std::min(seq.size(), i + w + 1);
-        for (size_t j = lo; j < hi; ++j) {
-          if (j == i) continue;
-          epoch_loss += UpdatePair(seq[i], seq[j], lr);
-          ++pairs;
+    if (threads <= 1) {
+      // Serial path: bit-identical to the original single-threaded
+      // implementation (same rng_ consumption, same update order).
+      epoch_loss = TrainRange(sequences, 0, sequences.size(), lr, &rng_,
+                              &pairs);
+    } else {
+      // Hogwild [40-style]: shards race on in_/out_ without locks.
+      // Updates are sparse (one center + a handful of targets per pair),
+      // so collisions are rare and SGD tolerates the occasional lost
+      // write; see DESIGN.md "Parallel runtime".
+      std::vector<double> shard_loss(threads, 0.0);
+      std::vector<size_t> shard_pairs(threads, 0);
+      size_t per = (sequences.size() + threads - 1) / threads;
+      ParallelFor(0, threads, 1, [&](size_t t0, size_t t1) {
+        for (size_t t = t0; t < t1; ++t) {
+          size_t lo = t * per;
+          size_t hi = std::min(sequences.size(), lo + per);
+          if (lo >= hi) continue;
+          shard_loss[t] = TrainRange(sequences, lo, hi, lr, &worker_rngs[t],
+                                     &shard_pairs[t]);
         }
+      });
+      for (size_t t = 0; t < threads; ++t) {
+        epoch_loss += shard_loss[t];
+        pairs += shard_pairs[t];
       }
     }
     if (pairs > 0) epoch_loss /= static_cast<double>(pairs);

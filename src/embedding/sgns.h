@@ -22,6 +22,15 @@ struct SgnsConfig {
   /// that *directly co-occur* — exactly the "(Brazil, Brasilia) become
   /// similar" behaviour Sec. 3.1 describes for cell embeddings.
   bool average_in_out = true;
+  /// Training worker count. 1 (default) is the bit-exact serial path —
+  /// identical RNG consumption and update order on every run, which the
+  /// determinism-sensitive tests rely on. >1 trains Hogwild-style [word2vec]:
+  /// sequences are sharded across workers that update the shared
+  /// embedding matrices lock-free; per-worker RNGs are seeded from
+  /// (seed, worker id), so each worker's sample stream is deterministic
+  /// even though update interleaving is not. 0 means "use the global
+  /// autodc runtime thread count".
+  size_t num_threads = 1;
 };
 
 /// Skip-gram-with-negative-sampling trainer over sequences of dense token
@@ -48,7 +57,15 @@ class SgnsModel {
 
  private:
   // One (center, context) update with negative sampling; returns loss.
-  double UpdatePair(size_t center, size_t context, double lr);
+  // `rng` is the calling worker's generator (the shared rng_ when serial).
+  double UpdatePair(size_t center, size_t context, double lr, Rng* rng);
+
+  // Trains every pair of `sequences[begin, end)` at learning rate `lr`
+  // using `rng`; accumulates the pair count into *pairs. Shared by the
+  // serial path (whole range, rng_) and each Hogwild shard.
+  double TrainRange(const std::vector<std::vector<size_t>>& sequences,
+                    size_t begin, size_t end, double lr, Rng* rng,
+                    size_t* pairs);
 
   SgnsConfig config_;
   Rng rng_;

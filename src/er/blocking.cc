@@ -3,6 +3,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "src/common/parallel.h"
 #include "src/common/rng.h"
 #include "src/text/tokenizer.h"
 
@@ -64,17 +65,28 @@ std::vector<RowPair> LshBlocker::Candidates(
       return p.first * 1000003u + p.second;
     }
   };
+  // Each table's hashing + bucket probe is independent, so tables run in
+  // parallel; the dedup merge below consumes them in table order, which
+  // keeps the result identical to the serial implementation for any
+  // thread count.
+  std::vector<std::vector<RowPair>> per_table(num_tables_);
+  ParallelFor(0, num_tables_, 1, [&](size_t t0, size_t t1) {
+    for (size_t t = t0; t < t1; ++t) {
+      std::unordered_map<uint64_t, std::vector<size_t>> buckets;
+      for (size_t r = 0; r < right.size(); ++r) {
+        buckets[HashVector(right[r], t)].push_back(r);
+      }
+      std::vector<RowPair>& pairs = per_table[t];
+      for (size_t l = 0; l < left.size(); ++l) {
+        auto it = buckets.find(HashVector(left[l], t));
+        if (it == buckets.end()) continue;
+        for (size_t r : it->second) pairs.emplace_back(l, r);
+      }
+    }
+  });
   std::unordered_set<RowPair, PairHash> seen;
-  for (size_t t = 0; t < num_tables_; ++t) {
-    std::unordered_map<uint64_t, std::vector<size_t>> buckets;
-    for (size_t r = 0; r < right.size(); ++r) {
-      buckets[HashVector(right[r], t)].push_back(r);
-    }
-    for (size_t l = 0; l < left.size(); ++l) {
-      auto it = buckets.find(HashVector(left[l], t));
-      if (it == buckets.end()) continue;
-      for (size_t r : it->second) seen.insert({l, r});
-    }
+  for (const std::vector<RowPair>& pairs : per_table) {
+    for (const RowPair& p : pairs) seen.insert(p);
   }
   return std::vector<RowPair>(seen.begin(), seen.end());
 }

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "src/common/parallel.h"
 #include "src/embedding/composition.h"
 #include "src/er/features.h"
 #include "src/nn/optimizer.h"
@@ -257,14 +258,17 @@ double DeepEr::Train(const data::Table& left, const data::Table& right,
                      const std::vector<PairLabel>& pairs) {
   if (config_.composition == TupleComposition::kAverage) {
     EnsureAvgClassifier(left.num_columns());
-    nn::Batch features;
-    std::vector<int> labels;
-    features.reserve(pairs.size());
-    for (const PairLabel& p : pairs) {
-      features.push_back(
-          SimilarityVector(left.row(p.left), right.row(p.right)));
-      labels.push_back(p.label);
-    }
+    // Featurization is a pure map over pairs — the dominant cost of the
+    // average path — so it runs on the thread pool.
+    nn::Batch features(pairs.size());
+    std::vector<int> labels(pairs.size());
+    ParallelFor(0, pairs.size(), 8, [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) {
+        const PairLabel& p = pairs[i];
+        features[i] = SimilarityVector(left.row(p.left), right.row(p.right));
+        labels[i] = p.label;
+      }
+    });
     return avg_classifier_->Train(features, labels, config_.epochs);
   }
 
@@ -309,11 +313,23 @@ std::vector<RowPair> DeepEr::Match(const data::Table& left,
                                    const data::Table& right,
                                    const std::vector<RowPair>& candidates,
                                    double threshold) const {
-  std::vector<RowPair> out;
-  for (const RowPair& c : candidates) {
-    if (PredictProba(left.row(c.first), right.row(c.second)) >= threshold) {
-      out.push_back(c);
+  // Scoring candidate pairs is embarrassingly parallel: PredictProba
+  // only reads trained weights and embedding stores. Flags are collected
+  // per pair and compacted in order, so the output is independent of the
+  // thread count.
+  std::vector<char> keep(candidates.size(), 0);
+  ParallelFor(0, candidates.size(), 8, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      const RowPair& c = candidates[i];
+      keep[i] =
+          PredictProba(left.row(c.first), right.row(c.second)) >= threshold
+              ? 1
+              : 0;
     }
+  });
+  std::vector<RowPair> out;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (keep[i]) out.push_back(candidates[i]);
   }
   return out;
 }

@@ -307,26 +307,14 @@ VarPtr Concat(const std::vector<VarPtr>& parts) {
 }
 
 VarPtr Rows(const VarPtr& matrix, const std::vector<size_t>& indices) {
-  size_t d = matrix->value.cols();
-  Tensor out({indices.size(), d});
-  for (size_t i = 0; i < indices.size(); ++i) {
-    assert(indices[i] < matrix->value.rows());
-    for (size_t j = 0; j < d; ++j) {
-      out.at(i, j) = matrix->value.at(indices[i], j);
-    }
-  }
-  auto result = MakeOp(std::move(out), {matrix}, nullptr);
+  auto result =
+      MakeOp(GatherRows(matrix->value, indices), {matrix}, nullptr);
   Variable* r = result.get();
   Variable* pm = matrix.get();
   std::vector<size_t> idx = indices;
   result->backward_fn = [r, pm, idx]() {
     if (!pm->requires_grad) return;
-    size_t d2 = pm->value.cols();
-    for (size_t i = 0; i < idx.size(); ++i) {
-      for (size_t j = 0; j < d2; ++j) {
-        pm->grad.at(idx[i], j) += r->grad.at(i, j);
-      }
-    }
+    AxpyRows(r->grad, idx, 1.0f, &pm->grad);
   };
   return result;
 }

@@ -34,9 +34,7 @@ VarPtr Linear::Forward(const VarPtr& input, bool /*train*/) {
       wrapped->parents = {x};
       Variable* w = wrapped.get();
       Variable* px = x.get();
-      wrapped->backward_fn = [w, px]() {
-        for (size_t i = 0; i < w->grad.size(); ++i) px->grad[i] += w->grad[i];
-      };
+      wrapped->backward_fn = [w, px]() { Axpy(w->grad, 1.0f, &px->grad); };
     }
     x = wrapped;
   }

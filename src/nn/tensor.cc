@@ -1,8 +1,11 @@
 #include "src/nn/tensor.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <sstream>
+
+#include "src/common/parallel.h"
 
 namespace autodc::nn {
 
@@ -110,19 +113,69 @@ void Axpy(const Tensor& b, float scale, Tensor* a) {
   for (size_t i = 0; i < b.size(); ++i) ad[i] += bd[i] * scale;
 }
 
+Tensor GatherRows(const Tensor& src, const std::vector<size_t>& rows) {
+  size_t d = src.cols();
+  Tensor out({rows.size(), d});
+  float* od = out.data();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    assert(rows[i] < src.rows());
+    const float* srow = src.data() + rows[i] * d;
+    float* orow = od + i * d;
+    for (size_t j = 0; j < d; ++j) orow[j] = srow[j];
+  }
+  return out;
+}
+
+void AxpyRows(const Tensor& src, const std::vector<size_t>& rows, float scale,
+              Tensor* dst) {
+  size_t d = dst->cols();
+  assert(src.cols() == d && src.rows() == rows.size());
+  float* dd = dst->data();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    assert(rows[i] < dst->rows());
+    const float* srow = src.data() + i * d;
+    float* drow = dd + rows[i] * d;
+    for (size_t j = 0; j < d; ++j) drow[j] += srow[j] * scale;
+  }
+}
+
+namespace {
+
+// Tile edges for the cache-blocked matmul kernels. The inner dimension
+// is walked in kTileInner-sized slabs so the touched rows of B stay in
+// L1/L2 while a block of output rows accumulates. Per output element the
+// accumulation order over the inner dimension is unchanged from the
+// naive kernels (tiles are visited in increasing order), so results are
+// bit-identical for any tile size and any thread count.
+constexpr size_t kTileInner = 64;
+
+// Row-block grain for ParallelFor: small matrices stay serial, large
+// ones split into at most NumThreads() blocks.
+constexpr size_t kRowGrain = 8;
+
+}  // namespace
+
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   size_t n = a.rows(), m = a.cols(), k = b.cols();
   assert(b.rows() == m);
   Tensor c({n, k});
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = 0; j < m; ++j) {
-      float av = a.at(i, j);
-      if (av == 0.0f) continue;
-      const float* brow = b.data() + j * k;
-      float* crow = c.data() + i * k;
-      for (size_t t = 0; t < k; ++t) crow[t] += av * brow[t];
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* cd = c.data();
+  ParallelFor(0, n, kRowGrain, [&](size_t r0, size_t r1) {
+    for (size_t jb = 0; jb < m; jb += kTileInner) {
+      size_t jend = std::min(m, jb + kTileInner);
+      for (size_t i = r0; i < r1; ++i) {
+        const float* arow = ad + i * m;
+        float* crow = cd + i * k;
+        for (size_t j = jb; j < jend; ++j) {
+          float av = arow[j];
+          const float* brow = bd + j * k;
+          for (size_t t = 0; t < k; ++t) crow[t] += av * brow[t];
+        }
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -130,16 +183,25 @@ Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
   size_t m = a.rows(), n = a.cols(), k = b.cols();
   assert(b.rows() == m);
   Tensor c({n, k});
-  for (size_t i = 0; i < m; ++i) {
-    const float* arow = a.data() + i * n;
-    const float* brow = b.data() + i * k;
-    for (size_t j = 0; j < n; ++j) {
-      float av = arow[j];
-      if (av == 0.0f) continue;
-      float* crow = c.data() + j * k;
-      for (size_t t = 0; t < k; ++t) crow[t] += av * brow[t];
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* cd = c.data();
+  // Output rows of C correspond to columns of A, so parallelizing over
+  // them keeps the accumulation over A's rows private to one thread.
+  ParallelFor(0, n, kRowGrain, [&](size_t c0, size_t c1) {
+    for (size_t ib = 0; ib < m; ib += kTileInner) {
+      size_t iend = std::min(m, ib + kTileInner);
+      for (size_t i = ib; i < iend; ++i) {
+        const float* arow = ad + i * n;
+        const float* brow = bd + i * k;
+        for (size_t j = c0; j < c1; ++j) {
+          float av = arow[j];
+          float* crow = cd + j * k;
+          for (size_t t = 0; t < k; ++t) crow[t] += av * brow[t];
+        }
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -147,16 +209,28 @@ Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
   size_t n = a.rows(), m = a.cols(), k = b.rows();
   assert(b.cols() == m);
   Tensor c({n, k});
-  for (size_t i = 0; i < n; ++i) {
-    const float* arow = a.data() + i * m;
-    float* crow = c.data() + i * k;
-    for (size_t t = 0; t < k; ++t) {
-      const float* brow = b.data() + t * m;
-      double dot = 0.0;
-      for (size_t j = 0; j < m; ++j) dot += static_cast<double>(arow[j]) * brow[j];
-      crow[t] = static_cast<float>(dot);
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* cd = c.data();
+  ParallelFor(0, n, kRowGrain, [&](size_t r0, size_t r1) {
+    // Tile over B's rows so a slab of B is reused across the whole row
+    // block of A before being evicted.
+    for (size_t tb = 0; tb < k; tb += kTileInner) {
+      size_t tend = std::min(k, tb + kTileInner);
+      for (size_t i = r0; i < r1; ++i) {
+        const float* arow = ad + i * m;
+        float* crow = cd + i * k;
+        for (size_t t = tb; t < tend; ++t) {
+          const float* brow = bd + t * m;
+          double dot = 0.0;
+          for (size_t j = 0; j < m; ++j) {
+            dot += static_cast<double>(arow[j]) * brow[j];
+          }
+          crow[t] = static_cast<float>(dot);
+        }
+      }
     }
-  }
+  });
   return c;
 }
 

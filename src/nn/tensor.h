@@ -70,8 +70,21 @@ class Tensor {
 /// In-place a += b * scale (shapes must match).
 void Axpy(const Tensor& b, float scale, Tensor* a);
 
+/// {rows.size(), src.cols()} tensor whose i-th row copies src row
+/// rows[i] (indices may repeat).
+Tensor GatherRows(const Tensor& src, const std::vector<size_t>& rows);
+
+/// Scatter-add: dst row rows[i] += src row i * scale. The batched-rows
+/// counterpart of Axpy used by embedding lookups and row-slice backward
+/// passes.
+void AxpyRows(const Tensor& src, const std::vector<size_t>& rows, float scale,
+              Tensor* dst);
+
 /// C = A * B for rank-2 A {n,m} and B {m,k}. Aborts on shape mismatch in
 /// debug; callers validate shapes at graph-construction time.
+/// The matmul family is cache-blocked and runs on the autodc::ThreadPool
+/// (row blocks in parallel); per-element accumulation order is fixed, so
+/// results do not depend on the thread count.
 Tensor MatMul(const Tensor& a, const Tensor& b);
 
 /// C = A^T * B for A {m,n}, B {m,k} -> {n,k}.

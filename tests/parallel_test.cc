@@ -1,0 +1,353 @@
+// Tests for the autodc::common parallel runtime and the kernels that
+// ride on it. Labeled `parallel` in CMake so they can be run alone under
+// ThreadSanitizer: `ctest -L parallel` in an ENABLE_TSAN build.
+#include "src/common/parallel.h"
+
+#include <atomic>
+#include <cmath>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/embedding/sgns.h"
+#include "src/nn/tensor.h"
+
+namespace autodc {
+namespace {
+
+using nn::AxpyRows;
+using nn::GatherRows;
+using nn::MatMul;
+using nn::MatMulTransA;
+using nn::MatMulTransB;
+using nn::Tensor;
+
+// ---------------------------------------------------------------------
+// ThreadPool
+
+TEST(ThreadPoolTest, SubmitsAndJoinsUnderContention) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_workers(), 3u);  // caller counts as the 4th thread
+  EXPECT_EQ(pool.concurrency(), 4u);
+
+  constexpr size_t kTasks = 512;
+  std::atomic<size_t> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  for (size_t i = 0; i < kTasks; ++i) {
+    pool.Submit([&]() {
+      if (done.fetch_add(1) + 1 == kTasks) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_one();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&]() { return done.load() == kTasks; });
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, SerialPoolHasNoWorkers) {
+  ThreadPool pool0(0);
+  ThreadPool pool1(1);
+  EXPECT_EQ(pool0.num_workers(), 0u);
+  EXPECT_EQ(pool1.num_workers(), 0u);
+  EXPECT_EQ(pool1.concurrency(), 1u);
+}
+
+TEST(ThreadPoolTest, DestructorJoinsQueuedTasks) {
+  std::atomic<size_t> done{0};
+  {
+    ThreadPool pool(3);
+    for (size_t i = 0; i < 64; ++i) {
+      pool.Submit([&]() { done.fetch_add(1); });
+    }
+    // ~ThreadPool drains the queue before joining.
+  }
+  EXPECT_EQ(done.load(), 64u);
+}
+
+// ---------------------------------------------------------------------
+// ParallelFor / ParallelReduce
+
+// Marks every index in [lo, hi) and asserts single coverage at the end.
+void CheckExactCoverage(size_t begin, size_t end, size_t grain) {
+  std::vector<std::atomic<int>> hits(end);
+  for (auto& h : hits) h.store(0);
+  ParallelFor(begin, end, grain, [&](size_t lo, size_t hi) {
+    ASSERT_LE(lo, hi);
+    for (size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < begin; ++i) EXPECT_EQ(hits[i].load(), 0) << i;
+  for (size_t i = begin; i < end; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForTest, EmptyRangeNeverInvokes) {
+  SetNumThreads(4);
+  bool called = false;
+  ParallelFor(5, 5, 1, [&](size_t, size_t) { called = true; });
+  ParallelFor(7, 3, 1, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, OddSizedRangesCoverExactlyOnce) {
+  SetNumThreads(4);
+  CheckExactCoverage(0, 1, 1);
+  CheckExactCoverage(0, 7, 2);
+  CheckExactCoverage(3, 1000, 1);
+  CheckExactCoverage(0, 997, 10);  // prime-sized range
+}
+
+TEST(ParallelForTest, GrainLargerThanRangeRunsSerially) {
+  SetNumThreads(4);
+  size_t calls = 0;  // safe: single chunk must run inline on this thread
+  ParallelFor(0, 10, 100, [&](size_t lo, size_t hi) {
+    ++calls;
+    EXPECT_EQ(lo, 0u);
+    EXPECT_EQ(hi, 10u);
+  });
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(ParallelForTest, ZeroGrainIsTreatedAsOne) {
+  SetNumThreads(2);
+  CheckExactCoverage(0, 16, 0);
+}
+
+TEST(ParallelForTest, NestedCallsDegradeToSerial) {
+  SetNumThreads(4);
+  std::atomic<size_t> total{0};
+  ParallelFor(0, 8, 1, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      // Inner ParallelFor from a pool worker must not deadlock.
+      ParallelFor(0, 100, 1,
+                  [&](size_t l2, size_t h2) { total.fetch_add(h2 - l2); });
+    }
+  });
+  EXPECT_EQ(total.load(), 800u);
+}
+
+TEST(ParallelReduceTest, SumsDeterministically) {
+  SetNumThreads(4);
+  auto sum_range = [](size_t lo, size_t hi) {
+    double s = 0.0;
+    for (size_t i = lo; i < hi; ++i) s += static_cast<double>(i);
+    return s;
+  };
+  EXPECT_EQ(ParallelReduce(0, 0, 1, sum_range), 0.0);
+  EXPECT_EQ(ParallelReduce(0, 1000, 1, sum_range), 999.0 * 1000.0 / 2.0);
+  EXPECT_EQ(ParallelReduce(0, 1000, 64, sum_range), 999.0 * 1000.0 / 2.0);
+  SetNumThreads(1);
+  EXPECT_EQ(ParallelReduce(0, 1000, 1, sum_range), 999.0 * 1000.0 / 2.0);
+}
+
+// ---------------------------------------------------------------------
+// Multi-threaded matmul vs serial reference
+
+// The pre-parallel naive kernels, kept as the correctness reference.
+Tensor NaiveMatMul(const Tensor& a, const Tensor& b) {
+  size_t n = a.rows(), m = a.cols(), k = b.cols();
+  Tensor c({n, k});
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      float av = a.at(i, j);
+      for (size_t t = 0; t < k; ++t) c.at(i, t) += av * b.at(j, t);
+    }
+  }
+  return c;
+}
+
+Tensor NaiveMatMulTransA(const Tensor& a, const Tensor& b) {
+  size_t m = a.rows(), n = a.cols(), k = b.cols();
+  Tensor c({n, k});
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      for (size_t t = 0; t < k; ++t) c.at(j, t) += a.at(i, j) * b.at(i, t);
+    }
+  }
+  return c;
+}
+
+Tensor NaiveMatMulTransB(const Tensor& a, const Tensor& b) {
+  size_t n = a.rows(), m = a.cols(), k = b.rows();
+  Tensor c({n, k});
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t t = 0; t < k; ++t) {
+      double dot = 0.0;
+      for (size_t j = 0; j < m; ++j) {
+        dot += static_cast<double>(a.at(i, j)) * b.at(t, j);
+      }
+      c.at(i, t) = static_cast<float>(dot);
+    }
+  }
+  return c;
+}
+
+void ExpectNear(const Tensor& got, const Tensor& want, float tol) {
+  ASSERT_EQ(got.shape(), want.shape());
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_NEAR(got[i], want[i], tol) << "at flat index " << i;
+  }
+}
+
+TEST(ParallelMatMulTest, MatchesNaiveReferenceAcrossThreadCounts) {
+  Rng rng(99);
+  // Odd, non-tile-aligned shapes on purpose.
+  Tensor a = Tensor::RandomUniform({37, 91}, 1.0f, &rng);
+  Tensor b = Tensor::RandomUniform({91, 53}, 1.0f, &rng);
+  Tensor at = Tensor::RandomUniform({91, 37}, 1.0f, &rng);
+  Tensor bt = Tensor::RandomUniform({53, 91}, 1.0f, &rng);
+
+  Tensor want = NaiveMatMul(a, b);
+  Tensor want_ta = NaiveMatMulTransA(at, b);
+  Tensor want_tb = NaiveMatMulTransB(a, bt);
+
+  for (size_t threads : {1u, 2u, 4u}) {
+    SetNumThreads(threads);
+    ExpectNear(MatMul(a, b), want, 1e-5f);
+    ExpectNear(MatMulTransA(at, b), want_ta, 1e-5f);
+    ExpectNear(MatMulTransB(a, bt), want_tb, 1e-5f);
+  }
+  SetNumThreads(1);
+}
+
+TEST(ParallelMatMulTest, ThreadCountDoesNotChangeBits) {
+  Rng rng(7);
+  Tensor a = Tensor::RandomUniform({65, 130}, 2.0f, &rng);
+  Tensor b = Tensor::RandomUniform({130, 65}, 2.0f, &rng);
+  SetNumThreads(1);
+  Tensor serial = MatMul(a, b);
+  SetNumThreads(4);
+  Tensor parallel = MatMul(a, b);
+  SetNumThreads(1);
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i], parallel[i]) << "at flat index " << i;
+  }
+}
+
+TEST(GatherScatterRowsTest, GatherThenScatterRoundTrips) {
+  Rng rng(3);
+  Tensor m = Tensor::RandomUniform({6, 4}, 1.0f, &rng);
+  std::vector<size_t> idx = {5, 0, 0, 3};
+  Tensor g = GatherRows(m, idx);
+  ASSERT_EQ(g.rows(), 4u);
+  ASSERT_EQ(g.cols(), 4u);
+  for (size_t i = 0; i < idx.size(); ++i) {
+    for (size_t j = 0; j < 4; ++j) EXPECT_EQ(g.at(i, j), m.at(idx[i], j));
+  }
+  Tensor acc = Tensor::Zeros({6, 4});
+  AxpyRows(g, idx, 2.0f, &acc);
+  // Row 0 was gathered twice, so it accumulates twice.
+  for (size_t j = 0; j < 4; ++j) {
+    EXPECT_FLOAT_EQ(acc.at(0, j), 4.0f * m.at(0, j));
+    EXPECT_FLOAT_EQ(acc.at(5, j), 2.0f * m.at(5, j));
+    EXPECT_FLOAT_EQ(acc.at(3, j), 2.0f * m.at(3, j));
+    EXPECT_FLOAT_EQ(acc.at(1, j), 0.0f);
+  }
+}
+
+// ---------------------------------------------------------------------
+// SGNS determinism guard
+
+// Golden values recorded from the seed (pre-parallel) implementation for
+// this exact configuration and corpus. `num_threads = 1` must reproduce
+// them bit-for-bit: the serial path consumes the RNG in the original
+// order and applies updates in the original order.
+TEST(SgnsParallelTest, SingleThreadIsBitIdenticalToSeedImplementation) {
+  embedding::SgnsConfig cfg;
+  cfg.dim = 8;
+  cfg.window = 2;
+  cfg.negatives = 3;
+  cfg.epochs = 3;
+  cfg.seed = 123;
+  cfg.num_threads = 1;
+  embedding::SgnsModel model(12, cfg);
+  std::vector<std::vector<size_t>> seqs = {
+      {0, 1, 2, 3, 4, 5}, {5, 4, 3, 2, 1, 0}, {6, 7, 8, 9, 10, 11},
+      {0, 2, 4, 6, 8, 10}, {1, 3, 5, 7, 9, 11},
+  };
+  std::vector<double> weights(12);
+  for (size_t i = 0; i < 12; ++i) weights[i] = 1.0 + 0.25 * i;
+  double loss = model.Train(seqs, weights);
+
+  EXPECT_EQ(loss, 2.6516020168428835);
+  const float kGolden0[8] = {-0x1.3a3f4ep-7f, 0x1.16089cp-8f, 0x1.abe988p-6f,
+                             0x1.08fa4cp-6f,  -0x1.57cb4p-6f, -0x1.37ea8cp-6f,
+                             0x1.bce95ep-6f,  -0x1.a5e818p-7f};
+  const float kGolden5[8] = {-0x1.f7430ap-7f, -0x1.c20f0cp-6f, 0x1.ba2f9ep-9f,
+                             -0x1.661f9ap-6f, -0x1.beb30ap-7f, -0x1.4d7084p-6f,
+                             0x1.0de2a2p-7f,  -0x1.75377p-6f};
+  const float kGolden11[8] = {-0x1.a4475ep-6f, -0x1.e43d72p-7f,
+                              0x1.220a74p-7f,  -0x1.87acd6p-6f,
+                              -0x1.6a260cp-8f, 0x1.6f58f2p-8f,
+                              0x1.915f9p-6f,   -0x1.bc9a9cp-9f};
+  for (size_t d = 0; d < 8; ++d) {
+    EXPECT_EQ(model.VectorOf(0)[d], kGolden0[d]) << "dim " << d;
+    EXPECT_EQ(model.VectorOf(5)[d], kGolden5[d]) << "dim " << d;
+    EXPECT_EQ(model.VectorOf(11)[d], kGolden11[d]) << "dim " << d;
+  }
+}
+
+// Hogwild training races on the embedding matrices by design (lock-free
+// float updates; SGD tolerates lost writes). TSan rightly flags those
+// races, so this smoke test is compiled out of TSan builds — the rest of
+// the parallel label (pool, ParallelFor, matmul) stays TSan-clean.
+#if !defined(__SANITIZE_THREAD__)
+TEST(SgnsParallelTest, HogwildTrainingLearnsAndStaysFinite) {
+  SetNumThreads(4);
+  embedding::SgnsConfig cfg;
+  cfg.dim = 16;
+  cfg.window = 2;
+  cfg.epochs = 6;
+  cfg.seed = 11;
+  cfg.num_threads = 4;
+  size_t vocab = 20;
+  // Two disjoint token communities: co-occurring tokens should end up
+  // closer than cross-community tokens even with racy updates.
+  std::vector<std::vector<size_t>> seqs;
+  Rng rng(5);
+  for (size_t s = 0; s < 40; ++s) {
+    std::vector<size_t> seq;
+    size_t base = (s % 2) * 10;
+    for (size_t i = 0; i < 12; ++i) {
+      seq.push_back(base + static_cast<size_t>(rng.UniformInt(0, 9)));
+    }
+    seqs.push_back(std::move(seq));
+  }
+  std::vector<double> weights(vocab, 1.0);
+  embedding::SgnsModel model(vocab, cfg);
+  double loss = model.Train(seqs, weights);
+  ASSERT_TRUE(std::isfinite(loss));
+  ASSERT_GT(loss, 0.0);
+
+  auto cosine = [&](size_t x, size_t y) {
+    const auto& a = model.VectorOf(x);
+    const auto& b = model.VectorOf(y);
+    double dot = 0.0, na = 0.0, nb = 0.0;
+    for (size_t d = 0; d < a.size(); ++d) {
+      dot += a[d] * b[d];
+      na += a[d] * a[d];
+      nb += b[d] * b[d];
+    }
+    return dot / std::sqrt(na * nb);
+  };
+  double within = 0.0, across = 0.0;
+  size_t nw = 0, na = 0;
+  for (size_t x = 0; x < 10; ++x) {
+    for (size_t y = x + 1; y < 10; ++y) {
+      within += cosine(x, y);
+      ++nw;
+      across += cosine(x, y + 10);
+      ++na;
+    }
+  }
+  EXPECT_GT(within / nw, across / na);
+  SetNumThreads(1);
+}
+#endif  // !defined(__SANITIZE_THREAD__)
+
+}  // namespace
+}  // namespace autodc
