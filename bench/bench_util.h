@@ -66,6 +66,36 @@ double TimeSeconds(Fn&& fn, size_t reps = 1) {
   return best;
 }
 
+/// JSON string escaping per RFC 8259: backslash, quote, and all control
+/// characters (U+0000..U+001F) must be escaped. Applied to keys and
+/// string values alike — a key with a tab or newline in it used to
+/// produce an unparseable RESULT_JSON line.
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
 /// Tiny JSON object builder so every bench can emit one machine-readable
 /// result line next to its human-readable table. Values are inserted in
 /// call order; nested objects go in via SetRaw(child.str()).
@@ -80,19 +110,13 @@ class JsonObject {
     return SetRaw(key, std::to_string(v));
   }
   JsonObject& Set(const std::string& key, const std::string& v) {
-    std::string quoted = "\"";
-    for (char c : v) {
-      if (c == '"' || c == '\\') quoted.push_back('\\');
-      quoted.push_back(c);
-    }
-    quoted.push_back('"');
-    return SetRaw(key, quoted);
+    return SetRaw(key, "\"" + JsonEscape(v) + "\"");
   }
   /// Inserts `raw` verbatim — for numbers formatted elsewhere or nested
-  /// JsonObject::str() payloads.
+  /// JsonObject::str() payloads. The key is still escaped.
   JsonObject& SetRaw(const std::string& key, const std::string& raw) {
     if (!body_.empty()) body_ += ",";
-    body_ += "\"" + key + "\":" + raw;
+    body_ += "\"" + JsonEscape(key) + "\":" + raw;
     return *this;
   }
   std::string str() const { return "{" + body_ + "}"; }

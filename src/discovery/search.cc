@@ -1,8 +1,10 @@
 #include "src/discovery/search.h"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_map>
 
+#include "src/nn/kernels.h"
 #include "src/text/similarity.h"
 #include "src/text/tokenizer.h"
 
@@ -37,6 +39,7 @@ TableSearchEngine::TableSearchEngine(const embedding::EmbeddingStore* words,
 void TableSearchEngine::Index(const std::vector<const data::Table*>& tables) {
   table_names_.clear();
   table_vectors_.clear();
+  table_norms_sq_.clear();
   table_tfidf_.clear();
   std::vector<std::vector<std::string>> docs;
   for (const data::Table* t : tables) {
@@ -47,6 +50,8 @@ void TableSearchEngine::Index(const std::vector<const data::Table*>& tables) {
   tfidf_.Fit(docs);
   for (const auto& doc : docs) {
     table_vectors_.push_back(words_->AverageOf(doc));
+    const std::vector<float>& v = table_vectors_.back();
+    table_norms_sq_.push_back(nn::kernels::SumSqF32(v.data(), v.size()));
     table_tfidf_.push_back(tfidf_.Transform(doc));
   }
 }
@@ -56,10 +61,19 @@ std::vector<SearchResult> TableSearchEngine::Search(
   std::vector<std::string> qtokens = text::Tokenize(query);
   std::vector<float> qvec = words_->AverageOf(qtokens);
   auto qtfidf = tfidf_.Transform(qtokens);
+  double qnorm_sq = nn::kernels::SumSqF32(qvec.data(), qvec.size());
 
   std::vector<SearchResult> out;
   for (size_t i = 0; i < table_names_.size(); ++i) {
-    double neural = text::CosineSimilarity(qvec, table_vectors_[i]);
+    // cosine(q, t) with |q|^2 hoisted out of the loop and |t|^2 cached
+    // at Index time; identical accumulation order to CosineSimilarity.
+    double neural = 0.0;
+    if (qnorm_sq > 0.0 && table_norms_sq_[i] > 0.0 &&
+        qvec.size() == table_vectors_[i].size()) {
+      double dot = nn::kernels::DotF32D(qvec.data(), table_vectors_[i].data(),
+                                        qvec.size());
+      neural = dot / (std::sqrt(qnorm_sq) * std::sqrt(table_norms_sq_[i]));
+    }
     double lexical = text::TfIdf::SparseCosine(qtfidf, table_tfidf_[i]);
     out.push_back(SearchResult{
         table_names_[i], config_.neural_weight * neural +

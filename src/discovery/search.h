@@ -53,6 +53,10 @@ class TableSearchEngine {
   SearchConfig config_;
   std::vector<std::string> table_names_;
   std::vector<std::vector<float>> table_vectors_;
+  /// Squared L2 norm of each table vector, computed once at Index time
+  /// so Search does one dot product per table instead of three
+  /// reductions (cosine = dot / (|q| * |t|)).
+  std::vector<double> table_norms_sq_;
   std::vector<std::unordered_map<size_t, double>> table_tfidf_;
   text::TfIdf tfidf_;
 };

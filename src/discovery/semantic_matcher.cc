@@ -2,10 +2,22 @@
 
 #include <algorithm>
 
+#include "src/nn/kernels.h"
 #include "src/text/similarity.h"
 #include "src/text/tokenizer.h"
 
 namespace autodc::discovery {
+
+namespace {
+
+// All vectors in one EmbeddingStore share a dimension; the size guard
+// mirrors text::CosineSimilarity's mismatch semantics all the same.
+double VecCosine(const std::vector<float>& a, const std::vector<float>& b) {
+  if (a.size() != b.size() || a.empty()) return 0.0;
+  return nn::kernels::CosineF32(a.data(), b.data(), a.size());
+}
+
+}  // namespace
 
 double CoherentGroupSimilarity(const embedding::EmbeddingStore& words,
                                const std::vector<std::string>& group_a,
@@ -18,7 +30,7 @@ double CoherentGroupSimilarity(const embedding::EmbeddingStore& words,
     for (const std::string& b : group_b) {
       const std::vector<float>* vb = words.Find(b);
       if (vb == nullptr) continue;
-      total += text::CosineSimilarity(*va, *vb);
+      total += VecCosine(*va, *vb);
       ++pairs;
     }
   }
@@ -42,7 +54,7 @@ double BestMatchGroupSimilarity(const embedding::EmbeddingStore& words,
     for (const std::string& b : large) {
       const std::vector<float>* vb = words.Find(b);
       if (vb == nullptr) continue;
-      best = std::max(best, text::CosineSimilarity(*va, *vb));
+      best = std::max(best, VecCosine(*va, *vb));
     }
     if (best > -1.0) {
       total += best;

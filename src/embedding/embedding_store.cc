@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "src/nn/kernels.h"
 #include "src/text/similarity.h"
 
 namespace autodc::embedding {
@@ -15,14 +16,17 @@ Status EmbeddingStore::Add(const std::string& key, std::vector<float> vector) {
         "vector for '" + key + "' has dim " + std::to_string(vector.size()) +
         ", store dim is " + std::to_string(dim_));
   }
+  double norm_sq = nn::kernels::SumSqF32(vector.data(), vector.size());
   auto it = index_.find(key);
   if (it != index_.end()) {
     vectors_[it->second] = std::move(vector);
+    norms_sq_[it->second] = norm_sq;
     return Status::OK();
   }
   index_.emplace(key, keys_.size());
   keys_.push_back(key);
   vectors_.push_back(std::move(vector));
+  norms_sq_.push_back(norm_sq);
   return Status::OK();
 }
 
@@ -36,12 +40,24 @@ std::vector<Neighbor> EmbeddingStore::NearestToVector(
     const std::vector<float>& query, size_t k,
     const std::vector<std::string>& exclude) const {
   std::unordered_set<std::string> skip(exclude.begin(), exclude.end());
+  // The query norm is fixed across candidates and candidate norms are
+  // cached, so each candidate costs one dot product. A dimension
+  // mismatch scores 0, matching CosineSimilarity on unequal sizes.
+  double query_norm_sq =
+      query.size() == dim_
+          ? nn::kernels::SumSqF32(query.data(), query.size())
+          : -1.0;
   std::vector<Neighbor> scored;
   scored.reserve(keys_.size());
   for (size_t i = 0; i < keys_.size(); ++i) {
     if (skip.count(keys_[i]) > 0) continue;
-    scored.push_back(
-        Neighbor{keys_[i], text::CosineSimilarity(query, vectors_[i])});
+    double sim = 0.0;
+    if (query_norm_sq > 0.0 && norms_sq_[i] > 0.0) {
+      double dot =
+          nn::kernels::DotF32D(query.data(), vectors_[i].data(), dim_);
+      sim = dot / (std::sqrt(query_norm_sq) * std::sqrt(norms_sq_[i]));
+    }
+    scored.push_back(Neighbor{keys_[i], sim});
   }
   size_t take = std::min(k, scored.size());
   std::partial_sort(scored.begin(), scored.begin() + take, scored.end(),
@@ -105,6 +121,10 @@ void EmbeddingStore::CenterAndNormalize() {
       }
     }
   }
+  for (size_t i = 0; i < vectors_.size(); ++i) {
+    norms_sq_[i] =
+        nn::kernels::SumSqF32(vectors_[i].data(), vectors_[i].size());
+  }
 }
 
 std::vector<float> EmbeddingStore::AverageOf(
@@ -114,7 +134,7 @@ std::vector<float> EmbeddingStore::AverageOf(
   for (const std::string& key : keys) {
     const std::vector<float>* v = Find(key);
     if (v == nullptr) continue;
-    for (size_t i = 0; i < dim_; ++i) avg[i] += (*v)[i];
+    nn::kernels::AxpyF32(1.0f, v->data(), avg.data(), dim_);
     ++found;
   }
   if (found > 0) {

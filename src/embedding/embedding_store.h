@@ -74,6 +74,10 @@ class EmbeddingStore {
   std::unordered_map<std::string, size_t> index_;
   std::vector<std::string> keys_;
   std::vector<std::vector<float>> vectors_;
+  // Cached squared L2 norm per vector, maintained by Add and
+  // CenterAndNormalize, so nearest-neighbour search does one dot per
+  // candidate instead of a full cosine (3 reductions).
+  std::vector<double> norms_sq_;
 };
 
 }  // namespace autodc::embedding

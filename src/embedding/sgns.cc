@@ -1,8 +1,10 @@
 #include "src/embedding/sgns.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/common/parallel.h"
+#include "src/nn/kernels.h"
 
 namespace autodc::embedding {
 
@@ -17,23 +19,21 @@ inline float FastSigmoid(float x) {
 }  // namespace
 
 SgnsModel::SgnsModel(size_t vocab_size, const SgnsConfig& config)
-    : config_(config), rng_(config.seed) {
-  in_.resize(vocab_size);
-  out_.resize(vocab_size);
+    : config_(config), rng_(config.seed), vocab_size_(vocab_size) {
+  in_.assign(vocab_size * config.dim, 0.0f);
+  out_.assign(vocab_size * config.dim, 0.0f);
   float scale = 0.5f / static_cast<float>(config.dim);
-  for (size_t i = 0; i < vocab_size; ++i) {
-    in_[i].resize(config.dim);
-    out_[i].assign(config.dim, 0.0f);
-    for (size_t d = 0; d < config.dim; ++d) {
-      in_[i][d] = static_cast<float>(rng_.Uniform(-scale, scale));
-    }
+  // Same RNG consumption order as the old per-token init loop.
+  for (size_t i = 0; i < in_.size(); ++i) {
+    in_[i] = static_cast<float>(rng_.Uniform(-scale, scale));
   }
 }
 
 double SgnsModel::UpdatePair(size_t center, size_t context, double lr,
-                             Rng* rng) {
-  std::vector<float>& v = in_[center];
-  std::vector<float> v_update(config_.dim, 0.0f);
+                             Rng* rng, float* scratch) {
+  size_t dim = config_.dim;
+  float* v = in_.data() + center * dim;
+  std::fill(scratch, scratch + dim, 0.0f);
   double loss = 0.0;
 
   // One positive target plus `negatives` sampled non-targets.
@@ -49,19 +49,19 @@ double SgnsModel::UpdatePair(size_t center, size_t context, double lr,
       if (target == context) continue;
       label = 0.0f;
     }
-    std::vector<float>& u = out_[target];
-    float dot = 0.0f;
-    for (size_t d = 0; d < config_.dim; ++d) dot += v[d] * u[d];
+    float* u = out_.data() + target * dim;
+    float dot = nn::kernels::DotF32(v, u, dim);
     float pred = FastSigmoid(dot);
     loss += label > 0.5f ? -std::log(std::max(pred, 1e-7f))
                          : -std::log(std::max(1.0f - pred, 1e-7f));
     float g = static_cast<float>(lr) * (label - pred);
-    for (size_t d = 0; d < config_.dim; ++d) {
-      v_update[d] += g * u[d];
-      u[d] += g * v[d];
-    }
+    // The old interleaved loop read u[d] for the center update before
+    // writing it, so accumulating all of scratch first, then updating
+    // u, is the identical computation split into two axpys.
+    nn::kernels::AxpyF32(g, u, scratch, dim);
+    nn::kernels::AxpyF32(g, v, u, dim);
   }
-  for (size_t d = 0; d < config_.dim; ++d) v[d] += v_update[d];
+  nn::kernels::AxpyF32(1.0f, scratch, v, dim);
   return loss;
 }
 
@@ -69,6 +69,7 @@ double SgnsModel::TrainRange(
     const std::vector<std::vector<size_t>>& sequences, size_t begin,
     size_t end, double lr, Rng* rng, size_t* pairs) {
   double loss = 0.0;
+  std::vector<float> scratch(config_.dim);
   for (size_t s = begin; s < end; ++s) {
     const std::vector<size_t>& seq = sequences[s];
     for (size_t i = 0; i < seq.size(); ++i) {
@@ -79,7 +80,7 @@ double SgnsModel::TrainRange(
       size_t hi = std::min(seq.size(), i + w + 1);
       for (size_t j = lo; j < hi; ++j) {
         if (j == i) continue;
-        loss += UpdatePair(seq[i], seq[j], lr, rng);
+        loss += UpdatePair(seq[i], seq[j], lr, rng, scratch.data());
         ++*pairs;
       }
     }
@@ -97,7 +98,7 @@ double SgnsModel::Train(const std::vector<std::vector<size_t>>& sequences,
   if (total <= 0.0 || negative_weights.empty()) {
     // Degenerate: uniform over vocab.
     for (size_t i = 0; i < kNegativeTableSize; ++i) {
-      negative_table_.push_back(i % std::max<size_t>(in_.size(), 1));
+      negative_table_.push_back(i % std::max<size_t>(vocab_size_, 1));
     }
   } else {
     size_t id = 0;
@@ -169,10 +170,11 @@ double SgnsModel::Train(const std::vector<std::vector<size_t>>& sequences,
     if (pairs > 0) epoch_loss /= static_cast<double>(pairs);
   }
   if (config_.average_in_out) {
+    // Stays a plain add-then-halve loop over the flat storage: the same
+    // per-element expression as before flattening, so the bit-exactness
+    // goldens hold.
     for (size_t i = 0; i < in_.size(); ++i) {
-      for (size_t d = 0; d < config_.dim; ++d) {
-        in_[i][d] = 0.5f * (in_[i][d] + out_[i][d]);
-      }
+      in_[i] = 0.5f * (in_[i] + out_[i]);
     }
   }
   return epoch_loss;

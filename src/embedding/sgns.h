@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/nn/tensor.h"
 
 namespace autodc::embedding {
 
@@ -47,18 +48,29 @@ class SgnsModel {
   double Train(const std::vector<std::vector<size_t>>& sequences,
                const std::vector<double>& negative_weights);
 
-  /// Input ("center") vector of a token.
-  const std::vector<float>& VectorOf(size_t id) const { return in_[id]; }
-  std::vector<std::vector<float>>& mutable_vectors() { return in_; }
+  /// Input ("center") vector of a token (copies; Row() is the zero-copy
+  /// accessor for hot loops).
+  std::vector<float> VectorOf(size_t id) const {
+    return std::vector<float>(in_.begin() + id * config_.dim,
+                              in_.begin() + (id + 1) * config_.dim);
+  }
+  /// Non-owning view of a token's center vector; valid until the model
+  /// is destroyed or trained again.
+  nn::RowView Row(size_t id) const {
+    return {in_.data() + id * config_.dim, config_.dim};
+  }
 
-  size_t vocab_size() const { return in_.size(); }
+  size_t vocab_size() const { return vocab_size_; }
   size_t dim() const { return config_.dim; }
   const SgnsConfig& config() const { return config_; }
 
  private:
   // One (center, context) update with negative sampling; returns loss.
-  // `rng` is the calling worker's generator (the shared rng_ when serial).
-  double UpdatePair(size_t center, size_t context, double lr, Rng* rng);
+  // `rng` is the calling worker's generator (the shared rng_ when
+  // serial); `scratch` is the caller's dim-sized center-update buffer
+  // (reused across pairs to avoid per-pair allocation).
+  double UpdatePair(size_t center, size_t context, double lr, Rng* rng,
+                    float* scratch);
 
   // Trains every pair of `sequences[begin, end)` at learning rate `lr`
   // using `rng`; accumulates the pair count into *pairs. Shared by the
@@ -69,8 +81,12 @@ class SgnsModel {
 
   SgnsConfig config_;
   Rng rng_;
-  std::vector<std::vector<float>> in_;   ///< center vectors (the output)
-  std::vector<std::vector<float>> out_;  ///< context vectors
+  size_t vocab_size_;
+  // Flat vocab x dim matrices (row-major). Flat storage keeps every
+  // vector contiguous with its neighbours for the SIMD kernels and
+  // drops the pointer-chasing of the old vector-of-vectors layout.
+  std::vector<float> in_;   ///< center vectors (the output)
+  std::vector<float> out_;  ///< context vectors
   std::vector<size_t> negative_table_;   ///< pre-built sampling table
 };
 

@@ -6,8 +6,11 @@
 #include "src/common/parallel.h"
 #include "src/embedding/composition.h"
 #include "src/er/features.h"
+#include "src/nn/kernels.h"
 #include "src/nn/optimizer.h"
 #include "src/nn/serialize.h"
+#include "src/nn/tensor_pool.h"
+#include "src/text/similarity.h"
 #include "src/text/tokenizer.h"
 
 namespace autodc::er {
@@ -150,15 +153,8 @@ nn::VarPtr DeepEr::PairLogit(const data::Row& a, const data::Row& b,
   // Cosine as a derived scalar feature (dot of normalized values,
   // computed outside the tape — a fixed similarity input, not a trained
   // path, mirroring DeepER's similarity-vector design).
-  double dot = 0.0, na = 0.0, nb = 0.0;
-  for (size_t i = 0; i < ea->value.size(); ++i) {
-    dot += static_cast<double>(ea->value[i]) * eb->value[i];
-    na += static_cast<double>(ea->value[i]) * ea->value[i];
-    nb += static_cast<double>(eb->value[i]) * eb->value[i];
-  }
-  float cos = (na > 0 && nb > 0)
-                  ? static_cast<float>(dot / (std::sqrt(na) * std::sqrt(nb)))
-                  : 0.0f;
+  float cos = static_cast<float>(nn::kernels::CosineF32(
+      ea->value.data(), eb->value.data(), ea->value.size()));
   nn::VarPtr cos_feat = nn::Constant(nn::Tensor({1}, {cos}));
   nn::VarPtr features = nn::Concat({diff, prod, cos_feat});
   nn::VarPtr h = nn::Relu(head1_->Forward(features, train));
@@ -192,19 +188,6 @@ std::vector<float> DeepEr::AttributeEmbedding(const data::Value& v) const {
   return embedding::EmbedTokens(*words_, tokens);
 }
 
-namespace {
-double VecCosine(const std::vector<float>& a, const std::vector<float>& b) {
-  double dot = 0.0, na = 0.0, nb = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    dot += static_cast<double>(a[i]) * b[i];
-    na += static_cast<double>(a[i]) * a[i];
-    nb += static_cast<double>(b[i]) * b[i];
-  }
-  if (na <= 0.0 || nb <= 0.0) return 0.0;
-  return dot / (std::sqrt(na) * std::sqrt(nb));
-}
-}  // namespace
-
 std::vector<float> DeepEr::SimilarityVector(const data::Row& a,
                                             const data::Row& b) const {
   std::vector<float> f;
@@ -231,16 +214,11 @@ std::vector<float> DeepEr::SimilarityVector(const data::Row& a,
     }
     std::vector<float> ea = AttributeEmbedding(a[c]);
     std::vector<float> eb = AttributeEmbedding(b[c]);
-    f.push_back(static_cast<float>(VecCosine(ea, eb)));
-    double d2 = 0.0;
-    for (size_t i = 0; i < ea.size(); ++i) {
-      double d = static_cast<double>(ea[i]) - eb[i];
-      d2 += d * d;
-    }
-    f.push_back(static_cast<float>(std::sqrt(d2)));
+    f.push_back(static_cast<float>(text::CosineSimilarity(ea, eb)));
+    f.push_back(static_cast<float>(text::EuclideanDistance(ea, eb)));
   }
   f.push_back(static_cast<float>(
-      VecCosine(EmbedTupleVector(a), EmbedTupleVector(b))));
+      text::CosineSimilarity(EmbedTupleVector(a), EmbedTupleVector(b))));
   return f;
 }
 
@@ -272,7 +250,10 @@ double DeepEr::Train(const data::Table& left, const data::Table& right,
     return avg_classifier_->Train(features, labels, config_.epochs);
   }
 
-  // LSTM path: per-pair SGD through the unrolled encoders.
+  // LSTM path: per-pair SGD through the unrolled encoders. The unrolled
+  // graphs allocate thousands of small tensors per pair; the workspace
+  // pool recycles them across pairs and epochs.
+  nn::WorkspaceScope workspace;
   nn::Adam opt(AllParameters(), config_.learning_rate);
   std::vector<size_t> order(pairs.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
@@ -305,6 +286,7 @@ double DeepEr::PredictProba(const data::Row& a, const data::Row& b) const {
     if (avg_classifier_ == nullptr) return 0.0;  // untrained
     return avg_classifier_->PredictProba(SimilarityVector(a, b));
   }
+  nn::WorkspaceScope workspace;
   nn::VarPtr logit = PairLogit(a, b, /*train=*/false);
   return 1.0 / (1.0 + std::exp(-static_cast<double>(logit->value[0])));
 }
@@ -319,6 +301,8 @@ std::vector<RowPair> DeepEr::Match(const data::Table& left,
   // thread count.
   std::vector<char> keep(candidates.size(), 0);
   ParallelFor(0, candidates.size(), 8, [&](size_t lo, size_t hi) {
+    // Workspace mode is per-thread, so each worker opens its own scope.
+    nn::WorkspaceScope workspace;
     for (size_t i = lo; i < hi; ++i) {
       const RowPair& c = candidates[i];
       keep[i] =

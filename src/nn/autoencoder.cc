@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/nn/tensor_pool.h"
+
 namespace autodc::nn {
 
 namespace {
@@ -101,6 +103,8 @@ VarPtr Autoencoder::BuildLoss(const Tensor& input, const Tensor& target,
 
 double Autoencoder::TrainEpoch(const Batch& data, size_t batch_size) {
   if (data.empty()) return 0.0;
+  // Per-batch graph temporaries come from the tensor pool.
+  WorkspaceScope workspace;
   std::vector<size_t> order(data.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
   rng_->Shuffle(&order);

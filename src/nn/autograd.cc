@@ -5,6 +5,8 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "src/nn/kernels.h"
+
 namespace autodc::nn {
 
 VarPtr Constant(Tensor value) {
@@ -108,15 +110,18 @@ VarPtr Sub(const VarPtr& a, const VarPtr& b) {
 VarPtr Mul(const VarPtr& a, const VarPtr& b) {
   assert(a->value.SameShape(b->value));
   Tensor out = a->value;
-  for (size_t i = 0; i < out.size(); ++i) out[i] *= b->value[i];
+  kernels::MulF32(b->value.data(), out.data(), out.size());
   auto result = MakeOp(std::move(out), {a, b}, nullptr);
   Variable* r = result.get();
   Variable* pa = a.get();
   Variable* pb = b.get();
   result->backward_fn = [r, pa, pb]() {
-    for (size_t i = 0; i < r->grad.size(); ++i) {
-      if (pa->requires_grad) pa->grad[i] += r->grad[i] * pb->value[i];
-      if (pb->requires_grad) pb->grad[i] += r->grad[i] * pa->value[i];
+    size_t n = r->grad.size();
+    if (pa->requires_grad) {
+      kernels::MulAddF32(r->grad.data(), pb->value.data(), pa->grad.data(), n);
+    }
+    if (pb->requires_grad) {
+      kernels::MulAddF32(r->grad.data(), pa->value.data(), pb->grad.data(), n);
     }
   };
   return result;
@@ -124,7 +129,7 @@ VarPtr Mul(const VarPtr& a, const VarPtr& b) {
 
 VarPtr Scale(const VarPtr& a, float s) {
   Tensor out = a->value;
-  for (size_t i = 0; i < out.size(); ++i) out[i] *= s;
+  kernels::ScaleF32(s, out.data(), out.size());
   auto result = MakeOp(std::move(out), {a}, nullptr);
   Variable* r = result.get();
   Variable* pa = a.get();
@@ -172,7 +177,7 @@ VarPtr AddBias(const VarPtr& a, const VarPtr& bias) {
   assert(bias->value.size() == k);
   Tensor out = a->value;
   for (size_t i = 0; i < n; ++i) {
-    for (size_t j = 0; j < k; ++j) out.at(i, j) += bias->value[j];
+    kernels::AxpyF32(1.0f, bias->value.data(), out.data() + i * k, k);
   }
   auto result = MakeOp(std::move(out), {a, bias}, nullptr);
   Variable* r = result.get();
@@ -182,9 +187,7 @@ VarPtr AddBias(const VarPtr& a, const VarPtr& bias) {
     if (pa->requires_grad) Axpy(r->grad, 1.0f, &pa->grad);
     if (pbias->requires_grad) {
       for (size_t i = 0; i < n; ++i) {
-        for (size_t j = 0; j < k; ++j) {
-          pbias->grad[j] += r->grad.at(i, j);
-        }
+        kernels::AxpyF32(1.0f, r->grad.data() + i * k, pbias->grad.data(), k);
       }
     }
   };
@@ -283,7 +286,8 @@ VarPtr Concat(const std::vector<VarPtr>& parts) {
   Tensor out({total});
   size_t off = 0;
   for (const VarPtr& p : parts) {
-    for (size_t i = 0; i < p->value.size(); ++i) out[off + i] = p->value[i];
+    std::copy(p->value.data(), p->value.data() + p->value.size(),
+              out.data() + off);
     off += p->value.size();
   }
   std::vector<VarPtr> parents = parts;
@@ -296,9 +300,8 @@ VarPtr Concat(const std::vector<VarPtr>& parts) {
     size_t off2 = 0;
     for (Variable* p : raw) {
       if (p->requires_grad) {
-        for (size_t i = 0; i < p->value.size(); ++i) {
-          p->grad[i] += r->grad[off2 + i];
-        }
+        kernels::AxpyF32(1.0f, r->grad.data() + off2, p->grad.data(),
+                         p->value.size());
       }
       off2 += p->value.size();
     }
@@ -324,19 +327,17 @@ VarPtr MeanRows(const VarPtr& a) {
   size_t d = a->value.cols();
   Tensor out({d});
   for (size_t i = 0; i < n; ++i) {
-    for (size_t j = 0; j < d; ++j) out[j] += a->value.at(i, j);
+    kernels::AxpyF32(1.0f, a->value.data() + i * d, out.data(), d);
   }
   float inv = n > 0 ? 1.0f / static_cast<float>(n) : 0.0f;
-  for (size_t j = 0; j < d; ++j) out[j] *= inv;
+  kernels::ScaleF32(inv, out.data(), d);
   auto result = MakeOp(std::move(out), {a}, nullptr);
   Variable* r = result.get();
   Variable* pa = a.get();
   result->backward_fn = [r, pa, n, d, inv]() {
     if (!pa->requires_grad) return;
     for (size_t i = 0; i < n; ++i) {
-      for (size_t j = 0; j < d; ++j) {
-        pa->grad.at(i, j) += r->grad[j] * inv;
-      }
+      kernels::AxpyF32(inv, r->grad.data(), pa->grad.data() + i * d, d);
     }
   };
   return result;
@@ -350,16 +351,15 @@ VarPtr DropoutOp(const VarPtr& a, float p, bool train, Rng* rng) {
     mask[i] = rng->Bernoulli(keep) ? 1.0f / keep : 0.0f;
   }
   Tensor out = a->value;
-  for (size_t i = 0; i < out.size(); ++i) out[i] *= mask[i];
+  kernels::MulF32(mask.data(), out.data(), out.size());
   auto result = MakeOp(std::move(out), {a}, nullptr);
   Variable* r = result.get();
   Variable* pa = a.get();
   auto mask_ptr = std::make_shared<Tensor>(std::move(mask));
   result->backward_fn = [r, pa, mask_ptr]() {
     if (!pa->requires_grad) return;
-    for (size_t i = 0; i < r->grad.size(); ++i) {
-      pa->grad[i] += r->grad[i] * (*mask_ptr)[i];
-    }
+    kernels::MulAddF32(r->grad.data(), mask_ptr->data(), pa->grad.data(),
+                       r->grad.size());
   };
   return result;
 }

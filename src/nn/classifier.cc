@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/nn/tensor_pool.h"
+
 namespace autodc::nn {
 
 namespace {
@@ -39,6 +41,9 @@ double BinaryClassifier::RunEpoch(const Batch& features,
                                   const std::vector<float>& targets,
                                   size_t batch_size) {
   if (features.empty()) return 0.0;
+  // Forward/backward temporaries of every batch in this epoch draw from
+  // the tensor pool instead of the heap.
+  WorkspaceScope workspace;
   std::vector<size_t> order(features.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
   rng_->Shuffle(&order);
@@ -131,6 +136,7 @@ std::vector<double> BinaryClassifier::PredictProbaBatch(const Batch& xs) const {
   std::vector<double> out;
   out.reserve(xs.size());
   if (xs.empty()) return out;
+  WorkspaceScope workspace;
   std::vector<size_t> idx(xs.size());
   for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
   Tensor t = RowsToTensor(xs, idx);
@@ -164,6 +170,7 @@ double MulticlassClassifier::TrainEpoch(const Batch& features,
                                         const std::vector<size_t>& labels,
                                         size_t batch_size) {
   if (features.empty()) return 0.0;
+  WorkspaceScope workspace;
   std::vector<size_t> order(features.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
   rng_->Shuffle(&order);

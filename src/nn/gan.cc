@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/nn/tensor_pool.h"
+
 namespace autodc::nn {
 
 Gan::Gan(const GanConfig& config, Rng* rng) : config_(config), rng_(rng) {
@@ -37,6 +39,8 @@ Gan::StepStats Gan::TrainStep(const Batch& real_batch) {
   StepStats stats;
   size_t n = real_batch.size();
   if (n == 0) return stats;
+  // Both G and D graphs of this step allocate from the tensor pool.
+  WorkspaceScope workspace;
 
   // ---- Discriminator step: real rows labelled 1, fake rows labelled 0.
   Tensor real({n, config_.data_dim});

@@ -1,0 +1,316 @@
+#include "src/nn/kernels.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+
+// Portable scalar kernel table + runtime dispatch. The scalar loops here
+// are operation-for-operation identical to the pre-kernel (seed) code
+// they replaced, so forcing the scalar table reproduces seed results
+// bit-for-bit. This translation unit is compiled WITHOUT -mavx2, so the
+// compiler cannot auto-vectorize these loops into instructions that
+// would fault on a non-AVX2 CPU.
+
+namespace autodc::nn::kernels {
+
+namespace {
+
+// ---- Scalar level-1 ---------------------------------------------------
+
+float ScalarDotF32(const float* a, const float* b, size_t n) {
+  float s = 0.0f;
+  for (size_t i = 0; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+double ScalarDotF32D(const float* a, const float* b, size_t n) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) s += static_cast<double>(a[i]) * b[i];
+  return s;
+}
+
+double ScalarSumF32(const float* x, size_t n) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) s += x[i];
+  return s;
+}
+
+double ScalarSumSqF32(const float* x, size_t n) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) s += static_cast<double>(x[i]) * x[i];
+  return s;
+}
+
+double ScalarSqDistF32(const float* a, const float* b, size_t n) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double d = static_cast<double>(a[i]) - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+// Matches the seed CosineImpl<T>: one pass accumulating dot/na/nb in
+// doubles, interleaved in ascending index order.
+template <typename T>
+double ScalarCosine(const T* a, const T* b, size_t n) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+double ScalarCosineF32(const float* a, const float* b, size_t n) {
+  return ScalarCosine(a, b, n);
+}
+
+double ScalarCosineF64(const double* a, const double* b, size_t n) {
+  return ScalarCosine(a, b, n);
+}
+
+void ScalarAxpyF32(float alpha, const float* x, float* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += x[i] * alpha;
+}
+
+void ScalarScaleAddF32(float alpha, const float* x, float beta, float* y,
+                       size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] = alpha * x[i] + beta * y[i];
+}
+
+void ScalarScaleF32(float s, float* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] *= s;
+}
+
+void ScalarMulF32(const float* x, float* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] *= x[i];
+}
+
+void ScalarMulAddF32(const float* a, const float* b, float* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += a[i] * b[i];
+}
+
+void ScalarClampF32(float lo, float hi, float* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] = std::clamp(y[i], lo, hi);
+}
+
+// Replicates the seed Adam::ApplyStep element loop exactly.
+void ScalarAdamUpdateF32(const float* g, float* m, float* v, float* p,
+                         size_t n, float lr, float beta1, float beta2,
+                         float eps, float bc1, float bc2) {
+  for (size_t i = 0; i < n; ++i) {
+    m[i] = beta1 * m[i] + (1.0f - beta1) * g[i];
+    v[i] = beta2 * v[i] + (1.0f - beta2) * g[i] * g[i];
+    float mhat = m[i] / bc1;
+    float vhat = v[i] / bc2;
+    p[i] -= lr * mhat / (std::sqrt(vhat) + eps);
+  }
+}
+
+// ---- Scalar level-3 ---------------------------------------------------
+
+// Tile edge shared with the seed Tensor matmuls: the inner dimension is
+// walked in 64-wide slabs so the touched B rows stay cache-resident.
+constexpr size_t kTileInner = 64;
+
+void ScalarGemm8x8F32(const float* a, size_t lda, const float* b, size_t ldb,
+                      float* c, size_t ldc, size_t kc) {
+  for (size_t j = 0; j < kc; ++j) {
+    const float* brow = b + j * ldb;
+    for (size_t i = 0; i < 8; ++i) {
+      float av = a[i * lda + j];
+      float* crow = c + i * ldc;
+      for (size_t t = 0; t < 8; ++t) crow[t] += av * brow[t];
+    }
+  }
+}
+
+// Identical to the seed MatMul row-block body (tiled axpy-rows).
+void ScalarGemmPanelF32(const float* a, const float* b, float* c, size_t r0,
+                        size_t r1, size_t m, size_t k) {
+  for (size_t jb = 0; jb < m; jb += kTileInner) {
+    size_t jend = std::min(m, jb + kTileInner);
+    for (size_t i = r0; i < r1; ++i) {
+      const float* arow = a + i * m;
+      float* crow = c + i * k;
+      for (size_t j = jb; j < jend; ++j) {
+        float av = arow[j];
+        const float* brow = b + j * k;
+        for (size_t t = 0; t < k; ++t) crow[t] += av * brow[t];
+      }
+    }
+  }
+}
+
+// Identical to the seed MatMulTransA column-block body.
+void ScalarGemmTransAPanelF32(const float* a, const float* b, float* c,
+                              size_t c0, size_t c1, size_t m, size_t n,
+                              size_t k) {
+  for (size_t ib = 0; ib < m; ib += kTileInner) {
+    size_t iend = std::min(m, ib + kTileInner);
+    for (size_t i = ib; i < iend; ++i) {
+      const float* arow = a + i * n;
+      const float* brow = b + i * k;
+      for (size_t j = c0; j < c1; ++j) {
+        float av = arow[j];
+        float* crow = c + j * k;
+        for (size_t t = 0; t < k; ++t) crow[t] += av * brow[t];
+      }
+    }
+  }
+}
+
+// Identical to the seed MatMulTransB row-block body (double-accum dots).
+void ScalarGemmTransBPanelF32(const float* a, const float* b, float* c,
+                              size_t r0, size_t r1, size_t m, size_t k) {
+  for (size_t tb = 0; tb < k; tb += kTileInner) {
+    size_t tend = std::min(k, tb + kTileInner);
+    for (size_t i = r0; i < r1; ++i) {
+      const float* arow = a + i * m;
+      float* crow = c + i * k;
+      for (size_t t = tb; t < tend; ++t) {
+        const float* brow = b + t * m;
+        double dot = 0.0;
+        for (size_t j = 0; j < m; ++j) {
+          dot += static_cast<double>(arow[j]) * brow[j];
+        }
+        crow[t] = static_cast<float>(dot);
+      }
+    }
+  }
+}
+
+constexpr KernelOps kScalarOps = {
+    "scalar",
+    ScalarDotF32,
+    ScalarDotF32D,
+    ScalarSumF32,
+    ScalarSumSqF32,
+    ScalarSqDistF32,
+    ScalarCosineF32,
+    ScalarCosineF64,
+    ScalarAxpyF32,
+    ScalarScaleAddF32,
+    ScalarScaleF32,
+    ScalarMulF32,
+    ScalarMulAddF32,
+    ScalarClampF32,
+    ScalarAdamUpdateF32,
+    ScalarGemm8x8F32,
+    ScalarGemmPanelF32,
+    ScalarGemmTransAPanelF32,
+    ScalarGemmTransBPanelF32,
+};
+
+// ---- Dispatch ---------------------------------------------------------
+
+// The SIMD table is usable when compiled in AND the CPU reports both
+// AVX2 and FMA (the kernels use fused multiply-adds).
+const KernelOps* UsableSimdOps() {
+  static const KernelOps* ops = [] {
+    const KernelOps* avx2 = Avx2Ops();
+    if (avx2 == nullptr) return static_cast<const KernelOps*>(nullptr);
+    if (!__builtin_cpu_supports("avx2") || !__builtin_cpu_supports("fma")) {
+      return static_cast<const KernelOps*>(nullptr);
+    }
+    return avx2;
+  }();
+  return ops;
+}
+
+bool EnvForcesScalar() {
+  static const bool forced = [] {
+    const char* v = std::getenv("AUTODC_FORCE_SCALAR");
+    return v != nullptr && v[0] != '\0' &&
+           !(v[0] == '0' && v[1] == '\0');
+  }();
+  return forced;
+}
+
+std::atomic<const KernelOps*>& ActiveOpsSlot() {
+  static std::atomic<const KernelOps*> slot{nullptr};
+  return slot;
+}
+
+const KernelOps* Active() {
+  const KernelOps* ops = ActiveOpsSlot().load(std::memory_order_acquire);
+  if (ops != nullptr) return ops;
+  const KernelOps* resolved =
+      EnvForcesScalar() ? &kScalarOps
+                        : (UsableSimdOps() ? UsableSimdOps() : &kScalarOps);
+  ActiveOpsSlot().store(resolved, std::memory_order_release);
+  return resolved;
+}
+
+}  // namespace
+
+bool SimdCompiledIn() { return Avx2Ops() != nullptr; }
+
+bool SimdActive() { return Active() != &kScalarOps; }
+
+void SetForceScalar(bool force) {
+  const KernelOps* ops =
+      force ? &kScalarOps : (UsableSimdOps() ? UsableSimdOps() : &kScalarOps);
+  ActiveOpsSlot().store(ops, std::memory_order_release);
+}
+
+const char* ActiveIsaName() { return Active()->name; }
+
+float DotF32(const float* a, const float* b, size_t n) {
+  return Active()->dot_f32(a, b, n);
+}
+double DotF32D(const float* a, const float* b, size_t n) {
+  return Active()->dot_f32d(a, b, n);
+}
+double SumF32(const float* x, size_t n) { return Active()->sum_f32(x, n); }
+double SumSqF32(const float* x, size_t n) { return Active()->sumsq_f32(x, n); }
+double SqDistF32(const float* a, const float* b, size_t n) {
+  return Active()->sqdist_f32(a, b, n);
+}
+double CosineF32(const float* a, const float* b, size_t n) {
+  return Active()->cosine_f32(a, b, n);
+}
+double CosineF64(const double* a, const double* b, size_t n) {
+  return Active()->cosine_f64(a, b, n);
+}
+void AxpyF32(float alpha, const float* x, float* y, size_t n) {
+  Active()->axpy_f32(alpha, x, y, n);
+}
+void ScaleAddF32(float alpha, const float* x, float beta, float* y, size_t n) {
+  Active()->scale_add_f32(alpha, x, beta, y, n);
+}
+void ScaleF32(float s, float* y, size_t n) { Active()->scale_f32(s, y, n); }
+void MulF32(const float* x, float* y, size_t n) { Active()->mul_f32(x, y, n); }
+void MulAddF32(const float* a, const float* b, float* y, size_t n) {
+  Active()->mul_add_f32(a, b, y, n);
+}
+void ClampF32(float lo, float hi, float* y, size_t n) {
+  Active()->clamp_f32(lo, hi, y, n);
+}
+void AdamUpdateF32(const float* g, float* m, float* v, float* p, size_t n,
+                   float lr, float beta1, float beta2, float eps, float bc1,
+                   float bc2) {
+  Active()->adam_update_f32(g, m, v, p, n, lr, beta1, beta2, eps, bc1, bc2);
+}
+void Gemm8x8F32(const float* a, size_t lda, const float* b, size_t ldb,
+                float* c, size_t ldc, size_t kc) {
+  Active()->gemm8x8_f32(a, lda, b, ldb, c, ldc, kc);
+}
+void GemmPanelF32(const float* a, const float* b, float* c, size_t r0,
+                  size_t r1, size_t m, size_t k) {
+  Active()->gemm_panel_f32(a, b, c, r0, r1, m, k);
+}
+void GemmTransAPanelF32(const float* a, const float* b, float* c, size_t c0,
+                        size_t c1, size_t m, size_t n, size_t k) {
+  Active()->gemm_ta_panel_f32(a, b, c, c0, c1, m, n, k);
+}
+void GemmTransBPanelF32(const float* a, const float* b, float* c, size_t r0,
+                        size_t r1, size_t m, size_t k) {
+  Active()->gemm_tb_panel_f32(a, b, c, r0, r1, m, k);
+}
+
+}  // namespace autodc::nn::kernels

@@ -1,0 +1,165 @@
+#ifndef AUTODC_NN_KERNELS_H_
+#define AUTODC_NN_KERNELS_H_
+
+#include <cstddef>
+
+// SIMD micro-kernel layer: the single place where per-core throughput is
+// earned. Every dense inner loop in the library (tensor ops, autograd,
+// SGNS gradient steps, cosine nearest-neighbour search, DeepER pair
+// scoring) routes through these primitives.
+//
+// Dispatch rules (see DESIGN.md "Kernel layer"):
+//   * Two implementations exist per kernel: a portable scalar path
+//     (kernels.cc) and an AVX2+FMA path (kernels_avx2.cc, compiled with
+//     -mavx2 -mfma when the toolchain supports it; selected at compile
+//     time via __AVX2__).
+//   * At runtime the AVX2 table is active iff it was compiled in, the
+//     CPU reports AVX2+FMA support, and scalar mode is not forced.
+//     Scalar mode is forced by the AUTODC_FORCE_SCALAR environment
+//     variable (any value other than "0") or programmatically via
+//     SetForceScalar() — the A/B switch used by bench_kernels and the
+//     agreement tests.
+//   * Tolerance policy: the scalar path is operation-for-operation
+//     identical to the pre-kernel (seed) loops, so determinism-sensitive
+//     golden tests pin it via SetForceScalar(true). The SIMD path uses
+//     FMA and lane-parallel accumulators, so its results differ from
+//     scalar in the last bits; the two paths agree within 1e-5
+//     (relative, with an absolute floor of 1e-5 for near-zero values).
+//     Each path on its own is deterministic: results depend only on the
+//     inputs, never on thread count or scheduling.
+namespace autodc::nn::kernels {
+
+// ---- Dispatch control -------------------------------------------------
+
+/// True when the AVX2+FMA kernel table was compiled into this binary.
+bool SimdCompiledIn();
+
+/// True when the AVX2+FMA table is currently active (compiled in, CPU
+/// supports it, and scalar mode is not forced).
+bool SimdActive();
+
+/// Forces (or releases) the scalar table. Overrides the
+/// AUTODC_FORCE_SCALAR environment default; releasing restores SIMD when
+/// available. Thread-safe; intended for benches and agreement tests.
+void SetForceScalar(bool force);
+
+/// "avx2+fma" or "scalar".
+const char* ActiveIsaName();
+
+// ---- Level-1 kernels --------------------------------------------------
+// All kernels accept n == 0 (no-op / zero result). Pointers may not
+// alias unless noted.
+
+/// Dot product, float accumulation (matches the seed SGNS inner loop in
+/// scalar mode).
+float DotF32(const float* a, const float* b, size_t n);
+
+/// Dot product, double accumulation (matches the seed MatMulTransB /
+/// cosine loops in scalar mode).
+double DotF32D(const float* a, const float* b, size_t n);
+
+/// Sum of elements, double accumulation.
+double SumF32(const float* x, size_t n);
+
+/// Sum of squares, double accumulation.
+double SumSqF32(const float* x, size_t n);
+
+/// Squared Euclidean distance, double accumulation.
+double SqDistF32(const float* a, const float* b, size_t n);
+
+/// Cosine similarity; 0.0 when either vector has zero (or negative —
+/// impossible) squared norm or n == 0. One fused pass over both inputs.
+double CosineF32(const float* a, const float* b, size_t n);
+double CosineF64(const double* a, const double* b, size_t n);
+
+/// y += alpha * x
+void AxpyF32(float alpha, const float* x, float* y, size_t n);
+
+/// y = alpha * x + beta * y
+void ScaleAddF32(float alpha, const float* x, float beta, float* y, size_t n);
+
+/// y *= s
+void ScaleF32(float s, float* y, size_t n);
+
+/// y *= x  (elementwise)
+void MulF32(const float* x, float* y, size_t n);
+
+/// y += a * b  (elementwise fused multiply-accumulate)
+void MulAddF32(const float* a, const float* b, float* y, size_t n);
+
+/// y = clamp(y, lo, hi)
+void ClampF32(float lo, float hi, float* y, size_t n);
+
+/// One fused Adam step over a parameter slab:
+///   m = beta1*m + (1-beta1)*g
+///   v = beta2*v + (1-beta2)*g^2
+///   p -= lr * (m/bc1) / (sqrt(v/bc2) + eps)
+/// bc1/bc2 are the bias-correction denominators for the current step.
+void AdamUpdateF32(const float* g, float* m, float* v, float* p, size_t n,
+                   float lr, float beta1, float beta2, float eps, float bc1,
+                   float bc2);
+
+// ---- Level-3 kernels --------------------------------------------------
+
+/// The 8x8 FMA micro-kernel: C[8x8] += A[8 x kc] * B[kc x 8] with row
+/// strides lda/ldb/ldc. The AVX2 path holds the 8x8 C block in eight ymm
+/// accumulators and issues eight FMAs per loaded B row. Exposed for
+/// tests/benches; the Gemm*Panel kernels below use it internally.
+void Gemm8x8F32(const float* a, size_t lda, const float* b, size_t ldb,
+                float* c, size_t ldc, size_t kc);
+
+/// C rows [r0,r1) += A[r0:r1, 0:m] * B[m x k]  (A row stride m, B/C row
+/// stride k). Per output element the accumulation over the inner
+/// dimension runs in ascending order on both paths, so results are
+/// independent of the caller's row chunking (and hence of thread count).
+void GemmPanelF32(const float* a, const float* b, float* c, size_t r0,
+                  size_t r1, size_t m, size_t k);
+
+/// C rows [c0,c1) += A^T[c0:c1, 0:m] * B[m x k] for A {m,n} (row stride
+/// n), B {m,k}, C {n,k}.
+void GemmTransAPanelF32(const float* a, const float* b, float* c, size_t c0,
+                        size_t c1, size_t m, size_t n, size_t k);
+
+/// C rows [r0,r1) = A[r0:r1, 0:m] * B^T for A {n,m}, B {k,m}, C {n,k}.
+/// Assigns (does not accumulate into) the output rows.
+void GemmTransBPanelF32(const float* a, const float* b, float* c, size_t r0,
+                        size_t r1, size_t m, size_t k);
+
+// ---- Implementation plumbing -----------------------------------------
+
+/// Function table one ISA implements. Internal; exposed so the scalar
+/// and AVX2 translation units can share the definition.
+struct KernelOps {
+  const char* name;
+  float (*dot_f32)(const float*, const float*, size_t);
+  double (*dot_f32d)(const float*, const float*, size_t);
+  double (*sum_f32)(const float*, size_t);
+  double (*sumsq_f32)(const float*, size_t);
+  double (*sqdist_f32)(const float*, const float*, size_t);
+  double (*cosine_f32)(const float*, const float*, size_t);
+  double (*cosine_f64)(const double*, const double*, size_t);
+  void (*axpy_f32)(float, const float*, float*, size_t);
+  void (*scale_add_f32)(float, const float*, float, float*, size_t);
+  void (*scale_f32)(float, float*, size_t);
+  void (*mul_f32)(const float*, float*, size_t);
+  void (*mul_add_f32)(const float*, const float*, float*, size_t);
+  void (*clamp_f32)(float, float, float*, size_t);
+  void (*adam_update_f32)(const float*, float*, float*, float*, size_t, float,
+                          float, float, float, float, float);
+  void (*gemm8x8_f32)(const float*, size_t, const float*, size_t, float*,
+                      size_t, size_t);
+  void (*gemm_panel_f32)(const float*, const float*, float*, size_t, size_t,
+                         size_t, size_t);
+  void (*gemm_ta_panel_f32)(const float*, const float*, float*, size_t,
+                            size_t, size_t, size_t, size_t);
+  void (*gemm_tb_panel_f32)(const float*, const float*, float*, size_t,
+                            size_t, size_t, size_t);
+};
+
+/// AVX2+FMA table, or nullptr when not compiled in. Defined in
+/// kernels_avx2.cc.
+const KernelOps* Avx2Ops();
+
+}  // namespace autodc::nn::kernels
+
+#endif  // AUTODC_NN_KERNELS_H_

@@ -1,0 +1,454 @@
+#include "src/nn/kernels.h"
+
+// AVX2+FMA kernel table. This file is compiled with -mavx2 -mfma when
+// the toolchain supports them (see src/CMakeLists.txt); everything is
+// guarded by __AVX2__ so a build without those flags still links and
+// reports the table as absent. The dispatcher only installs this table
+// after __builtin_cpu_supports confirms the CPU really has AVX2+FMA, so
+// no code here runs on hardware that cannot execute it.
+//
+// Determinism note: every kernel fixes its lane layout, accumulator
+// count, and horizontal-reduction order, so results depend only on the
+// inputs. The Gemm panel kernels additionally guarantee that each
+// OUTPUT ROW sees the same per-element operation sequence
+// (c = fma(a_ij, b_jt, c), j ascending) whether it was computed by the
+// 8x8 micro-kernel, the single-row path, or the scalar column
+// remainder — which is what makes matmul results independent of how
+// ParallelFor chunks rows across threads.
+
+#ifdef __AVX2__
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace autodc::nn::kernels {
+namespace {
+
+inline float Hsum256(__m256 v) {
+  __m128 lo = _mm256_castps256_ps128(v);
+  __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 s = _mm_add_ps(lo, hi);
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+  return _mm_cvtss_f32(s);
+}
+
+inline double Hsum256d(__m256d v) {
+  __m128d lo = _mm256_castpd256_pd128(v);
+  __m128d hi = _mm256_extractf128_pd(v, 1);
+  __m128d s = _mm_add_pd(lo, hi);
+  s = _mm_add_sd(s, _mm_unpackhi_pd(s, s));
+  return _mm_cvtsd_f64(s);
+}
+
+// Widens the low/high halves of 8 packed floats to 2x4 doubles — the
+// building block of the double-accumulation reductions.
+inline void CvtPd(__m256 v, __m256d* lo, __m256d* hi) {
+  *lo = _mm256_cvtps_pd(_mm256_castps256_ps128(v));
+  *hi = _mm256_cvtps_pd(_mm256_extractf128_ps(v, 1));
+}
+
+// ---- Level-1 ----------------------------------------------------------
+
+float Avx2DotF32(const float* a, const float* b, size_t n) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  __m256 acc2 = _mm256_setzero_ps();
+  __m256 acc3 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i),
+                           _mm256_loadu_ps(b + i), acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8),
+                           _mm256_loadu_ps(b + i + 8), acc1);
+    acc2 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 16),
+                           _mm256_loadu_ps(b + i + 16), acc2);
+    acc3 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 24),
+                           _mm256_loadu_ps(b + i + 24), acc3);
+  }
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i),
+                           _mm256_loadu_ps(b + i), acc0);
+  }
+  float s = Hsum256(_mm256_add_ps(_mm256_add_ps(acc0, acc1),
+                                  _mm256_add_ps(acc2, acc3)));
+  for (; i < n; ++i) s = std::fmaf(a[i], b[i], s);
+  return s;
+}
+
+double Avx2DotF32D(const float* a, const float* b, size_t n) {
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256d alo, ahi, blo, bhi;
+    CvtPd(_mm256_loadu_ps(a + i), &alo, &ahi);
+    CvtPd(_mm256_loadu_ps(b + i), &blo, &bhi);
+    acc_lo = _mm256_fmadd_pd(alo, blo, acc_lo);
+    acc_hi = _mm256_fmadd_pd(ahi, bhi, acc_hi);
+  }
+  double s = Hsum256d(_mm256_add_pd(acc_lo, acc_hi));
+  for (; i < n; ++i) s += static_cast<double>(a[i]) * b[i];
+  return s;
+}
+
+double Avx2SumF32(const float* x, size_t n) {
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256d lo, hi;
+    CvtPd(_mm256_loadu_ps(x + i), &lo, &hi);
+    acc_lo = _mm256_add_pd(acc_lo, lo);
+    acc_hi = _mm256_add_pd(acc_hi, hi);
+  }
+  double s = Hsum256d(_mm256_add_pd(acc_lo, acc_hi));
+  for (; i < n; ++i) s += x[i];
+  return s;
+}
+
+double Avx2SumSqF32(const float* x, size_t n) {
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256d lo, hi;
+    CvtPd(_mm256_loadu_ps(x + i), &lo, &hi);
+    acc_lo = _mm256_fmadd_pd(lo, lo, acc_lo);
+    acc_hi = _mm256_fmadd_pd(hi, hi, acc_hi);
+  }
+  double s = Hsum256d(_mm256_add_pd(acc_lo, acc_hi));
+  for (; i < n; ++i) s += static_cast<double>(x[i]) * x[i];
+  return s;
+}
+
+double Avx2SqDistF32(const float* a, const float* b, size_t n) {
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256d alo, ahi, blo, bhi;
+    CvtPd(_mm256_loadu_ps(a + i), &alo, &ahi);
+    CvtPd(_mm256_loadu_ps(b + i), &blo, &bhi);
+    __m256d dlo = _mm256_sub_pd(alo, blo);
+    __m256d dhi = _mm256_sub_pd(ahi, bhi);
+    acc_lo = _mm256_fmadd_pd(dlo, dlo, acc_lo);
+    acc_hi = _mm256_fmadd_pd(dhi, dhi, acc_hi);
+  }
+  double s = Hsum256d(_mm256_add_pd(acc_lo, acc_hi));
+  for (; i < n; ++i) {
+    double d = static_cast<double>(a[i]) - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+// Fused single pass over both vectors: dot, |a|^2, |b|^2 in double
+// lanes. Double accumulation keeps the SIMD path within a few ULP of the
+// scalar one, which the exact-value cosine tests (orthogonal -> 0,
+// identical -> 1) rely on.
+double Avx2CosineF32(const float* a, const float* b, size_t n) {
+  __m256d dot_lo = _mm256_setzero_pd(), dot_hi = _mm256_setzero_pd();
+  __m256d na_lo = _mm256_setzero_pd(), na_hi = _mm256_setzero_pd();
+  __m256d nb_lo = _mm256_setzero_pd(), nb_hi = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256d alo, ahi, blo, bhi;
+    CvtPd(_mm256_loadu_ps(a + i), &alo, &ahi);
+    CvtPd(_mm256_loadu_ps(b + i), &blo, &bhi);
+    dot_lo = _mm256_fmadd_pd(alo, blo, dot_lo);
+    dot_hi = _mm256_fmadd_pd(ahi, bhi, dot_hi);
+    na_lo = _mm256_fmadd_pd(alo, alo, na_lo);
+    na_hi = _mm256_fmadd_pd(ahi, ahi, na_hi);
+    nb_lo = _mm256_fmadd_pd(blo, blo, nb_lo);
+    nb_hi = _mm256_fmadd_pd(bhi, bhi, nb_hi);
+  }
+  double dot = Hsum256d(_mm256_add_pd(dot_lo, dot_hi));
+  double na = Hsum256d(_mm256_add_pd(na_lo, na_hi));
+  double nb = Hsum256d(_mm256_add_pd(nb_lo, nb_hi));
+  for (; i < n; ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+double Avx2CosineF64(const double* a, const double* b, size_t n) {
+  __m256d dot = _mm256_setzero_pd();
+  __m256d na = _mm256_setzero_pd();
+  __m256d nb = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d va = _mm256_loadu_pd(a + i);
+    __m256d vb = _mm256_loadu_pd(b + i);
+    dot = _mm256_fmadd_pd(va, vb, dot);
+    na = _mm256_fmadd_pd(va, va, na);
+    nb = _mm256_fmadd_pd(vb, vb, nb);
+  }
+  double d = Hsum256d(dot), sa = Hsum256d(na), sb = Hsum256d(nb);
+  for (; i < n; ++i) {
+    d += a[i] * b[i];
+    sa += a[i] * a[i];
+    sb += b[i] * b[i];
+  }
+  if (sa <= 0.0 || sb <= 0.0) return 0.0;
+  return d / (std::sqrt(sa) * std::sqrt(sb));
+}
+
+void Avx2AxpyF32(float alpha, const float* x, float* y, size_t n) {
+  __m256 va = _mm256_set1_ps(alpha);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        y + i, _mm256_fmadd_ps(va, _mm256_loadu_ps(x + i),
+                               _mm256_loadu_ps(y + i)));
+  }
+  for (; i < n; ++i) y[i] = std::fmaf(alpha, x[i], y[i]);
+}
+
+void Avx2ScaleAddF32(float alpha, const float* x, float beta, float* y,
+                     size_t n) {
+  __m256 va = _mm256_set1_ps(alpha);
+  __m256 vb = _mm256_set1_ps(beta);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 by = _mm256_mul_ps(vb, _mm256_loadu_ps(y + i));
+    _mm256_storeu_ps(y + i,
+                     _mm256_fmadd_ps(va, _mm256_loadu_ps(x + i), by));
+  }
+  for (; i < n; ++i) y[i] = std::fmaf(alpha, x[i], beta * y[i]);
+}
+
+void Avx2ScaleF32(float s, float* y, size_t n) {
+  __m256 vs = _mm256_set1_ps(s);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(y + i, _mm256_mul_ps(vs, _mm256_loadu_ps(y + i)));
+  }
+  for (; i < n; ++i) y[i] *= s;
+}
+
+void Avx2MulF32(const float* x, float* y, size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        y + i, _mm256_mul_ps(_mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i)));
+  }
+  for (; i < n; ++i) y[i] *= x[i];
+}
+
+void Avx2MulAddF32(const float* a, const float* b, float* y, size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        y + i, _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                               _mm256_loadu_ps(y + i)));
+  }
+  for (; i < n; ++i) y[i] = std::fmaf(a[i], b[i], y[i]);
+}
+
+void Avx2ClampF32(float lo, float hi, float* y, size_t n) {
+  __m256 vlo = _mm256_set1_ps(lo);
+  __m256 vhi = _mm256_set1_ps(hi);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 v = _mm256_loadu_ps(y + i);
+    _mm256_storeu_ps(y + i, _mm256_min_ps(_mm256_max_ps(v, vlo), vhi));
+  }
+  for (; i < n; ++i) y[i] = std::clamp(y[i], lo, hi);
+}
+
+void Avx2AdamUpdateF32(const float* g, float* m, float* v, float* p, size_t n,
+                       float lr, float beta1, float beta2, float eps,
+                       float bc1, float bc2) {
+  __m256 vb1 = _mm256_set1_ps(beta1);
+  __m256 vb2 = _mm256_set1_ps(beta2);
+  __m256 v1mb1 = _mm256_set1_ps(1.0f - beta1);
+  __m256 v1mb2 = _mm256_set1_ps(1.0f - beta2);
+  __m256 vlr = _mm256_set1_ps(lr);
+  __m256 veps = _mm256_set1_ps(eps);
+  __m256 vbc1 = _mm256_set1_ps(bc1);
+  __m256 vbc2 = _mm256_set1_ps(bc2);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 vg = _mm256_loadu_ps(g + i);
+    __m256 vm = _mm256_fmadd_ps(vb1, _mm256_loadu_ps(m + i),
+                                _mm256_mul_ps(v1mb1, vg));
+    __m256 vv = _mm256_fmadd_ps(vb2, _mm256_loadu_ps(v + i),
+                                _mm256_mul_ps(v1mb2, _mm256_mul_ps(vg, vg)));
+    _mm256_storeu_ps(m + i, vm);
+    _mm256_storeu_ps(v + i, vv);
+    __m256 mhat = _mm256_div_ps(vm, vbc1);
+    __m256 vhat = _mm256_div_ps(vv, vbc2);
+    __m256 denom = _mm256_add_ps(_mm256_sqrt_ps(vhat), veps);
+    __m256 step = _mm256_div_ps(_mm256_mul_ps(vlr, mhat), denom);
+    _mm256_storeu_ps(p + i, _mm256_sub_ps(_mm256_loadu_ps(p + i), step));
+  }
+  for (; i < n; ++i) {
+    m[i] = beta1 * m[i] + (1.0f - beta1) * g[i];
+    v[i] = beta2 * v[i] + (1.0f - beta2) * g[i] * g[i];
+    float mhat = m[i] / bc1;
+    float vhat = v[i] / bc2;
+    p[i] -= lr * mhat / (std::sqrt(vhat) + eps);
+  }
+}
+
+// ---- Level-3 ----------------------------------------------------------
+
+// C[8x8] += A[8 x kc] * B[kc x 8]. The 8x8 C block lives in eight ymm
+// accumulators; each B row is loaded once and feeds eight FMAs (one per
+// A row broadcast).
+void Avx2Gemm8x8F32(const float* a, size_t lda, const float* b, size_t ldb,
+                    float* c, size_t ldc, size_t kc) {
+  __m256 c0 = _mm256_loadu_ps(c + 0 * ldc);
+  __m256 c1 = _mm256_loadu_ps(c + 1 * ldc);
+  __m256 c2 = _mm256_loadu_ps(c + 2 * ldc);
+  __m256 c3 = _mm256_loadu_ps(c + 3 * ldc);
+  __m256 c4 = _mm256_loadu_ps(c + 4 * ldc);
+  __m256 c5 = _mm256_loadu_ps(c + 5 * ldc);
+  __m256 c6 = _mm256_loadu_ps(c + 6 * ldc);
+  __m256 c7 = _mm256_loadu_ps(c + 7 * ldc);
+  for (size_t j = 0; j < kc; ++j) {
+    __m256 brow = _mm256_loadu_ps(b + j * ldb);
+    c0 = _mm256_fmadd_ps(_mm256_broadcast_ss(a + 0 * lda + j), brow, c0);
+    c1 = _mm256_fmadd_ps(_mm256_broadcast_ss(a + 1 * lda + j), brow, c1);
+    c2 = _mm256_fmadd_ps(_mm256_broadcast_ss(a + 2 * lda + j), brow, c2);
+    c3 = _mm256_fmadd_ps(_mm256_broadcast_ss(a + 3 * lda + j), brow, c3);
+    c4 = _mm256_fmadd_ps(_mm256_broadcast_ss(a + 4 * lda + j), brow, c4);
+    c5 = _mm256_fmadd_ps(_mm256_broadcast_ss(a + 5 * lda + j), brow, c5);
+    c6 = _mm256_fmadd_ps(_mm256_broadcast_ss(a + 6 * lda + j), brow, c6);
+    c7 = _mm256_fmadd_ps(_mm256_broadcast_ss(a + 7 * lda + j), brow, c7);
+  }
+  _mm256_storeu_ps(c + 0 * ldc, c0);
+  _mm256_storeu_ps(c + 1 * ldc, c1);
+  _mm256_storeu_ps(c + 2 * ldc, c2);
+  _mm256_storeu_ps(c + 3 * ldc, c3);
+  _mm256_storeu_ps(c + 4 * ldc, c4);
+  _mm256_storeu_ps(c + 5 * ldc, c5);
+  _mm256_storeu_ps(c + 6 * ldc, c6);
+  _mm256_storeu_ps(c + 7 * ldc, c7);
+}
+
+// One output row: crow[0:k] += arow[0:m] * B, j ascending. Same
+// per-element fma sequence as the micro-kernel, so a row computed here
+// matches one computed inside an 8-row block bit-for-bit.
+inline void Avx2GemmRow(const float* arow, const float* b, float* crow,
+                        size_t m, size_t k) {
+  for (size_t j = 0; j < m; ++j) {
+    __m256 av = _mm256_broadcast_ss(arow + j);
+    const float* brow = b + j * k;
+    size_t t = 0;
+    for (; t + 8 <= k; t += 8) {
+      _mm256_storeu_ps(crow + t,
+                       _mm256_fmadd_ps(av, _mm256_loadu_ps(brow + t),
+                                       _mm256_loadu_ps(crow + t)));
+    }
+    for (; t < k; ++t) crow[t] = std::fmaf(arow[j], brow[t], crow[t]);
+  }
+}
+
+void Avx2GemmPanelF32(const float* a, const float* b, float* c, size_t r0,
+                      size_t r1, size_t m, size_t k) {
+  size_t i0 = r0;
+  for (; i0 + 8 <= r1; i0 += 8) {
+    size_t t = 0;
+    for (; t + 8 <= k; t += 8) {
+      Avx2Gemm8x8F32(a + i0 * m, m, b + t, k, c + i0 * k + t, k, m);
+    }
+    if (t < k) {
+      for (size_t i = i0; i < i0 + 8; ++i) {
+        const float* arow = a + i * m;
+        float* crow = c + i * k;
+        for (size_t j = 0; j < m; ++j) {
+          float av = arow[j];
+          const float* brow = b + j * k;
+          for (size_t tt = t; tt < k; ++tt) {
+            crow[tt] = std::fmaf(av, brow[tt], crow[tt]);
+          }
+        }
+      }
+    }
+  }
+  for (; i0 < r1; ++i0) {
+    Avx2GemmRow(a + i0 * m, b, c + i0 * k, m, k);
+  }
+}
+
+void Avx2GemmTransAPanelF32(const float* a, const float* b, float* c,
+                            size_t c0, size_t c1, size_t m, size_t n,
+                            size_t k) {
+  // Output row j of C is column j of A against all of B: an axpy
+  // accumulation over A's rows, i ascending, vectorized over C's
+  // columns.
+  for (size_t j = c0; j < c1; ++j) {
+    float* crow = c + j * k;
+    for (size_t i = 0; i < m; ++i) {
+      __m256 av = _mm256_broadcast_ss(a + i * n + j);
+      const float* brow = b + i * k;
+      size_t t = 0;
+      for (; t + 8 <= k; t += 8) {
+        _mm256_storeu_ps(crow + t,
+                         _mm256_fmadd_ps(av, _mm256_loadu_ps(brow + t),
+                                         _mm256_loadu_ps(crow + t)));
+      }
+      for (; t < k; ++t) crow[t] = std::fmaf(a[i * n + j], brow[t], crow[t]);
+    }
+  }
+}
+
+void Avx2GemmTransBPanelF32(const float* a, const float* b, float* c,
+                            size_t r0, size_t r1, size_t m, size_t k) {
+  // Row of A against rows of B: independent float-accumulated dots. The
+  // float (vs. the scalar path's double) accumulation stays within the
+  // documented 1e-5 cross-path tolerance at the matrix sizes the models
+  // use.
+  for (size_t i = r0; i < r1; ++i) {
+    const float* arow = a + i * m;
+    float* crow = c + i * k;
+    for (size_t t = 0; t < k; ++t) {
+      crow[t] = Avx2DotF32(arow, b + t * m, m);
+    }
+  }
+}
+
+constexpr KernelOps kAvx2Ops = {
+    "avx2+fma",
+    Avx2DotF32,
+    Avx2DotF32D,
+    Avx2SumF32,
+    Avx2SumSqF32,
+    Avx2SqDistF32,
+    Avx2CosineF32,
+    Avx2CosineF64,
+    Avx2AxpyF32,
+    Avx2ScaleAddF32,
+    Avx2ScaleF32,
+    Avx2MulF32,
+    Avx2MulAddF32,
+    Avx2ClampF32,
+    Avx2AdamUpdateF32,
+    Avx2Gemm8x8F32,
+    Avx2GemmPanelF32,
+    Avx2GemmTransAPanelF32,
+    Avx2GemmTransBPanelF32,
+};
+
+}  // namespace
+
+const KernelOps* Avx2Ops() { return &kAvx2Ops; }
+
+}  // namespace autodc::nn::kernels
+
+#else  // !__AVX2__
+
+namespace autodc::nn::kernels {
+
+const KernelOps* Avx2Ops() { return nullptr; }
+
+}  // namespace autodc::nn::kernels
+
+#endif  // __AVX2__

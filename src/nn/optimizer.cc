@@ -3,20 +3,27 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/nn/kernels.h"
+
 namespace autodc::nn {
 
 void Optimizer::ClipGradients(float limit) {
   for (const VarPtr& p : params_) {
     if (p->grad.size() != p->value.size()) continue;
-    for (size_t i = 0; i < p->grad.size(); ++i) {
-      p->grad[i] = std::clamp(p->grad[i], -limit, limit);
-    }
+    kernels::ClampF32(-limit, limit, p->grad.data(), p->grad.size());
   }
 }
 
 void Sgd::ApplyStep() {
   for (const VarPtr& p : params_) {
     if (p->grad.size() != p->value.size()) continue;
+    if (weight_decay_ == 0.0f) {
+      // p -= lr*g as one axpy; (-lr)*g == -(lr*g) exactly in IEEE, so
+      // this is bit-identical to the decay-free element loop below.
+      kernels::AxpyF32(-lr_, p->grad.data(), p->value.data(),
+                       p->value.size());
+      continue;
+    }
     for (size_t i = 0; i < p->value.size(); ++i) {
       float g = p->grad[i] + weight_decay_ * p->value[i];
       p->value[i] -= lr_ * g;
@@ -37,10 +44,9 @@ void Momentum::ApplyStep() {
     const VarPtr& p = params_[k];
     if (p->grad.size() != p->value.size()) continue;
     Tensor& v = velocity_[k];
-    for (size_t i = 0; i < p->value.size(); ++i) {
-      v[i] = momentum_ * v[i] - lr_ * p->grad[i];
-      p->value[i] += v[i];
-    }
+    // v = momentum*v - lr*g, then p += v.
+    kernels::ScaleAddF32(-lr_, p->grad.data(), momentum_, v.data(), v.size());
+    kernels::AxpyF32(1.0f, v.data(), p->value.data(), p->value.size());
   }
 }
 
@@ -68,14 +74,9 @@ void Adam::ApplyStep() {
     if (p->grad.size() != p->value.size()) continue;
     Tensor& m = m_[k];
     Tensor& v = v_[k];
-    for (size_t i = 0; i < p->value.size(); ++i) {
-      float g = p->grad[i];
-      m[i] = beta1_ * m[i] + (1.0f - beta1_) * g;
-      v[i] = beta2_ * v[i] + (1.0f - beta2_) * g * g;
-      float mhat = m[i] / bc1;
-      float vhat = v[i] / bc2;
-      p->value[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
-    }
+    kernels::AdamUpdateF32(p->grad.data(), m.data(), v.data(),
+                           p->value.data(), p->value.size(), lr_, beta1_,
+                           beta2_, eps_, bc1, bc2);
   }
 }
 

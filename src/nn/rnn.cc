@@ -1,6 +1,10 @@
 #include "src/nn/rnn.h"
 
+#include <algorithm>
+
 #include <cassert>
+
+#include "src/nn/kernels.h"
 
 namespace autodc::nn {
 
@@ -17,7 +21,7 @@ VarPtr VecMat(const VarPtr& x, const VarPtr& w) {
     Variable* r = wrapped.get();
     Variable* px = x.get();
     wrapped->backward_fn = [r, px]() {
-      for (size_t i = 0; i < r->grad.size(); ++i) px->grad[i] += r->grad[i];
+      kernels::AxpyF32(1.0f, r->grad.data(), px->grad.data(), r->grad.size());
     };
   }
   VarPtr prod = MatMulOp(wrapped, w);  // {1,k}
@@ -29,7 +33,7 @@ VarPtr VecMat(const VarPtr& x, const VarPtr& w) {
     Variable* r = out.get();
     Variable* pp = prod.get();
     out->backward_fn = [r, pp]() {
-      for (size_t i = 0; i < r->grad.size(); ++i) pp->grad[i] += r->grad[i];
+      kernels::AxpyF32(1.0f, r->grad.data(), pp->grad.data(), r->grad.size());
     };
   }
   return out;
@@ -38,7 +42,8 @@ VarPtr VecMat(const VarPtr& x, const VarPtr& w) {
 // Slice of a rank-1 vector [begin, begin+len).
 VarPtr Slice(const VarPtr& x, size_t begin, size_t len) {
   Tensor out({len});
-  for (size_t i = 0; i < len; ++i) out[i] = x->value[begin + i];
+  std::copy(x->value.data() + begin, x->value.data() + begin + len,
+            out.data());
   auto result = std::make_shared<Variable>(std::move(out));
   result->requires_grad = x->requires_grad;
   if (result->requires_grad) {
@@ -46,7 +51,7 @@ VarPtr Slice(const VarPtr& x, size_t begin, size_t len) {
     Variable* r = result.get();
     Variable* px = x.get();
     result->backward_fn = [r, px, begin, len]() {
-      for (size_t i = 0; i < len; ++i) px->grad[begin + i] += r->grad[i];
+      kernels::AxpyF32(1.0f, r->grad.data(), px->grad.data() + begin, len);
     };
   }
   return result;

@@ -6,6 +6,8 @@
 #include <sstream>
 
 #include "src/common/parallel.h"
+#include "src/nn/kernels.h"
+#include "src/nn/tensor_pool.h"
 
 namespace autodc::nn {
 
@@ -16,10 +18,68 @@ size_t NumElements(const std::vector<size_t>& shape) {
   if (shape.empty()) n = 0;
   return n;
 }
+
+std::vector<float> AllocBuffer(size_t n, bool* pooled) {
+  if (n > 0 && WorkspaceActive()) {
+    *pooled = true;
+    return TensorPool::Global().Acquire(n);
+  }
+  *pooled = false;
+  return std::vector<float>(n, 0.0f);
+}
 }  // namespace
 
-Tensor::Tensor(std::vector<size_t> shape)
-    : shape_(std::move(shape)), data_(NumElements(shape_), 0.0f) {}
+Tensor::Tensor(std::vector<size_t> shape) : shape_(std::move(shape)) {
+  data_ = AllocBuffer(NumElements(shape_), &pooled_);
+}
+
+Tensor::Tensor(const Tensor& other) : shape_(other.shape_) {
+  if (!other.data_.empty() && WorkspaceActive()) {
+    pooled_ = true;
+    data_ = TensorPool::Global().Acquire(other.data_.size());
+    std::copy(other.data_.begin(), other.data_.end(), data_.begin());
+  } else {
+    data_ = other.data_;
+  }
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other) return *this;
+  shape_ = other.shape_;
+  // Vector assignment reuses this Tensor's buffer when its capacity
+  // suffices, so pooled_ keeps describing the buffer we actually hold.
+  data_ = other.data_;
+  return *this;
+}
+
+Tensor::Tensor(Tensor&& other) noexcept
+    : shape_(std::move(other.shape_)),
+      data_(std::move(other.data_)),
+      pooled_(other.pooled_) {
+  other.shape_.clear();
+  other.pooled_ = false;
+}
+
+Tensor& Tensor::operator=(Tensor&& other) noexcept {
+  if (this == &other) return *this;
+  ReleaseBuffer();
+  shape_ = std::move(other.shape_);
+  data_ = std::move(other.data_);
+  pooled_ = other.pooled_;
+  other.shape_.clear();
+  other.pooled_ = false;
+  return *this;
+}
+
+Tensor::~Tensor() { ReleaseBuffer(); }
+
+void Tensor::ReleaseBuffer() {
+  if (pooled_) {
+    TensorPool::Global().Release(std::move(data_));
+    data_ = std::vector<float>();
+    pooled_ = false;
+  }
+}
 
 Tensor::Tensor(std::vector<size_t> shape, std::vector<float> data)
     : shape_(std::move(shape)), data_(std::move(data)) {
@@ -64,9 +124,7 @@ void Tensor::Fill(float v) {
 }
 
 double Tensor::Sum() const {
-  double s = 0.0;
-  for (float x : data_) s += x;
-  return s;
+  return kernels::SumF32(data_.data(), data_.size());
 }
 
 double Tensor::Mean() const {
@@ -75,9 +133,7 @@ double Tensor::Mean() const {
 }
 
 double Tensor::Norm() const {
-  double s = 0.0;
-  for (float x : data_) s += static_cast<double>(x) * x;
-  return std::sqrt(s);
+  return std::sqrt(kernels::SumSqF32(data_.data(), data_.size()));
 }
 
 size_t Tensor::ArgMax() const {
@@ -108,9 +164,7 @@ std::string Tensor::ShapeString() const {
 
 void Axpy(const Tensor& b, float scale, Tensor* a) {
   assert(a->size() == b.size());
-  float* ad = a->data();
-  const float* bd = b.data();
-  for (size_t i = 0; i < b.size(); ++i) ad[i] += bd[i] * scale;
+  kernels::AxpyF32(scale, b.data(), a->data(), b.size());
 }
 
 Tensor GatherRows(const Tensor& src, const std::vector<size_t>& rows) {
@@ -120,8 +174,7 @@ Tensor GatherRows(const Tensor& src, const std::vector<size_t>& rows) {
   for (size_t i = 0; i < rows.size(); ++i) {
     assert(rows[i] < src.rows());
     const float* srow = src.data() + rows[i] * d;
-    float* orow = od + i * d;
-    for (size_t j = 0; j < d; ++j) orow[j] = srow[j];
+    std::copy(srow, srow + d, od + i * d);
   }
   return out;
 }
@@ -133,24 +186,19 @@ void AxpyRows(const Tensor& src, const std::vector<size_t>& rows, float scale,
   float* dd = dst->data();
   for (size_t i = 0; i < rows.size(); ++i) {
     assert(rows[i] < dst->rows());
-    const float* srow = src.data() + i * d;
-    float* drow = dd + rows[i] * d;
-    for (size_t j = 0; j < d; ++j) drow[j] += srow[j] * scale;
+    kernels::AxpyF32(scale, src.data() + i * d, dd + rows[i] * d, d);
   }
 }
 
 namespace {
 
-// Tile edges for the cache-blocked matmul kernels. The inner dimension
-// is walked in kTileInner-sized slabs so the touched rows of B stay in
-// L1/L2 while a block of output rows accumulates. Per output element the
-// accumulation order over the inner dimension is unchanged from the
-// naive kernels (tiles are visited in increasing order), so results are
-// bit-identical for any tile size and any thread count.
-constexpr size_t kTileInner = 64;
-
 // Row-block grain for ParallelFor: small matrices stay serial, large
-// ones split into at most NumThreads() blocks.
+// ones split into at most NumThreads() blocks. The per-panel compute
+// lives in kernels::Gemm*PanelF32 (scalar path identical to the old
+// cache-blocked loops here; AVX2 path register-blocked on the 8x8
+// micro-kernel). Per output element the accumulation order over the
+// inner dimension is fixed on both paths, so results do not depend on
+// the thread count.
 constexpr size_t kRowGrain = 8;
 
 }  // namespace
@@ -163,18 +211,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const float* bd = b.data();
   float* cd = c.data();
   ParallelFor(0, n, kRowGrain, [&](size_t r0, size_t r1) {
-    for (size_t jb = 0; jb < m; jb += kTileInner) {
-      size_t jend = std::min(m, jb + kTileInner);
-      for (size_t i = r0; i < r1; ++i) {
-        const float* arow = ad + i * m;
-        float* crow = cd + i * k;
-        for (size_t j = jb; j < jend; ++j) {
-          float av = arow[j];
-          const float* brow = bd + j * k;
-          for (size_t t = 0; t < k; ++t) crow[t] += av * brow[t];
-        }
-      }
-    }
+    kernels::GemmPanelF32(ad, bd, cd, r0, r1, m, k);
   });
   return c;
 }
@@ -189,18 +226,7 @@ Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
   // Output rows of C correspond to columns of A, so parallelizing over
   // them keeps the accumulation over A's rows private to one thread.
   ParallelFor(0, n, kRowGrain, [&](size_t c0, size_t c1) {
-    for (size_t ib = 0; ib < m; ib += kTileInner) {
-      size_t iend = std::min(m, ib + kTileInner);
-      for (size_t i = ib; i < iend; ++i) {
-        const float* arow = ad + i * n;
-        const float* brow = bd + i * k;
-        for (size_t j = c0; j < c1; ++j) {
-          float av = arow[j];
-          float* crow = cd + j * k;
-          for (size_t t = 0; t < k; ++t) crow[t] += av * brow[t];
-        }
-      }
-    }
+    kernels::GemmTransAPanelF32(ad, bd, cd, c0, c1, m, n, k);
   });
   return c;
 }
@@ -213,23 +239,7 @@ Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
   const float* bd = b.data();
   float* cd = c.data();
   ParallelFor(0, n, kRowGrain, [&](size_t r0, size_t r1) {
-    // Tile over B's rows so a slab of B is reused across the whole row
-    // block of A before being evicted.
-    for (size_t tb = 0; tb < k; tb += kTileInner) {
-      size_t tend = std::min(k, tb + kTileInner);
-      for (size_t i = r0; i < r1; ++i) {
-        const float* arow = ad + i * m;
-        float* crow = cd + i * k;
-        for (size_t t = tb; t < tend; ++t) {
-          const float* brow = bd + t * m;
-          double dot = 0.0;
-          for (size_t j = 0; j < m; ++j) {
-            dot += static_cast<double>(arow[j]) * brow[j];
-          }
-          crow[t] = static_cast<float>(dot);
-        }
-      }
-    }
+    kernels::GemmTransBPanelF32(ad, bd, cd, r0, r1, m, k);
   });
   return c;
 }

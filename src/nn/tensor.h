@@ -9,6 +9,19 @@
 
 namespace autodc::nn {
 
+/// Non-owning view of a contiguous float span (one tensor/matrix row).
+/// Replaces per-row copies in nearest-neighbour search and SGNS inner
+/// loops; valid only while the owning storage is alive and unresized.
+struct RowView {
+  const float* data = nullptr;
+  size_t size = 0;
+
+  float operator[](size_t i) const { return data[i]; }
+  const float* begin() const { return data; }
+  const float* end() const { return data + size; }
+  bool empty() const { return size == 0; }
+};
+
 /// Dense float32 tensor of rank 1 or 2. This is the numeric workhorse of
 /// the from-scratch deep-learning substrate: small, contiguous, row-major.
 /// Rank-2 shape is {rows, cols}; rank-1 is {n}.
@@ -17,6 +30,17 @@ class Tensor {
   Tensor() = default;
   explicit Tensor(std::vector<size_t> shape);
   Tensor(std::vector<size_t> shape, std::vector<float> data);
+
+  // Rule of five: a Tensor allocated while a WorkspaceScope is live on
+  // the current thread (see tensor_pool.h) draws its buffer from
+  // TensorPool::Global() and returns it on destruction. pooled_ only
+  // changes where the buffer goes when the Tensor dies; ownership is
+  // ordinary value semantics either way.
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other);
+  Tensor(Tensor&& other) noexcept;
+  Tensor& operator=(Tensor&& other) noexcept;
+  ~Tensor();
 
   static Tensor Zeros(std::vector<size_t> shape) { return Tensor(std::move(shape)); }
   static Tensor Full(std::vector<size_t> shape, float v);
@@ -59,12 +83,17 @@ class Tensor {
   size_t ArgMax() const;
   /// View of row r of a rank-2 tensor as a rank-1 tensor (copies).
   Tensor RowCopy(size_t r) const;
+  /// Non-owning view of row r; valid while this Tensor is alive.
+  RowView Row(size_t r) const { return {data_.data() + r * cols(), cols()}; }
 
   std::string ShapeString() const;
 
  private:
+  void ReleaseBuffer();
+
   std::vector<size_t> shape_;
   std::vector<float> data_;
+  bool pooled_ = false;
 };
 
 /// In-place a += b * scale (shapes must match).

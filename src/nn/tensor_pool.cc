@@ -1,0 +1,161 @@
+#include "src/nn/tensor_pool.h"
+
+#include <utility>
+
+namespace autodc::nn {
+
+namespace {
+
+// Bucket of the smallest power of two >= max(n, 1).
+size_t CeilBucket(size_t n) {
+  size_t b = 0;
+  while ((size_t{1} << b) < n) ++b;
+  return b;
+}
+
+// Bucket of the largest power of two <= capacity (capacity > 0), i.e.
+// the strongest capacity guarantee this buffer can back.
+size_t FloorBucket(size_t capacity) {
+  size_t b = 0;
+  while ((size_t{2} << b) <= capacity) ++b;
+  return b;
+}
+
+thread_local int g_workspace_depth = 0;
+
+}  // namespace
+
+// Per-thread front cache. Declared at namespace scope (not inside a
+// function) so TensorPool can befriend it; one instance lives in
+// thread_local storage per thread that touches the pool.
+struct TensorPoolThreadCache {
+  std::vector<std::vector<float>> free_[TensorPool::kNumBuckets];
+
+  ~TensorPoolThreadCache();
+};
+
+namespace {
+
+// tls_cache points at the live cache for this thread, or nullptr before
+// first use and again after the cache's thread-exit destructor has run
+// (so late Releases during shutdown fall through to the global lists
+// instead of touching a dead object).
+thread_local TensorPoolThreadCache* tls_cache = nullptr;
+
+struct TlsCacheHolder {
+  TensorPoolThreadCache cache;
+  TlsCacheHolder() { tls_cache = &cache; }
+};
+
+TensorPoolThreadCache* GetThreadCache() {
+  if (tls_cache == nullptr) {
+    thread_local TlsCacheHolder holder;  // construction sets tls_cache
+  }
+  return tls_cache;
+}
+
+}  // namespace
+
+TensorPoolThreadCache::~TensorPoolThreadCache() {
+  tls_cache = nullptr;
+  TensorPool::Global().FlushThreadCache(this);
+}
+
+TensorPool& TensorPool::Global() {
+  static TensorPool* pool = new TensorPool();  // leaky: survives shutdown
+  return *pool;
+}
+
+std::vector<float> TensorPool::Acquire(size_t n) {
+  if (n == 0) return {};
+  size_t bucket = CeilBucket(n);
+  if (bucket > kMaxBucket) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::vector<float>(n, 0.0f);
+  }
+  std::vector<float> buf;
+  TensorPoolThreadCache* cache = GetThreadCache();
+  bool found = false;
+  if (cache != nullptr && !cache->free_[bucket].empty()) {
+    buf = std::move(cache->free_[bucket].back());
+    cache->free_[bucket].pop_back();
+    found = true;
+  } else {
+    found = AcquireGlobal(bucket, &buf);
+  }
+  if (found) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    buf.reserve(size_t{1} << bucket);
+  }
+  buf.resize(n);  // cached buffers are cleared, so this zero-fills
+  return buf;
+}
+
+void TensorPool::Release(std::vector<float>&& buf) {
+  size_t capacity = buf.capacity();
+  if (capacity == 0) return;
+  size_t bucket = FloorBucket(capacity);
+  if (bucket > kMaxBucket) return;  // too big to pool; free it
+  buf.clear();
+  releases_.fetch_add(1, std::memory_order_relaxed);
+  TensorPoolThreadCache* cache = GetThreadCache();
+  if (cache != nullptr && cache->free_[bucket].size() < kThreadCacheCap) {
+    cache->free_[bucket].push_back(std::move(buf));
+    return;
+  }
+  ReleaseGlobal(bucket, std::move(buf));
+}
+
+bool TensorPool::AcquireGlobal(size_t bucket, std::vector<float>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (free_[bucket].empty()) return false;
+  *out = std::move(free_[bucket].back());
+  free_[bucket].pop_back();
+  return true;
+}
+
+bool TensorPool::ReleaseGlobal(size_t bucket, std::vector<float>&& buf) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (free_[bucket].size() >= kGlobalCap) return false;  // drop: frees buf
+  free_[bucket].push_back(std::move(buf));
+  return true;
+}
+
+void TensorPool::FlushThreadCache(TensorPoolThreadCache* cache) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    for (auto& buf : cache->free_[b]) {
+      if (free_[b].size() >= kGlobalCap) break;
+      free_[b].push_back(std::move(buf));
+    }
+    cache->free_[b].clear();
+  }
+}
+
+TensorPool::Stats TensorPool::GetStats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.releases = releases_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void TensorPool::ResetStats() {
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  releases_.store(0, std::memory_order_relaxed);
+}
+
+void TensorPool::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& list : free_) list.clear();
+}
+
+WorkspaceScope::WorkspaceScope() { ++g_workspace_depth; }
+WorkspaceScope::~WorkspaceScope() { --g_workspace_depth; }
+
+bool WorkspaceActive() { return g_workspace_depth > 0; }
+
+}  // namespace autodc::nn

@@ -1,0 +1,99 @@
+#ifndef AUTODC_NN_TENSOR_POOL_H_
+#define AUTODC_NN_TENSOR_POOL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+// Buffer pooling for the training hot paths. Every autograd op used to
+// malloc a fresh std::vector<float> per node per step; under a
+// WorkspaceScope those allocations come from (and return to) a
+// free-list pool instead, so steady-state training does no heap churn.
+//
+// Lifetime rules (see DESIGN.md "Tensor pooling"):
+//   * Pooling is opt-in per thread: Tensors allocated while a
+//     WorkspaceScope is live on the current thread draw from the pool
+//     and return their buffer on destruction. Tensors allocated outside
+//     any scope use plain vectors, as before.
+//   * A pooled Tensor OWNS its buffer like any other Tensor — it may
+//     outlive the scope, move across threads, and be destroyed anywhere;
+//     "pooled" only changes where the buffer goes when the Tensor dies.
+//   * Buffers are bucketed by power-of-two capacity. Acquire returns a
+//     zero-filled buffer (same semantics as a fresh Tensor), Release
+//     clears the buffer before caching it.
+//   * Each thread keeps a small lock-free cache per bucket in front of a
+//     mutex-protected global free list; caches flush to the global list
+//     at thread exit. The global pool is never destroyed (leaky
+//     singleton), so late releases during shutdown are always safe.
+namespace autodc::nn {
+
+class TensorPool {
+ public:
+  struct Stats {
+    size_t hits = 0;      // Acquire served from a free list
+    size_t misses = 0;    // Acquire had to heap-allocate
+    size_t releases = 0;  // buffers returned to the pool
+  };
+
+  /// The process-wide pool (leaky singleton).
+  static TensorPool& Global();
+
+  /// A zero-filled buffer of size n with capacity >= the power-of-two
+  /// bucket of n. n == 0 returns an empty, unpooled buffer.
+  std::vector<float> Acquire(size_t n);
+
+  /// Returns a buffer to the pool. Accepts ANY vector (not just ones
+  /// that came from Acquire); it is bucketed by its capacity. Buffers
+  /// too large to pool are simply freed.
+  void Release(std::vector<float>&& buf);
+
+  Stats GetStats() const;
+  void ResetStats();
+
+  /// Drops every buffer on the GLOBAL free lists (thread caches keep
+  /// theirs until thread exit). For tests and memory-pressure hooks.
+  void Clear();
+
+  // Buffers above 2^kMaxBucket floats (64 MiB) are never pooled.
+  static constexpr size_t kMaxBucket = 24;
+  static constexpr size_t kNumBuckets = kMaxBucket + 1;
+  static constexpr size_t kThreadCacheCap = 8;   // buffers/bucket/thread
+  static constexpr size_t kGlobalCap = 64;       // buffers/bucket global
+
+ private:
+  friend struct TensorPoolThreadCache;
+
+  TensorPool() = default;
+
+  // Global-list halves of Acquire/Release; return success.
+  bool AcquireGlobal(size_t bucket, std::vector<float>* out);
+  bool ReleaseGlobal(size_t bucket, std::vector<float>&& buf);
+  void FlushThreadCache(struct TensorPoolThreadCache* cache);
+
+  mutable std::mutex mu_;
+  std::vector<std::vector<float>> free_[kNumBuckets];
+  std::atomic<size_t> hits_{0};
+  std::atomic<size_t> misses_{0};
+  std::atomic<size_t> releases_{0};
+};
+
+/// RAII switch for autograd workspace mode: while at least one
+/// WorkspaceScope is live on the current thread, Tensor allocations on
+/// that thread draw from TensorPool::Global(). Scopes nest; the flag is
+/// per-thread, so a ParallelFor worker is only in workspace mode if the
+/// worker's own lambda opens a scope.
+class WorkspaceScope {
+ public:
+  WorkspaceScope();
+  ~WorkspaceScope();
+  WorkspaceScope(const WorkspaceScope&) = delete;
+  WorkspaceScope& operator=(const WorkspaceScope&) = delete;
+};
+
+/// True when a WorkspaceScope is live on the current thread.
+bool WorkspaceActive();
+
+}  // namespace autodc::nn
+
+#endif  // AUTODC_NN_TENSOR_POOL_H_

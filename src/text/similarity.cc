@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "src/nn/kernels.h"
 #include "src/text/tokenizer.h"
 
 namespace autodc::text {
@@ -115,39 +116,24 @@ double MongeElkan(std::string_view a, std::string_view b) {
   return sum / static_cast<double>(ta.size());
 }
 
-namespace {
-template <typename T>
-double CosineImpl(const std::vector<T>& a, const std::vector<T>& b) {
-  if (a.size() != b.size() || a.empty()) return 0.0;
-  double dot = 0.0, na = 0.0, nb = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    dot += static_cast<double>(a[i]) * static_cast<double>(b[i]);
-    na += static_cast<double>(a[i]) * static_cast<double>(a[i]);
-    nb += static_cast<double>(b[i]) * static_cast<double>(b[i]);
-  }
-  if (na <= 0.0 || nb <= 0.0) return 0.0;
-  return dot / (std::sqrt(na) * std::sqrt(nb));
-}
-}  // namespace
-
+// Both overloads share the fused kernel (one pass computing dot and the
+// two norms); the size checks live here, the zero-norm guard inside the
+// kernel.
 double CosineSimilarity(const std::vector<double>& a,
                         const std::vector<double>& b) {
-  return CosineImpl(a, b);
+  if (a.size() != b.size() || a.empty()) return 0.0;
+  return nn::kernels::CosineF64(a.data(), b.data(), a.size());
 }
 double CosineSimilarity(const std::vector<float>& a,
                         const std::vector<float>& b) {
-  return CosineImpl(a, b);
+  if (a.size() != b.size() || a.empty()) return 0.0;
+  return nn::kernels::CosineF32(a.data(), b.data(), a.size());
 }
 
 double EuclideanDistance(const std::vector<float>& a,
                          const std::vector<float>& b) {
-  double s = 0.0;
   size_t n = std::min(a.size(), b.size());
-  for (size_t i = 0; i < n; ++i) {
-    double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
-    s += d * d;
-  }
-  return std::sqrt(s);
+  return std::sqrt(nn::kernels::SqDistF32(a.data(), b.data(), n));
 }
 
 }  // namespace autodc::text

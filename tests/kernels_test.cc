@@ -1,0 +1,377 @@
+// Tests for the SIMD kernel layer and the TensorPool workspace:
+// scalar-vs-AVX2 agreement (including every remainder-lane count),
+// per-path determinism, pool reuse/zeroing semantics, and the
+// thread-local cache under concurrency (run under TSan via the
+// `parallel` ctest label).
+#include "src/nn/kernels.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.h"
+#include "src/common/parallel.h"
+#include "src/common/rng.h"
+#include "src/nn/tensor.h"
+#include "src/nn/tensor_pool.h"
+
+namespace autodc {
+namespace {
+
+using nn::kernels::SetForceScalar;
+using nn::kernels::SimdActive;
+
+// Tolerance policy from DESIGN.md: relative 1e-5 with an absolute floor
+// of 1e-5 for near-zero values.
+void ExpectClose(double scalar, double simd, const char* what, size_t n) {
+  double tol = 1e-5 * std::max({1.0, std::fabs(scalar), std::fabs(simd)});
+  EXPECT_NEAR(scalar, simd, tol) << what << " n=" << n;
+}
+
+std::vector<float> RandomVec(size_t n, Rng* rng) {
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng->Uniform(-2.0, 2.0));
+  return v;
+}
+
+// Restores the dispatch default (env/CPU controlled) after each test so
+// a failing agreement test cannot leak forced-scalar mode into the rest
+// of the binary.
+class KernelsTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetForceScalar(false); }
+};
+
+// Sizes covering every AVX2 remainder-lane count (1..15 both straddles
+// the 8-wide vector width and stays under it) plus multi-vector bodies.
+const size_t kSizes[] = {1,  2,  3,  4,  5,  6,  7,  8,   9,   10,  11, 12,
+                         13, 14, 15, 16, 17, 24, 31, 32,  33,  63,  64, 65,
+                         100, 255, 256, 257, 1000, 1024, 4096};
+
+TEST_F(KernelsTest, ReductionKernelsAgreeAcrossPaths) {
+  if (!SimdActive()) GTEST_SKIP() << "SIMD table inactive on this machine";
+  Rng rng(11);
+  for (size_t n : kSizes) {
+    std::vector<float> a = RandomVec(n, &rng);
+    std::vector<float> b = RandomVec(n, &rng);
+    SetForceScalar(true);
+    float dot_s = nn::kernels::DotF32(a.data(), b.data(), n);
+    double dotd_s = nn::kernels::DotF32D(a.data(), b.data(), n);
+    double sum_s = nn::kernels::SumF32(a.data(), n);
+    double sumsq_s = nn::kernels::SumSqF32(a.data(), n);
+    double sqdist_s = nn::kernels::SqDistF32(a.data(), b.data(), n);
+    double cos_s = nn::kernels::CosineF32(a.data(), b.data(), n);
+    SetForceScalar(false);
+    ExpectClose(dot_s, nn::kernels::DotF32(a.data(), b.data(), n), "dot", n);
+    ExpectClose(dotd_s, nn::kernels::DotF32D(a.data(), b.data(), n), "dotd",
+                n);
+    ExpectClose(sum_s, nn::kernels::SumF32(a.data(), n), "sum", n);
+    ExpectClose(sumsq_s, nn::kernels::SumSqF32(a.data(), n), "sumsq", n);
+    ExpectClose(sqdist_s, nn::kernels::SqDistF32(a.data(), b.data(), n),
+                "sqdist", n);
+    ExpectClose(cos_s, nn::kernels::CosineF32(a.data(), b.data(), n), "cos",
+                n);
+  }
+}
+
+TEST_F(KernelsTest, CosineF64AgreesAcrossPaths) {
+  if (!SimdActive()) GTEST_SKIP() << "SIMD table inactive on this machine";
+  Rng rng(12);
+  for (size_t n : kSizes) {
+    std::vector<double> a(n), b(n);
+    for (size_t i = 0; i < n; ++i) {
+      a[i] = rng.Uniform(-2.0, 2.0);
+      b[i] = rng.Uniform(-2.0, 2.0);
+    }
+    SetForceScalar(true);
+    double s = nn::kernels::CosineF64(a.data(), b.data(), n);
+    SetForceScalar(false);
+    ExpectClose(s, nn::kernels::CosineF64(a.data(), b.data(), n), "cos64", n);
+  }
+}
+
+TEST_F(KernelsTest, ElementwiseKernelsAgreeAcrossPaths) {
+  if (!SimdActive()) GTEST_SKIP() << "SIMD table inactive on this machine";
+  Rng rng(13);
+  for (size_t n : kSizes) {
+    std::vector<float> x = RandomVec(n, &rng);
+    std::vector<float> b = RandomVec(n, &rng);
+    std::vector<float> y0 = RandomVec(n, &rng);
+
+    auto run = [&](bool scalar) {
+      SetForceScalar(scalar);
+      std::vector<float> y = y0;
+      nn::kernels::AxpyF32(0.37f, x.data(), y.data(), n);
+      nn::kernels::ScaleAddF32(-1.2f, x.data(), 0.9f, y.data(), n);
+      nn::kernels::ScaleF32(1.01f, y.data(), n);
+      nn::kernels::MulF32(x.data(), y.data(), n);
+      nn::kernels::MulAddF32(x.data(), b.data(), y.data(), n);
+      nn::kernels::ClampF32(-5.0f, 5.0f, y.data(), n);
+      return y;
+    };
+    std::vector<float> ys = run(true);
+    std::vector<float> yv = run(false);
+    for (size_t i = 0; i < n; ++i) {
+      ExpectClose(ys[i], yv[i], "elementwise chain", n);
+    }
+  }
+}
+
+TEST_F(KernelsTest, AdamUpdateAgreesAcrossPaths) {
+  if (!SimdActive()) GTEST_SKIP() << "SIMD table inactive on this machine";
+  Rng rng(14);
+  for (size_t n : kSizes) {
+    std::vector<float> g = RandomVec(n, &rng);
+    std::vector<float> m0 = RandomVec(n, &rng);
+    std::vector<float> v0(n);
+    for (float& v : v0) v = static_cast<float>(rng.Uniform(0.0, 1.0));
+    std::vector<float> p0 = RandomVec(n, &rng);
+
+    auto run = [&](bool scalar) {
+      SetForceScalar(scalar);
+      std::vector<float> m = m0, v = v0, p = p0;
+      nn::kernels::AdamUpdateF32(g.data(), m.data(), v.data(), p.data(), n,
+                                 0.001f, 0.9f, 0.999f, 1e-8f, 0.1f, 0.001f);
+      return p;
+    };
+    std::vector<float> ps = run(true);
+    std::vector<float> pv = run(false);
+    for (size_t i = 0; i < n; ++i) ExpectClose(ps[i], pv[i], "adam", n);
+  }
+}
+
+TEST_F(KernelsTest, GemmKernelsAgreeAcrossPaths) {
+  if (!SimdActive()) GTEST_SKIP() << "SIMD table inactive on this machine";
+  Rng rng(15);
+  // Odd shapes exercise the row and column remainders of the 8x8
+  // micro-kernel.
+  const size_t shapes[][3] = {{1, 1, 1},   {3, 5, 7},    {8, 8, 8},
+                              {9, 17, 13}, {16, 16, 16}, {23, 37, 29},
+                              {64, 32, 48}};
+  for (const auto& s : shapes) {
+    size_t n = s[0], m = s[1], k = s[2];
+    std::vector<float> a = RandomVec(n * m, &rng);
+    std::vector<float> b = RandomVec(m * k, &rng);
+    std::vector<float> b2 = RandomVec(n * k, &rng);  // B for the A^T case
+    std::vector<float> bt = RandomVec(k * m, &rng);
+
+    auto run = [&](bool scalar) {
+      SetForceScalar(scalar);
+      std::vector<float> c1(n * k, 0.0f), c2(m * k, 0.0f), c3(n * k, 0.0f);
+      nn::kernels::GemmPanelF32(a.data(), b.data(), c1.data(), 0, n, m, k);
+      // a reinterpreted as A {n, m}: C {m, k} = A^T * B2 for B2 {n, k}.
+      nn::kernels::GemmTransAPanelF32(a.data(), b2.data(), c2.data(), 0, m, n,
+                                      m, k);
+      nn::kernels::GemmTransBPanelF32(a.data(), bt.data(), c3.data(), 0, n, m,
+                                      k);
+      c1.insert(c1.end(), c2.begin(), c2.end());
+      c1.insert(c1.end(), c3.begin(), c3.end());
+      return c1;
+    };
+    std::vector<float> cs = run(true);
+    std::vector<float> cv = run(false);
+    ASSERT_EQ(cs.size(), cv.size());
+    for (size_t i = 0; i < cs.size(); ++i) {
+      ExpectClose(cs[i], cv[i], "gemm", n * 100 + k);
+    }
+  }
+}
+
+TEST_F(KernelsTest, Gemm8x8MicroKernelAgreesAcrossPaths) {
+  if (!SimdActive()) GTEST_SKIP() << "SIMD table inactive on this machine";
+  Rng rng(16);
+  for (size_t kc : {1, 2, 7, 8, 64}) {
+    size_t lda = kc + 3, ldb = 8 + 5, ldc = 8 + 2;  // strided storage
+    std::vector<float> a = RandomVec(8 * lda, &rng);
+    std::vector<float> b = RandomVec(kc * ldb, &rng);
+    std::vector<float> c0 = RandomVec(8 * ldc, &rng);
+
+    auto run = [&](bool scalar) {
+      SetForceScalar(scalar);
+      std::vector<float> c = c0;
+      nn::kernels::Gemm8x8F32(a.data(), lda, b.data(), ldb, c.data(), ldc, kc);
+      return c;
+    };
+    std::vector<float> cs = run(true);
+    std::vector<float> cv = run(false);
+    for (size_t i = 0; i < cs.size(); ++i) {
+      ExpectClose(cs[i], cv[i], "gemm8x8", kc);
+    }
+  }
+}
+
+// Each path must be a pure function of its inputs: same bits on repeat
+// calls (the thread-count invariance of the full matmuls is covered in
+// parallel_test.cc).
+TEST_F(KernelsTest, EachPathIsDeterministic) {
+  Rng rng(17);
+  std::vector<float> a = RandomVec(1000, &rng);
+  std::vector<float> b = RandomVec(1000, &rng);
+  for (bool scalar : {true, false}) {
+    if (!scalar && !SimdActive()) continue;
+    SetForceScalar(scalar);
+    float d1 = nn::kernels::DotF32(a.data(), b.data(), a.size());
+    double c1 = nn::kernels::CosineF32(a.data(), b.data(), a.size());
+    for (int rep = 0; rep < 3; ++rep) {
+      EXPECT_EQ(d1, nn::kernels::DotF32(a.data(), b.data(), a.size()));
+      EXPECT_EQ(c1, nn::kernels::CosineF32(a.data(), b.data(), a.size()));
+    }
+  }
+}
+
+TEST_F(KernelsTest, ZeroLengthAndZeroNormEdgeCases) {
+  EXPECT_EQ(nn::kernels::DotF32(nullptr, nullptr, 0), 0.0f);
+  EXPECT_EQ(nn::kernels::SumSqF32(nullptr, 0), 0.0);
+  EXPECT_EQ(nn::kernels::CosineF32(nullptr, nullptr, 0), 0.0);
+  std::vector<float> z(8, 0.0f), o(8, 1.0f);
+  EXPECT_EQ(nn::kernels::CosineF32(z.data(), o.data(), 8), 0.0);
+  EXPECT_EQ(nn::kernels::CosineF32(o.data(), z.data(), 8), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// TensorPool / WorkspaceScope
+
+TEST(TensorPoolTest, AcquireReleaseReusesBuffers) {
+  nn::TensorPool& pool = nn::TensorPool::Global();
+  pool.Clear();
+  pool.ResetStats();
+
+  std::vector<float> buf = pool.Acquire(100);
+  ASSERT_EQ(buf.size(), 100u);
+  EXPECT_GE(buf.capacity(), 128u);  // power-of-two bucket
+  const float* ptr = buf.data();
+  for (float& x : buf) x = 3.0f;
+  pool.Release(std::move(buf));
+
+  // Same bucket (capacity 128 serves any n <= 128) and same thread, so
+  // the thread cache must hand the identical buffer back, zero-filled.
+  std::vector<float> again = pool.Acquire(128);
+  EXPECT_EQ(again.data(), ptr);
+  for (float x : again) EXPECT_EQ(x, 0.0f);
+  pool.Release(std::move(again));
+
+  nn::TensorPool::Stats st = pool.GetStats();
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.releases, 2u);
+}
+
+TEST(TensorPoolTest, ZeroSizeAndOversizeBypassThePool) {
+  nn::TensorPool& pool = nn::TensorPool::Global();
+  std::vector<float> empty = pool.Acquire(0);
+  EXPECT_TRUE(empty.empty());
+  // Larger than 2^kMaxBucket floats: allocated plainly, never cached.
+  size_t huge = (size_t{1} << nn::TensorPool::kMaxBucket) + 1;
+  std::vector<float> big = pool.Acquire(huge);
+  EXPECT_EQ(big.size(), huge);
+  pool.Release(std::move(big));
+}
+
+TEST(TensorPoolTest, WorkspaceScopeIsPerThreadAndNests) {
+  EXPECT_FALSE(nn::WorkspaceActive());
+  {
+    nn::WorkspaceScope outer;
+    EXPECT_TRUE(nn::WorkspaceActive());
+    {
+      nn::WorkspaceScope inner;
+      EXPECT_TRUE(nn::WorkspaceActive());
+    }
+    EXPECT_TRUE(nn::WorkspaceActive());
+
+    // A fresh thread starts outside workspace mode regardless of the
+    // parent thread's scopes.
+    bool active_on_worker = true;
+    std::thread t([&] { active_on_worker = nn::WorkspaceActive(); });
+    t.join();
+    EXPECT_FALSE(active_on_worker);
+  }
+  EXPECT_FALSE(nn::WorkspaceActive());
+}
+
+TEST(TensorPoolTest, PooledTensorMayOutliveItsScope) {
+  nn::Tensor escaped;
+  {
+    nn::WorkspaceScope ws;
+    nn::Tensor t = nn::Tensor::Full({4, 4}, 2.5f);
+    escaped = std::move(t);  // buffer ownership leaves the scope
+  }
+  ASSERT_EQ(escaped.size(), 16u);
+  for (size_t i = 0; i < escaped.size(); ++i) EXPECT_EQ(escaped[i], 2.5f);
+}
+
+TEST(TensorPoolTest, WorkspaceTensorsRecycleAllocations) {
+  nn::TensorPool& pool = nn::TensorPool::Global();
+  pool.Clear();
+  {  // warm the per-bucket cache
+    nn::WorkspaceScope ws;
+    nn::Tensor warm({16, 16});
+  }
+  pool.ResetStats();
+  {
+    nn::WorkspaceScope ws;
+    for (int step = 0; step < 10; ++step) {
+      nn::Tensor t({16, 16});
+      t.Fill(1.0f);
+    }
+  }
+  nn::TensorPool::Stats st = pool.GetStats();
+  EXPECT_EQ(st.misses, 0u) << "steady state must not heap-allocate";
+  EXPECT_EQ(st.hits, 10u);
+}
+
+// Thread-local caches under real concurrency; meaningful mainly under
+// TSan (`ctest -L parallel` in an ENABLE_TSAN build).
+TEST(TensorPoolTest, ConcurrentWorkspacesAreRaceFree) {
+  nn::TensorPool::Global().Clear();
+  SetNumThreads(4);
+  ParallelFor(0, 8, 1, [](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      nn::WorkspaceScope ws;  // per-worker scope, as DESIGN.md requires
+      for (int step = 0; step < 50; ++step) {
+        nn::Tensor a({8, 8});
+        a.Fill(static_cast<float>(i));
+        nn::Tensor b = a;  // copy also draws from the pool
+        nn::Axpy(a, 1.0f, &b);
+        ASSERT_EQ(b[0], 2.0f * static_cast<float>(i));
+      }
+    }
+  });
+  SetNumThreads(1);
+}
+
+// ---------------------------------------------------------------------
+// RowView
+
+TEST(RowViewTest, ViewsRowsWithoutCopying) {
+  nn::Tensor t({3, 4});
+  for (size_t i = 0; i < t.size(); ++i) t[i] = static_cast<float>(i);
+  nn::RowView row = t.Row(1);
+  EXPECT_EQ(row.size, 4u);
+  EXPECT_EQ(row.data, t.data() + 4);  // no copy: points into the tensor
+  EXPECT_EQ(row[0], 4.0f);
+  EXPECT_EQ(row[3], 7.0f);
+  float sum = 0.0f;
+  for (float v : row) sum += v;
+  EXPECT_EQ(sum, 4.0f + 5.0f + 6.0f + 7.0f);
+  EXPECT_FALSE(row.empty());
+}
+
+// ---------------------------------------------------------------------
+// bench_util JSON emitter
+
+TEST(JsonObjectTest, EscapesKeysAndValues) {
+  bench::JsonObject o;
+  o.Set("plain", std::string("value"));
+  o.Set("quote\"key", std::string("back\\slash"));
+  o.Set("tab\tkey", std::string("line\nbreak\x01"));
+  EXPECT_EQ(o.str(),
+            "{\"plain\":\"value\","
+            "\"quote\\\"key\":\"back\\\\slash\","
+            "\"tab\\tkey\":\"line\\nbreak\\u0001\"}");
+}
+
+}  // namespace
+}  // namespace autodc
