@@ -161,7 +161,16 @@ void DaeImputer::Fit(const data::Table& table) {
     }
     if (!has_null) complete.push_back(encoder_.EncodeRow(table.row(r)));
   }
-  if (!complete.empty()) dae_->Train(complete, config_.epochs);
+  if (complete.empty()) return;
+  nn::TrainOptions options;
+  options.epochs = config_.epochs;
+  options.batch_size = config_.batch_size;
+  options.grad_clip = 5.0f;
+  options.validation_fraction = config_.validation_fraction;
+  options.early_stopping_patience = config_.early_stopping_patience;
+  options.early_stopping_min_delta = config_.early_stopping_min_delta;
+  options.epoch_callback = config_.epoch_callback;
+  dae_->Train(complete, options);
 }
 
 data::Value DaeImputer::Impute(const data::Table& table, size_t row,

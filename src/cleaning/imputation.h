@@ -64,6 +64,18 @@ struct DaeImputerConfig {
   float corruption = 0.25f;
   float learning_rate = 1e-2f;
   uint64_t seed = 42;
+
+  // ---- Trainer runtime knobs (defaults reproduce seed behaviour). ----
+  size_t batch_size = 16;
+  /// Fraction of complete rows held out for validation (0 disables).
+  /// Validation reconstructs uncorrupted, so the monitored loss is
+  /// deterministic.
+  double validation_fraction = 0.0;
+  /// Early stopping patience in epochs (0 disables, best weights kept).
+  size_t early_stopping_patience = 0;
+  double early_stopping_min_delta = 0.0;
+  /// Per-epoch telemetry: {epoch, train_loss, val_loss, lr, wall_ms}.
+  nn::EpochCallback epoch_callback;
 };
 
 /// MIDA-style multiple imputation with a denoising autoencoder [25]

@@ -83,7 +83,15 @@ std::vector<OutlierCell> AutoencoderRowOutliers(
   acfg.hidden_dim = config.hidden_dim;
   acfg.activation = nn::Activation::kTanh;
   nn::Autoencoder ae(nn::AutoencoderKind::kPlain, acfg, &rng);
-  ae.Train(rows, config.epochs);
+  nn::TrainOptions topt;
+  topt.epochs = config.epochs;
+  topt.batch_size = config.batch_size;
+  topt.grad_clip = 5.0f;
+  topt.validation_fraction = config.validation_fraction;
+  topt.early_stopping_patience = config.early_stopping_patience;
+  topt.early_stopping_min_delta = config.early_stopping_min_delta;
+  topt.epoch_callback = config.epoch_callback;
+  ae.Train(rows, topt);
 
   std::vector<double> errors;
   errors.reserve(rows.size());

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/data/table.h"
+#include "src/nn/trainer.h"
 
 namespace autodc::cleaning {
 
@@ -31,6 +32,14 @@ struct AutoencoderOutlierConfig {
   /// training errors are flagged.
   double sigma = 3.0;
   uint64_t seed = 42;
+
+  // ---- Trainer runtime knobs (defaults reproduce seed behaviour). ----
+  size_t batch_size = 16;
+  double validation_fraction = 0.0;
+  size_t early_stopping_patience = 0;
+  double early_stopping_min_delta = 0.0;
+  /// Per-epoch telemetry: {epoch, train_loss, val_loss, lr, wall_ms}.
+  nn::EpochCallback epoch_callback;
 };
 
 /// Row-level anomaly detection via autoencoder reconstruction error

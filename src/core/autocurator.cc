@@ -1,6 +1,7 @@
 #include "src/core/autocurator.h"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
 #include <unordered_map>
 
@@ -128,6 +129,16 @@ Result<CurationResult> AutoCurator::Curate(
     dcfg.epochs = 25;
     dcfg.learning_rate = 1e-2f;
     dcfg.seed = cfg.seed;
+    // Per-epoch training curve from the Trainer runtime (loss under the
+    // weak labels, epochs run, cumulative wall time).
+    auto dedup_wall = std::make_shared<double>(0.0);
+    dcfg.epoch_callback = [c, dedup_wall](const nn::EpochStats& s) {
+      *dedup_wall += s.wall_ms;
+      c->Metric("dedup.train_loss.epoch" + std::to_string(s.epoch),
+                s.train_loss);
+      c->Metric("dedup.train_epochs", static_cast<double>(s.epoch + 1));
+      c->Metric("dedup.train_wall_ms", *dedup_wall);
+    };
     er::DeepEr model(c->words.get(), dcfg);
     model.FitWeights({&working});
 
@@ -220,6 +231,15 @@ Result<CurationResult> AutoCurator::Curate(
   pipeline.Add("impute", [&cfg, &working](PipelineContext* c) -> Status {
     cleaning::DaeImputerConfig icfg;
     icfg.seed = cfg.seed;
+    // Per-epoch training curve of the DAE from the Trainer runtime.
+    auto impute_wall = std::make_shared<double>(0.0);
+    icfg.epoch_callback = [c, impute_wall](const nn::EpochStats& s) {
+      *impute_wall += s.wall_ms;
+      c->Metric("impute.train_loss.epoch" + std::to_string(s.epoch),
+                s.train_loss);
+      c->Metric("impute.train_epochs", static_cast<double>(s.epoch + 1));
+      c->Metric("impute.train_wall_ms", *impute_wall);
+    };
     cleaning::DaeImputer imputer(icfg);
     size_t filled = imputer.FitAndFillAll(&working);
     // The DAE abstains on cells it decodes into the "other" bucket; a

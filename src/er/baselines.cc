@@ -1,5 +1,6 @@
 #include "src/er/baselines.h"
 
+#include "src/common/parallel.h"
 #include "src/er/features.h"
 #include "src/text/similarity.h"
 
@@ -37,7 +38,10 @@ FeatureMatcher::FeatureMatcher(const data::Schema& schema,
                                std::vector<size_t> hidden,
                                float learning_rate, size_t epochs,
                                uint64_t seed)
-    : schema_(schema), epochs_(epochs), rng_(seed) {
+    : schema_(schema), rng_(seed) {
+  train_options_.epochs = epochs;
+  train_options_.batch_size = 32;
+  train_options_.grad_clip = 5.0f;
   nn::ClassifierConfig cfg;
   cfg.input_dim = HandcraftedFeatureDim(schema);
   cfg.hidden = std::move(hidden);
@@ -48,15 +52,20 @@ FeatureMatcher::FeatureMatcher(const data::Schema& schema,
 double FeatureMatcher::Train(const data::Table& left,
                              const data::Table& right,
                              const std::vector<PairLabel>& pairs) {
-  nn::Batch features;
-  std::vector<int> labels;
-  features.reserve(pairs.size());
-  for (const PairLabel& p : pairs) {
-    features.push_back(HandcraftedPairFeatures(left.row(p.left),
-                                               right.row(p.right), schema_));
-    labels.push_back(p.label);
-  }
-  return classifier_->Train(features, labels, epochs_);
+  // Thin Trainer client, mirroring DeepER's average path: featurize on
+  // the thread pool, then hand the matrix to the shared runtime.
+  nn::Batch features(pairs.size());
+  std::vector<int> labels(pairs.size());
+  ParallelFor(0, pairs.size(), 8, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      const PairLabel& p = pairs[i];
+      features[i] = HandcraftedPairFeatures(left.row(p.left),
+                                            right.row(p.right), schema_);
+      labels[i] = p.label;
+    }
+  });
+  last_train_ = classifier_->Train(features, labels, train_options_);
+  return last_train_.final_train_loss;
 }
 
 double FeatureMatcher::PredictProba(const data::Row& a,

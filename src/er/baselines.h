@@ -45,9 +45,17 @@ class FeatureMatcher {
                              const std::vector<RowPair>& candidates,
                              double threshold = 0.5) const;
 
+  /// Trainer options used by Train (epochs/batching/early stopping/
+  /// telemetry); defaults reproduce the seed behaviour. Mutate before
+  /// calling Train to enable validation splits or checkpointing.
+  nn::TrainOptions& mutable_train_options() { return train_options_; }
+  /// Trainer result of the most recent Train call.
+  const nn::TrainResult& last_train_result() const { return last_train_; }
+
  private:
   data::Schema schema_;
-  size_t epochs_;
+  nn::TrainOptions train_options_;
+  nn::TrainResult last_train_;
   Rng rng_;
   std::unique_ptr<nn::BinaryClassifier> classifier_;
 };

@@ -232,6 +232,21 @@ void DeepEr::EnsureAvgClassifier(size_t num_columns) {
   avg_classifier_ = std::make_unique<nn::BinaryClassifier>(ccfg, &rng_);
 }
 
+nn::TrainOptions DeepEr::MakeTrainOptions(size_t batch_size,
+                                          float grad_clip) const {
+  nn::TrainOptions options;
+  options.epochs = config_.epochs;
+  options.batch_size = batch_size;
+  options.grad_clip = grad_clip;
+  options.validation_fraction = config_.validation_fraction;
+  options.early_stopping_patience = config_.early_stopping_patience;
+  options.early_stopping_min_delta = config_.early_stopping_min_delta;
+  options.checkpoint_every = config_.checkpoint_every;
+  options.checkpoint_path = config_.checkpoint_path;
+  options.epoch_callback = config_.epoch_callback;
+  return options;
+}
+
 double DeepEr::Train(const data::Table& left, const data::Table& right,
                      const std::vector<PairLabel>& pairs) {
   if (config_.composition == TupleComposition::kAverage) {
@@ -247,38 +262,38 @@ double DeepEr::Train(const data::Table& left, const data::Table& right,
         labels[i] = p.label;
       }
     });
-    return avg_classifier_->Train(features, labels, config_.epochs);
+    last_train_ = avg_classifier_->Train(
+        features, labels, MakeTrainOptions(/*batch_size=*/32,
+                                           /*grad_clip=*/5.0f));
+    return last_train_.final_train_loss;
   }
 
-  // LSTM path: per-pair SGD through the unrolled encoders. The unrolled
-  // graphs allocate thousands of small tensors per pair; the workspace
-  // pool recycles them across pairs and epochs.
+  // LSTM path: per-pair SGD through the unrolled encoders, driven by the
+  // shared Trainer runtime. The unrolled graphs allocate thousands of
+  // small tensors per pair; the workspace pool recycles them across pairs
+  // and epochs. Persistent shuffle order + batch_size 1 reproduce the
+  // original per-pair loop exactly.
   nn::WorkspaceScope workspace;
   nn::Adam opt(AllParameters(), config_.learning_rate);
-  std::vector<size_t> order(pairs.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  double last = 0.0;
-  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
-    rng_.Shuffle(&order);
-    double total = 0.0;
-    for (size_t i : order) {
-      const PairLabel& p = pairs[i];
-      nn::VarPtr logit =
-          PairLogit(left.row(p.left), right.row(p.right), /*train=*/true);
-      nn::Tensor target({1, 1});
-      target.at(0, 0) = p.label > 0 ? 1.0f : 0.0f;
-      nn::VarPtr loss = nn::BceWithLogitsLoss(logit, target);
-      if (p.label > 0 && config_.positive_weight != 1.0f) {
-        loss = nn::Scale(loss, config_.positive_weight);
-      }
-      total += loss->value[0];
-      nn::Backward(loss);
-      opt.ClipGradients(1.0f);
-      opt.Step();
-    }
-    last = pairs.empty() ? 0.0 : total / static_cast<double>(pairs.size());
-  }
-  return last;
+  nn::TrainOptions options =
+      MakeTrainOptions(/*batch_size=*/1, /*grad_clip=*/1.0f);
+  options.shuffle = nn::ShuffleMode::kPersistent;
+  nn::Trainer trainer(options);
+  last_train_ = trainer.Fit(
+      pairs.size(), &rng_, &opt,
+      [&](const std::vector<size_t>& idx, bool train) {
+        const PairLabel& p = pairs[idx[0]];
+        nn::VarPtr logit =
+            PairLogit(left.row(p.left), right.row(p.right), train);
+        nn::Tensor target({1, 1});
+        target.at(0, 0) = p.label > 0 ? 1.0f : 0.0f;
+        nn::VarPtr loss = nn::BceWithLogitsLoss(logit, target);
+        if (p.label > 0 && config_.positive_weight != 1.0f) {
+          loss = nn::Scale(loss, config_.positive_weight);
+        }
+        return loss;
+      });
+  return last_train_.final_train_loss;
 }
 
 double DeepEr::PredictProba(const data::Row& a, const data::Row& b) const {

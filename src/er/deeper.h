@@ -54,6 +54,19 @@ struct DeepErConfig {
   float positive_weight = 1.0f;
   size_t max_tokens_per_tuple = 24;  ///< LSTM unroll cap
   uint64_t seed = 42;
+
+  // ---- Trainer runtime knobs (defaults reproduce seed behaviour). ----
+  /// Fraction of training pairs held out for validation (0 disables).
+  double validation_fraction = 0.0;
+  /// Early stopping patience in epochs (0 disables); monitors val loss
+  /// when a split exists, else train loss; best weights are restored.
+  size_t early_stopping_patience = 0;
+  double early_stopping_min_delta = 0.0;
+  /// Periodic checkpointing through nn/serialize (0 disables).
+  size_t checkpoint_every = 0;
+  std::string checkpoint_path;
+  /// Per-epoch telemetry: {epoch, train_loss, val_loss, lr, wall_ms}.
+  nn::EpochCallback epoch_callback;
 };
 
 /// The DeepER entity-resolution model of Sec. 5.2 / Figure 5: pre-trained
@@ -74,9 +87,15 @@ class DeepEr {
   void FitWeights(const std::vector<const data::Table*>& tables);
 
   /// Trains on labeled pairs drawn from the two tables. Returns final
-  /// epoch mean loss.
+  /// epoch mean loss. Validation/early-stopping/checkpoint behaviour is
+  /// controlled by the Trainer knobs in DeepErConfig; full per-epoch
+  /// history is available via last_train_result().
   double Train(const data::Table& left, const data::Table& right,
                const std::vector<PairLabel>& pairs);
+
+  /// Trainer result of the most recent Train call (epoch history,
+  /// early-stopping outcome, checkpoint status).
+  const nn::TrainResult& last_train_result() const { return last_train_; }
 
   /// Match probability for one tuple pair.
   double PredictProba(const data::Row& a, const data::Row& b) const;
@@ -120,6 +139,8 @@ class DeepEr {
   /// when FitWeights was called).
   std::vector<float> AttributeEmbedding(const data::Value& v) const;
   void EnsureAvgClassifier(size_t num_columns);
+  /// TrainOptions assembled from the config's Trainer knobs.
+  nn::TrainOptions MakeTrainOptions(size_t batch_size, float grad_clip) const;
   // LSTM path helpers (tape-building).
   nn::VarPtr EncodeTuple(const data::Row& row) const;
   nn::VarPtr PairLogit(const data::Row& a, const data::Row& b,
@@ -132,6 +153,9 @@ class DeepEr {
   /// Token frequencies for SIF weighting (empty until FitWeights).
   text::Vocabulary token_counts_;
   bool use_sif_ = false;
+
+  /// Result of the most recent Train call.
+  nn::TrainResult last_train_;
 
   // Average-composition path: plain feature classifier.
   std::unique_ptr<nn::BinaryClassifier> avg_classifier_;

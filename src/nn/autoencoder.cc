@@ -3,8 +3,6 @@
 #include <cassert>
 #include <cmath>
 
-#include "src/nn/tensor_pool.h"
-
 namespace autodc::nn {
 
 namespace {
@@ -102,41 +100,35 @@ VarPtr Autoencoder::BuildLoss(const Tensor& input, const Tensor& target,
 }
 
 double Autoencoder::TrainEpoch(const Batch& data, size_t batch_size) {
-  if (data.empty()) return 0.0;
-  // Per-batch graph temporaries come from the tensor pool.
-  WorkspaceScope workspace;
-  std::vector<size_t> order(data.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  rng_->Shuffle(&order);
-
-  double total = 0.0;
-  size_t batches = 0;
-  for (size_t start = 0; start < order.size(); start += batch_size) {
-    size_t end = std::min(order.size(), start + batch_size);
-    std::vector<size_t> idx(order.begin() + start, order.begin() + end);
-    Tensor target = BatchToTensor(data, idx);
-    Tensor input = target;
-    if (kind_ == AutoencoderKind::kDenoising) {
-      // Stochastically corrupt the input; reconstruct the clean original.
-      for (size_t i = 0; i < input.size(); ++i) {
-        if (rng_->Bernoulli(config_.corruption)) input[i] = 0.0f;
-      }
-    }
-    VarPtr loss = BuildLoss(input, target, /*train=*/true);
-    total += loss->value[0];
-    ++batches;
-    Backward(loss);
-    optimizer_->ClipGradients(5.0f);
-    optimizer_->Step();
-  }
-  return batches > 0 ? total / static_cast<double>(batches) : 0.0;
+  return Train(data, 1, batch_size);
 }
 
 double Autoencoder::Train(const Batch& data, size_t epochs,
                           size_t batch_size) {
-  double loss = 0.0;
-  for (size_t e = 0; e < epochs; ++e) loss = TrainEpoch(data, batch_size);
-  return loss;
+  TrainOptions options;
+  options.epochs = epochs;
+  options.batch_size = batch_size;
+  options.grad_clip = 5.0f;
+  return Train(data, options).final_train_loss;
+}
+
+TrainResult Autoencoder::Train(const Batch& data,
+                               const TrainOptions& options) {
+  Trainer trainer(options);
+  return trainer.Fit(
+      data.size(), rng_, optimizer_.get(),
+      [&](const std::vector<size_t>& idx, bool train) {
+        Tensor target = BatchToTensor(data, idx);
+        Tensor input = target;
+        if (train && kind_ == AutoencoderKind::kDenoising) {
+          // Stochastically corrupt the input; reconstruct the clean
+          // original. Validation evaluates uncorrupted (deterministic).
+          for (size_t i = 0; i < input.size(); ++i) {
+            if (rng_->Bernoulli(config_.corruption)) input[i] = 0.0f;
+          }
+        }
+        return BuildLoss(input, target, train);
+      });
 }
 
 std::vector<float> Autoencoder::Encode(const std::vector<float>& x) const {

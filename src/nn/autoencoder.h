@@ -6,6 +6,7 @@
 
 #include "src/nn/layers.h"
 #include "src/nn/optimizer.h"
+#include "src/nn/trainer.h"
 
 namespace autodc::nn {
 
@@ -41,6 +42,12 @@ class Autoencoder {
 
   /// Trains for `epochs` passes; returns the final epoch's mean loss.
   double Train(const Batch& data, size_t epochs, size_t batch_size = 16);
+
+  /// Full-control training on the shared Trainer runtime (validation,
+  /// early stopping, checkpoints, telemetry). In eval mode (validation
+  /// passes) denoising corruption and the VAE's sampling are disabled,
+  /// so the validation loss is deterministic.
+  TrainResult Train(const Batch& data, const TrainOptions& options);
 
   /// Deterministic code for x (VAE returns the mean).
   std::vector<float> Encode(const std::vector<float>& x) const;

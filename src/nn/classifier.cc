@@ -16,6 +16,15 @@ Tensor RowsToTensor(const Batch& data, const std::vector<size_t>& idx) {
   }
   return t;
 }
+
+/// Seed-equivalent options for the epochs/batch_size signatures.
+TrainOptions LegacyOptions(size_t epochs, size_t batch_size) {
+  TrainOptions options;
+  options.epochs = epochs;
+  options.batch_size = batch_size;
+  options.grad_clip = 5.0f;
+  return options;
+}
 }  // namespace
 
 BinaryClassifier::BinaryClassifier(const ClassifierConfig& config, Rng* rng)
@@ -37,93 +46,78 @@ BinaryClassifier::BinaryClassifier(const ClassifierConfig& config, Rng* rng)
                                       config.learning_rate);
 }
 
-double BinaryClassifier::RunEpoch(const Batch& features,
+TrainResult BinaryClassifier::Fit(const Batch& features,
                                   const std::vector<float>& targets,
-                                  size_t batch_size) {
-  if (features.empty()) return 0.0;
-  // Forward/backward temporaries of every batch in this epoch draw from
-  // the tensor pool instead of the heap.
-  WorkspaceScope workspace;
-  std::vector<size_t> order(features.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  rng_->Shuffle(&order);
-  double total = 0.0;
-  size_t batches = 0;
-  for (size_t start = 0; start < order.size(); start += batch_size) {
-    size_t end = std::min(order.size(), start + batch_size);
-    std::vector<size_t> idx(order.begin() + start, order.begin() + end);
-    Tensor x = RowsToTensor(features, idx);
-    size_t n = idx.size();
-    Tensor y({n, 1});
-    for (size_t i = 0; i < n; ++i) y.at(i, 0) = targets[idx[i]];
+                                  const TrainOptions& options) {
+  Trainer trainer(options);
+  return trainer.Fit(
+      features.size(), rng_, optimizer_.get(),
+      [&](const std::vector<size_t>& idx, bool train) {
+        Tensor x = RowsToTensor(features, idx);
+        size_t n = idx.size();
+        Tensor y({n, 1});
+        for (size_t i = 0; i < n; ++i) y.at(i, 0) = targets[idx[i]];
 
-    VarPtr logits = model_->Forward(Constant(x), /*train=*/true);
-    VarPtr loss;
-    if (config_.positive_weight != 1.0f) {
-      // Weighted BCE: replicate positives' contribution via a per-example
-      // scale folded into a manual loss: w*t*(-x+lse) + (1-t)*lse where
-      // lse = log(1+e^x). Implemented by scaling gradients through two
-      // separate BCE terms would be clumsy; instead weight by splitting
-      // the batch contributions inside one custom pass.
-      // Simpler: duplicate positive rows virtually by scaling the loss of
-      // positives. We compute standard BCE on all rows plus an extra
-      // (w-1)-weighted BCE on the positive rows only.
-      loss = BceWithLogitsLoss(logits, y);
-      std::vector<size_t> pos;
-      for (size_t i = 0; i < n; ++i) {
-        if (y.at(i, 0) > 0.5f) pos.push_back(i);
-      }
-      if (!pos.empty()) {
-        VarPtr pos_logits = Rows(logits, pos);
-        Tensor pos_y({pos.size(), 1});
-        pos_y.Fill(1.0f);
-        VarPtr extra = BceWithLogitsLoss(pos_logits, pos_y);
-        loss = Add(loss, Scale(extra, config_.positive_weight - 1.0f));
-      }
-    } else {
-      loss = BceWithLogitsLoss(logits, y);
-    }
-    total += loss->value[0];
-    ++batches;
-    Backward(loss);
-    optimizer_->ClipGradients(5.0f);
-    optimizer_->Step();
-  }
-  return batches > 0 ? total / static_cast<double>(batches) : 0.0;
+        VarPtr logits = model_->Forward(Constant(x), train);
+        VarPtr loss = BceWithLogitsLoss(logits, y);
+        if (config_.positive_weight != 1.0f) {
+          // Weighted BCE: standard BCE on all rows plus an extra
+          // (w-1)-weighted BCE on the positive rows only — equivalent
+          // to scaling the positives' per-example loss by w.
+          std::vector<size_t> pos;
+          for (size_t i = 0; i < n; ++i) {
+            if (y.at(i, 0) > 0.5f) pos.push_back(i);
+          }
+          if (!pos.empty()) {
+            VarPtr pos_logits = Rows(logits, pos);
+            Tensor pos_y({pos.size(), 1});
+            pos_y.Fill(1.0f);
+            VarPtr extra = BceWithLogitsLoss(pos_logits, pos_y);
+            loss = Add(loss, Scale(extra, config_.positive_weight - 1.0f));
+          }
+        }
+        return loss;
+      });
 }
 
 double BinaryClassifier::TrainEpoch(const Batch& features,
                                     const std::vector<int>& labels,
                                     size_t batch_size) {
-  std::vector<float> targets(labels.size());
-  for (size_t i = 0; i < labels.size(); ++i) {
-    targets[i] = labels[i] > 0 ? 1.0f : 0.0f;
-  }
-  return RunEpoch(features, targets, batch_size);
+  return Train(features, labels, 1, batch_size);
 }
 
 double BinaryClassifier::Train(const Batch& features,
                                const std::vector<int>& labels, size_t epochs,
                                size_t batch_size) {
-  double loss = 0.0;
-  for (size_t e = 0; e < epochs; ++e) {
-    loss = TrainEpoch(features, labels, batch_size);
+  return Train(features, labels, LegacyOptions(epochs, batch_size))
+      .final_train_loss;
+}
+
+TrainResult BinaryClassifier::Train(const Batch& features,
+                                    const std::vector<int>& labels,
+                                    const TrainOptions& options) {
+  std::vector<float> targets(labels.size());
+  for (size_t i = 0; i < labels.size(); ++i) {
+    targets[i] = labels[i] > 0 ? 1.0f : 0.0f;
   }
-  return loss;
+  return Fit(features, targets, options);
 }
 
 double BinaryClassifier::TrainSoft(const Batch& features,
                                    const std::vector<double>& probs,
                                    size_t epochs, size_t batch_size) {
+  return TrainSoft(features, probs, LegacyOptions(epochs, batch_size))
+      .final_train_loss;
+}
+
+TrainResult BinaryClassifier::TrainSoft(const Batch& features,
+                                        const std::vector<double>& probs,
+                                        const TrainOptions& options) {
   std::vector<float> targets(probs.size());
   for (size_t i = 0; i < probs.size(); ++i) {
     targets[i] = static_cast<float>(probs[i]);
   }
-  double loss = 0.0;
-  for (size_t e = 0; e < epochs; ++e) {
-    loss = RunEpoch(features, targets, batch_size);
-  }
-  return loss;
+  return Fit(features, targets, options);
 }
 
 double BinaryClassifier::PredictProba(const std::vector<float>& x) const {
@@ -169,39 +163,30 @@ MulticlassClassifier::MulticlassClassifier(size_t input_dim,
 double MulticlassClassifier::TrainEpoch(const Batch& features,
                                         const std::vector<size_t>& labels,
                                         size_t batch_size) {
-  if (features.empty()) return 0.0;
-  WorkspaceScope workspace;
-  std::vector<size_t> order(features.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  rng_->Shuffle(&order);
-  double total = 0.0;
-  size_t batches = 0;
-  for (size_t start = 0; start < order.size(); start += batch_size) {
-    size_t end = std::min(order.size(), start + batch_size);
-    std::vector<size_t> idx(order.begin() + start, order.begin() + end);
-    Tensor x = RowsToTensor(features, idx);
-    std::vector<size_t> y;
-    y.reserve(idx.size());
-    for (size_t i : idx) y.push_back(labels[i]);
-    VarPtr logits = model_->Forward(Constant(x), /*train=*/true);
-    VarPtr loss = SoftmaxCrossEntropyLoss(logits, y);
-    total += loss->value[0];
-    ++batches;
-    Backward(loss);
-    optimizer_->ClipGradients(5.0f);
-    optimizer_->Step();
-  }
-  return batches > 0 ? total / static_cast<double>(batches) : 0.0;
+  return Train(features, labels, 1, batch_size);
 }
 
 double MulticlassClassifier::Train(const Batch& features,
                                    const std::vector<size_t>& labels,
                                    size_t epochs, size_t batch_size) {
-  double loss = 0.0;
-  for (size_t e = 0; e < epochs; ++e) {
-    loss = TrainEpoch(features, labels, batch_size);
-  }
-  return loss;
+  return Train(features, labels, LegacyOptions(epochs, batch_size))
+      .final_train_loss;
+}
+
+TrainResult MulticlassClassifier::Train(const Batch& features,
+                                        const std::vector<size_t>& labels,
+                                        const TrainOptions& options) {
+  Trainer trainer(options);
+  return trainer.Fit(
+      features.size(), rng_, optimizer_.get(),
+      [&](const std::vector<size_t>& idx, bool train) {
+        Tensor x = RowsToTensor(features, idx);
+        std::vector<size_t> y;
+        y.reserve(idx.size());
+        for (size_t i : idx) y.push_back(labels[i]);
+        VarPtr logits = model_->Forward(Constant(x), train);
+        return SoftmaxCrossEntropyLoss(logits, y);
+      });
 }
 
 std::vector<double> MulticlassClassifier::PredictProba(

@@ -6,6 +6,7 @@
 
 #include "src/nn/layers.h"
 #include "src/nn/optimizer.h"
+#include "src/nn/trainer.h"
 
 namespace autodc::nn {
 
@@ -22,7 +23,9 @@ struct ClassifierConfig {
 
 /// Binary MLP classifier trained with (weighted) BCE on dense feature
 /// vectors. This is the classification head of DeepER and of the weak
-/// supervision experiments.
+/// supervision experiments. Training runs on the shared Trainer
+/// runtime; the epochs/batch_size signatures below are seed-equivalent
+/// shorthands for a TrainOptions with gradient clip 5.
 class BinaryClassifier {
  public:
   BinaryClassifier(const ClassifierConfig& config, Rng* rng);
@@ -35,10 +38,18 @@ class BinaryClassifier {
   double Train(const Batch& features, const std::vector<int>& labels,
                size_t epochs, size_t batch_size = 32);
 
+  /// Full-control training: validation split, early stopping, LR
+  /// schedules, checkpointing, per-epoch telemetry.
+  TrainResult Train(const Batch& features, const std::vector<int>& labels,
+                    const TrainOptions& options);
+
   /// Trains against probabilistic (soft) labels in [0,1], the interface
   /// weak supervision needs.
   double TrainSoft(const Batch& features, const std::vector<double>& probs,
                    size_t epochs, size_t batch_size = 32);
+  TrainResult TrainSoft(const Batch& features,
+                        const std::vector<double>& probs,
+                        const TrainOptions& options);
 
   /// P(label=1 | x).
   double PredictProba(const std::vector<float>& x) const;
@@ -51,8 +62,8 @@ class BinaryClassifier {
   size_t NumParameters() const { return model_->NumParameters(); }
 
  private:
-  double RunEpoch(const Batch& features, const std::vector<float>& targets,
-                  size_t batch_size);
+  TrainResult Fit(const Batch& features, const std::vector<float>& targets,
+                  const TrainOptions& options);
 
   ClassifierConfig config_;
   Rng* rng_;
@@ -71,6 +82,8 @@ class MulticlassClassifier {
                     size_t batch_size = 32);
   double Train(const Batch& features, const std::vector<size_t>& labels,
                size_t epochs, size_t batch_size = 32);
+  TrainResult Train(const Batch& features, const std::vector<size_t>& labels,
+                    const TrainOptions& options);
 
   /// Class probabilities for x.
   std::vector<double> PredictProba(const std::vector<float>& x) const;

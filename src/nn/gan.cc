@@ -86,21 +86,27 @@ Gan::StepStats Gan::TrainStep(const Batch& real_batch) {
 
 Gan::StepStats Gan::Train(const Batch& data, size_t epochs,
                           size_t batch_size) {
-  StepStats last;
-  if (data.empty()) return last;
-  for (size_t e = 0; e < epochs; ++e) {
-    std::vector<size_t> order(data.size());
-    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-    rng_->Shuffle(&order);
-    for (size_t start = 0; start < order.size(); start += batch_size) {
-      size_t end = std::min(order.size(), start + batch_size);
-      Batch batch;
-      batch.reserve(end - start);
-      for (size_t i = start; i < end; ++i) batch.push_back(data[order[i]]);
-      last = TrainStep(batch);
-    }
-  }
-  return last;
+  last_step_stats_ = StepStats{};
+  TrainOptions options;
+  options.epochs = epochs;
+  options.batch_size = batch_size;
+  Train(data, options);
+  return last_step_stats_;
+}
+
+TrainResult Gan::Train(const Batch& data, const TrainOptions& options) {
+  Trainer trainer(options);
+  std::vector<VarPtr> params = GeneratorParameters();
+  for (const VarPtr& p : DiscriminatorParameters()) params.push_back(p);
+  return trainer.FitSteps(
+      data.size(), rng_, std::move(params),
+      [&](const std::vector<size_t>& idx) {
+        Batch batch;
+        batch.reserve(idx.size());
+        for (size_t i : idx) batch.push_back(data[i]);
+        last_step_stats_ = TrainStep(batch);
+        return last_step_stats_.d_loss + last_step_stats_.g_loss;
+      });
 }
 
 Batch Gan::Generate(size_t n) {

@@ -7,6 +7,7 @@
 #include "src/nn/autoencoder.h"
 #include "src/nn/layers.h"
 #include "src/nn/optimizer.h"
+#include "src/nn/trainer.h"
 
 namespace autodc::nn {
 
@@ -41,6 +42,16 @@ class Gan {
   /// final step's stats.
   StepStats Train(const Batch& data, size_t epochs, size_t batch_size = 16);
 
+  /// Full-control training on the shared Trainer runtime. The GAN is the
+  /// two-optimizer client: each batch runs TrainStep (D update, then G
+  /// update), so the Trainer's per-batch loss is d_loss + g_loss and
+  /// validation splits do not apply. Early stopping monitors the train
+  /// loss; checkpoints cover generator + discriminator parameters.
+  TrainResult Train(const Batch& data, const TrainOptions& options);
+
+  /// Stats of the most recent TrainStep (what the legacy Train returns).
+  const StepStats& last_step_stats() const { return last_step_stats_; }
+
   /// Draws n synthetic rows from the generator.
   Batch Generate(size_t n);
 
@@ -57,6 +68,7 @@ class Gan {
 
   GanConfig config_;
   Rng* rng_;
+  StepStats last_step_stats_;
   std::unique_ptr<Sequential> generator_;
   std::unique_ptr<Sequential> discriminator_;
   std::unique_ptr<Adam> g_opt_;

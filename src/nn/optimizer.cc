@@ -32,7 +32,7 @@ void Sgd::ApplyStep() {
 }
 
 Momentum::Momentum(std::vector<VarPtr> params, float lr, float momentum)
-    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+    : Optimizer(std::move(params), lr), momentum_(momentum) {
   velocity_.reserve(params_.size());
   for (const VarPtr& p : params_) {
     velocity_.push_back(Tensor::Zeros(p->value.shape()));
@@ -52,8 +52,7 @@ void Momentum::ApplyStep() {
 
 Adam::Adam(std::vector<VarPtr> params, float lr, float beta1, float beta2,
            float eps)
-    : Optimizer(std::move(params)),
-      lr_(lr),
+    : Optimizer(std::move(params), lr),
       beta1_(beta1),
       beta2_(beta2),
       eps_(eps) {

@@ -11,8 +11,8 @@ namespace autodc::nn {
 /// caller (or Step itself via zero_grad) clears them.
 class Optimizer {
  public:
-  explicit Optimizer(std::vector<VarPtr> params)
-      : params_(std::move(params)) {}
+  Optimizer(std::vector<VarPtr> params, float lr)
+      : params_(std::move(params)), lr_(lr) {}
   virtual ~Optimizer() = default;
 
   /// Applies one gradient step and zeroes gradients.
@@ -26,22 +26,27 @@ class Optimizer {
 
   const std::vector<VarPtr>& params() const { return params_; }
 
+  /// The step size applied by the next Step(). The Trainer's LR
+  /// schedules drive this between epochs.
+  float learning_rate() const { return lr_; }
+  void set_learning_rate(float lr) { lr_ = lr; }
+
  protected:
   virtual void ApplyStep() = 0;
   std::vector<VarPtr> params_;
+  float lr_;
 };
 
 /// Plain stochastic gradient descent with optional L2 weight decay.
 class Sgd : public Optimizer {
  public:
   Sgd(std::vector<VarPtr> params, float lr, float weight_decay = 0.0f)
-      : Optimizer(std::move(params)), lr_(lr), weight_decay_(weight_decay) {}
+      : Optimizer(std::move(params), lr), weight_decay_(weight_decay) {}
 
  protected:
   void ApplyStep() override;
 
  private:
-  float lr_;
   float weight_decay_;
 };
 
@@ -54,7 +59,6 @@ class Momentum : public Optimizer {
   void ApplyStep() override;
 
  private:
-  float lr_;
   float momentum_;
   std::vector<Tensor> velocity_;
 };
@@ -69,7 +73,7 @@ class Adam : public Optimizer {
   void ApplyStep() override;
 
  private:
-  float lr_, beta1_, beta2_, eps_;
+  float beta1_, beta2_, eps_;
   std::vector<Tensor> m_, v_;
   int64_t t_ = 0;
 };

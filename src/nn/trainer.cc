@@ -1,0 +1,211 @@
+#include "src/nn/trainer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <numeric>
+
+#include "src/nn/serialize.h"
+#include "src/nn/tensor_pool.h"
+
+namespace autodc::nn {
+
+namespace {
+
+float ScheduledLr(const TrainOptions& options, float base_lr, size_t epoch) {
+  if (options.lr_schedule == LrSchedule::kConstant || options.epochs <= 1) {
+    return base_lr;
+  }
+  double progress = static_cast<double>(epoch) /
+                    static_cast<double>(options.epochs - 1);
+  double f = options.lr_final_factor;
+  double factor = 1.0;
+  switch (options.lr_schedule) {
+    case LrSchedule::kConstant:
+      break;
+    case LrSchedule::kLinear:
+      factor = 1.0 - (1.0 - f) * progress;
+      break;
+    case LrSchedule::kCosine:
+      factor = f + (1.0 - f) * 0.5 * (1.0 + std::cos(3.14159265358979323846 *
+                                                     progress));
+      break;
+  }
+  return static_cast<float>(base_lr * factor);
+}
+
+std::vector<Tensor> SnapshotValues(const std::vector<VarPtr>& params) {
+  std::vector<Tensor> out;
+  out.reserve(params.size());
+  for (const VarPtr& p : params) out.push_back(p->value);
+  return out;
+}
+
+void RestoreValues(const std::vector<VarPtr>& params,
+                   const std::vector<Tensor>& snapshot) {
+  for (size_t i = 0; i < params.size() && i < snapshot.size(); ++i) {
+    params[i]->value = snapshot[i];
+  }
+}
+
+}  // namespace
+
+TrainResult Trainer::Fit(size_t num_examples, Rng* rng, Optimizer* optimizer,
+                         const BatchLossFn& batch_loss) {
+  return Run(num_examples, rng, optimizer,
+             optimizer != nullptr ? optimizer->params()
+                                  : std::vector<VarPtr>{},
+             batch_loss, nullptr);
+}
+
+TrainResult Trainer::FitSteps(size_t num_examples, Rng* rng,
+                              std::vector<VarPtr> params,
+                              const BatchStepFn& batch_step) {
+  return Run(num_examples, rng, /*optimizer=*/nullptr, params, nullptr,
+             batch_step);
+}
+
+TrainResult Trainer::Run(size_t num_examples, Rng* rng, Optimizer* optimizer,
+                         const std::vector<VarPtr>& params,
+                         const BatchLossFn& batch_loss,
+                         const BatchStepFn& batch_step) {
+  TrainResult result;
+  if (num_examples == 0 || options_.epochs == 0) return result;
+  const size_t batch_size = std::max<size_t>(1, options_.batch_size);
+
+  // ---- Validation split (loss mode only). Drawn once, up front, from
+  // the caller's RNG — with validation off this consumes nothing, so the
+  // shuffle stream matches the seed loops exactly.
+  std::vector<size_t> train_idx(num_examples);
+  std::iota(train_idx.begin(), train_idx.end(), 0);
+  std::vector<size_t> val_idx;
+  if (options_.validation_fraction > 0.0 && batch_loss != nullptr) {
+    size_t val_n = static_cast<size_t>(
+        static_cast<double>(num_examples) * options_.validation_fraction);
+    if (val_n > 0 && val_n < num_examples) {
+      rng->Shuffle(&train_idx);
+      val_idx.assign(train_idx.end() - static_cast<ptrdiff_t>(val_n),
+                     train_idx.end());
+      train_idx.resize(num_examples - val_n);
+      // Stable index order so batching depends only on the per-epoch
+      // shuffles, not on the split draw.
+      std::sort(train_idx.begin(), train_idx.end());
+      std::sort(val_idx.begin(), val_idx.end());
+    }
+  }
+  const bool monitor_val = !val_idx.empty();
+  const bool early_stopping = options_.early_stopping_patience > 0;
+
+  // Persistent-shuffle order survives across epochs; fresh mode resets
+  // it to train_idx at the top of every epoch.
+  std::vector<size_t> order = train_idx;
+
+  const float base_lr =
+      optimizer != nullptr ? optimizer->learning_rate() : 0.0f;
+  size_t epochs_without_improvement = 0;
+  std::vector<Tensor> best_weights;
+
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    auto epoch_start = std::chrono::steady_clock::now();
+    float lr = base_lr;
+    if (optimizer != nullptr &&
+        options_.lr_schedule != LrSchedule::kConstant) {
+      lr = ScheduledLr(options_, base_lr, epoch);
+      optimizer->set_learning_rate(lr);
+    }
+
+    // Per-batch graph temporaries of this epoch draw from the tensor
+    // pool (the seed loops opened the same scope).
+    WorkspaceScope workspace;
+    if (options_.shuffle == ShuffleMode::kFreshEachEpoch) order = train_idx;
+    rng->Shuffle(&order);
+
+    double total = 0.0;
+    size_t batches = 0;
+    for (size_t start = 0; start < order.size(); start += batch_size) {
+      size_t end = std::min(order.size(), start + batch_size);
+      std::vector<size_t> idx(order.begin() + static_cast<ptrdiff_t>(start),
+                              order.begin() + static_cast<ptrdiff_t>(end));
+      if (batch_loss != nullptr) {
+        VarPtr loss = batch_loss(idx, /*train=*/true);
+        total += loss->value[0];
+        Backward(loss);
+        if (options_.grad_clip > 0.0f) {
+          optimizer->ClipGradients(options_.grad_clip);
+        }
+        optimizer->Step();
+      } else {
+        total += batch_step(idx);
+      }
+      ++batches;
+    }
+    double train_loss =
+        batches > 0 ? total / static_cast<double>(batches) : 0.0;
+
+    // ---- Deterministic validation pass (train=false: no dropout, no
+    // corruption, no sampling — and no RNG draws).
+    double val_loss = std::numeric_limits<double>::quiet_NaN();
+    if (monitor_val) {
+      double val_total = 0.0;
+      size_t val_batches = 0;
+      for (size_t start = 0; start < val_idx.size(); start += batch_size) {
+        size_t end = std::min(val_idx.size(), start + batch_size);
+        std::vector<size_t> idx(
+            val_idx.begin() + static_cast<ptrdiff_t>(start),
+            val_idx.begin() + static_cast<ptrdiff_t>(end));
+        VarPtr loss = batch_loss(idx, /*train=*/false);
+        val_total += loss->value[0];
+        ++val_batches;
+      }
+      val_loss = val_batches > 0
+                     ? val_total / static_cast<double>(val_batches)
+                     : 0.0;
+    }
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.train_loss = train_loss;
+    stats.val_loss = val_loss;
+    stats.lr = lr;
+    stats.wall_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - epoch_start)
+                        .count();
+    result.history.push_back(stats);
+    result.final_train_loss = train_loss;
+    result.epochs_run = epoch + 1;
+    if (options_.epoch_callback) options_.epoch_callback(stats);
+
+    if (options_.checkpoint_every > 0 && !options_.checkpoint_path.empty() &&
+        (epoch + 1) % options_.checkpoint_every == 0 && !params.empty()) {
+      Status s = SaveParametersToFile(params, options_.checkpoint_path);
+      if (!s.ok()) result.checkpoint_status = s;
+    }
+
+    if (early_stopping) {
+      double monitored = monitor_val ? val_loss : train_loss;
+      if (monitored < result.best_loss - options_.early_stopping_min_delta) {
+        result.best_loss = monitored;
+        result.best_epoch = epoch;
+        epochs_without_improvement = 0;
+        if (options_.restore_best_weights && !params.empty()) {
+          best_weights = SnapshotValues(params);
+        }
+      } else if (++epochs_without_improvement >=
+                 options_.early_stopping_patience) {
+        result.stopped_early = true;
+        break;
+      }
+    }
+  }
+
+  if (early_stopping && options_.restore_best_weights &&
+      !best_weights.empty()) {
+    RestoreValues(params, best_weights);
+  }
+  if (optimizer != nullptr && options_.lr_schedule != LrSchedule::kConstant) {
+    optimizer->set_learning_rate(base_lr);  // leave the optimizer reusable
+  }
+  return result;
+}
+
+}  // namespace autodc::nn

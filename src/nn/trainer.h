@@ -1,0 +1,146 @@
+#ifndef AUTODC_NN_TRAINER_H_
+#define AUTODC_NN_TRAINER_H_
+
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/nn/autograd.h"
+#include "src/nn/optimizer.h"
+
+namespace autodc::nn {
+
+/// Per-epoch telemetry delivered to TrainOptions::epoch_callback and
+/// recorded in TrainResult::history. `val_loss` is NaN when no
+/// validation split is configured.
+struct EpochStats {
+  size_t epoch = 0;  ///< 0-based
+  double train_loss = 0.0;
+  double val_loss = std::numeric_limits<double>::quiet_NaN();
+  float lr = 0.0f;     ///< learning rate used this epoch (0 in step mode)
+  double wall_ms = 0.0;
+};
+using EpochCallback = std::function<void(const EpochStats&)>;
+
+/// Learning-rate schedule across epochs. kConstant never touches the
+/// optimizer's rate (the seed-equivalent default); the decaying
+/// schedules anneal from the optimizer's initial rate down to
+/// `initial * lr_final_factor` over TrainOptions::epochs.
+enum class LrSchedule { kConstant, kLinear, kCosine };
+
+/// How the example order evolves across epochs. kFreshEachEpoch resets
+/// to identity before every shuffle (classifiers, autoencoders, GAN);
+/// kPersistent re-shuffles the previous epoch's order in place (the
+/// DeepER per-pair SGD loop). Both consume identical RNG draws — the
+/// distinction exists so refactored models reproduce their seed
+/// behaviour bit-for-bit.
+enum class ShuffleMode { kFreshEachEpoch, kPersistent };
+
+/// Options for one Trainer::Fit run. The defaults reproduce the
+/// pre-Trainer hand-rolled loops exactly: shuffled mini-batches, no
+/// validation, no early stopping, no checkpoints, constant LR.
+struct TrainOptions {
+  size_t epochs = 1;
+  size_t batch_size = 32;
+  /// Elementwise gradient clip applied before every optimizer step;
+  /// 0 disables clipping.
+  float grad_clip = 0.0f;
+  ShuffleMode shuffle = ShuffleMode::kFreshEachEpoch;
+
+  LrSchedule lr_schedule = LrSchedule::kConstant;
+  /// Final LR as a fraction of the initial LR for decaying schedules.
+  float lr_final_factor = 0.0f;
+
+  /// Fraction of examples held out for validation (0 disables). The
+  /// split is drawn once, before the first epoch, from the same RNG
+  /// that shuffles batches. Requires a loss callback (ignored in
+  /// FitSteps mode).
+  double validation_fraction = 0.0;
+  /// Stop after this many epochs without improvement of the monitored
+  /// loss (val loss when a split exists, else train loss). 0 disables.
+  size_t early_stopping_patience = 0;
+  /// Improvement smaller than this does not reset patience.
+  double early_stopping_min_delta = 0.0;
+  /// On early stop (or normal finish with early stopping enabled),
+  /// restore the parameters of the best monitored epoch.
+  bool restore_best_weights = true;
+
+  /// Write a checkpoint of the trained parameters to `checkpoint_path`
+  /// every `checkpoint_every` epochs (0 disables). Failures are
+  /// recorded in TrainResult::checkpoint_status; training continues.
+  size_t checkpoint_every = 0;
+  std::string checkpoint_path;
+
+  EpochCallback epoch_callback;
+};
+
+/// Outcome of a Fit run.
+struct TrainResult {
+  size_t epochs_run = 0;
+  double final_train_loss = 0.0;
+  /// Best monitored loss seen (val loss when a split exists, else train
+  /// loss); +inf when early stopping was disabled.
+  double best_loss = std::numeric_limits<double>::infinity();
+  size_t best_epoch = 0;
+  bool stopped_early = false;
+  Status checkpoint_status = Status::OK();
+  std::vector<EpochStats> history;
+};
+
+/// The shared training runtime (Sec. 6.1: DC models are "light-weight
+/// ... trained in minutes even on a CPU" and retrained constantly —
+/// which demands one observable, restartable loop instead of six
+/// hand-rolled ones). A Trainer owns no model state: callers inject an
+/// optimizer (or step callback), a batch-loss builder, and an Rng; the
+/// Trainer supplies batching, shuffling, validation, early stopping,
+/// LR scheduling, checkpointing, and per-epoch telemetry.
+///
+/// Determinism contract: with validation, early stopping, and
+/// checkpointing disabled, a Fit run draws from `rng` exactly the
+/// Shuffle calls of the seed loops, in the same order, so results are
+/// bit-identical to the pre-Trainer implementations under the same
+/// kernel dispatch.
+class Trainer {
+ public:
+  /// Builds the tape loss (a scalar Variable) for the given example
+  /// indices. `train` is false for validation evaluation, which must
+  /// be deterministic (no dropout, no corruption, no sampling).
+  using BatchLossFn =
+      std::function<VarPtr(const std::vector<size_t>& batch, bool train)>;
+  /// Fully custom step (e.g. the GAN's two-optimizer adversarial step):
+  /// runs forward/backward/update itself and returns a scalar loss for
+  /// telemetry.
+  using BatchStepFn = std::function<double(const std::vector<size_t>& batch)>;
+
+  explicit Trainer(TrainOptions options) : options_(std::move(options)) {}
+
+  /// Standard mode: the Trainer drives Backward, gradient clipping, and
+  /// `optimizer->Step()` around `batch_loss`. Early stopping snapshots
+  /// and checkpoints cover `optimizer->params()`.
+  TrainResult Fit(size_t num_examples, Rng* rng, Optimizer* optimizer,
+                  const BatchLossFn& batch_loss);
+
+  /// Custom-step mode: `batch_step` owns the optimization. Validation
+  /// splits are not supported (early stopping monitors the train loss);
+  /// checkpoints and best-weight snapshots cover `params`.
+  TrainResult FitSteps(size_t num_examples, Rng* rng,
+                       std::vector<VarPtr> params,
+                       const BatchStepFn& batch_step);
+
+  const TrainOptions& options() const { return options_; }
+
+ private:
+  TrainResult Run(size_t num_examples, Rng* rng, Optimizer* optimizer,
+                  const std::vector<VarPtr>& params,
+                  const BatchLossFn& batch_loss,
+                  const BatchStepFn& batch_step);
+
+  TrainOptions options_;
+};
+
+}  // namespace autodc::nn
+
+#endif  // AUTODC_NN_TRAINER_H_

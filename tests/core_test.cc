@@ -132,6 +132,15 @@ TEST_F(AutoCuratorTest, EndToEndCuratesTheRightTable) {
   // Imputation filled the planted nulls.
   EXPECT_DOUBLE_EQ(r.curated.NullFraction(), 0.0);
   EXPECT_GE(r.context.metrics.at("impute.cells"), 0.0);
+
+  // The Trainer runtime surfaced per-epoch training curves for the
+  // stages that fit models (dedup's DeepER, impute's DAE).
+  EXPECT_EQ(r.context.metrics.at("dedup.train_epochs"), 25.0);
+  EXPECT_GT(r.context.metrics.count("dedup.train_loss.epoch0"), 0u);
+  EXPECT_GT(r.context.metrics.count("dedup.train_loss.epoch24"), 0u);
+  EXPECT_GT(r.context.metrics.at("dedup.train_wall_ms"), 0.0);
+  EXPECT_EQ(r.context.metrics.at("impute.train_epochs"), 60.0);
+  EXPECT_GT(r.context.metrics.count("impute.train_loss.epoch59"), 0u);
 }
 
 TEST_F(AutoCuratorTest, EmptyLakeRejected) {

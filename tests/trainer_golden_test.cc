@@ -1,0 +1,203 @@
+// Seed-equivalence guard for the Trainer refactor: with early stopping,
+// validation, LR schedules, and checkpointing all off, every model's
+// training loss must be bit-identical to the hand-rolled loops these
+// values were captured from (pre-refactor seed, scalar kernels).
+//
+// Kernels are pinned to the scalar path for the whole fixture (same
+// pattern as the SGNS scalar pin in parallel_test.cc), so the constants
+// hold under both default and AVX2 builds and regardless of
+// AUTODC_FORCE_SCALAR.
+#include <gtest/gtest.h>
+
+#include "src/data/table.h"
+#include "src/embedding/embedding_store.h"
+#include "src/er/baselines.h"
+#include "src/er/deeper.h"
+#include "src/nn/autoencoder.h"
+#include "src/nn/classifier.h"
+#include "src/nn/gan.h"
+#include "src/nn/kernels.h"
+
+namespace autodc {
+namespace {
+
+nn::Batch MakeData(size_t n, size_t d, Rng* rng) {
+  nn::Batch x;
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<float> row(d);
+    for (size_t j = 0; j < d; ++j) {
+      row[j] = static_cast<float>(rng->Uniform(-1, 1));
+    }
+    x.push_back(row);
+  }
+  return x;
+}
+
+class TrainerGoldenTest : public ::testing::Test {
+ protected:
+  void SetUp() override { nn::kernels::SetForceScalar(true); }
+  void TearDown() override { nn::kernels::SetForceScalar(false); }
+};
+
+TEST_F(TrainerGoldenTest, BinaryClassifierPlain) {
+  Rng rng(21);
+  nn::Batch x = MakeData(48, 4, &rng);
+  std::vector<int> y;
+  for (const auto& r : x) y.push_back(r[0] + r[1] > 0 ? 1 : 0);
+  nn::ClassifierConfig cfg;
+  cfg.input_dim = 4;
+  cfg.hidden = {8};
+  cfg.learning_rate = 0.05f;
+  nn::BinaryClassifier clf(cfg, &rng);
+  EXPECT_EQ(clf.Train(x, y, 4, 16), 0x1.10fc3p-2);
+}
+
+TEST_F(TrainerGoldenTest, BinaryClassifierWeighted) {
+  Rng rng(22);
+  nn::Batch x = MakeData(48, 4, &rng);
+  std::vector<int> y;
+  for (const auto& r : x) y.push_back(r[0] > 0.4f ? 1 : 0);
+  nn::ClassifierConfig cfg;
+  cfg.input_dim = 4;
+  cfg.hidden = {8};
+  cfg.learning_rate = 0.05f;
+  cfg.positive_weight = 3.0f;
+  nn::BinaryClassifier clf(cfg, &rng);
+  EXPECT_EQ(clf.Train(x, y, 4, 16), 0x1.1911ed5555555p+0);
+}
+
+TEST_F(TrainerGoldenTest, BinaryClassifierSoftLabels) {
+  Rng rng(23);
+  nn::Batch x = MakeData(32, 3, &rng);
+  std::vector<double> probs;
+  for (const auto& r : x) probs.push_back(r[0] > 0 ? 0.9 : 0.1);
+  nn::ClassifierConfig cfg;
+  cfg.input_dim = 3;
+  cfg.hidden = {4};
+  cfg.learning_rate = 0.05f;
+  nn::BinaryClassifier clf(cfg, &rng);
+  EXPECT_EQ(clf.TrainSoft(x, probs, 3, 8), 0x1.657c548p-1);
+}
+
+TEST_F(TrainerGoldenTest, MulticlassClassifier) {
+  Rng rng(24);
+  nn::Batch x = MakeData(48, 3, &rng);
+  std::vector<size_t> y;
+  for (const auto& r : x) y.push_back(r[0] > 0 ? (r[1] > 0 ? 2 : 1) : 0);
+  nn::MulticlassClassifier clf(3, {8}, 3, 0.05f, &rng);
+  EXPECT_EQ(clf.Train(x, y, 4, 16), 0x1.226decaaaaaabp-1);
+}
+
+TEST_F(TrainerGoldenTest, AutoencoderVariants) {
+  nn::AutoencoderConfig cfg;
+  cfg.input_dim = 6;
+  cfg.hidden_dim = 3;
+  cfg.activation = nn::Activation::kTanh;
+  cfg.learning_rate = 0.01f;
+  {
+    Rng rng(25);
+    nn::Batch data = MakeData(40, 6, &rng);
+    nn::Autoencoder ae(nn::AutoencoderKind::kPlain, cfg, &rng);
+    EXPECT_EQ(ae.Train(data, 5, 16), 0x1.25159faaaaaabp-2);
+  }
+  {
+    Rng rng(25);
+    nn::Batch data = MakeData(40, 6, &rng);
+    nn::Autoencoder dae(nn::AutoencoderKind::kDenoising, cfg, &rng);
+    EXPECT_EQ(dae.Train(data, 5, 16), 0x1.2a9054aaaaaabp-2);
+  }
+  {
+    Rng rng(25);
+    nn::Batch data = MakeData(40, 6, &rng);
+    cfg.kl_weight = 0.05f;
+    nn::Autoencoder vae(nn::AutoencoderKind::kVariational, cfg, &rng);
+    EXPECT_EQ(vae.Train(data, 3, 16), 0x1.350c5ap+0);
+  }
+  {
+    Rng rng(25);
+    nn::Batch data = MakeData(40, 6, &rng);
+    cfg.sparsity_weight = 0.05f;
+    nn::Autoencoder sae(nn::AutoencoderKind::kSparse, cfg, &rng);
+    EXPECT_EQ(sae.Train(data, 3, 16), 0x1.62fe2caaaaaabp-2);
+  }
+}
+
+TEST_F(TrainerGoldenTest, Gan) {
+  Rng rng(26);
+  nn::Batch real;
+  for (int i = 0; i < 40; ++i) {
+    real.push_back({static_cast<float>(0.5 + rng.Uniform(-0.1, 0.1)),
+                    static_cast<float>(-0.5 + rng.Uniform(-0.1, 0.1))});
+  }
+  nn::GanConfig cfg;
+  cfg.latent_dim = 4;
+  cfg.data_dim = 2;
+  cfg.hidden_dim = 8;
+  nn::Gan gan(cfg, &rng);
+  nn::Gan::StepStats s = gan.Train(real, 3, 16);
+  EXPECT_EQ(s.d_loss, 0x1.6d6c9ep+0);
+  EXPECT_EQ(s.g_loss, 0x1.779024p-1);
+  EXPECT_EQ(s.d_accuracy, 0x1.cp-2);
+}
+
+TEST_F(TrainerGoldenTest, DeepErLstm) {
+  embedding::EmbeddingStore words(8);
+  Rng wr(7);
+  for (const char* w :
+       {"sony", "tv", "apple", "phone", "red", "blue", "pro", "mini"}) {
+    std::vector<float> v(8);
+    for (auto& f : v) f = static_cast<float>(wr.Uniform(-0.5, 0.5));
+    ASSERT_TRUE(words.Add(w, v).ok());
+  }
+  data::Table left(data::Schema::OfStrings({"name"}), "l");
+  data::Table right(data::Schema::OfStrings({"name"}), "r");
+  ASSERT_TRUE(left.AppendRow({data::Value("sony tv pro")}).ok());
+  ASSERT_TRUE(left.AppendRow({data::Value("apple phone mini")}).ok());
+  ASSERT_TRUE(left.AppendRow({data::Value("red tv")}).ok());
+  ASSERT_TRUE(left.AppendRow({data::Value("blue phone")}).ok());
+  ASSERT_TRUE(right.AppendRow({data::Value("sony tv")}).ok());
+  ASSERT_TRUE(right.AppendRow({data::Value("apple phone")}).ok());
+  ASSERT_TRUE(right.AppendRow({data::Value("red mini tv")}).ok());
+  ASSERT_TRUE(right.AppendRow({data::Value("blue pro phone")}).ok());
+  std::vector<er::PairLabel> pairs = {{0, 0, 1}, {1, 1, 1}, {2, 2, 1},
+                                      {3, 3, 1}, {0, 1, 0}, {1, 0, 0},
+                                      {2, 3, 0}, {3, 2, 0}};
+  er::DeepErConfig cfg;
+  cfg.composition = er::TupleComposition::kLstm;
+  cfg.lstm_hidden = 4;
+  cfg.epochs = 3;
+  cfg.learning_rate = 0.01f;
+  cfg.seed = 5;
+  er::DeepEr model(&words, cfg);
+  EXPECT_EQ(model.Train(left, right, pairs), 0x1.17d9a06p-1);
+  // The Trainer result agrees with the returned loss and ran every epoch.
+  EXPECT_EQ(model.last_train_result().epochs_run, 3u);
+  EXPECT_FALSE(model.last_train_result().stopped_early);
+  EXPECT_EQ(model.last_train_result().final_train_loss, 0x1.17d9a06p-1);
+}
+
+TEST_F(TrainerGoldenTest, FeatureMatcher) {
+  data::Schema schema({{"name", data::ValueType::kString},
+                       {"price", data::ValueType::kDouble}});
+  data::Table left(schema, "l");
+  data::Table right(schema, "r");
+  ASSERT_TRUE(left.AppendRow({data::Value("widget pro"), data::Value(10.0)})
+                  .ok());
+  ASSERT_TRUE(left.AppendRow({data::Value("gadget max"), data::Value(25.0)})
+                  .ok());
+  ASSERT_TRUE(left.AppendRow({data::Value("doohickey"), data::Value(5.0)})
+                  .ok());
+  ASSERT_TRUE(right.AppendRow({data::Value("widget pro"), data::Value(10.5)})
+                  .ok());
+  ASSERT_TRUE(right.AppendRow({data::Value("gadget maxx"), data::Value(25.0)})
+                  .ok());
+  ASSERT_TRUE(right.AppendRow({data::Value("thingamajig"), data::Value(99.0)})
+                  .ok());
+  std::vector<er::PairLabel> pairs = {{0, 0, 1}, {1, 1, 1}, {2, 2, 0},
+                                      {0, 1, 0}, {1, 0, 0}, {2, 0, 0}};
+  er::FeatureMatcher fm(schema, {8}, 0.05f, 5, 11);
+  EXPECT_EQ(fm.Train(left, right, pairs), 0x1.c397b4p-2);
+}
+
+}  // namespace
+}  // namespace autodc

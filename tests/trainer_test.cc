@@ -1,0 +1,390 @@
+// Behavioural tests for the shared Trainer runtime (early stopping, LR
+// schedules, validation splits, checkpointing) plus checkpoint
+// round-trips for every model type that trains through it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "src/data/table.h"
+#include "src/embedding/embedding_store.h"
+#include "src/er/deeper.h"
+#include "src/nn/autoencoder.h"
+#include "src/nn/classifier.h"
+#include "src/nn/gan.h"
+#include "src/nn/serialize.h"
+#include "src/nn/trainer.h"
+
+namespace autodc {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+nn::Batch MakeData(size_t n, size_t d, Rng* rng) {
+  nn::Batch x;
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<float> row(d);
+    for (size_t j = 0; j < d; ++j) {
+      row[j] = static_cast<float>(rng->Uniform(-1, 1));
+    }
+    x.push_back(row);
+  }
+  return x;
+}
+
+// One scalar parameter with loss (w - 0)^2 — the smallest possible
+// Trainer client, used to probe the runtime's control flow exactly.
+struct Quadratic {
+  nn::VarPtr w;
+  explicit Quadratic(float w0) {
+    nn::Tensor t({1, 1});
+    t.at(0, 0) = w0;
+    w = nn::Parameter(t);
+  }
+  nn::Trainer::BatchLossFn LossFn() const {
+    nn::VarPtr p = w;
+    return [p](const std::vector<size_t>&, bool) {
+      return nn::MseLoss(p, nn::Tensor::Zeros({1, 1}));
+    };
+  }
+};
+
+TEST(TrainerTest, ZeroExamplesIsANoOp) {
+  nn::TrainOptions options;
+  options.epochs = 5;
+  Quadratic q(1.0f);
+  nn::Sgd opt({q.w}, 0.1f);
+  Rng rng(1);
+  nn::TrainResult r = nn::Trainer(options).Fit(0, &rng, &opt, q.LossFn());
+  EXPECT_EQ(r.epochs_run, 0u);
+  EXPECT_TRUE(r.history.empty());
+  EXPECT_FLOAT_EQ(q.w->value[0], 1.0f);
+}
+
+TEST(TrainerTest, LinearLrScheduleAnnealsAndRestoresBaseRate) {
+  nn::TrainOptions options;
+  options.epochs = 3;
+  options.lr_schedule = nn::LrSchedule::kLinear;
+  options.lr_final_factor = 0.0f;
+  Quadratic q(1.0f);
+  nn::Sgd opt({q.w}, 1.0f);
+  Rng rng(1);
+  nn::TrainResult r = nn::Trainer(options).Fit(4, &rng, &opt, q.LossFn());
+  ASSERT_EQ(r.history.size(), 3u);
+  EXPECT_FLOAT_EQ(r.history[0].lr, 1.0f);
+  EXPECT_FLOAT_EQ(r.history[1].lr, 0.5f);
+  EXPECT_FLOAT_EQ(r.history[2].lr, 0.0f);
+  // The optimizer is left reusable at its base rate.
+  EXPECT_FLOAT_EQ(opt.learning_rate(), 1.0f);
+}
+
+TEST(TrainerTest, CosineLrSchedule) {
+  nn::TrainOptions options;
+  options.epochs = 3;
+  options.lr_schedule = nn::LrSchedule::kCosine;
+  options.lr_final_factor = 0.0f;
+  Quadratic q(1.0f);
+  nn::Sgd opt({q.w}, 1.0f);
+  Rng rng(1);
+  nn::TrainResult r = nn::Trainer(options).Fit(4, &rng, &opt, q.LossFn());
+  ASSERT_EQ(r.history.size(), 3u);
+  EXPECT_FLOAT_EQ(r.history[0].lr, 1.0f);   // cos(0) = 1
+  EXPECT_FLOAT_EQ(r.history[1].lr, 0.5f);   // cos(pi/2) = 0
+  EXPECT_NEAR(r.history[2].lr, 0.0f, 1e-7); // cos(pi) = -1
+}
+
+TEST(TrainerTest, EarlyStoppingOnFlatLoss) {
+  nn::TrainOptions options;
+  options.epochs = 10;
+  options.early_stopping_patience = 2;
+  Quadratic q(1.0f);
+  nn::Sgd opt({q.w}, 0.0f);  // lr 0: the loss never improves
+  Rng rng(1);
+  nn::TrainResult r = nn::Trainer(options).Fit(4, &rng, &opt, q.LossFn());
+  // Epoch 0 sets the best; epochs 1 and 2 exhaust the patience.
+  EXPECT_TRUE(r.stopped_early);
+  EXPECT_EQ(r.epochs_run, 3u);
+  EXPECT_EQ(r.best_epoch, 0u);
+  EXPECT_DOUBLE_EQ(r.best_loss, 1.0);
+}
+
+TEST(TrainerTest, EarlyStoppingRestoresBestWeights) {
+  // lr 2 on a quadratic diverges: w -> -3w each step, so the first
+  // epoch is the best and later weights explode.
+  nn::TrainOptions options;
+  options.epochs = 10;
+  options.batch_size = 8;  // one batch per epoch over 4 examples
+  options.early_stopping_patience = 2;
+  Quadratic q(0.5f);
+  nn::Sgd opt({q.w}, 2.0f);
+  Rng rng(1);
+  nn::TrainResult r = nn::Trainer(options).Fit(4, &rng, &opt, q.LossFn());
+  EXPECT_TRUE(r.stopped_early);
+  EXPECT_EQ(r.best_epoch, 0u);
+  // Best weights = end of epoch 0: w = 0.5 - 2 * (2 * 0.5) = -1.5.
+  EXPECT_FLOAT_EQ(q.w->value[0], -1.5f);
+}
+
+TEST(TrainerTest, MinDeltaCountsSmallImprovementsAsStalls) {
+  nn::TrainOptions options;
+  options.epochs = 50;
+  options.batch_size = 8;
+  options.early_stopping_patience = 3;
+  options.early_stopping_min_delta = 0.02;
+  Quadratic q(1.0f);
+  nn::Sgd opt({q.w}, 0.01f);  // slow convergence: improvements shrink
+  Rng rng(1);
+  nn::TrainResult r = nn::Trainer(options).Fit(4, &rng, &opt, q.LossFn());
+  // Once per-epoch improvement drops under min_delta, training stops
+  // well before the epoch budget.
+  EXPECT_TRUE(r.stopped_early);
+  EXPECT_LT(r.epochs_run, 50u);
+}
+
+TEST(TrainerTest, ValidationSplitIsDisjointAndMonitored) {
+  nn::TrainOptions options;
+  options.epochs = 2;
+  options.batch_size = 4;
+  options.validation_fraction = 0.3;  // 3 of 10 examples
+  std::set<size_t> train_seen, val_seen;
+  Quadratic q(1.0f);
+  nn::VarPtr w = q.w;
+  auto loss_fn = [&](const std::vector<size_t>& idx, bool train) {
+    for (size_t i : idx) (train ? train_seen : val_seen).insert(i);
+    return nn::MseLoss(w, nn::Tensor::Zeros({1, 1}));
+  };
+  nn::Sgd opt({q.w}, 0.1f);
+  Rng rng(3);
+  nn::TrainResult r = nn::Trainer(options).Fit(10, &rng, &opt, loss_fn);
+  EXPECT_EQ(train_seen.size(), 7u);
+  EXPECT_EQ(val_seen.size(), 3u);
+  for (size_t i : val_seen) EXPECT_EQ(train_seen.count(i), 0u);
+  ASSERT_EQ(r.history.size(), 2u);
+  for (const nn::EpochStats& s : r.history) {
+    EXPECT_FALSE(std::isnan(s.val_loss));
+  }
+}
+
+TEST(TrainerTest, PeriodicCheckpointMatchesFinalWeights) {
+  const std::string path = TempPath("trainer_ckpt.bin");
+  nn::TrainOptions options;
+  options.epochs = 4;
+  options.batch_size = 8;
+  options.checkpoint_every = 2;
+  options.checkpoint_path = path;
+  Quadratic q(1.0f);
+  nn::Sgd opt({q.w}, 0.1f);
+  Rng rng(1);
+  nn::TrainResult r = nn::Trainer(options).Fit(4, &rng, &opt, q.LossFn());
+  ASSERT_TRUE(r.checkpoint_status.ok());
+  // The last checkpoint fires after the final epoch, so it holds the
+  // final weights.
+  Quadratic fresh(0.0f);
+  ASSERT_TRUE(nn::LoadParametersFromFile({fresh.w}, path).ok());
+  EXPECT_FLOAT_EQ(fresh.w->value[0], q.w->value[0]);
+  std::remove(path.c_str());
+}
+
+TEST(TrainerTest, CheckpointFailureIsRecordedNotFatal) {
+  nn::TrainOptions options;
+  options.epochs = 2;
+  options.checkpoint_every = 1;
+  options.checkpoint_path = TempPath("no/such/dir/ckpt.bin");
+  Quadratic q(1.0f);
+  nn::Sgd opt({q.w}, 0.1f);
+  Rng rng(1);
+  nn::TrainResult r = nn::Trainer(options).Fit(4, &rng, &opt, q.LossFn());
+  EXPECT_FALSE(r.checkpoint_status.ok());
+  EXPECT_EQ(r.epochs_run, 2u);  // training ran to completion anyway
+}
+
+TEST(TrainerTest, EpochCallbackSeesEveryEpoch) {
+  nn::TrainOptions options;
+  options.epochs = 3;
+  size_t calls = 0;
+  options.epoch_callback = [&](const nn::EpochStats& s) {
+    EXPECT_EQ(s.epoch, calls);
+    EXPECT_GE(s.wall_ms, 0.0);
+    ++calls;
+  };
+  Quadratic q(1.0f);
+  nn::Sgd opt({q.w}, 0.1f);
+  Rng rng(1);
+  nn::Trainer(options).Fit(4, &rng, &opt, q.LossFn());
+  EXPECT_EQ(calls, 3u);
+}
+
+TEST(TrainerTest, FitStepsMonitorsTrainLossForEarlyStopping) {
+  nn::TrainOptions options;
+  options.epochs = 10;
+  options.batch_size = 8;
+  options.early_stopping_patience = 1;
+  Quadratic q(1.0f);
+  Rng rng(1);
+  nn::TrainResult r = nn::Trainer(options).FitSteps(
+      4, &rng, {q.w},
+      [](const std::vector<size_t>&) { return 1.0; });  // flat loss
+  EXPECT_TRUE(r.stopped_early);
+  EXPECT_EQ(r.epochs_run, 2u);
+}
+
+// ---- Checkpoint round-trips: train, save, load into a fresh model,
+// and require identical predictions. One test per model family.
+
+TEST(CheckpointRoundTripTest, BinaryClassifier) {
+  const std::string path = TempPath("ckpt_binary.bin");
+  Rng rng(31);
+  nn::Batch x = MakeData(32, 4, &rng);
+  std::vector<int> y;
+  for (const auto& r : x) y.push_back(r[0] > 0 ? 1 : 0);
+  nn::ClassifierConfig cfg;
+  cfg.input_dim = 4;
+  cfg.hidden = {6};
+  nn::BinaryClassifier clf(cfg, &rng);
+  clf.Train(x, y, 3, 16);
+  ASSERT_TRUE(nn::SaveParametersToFile(clf.Parameters(), path).ok());
+
+  Rng rng2(99);
+  nn::BinaryClassifier fresh(cfg, &rng2);
+  ASSERT_TRUE(nn::LoadParametersFromFile(fresh.Parameters(), path).ok());
+  for (const auto& r : x) {
+    EXPECT_DOUBLE_EQ(fresh.PredictProba(r), clf.PredictProba(r));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointRoundTripTest, MulticlassClassifier) {
+  const std::string path = TempPath("ckpt_multi.bin");
+  Rng rng(32);
+  nn::Batch x = MakeData(32, 3, &rng);
+  std::vector<size_t> y;
+  for (const auto& r : x) y.push_back(r[0] > 0 ? 1 : 0);
+  nn::MulticlassClassifier clf(3, {6}, 2, 0.05f, &rng);
+  clf.Train(x, y, 3, 16);
+  ASSERT_TRUE(nn::SaveParametersToFile(clf.Parameters(), path).ok());
+
+  Rng rng2(99);
+  nn::MulticlassClassifier fresh(3, {6}, 2, 0.05f, &rng2);
+  ASSERT_TRUE(nn::LoadParametersFromFile(fresh.Parameters(), path).ok());
+  for (const auto& r : x) {
+    std::vector<double> a = clf.PredictProba(r);
+    std::vector<double> b = fresh.PredictProba(r);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointRoundTripTest, Autoencoder) {
+  const std::string path = TempPath("ckpt_ae.bin");
+  Rng rng(33);
+  nn::Batch data = MakeData(24, 5, &rng);
+  nn::AutoencoderConfig cfg;
+  cfg.input_dim = 5;
+  cfg.hidden_dim = 3;
+  nn::Autoencoder ae(nn::AutoencoderKind::kDenoising, cfg, &rng);
+  ae.Train(data, 3, 8);
+  ASSERT_TRUE(nn::SaveParametersToFile(ae.Parameters(), path).ok());
+
+  Rng rng2(99);
+  nn::Autoencoder fresh(nn::AutoencoderKind::kDenoising, cfg, &rng2);
+  ASSERT_TRUE(nn::LoadParametersFromFile(fresh.Parameters(), path).ok());
+  for (const auto& r : data) {
+    EXPECT_DOUBLE_EQ(fresh.ReconstructionError(r),
+                     ae.ReconstructionError(r));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointRoundTripTest, Gan) {
+  const std::string path = TempPath("ckpt_gan.bin");
+  Rng rng(34);
+  nn::Batch real = MakeData(24, 2, &rng);
+  nn::GanConfig cfg;
+  cfg.latent_dim = 3;
+  cfg.data_dim = 2;
+  cfg.hidden_dim = 6;
+  nn::Gan gan(cfg, &rng);
+  gan.Train(real, 2, 8);
+  std::vector<nn::VarPtr> params = gan.GeneratorParameters();
+  for (const nn::VarPtr& p : gan.DiscriminatorParameters()) {
+    params.push_back(p);
+  }
+  ASSERT_TRUE(nn::SaveParametersToFile(params, path).ok());
+
+  Rng rng2(99);
+  nn::Gan fresh(cfg, &rng2);
+  std::vector<nn::VarPtr> fresh_params = fresh.GeneratorParameters();
+  for (const nn::VarPtr& p : fresh.DiscriminatorParameters()) {
+    fresh_params.push_back(p);
+  }
+  ASSERT_TRUE(nn::LoadParametersFromFile(fresh_params, path).ok());
+  for (const auto& r : real) {
+    EXPECT_DOUBLE_EQ(fresh.DiscriminatorScore(r), gan.DiscriminatorScore(r));
+  }
+  std::remove(path.c_str());
+}
+
+class DeepErRoundTrip : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    words_ = std::make_unique<embedding::EmbeddingStore>(6);
+    Rng wr(8);
+    for (const char* w : {"alpha", "beta", "gamma", "delta"}) {
+      std::vector<float> v(6);
+      for (auto& f : v) f = static_cast<float>(wr.Uniform(-0.5, 0.5));
+      ASSERT_TRUE(words_->Add(w, v).ok());
+    }
+    left_ = std::make_unique<data::Table>(
+        data::Schema::OfStrings({"name"}), "l");
+    right_ = std::make_unique<data::Table>(
+        data::Schema::OfStrings({"name"}), "r");
+    ASSERT_TRUE(left_->AppendRow({data::Value("alpha beta")}).ok());
+    ASSERT_TRUE(left_->AppendRow({data::Value("gamma delta")}).ok());
+    ASSERT_TRUE(right_->AppendRow({data::Value("alpha beta")}).ok());
+    ASSERT_TRUE(right_->AppendRow({data::Value("delta")}).ok());
+    pairs_ = {{0, 0, 1}, {1, 1, 0}, {0, 1, 0}, {1, 0, 0}};
+  }
+
+  void RoundTrip(er::TupleComposition composition, const char* file) {
+    const std::string path = TempPath(file);
+    er::DeepErConfig cfg;
+    cfg.composition = composition;
+    cfg.lstm_hidden = 3;
+    cfg.epochs = 3;
+    cfg.seed = 12;
+    er::DeepEr model(words_.get(), cfg);
+    model.Train(*left_, *right_, pairs_);
+    ASSERT_TRUE(model.SaveCheckpoint(path).ok());
+
+    er::DeepEr fresh(words_.get(), cfg);
+    fresh.InitForSchema(left_->schema());
+    ASSERT_TRUE(fresh.LoadCheckpoint(path).ok());
+    for (const er::PairLabel& p : pairs_) {
+      EXPECT_DOUBLE_EQ(
+          fresh.PredictProba(left_->row(p.left), right_->row(p.right)),
+          model.PredictProba(left_->row(p.left), right_->row(p.right)));
+    }
+    std::remove(path.c_str());
+  }
+
+  std::unique_ptr<embedding::EmbeddingStore> words_;
+  std::unique_ptr<data::Table> left_, right_;
+  std::vector<er::PairLabel> pairs_;
+};
+
+TEST_F(DeepErRoundTrip, AverageComposition) {
+  RoundTrip(er::TupleComposition::kAverage, "ckpt_deeper_avg.bin");
+}
+
+TEST_F(DeepErRoundTrip, LstmComposition) {
+  RoundTrip(er::TupleComposition::kLstm, "ckpt_deeper_lstm.bin");
+}
+
+}  // namespace
+}  // namespace autodc
