@@ -10,7 +10,15 @@
 #include <string>
 #include <vector>
 
+#include "src/common/json.h"
+
 namespace autodc::bench {
+
+// The RESULT_JSON writer lives in src/common/json.h so the obs snapshot
+// exporter and the benches share one escaping/number-formatting path
+// (NaN/Inf metric values emit as `null`, never as invalid JSON).
+using ::autodc::JsonEscape;
+using ::autodc::JsonObject;
 
 /// Prints a header box naming the experiment.
 inline void PrintHeader(const std::string& experiment,
@@ -65,65 +73,6 @@ double TimeSeconds(Fn&& fn, size_t reps = 1) {
   }
   return best;
 }
-
-/// JSON string escaping per RFC 8259: backslash, quote, and all control
-/// characters (U+0000..U+001F) must be escaped. Applied to keys and
-/// string values alike — a key with a tab or newline in it used to
-/// produce an unparseable RESULT_JSON line.
-inline std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\b': out += "\\b"; break;
-      case '\f': out += "\\f"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out.push_back(c);
-        }
-    }
-  }
-  return out;
-}
-
-/// Tiny JSON object builder so every bench can emit one machine-readable
-/// result line next to its human-readable table. Values are inserted in
-/// call order; nested objects go in via SetRaw(child.str()).
-class JsonObject {
- public:
-  JsonObject& Set(const std::string& key, double v) {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.6g", v);
-    return SetRaw(key, buf);
-  }
-  JsonObject& Set(const std::string& key, size_t v) {
-    return SetRaw(key, std::to_string(v));
-  }
-  JsonObject& Set(const std::string& key, const std::string& v) {
-    return SetRaw(key, "\"" + JsonEscape(v) + "\"");
-  }
-  /// Inserts `raw` verbatim — for numbers formatted elsewhere or nested
-  /// JsonObject::str() payloads. The key is still escaped.
-  JsonObject& SetRaw(const std::string& key, const std::string& raw) {
-    if (!body_.empty()) body_ += ",";
-    body_ += "\"" + JsonEscape(key) + "\":" + raw;
-    return *this;
-  }
-  std::string str() const { return "{" + body_ + "}"; }
-
- private:
-  std::string body_;
-};
 
 /// Prints one `RESULT_JSON {...}` line; the prefix lets scripts grep the
 /// machine-readable record out of the table output.

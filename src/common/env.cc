@@ -1,0 +1,77 @@
+#include "src/common/env.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace autodc {
+
+namespace {
+
+void Warn(const char* name, const char* value, const char* reason,
+          size_t fallback) {
+  std::fprintf(stderr,
+               "[autodc] warning: ignoring %s='%s' (%s); using default %zu\n",
+               name, value, reason, fallback);
+}
+
+}  // namespace
+
+size_t EnvSizeT(const char* name, size_t fallback, size_t min_value,
+                size_t max_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  const char* p = raw;
+  while (std::isspace(static_cast<unsigned char>(*p))) ++p;
+  if (*p == '\0') {
+    Warn(name, raw, "empty value", fallback);
+    return fallback;
+  }
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(p, &end, 10);
+  if (end == p) {
+    Warn(name, raw, "not a number", fallback);
+    return fallback;
+  }
+  while (std::isspace(static_cast<unsigned char>(*end))) ++end;
+  if (*end != '\0') {
+    Warn(name, raw, "trailing garbage", fallback);
+    return fallback;
+  }
+  if (errno == ERANGE) {
+    Warn(name, raw, "out of integer range", fallback);
+    return fallback;
+  }
+  if (v < 0) {
+    Warn(name, raw, "negative", fallback);
+    return fallback;
+  }
+  unsigned long long u = static_cast<unsigned long long>(v);
+  if (u < min_value || u > max_value) {
+    Warn(name, raw, "outside the supported range", fallback);
+    return fallback;
+  }
+  return static_cast<size_t>(u);
+}
+
+bool EnvFlag(const char* name, bool fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return fallback;
+  std::string v;
+  for (const char* p = raw; *p != '\0'; ++p) {
+    v.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(*p))));
+  }
+  if (v == "0" || v == "false" || v == "off" || v == "no") return false;
+  return true;
+}
+
+std::string EnvString(const char* name, const std::string& fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return fallback;
+  return raw;
+}
+
+}  // namespace autodc

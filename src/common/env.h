@@ -1,0 +1,32 @@
+#ifndef AUTODC_COMMON_ENV_H_
+#define AUTODC_COMMON_ENV_H_
+
+#include <cstddef>
+#include <string>
+
+// Hardened environment-variable parsing shared by every AUTODC_* knob
+// (AUTODC_NUM_THREADS, AUTODC_METRICS, AUTODC_FORCE_SCALAR, ...).
+// Malformed input never produces UB, silent zeros, or absurd values:
+// each helper falls back to the caller's default and emits one warning
+// line on stderr naming the variable and the reason.
+namespace autodc {
+
+/// Parses `name` as a base-10 integer. Returns `fallback` (with a
+/// stderr warning) when the variable is unset-and-empty, non-numeric,
+/// has trailing garbage, is negative, overflows, or falls outside
+/// [min_value, max_value]. Leading/trailing ASCII whitespace is
+/// tolerated. An unset variable returns `fallback` silently.
+size_t EnvSizeT(const char* name, size_t fallback, size_t min_value,
+                size_t max_value);
+
+/// Boolean flag semantics shared with AUTODC_FORCE_SCALAR: unset or
+/// empty returns `fallback`; "0", "false", "off", "no" (case-insensitive)
+/// are false; anything else is true.
+bool EnvFlag(const char* name, bool fallback);
+
+/// Raw string value, or `fallback` when unset or empty.
+std::string EnvString(const char* name, const std::string& fallback = "");
+
+}  // namespace autodc
+
+#endif  // AUTODC_COMMON_ENV_H_

@@ -1,0 +1,85 @@
+#ifndef AUTODC_COMMON_JSON_H_
+#define AUTODC_COMMON_JSON_H_
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+// The one JSON writer in the tree. Both the bench harnesses'
+// RESULT_JSON lines (bench/bench_util.h) and the obs snapshot exporter
+// (src/obs/export.cc) emit through JsonObject, so escaping and
+// non-finite handling are fixed in exactly one place.
+namespace autodc {
+
+/// JSON string escaping per RFC 8259: backslash, quote, and all control
+/// characters (U+0000..U+001F) must be escaped. Applied to keys and
+/// string values alike — a key with a tab or newline in it used to
+/// produce an unparseable RESULT_JSON line.
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// Formats one JSON number. JSON has no NaN/Infinity literals — a bare
+/// `nan` used to make the whole RESULT_JSON line unparseable — so
+/// non-finite values are emitted as `null` (documented lossy mapping;
+/// consumers treat null as "not measured").
+inline std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Tiny JSON object builder so every emitter produces one
+/// machine-readable line. Values are inserted in call order; nested
+/// objects and arrays go in via SetRaw(child.str()).
+class JsonObject {
+ public:
+  JsonObject& Set(const std::string& key, double v) {
+    return SetRaw(key, JsonNumber(v));
+  }
+  JsonObject& Set(const std::string& key, size_t v) {
+    return SetRaw(key, std::to_string(v));
+  }
+  JsonObject& Set(const std::string& key, const std::string& v) {
+    return SetRaw(key, "\"" + JsonEscape(v) + "\"");
+  }
+  /// Inserts `raw` verbatim — for numbers formatted elsewhere or nested
+  /// JsonObject::str() payloads. The key is still escaped.
+  JsonObject& SetRaw(const std::string& key, const std::string& raw) {
+    if (!body_.empty()) body_ += ",";
+    body_ += "\"" + JsonEscape(key) + "\":" + raw;
+    return *this;
+  }
+  bool empty() const { return body_.empty(); }
+  std::string str() const { return "{" + body_ + "}"; }
+
+ private:
+  std::string body_;
+};
+
+}  // namespace autodc
+
+#endif  // AUTODC_COMMON_JSON_H_

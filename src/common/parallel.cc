@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <memory>
+
+#include "src/common/env.h"
+#include "src/obs/metrics.h"
 
 namespace autodc {
 
@@ -17,14 +21,15 @@ std::mutex g_pool_mu;
 std::unique_ptr<ThreadPool> g_pool;
 std::atomic<ThreadPool*> g_pool_ptr{nullptr};
 
+// Absurd thread counts (beyond any plausible machine) fall back to the
+// hardware default with a warning instead of spawning thousands of
+// workers; so do non-numeric, negative, and zero values.
+constexpr size_t kMaxReasonableThreads = 1024;
+
 size_t DefaultThreads() {
-  if (const char* env = std::getenv("AUTODC_NUM_THREADS")) {
-    char* end = nullptr;
-    long v = std::strtol(env, &end, 10);
-    if (end != env && v >= 1) return static_cast<size_t>(v);
-  }
   size_t hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
+  if (hw == 0) hw = 1;
+  return EnvSizeT("AUTODC_NUM_THREADS", hw, 1, kMaxReasonableThreads);
 }
 
 }  // namespace
@@ -33,8 +38,9 @@ ThreadPool::ThreadPool(size_t threads) {
   size_t workers = threads <= 1 ? 0 : threads - 1;
   workers_.reserve(workers);
   for (size_t i = 0; i < workers; ++i) {
-    workers_.emplace_back([this]() { WorkerLoop(); });
+    workers_.emplace_back([this, i]() { WorkerLoop(i); });
   }
+  AUTODC_OBS_GAUGE_SET("threadpool.workers", static_cast<double>(workers));
 }
 
 ThreadPool::~ThreadPool() {
@@ -47,17 +53,31 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> fn) {
+  Task task{std::move(fn), {}};
+#ifndef AUTODC_DISABLE_OBS
+  AUTODC_OBS_INC("threadpool.tasks_submitted");
+  if (obs::Enabled()) task.enqueued = std::chrono::steady_clock::now();
+#endif
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push(std::move(fn));
+    queue_.push(std::move(task));
   }
   cv_.notify_one();
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t worker_index) {
   t_in_worker = true;
+#ifndef AUTODC_DISABLE_OBS
+  // Per-worker busy time, published as a gauge after every task. The
+  // registration is per worker thread, not per task.
+  obs::Gauge* busy_gauge = obs::MetricsRegistry::Global().GetGauge(
+      "threadpool.worker." + std::to_string(worker_index) + ".busy_ms");
+  double busy_ms = 0.0;
+#else
+  (void)worker_index;
+#endif
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this]() { return stop_ || !queue_.empty(); });
@@ -65,7 +85,26 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+#ifndef AUTODC_DISABLE_OBS
+    if (obs::Enabled() &&
+        task.enqueued != std::chrono::steady_clock::time_point{}) {
+      auto start = std::chrono::steady_clock::now();
+      double wait_ms = std::chrono::duration<double, std::milli>(
+                           start - task.enqueued)
+                           .count();
+      AUTODC_OBS_HIST("threadpool.queue_wait_ms", wait_ms);
+      task.fn();
+      double ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+      busy_ms += ms;
+      busy_gauge->Set(busy_ms);
+      AUTODC_OBS_COUNT("threadpool.busy_us",
+                       static_cast<uint64_t>(ms * 1e3));
+      continue;
+    }
+#endif
+    task.fn();
   }
 }
 
@@ -111,9 +150,11 @@ void ParallelFor(size_t begin, size_t end, size_t grain,
   ThreadPool* pool = ThreadPool::Global();
   size_t threads = pool->concurrency();
   if (threads <= 1 || InParallelWorker() || n <= grain) {
+    AUTODC_OBS_INC("parallel.for_inline");
     fn(begin, end);
     return;
   }
+  AUTODC_OBS_INC("parallel.for_pooled");
   size_t chunks = std::min(threads, (n + grain - 1) / grain);
   size_t chunk = (n + chunks - 1) / chunks;
 

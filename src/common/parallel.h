@@ -1,6 +1,7 @@
 #ifndef AUTODC_COMMON_PARALLEL_H_
 #define AUTODC_COMMON_PARALLEL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -46,10 +47,18 @@ class ThreadPool {
   static ThreadPool* Global();
 
  private:
-  void WorkerLoop();
+  // A queued task plus its enqueue time, so the obs layer can report
+  // queue-wait latency (the timestamp is only taken when obs is
+  // compiled in and enabled; otherwise it is default-constructed).
+  struct Task {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void WorkerLoop(size_t worker_index);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<Task> queue_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;

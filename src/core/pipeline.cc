@@ -1,6 +1,20 @@
 #include "src/core/pipeline.h"
 
+#include <chrono>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace autodc::core {
+
+void PipelineContext::Metric(const std::string& key, double value) {
+  metrics[key] = value;
+#ifndef AUTODC_DISABLE_OBS
+  if (obs::Enabled()) {
+    obs::MetricsRegistry::Global().GetGauge("pipeline." + key)->Set(value);
+  }
+#endif
+}
 
 Pipeline& Pipeline::Add(std::unique_ptr<Stage> stage) {
   stages_.push_back(std::move(stage));
@@ -15,8 +29,27 @@ Pipeline& Pipeline::Add(std::string name,
 }
 
 Status Pipeline::Run(PipelineContext* context) const {
+  AUTODC_OBS_SPAN(run_span, "pipeline.run");
   for (const auto& stage : stages_) {
-    Status s = stage->Run(context);
+    Status s;
+    {
+      obs::Span stage_span("pipeline.stage." + stage->name());
+#ifndef AUTODC_DISABLE_OBS
+      auto start = std::chrono::steady_clock::now();
+#endif
+      s = stage->Run(context);
+#ifndef AUTODC_DISABLE_OBS
+      if (obs::Enabled()) {
+        double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+        AUTODC_OBS_HIST("pipeline.stage_ms", ms);
+        obs::MetricsRegistry::Global()
+            .GetGauge("pipeline.stage." + stage->name() + ".wall_ms")
+            ->Set(ms);
+      }
+#endif
+    }
     if (!s.ok()) {
       return Status(s.code(),
                     "stage '" + stage->name() + "': " + s.message());

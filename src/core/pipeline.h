@@ -25,7 +25,9 @@ struct PipelineContext {
   std::map<std::string, double> metrics;
 
   void Log(const std::string& line) { report.push_back(line); }
-  void Metric(const std::string& key, double value) { metrics[key] = value; }
+  /// Records a stage metric and mirrors it into the global obs registry
+  /// as gauge "pipeline.<key>" (defined in pipeline.cc).
+  void Metric(const std::string& key, double value);
 };
 
 /// One step of the DC pipeline of Figure 1 (discovery, integration,

@@ -47,7 +47,11 @@ Result<std::vector<std::vector<std::string>>> Tokenize(
       ++i;
       continue;
     }
-    if (c == '\r') {
+    if (c == '\r' && i + 1 < text.size() && text[i + 1] == '\n') {
+      // CRLF line ending: consume the '\r' and let the '\n' terminate
+      // the record. A bare '\r' (not followed by '\n') is field data —
+      // stripping it would silently corrupt fields and break
+      // reader<->writer round trips.
       ++i;
       continue;
     }
@@ -206,7 +210,8 @@ namespace {
 std::string EscapeField(const std::string& f, char delim) {
   bool needs_quote = f.find(delim) != std::string::npos ||
                      f.find('"') != std::string::npos ||
-                     f.find('\n') != std::string::npos;
+                     f.find('\n') != std::string::npos ||
+                     f.find('\r') != std::string::npos;
   if (!needs_quote) return f;
   std::string out = "\"";
   for (char c : f) {

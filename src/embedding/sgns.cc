@@ -5,6 +5,8 @@
 
 #include "src/common/parallel.h"
 #include "src/nn/kernels.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace autodc::embedding {
 
@@ -90,6 +92,7 @@ double SgnsModel::TrainRange(
 
 double SgnsModel::Train(const std::vector<std::vector<size_t>>& sequences,
                         const std::vector<double>& negative_weights) {
+  AUTODC_OBS_SPAN(train_span, "sgns.train");
   // Build the cumulative negative-sampling table once.
   negative_table_.clear();
   negative_table_.reserve(kNegativeTableSize);
@@ -168,6 +171,9 @@ double SgnsModel::Train(const std::vector<std::vector<size_t>>& sequences,
       }
     }
     if (pairs > 0) epoch_loss /= static_cast<double>(pairs);
+    AUTODC_OBS_INC("sgns.epochs");
+    AUTODC_OBS_COUNT("sgns.pairs", pairs);
+    AUTODC_OBS_GAUGE_SET("sgns.epoch_loss", epoch_loss);
   }
   if (config_.average_in_out) {
     // Stays a plain add-then-halve loop over the flat storage: the same

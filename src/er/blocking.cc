@@ -5,6 +5,8 @@
 
 #include "src/common/parallel.h"
 #include "src/common/rng.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/text/tokenizer.h"
 
 namespace autodc::er {
@@ -31,6 +33,7 @@ std::vector<RowPair> AttributeBlocking(const data::Table& left,
     if (it == right_blocks.end()) continue;
     for (size_t r : it->second) out.emplace_back(l, r);
   }
+  AUTODC_OBS_COUNT("blocking.attribute_candidates", out.size());
   return out;
 }
 
@@ -65,6 +68,7 @@ std::vector<RowPair> LshBlocker::Candidates(
       return p.first * 1000003u + p.second;
     }
   };
+  AUTODC_OBS_SPAN(lsh_span, "blocking.lsh_candidates");
   // Each table's hashing + bucket probe is independent, so tables run in
   // parallel; the dedup merge below consumes them in table order, which
   // keeps the result identical to the serial implementation for any
@@ -88,6 +92,7 @@ std::vector<RowPair> LshBlocker::Candidates(
   for (const std::vector<RowPair>& pairs : per_table) {
     for (const RowPair& p : pairs) seen.insert(p);
   }
+  AUTODC_OBS_COUNT("blocking.lsh_candidates", seen.size());
   return std::vector<RowPair>(seen.begin(), seen.end());
 }
 

@@ -10,6 +10,8 @@
 #include "src/nn/optimizer.h"
 #include "src/nn/serialize.h"
 #include "src/nn/tensor_pool.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/text/similarity.h"
 #include "src/text/tokenizer.h"
 
@@ -249,6 +251,8 @@ nn::TrainOptions DeepEr::MakeTrainOptions(size_t batch_size,
 
 double DeepEr::Train(const data::Table& left, const data::Table& right,
                      const std::vector<PairLabel>& pairs) {
+  AUTODC_OBS_SPAN(train_span, "deeper.train");
+  AUTODC_OBS_COUNT("deeper.train_pairs", pairs.size());
   if (config_.composition == TupleComposition::kAverage) {
     EnsureAvgClassifier(left.num_columns());
     // Featurization is a pure map over pairs — the dominant cost of the
@@ -314,6 +318,8 @@ std::vector<RowPair> DeepEr::Match(const data::Table& left,
   // only reads trained weights and embedding stores. Flags are collected
   // per pair and compacted in order, so the output is independent of the
   // thread count.
+  AUTODC_OBS_SPAN(match_span, "deeper.match");
+  AUTODC_OBS_COUNT("deeper.match_candidates", candidates.size());
   std::vector<char> keep(candidates.size(), 0);
   ParallelFor(0, candidates.size(), 8, [&](size_t lo, size_t hi) {
     // Workspace mode is per-thread, so each worker opens its own scope.
@@ -330,6 +336,7 @@ std::vector<RowPair> DeepEr::Match(const data::Table& left,
   for (size_t i = 0; i < candidates.size(); ++i) {
     if (keep[i]) out.push_back(candidates[i]);
   }
+  AUTODC_OBS_COUNT("deeper.matches", out.size());
   return out;
 }
 

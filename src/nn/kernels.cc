@@ -5,6 +5,9 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "src/common/env.h"
+#include "src/obs/metrics.h"
+
 // Portable scalar kernel table + runtime dispatch. The scalar loops here
 // are operation-for-operation identical to the pre-kernel (seed) code
 // they replaced, so forcing the scalar table reproduces seed results
@@ -223,11 +226,7 @@ const KernelOps* UsableSimdOps() {
 }
 
 bool EnvForcesScalar() {
-  static const bool forced = [] {
-    const char* v = std::getenv("AUTODC_FORCE_SCALAR");
-    return v != nullptr && v[0] != '\0' &&
-           !(v[0] == '0' && v[1] == '\0');
-  }();
+  static const bool forced = EnvFlag("AUTODC_FORCE_SCALAR", false);
   return forced;
 }
 
@@ -260,57 +259,122 @@ void SetForceScalar(bool force) {
 
 const char* ActiveIsaName() { return Active()->name; }
 
+
+// Per-op dispatch counting for the obs layer: every public kernel entry
+// bumps "kernels.<op>.scalar" or "kernels.<op>.simd", so one snapshot
+// yields both the per-op call mix and the scalar-vs-AVX2 tally. The
+// metric pointers are function-local statics — steady state is one
+// predicted branch plus one relaxed fetch_add on a thread-private
+// cache line.
+#ifndef AUTODC_DISABLE_OBS
+#define AUTODC_KERNEL_COUNT(op, ops)                                       \
+  do {                                                                     \
+    static obs::Counter* autodc_k_scalar =                                 \
+        obs::MetricsRegistry::Global().GetCounter("kernels." #op           \
+                                                  ".scalar");              \
+    static obs::Counter* autodc_k_simd =                                   \
+        obs::MetricsRegistry::Global().GetCounter("kernels." #op ".simd"); \
+    ((ops) == &kScalarOps ? autodc_k_scalar : autodc_k_simd)->Inc();       \
+  } while (0)
+#else
+#define AUTODC_KERNEL_COUNT(op, ops) ((void)0)
+#endif
+
 float DotF32(const float* a, const float* b, size_t n) {
-  return Active()->dot_f32(a, b, n);
+  const KernelOps* ops = Active();
+  AUTODC_KERNEL_COUNT(dot_f32, ops);
+  return ops->dot_f32(a, b, n);
 }
 double DotF32D(const float* a, const float* b, size_t n) {
-  return Active()->dot_f32d(a, b, n);
+  const KernelOps* ops = Active();
+  AUTODC_KERNEL_COUNT(dot_f32d, ops);
+  return ops->dot_f32d(a, b, n);
 }
-double SumF32(const float* x, size_t n) { return Active()->sum_f32(x, n); }
-double SumSqF32(const float* x, size_t n) { return Active()->sumsq_f32(x, n); }
+double SumF32(const float* x, size_t n) {
+  const KernelOps* ops = Active();
+  AUTODC_KERNEL_COUNT(sum_f32, ops);
+  return ops->sum_f32(x, n);
+}
+double SumSqF32(const float* x, size_t n) {
+  const KernelOps* ops = Active();
+  AUTODC_KERNEL_COUNT(sumsq_f32, ops);
+  return ops->sumsq_f32(x, n);
+}
 double SqDistF32(const float* a, const float* b, size_t n) {
-  return Active()->sqdist_f32(a, b, n);
+  const KernelOps* ops = Active();
+  AUTODC_KERNEL_COUNT(sqdist_f32, ops);
+  return ops->sqdist_f32(a, b, n);
 }
 double CosineF32(const float* a, const float* b, size_t n) {
-  return Active()->cosine_f32(a, b, n);
+  const KernelOps* ops = Active();
+  AUTODC_KERNEL_COUNT(cosine_f32, ops);
+  return ops->cosine_f32(a, b, n);
 }
 double CosineF64(const double* a, const double* b, size_t n) {
-  return Active()->cosine_f64(a, b, n);
+  const KernelOps* ops = Active();
+  AUTODC_KERNEL_COUNT(cosine_f64, ops);
+  return ops->cosine_f64(a, b, n);
 }
 void AxpyF32(float alpha, const float* x, float* y, size_t n) {
-  Active()->axpy_f32(alpha, x, y, n);
+  const KernelOps* ops = Active();
+  AUTODC_KERNEL_COUNT(axpy_f32, ops);
+  ops->axpy_f32(alpha, x, y, n);
 }
 void ScaleAddF32(float alpha, const float* x, float beta, float* y, size_t n) {
-  Active()->scale_add_f32(alpha, x, beta, y, n);
+  const KernelOps* ops = Active();
+  AUTODC_KERNEL_COUNT(scale_add_f32, ops);
+  ops->scale_add_f32(alpha, x, beta, y, n);
 }
-void ScaleF32(float s, float* y, size_t n) { Active()->scale_f32(s, y, n); }
-void MulF32(const float* x, float* y, size_t n) { Active()->mul_f32(x, y, n); }
+void ScaleF32(float s, float* y, size_t n) {
+  const KernelOps* ops = Active();
+  AUTODC_KERNEL_COUNT(scale_f32, ops);
+  ops->scale_f32(s, y, n);
+}
+void MulF32(const float* x, float* y, size_t n) {
+  const KernelOps* ops = Active();
+  AUTODC_KERNEL_COUNT(mul_f32, ops);
+  ops->mul_f32(x, y, n);
+}
 void MulAddF32(const float* a, const float* b, float* y, size_t n) {
-  Active()->mul_add_f32(a, b, y, n);
+  const KernelOps* ops = Active();
+  AUTODC_KERNEL_COUNT(mul_add_f32, ops);
+  ops->mul_add_f32(a, b, y, n);
 }
 void ClampF32(float lo, float hi, float* y, size_t n) {
-  Active()->clamp_f32(lo, hi, y, n);
+  const KernelOps* ops = Active();
+  AUTODC_KERNEL_COUNT(clamp_f32, ops);
+  ops->clamp_f32(lo, hi, y, n);
 }
 void AdamUpdateF32(const float* g, float* m, float* v, float* p, size_t n,
                    float lr, float beta1, float beta2, float eps, float bc1,
                    float bc2) {
-  Active()->adam_update_f32(g, m, v, p, n, lr, beta1, beta2, eps, bc1, bc2);
+  const KernelOps* ops = Active();
+  AUTODC_KERNEL_COUNT(adam_update_f32, ops);
+  ops->adam_update_f32(g, m, v, p, n, lr, beta1, beta2, eps, bc1, bc2);
 }
 void Gemm8x8F32(const float* a, size_t lda, const float* b, size_t ldb,
                 float* c, size_t ldc, size_t kc) {
-  Active()->gemm8x8_f32(a, lda, b, ldb, c, ldc, kc);
+  const KernelOps* ops = Active();
+  AUTODC_KERNEL_COUNT(gemm8x8_f32, ops);
+  ops->gemm8x8_f32(a, lda, b, ldb, c, ldc, kc);
 }
 void GemmPanelF32(const float* a, const float* b, float* c, size_t r0,
                   size_t r1, size_t m, size_t k) {
-  Active()->gemm_panel_f32(a, b, c, r0, r1, m, k);
+  const KernelOps* ops = Active();
+  AUTODC_KERNEL_COUNT(gemm_panel_f32, ops);
+  ops->gemm_panel_f32(a, b, c, r0, r1, m, k);
 }
 void GemmTransAPanelF32(const float* a, const float* b, float* c, size_t c0,
                         size_t c1, size_t m, size_t n, size_t k) {
-  Active()->gemm_ta_panel_f32(a, b, c, c0, c1, m, n, k);
+  const KernelOps* ops = Active();
+  AUTODC_KERNEL_COUNT(gemm_ta_panel_f32, ops);
+  ops->gemm_ta_panel_f32(a, b, c, c0, c1, m, n, k);
 }
 void GemmTransBPanelF32(const float* a, const float* b, float* c, size_t r0,
                         size_t r1, size_t m, size_t k) {
-  Active()->gemm_tb_panel_f32(a, b, c, r0, r1, m, k);
+  const KernelOps* ops = Active();
+  AUTODC_KERNEL_COUNT(gemm_tb_panel_f32, ops);
+  ops->gemm_tb_panel_f32(a, b, c, r0, r1, m, k);
 }
 
 }  // namespace autodc::nn::kernels

@@ -1,7 +1,15 @@
 #include "src/nn/serialize.h"
 
 #include <cstdint>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <sstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 namespace autodc::nn {
 
@@ -17,6 +25,22 @@ template <typename T>
 bool ReadPod(std::istream* in, T* v) {
   in->read(reinterpret_cast<char*>(v), sizeof(T));
   return static_cast<bool>(*in);
+}
+
+// Flushes the file's data to stable storage so a crash right after the
+// rename cannot leave a zero-length checkpoint behind. Best-effort on
+// platforms without fsync.
+bool SyncFile(const std::string& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+#else
+  (void)path;
+  return true;
+#endif
 }
 }  // namespace
 
@@ -47,9 +71,17 @@ Status LoadParameters(const std::vector<VarPtr>& params, std::istream* in) {
         "checkpoint has " + std::to_string(count) + " tensors, model has " +
         std::to_string(params.size()));
   }
-  for (const VarPtr& p : params) {
+  // Stage everything first: a truncated or corrupt checkpoint must be
+  // rejected BEFORE any parameter tensor is mutated, so a failed load
+  // leaves the model exactly as it was.
+  std::vector<std::vector<float>> staged(params.size());
+  for (size_t t = 0; t < params.size(); ++t) {
+    const VarPtr& p = params[t];
     uint32_t rank = 0;
     if (!ReadPod(in, &rank)) return Status::IoError("truncated checkpoint");
+    if (rank != p->value.rank()) {
+      return Status::InvalidArgument("checkpoint tensor rank mismatch");
+    }
     std::vector<size_t> shape(rank);
     for (uint32_t i = 0; i < rank; ++i) {
       uint64_t d = 0;
@@ -59,18 +91,50 @@ Status LoadParameters(const std::vector<VarPtr>& params, std::istream* in) {
     if (shape != p->value.shape()) {
       return Status::InvalidArgument("checkpoint tensor shape mismatch");
     }
-    in->read(reinterpret_cast<char*>(p->value.data()),
-             static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+    staged[t].resize(p->value.size());
+    in->read(reinterpret_cast<char*>(staged[t].data()),
+             static_cast<std::streamsize>(staged[t].size() * sizeof(float)));
     if (!*in) return Status::IoError("truncated checkpoint data");
+  }
+  // Validation passed for the whole file; commit.
+  for (size_t t = 0; t < params.size(); ++t) {
+    std::memcpy(params[t]->value.data(), staged[t].data(),
+                staged[t].size() * sizeof(float));
   }
   return Status::OK();
 }
 
 Status SaveParametersToFile(const std::vector<VarPtr>& params,
                             const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IoError("cannot open '" + path + "'");
-  return SaveParameters(params, &out);
+  // Atomic replace: write a sibling temp file, flush it to disk, then
+  // rename over the destination. Readers either see the old complete
+  // checkpoint or the new complete one — never a partial write.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot open '" + tmp + "'");
+    Status s = SaveParameters(params, &out);
+    if (!s.ok()) {
+      out.close();
+      std::remove(tmp.c_str());
+      return s;
+    }
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      return Status::IoError("flush failed for '" + tmp + "'");
+    }
+  }
+  if (!SyncFile(tmp)) {
+    std::remove(tmp.c_str());
+    return Status::IoError("fsync failed for '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("rename '" + tmp + "' -> '" + path + "' failed");
+  }
+  return Status::OK();
 }
 
 Status LoadParametersFromFile(const std::vector<VarPtr>& params,

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "src/obs/metrics.h"
+
 namespace autodc::nn {
 
 namespace {
@@ -62,7 +64,25 @@ TensorPoolThreadCache::~TensorPoolThreadCache() {
 }
 
 TensorPool& TensorPool::Global() {
-  static TensorPool* pool = new TensorPool();  // leaky: survives shutdown
+  static TensorPool* pool = [] {
+    auto* p = new TensorPool();  // leaky: survives shutdown
+#ifndef AUTODC_DISABLE_OBS
+    // Zero hot-path cost: the pool's own atomics are read only at
+    // snapshot time via a registry collector.
+    obs::MetricsRegistry::Global().AddCollector([p]() {
+      Stats s = p->GetStats();
+      auto& reg = obs::MetricsRegistry::Global();
+      reg.GetGauge("tensor_pool.hits")->Set(static_cast<double>(s.hits));
+      reg.GetGauge("tensor_pool.misses")
+          ->Set(static_cast<double>(s.misses));
+      reg.GetGauge("tensor_pool.releases")
+          ->Set(static_cast<double>(s.releases));
+      reg.GetGauge("tensor_pool.bytes_cached")
+          ->Set(static_cast<double>(s.bytes_cached));
+    });
+#endif
+    return p;
+  }();
   return *pool;
 }
 
@@ -85,6 +105,9 @@ std::vector<float> TensorPool::Acquire(size_t n) {
   }
   if (found) {
     hits_.fetch_add(1, std::memory_order_relaxed);
+    bytes_cached_.fetch_sub(
+        static_cast<long long>(buf.capacity() * sizeof(float)),
+        std::memory_order_relaxed);
   } else {
     misses_.fetch_add(1, std::memory_order_relaxed);
     buf.reserve(size_t{1} << bucket);
@@ -100,12 +123,16 @@ void TensorPool::Release(std::vector<float>&& buf) {
   if (bucket > kMaxBucket) return;  // too big to pool; free it
   buf.clear();
   releases_.fetch_add(1, std::memory_order_relaxed);
+  long long bytes = static_cast<long long>(capacity * sizeof(float));
   TensorPoolThreadCache* cache = GetThreadCache();
   if (cache != nullptr && cache->free_[bucket].size() < kThreadCacheCap) {
     cache->free_[bucket].push_back(std::move(buf));
+    bytes_cached_.fetch_add(bytes, std::memory_order_relaxed);
     return;
   }
-  ReleaseGlobal(bucket, std::move(buf));
+  if (ReleaseGlobal(bucket, std::move(buf))) {
+    bytes_cached_.fetch_add(bytes, std::memory_order_relaxed);
+  }
 }
 
 bool TensorPool::AcquireGlobal(size_t bucket, std::vector<float>* out) {
@@ -125,12 +152,22 @@ bool TensorPool::ReleaseGlobal(size_t bucket, std::vector<float>&& buf) {
 
 void TensorPool::FlushThreadCache(TensorPoolThreadCache* cache) {
   std::lock_guard<std::mutex> lock(mu_);
+  long long dropped_bytes = 0;
   for (size_t b = 0; b < kNumBuckets; ++b) {
     for (auto& buf : cache->free_[b]) {
-      if (free_[b].size() >= kGlobalCap) break;
-      free_[b].push_back(std::move(buf));
+      if (free_[b].size() < kGlobalCap) {
+        free_[b].push_back(std::move(buf));
+      } else {
+        // The buffer is about to be freed with the cache; it no longer
+        // counts toward cached bytes.
+        dropped_bytes +=
+            static_cast<long long>(buf.capacity() * sizeof(float));
+      }
     }
     cache->free_[b].clear();
+  }
+  if (dropped_bytes != 0) {
+    bytes_cached_.fetch_sub(dropped_bytes, std::memory_order_relaxed);
   }
 }
 
@@ -139,6 +176,8 @@ TensorPool::Stats TensorPool::GetStats() const {
   s.hits = hits_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
   s.releases = releases_.load(std::memory_order_relaxed);
+  long long bytes = bytes_cached_.load(std::memory_order_relaxed);
+  s.bytes_cached = bytes > 0 ? static_cast<size_t>(bytes) : 0;
   return s;
 }
 
@@ -150,7 +189,16 @@ void TensorPool::ResetStats() {
 
 void TensorPool::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
-  for (auto& list : free_) list.clear();
+  long long bytes = 0;
+  for (auto& list : free_) {
+    for (const auto& buf : list) {
+      bytes += static_cast<long long>(buf.capacity() * sizeof(float));
+    }
+    list.clear();
+  }
+  if (bytes != 0) {
+    bytes_cached_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
 }
 
 WorkspaceScope::WorkspaceScope() { ++g_workspace_depth; }

@@ -31,9 +31,10 @@ namespace autodc::nn {
 class TensorPool {
  public:
   struct Stats {
-    size_t hits = 0;      // Acquire served from a free list
-    size_t misses = 0;    // Acquire had to heap-allocate
-    size_t releases = 0;  // buffers returned to the pool
+    size_t hits = 0;          // Acquire served from a free list
+    size_t misses = 0;        // Acquire had to heap-allocate
+    size_t releases = 0;      // buffers returned to the pool
+    size_t bytes_cached = 0;  // bytes currently held in free lists
   };
 
   /// The process-wide pool (leaky singleton).
@@ -76,6 +77,9 @@ class TensorPool {
   std::atomic<size_t> hits_{0};
   std::atomic<size_t> misses_{0};
   std::atomic<size_t> releases_{0};
+  // Bytes held by free lists (thread caches + global). Signed so a
+  // transiently interleaved add/sub never wraps.
+  std::atomic<long long> bytes_cached_{0};
 };
 
 /// RAII switch for autograd workspace mode: while at least one

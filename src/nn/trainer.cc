@@ -7,6 +7,8 @@
 
 #include "src/nn/serialize.h"
 #include "src/nn/tensor_pool.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace autodc::nn {
 
@@ -71,6 +73,7 @@ TrainResult Trainer::Run(size_t num_examples, Rng* rng, Optimizer* optimizer,
                          const BatchStepFn& batch_step) {
   TrainResult result;
   if (num_examples == 0 || options_.epochs == 0) return result;
+  AUTODC_OBS_SPAN(fit_span, "trainer.fit");
   const size_t batch_size = std::max<size_t>(1, options_.batch_size);
 
   // ---- Validation split (loss mode only). Drawn once, up front, from
@@ -80,9 +83,32 @@ TrainResult Trainer::Run(size_t num_examples, Rng* rng, Optimizer* optimizer,
   std::iota(train_idx.begin(), train_idx.end(), 0);
   std::vector<size_t> val_idx;
   if (options_.validation_fraction > 0.0 && batch_loss != nullptr) {
-    size_t val_n = static_cast<size_t>(
-        static_cast<double>(num_examples) * options_.validation_fraction);
-    if (val_n > 0 && val_n < num_examples) {
+    if (num_examples < 2) {
+      // A split needs at least one example on each side.
+      result.diagnostics.push_back(
+          "validation disabled: need >= 2 examples to split, have " +
+          std::to_string(num_examples));
+    } else {
+      size_t val_n = static_cast<size_t>(
+          static_cast<double>(num_examples) * options_.validation_fraction);
+      // `num_examples * fraction` can round to 0 (tiny datasets / small
+      // fractions) or swallow the whole training set (fractions near 1).
+      // Clamp to [1, num_examples - 1] so both sides stay non-empty, and
+      // say so instead of silently training without validation.
+      if (val_n == 0) {
+        val_n = 1;
+        result.diagnostics.push_back(
+            "validation fraction " +
+            std::to_string(options_.validation_fraction) + " rounded to 0 of " +
+            std::to_string(num_examples) + " examples; clamped to 1");
+      } else if (val_n >= num_examples) {
+        val_n = num_examples - 1;
+        result.diagnostics.push_back(
+            "validation fraction " +
+            std::to_string(options_.validation_fraction) +
+            " would leave no training examples; clamped to " +
+            std::to_string(val_n) + " of " + std::to_string(num_examples));
+      }
       rng->Shuffle(&train_idx);
       val_idx.assign(train_idx.end() - static_cast<ptrdiff_t>(val_n),
                      train_idx.end());
@@ -106,6 +132,7 @@ TrainResult Trainer::Run(size_t num_examples, Rng* rng, Optimizer* optimizer,
   std::vector<Tensor> best_weights;
 
   for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    AUTODC_OBS_SPAN(epoch_span, "trainer.epoch");
     auto epoch_start = std::chrono::steady_clock::now();
     float lr = base_lr;
     if (optimizer != nullptr &&
@@ -126,18 +153,31 @@ TrainResult Trainer::Run(size_t num_examples, Rng* rng, Optimizer* optimizer,
       size_t end = std::min(order.size(), start + batch_size);
       std::vector<size_t> idx(order.begin() + static_cast<ptrdiff_t>(start),
                               order.begin() + static_cast<ptrdiff_t>(end));
+#ifndef AUTODC_DISABLE_OBS
+      auto batch_start = std::chrono::steady_clock::now();
+#endif
       if (batch_loss != nullptr) {
         VarPtr loss = batch_loss(idx, /*train=*/true);
         total += loss->value[0];
         Backward(loss);
         if (options_.grad_clip > 0.0f) {
           optimizer->ClipGradients(options_.grad_clip);
+          AUTODC_OBS_INC("trainer.grad_clip_batches");
         }
         optimizer->Step();
       } else {
         total += batch_step(idx);
       }
       ++batches;
+      AUTODC_OBS_INC("trainer.batches");
+#ifndef AUTODC_DISABLE_OBS
+      if (obs::Enabled()) {
+        double batch_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - batch_start)
+                              .count();
+        AUTODC_OBS_HIST("trainer.batch_ms", batch_ms);
+      }
+#endif
     }
     double train_loss =
         batches > 0 ? total / static_cast<double>(batches) : 0.0;
@@ -173,12 +213,26 @@ TrainResult Trainer::Run(size_t num_examples, Rng* rng, Optimizer* optimizer,
     result.history.push_back(stats);
     result.final_train_loss = train_loss;
     result.epochs_run = epoch + 1;
+    // EpochStats double as a registry client: every epoch publishes its
+    // telemetry so a snapshot taken mid-training reflects the run.
+    AUTODC_OBS_INC("trainer.epochs");
+    AUTODC_OBS_HIST("trainer.epoch_ms", stats.wall_ms);
+    AUTODC_OBS_GAUGE_SET("trainer.train_loss", stats.train_loss);
+    if (monitor_val) {
+      AUTODC_OBS_GAUGE_SET("trainer.val_loss", stats.val_loss);
+    }
+    AUTODC_OBS_GAUGE_SET("trainer.lr", static_cast<double>(stats.lr));
     if (options_.epoch_callback) options_.epoch_callback(stats);
 
     if (options_.checkpoint_every > 0 && !options_.checkpoint_path.empty() &&
         (epoch + 1) % options_.checkpoint_every == 0 && !params.empty()) {
       Status s = SaveParametersToFile(params, options_.checkpoint_path);
-      if (!s.ok()) result.checkpoint_status = s;
+      if (s.ok()) {
+        AUTODC_OBS_INC("trainer.checkpoints_saved");
+      } else {
+        AUTODC_OBS_INC("trainer.checkpoint_failures");
+        result.checkpoint_status = s;
+      }
     }
 
     if (early_stopping) {
@@ -193,6 +247,7 @@ TrainResult Trainer::Run(size_t num_examples, Rng* rng, Optimizer* optimizer,
       } else if (++epochs_without_improvement >=
                  options_.early_stopping_patience) {
         result.stopped_early = true;
+        AUTODC_OBS_INC("trainer.early_stop_events");
         break;
       }
     }

@@ -88,6 +88,11 @@ struct TrainResult {
   bool stopped_early = false;
   Status checkpoint_status = Status::OK();
   std::vector<EpochStats> history;
+  /// Human-readable notes about configuration adjustments the Trainer
+  /// made (e.g. a validation fraction that rounded to zero examples and
+  /// was clamped, or a split disabled because the dataset is too small).
+  /// Empty on a fully clean run.
+  std::vector<std::string> diagnostics;
 };
 
 /// The shared training runtime (Sec. 6.1: DC models are "light-weight

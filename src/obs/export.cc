@@ -1,0 +1,185 @@
+#include "src/obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/env.h"
+#include "src/common/json.h"
+#include "src/obs/trace.h"
+
+namespace autodc::obs {
+
+namespace {
+
+std::string FmtDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string JsonArray(const std::vector<double>& v) {
+  std::string out = "[";
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out += ",";
+    out += JsonNumber(v[i]);
+  }
+  return out + "]";
+}
+
+std::string JsonArray(const std::vector<uint64_t>& v) {
+  std::string out = "[";
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(v[i]);
+  }
+  return out + "]";
+}
+
+}  // namespace
+
+std::string FormatText(const MetricsSnapshot& snapshot,
+                       const std::vector<SpanRecord>& spans,
+                       size_t max_spans) {
+  std::ostringstream os;
+  os << "=== autodc metrics snapshot ===\n";
+  if (!snapshot.counters.empty()) {
+    os << "counters:\n";
+    for (const CounterSample& c : snapshot.counters) {
+      char line[256];
+      std::snprintf(line, sizeof(line), "  %-44s %" PRIu64 "\n",
+                    c.name.c_str(), c.value);
+      os << line;
+    }
+  }
+  if (!snapshot.gauges.empty()) {
+    os << "gauges:\n";
+    for (const GaugeSample& g : snapshot.gauges) {
+      char line[256];
+      std::snprintf(line, sizeof(line), "  %-44s %s\n", g.name.c_str(),
+                    FmtDouble(g.value).c_str());
+      os << line;
+    }
+  }
+  if (!snapshot.histograms.empty()) {
+    os << "histograms:\n";
+    for (const HistogramSample& h : snapshot.histograms) {
+      char line[320];
+      std::snprintf(line, sizeof(line),
+                    "  %-44s count=%" PRIu64 " sum=%s min=%s max=%s\n",
+                    h.name.c_str(), h.count, FmtDouble(h.sum).c_str(),
+                    FmtDouble(h.min).c_str(), FmtDouble(h.max).c_str());
+      os << line;
+      if (h.count == 0) continue;
+      os << "    buckets:";
+      for (size_t i = 0; i < h.counts.size(); ++i) {
+        if (h.counts[i] == 0) continue;
+        std::string label = i < h.bounds.size()
+                                ? "<" + FmtDouble(h.bounds[i])
+                                : ">=" + FmtDouble(h.bounds.back());
+        os << " [" << label << "]=" << h.counts[i];
+      }
+      os << "\n";
+    }
+  }
+  if (max_spans > 0 && !spans.empty()) {
+    os << "spans (" << spans.size() << " recorded";
+    if (spans.size() > max_spans) {
+      os << ", last " << max_spans << " shown";
+    }
+    os << "):\n";
+    size_t begin = spans.size() > max_spans ? spans.size() - max_spans : 0;
+    for (size_t i = begin; i < spans.size(); ++i) {
+      const SpanRecord& s = spans[i];
+      char line[320];
+      std::snprintf(line, sizeof(line), "  [t%02u] %*s%s %s ms\n", s.thread,
+                    static_cast<int>(s.depth * 2), "", s.name.c_str(),
+                    FmtDouble(static_cast<double>(s.duration_us) / 1e3)
+                        .c_str());
+      os << line;
+    }
+  }
+  return os.str();
+}
+
+std::string FormatJson(const MetricsSnapshot& snapshot) {
+  JsonObject counters;
+  for (const CounterSample& c : snapshot.counters) {
+    counters.SetRaw(c.name, std::to_string(c.value));
+  }
+  JsonObject gauges;
+  for (const GaugeSample& g : snapshot.gauges) {
+    gauges.Set(g.name, g.value);
+  }
+  JsonObject histograms;
+  for (const HistogramSample& h : snapshot.histograms) {
+    JsonObject hist;
+    hist.Set("count", static_cast<size_t>(h.count))
+        .Set("sum", h.sum)
+        .Set("min", h.min)
+        .Set("max", h.max)
+        .SetRaw("bounds", JsonArray(h.bounds))
+        .SetRaw("counts", JsonArray(h.counts));
+    histograms.SetRaw(h.name, hist.str());
+  }
+  JsonObject root;
+  root.SetRaw("counters", counters.str())
+      .SetRaw("gauges", gauges.str())
+      .SetRaw("histograms", histograms.str());
+  return root.str();
+}
+
+bool WriteSnapshot(const std::string& target) {
+  MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  std::vector<SpanRecord> spans = TakeSpans();
+  std::string text = FormatText(snap, spans);
+  std::string json = "METRICS_JSON " + FormatJson(snap) + "\n";
+  if (target == "stderr") {
+    std::fputs(text.c_str(), stderr);
+    std::fputs(json.c_str(), stderr);
+    return true;
+  }
+  if (target == "stdout") {
+    std::fputs(text.c_str(), stdout);
+    std::fputs(json.c_str(), stdout);
+    return true;
+  }
+  std::ofstream out(target, std::ios::app);
+  if (!out) {
+    std::fprintf(stderr,
+                 "[autodc] warning: AUTODC_METRICS: cannot open '%s'\n",
+                 target.c_str());
+    return false;
+  }
+  out << text << json;
+  return static_cast<bool>(out);
+}
+
+namespace {
+
+std::string& ExitDumpTarget() {
+  static auto* target = new std::string();
+  return *target;
+}
+
+void DumpAtExit() {
+  if (!ExitDumpTarget().empty()) WriteSnapshot(ExitDumpTarget());
+}
+
+}  // namespace
+
+void InstallExitDumpFromEnv() {
+  static bool installed = [] {
+    std::string target = EnvString("AUTODC_METRICS");
+    if (!target.empty()) {
+      ExitDumpTarget() = target;
+      std::atexit(&DumpAtExit);
+    }
+    return true;
+  }();
+  (void)installed;
+}
+
+}  // namespace autodc::obs

@@ -1,0 +1,44 @@
+#ifndef AUTODC_OBS_EXPORT_H_
+#define AUTODC_OBS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+// Snapshot exporters: a pretty fixed-width text table for humans and a
+// one-line JSON object (same writer and escaping as bench_util's
+// RESULT_JSON lines — src/common/json.h) for machines. The
+// AUTODC_METRICS env var wires the JSON+text dump to process exit.
+namespace autodc::obs {
+
+/// Multi-line human-readable rendering: counters, gauges, histograms
+/// (with bucket rows), then the most recent spans. `max_spans` bounds
+/// the span section (0 = omit spans entirely). Draining spans is left
+/// to the caller — pass TakeSpans() output.
+std::string FormatText(const MetricsSnapshot& snapshot,
+                       const std::vector<SpanRecord>& spans = {},
+                       size_t max_spans = 40);
+
+/// One-line JSON object:
+///   {"counters":{...},"gauges":{...},
+///    "histograms":{"name":{"count":..,"sum":..,"min":..,"max":..,
+///                          "bounds":[..],"counts":[..]},..}}
+/// Non-finite values (an empty histogram's min/max, a NaN gauge) emit
+/// as null, exactly like every other RESULT_JSON line in the tree.
+std::string FormatJson(const MetricsSnapshot& snapshot);
+
+/// Takes a snapshot of the global registry and writes text + one
+/// `METRICS_JSON {...}` line to `target`: "stderr", "stdout", or a file
+/// path (appended). Returns false when the file cannot be opened.
+bool WriteSnapshot(const std::string& target);
+
+/// Reads AUTODC_METRICS ("stderr"|"stdout"|<path>) and, when set,
+/// registers an atexit hook dumping the final snapshot there. Called
+/// once from MetricsRegistry::Global(); safe to call again (no-op).
+void InstallExitDumpFromEnv();
+
+}  // namespace autodc::obs
+
+#endif  // AUTODC_OBS_EXPORT_H_

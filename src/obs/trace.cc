@@ -1,0 +1,153 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+namespace autodc::obs {
+
+namespace {
+
+// Completed spans per thread. Buffers are shared_ptr-owned by both the
+// thread (via TLS) and the global list, so a drain can safely read a
+// buffer whose thread has already exited.
+struct SpanBuffer {
+  std::mutex mu;
+  std::deque<SpanRecord> records;
+  uint64_t dropped = 0;
+};
+
+std::mutex g_buffers_mu;
+std::vector<std::shared_ptr<SpanBuffer>>& AllBuffers() {
+  static auto* buffers = new std::vector<std::shared_ptr<SpanBuffer>>();
+  return *buffers;
+}
+
+#ifndef AUTODC_DISABLE_OBS
+
+SpanBuffer* ThreadBuffer() {
+  thread_local std::shared_ptr<SpanBuffer> buffer = [] {
+    auto b = std::make_shared<SpanBuffer>();
+    std::lock_guard<std::mutex> lock(g_buffers_mu);
+    AllBuffers().push_back(b);
+    return b;
+  }();
+  return buffer.get();
+}
+
+std::chrono::steady_clock::time_point ProcessEpoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+uint64_t NextSpanId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+// The innermost live span id on this thread (parent for new spans).
+thread_local std::vector<uint64_t> t_span_stack;
+
+#endif  // !AUTODC_DISABLE_OBS
+
+}  // namespace
+
+#ifndef AUTODC_DISABLE_OBS
+
+Span::Span(std::string name) : name_(std::move(name)) {
+  active_ = Enabled();
+  if (!active_) return;
+  id_ = NextSpanId();
+  parent_id_ = t_span_stack.empty() ? 0 : t_span_stack.back();
+  depth_ = static_cast<uint32_t>(t_span_stack.size());
+  t_span_stack.push_back(id_);
+  // Pin the process epoch no later than any span's start: if it were
+  // first touched in ~Span, the first span would start *before* the
+  // epoch and its unsigned start_us would wrap to a huge value,
+  // scrambling the drain's start-time sort.
+  ProcessEpoch();
+  start_ = std::chrono::steady_clock::now();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  auto end = std::chrono::steady_clock::now();
+  // Pop self. RAII nesting means we are the innermost live span; the
+  // find() tolerates pathological out-of-order destruction anyway.
+  auto it = std::find(t_span_stack.rbegin(), t_span_stack.rend(), id_);
+  if (it != t_span_stack.rend()) {
+    t_span_stack.erase(std::next(it).base());
+  }
+  SpanRecord rec;
+  rec.name = std::move(name_);
+  rec.id = id_;
+  rec.parent_id = parent_id_;
+  rec.depth = depth_;
+  rec.thread = static_cast<uint32_t>(internal::Slot());
+  rec.start_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(start_ -
+                                                            ProcessEpoch())
+          .count());
+  rec.duration_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(end - start_)
+          .count());
+  SpanBuffer* buf = ThreadBuffer();
+  std::lock_guard<std::mutex> lock(buf->mu);
+  if (buf->records.size() >= kSpanBufferCap) {
+    buf->records.pop_front();
+    ++buf->dropped;
+  }
+  buf->records.push_back(std::move(rec));
+}
+
+#endif  // !AUTODC_DISABLE_OBS
+
+std::vector<SpanRecord> TakeSpans() {
+  std::vector<std::shared_ptr<SpanBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(g_buffers_mu);
+    buffers = AllBuffers();
+  }
+  std::vector<SpanRecord> out;
+  for (const auto& buf : buffers) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    for (SpanRecord& r : buf->records) out.push_back(std::move(r));
+    buf->records.clear();
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.start_us != b.start_us ? a.start_us < b.start_us
+                                              : a.id < b.id;
+            });
+  return out;
+}
+
+uint64_t SpansDropped() {
+  std::vector<std::shared_ptr<SpanBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(g_buffers_mu);
+    buffers = AllBuffers();
+  }
+  uint64_t total = 0;
+  for (const auto& buf : buffers) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    total += buf->dropped;
+  }
+  return total;
+}
+
+void ClearSpans() {
+  std::vector<std::shared_ptr<SpanBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(g_buffers_mu);
+    buffers = AllBuffers();
+  }
+  for (const auto& buf : buffers) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    buf->records.clear();
+    buf->dropped = 0;
+  }
+}
+
+}  // namespace autodc::obs

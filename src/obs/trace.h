@@ -1,0 +1,115 @@
+#ifndef AUTODC_OBS_TRACE_H_
+#define AUTODC_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+// RAII tracing on top of the metrics registry. A Span marks one timed
+// region; spans nest naturally (a thread-local stack tracks the current
+// parent), and completed spans land in a bounded per-thread buffer that
+// TakeSpans() drains for export. A ScopedTimer is the cheaper cousin:
+// no record, no parentage — just "elapsed ms into this histogram".
+//
+// Under AUTODC_DISABLE_OBS both classes compile to empty objects.
+namespace autodc::obs {
+
+/// One completed span, as drained by TakeSpans().
+struct SpanRecord {
+  std::string name;
+  uint64_t id = 0;         ///< process-unique, 1-based
+  uint64_t parent_id = 0;  ///< 0 for a root span
+  uint32_t depth = 0;      ///< nesting depth at entry (0 = root)
+  uint32_t thread = 0;     ///< obs thread slot of the recording thread
+  uint64_t start_us = 0;   ///< microseconds since the process obs epoch
+  uint64_t duration_us = 0;
+};
+
+#ifndef AUTODC_DISABLE_OBS
+
+/// RAII trace span: names a region, records [start, duration] with
+/// parent/child nesting on destruction. Must be destroyed on the thread
+/// that created it (RAII usage guarantees this).
+class Span {
+ public:
+  explicit Span(std::string name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  std::string name_;
+  uint64_t id_ = 0;
+  uint64_t parent_id_ = 0;
+  uint32_t depth_ = 0;
+  std::chrono::steady_clock::time_point start_;
+  bool active_ = false;  // Enabled() at entry
+};
+
+/// RAII timer recording elapsed milliseconds into `hist` on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* hist)
+      : hist_(hist), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    if (hist_ == nullptr) return;
+    hist_->Record(std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+#else  // AUTODC_DISABLE_OBS
+
+class Span {
+ public:
+  explicit Span(const std::string&) {}
+};
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram*) {}
+};
+
+#endif  // AUTODC_DISABLE_OBS
+
+/// Drains every thread's completed-span buffer, ordered by start time.
+/// Spans recorded after the call stay buffered for the next drain.
+std::vector<SpanRecord> TakeSpans();
+
+/// Spans silently dropped because a per-thread buffer was full.
+uint64_t SpansDropped();
+
+/// Test hook: drops all buffered spans and zeroes the dropped count.
+void ClearSpans();
+
+// Per-thread completed-span buffer capacity; older spans are dropped
+// first (and counted in SpansDropped()).
+inline constexpr size_t kSpanBufferCap = 4096;
+
+}  // namespace autodc::obs
+
+// Statement macros for static-named spans/timers. AUTODC_OBS_TIMER_MS
+// keeps a function-local static Histogram*, so steady state is two
+// clock reads + one histogram record.
+#ifdef AUTODC_DISABLE_OBS
+#define AUTODC_OBS_SPAN(var, name) ((void)0)
+#define AUTODC_OBS_TIMER_MS(var, name) ((void)0)
+#else
+#define AUTODC_OBS_SPAN(var, name) ::autodc::obs::Span var(name)
+#define AUTODC_OBS_TIMER_MS(var, name)                               \
+  static ::autodc::obs::Histogram* var##_hist =                      \
+      ::autodc::obs::MetricsRegistry::Global().GetHistogram(name);   \
+  ::autodc::obs::ScopedTimer var(var##_hist)
+#endif
+
+#endif  // AUTODC_OBS_TRACE_H_

@@ -1,6 +1,12 @@
-// Tests for Status/Result, Rng determinism, and string utilities.
+// Tests for Status/Result, Rng determinism, env parsing, the JSON
+// writer, and string utilities.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <limits>
+
+#include "src/common/env.h"
+#include "src/common/json.h"
 #include "src/common/result.h"
 #include "src/common/rng.h"
 #include "src/common/status.h"
@@ -134,6 +140,119 @@ TEST(RngTest, SampleIndicesDistinct) {
 TEST(RngTest, SampleIndicesClampsToN) {
   Rng rng(7);
   EXPECT_EQ(rng.SampleIndices(3, 10).size(), 3u);
+}
+
+
+// RAII env var for the EnvSizeT/EnvFlag/EnvString tests.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (value != nullptr) {
+      setenv(name, value, /*overwrite=*/1);
+    } else {
+      unsetenv(name);
+    }
+  }
+  ~ScopedEnv() { unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+TEST(EnvTest, UnsetReturnsFallback) {
+  ScopedEnv env("AUTODC_TEST_SIZET", nullptr);
+  EXPECT_EQ(EnvSizeT("AUTODC_TEST_SIZET", 7, 1, 100), 7u);
+}
+
+TEST(EnvTest, ValidValueParses) {
+  ScopedEnv env("AUTODC_TEST_SIZET", "42");
+  EXPECT_EQ(EnvSizeT("AUTODC_TEST_SIZET", 7, 1, 100), 42u);
+}
+
+TEST(EnvTest, WhitespaceTolerated) {
+  ScopedEnv env("AUTODC_TEST_SIZET", "  8  ");
+  EXPECT_EQ(EnvSizeT("AUTODC_TEST_SIZET", 7, 1, 100), 8u);
+}
+
+TEST(EnvTest, NonNumericFallsBack) {
+  ScopedEnv env("AUTODC_TEST_SIZET", "lots");
+  EXPECT_EQ(EnvSizeT("AUTODC_TEST_SIZET", 7, 1, 100), 7u);
+}
+
+TEST(EnvTest, TrailingGarbageFallsBack) {
+  ScopedEnv env("AUTODC_TEST_SIZET", "12abc");
+  EXPECT_EQ(EnvSizeT("AUTODC_TEST_SIZET", 7, 1, 100), 7u);
+}
+
+TEST(EnvTest, NegativeFallsBack) {
+  ScopedEnv env("AUTODC_TEST_SIZET", "-3");
+  EXPECT_EQ(EnvSizeT("AUTODC_TEST_SIZET", 7, 1, 100), 7u);
+}
+
+TEST(EnvTest, OutOfRangeFallsBack) {
+  ScopedEnv env("AUTODC_TEST_SIZET", "100000");
+  EXPECT_EQ(EnvSizeT("AUTODC_TEST_SIZET", 7, 1, 1024), 7u);
+  ScopedEnv env2("AUTODC_TEST_SIZET", "0");
+  EXPECT_EQ(EnvSizeT("AUTODC_TEST_SIZET", 7, 1, 1024), 7u);
+}
+
+TEST(EnvTest, OverflowFallsBack) {
+  ScopedEnv env("AUTODC_TEST_SIZET", "99999999999999999999999999");
+  EXPECT_EQ(EnvSizeT("AUTODC_TEST_SIZET", 7, 1,
+                     std::numeric_limits<size_t>::max()),
+            7u);
+}
+
+TEST(EnvTest, FlagRecognizesFalseSpellings) {
+  for (const char* v : {"0", "false", "FALSE", "off", "Off", "no"}) {
+    ScopedEnv env("AUTODC_TEST_FLAG", v);
+    EXPECT_FALSE(EnvFlag("AUTODC_TEST_FLAG", true)) << v;
+  }
+  for (const char* v : {"1", "true", "on", "yes", "weird"}) {
+    ScopedEnv env("AUTODC_TEST_FLAG", v);
+    EXPECT_TRUE(EnvFlag("AUTODC_TEST_FLAG", false)) << v;
+  }
+}
+
+TEST(EnvTest, FlagUnsetOrEmptyUsesFallback) {
+  ScopedEnv unset("AUTODC_TEST_FLAG", nullptr);
+  EXPECT_TRUE(EnvFlag("AUTODC_TEST_FLAG", true));
+  EXPECT_FALSE(EnvFlag("AUTODC_TEST_FLAG", false));
+  ScopedEnv empty("AUTODC_TEST_FLAG", "");
+  EXPECT_TRUE(EnvFlag("AUTODC_TEST_FLAG", true));
+}
+
+TEST(EnvTest, StringReturnsValueOrFallback) {
+  ScopedEnv unset("AUTODC_TEST_STR", nullptr);
+  EXPECT_EQ(EnvString("AUTODC_TEST_STR", "dflt"), "dflt");
+  ScopedEnv set("AUTODC_TEST_STR", "stderr");
+  EXPECT_EQ(EnvString("AUTODC_TEST_STR", "dflt"), "stderr");
+}
+
+TEST(JsonTest, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(JsonEscape("tab\tnl\n"), "tab\\tnl\\n");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonTest, NonFiniteNumbersEmitNull) {
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(JsonNumber(-std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(JsonNumber(1.5), "1.5");
+}
+
+TEST(JsonTest, ObjectRoutesDoublesThroughJsonNumber) {
+  JsonObject o;
+  o.Set("ok", 2.0).Set("bad", std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(o.str(), "{\"ok\":2,\"bad\":null}");
+}
+
+TEST(JsonTest, ObjectEscapesKeysAndStrings) {
+  JsonObject o;
+  o.Set(std::string("k\"ey"), std::string("v\nal"));
+  EXPECT_EQ(o.str(), "{\"k\\\"ey\":\"v\\nal\"}");
 }
 
 TEST(StringUtilTest, SplitKeepsEmptyFields) {

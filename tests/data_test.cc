@@ -160,6 +160,50 @@ TEST(CsvTest, RoundTrip) {
   EXPECT_EQ(r2.ValueOrDie().at(0, 1).AsString(), "x,y");
 }
 
+TEST(CsvTest, CrlfLineEndingsParseLikeLf) {
+  auto r = ReadCsvString("id,name\r\n1,alice\r\n2,bob\r\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Table& t = r.ValueOrDie();
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.schema().column(1).name, "name");
+  EXPECT_EQ(t.at(0, 1).AsString(), "alice");
+  EXPECT_EQ(t.at(1, 1).AsString(), "bob");
+}
+
+TEST(CsvTest, CrlfInsideQuotedFieldIsPreserved) {
+  auto r = ReadCsvString("a,b\r\n\"line1\r\nline2\",plain\r\n",
+                         CsvOptions{.infer_types = false});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Table& t = r.ValueOrDie();
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.at(0, 0).AsString(), "line1\r\nline2");
+  EXPECT_EQ(t.at(0, 1).AsString(), "plain");
+}
+
+TEST(CsvTest, BareCarriageReturnIsFieldData) {
+  // A '\r' NOT followed by '\n' is payload, not a line ending — the old
+  // reader silently stripped it, corrupting the field.
+  auto r = ReadCsvString("a,b\nx\ry,z\n", CsvOptions{.infer_types = false});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.ValueOrDie().at(0, 0).AsString(), "x\ry");
+}
+
+TEST(CsvTest, WriterQuotesCarriageReturns) {
+  std::vector<Column> cols = {Column{"a", ValueType::kString},
+                              Column{"b", ValueType::kString}};
+  Table t{Schema(cols)};
+  ASSERT_TRUE(
+      t.AppendRow({Value(std::string("x\ry")), Value(std::string("c\r\nd"))})
+          .ok());
+  std::string csv = WriteCsvString(t);
+  auto r = ReadCsvString(csv, CsvOptions{.infer_types = false});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Table& back = r.ValueOrDie();
+  ASSERT_EQ(back.num_rows(), 1u);
+  EXPECT_EQ(back.at(0, 0).AsString(), "x\ry");
+  EXPECT_EQ(back.at(0, 1).AsString(), "c\r\nd");
+}
+
 TEST(CsvTest, NoHeaderNamesColumns) {
   auto r = ReadCsvString("1,2\n3,4\n", CsvOptions{.has_header = false});
   ASSERT_TRUE(r.ok());

@@ -29,9 +29,10 @@ data::Table RandomTable(uint64_t seed) {
         data::Column{"col" + std::to_string(c), data::ValueType::kString});
   }
   data::Table t{data::Schema(cols)};
-  const char* nasty[] = {"plain",      "with,comma", "with\"quote",
-                         "with\nnewline", "",        "  spaces  ",
-                         "ünïcödé-ish", "a,b\",\"c"};
+  const char* nasty[] = {"plain",         "with,comma",  "with\"quote",
+                         "with\nnewline", "",            "  spaces  ",
+                         "ünïcödé-ish",   "a,b\",\"c",   "bare\rreturn",
+                         "crlf\r\ninside"};
   size_t nrows = static_cast<size_t>(rng.UniformInt(0, 20));
   for (size_t r = 0; r < nrows; ++r) {
     data::Row row;
@@ -39,7 +40,7 @@ data::Table RandomTable(uint64_t seed) {
       if (rng.Bernoulli(0.15)) {
         row.push_back(data::Value::Null());
       } else {
-        row.push_back(data::Value(std::string(nasty[rng.UniformInt(0, 7)])));
+        row.push_back(data::Value(std::string(nasty[rng.UniformInt(0, 9)])));
       }
     }
     t.AppendRow(std::move(row));

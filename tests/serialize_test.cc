@@ -1,0 +1,140 @@
+// Regression tests for checkpoint robustness: atomic file replacement
+// (tmp + rename) and all-or-nothing loads — a truncated or corrupt
+// checkpoint must be rejected before any parameter tensor is mutated.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/nn/autograd.h"
+#include "src/nn/serialize.h"
+
+namespace autodc::nn {
+namespace {
+
+std::vector<VarPtr> MakeParams() {
+  return {Parameter(Tensor({2, 2}, {1.0f, 2.0f, 3.0f, 4.0f})),
+          Parameter(Tensor({3}, {5.0f, 6.0f, 7.0f}))};
+}
+
+std::vector<float> Flatten(const std::vector<VarPtr>& params) {
+  std::vector<float> out;
+  for (const VarPtr& p : params) {
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      out.push_back(p->value[i]);
+    }
+  }
+  return out;
+}
+
+std::string SaveToString(const std::vector<VarPtr>& params) {
+  std::ostringstream os(std::ios::binary);
+  EXPECT_TRUE(SaveParameters(params, &os).ok());
+  return os.str();
+}
+
+TEST(SerializeTest, RoundTripThroughFile) {
+  std::vector<VarPtr> src = MakeParams();
+  std::vector<VarPtr> dst = {Parameter(Tensor({2, 2})),
+                             Parameter(Tensor({3}))};
+  std::string path = ::testing::TempDir() + "/ckpt_roundtrip.bin";
+  ASSERT_TRUE(SaveParametersToFile(src, path).ok());
+  ASSERT_TRUE(LoadParametersFromFile(dst, path).ok());
+  EXPECT_EQ(Flatten(dst), Flatten(src));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, SaveLeavesNoTempFileBehind) {
+  std::vector<VarPtr> params = MakeParams();
+  std::string path = ::testing::TempDir() + "/ckpt_atomic.bin";
+  ASSERT_TRUE(SaveParametersToFile(params, path).ok());
+  std::ifstream tmp(path + ".tmp", std::ios::binary);
+  EXPECT_FALSE(static_cast<bool>(tmp));  // tmp was renamed away
+  std::ifstream final_file(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(final_file));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, SaveOverwritesExistingCheckpointAtomically) {
+  std::string path = ::testing::TempDir() + "/ckpt_overwrite.bin";
+  std::vector<VarPtr> first = {Parameter(Tensor({2}, {1.0f, 2.0f}))};
+  std::vector<VarPtr> second = {Parameter(Tensor({2}, {8.0f, 9.0f}))};
+  ASSERT_TRUE(SaveParametersToFile(first, path).ok());
+  ASSERT_TRUE(SaveParametersToFile(second, path).ok());
+  std::vector<VarPtr> loaded = {Parameter(Tensor({2}))};
+  ASSERT_TRUE(LoadParametersFromFile(loaded, path).ok());
+  EXPECT_EQ(Flatten(loaded), Flatten(second));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, SaveToUnwritableDirectoryFails) {
+  std::vector<VarPtr> params = MakeParams();
+  Status s = SaveParametersToFile(params, "no/such/dir/ckpt.bin");
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(SerializeTest, TruncatedCheckpointDoesNotMutateParams) {
+  std::vector<VarPtr> src = MakeParams();
+  std::string bytes = SaveToString(src);
+  std::vector<VarPtr> dst = MakeParams();
+  std::vector<float> before = Flatten(dst);
+  // Every truncation point must fail cleanly AND leave dst untouched —
+  // including cuts that land mid-way through the first tensor's data,
+  // where a streaming loader would already have clobbered it.
+  for (size_t cut : {size_t{0}, size_t{3}, size_t{4}, size_t{11},
+                     size_t{12}, size_t{20}, bytes.size() / 2,
+                     bytes.size() - 1}) {
+    ASSERT_LT(cut, bytes.size());
+    std::istringstream in(bytes.substr(0, cut), std::ios::binary);
+    Status s = LoadParameters(dst, &in);
+    EXPECT_FALSE(s.ok()) << "cut at " << cut;
+    EXPECT_EQ(Flatten(dst), before) << "params mutated at cut " << cut;
+  }
+}
+
+TEST(SerializeTest, CorruptMagicDoesNotMutateParams) {
+  std::vector<VarPtr> src = MakeParams();
+  std::string bytes = SaveToString(src);
+  bytes[0] = 'X';
+  std::vector<VarPtr> dst = MakeParams();
+  std::vector<float> before = Flatten(dst);
+  std::istringstream in(bytes, std::ios::binary);
+  EXPECT_FALSE(LoadParameters(dst, &in).ok());
+  EXPECT_EQ(Flatten(dst), before);
+}
+
+TEST(SerializeTest, CorruptShapeDoesNotMutateParams) {
+  std::vector<VarPtr> src = MakeParams();
+  std::string bytes = SaveToString(src);
+  // Bytes 12..15 hold the first tensor's rank (uint32). An absurd rank
+  // must be rejected up front, not used to size allocations.
+  bytes[12] = static_cast<char>(0xFF);
+  bytes[13] = static_cast<char>(0xFF);
+  std::vector<VarPtr> dst = MakeParams();
+  std::vector<float> before = Flatten(dst);
+  std::istringstream in(bytes, std::ios::binary);
+  EXPECT_FALSE(LoadParameters(dst, &in).ok());
+  EXPECT_EQ(Flatten(dst), before);
+}
+
+TEST(SerializeTest, SecondTensorFailureRollsBackNothing) {
+  // The first tensor parses fine; the stream dies inside the second.
+  // A staged load must not commit the first tensor either.
+  std::vector<VarPtr> src = MakeParams();
+  std::string bytes = SaveToString(src);
+  // Header(12) + tensor0 rank(4) + dims(16) + data(16) = 48; cut inside
+  // tensor 1's payload.
+  std::istringstream in(bytes.substr(0, bytes.size() - 4),
+                        std::ios::binary);
+  std::vector<VarPtr> dst = {Parameter(Tensor({2, 2})),
+                             Parameter(Tensor({3}))};
+  std::vector<float> before = Flatten(dst);
+  EXPECT_FALSE(LoadParameters(dst, &in).ok());
+  EXPECT_EQ(Flatten(dst), before);
+}
+
+}  // namespace
+}  // namespace autodc::nn

@@ -170,6 +170,95 @@ TEST(TrainerTest, ValidationSplitIsDisjointAndMonitored) {
   }
 }
 
+TEST(TrainerTest, ZeroValidationFractionSplitsNothingSilently) {
+  nn::TrainOptions options;
+  options.epochs = 2;
+  options.validation_fraction = 0.0;
+  Quadratic q(1.0f);
+  nn::Sgd opt({q.w}, 0.1f);
+  Rng rng(3);
+  nn::TrainResult r = nn::Trainer(options).Fit(10, &rng, &opt, q.LossFn());
+  EXPECT_TRUE(r.diagnostics.empty());
+  for (const nn::EpochStats& s : r.history) {
+    EXPECT_TRUE(std::isnan(s.val_loss));  // no validation pass ran
+  }
+}
+
+TEST(TrainerTest, TinyFractionOnSmallDatasetClampsToOneExample) {
+  // 3 * 0.05 rounds to 0 validation examples; the split must clamp to 1
+  // (not silently disable validation) and say so.
+  nn::TrainOptions options;
+  options.epochs = 2;
+  options.batch_size = 2;
+  options.validation_fraction = 0.05;
+  std::set<size_t> train_seen, val_seen;
+  Quadratic q(1.0f);
+  nn::VarPtr w = q.w;
+  auto loss_fn = [&](const std::vector<size_t>& idx, bool train) {
+    for (size_t i : idx) (train ? train_seen : val_seen).insert(i);
+    return nn::MseLoss(w, nn::Tensor::Zeros({1, 1}));
+  };
+  nn::Sgd opt({q.w}, 0.1f);
+  Rng rng(3);
+  nn::TrainResult r = nn::Trainer(options).Fit(3, &rng, &opt, loss_fn);
+  EXPECT_EQ(val_seen.size(), 1u);
+  EXPECT_EQ(train_seen.size(), 2u);
+  for (const nn::EpochStats& s : r.history) {
+    EXPECT_FALSE(std::isnan(s.val_loss));
+  }
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_NE(r.diagnostics[0].find("clamped to 1"), std::string::npos);
+}
+
+TEST(TrainerTest, HugeFractionLeavesAtLeastOneTrainingExample) {
+  // 0.99 of a tiny dataset must not swallow every training example. On
+  // n=3, floor(3 * 0.99) = 2 of 3 — legal, no diagnostic; on fraction
+  // 1.0 the floor equals n and must clamp to n-1 with a diagnostic.
+  nn::TrainOptions options;
+  options.epochs = 1;
+  options.batch_size = 1;
+  options.validation_fraction = 0.99;
+  std::set<size_t> train_seen;
+  Quadratic q(1.0f);
+  nn::VarPtr w = q.w;
+  auto count_fn = [&](const std::vector<size_t>& idx, bool train) {
+    if (train) {
+      for (size_t i : idx) train_seen.insert(i);
+    }
+    return nn::MseLoss(w, nn::Tensor::Zeros({1, 1}));
+  };
+  nn::Sgd opt({q.w}, 0.1f);
+  Rng rng(3);
+  nn::TrainResult r = nn::Trainer(options).Fit(3, &rng, &opt, count_fn);
+  EXPECT_GE(train_seen.size(), 1u);
+  EXPECT_TRUE(r.diagnostics.empty());
+
+  train_seen.clear();
+  options.validation_fraction = 1.0;
+  Rng rng2(3);
+  nn::TrainResult r2 = nn::Trainer(options).Fit(3, &rng2, &opt, count_fn);
+  EXPECT_EQ(train_seen.size(), 1u);
+  ASSERT_EQ(r2.diagnostics.size(), 1u);
+  EXPECT_NE(r2.diagnostics[0].find("no training examples"),
+            std::string::npos);
+}
+
+TEST(TrainerTest, SingleExampleDisablesValidationWithDiagnostic) {
+  nn::TrainOptions options;
+  options.epochs = 1;
+  options.validation_fraction = 0.5;
+  Quadratic q(1.0f);
+  nn::Sgd opt({q.w}, 0.1f);
+  Rng rng(3);
+  nn::TrainResult r = nn::Trainer(options).Fit(1, &rng, &opt, q.LossFn());
+  EXPECT_EQ(r.epochs_run, 1u);
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_NE(r.diagnostics[0].find("validation disabled"),
+            std::string::npos);
+  ASSERT_EQ(r.history.size(), 1u);
+  EXPECT_TRUE(std::isnan(r.history[0].val_loss));
+}
+
 TEST(TrainerTest, PeriodicCheckpointMatchesFinalWeights) {
   const std::string path = TempPath("trainer_ckpt.bin");
   nn::TrainOptions options;
