@@ -7,7 +7,7 @@
 // once those are in place.
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "bench/harness.h"
 #include "src/datagen/er_benchmark.h"
 #include "src/embedding/word2vec.h"
 #include "src/er/baselines.h"
@@ -30,14 +30,14 @@ struct Setup {
   std::vector<er::RowPair> all;
 };
 
-Setup MakeSetup() {
+Setup MakeSetup(uint64_t seed, size_t entities) {
   Setup s;
   datagen::ErBenchmarkConfig cfg;
   cfg.domain = datagen::ErDomain::kProducts;
-  cfg.num_entities = 150;
+  cfg.num_entities = entities;
   cfg.dirtiness = 0.55;
   cfg.synonym_rate = 0.5;
-  cfg.seed = 17;
+  cfg.seed = seed;
   s.bench = datagen::GenerateErBenchmark(cfg);
   embedding::Word2VecConfig wcfg;
   wcfg.sgns.dim = 24;
@@ -62,9 +62,10 @@ Setup MakeSetup() {
   return s;
 }
 
-er::PrfScore RunDeepEr(Setup& s, bool fit_weights, bool hard_negatives) {
+er::PrfScore RunDeepEr(Setup& s, size_t epochs, bool fit_weights,
+                       bool hard_negatives) {
   er::DeepErConfig cfg;
-  cfg.epochs = 40;
+  cfg.epochs = epochs;
   cfg.learning_rate = 1e-2f;
   er::DeepEr model(&s.words, cfg);
   if (fit_weights) model.FitWeights({&s.bench.left, &s.bench.right});
@@ -77,7 +78,7 @@ er::PrfScore RunDeepEr(Setup& s, bool fit_weights, bool hard_negatives) {
 // Whole-tuple-features variant: classifier over EmbeddingPairFeatures of
 // the full tuple vectors (what the per-attribute similarity vector
 // replaced).
-er::PrfScore RunWholeTuple(Setup& s) {
+er::PrfScore RunWholeTuple(Setup& s, size_t epochs) {
   er::DeepErConfig cfg;
   er::DeepEr embedder(&s.words, cfg);
   embedder.FitWeights({&s.bench.left, &s.bench.right});
@@ -95,7 +96,7 @@ er::PrfScore RunWholeTuple(Setup& s) {
         embedder.EmbedTupleVector(s.bench.right.row(p.right))));
     y.push_back(p.label);
   }
-  clf.Train(x, y, 40);
+  clf.Train(x, y, epochs);
   std::vector<er::RowPair> predicted;
   for (const er::RowPair& c : s.all) {
     auto f = er::EmbeddingPairFeatures(
@@ -108,25 +109,36 @@ er::PrfScore RunWholeTuple(Setup& s) {
 
 }  // namespace
 
-int main() {
-  Setup s = MakeSetup();
-  PrintHeader(
-      "Ablation — DeepER design choices",
+int main(int argc, char** argv) {
+  BenchSpec spec;
+  spec.name = "ablation";
+  spec.experiment = "Ablation — DeepER design choices";
+  spec.claim =
       "Full model minus one ingredient each, products benchmark at\n"
-      "dirtiness 0.55 + synonyms 0.5, threshold 0.9.");
+      "dirtiness 0.55 + synonyms 0.5, threshold 0.9.";
+  spec.default_seed = 17;
+  return BenchMain(argc, argv, spec, [](Bench& b) {
+    Setup s = MakeSetup(b.seed(), b.Size(150, 80));
+    const size_t epochs = b.Size(40, 20);
 
-  PrintRow({"variant", "P", "R", "F1"});
-  er::PrfScore full = RunDeepEr(s, true, true);
-  PrintRow({"full model", Fmt(full.precision), Fmt(full.recall),
-            Fmt(full.f1)});
-  er::PrfScore no_sif = RunDeepEr(s, false, true);
-  PrintRow({"- SIF + subword weights", Fmt(no_sif.precision),
-            Fmt(no_sif.recall), Fmt(no_sif.f1)});
-  er::PrfScore no_hard = RunDeepEr(s, true, false);
-  PrintRow({"- hard negatives", Fmt(no_hard.precision), Fmt(no_hard.recall),
-            Fmt(no_hard.f1)});
-  er::PrfScore whole = RunWholeTuple(s);
-  PrintRow({"- per-attribute simvec", Fmt(whole.precision),
-            Fmt(whole.recall), Fmt(whole.f1)});
-  return 0;
+    PrintRow({"variant", "P", "R", "F1"});
+    er::PrfScore full = RunDeepEr(s, epochs, true, true);
+    PrintRow({"full model", Fmt(full.precision), Fmt(full.recall),
+              Fmt(full.f1)});
+    er::PrfScore no_sif = RunDeepEr(s, epochs, false, true);
+    PrintRow({"- SIF + subword weights", Fmt(no_sif.precision),
+              Fmt(no_sif.recall), Fmt(no_sif.f1)});
+    er::PrfScore no_hard = RunDeepEr(s, epochs, true, false);
+    PrintRow({"- hard negatives", Fmt(no_hard.precision), Fmt(no_hard.recall),
+              Fmt(no_hard.f1)});
+    er::PrfScore whole = RunWholeTuple(s, epochs);
+    PrintRow({"- per-attribute simvec", Fmt(whole.precision),
+              Fmt(whole.recall), Fmt(whole.f1)});
+
+    b.Report("full", {{"f1", full.f1}, {"recall", full.recall}});
+    b.Report("no_sif", {{"f1", no_sif.f1}});
+    b.Report("no_hard_negatives", {{"f1", no_hard.f1}});
+    b.Report("whole_tuple", {{"f1", whole.f1}});
+    return 0;
+  });
 }

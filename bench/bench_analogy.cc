@@ -3,48 +3,57 @@
 // Shape: a majority of planted analogy quadruples resolve in the top-3.
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "bench/harness.h"
 #include "src/datagen/corpus.h"
 #include "src/embedding/word2vec.h"
 
 using namespace autodc;         // NOLINT
 using namespace autodc::bench;  // NOLINT
 
-int main() {
-  datagen::SemanticCorpus corpus = datagen::GenerateSemanticCorpus();
-  embedding::Word2VecConfig wcfg;
-  wcfg.sgns.dim = 32;
-  wcfg.sgns.epochs = 8;
-  wcfg.sgns.seed = 7;
-  embedding::EmbeddingStore words =
-      embedding::TrainWordEmbeddings(corpus.sentences, wcfg);
-
-  PrintHeader(
-      "Experiment C8 — semantic vector arithmetic (Sec. 2.2)",
+int main(int argc, char** argv) {
+  BenchSpec spec;
+  spec.name = "analogy";
+  spec.experiment = "Experiment C8 — semantic vector arithmetic (Sec. 2.2)";
+  spec.claim =
       "a : b :: c : ?  solved by nearest neighbour to (b - a + c).\n"
-      "Shape: most planted analogies resolve; top-1 and top-3 reported.");
+      "Shape: most planted analogies resolve; top-1 and top-3 reported.";
+  spec.default_seed = 7;
+  return BenchMain(argc, argv, spec, [](Bench& b) {
+    datagen::SemanticCorpus corpus = datagen::GenerateSemanticCorpus();
+    embedding::Word2VecConfig wcfg;
+    wcfg.sgns.dim = 32;
+    wcfg.sgns.epochs = b.Size(8, 4);
+    wcfg.sgns.seed = b.seed();
+    embedding::EmbeddingStore words =
+        embedding::TrainWordEmbeddings(corpus.sentences, wcfg);
 
-  PrintRow({"analogy", "rank-1", "top-3", "best guess"});
-  size_t top1 = 0, top3 = 0;
-  for (const auto& q : corpus.analogies) {
-    auto result = words.Analogy(q.a, q.b, q.c, 3);
-    std::string label = q.a + ":" + q.b + "::" + q.c + ":" + q.d;
-    if (!result.ok()) {
-      PrintRow({label, "-", "-", "(missing)"});
-      continue;
+    PrintRow({"analogy", "rank-1", "top-3", "best guess"});
+    size_t top1 = 0, top3 = 0;
+    for (const auto& q : corpus.analogies) {
+      auto result = words.Analogy(q.a, q.b, q.c, 3);
+      std::string label = q.a + ":" + q.b + "::" + q.c + ":" + q.d;
+      if (!result.ok()) {
+        PrintRow({label, "-", "-", "(missing)"});
+        continue;
+      }
+      const auto& top = result.ValueOrDie();
+      bool hit1 = !top.empty() && top[0].key == q.d;
+      bool hit3 = false;
+      for (const auto& n : top) {
+        if (n.key == q.d) hit3 = true;
+      }
+      if (hit1) ++top1;
+      if (hit3) ++top3;
+      PrintRow({label, hit1 ? "yes" : "no", hit3 ? "yes" : "no",
+                top.empty() ? "?" : top[0].key});
     }
-    const auto& top = result.ValueOrDie();
-    bool hit1 = !top.empty() && top[0].key == q.d;
-    bool hit3 = false;
-    for (const auto& n : top) {
-      if (n.key == q.d) hit3 = true;
-    }
-    if (hit1) ++top1;
-    if (hit3) ++top3;
-    PrintRow({label, hit1 ? "yes" : "no", hit3 ? "yes" : "no",
-              top.empty() ? "?" : top[0].key});
-  }
-  std::printf("\nAccuracy: top-1 %zu/%zu, top-3 %zu/%zu\n", top1,
-              corpus.analogies.size(), top3, corpus.analogies.size());
-  return 0;
+    size_t n = corpus.analogies.size();
+    std::printf("\nAccuracy: top-1 %zu/%zu, top-3 %zu/%zu\n", top1, n, top3,
+                n);
+    b.Report("accuracy",
+             {{"top1", n ? static_cast<double>(top1) / n : 0.0},
+              {"top3", n ? static_cast<double>(top3) / n : 0.0},
+              {"analogies", static_cast<double>(n)}});
+    return 0;
+  });
 }

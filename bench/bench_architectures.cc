@@ -6,7 +6,7 @@
 // and the GAN converges toward discriminator accuracy ~0.5.
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "bench/harness.h"
 #include "src/nn/autoencoder.h"
 #include "src/nn/classifier.h"
 #include "src/nn/gan.h"
@@ -152,99 +152,121 @@ double CnnMotifAccuracy(const std::vector<SeqExample>& train,
 
 }  // namespace
 
-int main() {
-  PrintHeader(
-      "Experiment F2 — DL architecture zoo (Figure 2)",
+int main(int argc, char** argv) {
+  BenchSpec spec;
+  spec.name = "architectures";
+  spec.experiment = "Experiment F2 — DL architecture zoo (Figure 2)";
+  spec.claim =
       "Each architecture on its matched vs mismatched task. Shape:\n"
       "architecture/task fit decides accuracy — the paper's motivation\n"
-      "for DC-specific architectures (Sec. 3.2).");
+      "for DC-specific architectures (Sec. 3.2).";
+  spec.default_seed = 1;
+  return BenchMain(argc, argv, spec, [](Bench& b) {
+    Rng rng(b.seed());
+    // Task A: parity, with a LENGTH-GENERALIZATION split: train on
+    // length-4 sequences, test on length-4 AND length-8. The recurrent
+    // model learns the 2-state automaton and transfers; the MLP's input
+    // width is welded to the training length — it cannot even consume
+    // longer sequences (the "RNN processes input one step at a time"
+    // point of Sec. 2.1).
+    auto parity_train = MakeParityData(b.Size(800, 400), 4, &rng);
+    auto parity_test4 = MakeParityData(200, 4, &rng);
+    auto parity_test8 = MakeParityData(200, 8, &rng);
+    Rng m1(2), m2(2);
+    double lstm_parity4 = LstmParityAccuracy(parity_train, parity_test4, &m1);
+    Rng m1b(2);
+    double lstm_parity8 =
+        LstmParityAccuracy(parity_train, parity_test8, &m1b);
+    double mlp_parity4 = MlpParityAccuracy(parity_train, parity_test4, &m2);
 
-  Rng rng(1);
-  // Task A: parity, with a LENGTH-GENERALIZATION split: train on length-4
-  // sequences, test on length-4 AND length-8. The recurrent model learns
-  // the 2-state automaton and transfers; the MLP's input width is welded
-  // to the training length — it cannot even consume longer sequences
-  // (the "RNN processes input one step at a time" point of Sec. 2.1).
-  auto parity_train = MakeParityData(800, 4, &rng);
-  auto parity_test4 = MakeParityData(200, 4, &rng);
-  auto parity_test8 = MakeParityData(200, 8, &rng);
-  Rng m1(2), m2(2);
-  double lstm_parity4 = LstmParityAccuracy(parity_train, parity_test4, &m1);
-  Rng m1b(2);
-  double lstm_parity8 = LstmParityAccuracy(parity_train, parity_test8, &m1b);
-  double mlp_parity4 = MlpParityAccuracy(parity_train, parity_test4, &m2);
+    // Task B: motif.
+    auto motif_train = MakeMotifData(100, 12, &rng);  // small: sample eff.
+    auto motif_test = MakeMotifData(150, 12, &rng);
+    Rng m3(3), m4(3);
+    double cnn_motif = CnnMotifAccuracy(motif_train, motif_test, &m3);
+    double mlp_motif = MlpParityAccuracy(motif_train, motif_test, &m4);
 
-  // Task B: motif.
-  auto motif_train = MakeMotifData(100, 12, &rng);  // small: sample efficiency
-  auto motif_test = MakeMotifData(150, 12, &rng);
-  Rng m3(3), m4(3);
-  double cnn_motif = CnnMotifAccuracy(motif_train, motif_test, &m3);
-  double mlp_motif = MlpParityAccuracy(motif_train, motif_test, &m4);
+    PrintRow({"task", "LSTM", "CNN", "MLP"});
+    PrintRow({"parity len=4 (trained)", Fmt(lstm_parity4, 2), "-",
+              Fmt(mlp_parity4, 2)});
+    PrintRow({"parity len=8 (transfer)", Fmt(lstm_parity8, 2), "-",
+              "n/a"});
+    PrintRow({"local motif", "-", Fmt(cnn_motif, 2), Fmt(mlp_motif, 2)});
+    b.Report("parity", {{"lstm_accuracy", lstm_parity4},
+                        {"lstm_transfer_accuracy", lstm_parity8},
+                        {"mlp_accuracy", mlp_parity4}});
+    b.Report("motif", {{"cnn_accuracy", cnn_motif},
+                       {"mlp_accuracy", mlp_motif}});
 
-  PrintRow({"task", "LSTM", "CNN", "MLP"});
-  PrintRow({"parity len=4 (trained)", Fmt(lstm_parity4, 2), "-",
-            Fmt(mlp_parity4, 2)});
-  PrintRow({"parity len=8 (transfer)", Fmt(lstm_parity8, 2), "-",
-            "n/a"});
-  PrintRow({"local motif", "-", Fmt(cnn_motif, 2), Fmt(mlp_motif, 2)});
-
-  // Autoencoder family on corrupted reconstruction.
-  std::printf("\nAutoencoder family — reconstruct a corrupted cell from a\n"
-              "2-D manifold in 6-D space (error in restoring the zeroed\n"
-              "coordinate; lower is better):\n");
-  Rng data_rng(4);
-  nn::Batch data;
-  for (int i = 0; i < 250; ++i) {
-    float u = static_cast<float>(data_rng.Uniform(-1, 1));
-    float v = static_cast<float>(data_rng.Uniform(-1, 1));
-    data.push_back({u, v, u + v, u - v, 0.5f * u, 0.5f * v});
-  }
-  PrintRow({"variant", "restore err", "", "", ""});
-  for (auto kind : {nn::AutoencoderKind::kPlain, nn::AutoencoderKind::kSparse,
-                    nn::AutoencoderKind::kDenoising,
-                    nn::AutoencoderKind::kVariational}) {
-    Rng ar(5);
-    nn::AutoencoderConfig acfg;
-    acfg.input_dim = 6;
-    acfg.hidden_dim = 4;
-    acfg.activation = nn::Activation::kTanh;
-    acfg.kl_weight = 0.02f;
-    nn::Autoencoder ae(kind, acfg, &ar);
-    ae.Train(data, 50);
-    double err = 0.0;
-    for (int i = 0; i < 50; ++i) {
-      std::vector<float> corrupted = data[static_cast<size_t>(i)];
-      float truth = corrupted[2];
-      corrupted[2] = 0.0f;
-      err += std::fabs(ae.Reconstruct(corrupted)[2] - truth);
+    // Autoencoder family on corrupted reconstruction.
+    std::printf("\nAutoencoder family — reconstruct a corrupted cell from a\n"
+                "2-D manifold in 6-D space (error in restoring the zeroed\n"
+                "coordinate; lower is better):\n");
+    Rng data_rng(4);
+    nn::Batch data;
+    for (int i = 0; i < 250; ++i) {
+      float u = static_cast<float>(data_rng.Uniform(-1, 1));
+      float v = static_cast<float>(data_rng.Uniform(-1, 1));
+      data.push_back({u, v, u + v, u - v, 0.5f * u, 0.5f * v});
     }
-    const char* name = kind == nn::AutoencoderKind::kPlain ? "AE"
-                       : kind == nn::AutoencoderKind::kSparse ? "Sparse AE"
-                       : kind == nn::AutoencoderKind::kDenoising
-                           ? "Denoising AE"
-                           : "Variational AE";
-    PrintRow({name, Fmt(err / 50.0), "", "", ""});
-  }
+    PrintRow({"variant", "restore err", "", "", ""});
+    std::vector<std::pair<std::string, double>> ae_metrics;
+    for (auto kind :
+         {nn::AutoencoderKind::kPlain, nn::AutoencoderKind::kSparse,
+          nn::AutoencoderKind::kDenoising, nn::AutoencoderKind::kVariational}) {
+      Rng ar(5);
+      nn::AutoencoderConfig acfg;
+      acfg.input_dim = 6;
+      acfg.hidden_dim = 4;
+      acfg.activation = nn::Activation::kTanh;
+      acfg.kl_weight = 0.02f;
+      nn::Autoencoder ae(kind, acfg, &ar);
+      ae.Train(data, b.Size(50, 25));
+      double err = 0.0;
+      for (int i = 0; i < 50; ++i) {
+        std::vector<float> corrupted = data[static_cast<size_t>(i)];
+        float truth = corrupted[2];
+        corrupted[2] = 0.0f;
+        err += std::fabs(ae.Reconstruct(corrupted)[2] - truth);
+      }
+      const char* name = kind == nn::AutoencoderKind::kPlain ? "AE"
+                         : kind == nn::AutoencoderKind::kSparse ? "Sparse AE"
+                         : kind == nn::AutoencoderKind::kDenoising
+                             ? "Denoising AE"
+                             : "Variational AE";
+      PrintRow({name, Fmt(err / 50.0), "", "", ""});
+      const char* key = kind == nn::AutoencoderKind::kPlain ? "plain_err"
+                        : kind == nn::AutoencoderKind::kSparse ? "sparse_err"
+                        : kind == nn::AutoencoderKind::kDenoising
+                            ? "denoising_err"
+                            : "vae_err";
+      ae_metrics.emplace_back(key, err / 50.0);
+    }
+    b.Report("autoencoders", ae_metrics);
 
-  // GAN: discriminator accuracy drifting toward 0.5 = equilibrium.
-  std::printf("\nGAN (Figure 2(i)) — discriminator accuracy per epoch\n"
-              "(1.0 = generator fooled nobody; ~0.5 = equilibrium):\n");
-  Rng grng(6);
-  nn::Batch real;
-  for (int i = 0; i < 200; ++i) {
-    real.push_back({static_cast<float>(0.5 + grng.Uniform(-0.1, 0.1)),
-                    static_cast<float>(-0.5 + grng.Uniform(-0.1, 0.1))});
-  }
-  nn::GanConfig gcfg;
-  gcfg.latent_dim = 4;
-  gcfg.data_dim = 2;
-  gcfg.hidden_dim = 16;
-  nn::Gan gan(gcfg, &grng);
-  PrintRow({"epoch", "D accuracy", "", "", ""});
-  for (int block = 0; block < 5; ++block) {
-    nn::Gan::StepStats stats = gan.Train(real, 8);
-    PrintRow({FmtInt(static_cast<size_t>((block + 1) * 8)),
-              Fmt(stats.d_accuracy, 2), "", "", ""});
-  }
-  return 0;
+    // GAN: discriminator accuracy drifting toward 0.5 = equilibrium.
+    std::printf("\nGAN (Figure 2(i)) — discriminator accuracy per epoch\n"
+                "(1.0 = generator fooled nobody; ~0.5 = equilibrium):\n");
+    Rng grng(6);
+    nn::Batch real;
+    for (int i = 0; i < 200; ++i) {
+      real.push_back({static_cast<float>(0.5 + grng.Uniform(-0.1, 0.1)),
+                      static_cast<float>(-0.5 + grng.Uniform(-0.1, 0.1))});
+    }
+    nn::GanConfig gcfg;
+    gcfg.latent_dim = 4;
+    gcfg.data_dim = 2;
+    gcfg.hidden_dim = 16;
+    nn::Gan gan(gcfg, &grng);
+    PrintRow({"epoch", "D accuracy", "", "", ""});
+    double final_d_acc = 1.0;
+    for (int block = 0; block < 5; ++block) {
+      nn::Gan::StepStats stats = gan.Train(real, 8);
+      final_d_acc = stats.d_accuracy;
+      PrintRow({FmtInt(static_cast<size_t>((block + 1) * 8)),
+                Fmt(stats.d_accuracy, 2), "", "", ""});
+    }
+    b.Report("gan", {{"final_d_accuracy", final_d_acc}});
+    return 0;
+  });
 }

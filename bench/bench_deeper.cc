@@ -5,7 +5,7 @@
 // grows — with NO per-domain feature engineering for DeepER.
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "bench/harness.h"
 #include "src/datagen/er_benchmark.h"
 #include "src/embedding/word2vec.h"
 #include "src/er/baselines.h"
@@ -26,10 +26,11 @@ struct RunScores {
 };
 
 RunScores RunOne(datagen::ErDomain domain, double dirtiness,
-                 double synonym_rate, uint64_t seed) {
+                 double synonym_rate, uint64_t seed, size_t entities,
+                 size_t epochs) {
   datagen::ErBenchmarkConfig cfg;
   cfg.domain = domain;
-  cfg.num_entities = 150;
+  cfg.num_entities = entities;
   cfg.dirtiness = dirtiness;
   cfg.synonym_rate = synonym_rate;
   cfg.seed = seed;
@@ -55,7 +56,7 @@ RunScores RunOne(datagen::ErDomain domain, double dirtiness,
 
   RunScores out;
   er::DeepErConfig dcfg;
-  dcfg.epochs = 40;
+  dcfg.epochs = epochs;
   dcfg.learning_rate = 1e-2f;
   dcfg.seed = seed;
   er::DeepEr deeper(&words, dcfg);
@@ -64,7 +65,7 @@ RunScores RunOne(datagen::ErDomain domain, double dirtiness,
   out.deeper = er::Evaluate(deeper.Match(bench.left, bench.right, all, 0.9),
                             bench.matches);
 
-  er::FeatureMatcher feature(bench.left.schema(), {16}, 0.01f, 40, seed);
+  er::FeatureMatcher feature(bench.left.schema(), {16}, 0.01f, epochs, seed);
   feature.Train(bench.left, bench.right, train);
   out.feature = er::Evaluate(feature.Match(bench.left, bench.right, all),
                              bench.matches);
@@ -86,33 +87,46 @@ const char* DomainName(datagen::ErDomain d) {
 
 }  // namespace
 
-int main() {
-  PrintHeader(
-      "Experiment F5a — DeepER framework (Figure 5, Sec. 5.2)",
+int main(int argc, char** argv) {
+  BenchSpec spec;
+  spec.name = "deeper";
+  spec.experiment = "Experiment F5a — DeepER framework (Figure 5, Sec. 5.2)";
+  spec.claim =
       "F1 of DeepER (no feature engineering) vs feature-engineered ML and\n"
       "threshold-rule baselines, across domains and dirtiness. Expected\n"
       "shape: DeepER competitive throughout; rule baseline collapses as\n"
-      "dirtiness/synonym noise grows.");
-
-  PrintRow({"domain/dirtiness", "DeepER-F1", "FeatML-F1", "Rule-F1",
-            "DeepER-P", "DeepER-R"});
-  for (datagen::ErDomain domain :
-       {datagen::ErDomain::kProducts, datagen::ErDomain::kPersons,
-        datagen::ErDomain::kCitations}) {
-    for (double dirt : {0.2, 0.4, 0.6}) {
-      double synonyms = domain == datagen::ErDomain::kProducts ? dirt : 0.0;
-      RunScores s = RunOne(domain, dirt, synonyms, 17);
-      std::string label =
-          std::string(DomainName(domain)) + " d=" + Fmt(dirt, 1);
-      PrintRow({label, Fmt(s.deeper.f1), Fmt(s.feature.f1), Fmt(s.rule.f1),
-                Fmt(s.deeper.precision), Fmt(s.deeper.recall)});
+      "dirtiness/synonym noise grows.";
+  spec.default_seed = 17;
+  return BenchMain(argc, argv, spec, [](Bench& b) {
+    PrintRow({"domain/dirtiness", "DeepER-F1", "FeatML-F1", "Rule-F1",
+              "DeepER-P", "DeepER-R"});
+    std::vector<double> dirts =
+        b.quick() ? std::vector<double>{0.2, 0.6}
+                  : std::vector<double>{0.2, 0.4, 0.6};
+    for (datagen::ErDomain domain :
+         {datagen::ErDomain::kProducts, datagen::ErDomain::kPersons,
+          datagen::ErDomain::kCitations}) {
+      for (double dirt : dirts) {
+        double synonyms = domain == datagen::ErDomain::kProducts ? dirt : 0.0;
+        RunScores s = RunOne(domain, dirt, synonyms, b.seed(),
+                             b.Size(150, 80), b.Size(40, 20));
+        std::string label =
+            std::string(DomainName(domain)) + " d=" + Fmt(dirt, 1);
+        PrintRow({label, Fmt(s.deeper.f1), Fmt(s.feature.f1), Fmt(s.rule.f1),
+                  Fmt(s.deeper.precision), Fmt(s.deeper.recall)});
+        b.Report(std::string(DomainName(domain)) + "_d" +
+                     FmtInt(static_cast<size_t>(dirt * 10)),
+                 {{"deeper_f1", s.deeper.f1},
+                  {"featml_f1", s.feature.f1},
+                  {"rule_f1", s.rule.f1}});
+      }
     }
-  }
-  std::printf(
-      "\nNote: FeatML uses %zu hand-designed per-attribute similarity\n"
-      "features; DeepER uses only pre-trained embeddings (ease-of-use\n"
-      "claim of Sec. 5.2).\n",
-      er::HandcraftedFeatureDim(
-          datagen::GenerateErBenchmark({}).left.schema()));
-  return 0;
+    std::printf(
+        "\nNote: FeatML uses %zu hand-designed per-attribute similarity\n"
+        "features; DeepER uses only pre-trained embeddings (ease-of-use\n"
+        "claim of Sec. 5.2).\n",
+        er::HandcraftedFeatureDim(
+            datagen::GenerateErBenchmark({}).left.schema()));
+    return 0;
+  });
 }

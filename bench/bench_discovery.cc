@@ -7,7 +7,7 @@
 // table search hits the expected table for every planted query.
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "bench/harness.h"
 #include "src/datagen/enterprise.h"
 #include "src/discovery/ekg.h"
 #include "src/discovery/search.h"
@@ -36,68 +36,91 @@ double FindScore(const std::vector<discovery::ColumnMatch>& matches,
 }
 }  // namespace
 
-int main() {
-  datagen::EnterpriseLake lake = datagen::GenerateEnterpriseLake();
-  std::vector<const data::Table*> tables;
-  for (const data::Table& t : lake.tables) tables.push_back(&t);
-
-  embedding::Word2VecConfig wcfg;
-  wcfg.sgns.dim = 24;
-  wcfg.sgns.epochs = 10;
-  wcfg.sgns.seed = 3;
-  embedding::EmbeddingStore words =
-      embedding::TrainWordEmbeddingsFromTables(tables, wcfg);
-
-  discovery::SemanticColumnMatcher semantic(&words);
-  auto sem_matches = semantic.MatchLake(tables);
-  auto syn_matches = discovery::SyntacticColumnMatches(tables);
-
-  PrintHeader(
-      "Experiment C1 — semantic link discovery (Sec. 5.1)",
+int main(int argc, char** argv) {
+  BenchSpec spec;
+  spec.name = "discovery";
+  spec.experiment = "Experiment C1 — semantic link discovery (Sec. 5.1)";
+  spec.claim =
       "Planted semantic links and the planted spurious (name-similar but\n"
       "semantically-unrelated) pair, scored and ranked by both matchers.\n"
       "Shape: semantic matcher ranks true links above the spurious one;\n"
-      "the syntactic matcher is fooled.");
+      "the syntactic matcher is fooled.";
+  spec.default_seed = 3;
+  return BenchMain(argc, argv, spec, [](Bench& b) {
+    datagen::EnterpriseLake lake = datagen::GenerateEnterpriseLake();
+    std::vector<const data::Table*> tables;
+    for (const data::Table& t : lake.tables) tables.push_back(&t);
 
-  PrintRow({"column pair", "sem score", "sem rank", "syn score",
-            "syn rank"});
-  auto report = [&](const datagen::ColumnLink& link, const char* tag) {
-    size_t sem_rank = 0, syn_rank = 0;
-    double ss = FindScore(sem_matches, link, &sem_rank);
-    double ys = FindScore(syn_matches, link, &syn_rank);
-    PrintRow({std::string(tag) + " " + link.column_a + "<->" + link.column_b,
-              Fmt(ss), FmtInt(sem_rank), Fmt(ys), FmtInt(syn_rank)});
-  };
-  for (const datagen::ColumnLink& link : lake.semantic_links) {
-    report(link, "[true]");
-  }
-  for (const datagen::ColumnLink& link : lake.spurious_links) {
-    report(link, "[spur]");
-  }
+    embedding::Word2VecConfig wcfg;
+    wcfg.sgns.dim = 24;
+    wcfg.sgns.epochs = b.Size(10, 5);
+    wcfg.sgns.seed = b.seed();
+    embedding::EmbeddingStore words =
+        embedding::TrainWordEmbeddingsFromTables(tables, wcfg);
 
-  // Table search over the lake.
-  std::printf("\nNeural-IR table search (query -> expected table):\n");
-  discovery::TableSearchEngine engine(&words);
-  engine.Index(tables);
-  PrintRow({"query", "hit@1", "hit@2", "top result"});
-  size_t hits1 = 0;
-  for (const auto& q : lake.queries) {
-    auto results = engine.Search(q.text);
-    bool h1 = !results.empty() && results[0].table == q.expected_table;
-    bool h2 = h1 || (results.size() > 1 && results[1].table ==
-                                               q.expected_table);
-    if (h1) ++hits1;
-    PrintRow({q.text, h1 ? "yes" : "no", h2 ? "yes" : "no",
-              results.empty() ? "-" : results[0].table});
-  }
-  std::printf("hit@1: %zu/%zu\n", hits1, lake.queries.size());
+    discovery::SemanticColumnMatcher semantic(&words);
+    auto sem_matches = semantic.MatchLake(tables);
+    auto syn_matches = discovery::SyntacticColumnMatches(tables);
 
-  // EKG expansion demo.
-  discovery::EnterpriseKnowledgeGraph ekg =
-      discovery::EnterpriseKnowledgeGraph::Build(tables, sem_matches, 0.3);
-  std::printf("\nEKG: tables related to 'lab_results' (thematic expansion):\n");
-  for (const auto& [table, weight] : ekg.RelatedTables("lab_results")) {
-    std::printf("  %-20s %.3f\n", table.c_str(), weight);
-  }
-  return 0;
+    PrintRow({"column pair", "sem score", "sem rank", "syn score",
+              "syn rank"});
+    size_t worst_true_sem_rank = 0;
+    size_t best_spur_sem_rank = 0;
+    auto report = [&](const datagen::ColumnLink& link, const char* tag,
+                      bool is_true) {
+      size_t sem_rank = 0, syn_rank = 0;
+      double ss = FindScore(sem_matches, link, &sem_rank);
+      double ys = FindScore(syn_matches, link, &syn_rank);
+      if (is_true && sem_rank > worst_true_sem_rank) {
+        worst_true_sem_rank = sem_rank;
+      }
+      if (!is_true && sem_rank != 0 &&
+          (best_spur_sem_rank == 0 || sem_rank < best_spur_sem_rank)) {
+        best_spur_sem_rank = sem_rank;
+      }
+      PrintRow({std::string(tag) + " " + link.column_a + "<->" +
+                    link.column_b,
+                Fmt(ss), FmtInt(sem_rank), Fmt(ys), FmtInt(syn_rank)});
+    };
+    for (const datagen::ColumnLink& link : lake.semantic_links) {
+      report(link, "[true]", true);
+    }
+    for (const datagen::ColumnLink& link : lake.spurious_links) {
+      report(link, "[spur]", false);
+    }
+
+    // Table search over the lake.
+    std::printf("\nNeural-IR table search (query -> expected table):\n");
+    discovery::TableSearchEngine engine(&words);
+    engine.Index(tables);
+    PrintRow({"query", "hit@1", "hit@2", "top result"});
+    size_t hits1 = 0;
+    for (const auto& q : lake.queries) {
+      auto results = engine.Search(q.text);
+      bool h1 = !results.empty() && results[0].table == q.expected_table;
+      bool h2 = h1 || (results.size() > 1 && results[1].table ==
+                                                 q.expected_table);
+      if (h1) ++hits1;
+      PrintRow({q.text, h1 ? "yes" : "no", h2 ? "yes" : "no",
+                results.empty() ? "-" : results[0].table});
+    }
+    std::printf("hit@1: %zu/%zu\n", hits1, lake.queries.size());
+    b.Report("search",
+             {{"hit_rate", lake.queries.empty()
+                               ? 0.0
+                               : static_cast<double>(hits1) /
+                                     static_cast<double>(lake.queries.size())},
+              {"worst_true_sem_rank",
+               static_cast<double>(worst_true_sem_rank)}});
+
+    // EKG expansion demo.
+    discovery::EnterpriseKnowledgeGraph ekg =
+        discovery::EnterpriseKnowledgeGraph::Build(tables, sem_matches, 0.3);
+    std::printf(
+        "\nEKG: tables related to 'lab_results' (thematic expansion):\n");
+    for (const auto& [table, weight] : ekg.RelatedTables("lab_results")) {
+      std::printf("  %-20s %.3f\n", table.c_str(), weight);
+    }
+    return 0;
+  });
 }

@@ -6,7 +6,7 @@
 // restores F1.
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "bench/harness.h"
 #include "src/datagen/er_benchmark.h"
 #include "src/embedding/word2vec.h"
 #include "src/er/blocking.h"
@@ -16,64 +16,74 @@
 using namespace autodc;         // NOLINT
 using namespace autodc::bench;  // NOLINT
 
-int main() {
-  datagen::ErBenchmarkConfig cfg;
-  cfg.domain = datagen::ErDomain::kProducts;
-  cfg.num_entities = 120;
-  cfg.dirtiness = 0.4;
-  cfg.synonym_rate = 0.3;
-  cfg.seed = 17;
-  datagen::ErBenchmark bench = datagen::GenerateErBenchmark(cfg);
-  embedding::Word2VecConfig wcfg;
-  wcfg.sgns.dim = 24;
-  wcfg.sgns.epochs = 6;
-  wcfg.sgns.seed = 5;
-  embedding::EmbeddingStore words = embedding::TrainWordEmbeddingsFromTables(
-      {&bench.left, &bench.right}, wcfg);
-
-  std::vector<er::RowPair> all;
-  for (size_t l = 0; l < bench.left.num_rows(); ++l) {
-    for (size_t r = 0; r < bench.right.num_rows(); ++r) all.push_back({l, r});
-  }
-
-  PrintHeader(
-      "Experiment C6 — skewed labels in ER training (Sec. 6.1)",
+int main(int argc, char** argv) {
+  BenchSpec spec;
+  spec.name = "imbalance";
+  spec.experiment = "Experiment C6 — skewed labels in ER training (Sec. 6.1)";
+  spec.claim =
       "F1 at threshold 0.5 as the negative:positive training ratio grows.\n"
       "Shape: naive training degrades with skew; positive re-weighting\n"
       "(cost-sensitive loss) recovers it. DeepER's sampling caps the\n"
-      "ratio by construction.");
+      "ratio by construction.";
+  spec.default_seed = 17;
+  return BenchMain(argc, argv, spec, [](Bench& b) {
+    datagen::ErBenchmarkConfig cfg;
+    cfg.domain = datagen::ErDomain::kProducts;
+    cfg.num_entities = b.Size(120, 60);
+    cfg.dirtiness = 0.4;
+    cfg.synonym_rate = 0.3;
+    cfg.seed = b.seed();
+    datagen::ErBenchmark bench = datagen::GenerateErBenchmark(cfg);
+    embedding::Word2VecConfig wcfg;
+    wcfg.sgns.dim = 24;
+    wcfg.sgns.epochs = 6;
+    wcfg.sgns.seed = 5;
+    embedding::EmbeddingStore words = embedding::TrainWordEmbeddingsFromTables(
+        {&bench.left, &bench.right}, wcfg);
 
-  // Scarce positives make the skew bite: only 12 labeled matches.
-  std::vector<er::RowPair> few_matches(
-      bench.matches.begin(),
-      bench.matches.begin() + std::min<size_t>(12, bench.matches.size()));
+    std::vector<er::RowPair> all;
+    for (size_t l = 0; l < bench.left.num_rows(); ++l) {
+      for (size_t r = 0; r < bench.right.num_rows(); ++r) {
+        all.push_back({l, r});
+      }
+    }
 
-  PrintRow({"neg:pos ratio", "naive F1", "naive R", "weighted F1",
-            "weighted R"});
-  for (size_t ratio : {2, 10, 40}) {
-    Rng rng(7);
-    auto train = er::SampleTrainingPairs(bench.left.num_rows(),
-                                         bench.right.num_rows(),
-                                         few_matches, ratio, &rng);
-    er::DeepErConfig naive_cfg;
-    naive_cfg.epochs = 25;
-    naive_cfg.learning_rate = 1e-2f;
-    er::DeepEr naive(&words, naive_cfg);
-    naive.FitWeights({&bench.left, &bench.right});
-    naive.Train(bench.left, bench.right, train);
-    er::PrfScore s_naive = er::Evaluate(
-        naive.Match(bench.left, bench.right, all, 0.5), bench.matches);
+    // Scarce positives make the skew bite: only 12 labeled matches.
+    std::vector<er::RowPair> few_matches(
+        bench.matches.begin(),
+        bench.matches.begin() + std::min<size_t>(12, bench.matches.size()));
 
-    er::DeepErConfig w_cfg = naive_cfg;
-    w_cfg.positive_weight = static_cast<float>(ratio);
-    er::DeepEr weighted(&words, w_cfg);
-    weighted.FitWeights({&bench.left, &bench.right});
-    weighted.Train(bench.left, bench.right, train);
-    er::PrfScore s_w = er::Evaluate(
-        weighted.Match(bench.left, bench.right, all, 0.5), bench.matches);
+    PrintRow({"neg:pos ratio", "naive F1", "naive R", "weighted F1",
+              "weighted R"});
+    for (size_t ratio : {2, 10, 40}) {
+      Rng rng(7);
+      auto train = er::SampleTrainingPairs(bench.left.num_rows(),
+                                           bench.right.num_rows(),
+                                           few_matches, ratio, &rng);
+      er::DeepErConfig naive_cfg;
+      naive_cfg.epochs = b.Size(25, 12);
+      naive_cfg.learning_rate = 1e-2f;
+      er::DeepEr naive(&words, naive_cfg);
+      naive.FitWeights({&bench.left, &bench.right});
+      naive.Train(bench.left, bench.right, train);
+      er::PrfScore s_naive = er::Evaluate(
+          naive.Match(bench.left, bench.right, all, 0.5), bench.matches);
 
-    PrintRow({FmtInt(ratio) + ":1", Fmt(s_naive.f1), Fmt(s_naive.recall),
-              Fmt(s_w.f1), Fmt(s_w.recall)});
-  }
-  return 0;
+      er::DeepErConfig w_cfg = naive_cfg;
+      w_cfg.positive_weight = static_cast<float>(ratio);
+      er::DeepEr weighted(&words, w_cfg);
+      weighted.FitWeights({&bench.left, &bench.right});
+      weighted.Train(bench.left, bench.right, train);
+      er::PrfScore s_w = er::Evaluate(
+          weighted.Match(bench.left, bench.right, all, 0.5), bench.matches);
+
+      PrintRow({FmtInt(ratio) + ":1", Fmt(s_naive.f1), Fmt(s_naive.recall),
+                Fmt(s_w.f1), Fmt(s_w.recall)});
+      b.Report("ratio_" + FmtInt(ratio), {{"naive_f1", s_naive.f1},
+                                          {"naive_recall", s_naive.recall},
+                                          {"weighted_f1", s_w.f1},
+                                          {"weighted_recall", s_w.recall}});
+    }
+    return 0;
+  });
 }

@@ -5,7 +5,7 @@
 // gracefully as missingness rises.
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "bench/harness.h"
 #include "src/cleaning/imputation.h"
 #include "src/common/rng.h"
 
@@ -39,8 +39,8 @@ struct Scores {
 };
 
 Scores Evaluate(cleaning::Imputer* imputer, double missing_rate,
-                uint64_t seed) {
-  data::Table clean = StructuredTable(400, seed);
+                uint64_t seed, size_t rows) {
+  data::Table clean = StructuredTable(rows, seed);
   data::Table dirty = clean;
   Rng rng(seed + 1);
   std::vector<std::pair<size_t, size_t>> hidden;
@@ -80,27 +80,38 @@ Scores Evaluate(cleaning::Imputer* imputer, double missing_rate,
 
 }  // namespace
 
-int main() {
-  PrintHeader(
-      "Experiment C2 — DAE multiple imputation vs baselines (Sec. 5.3)",
+int main(int argc, char** argv) {
+  BenchSpec spec;
+  spec.name = "imputation";
+  spec.experiment =
+      "Experiment C2 — DAE multiple imputation vs baselines (Sec. 5.3)";
+  spec.claim =
       "Hidden-cell recovery on a relation with cross-column structure\n"
       "(zip determines city; level determines salary). Categorical\n"
-      "accuracy (higher better) and numeric MAE in $ (lower better).");
-
-  PrintRow({"missingness", "method", "cat acc", "num MAE"});
-  for (double rate : {0.05, 0.15, 0.30}) {
-    cleaning::MeanModeImputer mean;
-    cleaning::KnnImputer knn(5);
-    cleaning::DaeImputerConfig dcfg;
-    dcfg.epochs = 80;
-    cleaning::DaeImputer dae(dcfg);
-    Scores sm = Evaluate(&mean, rate, 8);
-    Scores sk = Evaluate(&knn, rate, 8);
-    Scores sd = Evaluate(&dae, rate, 8);
-    PrintRow({Fmt(rate, 2), "mean/mode", Fmt(sm.cat_acc, 2),
-              Fmt(sm.num_mae, 0)});
-    PrintRow({"", "kNN (k=5)", Fmt(sk.cat_acc, 2), Fmt(sk.num_mae, 0)});
-    PrintRow({"", "DAE (MIDA)", Fmt(sd.cat_acc, 2), Fmt(sd.num_mae, 0)});
-  }
-  return 0;
+      "accuracy (higher better) and numeric MAE in $ (lower better).";
+  spec.default_seed = 8;
+  return BenchMain(argc, argv, spec, [](Bench& b) {
+    const size_t rows = b.Size(400, 200);
+    PrintRow({"missingness", "method", "cat acc", "num MAE"});
+    for (double rate : {0.05, 0.15, 0.30}) {
+      cleaning::MeanModeImputer mean;
+      cleaning::KnnImputer knn(5);
+      cleaning::DaeImputerConfig dcfg;
+      dcfg.epochs = b.Size(80, 40);
+      cleaning::DaeImputer dae(dcfg);
+      Scores sm = Evaluate(&mean, rate, b.seed(), rows);
+      Scores sk = Evaluate(&knn, rate, b.seed(), rows);
+      Scores sd = Evaluate(&dae, rate, b.seed(), rows);
+      PrintRow({Fmt(rate, 2), "mean/mode", Fmt(sm.cat_acc, 2),
+                Fmt(sm.num_mae, 0)});
+      PrintRow({"", "kNN (k=5)", Fmt(sk.cat_acc, 2), Fmt(sk.num_mae, 0)});
+      PrintRow({"", "DAE (MIDA)", Fmt(sd.cat_acc, 2), Fmt(sd.num_mae, 0)});
+      std::string tag = "rate_" + FmtInt(static_cast<size_t>(rate * 100));
+      b.Report(tag, {{"mean_cat_accuracy", sm.cat_acc},
+                     {"knn_cat_accuracy", sk.cat_acc},
+                     {"dae_cat_accuracy", sd.cat_acc},
+                     {"dae_num_mae", sd.num_mae}});
+    }
+    return 0;
+  });
 }

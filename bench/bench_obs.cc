@@ -14,7 +14,7 @@
 #include <string>
 #include <vector>
 
-#include "bench/bench_util.h"
+#include "bench/harness.h"
 #include "src/core/autocurator.h"
 #include "src/datagen/er_benchmark.h"
 #include "src/obs/export.h"
@@ -28,10 +28,10 @@ namespace {
 
 // The bench_pipeline (F1) lake: one dirty duplicated catalog plus two
 // distractor tables.
-std::vector<data::Table> BuildLake() {
+std::vector<data::Table> BuildLake(size_t entities) {
   datagen::ErBenchmarkConfig pcfg;
   pcfg.domain = datagen::ErDomain::kProducts;
-  pcfg.num_entities = 120;
+  pcfg.num_entities = entities;
   pcfg.overlap = 0.6;
   pcfg.dirtiness = 0.25;
   pcfg.synonym_rate = 0.0;
@@ -79,88 +79,89 @@ double RunCuration(const std::vector<data::Table>& lake) {
   return seconds;
 }
 
-double MinSeconds(const std::vector<data::Table>& lake, int reps) {
+double MinSeconds(const std::vector<data::Table>& lake, size_t reps) {
   double best = 1e100;
-  for (int i = 0; i < reps; ++i) best = std::min(best, RunCuration(lake));
+  for (size_t i = 0; i < reps; ++i) best = std::min(best, RunCuration(lake));
   return best;
 }
 
 }  // namespace
 
-int main() {
-  PrintHeader(
-      "Experiment OBS — observability overhead and snapshot",
+int main(int argc, char** argv) {
+  BenchSpec spec;
+  spec.name = "obs";
+  spec.experiment = "Experiment OBS — observability overhead and snapshot";
+  spec.claim =
       "A/B of the F1 end-to-end curation workload with metric recording\n"
       "paused vs live (same binary, runtime switch), microbenches of the\n"
       "record paths, then one instrumented run's full snapshot.\n"
-      "Acceptance: <2% wall-clock overhead with recording live.");
+      "Acceptance: <2% wall-clock overhead with recording live.";
+  return BenchMain(argc, argv, spec, [](Bench& b) {
+    std::vector<data::Table> lake = BuildLake(b.Size(120, 60));
 
-  std::vector<data::Table> lake = BuildLake();
+    // Warm up caches, the thread pool, and metric registrations once.
+    obs::SetEnabled(true);
+    RunCuration(lake);
 
-  // Warm up caches, the thread pool, and metric registrations once.
-  obs::SetEnabled(true);
-  RunCuration(lake);
+    obs::SetEnabled(false);
+    double off_s = MinSeconds(lake, b.repeats());
+    obs::SetEnabled(true);
+    double on_s = MinSeconds(lake, b.repeats());
+    double overhead_pct = (on_s - off_s) / off_s * 100.0;
 
-  constexpr int kReps = 3;
-  obs::SetEnabled(false);
-  double off_s = MinSeconds(lake, kReps);
-  obs::SetEnabled(true);
-  double on_s = MinSeconds(lake, kReps);
-  double overhead_pct = (on_s - off_s) / off_s * 100.0;
+    // ---- Microbenches of the individual record paths.
+    auto& reg = obs::MetricsRegistry::Global();
+    obs::Counter* counter = reg.GetCounter("bench.micro.counter");
+    obs::Gauge* gauge = reg.GetGauge("bench.micro.gauge");
+    obs::Histogram* hist = reg.GetHistogram("bench.micro.hist");
+    const size_t kMicroOps = b.Size(2'000'000, 500'000);
+    Timer t1;
+    for (size_t i = 0; i < kMicroOps; ++i) counter->Inc();
+    double counter_ns = t1.Seconds() / static_cast<double>(kMicroOps) * 1e9;
+    Timer t2;
+    for (size_t i = 0; i < kMicroOps; ++i) gauge->Set(static_cast<double>(i));
+    double gauge_ns = t2.Seconds() / static_cast<double>(kMicroOps) * 1e9;
+    Timer t3;
+    for (size_t i = 0; i < kMicroOps; ++i) {
+      hist->Record(static_cast<double>(i & 1023));
+    }
+    double hist_ns = t3.Seconds() / static_cast<double>(kMicroOps) * 1e9;
+    const size_t kSpanOps = b.Size(200'000, 50'000);
+    Timer t4;
+    for (size_t i = 0; i < kSpanOps; ++i) {
+      obs::Span s("bench.micro.span");
+    }
+    double span_ns = t4.Seconds() / static_cast<double>(kSpanOps) * 1e9;
+    obs::ClearSpans();
 
-  // ---- Microbenches of the individual record paths.
-  auto& reg = obs::MetricsRegistry::Global();
-  obs::Counter* counter = reg.GetCounter("bench.micro.counter");
-  obs::Gauge* gauge = reg.GetGauge("bench.micro.gauge");
-  obs::Histogram* hist = reg.GetHistogram("bench.micro.hist");
-  constexpr int kMicroOps = 2'000'000;
-  Timer t1;
-  for (int i = 0; i < kMicroOps; ++i) counter->Inc();
-  double counter_ns = t1.Seconds() / kMicroOps * 1e9;
-  Timer t2;
-  for (int i = 0; i < kMicroOps; ++i) gauge->Set(static_cast<double>(i));
-  double gauge_ns = t2.Seconds() / kMicroOps * 1e9;
-  Timer t3;
-  for (int i = 0; i < kMicroOps; ++i) {
-    hist->Record(static_cast<double>(i & 1023));
-  }
-  double hist_ns = t3.Seconds() / kMicroOps * 1e9;
-  constexpr int kSpanOps = 200'000;
-  Timer t4;
-  for (int i = 0; i < kSpanOps; ++i) {
-    obs::Span s("bench.micro.span");
-  }
-  double span_ns = t4.Seconds() / kSpanOps * 1e9;
-  obs::ClearSpans();
+    PrintRow({"measurement", "value", "target"});
+    PrintRow({"workload off (s)", Fmt(off_s, 2), "-"});
+    PrintRow({"workload on (s)", Fmt(on_s, 2), "-"});
+    PrintRow({"overhead (%)", Fmt(overhead_pct, 2), "< 2.00"});
+    PrintRow({"counter inc (ns)", Fmt(counter_ns, 1), "-"});
+    PrintRow({"gauge set (ns)", Fmt(gauge_ns, 1), "-"});
+    PrintRow({"histogram record (ns)", Fmt(hist_ns, 1), "-"});
+    PrintRow({"span (ns)", Fmt(span_ns, 1), "-"});
 
-  PrintRow({"measurement", "value", "target"});
-  PrintRow({"workload off (s)", Fmt(off_s, 2), "-"});
-  PrintRow({"workload on (s)", Fmt(on_s, 2), "-"});
-  PrintRow({"overhead (%)", Fmt(overhead_pct, 2), "< 2.00"});
-  PrintRow({"counter inc (ns)", Fmt(counter_ns, 1), "-"});
-  PrintRow({"gauge set (ns)", Fmt(gauge_ns, 1), "-"});
-  PrintRow({"histogram record (ns)", Fmt(hist_ns, 1), "-"});
-  PrintRow({"span (ns)", Fmt(span_ns, 1), "-"});
+    // ---- One clean instrumented run -> the full snapshot.
+    reg.ResetValues();
+    obs::ClearSpans();
+    RunCuration(lake);
+    obs::MetricsSnapshot snap = reg.Snapshot();
+    std::vector<obs::SpanRecord> spans = obs::TakeSpans();
+    std::printf("\n%s",
+                obs::FormatText(snap, spans, /*max_spans=*/25).c_str());
+    std::printf("METRICS_JSON %s\n\n", obs::FormatJson(snap).c_str());
 
-  // ---- One clean instrumented run -> the full snapshot.
-  reg.ResetValues();
-  obs::ClearSpans();
-  RunCuration(lake);
-  obs::MetricsSnapshot snap = reg.Snapshot();
-  std::vector<obs::SpanRecord> spans = obs::TakeSpans();
-  std::printf("\n%s", obs::FormatText(snap, spans, /*max_spans=*/25).c_str());
-  std::printf("METRICS_JSON %s\n\n", obs::FormatJson(snap).c_str());
-
-  JsonObject json;
-  json.Set("bench", std::string("bench_obs"))
-      .Set("workload_off_s", off_s)
-      .Set("workload_on_s", on_s)
-      .Set("overhead_pct", overhead_pct)
-      .Set("counter_inc_ns", counter_ns)
-      .Set("gauge_set_ns", gauge_ns)
-      .Set("hist_record_ns", hist_ns)
-      .Set("span_ns", span_ns)
-      .Set("num_metrics", reg.num_metrics());
-  PrintJsonLine(json);
-  return 0;
+    b.Report("overhead", {{"workload_off_s", off_s},
+                          {"workload_on_s", on_s},
+                          {"overhead_pct", overhead_pct}});
+    b.Report("micro", {{"counter_inc_ns", counter_ns},
+                       {"gauge_set_ns", gauge_ns},
+                       {"hist_record_ns", hist_ns},
+                       {"span_ns", span_ns},
+                       {"num_metrics",
+                        static_cast<double>(reg.num_metrics())}});
+    return 0;
+  });
 }

@@ -4,15 +4,12 @@
 // and LSH blocking + DeepER candidate scoring. Shape: near-linear matmul
 // scaling, word2vec-style Hogwild scaling for SGNS, and large gains for
 // the embarrassingly parallel ER stages. Emits one RESULT_JSON line per
-// section plus a combined summary (speedups depend on the machine; the
-// numbers in EXPERIMENTS.md are from the recorded run).
-//
-// Thread count: AUTODC_BENCH_THREADS env var, default 4.
+// section (speedups depend on the machine; the numbers in EXPERIMENTS.md
+// are from the recorded run).
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 
-#include "bench/bench_util.h"
+#include "bench/harness.h"
 #include "src/common/parallel.h"
 #include "src/common/rng.h"
 #include "src/datagen/er_benchmark.h"
@@ -27,27 +24,20 @@ using namespace autodc::bench;  // NOLINT
 
 namespace {
 
-size_t BenchThreads() {
-  if (const char* env = std::getenv("AUTODC_BENCH_THREADS")) {
-    long v = std::strtol(env, nullptr, 10);
-    if (v >= 1) return static_cast<size_t>(v);
-  }
-  return 4;
-}
-
-JsonObject BenchMatMul(size_t threads) {
-  constexpr size_t kN = 512;
-  Rng rng(42);
+void BenchMatMul(Bench& b, size_t threads) {
+  const size_t kN = b.Size(512, 256);
+  Rng rng(b.seed());
   nn::Tensor a = nn::Tensor::RandomUniform({kN, kN}, 1.0f, &rng);
-  nn::Tensor b = nn::Tensor::RandomUniform({kN, kN}, 1.0f, &rng);
+  nn::Tensor bb = nn::Tensor::RandomUniform({kN, kN}, 1.0f, &rng);
 
   SetNumThreads(1);
   nn::Tensor ref;
-  double serial = TimeSeconds([&]() { ref = nn::MatMul(a, b); }, 3);
+  double serial = TimeSeconds([&]() { ref = nn::MatMul(a, bb); }, b.repeats());
 
   SetNumThreads(threads);
   nn::Tensor par;
-  double parallel = TimeSeconds([&]() { par = nn::MatMul(a, b); }, 3);
+  double parallel =
+      TimeSeconds([&]() { par = nn::MatMul(a, bb); }, b.repeats());
   SetNumThreads(1);
 
   // Guard: the threaded kernel must agree with the serial one.
@@ -57,20 +47,19 @@ JsonObject BenchMatMul(size_t threads) {
     if (d > max_abs_diff) max_abs_diff = d;
   }
 
-  JsonObject o;
-  o.Set("size", kN)
-      .Set("serial_s", serial)
-      .Set("parallel_s", parallel)
-      .Set("speedup", serial / parallel)
-      .Set("max_abs_diff", max_abs_diff);
-  return o;
+  PrintRow({"matmul " + FmtInt(kN) + "^3", Fmt(serial, 3), Fmt(parallel, 3),
+            Fmt(serial / parallel, 2) + "x"});
+  b.Report("matmul", {{"serial_s", serial},
+                      {"parallel_s", parallel},
+                      {"speedup", serial / parallel},
+                      {"max_abs_err", max_abs_diff}});
 }
 
-JsonObject BenchSgnsEpoch(size_t threads) {
-  constexpr size_t kVocab = 2000;
-  constexpr size_t kSeqs = 400;
+void BenchSgnsEpoch(Bench& b, size_t threads) {
+  const size_t kVocab = b.Size(2000, 800);
+  const size_t kSeqs = b.Size(400, 150);
   constexpr size_t kSeqLen = 60;
-  Rng rng(7);
+  Rng rng(b.seed());
   std::vector<std::vector<size_t>> seqs(kSeqs);
   for (auto& seq : seqs) {
     seq.resize(kSeqLen);
@@ -89,33 +78,34 @@ JsonObject BenchSgnsEpoch(size_t threads) {
   cfg.seed = 3;
 
   cfg.num_threads = 1;
-  double serial = TimeSeconds([&]() {
-    embedding::SgnsModel model(kVocab, cfg);
-    model.Train(seqs, weights);
-  });
+  double serial = TimeSeconds(
+      [&]() {
+        embedding::SgnsModel model(kVocab, cfg);
+        model.Train(seqs, weights);
+      },
+      b.repeats());
 
   SetNumThreads(threads);
   cfg.num_threads = threads;
-  double parallel = TimeSeconds([&]() {
-    embedding::SgnsModel model(kVocab, cfg);
-    model.Train(seqs, weights);
-  });
+  double parallel = TimeSeconds(
+      [&]() {
+        embedding::SgnsModel model(kVocab, cfg);
+        model.Train(seqs, weights);
+      },
+      b.repeats());
   SetNumThreads(1);
 
-  JsonObject o;
-  o.Set("vocab", kVocab)
-      .Set("tokens", kSeqs * kSeqLen)
-      .Set("dim", cfg.dim)
-      .Set("serial_s", serial)
-      .Set("parallel_s", parallel)
-      .Set("speedup", serial / parallel);
-  return o;
+  PrintRow({"sgns 1 epoch", Fmt(serial, 3), Fmt(parallel, 3),
+            Fmt(serial / parallel, 2) + "x"});
+  b.Report("sgns_epoch", {{"serial_s", serial},
+                          {"parallel_s", parallel},
+                          {"speedup", serial / parallel}});
 }
 
-JsonObject BenchBlockingAndScoring(size_t threads) {
+void BenchBlockingAndScoring(Bench& b, size_t threads) {
   datagen::ErBenchmarkConfig cfg;
   cfg.domain = datagen::ErDomain::kProducts;
-  cfg.num_entities = 250;
+  cfg.num_entities = b.Size(250, 120);
   cfg.dirtiness = 0.4;
   cfg.seed = 17;
   datagen::ErBenchmark bench = datagen::GenerateErBenchmark(cfg);
@@ -131,7 +121,7 @@ JsonObject BenchBlockingAndScoring(size_t threads) {
   dcfg.epochs = 5;
   er::DeepEr model(&words, dcfg);
   model.FitWeights({&bench.left, &bench.right});
-  Rng prng(7);
+  Rng prng(b.seed());
   std::vector<er::PairLabel> train = er::SampleTrainingPairs(
       bench.left.num_rows(), bench.right.num_rows(), bench.matches, 3, &prng);
   model.Train(bench.left, bench.right, train);
@@ -147,57 +137,57 @@ JsonObject BenchBlockingAndScoring(size_t threads) {
 
   SetNumThreads(1);
   std::vector<er::RowPair> cands;
-  double block_serial = TimeSeconds([&]() { cands = lsh.Candidates(lv, rv); });
+  double block_serial =
+      TimeSeconds([&]() { cands = lsh.Candidates(lv, rv); }, b.repeats());
   double score_serial = TimeSeconds(
-      [&]() { model.Match(bench.left, bench.right, cands, 0.5); });
+      [&]() { model.Match(bench.left, bench.right, cands, 0.5); }, b.repeats());
 
   SetNumThreads(threads);
   std::vector<er::RowPair> cands_p;
   double block_parallel =
-      TimeSeconds([&]() { cands_p = lsh.Candidates(lv, rv); });
+      TimeSeconds([&]() { cands_p = lsh.Candidates(lv, rv); }, b.repeats());
   double score_parallel = TimeSeconds(
-      [&]() { model.Match(bench.left, bench.right, cands_p, 0.5); });
+      [&]() { model.Match(bench.left, bench.right, cands_p, 0.5); },
+      b.repeats());
   SetNumThreads(1);
 
-  JsonObject o;
-  o.Set("candidates", cands.size())
-      .Set("candidates_parallel", cands_p.size())  // must match serial
-      .Set("block_serial_s", block_serial)
-      .Set("block_parallel_s", block_parallel)
-      .Set("block_speedup", block_serial / block_parallel)
-      .Set("score_serial_s", score_serial)
-      .Set("score_parallel_s", score_parallel)
-      .Set("score_speedup", score_serial / score_parallel);
-  return o;
+  PrintRow({"lsh blocking", Fmt(block_serial, 3), Fmt(block_parallel, 3),
+            Fmt(block_serial / block_parallel, 2) + "x"});
+  PrintRow({"deeper scoring", Fmt(score_serial, 3), Fmt(score_parallel, 3),
+            Fmt(score_serial / score_parallel, 2) + "x"});
+  // candidates_parallel must equal candidates: the threaded blocker is
+  // deterministic.
+  b.Report("blocking",
+           {{"candidates", static_cast<double>(cands.size())},
+            {"candidates_parallel", static_cast<double>(cands_p.size())},
+            {"serial_s", block_serial},
+            {"parallel_s", block_parallel},
+            {"speedup", block_serial / block_parallel}});
+  b.Report("scoring", {{"serial_s", score_serial},
+                       {"parallel_s", score_parallel},
+                       {"speedup", score_serial / score_parallel}});
 }
 
 }  // namespace
 
-int main() {
-  size_t threads = BenchThreads();
-  PrintHeader(
-      "Experiment P1 — parallel runtime speedup (serial vs " +
-          std::to_string(threads) + " threads)",
+int main(int argc, char** argv) {
+  BenchSpec spec;
+  spec.name = "parallel";
+  spec.experiment = "Experiment P1 — parallel runtime speedup";
+  spec.claim =
       "Wall clock of the three hottest paths with the autodc ThreadPool\n"
       "off (1 thread) and on. Expected shape: near-linear matmul scaling,\n"
       "Hogwild SGNS scaling as in word2vec, and embarrassing parallelism\n"
-      "for LSH blocking + DeepER pair scoring.");
-
-  JsonObject matmul = BenchMatMul(threads);
-  JsonObject sgns = BenchSgnsEpoch(threads);
-  JsonObject er = BenchBlockingAndScoring(threads);
-
-  PrintRow({"section", "result"});
-  PrintRow({"matmul 512^3", matmul.str()});
-  PrintRow({"sgns 1 epoch", sgns.str()});
-  PrintRow({"blocking+scoring", er.str()});
-
-  JsonObject summary;
-  summary.Set("bench", std::string("bench_parallel"))
-      .Set("threads", threads)
-      .SetRaw("matmul", matmul.str())
-      .SetRaw("sgns_epoch", sgns.str())
-      .SetRaw("er", er.str());
-  PrintJsonLine(summary);
-  return 0;
+      "for LSH blocking + DeepER pair scoring.";
+  return BenchMain(argc, argv, spec, [](Bench& b) {
+    // This bench A/Bs 1 thread against the pinned pool size, so the
+    // --threads value (or the pool default) is the "parallel" arm.
+    size_t threads = b.threads() > 1 ? b.threads() : 4;
+    std::printf("parallel arm: %zu threads\n", threads);
+    PrintRow({"section", "serial s", "parallel s", "speedup"});
+    BenchMatMul(b, threads);
+    BenchSgnsEpoch(b, threads);
+    BenchBlockingAndScoring(b, threads);
+    return 0;
+  });
 }

@@ -5,10 +5,14 @@
 // right table, dedup recovers close to the true entity count, repair
 // removes constraint violations, imputation eliminates nulls — all
 // without task-specific configuration beyond the analyst's query.
+//
+// Profiling: run with AUTODC_TRACE=trace.json to get a Chrome-trace
+// file of the stage/epoch span tree (load it in Perfetto; see README
+// "Profiling a run").
 #include <cmath>
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "bench/harness.h"
 #include "src/core/autocurator.h"
 #include "src/data/dependencies.h"
 #include "src/datagen/er_benchmark.h"
@@ -16,92 +20,95 @@
 using namespace autodc;         // NOLINT
 using namespace autodc::bench;  // NOLINT
 
-int main() {
-  // Build the lake: a duplicated dirty product catalog + two distractors.
-  datagen::ErBenchmarkConfig pcfg;
-  pcfg.domain = datagen::ErDomain::kProducts;
-  pcfg.num_entities = 120;
-  pcfg.overlap = 0.6;
-  pcfg.dirtiness = 0.25;
-  pcfg.synonym_rate = 0.0;
-  pcfg.null_rate = 0.12;
-  pcfg.seed = 9;
-  datagen::ErBenchmark pbench = datagen::GenerateErBenchmark(pcfg);
-  data::Table catalog(pbench.left.schema(), "product_catalog");
-  for (size_t r = 0; r < pbench.left.num_rows(); ++r) {
-    catalog.AppendRow(pbench.left.row(r));
-  }
-  for (size_t r = 0; r < pbench.right.num_rows(); ++r) {
-    catalog.AppendRow(pbench.right.row(r));
-  }
-  size_t true_entities = catalog.num_rows() - pbench.matches.size();
-
-  datagen::ErBenchmarkConfig dcfg1;
-  dcfg1.domain = datagen::ErDomain::kPersons;
-  dcfg1.num_entities = 60;
-  dcfg1.seed = 10;
-  data::Table people = datagen::GenerateErBenchmark(dcfg1).left;
-  people.set_name("employee_directory");
-
-  datagen::ErBenchmarkConfig dcfg2;
-  dcfg2.domain = datagen::ErDomain::kCitations;
-  dcfg2.num_entities = 60;
-  dcfg2.seed = 11;
-  data::Table papers = datagen::GenerateErBenchmark(dcfg2).left;
-  papers.set_name("publication_list");
-
-  PrintHeader(
-      "Experiment F1 — end-to-end self-driving curation (Figure 1)",
+int main(int argc, char** argv) {
+  BenchSpec spec;
+  spec.name = "pipeline";
+  spec.experiment =
+      "Experiment F1 — end-to-end self-driving curation (Figure 1)";
+  spec.claim =
       "Lake: product_catalog (dirty, duplicated, nulls) +\n"
       "employee_directory + publication_list (distractors). Query:\n"
       "'product brand model price'. Shape: the pipeline discovers,\n"
-      "integrates, deduplicates, repairs and imputes automatically.");
+      "integrates, deduplicates, repairs and imputes automatically.";
+  return BenchMain(argc, argv, spec, [](Bench& b) {
+    // Build the lake: a duplicated dirty product catalog + two
+    // distractors.
+    datagen::ErBenchmarkConfig pcfg;
+    pcfg.domain = datagen::ErDomain::kProducts;
+    pcfg.num_entities = b.Size(120, 60);
+    pcfg.overlap = 0.6;
+    pcfg.dirtiness = 0.25;
+    pcfg.synonym_rate = 0.0;
+    pcfg.null_rate = 0.12;
+    pcfg.seed = 9;
+    datagen::ErBenchmark pbench = datagen::GenerateErBenchmark(pcfg);
+    data::Table catalog(pbench.left.schema(), "product_catalog");
+    for (size_t r = 0; r < pbench.left.num_rows(); ++r) {
+      catalog.AppendRow(pbench.left.row(r));
+    }
+    for (size_t r = 0; r < pbench.right.num_rows(); ++r) {
+      catalog.AppendRow(pbench.right.row(r));
+    }
+    size_t true_entities = catalog.num_rows() - pbench.matches.size();
 
-  std::printf("input: 3 tables, catalog has %zu rows (%zu true entities), "
-              "null fraction %.3f\n",
-              catalog.num_rows(), true_entities, catalog.NullFraction());
+    datagen::ErBenchmarkConfig dcfg1;
+    dcfg1.domain = datagen::ErDomain::kPersons;
+    dcfg1.num_entities = 60;
+    dcfg1.seed = 10;
+    data::Table people = datagen::GenerateErBenchmark(dcfg1).left;
+    people.set_name("employee_directory");
 
-  core::AutoCuratorConfig cfg;
-  cfg.task_query = "product brand model price catalog";
-  cfg.max_tables = 1;
-  cfg.seed = 4;
-  core::AutoCurator curator(cfg);
-  Timer timer;
-  auto result = curator.Curate({people, catalog, papers});
-  double seconds = timer.Seconds();
-  if (!result.ok()) {
-    std::printf("pipeline failed: %s\n", result.status().ToString().c_str());
-    return 1;
-  }
-  const core::CurationResult& r = result.ValueOrDie();
+    datagen::ErBenchmarkConfig dcfg2;
+    dcfg2.domain = datagen::ErDomain::kCitations;
+    dcfg2.num_entities = 60;
+    dcfg2.seed = 11;
+    data::Table papers = datagen::GenerateErBenchmark(dcfg2).left;
+    papers.set_name("publication_list");
 
-  std::printf("\nstage log:\n");
-  for (const std::string& line : r.context.report) {
-    std::printf("  %s\n", line.c_str());
-  }
+    std::printf("input: 3 tables, catalog has %zu rows (%zu true entities), "
+                "null fraction %.3f\n",
+                catalog.num_rows(), true_entities, catalog.NullFraction());
 
-  std::printf("\n");
-  PrintRow({"metric", "value", "ideal"});
-  PrintRow({"rows out", FmtInt(r.curated.num_rows()),
-            FmtInt(true_entities)});
-  double dedup_err =
-      std::fabs(static_cast<double>(r.curated.num_rows()) -
-                static_cast<double>(true_entities)) /
-      static_cast<double>(true_entities);
-  PrintRow({"entity-count error", Fmt(dedup_err), "0.000"});
-  PrintRow({"null fraction out", Fmt(r.curated.NullFraction()), "0.000"});
-  PrintRow({"wall clock (s)", Fmt(seconds, 1), "-"});
-  JsonObject json;
-  json.Set("bench", std::string("bench_pipeline"))
-      .Set("rows_out", r.curated.num_rows())
-      .Set("true_entities", true_entities)
-      .Set("entity_count_error", dedup_err)
-      .Set("null_fraction_out", r.curated.NullFraction())
-      .Set("wall_clock_s", seconds);
-  PrintJsonLine(json);
-  std::printf(
-      "\n(The dedup stage uses NO hand labels: weak supervision from\n"
-      "near-identical candidates trains the DeepER matcher — the Sec. 6.2\n"
-      "recipe inside the Figure 1 flow.)\n");
-  return 0;
+    core::AutoCuratorConfig cfg;
+    cfg.task_query = "product brand model price catalog";
+    cfg.max_tables = 1;
+    cfg.seed = 4;
+    core::AutoCurator curator(cfg);
+    Timer timer;
+    auto result = curator.Curate({people, catalog, papers});
+    double seconds = timer.Seconds();
+    if (!result.ok()) {
+      std::printf("pipeline failed: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    const core::CurationResult& r = result.ValueOrDie();
+
+    std::printf("\nstage log:\n");
+    for (const std::string& line : r.context.report) {
+      std::printf("  %s\n", line.c_str());
+    }
+
+    std::printf("\n");
+    PrintRow({"metric", "value", "ideal"});
+    PrintRow({"rows out", FmtInt(r.curated.num_rows()),
+              FmtInt(true_entities)});
+    double dedup_err =
+        std::fabs(static_cast<double>(r.curated.num_rows()) -
+                  static_cast<double>(true_entities)) /
+        static_cast<double>(true_entities);
+    PrintRow({"entity-count error", Fmt(dedup_err), "0.000"});
+    PrintRow({"null fraction out", Fmt(r.curated.NullFraction()), "0.000"});
+    PrintRow({"wall clock (s)", Fmt(seconds, 1), "-"});
+    b.Report("curate",
+             {{"rows_out", static_cast<double>(r.curated.num_rows())},
+              {"true_entities", static_cast<double>(true_entities)},
+              {"entity_count_err", dedup_err},
+              {"null_fraction_out", r.curated.NullFraction()},
+              {"wall_clock_s", seconds}});
+    std::printf(
+        "\n(The dedup stage uses NO hand labels: weak supervision from\n"
+        "near-identical candidates trains the DeepER matcher — the Sec. 6.2\n"
+        "recipe inside the Figure 1 flow.)\n");
+    return 0;
+  });
 }

@@ -6,7 +6,7 @@
 // the one-hot classifier cannot.
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "bench/harness.h"
 #include "src/datagen/corpus.h"
 #include "src/embedding/word2vec.h"
 #include "src/nn/classifier.h"
@@ -15,97 +15,108 @@
 using namespace autodc;         // NOLINT
 using namespace autodc::bench;  // NOLINT
 
-int main() {
-  datagen::SemanticCorpus corpus = datagen::GenerateSemanticCorpus();
-  embedding::Word2VecConfig wcfg;
-  wcfg.sgns.dim = 32;
-  wcfg.sgns.epochs = 8;
-  wcfg.sgns.seed = 7;
-  embedding::EmbeddingStore words =
-      embedding::TrainWordEmbeddings(corpus.sentences, wcfg);
-
-  PrintHeader(
-      "Experiment F3 — local vs distributed representations (Figure 3)",
+int main(int argc, char** argv) {
+  BenchSpec spec;
+  spec.name = "representations";
+  spec.experiment =
+      "Experiment F3 — local vs distributed representations (Figure 3)";
+  spec.claim =
       "Part 1: cosine similarity of related vs unrelated word pairs.\n"
       "One-hot vectors are orthogonal (similarity 0 for ALL distinct\n"
-      "pairs); distributed vectors separate related from unrelated.");
+      "pairs); distributed vectors separate related from unrelated.";
+  spec.default_seed = 7;
+  return BenchMain(argc, argv, spec, [](Bench& b) {
+    datagen::SemanticCorpus corpus = datagen::GenerateSemanticCorpus();
+    embedding::Word2VecConfig wcfg;
+    wcfg.sgns.dim = 32;
+    wcfg.sgns.epochs = b.Size(8, 4);
+    wcfg.sgns.seed = b.seed();
+    embedding::EmbeddingStore words =
+        embedding::TrainWordEmbeddings(corpus.sentences, wcfg);
 
-  double rel = 0.0, unrel = 0.0;
-  for (const auto& [a, b] : corpus.related_pairs) {
-    rel += words.Similarity(a, b).ValueOr(0.0);
-  }
-  rel /= corpus.related_pairs.size();
-  for (const auto& [a, b] : corpus.unrelated_pairs) {
-    unrel += words.Similarity(a, b).ValueOr(0.0);
-  }
-  unrel /= corpus.unrelated_pairs.size();
-  PrintRow({"pair type", "one-hot", "distributed"});
-  PrintRow({"related (king,queen...)", Fmt(0.0), Fmt(rel)});
-  PrintRow({"unrelated (king,paris...)", Fmt(0.0), Fmt(unrel)});
-  PrintRow({"separation", Fmt(0.0), Fmt(rel - unrel)});
+    double rel = 0.0, unrel = 0.0;
+    for (const auto& [a, c] : corpus.related_pairs) {
+      rel += words.Similarity(a, c).ValueOr(0.0);
+    }
+    rel /= corpus.related_pairs.size();
+    for (const auto& [a, c] : corpus.unrelated_pairs) {
+      unrel += words.Similarity(a, c).ValueOr(0.0);
+    }
+    unrel /= corpus.unrelated_pairs.size();
+    PrintRow({"pair type", "one-hot", "distributed"});
+    PrintRow({"related (king,queen...)", Fmt(0.0), Fmt(rel)});
+    PrintRow({"unrelated (king,paris...)", Fmt(0.0), Fmt(unrel)});
+    PrintRow({"separation", Fmt(0.0), Fmt(rel - unrel)});
 
-  // Part 2: downstream generalization. Task: classify words as royal vs
-  // common. Train on a subset of words; test on held-out words. One-hot
-  // features have no way to transfer; embeddings place unseen royals
-  // near seen royals.
-  struct Word {
-    const char* w;
-    int royal;
-  };
-  const Word all_words[] = {{"king", 1},   {"queen", 1}, {"prince", 1},
-                            {"princess", 1}, {"man", 0},  {"woman", 0},
-                            {"boy", 0},      {"girl", 0}};
-  const int train_idx[] = {0, 1, 4, 5};  // king, queen, man, woman
-  const int test_idx[] = {2, 3, 6, 7};   // prince, princess, boy, girl
+    // Part 2: downstream generalization. Task: classify words as royal
+    // vs common. Train on a subset of words; test on held-out words.
+    // One-hot features have no way to transfer; embeddings place unseen
+    // royals near seen royals.
+    struct Word {
+      const char* w;
+      int royal;
+    };
+    const Word all_words[] = {{"king", 1},   {"queen", 1}, {"prince", 1},
+                              {"princess", 1}, {"man", 0},  {"woman", 0},
+                              {"boy", 0},      {"girl", 0}};
+    const int train_idx[] = {0, 1, 4, 5};  // king, queen, man, woman
+    const int test_idx[] = {2, 3, 6, 7};   // prince, princess, boy, girl
 
-  // Distributed classifier.
-  Rng rng(3);
-  nn::ClassifierConfig ccfg;
-  ccfg.input_dim = words.dim();
-  ccfg.hidden = {16};
-  ccfg.learning_rate = 0.05f;
-  nn::BinaryClassifier dist_clf(ccfg, &rng);
-  nn::Batch x;
-  std::vector<int> y;
-  for (int i : train_idx) {
-    x.push_back(*words.Find(all_words[i].w));
-    y.push_back(all_words[i].royal);
-  }
-  dist_clf.Train(x, y, 300);
-  int dist_correct = 0;
-  for (int i : test_idx) {
-    int pred = dist_clf.Predict(*words.Find(all_words[i].w));
-    if (pred == all_words[i].royal) ++dist_correct;
-  }
+    // Distributed classifier.
+    Rng rng(3);
+    nn::ClassifierConfig ccfg;
+    ccfg.input_dim = words.dim();
+    ccfg.hidden = {16};
+    ccfg.learning_rate = 0.05f;
+    nn::BinaryClassifier dist_clf(ccfg, &rng);
+    nn::Batch x;
+    std::vector<int> y;
+    for (int i : train_idx) {
+      x.push_back(*words.Find(all_words[i].w));
+      y.push_back(all_words[i].royal);
+    }
+    dist_clf.Train(x, y, 300);
+    int dist_correct = 0;
+    for (int i : test_idx) {
+      int pred = dist_clf.Predict(*words.Find(all_words[i].w));
+      if (pred == all_words[i].royal) ++dist_correct;
+    }
 
-  // One-hot classifier over an 8-word vocabulary.
-  Rng rng2(3);
-  nn::ClassifierConfig ocfg;
-  ocfg.input_dim = 8;
-  ocfg.hidden = {16};
-  ocfg.learning_rate = 0.05f;
-  nn::BinaryClassifier onehot_clf(ocfg, &rng2);
-  nn::Batch ox;
-  std::vector<int> oy;
-  for (int i : train_idx) {
-    std::vector<float> v(8, 0.0f);
-    v[static_cast<size_t>(i)] = 1.0f;
-    ox.push_back(v);
-    oy.push_back(all_words[i].royal);
-  }
-  onehot_clf.Train(ox, oy, 300);
-  int onehot_correct = 0;
-  for (int i : test_idx) {
-    std::vector<float> v(8, 0.0f);
-    v[static_cast<size_t>(i)] = 1.0f;
-    if (onehot_clf.Predict(v) == all_words[i].royal) ++onehot_correct;
-  }
+    // One-hot classifier over an 8-word vocabulary.
+    Rng rng2(3);
+    nn::ClassifierConfig ocfg;
+    ocfg.input_dim = 8;
+    ocfg.hidden = {16};
+    ocfg.learning_rate = 0.05f;
+    nn::BinaryClassifier onehot_clf(ocfg, &rng2);
+    nn::Batch ox;
+    std::vector<int> oy;
+    for (int i : train_idx) {
+      std::vector<float> v(8, 0.0f);
+      v[static_cast<size_t>(i)] = 1.0f;
+      ox.push_back(v);
+      oy.push_back(all_words[i].royal);
+    }
+    onehot_clf.Train(ox, oy, 300);
+    int onehot_correct = 0;
+    for (int i : test_idx) {
+      std::vector<float> v(8, 0.0f);
+      v[static_cast<size_t>(i)] = 1.0f;
+      if (onehot_clf.Predict(v) == all_words[i].royal) ++onehot_correct;
+    }
 
-  std::printf(
-      "\nPart 2: royal-vs-common classifier, trained on {king,queen,man,\n"
-      "woman}, tested on UNSEEN {prince,princess,boy,girl}:\n");
-  PrintRow({"representation", "test acc"});
-  PrintRow({"one-hot (local)", Fmt(onehot_correct / 4.0, 2)});
-  PrintRow({"distributed", Fmt(dist_correct / 4.0, 2)});
-  return 0;
+    std::printf(
+        "\nPart 2: royal-vs-common classifier, trained on {king,queen,man,\n"
+        "woman}, tested on UNSEEN {prince,princess,boy,girl}:\n");
+    PrintRow({"representation", "test acc"});
+    PrintRow({"one-hot (local)", Fmt(onehot_correct / 4.0, 2)});
+    PrintRow({"distributed", Fmt(dist_correct / 4.0, 2)});
+    b.Report("similarity", {{"related_sim", rel},
+                            {"unrelated_sim", unrel},
+                            {"separation", rel - unrel}});
+    b.Report("generalization",
+             {{"onehot_accuracy", onehot_correct / 4.0},
+              {"distributed_accuracy", dist_correct / 4.0}});
+    return 0;
+  });
 }

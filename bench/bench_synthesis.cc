@@ -6,7 +6,7 @@
 // program can express is solved by the embedding-offset learner.
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "bench/harness.h"
 #include "src/datagen/corpus.h"
 #include "src/embedding/word2vec.h"
 #include "src/synthesis/dsl.h"
@@ -54,79 +54,94 @@ std::vector<Task> MakeTasks() {
 
 }  // namespace
 
-int main() {
-  PrintHeader(
-      "Experiment C3 — program synthesis for transformation (Sec. 4)",
+int main(int argc, char** argv) {
+  BenchSpec spec;
+  spec.name = "synthesis";
+  spec.experiment =
+      "Experiment C3 — program synthesis for transformation (Sec. 4)";
+  spec.claim =
       "Held-out accuracy of the synthesized program vs number of\n"
       "examples given. Shape: 1 example often suffices thanks to the\n"
-      "token-over-constant ranking; 2-3 examples always do.");
-
-  PrintRow({"task", "k=1", "k=2", "k=3", "program (k=3)"});
-  for (const Task& task : MakeTasks()) {
-    std::vector<std::string> cells = {task.name};
-    std::string program_text = "-";
-    for (size_t k = 1; k <= 3; ++k) {
-      std::vector<synthesis::Example> train(task.pool.begin(),
-                                            task.pool.begin() + k);
-      auto prog = synthesis::SynthesizeStringProgram(train);
-      if (!prog.ok()) {
-        cells.push_back("fail");
-        continue;
-      }
-      size_t hit = 0, total = 0;
-      for (size_t i = k; i < task.pool.size(); ++i) {
-        ++total;
-        if (prog.ValueOrDie().Apply(task.pool[i].input) ==
-            task.pool[i].output) {
-          ++hit;
+      "token-over-constant ranking; 2-3 examples always do.";
+  spec.default_seed = 7;
+  return BenchMain(argc, argv, spec, [](Bench& b) {
+    PrintRow({"task", "k=1", "k=2", "k=3", "program (k=3)"});
+    double k3_acc_sum = 0.0;
+    size_t k3_tasks = 0;
+    for (const Task& task : MakeTasks()) {
+      std::vector<std::string> cells = {task.name};
+      std::string program_text = "-";
+      for (size_t k = 1; k <= 3; ++k) {
+        std::vector<synthesis::Example> train(task.pool.begin(),
+                                              task.pool.begin() + k);
+        auto prog = synthesis::SynthesizeStringProgram(train);
+        if (!prog.ok()) {
+          cells.push_back("fail");
+          continue;
+        }
+        size_t hit = 0, total = 0;
+        for (size_t i = k; i < task.pool.size(); ++i) {
+          ++total;
+          if (prog.ValueOrDie().Apply(task.pool[i].input) ==
+              task.pool[i].output) {
+            ++hit;
+          }
+        }
+        double acc = total > 0 ? static_cast<double>(hit) / total : 0.0;
+        cells.push_back(total > 0 ? Fmt(acc, 2) : "n/a");
+        if (k == 3) {
+          program_text = prog.ValueOrDie().ToString();
+          k3_acc_sum += acc;
+          ++k3_tasks;
         }
       }
-      cells.push_back(total > 0
-                          ? Fmt(static_cast<double>(hit) / total, 2)
-                          : "n/a");
-      if (k == 3) program_text = prog.ValueOrDie().ToString();
+      cells.push_back(program_text);
+      for (size_t i = 0; i < cells.size(); ++i) {
+        std::printf(i == 0 ? "%-26s" : (i < 4 ? "%8s" : "  %s"),
+                    cells[i].c_str());
+      }
+      std::printf("\n");
     }
-    cells.push_back(program_text);
-    for (size_t i = 0; i < cells.size(); ++i) {
-      std::printf(i == 0 ? "%-26s" : (i < 4 ? "%8s" : "  %s"),
-                  cells[i].c_str());
-    }
-    std::printf("\n");
-  }
 
-  // Semantic transformation: beyond any string DSL.
-  std::printf(
-      "\nSemantic transformation (country -> capital) from 3 examples,\n"
-      "via embedding offsets (string programs cannot express this):\n");
-  datagen::SemanticCorpus corpus = datagen::GenerateSemanticCorpus();
-  embedding::Word2VecConfig wcfg;
-  wcfg.sgns.dim = 32;
-  wcfg.sgns.epochs = 8;
-  wcfg.sgns.seed = 7;
-  embedding::EmbeddingStore words =
-      embedding::TrainWordEmbeddings(corpus.sentences, wcfg);
-  synthesis::SemanticTransformLearner learner(&words);
-  std::vector<synthesis::Example> train;
-  for (size_t i = 0; i < 3; ++i) {
-    train.push_back({corpus.country_capitals[i].first,
-                     corpus.country_capitals[i].second});
-  }
-  learner.Fit(train).ok();
-  // A string-DSL attempt on the same examples for contrast.
-  auto dsl_try = synthesis::SynthesizeStringProgram(train);
-  PrintRow({"input", "expected", "semantic", "string DSL"});
-  size_t hits = 0, total = 0;
-  for (size_t i = 3; i < corpus.country_capitals.size(); ++i) {
-    const auto& [country, capital] = corpus.country_capitals[i];
-    auto got = learner.Transform(country);
-    std::string sem = got.ok() ? got.ValueOrDie() : "(error)";
-    std::string dsl = dsl_try.ok() ? dsl_try.ValueOrDie().Apply(country)
-                                   : "(no program)";
-    if (sem == capital) ++hits;
-    ++total;
-    PrintRow({country, capital, sem, dsl});
-  }
-  std::printf("semantic accuracy: %zu/%zu; string DSL: %s\n", hits, total,
-              dsl_try.ok() ? "found an overfit program" : "correctly fails");
-  return 0;
+    // Semantic transformation: beyond any string DSL.
+    std::printf(
+        "\nSemantic transformation (country -> capital) from 3 examples,\n"
+        "via embedding offsets (string programs cannot express this):\n");
+    datagen::SemanticCorpus corpus = datagen::GenerateSemanticCorpus();
+    embedding::Word2VecConfig wcfg;
+    wcfg.sgns.dim = 32;
+    wcfg.sgns.epochs = b.Size(8, 4);
+    wcfg.sgns.seed = b.seed();
+    embedding::EmbeddingStore words =
+        embedding::TrainWordEmbeddings(corpus.sentences, wcfg);
+    synthesis::SemanticTransformLearner learner(&words);
+    std::vector<synthesis::Example> train;
+    for (size_t i = 0; i < 3; ++i) {
+      train.push_back({corpus.country_capitals[i].first,
+                       corpus.country_capitals[i].second});
+    }
+    learner.Fit(train).ok();
+    // A string-DSL attempt on the same examples for contrast.
+    auto dsl_try = synthesis::SynthesizeStringProgram(train);
+    PrintRow({"input", "expected", "semantic", "string DSL"});
+    size_t hits = 0, total = 0;
+    for (size_t i = 3; i < corpus.country_capitals.size(); ++i) {
+      const auto& [country, capital] = corpus.country_capitals[i];
+      auto got = learner.Transform(country);
+      std::string sem = got.ok() ? got.ValueOrDie() : "(error)";
+      std::string dsl = dsl_try.ok() ? dsl_try.ValueOrDie().Apply(country)
+                                     : "(no program)";
+      if (sem == capital) ++hits;
+      ++total;
+      PrintRow({country, capital, sem, dsl});
+    }
+    std::printf("semantic accuracy: %zu/%zu; string DSL: %s\n", hits, total,
+                dsl_try.ok() ? "found an overfit program" : "correctly fails");
+    b.Report("string_dsl",
+             {{"k3_accuracy", k3_tasks ? k3_acc_sum / k3_tasks : 0.0}});
+    b.Report("semantic",
+             {{"accuracy",
+               total ? static_cast<double>(hits) / total : 0.0}});
+    return 0;
+  });
 }

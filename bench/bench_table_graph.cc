@@ -6,7 +6,7 @@
 // than the naive word2vec adaptation, and FD-edge boosting helps.
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "bench/harness.h"
 #include "src/common/rng.h"
 #include "src/data/table_graph.h"
 #include "src/embedding/graph_embedding.h"
@@ -70,82 +70,93 @@ struct Separation {
 
 }  // namespace
 
-int main() {
-  Relation rel = MakeRelation(400, 11);
-
-  PrintHeader(
-      "Experiment F4 — heterogeneous table graph (Figure 4, Sec. 3.1)",
+int main(int argc, char** argv) {
+  BenchSpec spec;
+  spec.name = "table_graph";
+  spec.experiment =
+      "Experiment F4 — heterogeneous table graph (Figure 4, Sec. 3.1)";
+  spec.claim =
       "Mean cosine similarity of FD-linked cell pairs (dept_id <->\n"
       "dept_name) vs mismatched pairs, under three cell-embedding models.\n"
       "Columns sit 1 apart here but 8 filler attributes separate dept_id\n"
-      "from emp_id context; the naive model's window dilutes the signal.");
+      "from emp_id context; the naive model's window dilutes the signal.";
+  spec.default_seed = 11;
+  return BenchMain(argc, argv, spec, [](Bench& b) {
+    Relation rel = MakeRelation(b.Size(400, 200), b.seed());
 
-  // Model 1: naive tuples-as-documents word2vec with small window.
-  embedding::Word2VecConfig wcfg;
-  wcfg.sgns.dim = 24;
-  wcfg.sgns.epochs = 8;
-  wcfg.sgns.window = 2;  // the window-size limitation in action
-  wcfg.sgns.seed = 5;
-  embedding::EmbeddingStore naive =
-      embedding::TrainCellEmbeddingsNaive({&rel.table}, wcfg);
+    // Model 1: naive tuples-as-documents word2vec with small window.
+    embedding::Word2VecConfig wcfg;
+    wcfg.sgns.dim = 24;
+    wcfg.sgns.epochs = 8;
+    wcfg.sgns.window = 2;  // the window-size limitation in action
+    wcfg.sgns.seed = 5;
+    embedding::EmbeddingStore naive =
+        embedding::TrainCellEmbeddingsNaive({&rel.table}, wcfg);
 
-  // Model 2: graph embeddings WITHOUT FD edges.
-  data::TableGraph graph_plain = data::TableGraph::Build(rel.table, {});
-  embedding::GraphEmbeddingConfig gcfg;
-  gcfg.sgns.dim = 24;
-  gcfg.sgns.epochs = 5;
-  gcfg.sgns.seed = 5;
-  gcfg.walks_per_node = 6;
-  gcfg.walk_length = 8;
-  embedding::EmbeddingStore graph_noconstraint =
-      embedding::TrainTableGraphEmbeddings(graph_plain, rel.table.schema(),
-                                           gcfg);
+    // Model 2: graph embeddings WITHOUT FD edges.
+    data::TableGraph graph_plain = data::TableGraph::Build(rel.table, {});
+    embedding::GraphEmbeddingConfig gcfg;
+    gcfg.sgns.dim = 24;
+    gcfg.sgns.epochs = 5;
+    gcfg.sgns.seed = 5;
+    gcfg.walks_per_node = 6;
+    gcfg.walk_length = 8;
+    embedding::EmbeddingStore graph_noconstraint =
+        embedding::TrainTableGraphEmbeddings(graph_plain, rel.table.schema(),
+                                             gcfg);
 
-  // Model 3: graph embeddings WITH FD edges boosted.
-  data::TableGraph graph_fd = data::TableGraph::Build(rel.table, rel.fds);
-  gcfg.fd_edge_boost = 3.0;
-  embedding::EmbeddingStore graph_constraint =
-      embedding::TrainTableGraphEmbeddings(graph_fd, rel.table.schema(),
-                                           gcfg);
+    // Model 3: graph embeddings WITH FD edges boosted.
+    data::TableGraph graph_fd = data::TableGraph::Build(rel.table, rel.fds);
+    gcfg.fd_edge_boost = 3.0;
+    embedding::EmbeddingStore graph_constraint =
+        embedding::TrainTableGraphEmbeddings(graph_fd, rel.table.schema(),
+                                             gcfg);
 
-  auto score = [&](const embedding::EmbeddingStore& store,
-                   bool graph_keys) -> Separation {
-    Separation s;
-    size_t nr = 0, nu = 0;
-    for (const Relation::Pair& p : rel.pairs) {
-      std::string ka = graph_keys
-                           ? embedding::GraphNodeKey(rel.table.schema(),
-                                                     p.col_a, p.val_a)
-                           : p.val_a;
-      std::string kb = graph_keys
-                           ? embedding::GraphNodeKey(rel.table.schema(),
-                                                     p.col_b, p.val_b)
-                           : p.val_b;
-      auto sim = store.Similarity(ka, kb);
-      if (!sim.ok()) continue;
-      if (p.related) {
-        s.related += sim.ValueOrDie();
-        ++nr;
-      } else {
-        s.unrelated += sim.ValueOrDie();
-        ++nu;
+    auto score = [&](const embedding::EmbeddingStore& store,
+                     bool graph_keys) -> Separation {
+      Separation s;
+      size_t nr = 0, nu = 0;
+      for (const Relation::Pair& p : rel.pairs) {
+        std::string ka = graph_keys
+                             ? embedding::GraphNodeKey(rel.table.schema(),
+                                                       p.col_a, p.val_a)
+                             : p.val_a;
+        std::string kb = graph_keys
+                             ? embedding::GraphNodeKey(rel.table.schema(),
+                                                       p.col_b, p.val_b)
+                             : p.val_b;
+        auto sim = store.Similarity(ka, kb);
+        if (!sim.ok()) continue;
+        if (p.related) {
+          s.related += sim.ValueOrDie();
+          ++nr;
+        } else {
+          s.unrelated += sim.ValueOrDie();
+          ++nu;
+        }
       }
-    }
-    if (nr > 0) s.related /= static_cast<double>(nr);
-    if (nu > 0) s.unrelated /= static_cast<double>(nu);
-    return s;
-  };
+      if (nr > 0) s.related /= static_cast<double>(nr);
+      if (nu > 0) s.unrelated /= static_cast<double>(nu);
+      return s;
+    };
 
-  Separation s_naive = score(naive, false);
-  Separation s_plain = score(graph_noconstraint, true);
-  Separation s_fd = score(graph_constraint, true);
+    Separation s_naive = score(naive, false);
+    Separation s_plain = score(graph_noconstraint, true);
+    Separation s_fd = score(graph_constraint, true);
 
-  PrintRow({"model", "related", "unrelated", "separation"});
-  PrintRow({"naive word2vec (W=2)", Fmt(s_naive.related),
-            Fmt(s_naive.unrelated), Fmt(s_naive.related - s_naive.unrelated)});
-  PrintRow({"graph, co-occur only", Fmt(s_plain.related),
-            Fmt(s_plain.unrelated), Fmt(s_plain.related - s_plain.unrelated)});
-  PrintRow({"graph + FD edges (x3)", Fmt(s_fd.related), Fmt(s_fd.unrelated),
-            Fmt(s_fd.related - s_fd.unrelated)});
-  return 0;
+    PrintRow({"model", "related", "unrelated", "separation"});
+    PrintRow({"naive word2vec (W=2)", Fmt(s_naive.related),
+              Fmt(s_naive.unrelated),
+              Fmt(s_naive.related - s_naive.unrelated)});
+    PrintRow({"graph, co-occur only", Fmt(s_plain.related),
+              Fmt(s_plain.unrelated),
+              Fmt(s_plain.related - s_plain.unrelated)});
+    PrintRow({"graph + FD edges (x3)", Fmt(s_fd.related),
+              Fmt(s_fd.unrelated), Fmt(s_fd.related - s_fd.unrelated)});
+    b.Report("separation",
+             {{"naive", s_naive.related - s_naive.unrelated},
+              {"graph_cooccur", s_plain.related - s_plain.unrelated},
+              {"graph_fd", s_fd.related - s_fd.unrelated}});
+    return 0;
+  });
 }

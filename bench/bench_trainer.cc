@@ -6,7 +6,7 @@
 // thanks to best-weight restore) F1.
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "bench/harness.h"
 #include "src/datagen/er_benchmark.h"
 #include "src/embedding/word2vec.h"
 #include "src/er/blocking.h"
@@ -33,10 +33,10 @@ struct Workload {
   std::vector<er::RowPair> all;
 };
 
-Workload MakeWorkload(uint64_t seed) {
+Workload MakeWorkload(uint64_t seed, size_t entities) {
   datagen::ErBenchmarkConfig cfg;
   cfg.domain = datagen::ErDomain::kProducts;
-  cfg.num_entities = 150;
+  cfg.num_entities = entities;
   cfg.dirtiness = 0.4;
   cfg.synonym_rate = 0.4;
   cfg.seed = seed;
@@ -94,51 +94,47 @@ RunStats RunDeepEr(const Workload& w, size_t epoch_budget, bool early_stop,
 
 }  // namespace
 
-int main() {
-  PrintHeader(
-      "Experiment T1 — Trainer runtime: early stopping on DeepER",
+int main(int argc, char** argv) {
+  BenchSpec spec;
+  spec.name = "trainer";
+  spec.experiment = "Experiment T1 — Trainer runtime: early stopping on DeepER";
+  spec.claim =
       "Epochs-to-converge and wall time of DeepER training with a fixed\n"
       "epoch budget vs validation-monitored early stopping (patience 4,\n"
       "min-delta 1e-3, 20% held out, best weights restored). Same\n"
-      "workload, same seed.");
+      "workload, same seed.";
+  spec.default_seed = 17;
+  return BenchMain(argc, argv, spec, [](Bench& b) {
+    const uint64_t seed = b.seed();
+    const size_t budget = b.Size(60, 30);
+    Workload w = MakeWorkload(seed, b.Size(150, 80));
 
-  const uint64_t seed = 17;
-  const size_t budget = 60;
-  Workload w = MakeWorkload(seed);
+    RunStats fixed = RunDeepEr(w, budget, /*early_stop=*/false, seed);
+    RunStats early = RunDeepEr(w, budget, /*early_stop=*/true, seed);
 
-  RunStats fixed = RunDeepEr(w, budget, /*early_stop=*/false, seed);
-  RunStats early = RunDeepEr(w, budget, /*early_stop=*/true, seed);
+    PrintRow({"variant", "epochs", "wall_s", "loss", "F1", "stopped"});
+    PrintRow({"fixed-budget", FmtInt(fixed.epochs_run), Fmt(fixed.wall_s),
+              Fmt(fixed.final_loss), Fmt(fixed.f1),
+              fixed.stopped_early ? "yes" : "no"});
+    PrintRow({"early-stopping", FmtInt(early.epochs_run), Fmt(early.wall_s),
+              Fmt(early.final_loss), Fmt(early.f1),
+              early.stopped_early ? "yes" : "no"});
 
-  PrintRow({"variant", "epochs", "wall_s", "loss", "F1", "stopped"});
-  PrintRow({"fixed-budget", FmtInt(fixed.epochs_run), Fmt(fixed.wall_s),
-            Fmt(fixed.final_loss), Fmt(fixed.f1),
-            fixed.stopped_early ? "yes" : "no"});
-  PrintRow({"early-stopping", FmtInt(early.epochs_run), Fmt(early.wall_s),
-            Fmt(early.final_loss), Fmt(early.f1),
-            early.stopped_early ? "yes" : "no"});
+    double speedup = early.wall_s > 0.0 ? fixed.wall_s / early.wall_s : 0.0;
+    std::printf("\nEarly stopping ran %zu/%zu epochs (%.2fx wall speedup).\n",
+                early.epochs_run, fixed.epochs_run, speedup);
 
-  double speedup = early.wall_s > 0.0 ? fixed.wall_s / early.wall_s : 0.0;
-  std::printf("\nEarly stopping ran %zu/%zu epochs (%.2fx wall speedup).\n",
-              early.epochs_run, fixed.epochs_run, speedup);
-
-  JsonObject fixed_json;
-  fixed_json.Set("epochs", fixed.epochs_run)
-      .Set("wall_s", fixed.wall_s)
-      .Set("loss", fixed.final_loss)
-      .Set("f1", fixed.f1);
-  JsonObject early_json;
-  early_json.Set("epochs", early.epochs_run)
-      .Set("wall_s", early.wall_s)
-      .Set("loss", early.final_loss)
-      .Set("f1", early.f1)
-      .SetRaw("stopped_early", early.stopped_early ? "true" : "false");
-  JsonObject out;
-  out.Set("experiment", std::string("trainer_early_stopping"))
-      .Set("workload", std::string("deeper_products_d0.4"))
-      .Set("epoch_budget", budget)
-      .SetRaw("fixed", fixed_json.str())
-      .SetRaw("early_stopping", early_json.str())
-      .Set("wall_speedup", speedup);
-  PrintJsonLine(out);
-  return 0;
+    b.Report("fixed_budget",
+             {{"epochs", static_cast<double>(fixed.epochs_run)},
+              {"wall_s", fixed.wall_s},
+              {"loss", fixed.final_loss},
+              {"f1", fixed.f1}});
+    b.Report("early_stopping",
+             {{"epochs", static_cast<double>(early.epochs_run)},
+              {"wall_s", early.wall_s},
+              {"loss", early.final_loss},
+              {"f1", early.f1},
+              {"wall_speedup", speedup}});
+    return 0;
+  });
 }

@@ -1,19 +1,21 @@
 // Experiment C4 (Sec. 6.1, "Deep Learning is Computing Heavy"): wall-
-// clock cost of the DC models on a single CPU core, via google-benchmark.
-// Shape: the paper's counterpoint holds — a DeepER-style light-weight
-// model "can be trained in a matter of minutes even on a CPU" (here:
-// seconds at benchmark scale), and prediction is comparable to classical
-// ML inference.
-#include <benchmark/benchmark.h>
+// clock cost of the DC models on a single CPU core. Shape: the paper's
+// counterpoint holds — a DeepER-style light-weight model "can be trained
+// in a matter of minutes even on a CPU" (here: seconds at benchmark
+// scale), and prediction is comparable to classical ML inference.
+#include <algorithm>
+#include <cstdio>
 
+#include "bench/harness.h"
+#include "src/cleaning/imputation.h"
 #include "src/datagen/er_benchmark.h"
 #include "src/embedding/word2vec.h"
 #include "src/er/baselines.h"
 #include "src/er/deeper.h"
-#include "src/cleaning/imputation.h"
 #include "src/nn/autoencoder.h"
 
-using namespace autodc;  // NOLINT
+using namespace autodc;         // NOLINT
+using namespace autodc::bench;  // NOLINT
 
 namespace {
 
@@ -22,12 +24,12 @@ struct Fixture {
   embedding::EmbeddingStore words;
   std::vector<er::PairLabel> train;
 
-  Fixture() {
+  Fixture(uint64_t seed, size_t entities) {
     datagen::ErBenchmarkConfig cfg;
     cfg.domain = datagen::ErDomain::kProducts;
-    cfg.num_entities = 100;
+    cfg.num_entities = entities;
     cfg.dirtiness = 0.4;
-    cfg.seed = 17;
+    cfg.seed = seed;
     bench = datagen::GenerateErBenchmark(cfg);
     embedding::Word2VecConfig wcfg;
     wcfg.sgns.dim = 24;
@@ -42,108 +44,104 @@ struct Fixture {
   }
 };
 
-Fixture& GetFixture() {
-  static Fixture* f = new Fixture();
-  return *f;
-}
-
-void BM_Word2VecPretraining(benchmark::State& state) {
-  Fixture& f = GetFixture();
-  for (auto _ : state) {
-    embedding::Word2VecConfig wcfg;
-    wcfg.sgns.dim = 24;
-    wcfg.sgns.epochs = static_cast<size_t>(state.range(0));
-    wcfg.sgns.seed = 5;
-    auto store = embedding::TrainWordEmbeddingsFromTables(
-        {&f.bench.left, &f.bench.right}, wcfg);
-    benchmark::DoNotOptimize(store.size());
-  }
-}
-BENCHMARK(BM_Word2VecPretraining)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
-
-void BM_DeepErTrainAverage(benchmark::State& state) {
-  Fixture& f = GetFixture();
-  for (auto _ : state) {
-    er::DeepErConfig cfg;
-    cfg.epochs = static_cast<size_t>(state.range(0));
-    er::DeepEr model(&f.words, cfg);
-    model.FitWeights({&f.bench.left, &f.bench.right});
-    benchmark::DoNotOptimize(
-        model.Train(f.bench.left, f.bench.right, f.train));
-  }
-}
-BENCHMARK(BM_DeepErTrainAverage)->Arg(10)->Arg(25)->Unit(benchmark::kMillisecond);
-
-void BM_DeepErTrainLstm(benchmark::State& state) {
-  Fixture& f = GetFixture();
-  std::vector<er::PairLabel> small(f.train.begin(),
-                                   f.train.begin() +
-                                       std::min<size_t>(60, f.train.size()));
-  for (auto _ : state) {
-    er::DeepErConfig cfg;
-    cfg.composition = er::TupleComposition::kLstm;
-    cfg.lstm_hidden = 8;
-    cfg.epochs = 2;
-    cfg.max_tokens_per_tuple = 12;
-    er::DeepEr model(&f.words, cfg);
-    benchmark::DoNotOptimize(
-        model.Train(f.bench.left, f.bench.right, small));
-  }
-}
-BENCHMARK(BM_DeepErTrainLstm)->Unit(benchmark::kMillisecond);
-
-void BM_DeepErPredict(benchmark::State& state) {
-  Fixture& f = GetFixture();
-  static er::DeepEr* model = []() {
-    Fixture& f2 = GetFixture();
-    er::DeepErConfig cfg;
-    cfg.epochs = 10;
-    auto* m = new er::DeepEr(&f2.words, cfg);
-    m->FitWeights({&f2.bench.left, &f2.bench.right});
-    m->Train(f2.bench.left, f2.bench.right, f2.train);
-    return m;
-  }();
-  size_t i = 0;
-  for (auto _ : state) {
-    const auto& p = f.train[i % f.train.size()];
-    benchmark::DoNotOptimize(model->PredictProba(
-        f.bench.left.row(p.left), f.bench.right.row(p.right)));
-    ++i;
-  }
-}
-BENCHMARK(BM_DeepErPredict)->Unit(benchmark::kMicrosecond);
-
-void BM_ClassicalFeaturePredict(benchmark::State& state) {
-  Fixture& f = GetFixture();
-  static er::FeatureMatcher* model = []() {
-    Fixture& f2 = GetFixture();
-    auto* m = new er::FeatureMatcher(f2.bench.left.schema(), {16}, 0.01f, 10,
-                                     3);
-    m->Train(f2.bench.left, f2.bench.right, f2.train);
-    return m;
-  }();
-  size_t i = 0;
-  for (auto _ : state) {
-    const auto& p = f.train[i % f.train.size()];
-    benchmark::DoNotOptimize(model->PredictProba(
-        f.bench.left.row(p.left), f.bench.right.row(p.right)));
-    ++i;
-  }
-}
-BENCHMARK(BM_ClassicalFeaturePredict)->Unit(benchmark::kMicrosecond);
-
-void BM_DaeImputerTrain(benchmark::State& state) {
-  Fixture& f = GetFixture();
-  for (auto _ : state) {
-    cleaning::DaeImputerConfig cfg;
-    cfg.epochs = 20;
-    cleaning::DaeImputer imputer(cfg);
-    imputer.Fit(f.bench.left);
-    benchmark::DoNotOptimize(&imputer);
-  }
-}
-BENCHMARK(BM_DaeImputerTrain)->Unit(benchmark::kMillisecond);
+// Keeps results alive so -O2 cannot fold the timed loops away.
+volatile double g_sink = 0.0;
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  BenchSpec spec;
+  spec.name = "training_cost";
+  spec.experiment = "Experiment C4 — training/inference cost on CPU (Sec. 6.1)";
+  spec.claim =
+      "Wall clock of the DC models' train and predict paths. Shape: the\n"
+      "light-weight DeepER-style models train in seconds at benchmark\n"
+      "scale; prediction is comparable to classical ML inference.";
+  spec.default_seed = 17;
+  return BenchMain(argc, argv, spec, [](Bench& b) {
+    Fixture f(b.seed(), b.Size(100, 50));
+
+    PrintRow({"path", "wall ms"});
+
+    double w2v_ms = b.TimeMs([&] {
+      embedding::Word2VecConfig wcfg;
+      wcfg.sgns.dim = 24;
+      wcfg.sgns.epochs = 4;
+      wcfg.sgns.seed = 5;
+      auto store = embedding::TrainWordEmbeddingsFromTables(
+          {&f.bench.left, &f.bench.right}, wcfg);
+      g_sink = static_cast<double>(store.size());
+    });
+    PrintRow({"word2vec pretrain (4 ep)", Fmt(w2v_ms, 2)});
+
+    double deeper_train_ms = b.TimeMs([&] {
+      er::DeepErConfig cfg;
+      cfg.epochs = 25;
+      er::DeepEr model(&f.words, cfg);
+      model.FitWeights({&f.bench.left, &f.bench.right});
+      model.Train(f.bench.left, f.bench.right, f.train);
+      g_sink = model.last_train_result().final_train_loss;
+    });
+    PrintRow({"deeper train (25 ep, avg)", Fmt(deeper_train_ms, 2)});
+
+    std::vector<er::PairLabel> small(
+        f.train.begin(),
+        f.train.begin() + std::min<size_t>(60, f.train.size()));
+    double lstm_train_ms = b.TimeMs([&] {
+      er::DeepErConfig cfg;
+      cfg.composition = er::TupleComposition::kLstm;
+      cfg.lstm_hidden = 8;
+      cfg.epochs = 2;
+      cfg.max_tokens_per_tuple = 12;
+      er::DeepEr model(&f.words, cfg);
+      model.Train(f.bench.left, f.bench.right, small);
+      g_sink = model.last_train_result().final_train_loss;
+    });
+    PrintRow({"deeper train (lstm, 2 ep)", Fmt(lstm_train_ms, 2)});
+
+    er::DeepErConfig pcfg;
+    pcfg.epochs = 10;
+    er::DeepEr deeper_model(&f.words, pcfg);
+    deeper_model.FitWeights({&f.bench.left, &f.bench.right});
+    deeper_model.Train(f.bench.left, f.bench.right, f.train);
+    const size_t kPredicts = 200;
+    double deeper_predict_ms = b.TimeMs([&] {
+      for (size_t i = 0; i < kPredicts; ++i) {
+        const auto& p = f.train[i % f.train.size()];
+        g_sink = deeper_model.PredictProba(f.bench.left.row(p.left),
+                                           f.bench.right.row(p.right));
+      }
+    });
+    double deeper_predict_us = deeper_predict_ms / kPredicts * 1e3;
+    PrintRow({"deeper predict (us)", Fmt(deeper_predict_us, 2)});
+
+    er::FeatureMatcher feat_model(f.bench.left.schema(), {16}, 0.01f, 10, 3);
+    feat_model.Train(f.bench.left, f.bench.right, f.train);
+    double feat_predict_ms = b.TimeMs([&] {
+      for (size_t i = 0; i < kPredicts; ++i) {
+        const auto& p = f.train[i % f.train.size()];
+        g_sink = feat_model.PredictProba(f.bench.left.row(p.left),
+                                         f.bench.right.row(p.right));
+      }
+    });
+    double feat_predict_us = feat_predict_ms / kPredicts * 1e3;
+    PrintRow({"classical predict (us)", Fmt(feat_predict_us, 2)});
+
+    double dae_train_ms = b.TimeMs([&] {
+      cleaning::DaeImputerConfig cfg;
+      cfg.epochs = 20;
+      cleaning::DaeImputer imputer(cfg);
+      imputer.Fit(f.bench.left);
+      g_sink = 1.0;
+    });
+    PrintRow({"dae imputer fit (20 ep)", Fmt(dae_train_ms, 2)});
+
+    b.Report("train", {{"word2vec_ms", w2v_ms},
+                       {"deeper_avg_ms", deeper_train_ms},
+                       {"deeper_lstm_ms", lstm_train_ms},
+                       {"dae_fit_ms", dae_train_ms}});
+    b.Report("predict", {{"deeper_us", deeper_predict_us},
+                         {"classical_us", feat_predict_us}});
+    return 0;
+  });
+}

@@ -7,7 +7,7 @@
 // LF quality is uneven.
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "bench/harness.h"
 #include "src/datagen/er_benchmark.h"
 #include "src/embedding/word2vec.h"
 #include "src/er/blocking.h"
@@ -33,138 +33,156 @@ std::string RowText(const data::Row& row) {
 }
 }  // namespace
 
-int main() {
-  datagen::ErBenchmarkConfig cfg;
-  cfg.domain = datagen::ErDomain::kProducts;
-  cfg.num_entities = 150;
-  cfg.dirtiness = 0.5;
-  cfg.synonym_rate = 0.4;
-  cfg.seed = 17;
-  datagen::ErBenchmark bench = datagen::GenerateErBenchmark(cfg);
-  embedding::Word2VecConfig wcfg;
-  wcfg.sgns.dim = 24;
-  wcfg.sgns.epochs = 6;
-  wcfg.sgns.seed = 5;
-  embedding::EmbeddingStore words = embedding::TrainWordEmbeddingsFromTables(
-      {&bench.left, &bench.right}, wcfg);
-
-  std::vector<er::RowPair> all;
-  for (size_t l = 0; l < bench.left.num_rows(); ++l) {
-    for (size_t r = 0; r < bench.right.num_rows(); ++r) all.push_back({l, r});
-  }
-
-  PrintHeader(
-      "Experiment C5 — label-efficiency: augmentation (Sec. 6.2.2)",
+int main(int argc, char** argv) {
+  BenchSpec spec;
+  spec.name = "weak_supervision";
+  spec.experiment =
+      "Experiment C5 — label-efficiency: augmentation (Sec. 6.2.2)";
+  spec.claim =
       "ER F1 vs number of labeled matches, with and without label-\n"
-      "preserving augmentation of the positives. Shape: augmentation\n"
-      "closes most of the gap to full supervision at low label counts.");
+      "preserving augmentation of the positives; then the generative\n"
+      "label model vs majority vote over noisy labeling functions.";
+  spec.default_seed = 17;
+  return BenchMain(argc, argv, spec, [](Bench& b) {
+    datagen::ErBenchmarkConfig cfg;
+    cfg.domain = datagen::ErDomain::kProducts;
+    cfg.num_entities = b.Size(150, 80);
+    cfg.dirtiness = 0.5;
+    cfg.synonym_rate = 0.4;
+    cfg.seed = b.seed();
+    datagen::ErBenchmark bench = datagen::GenerateErBenchmark(cfg);
+    embedding::Word2VecConfig wcfg;
+    wcfg.sgns.dim = 24;
+    wcfg.sgns.epochs = 6;
+    wcfg.sgns.seed = 5;
+    embedding::EmbeddingStore words = embedding::TrainWordEmbeddingsFromTables(
+        {&bench.left, &bench.right}, wcfg);
 
-  PrintRow({"#labeled matches", "plain F1", "augmented F1"});
-  for (size_t labels : {size_t{5}, size_t{15}, size_t{40}, bench.matches.size()}) {
-    size_t n = std::min(labels, bench.matches.size());
-    std::vector<er::RowPair> some(bench.matches.begin(),
-                                  bench.matches.begin() + n);
-    Rng rng(7);
-    auto train = er::SampleTrainingPairs(bench.left.num_rows(),
-                                         bench.right.num_rows(), some, 5,
-                                         &rng);
-    // Plain.
-    er::DeepErConfig dcfg;
-    dcfg.epochs = 30;
-    dcfg.learning_rate = 1e-2f;
-    er::DeepEr plain(&words, dcfg);
-    plain.FitWeights({&bench.left, &bench.right});
-    plain.Train(bench.left, bench.right, train);
-    er::PrfScore s_plain = er::Evaluate(
-        plain.Match(bench.left, bench.right, all, 0.9), bench.matches);
-    // Augmented: perturb positives into extra synthetic matches.
-    data::Table right_aug = bench.right;
-    weak::AugmentConfig acfg;
-    acfg.copies_per_positive = 2;
-    acfg.cell_perturb_prob = 0.15;  // gentle: the rows are already dirty
-    auto aug_train =
-        weak::AugmentErTrainingPairs(bench.left, &right_aug, train, acfg);
-    er::DeepEr augmented(&words, dcfg);
-    augmented.FitWeights({&bench.left, &right_aug});
-    augmented.Train(bench.left, right_aug, aug_train);
-    er::PrfScore s_aug = er::Evaluate(
-        augmented.Match(bench.left, bench.right, all, 0.9), bench.matches);
-    PrintRow({FmtInt(n), Fmt(s_plain.f1), Fmt(s_aug.f1)});
-  }
-
-  // ---- Part 2: weak supervision on candidate pairs ---------------------
-  PrintHeader(
-      "Experiment C5b — weak supervision: label model vs majority vote",
-      "Labeling functions over candidate pairs (name similarity, price\n"
-      "gap, category equality, a deliberately-noisy heuristic). Shape:\n"
-      "the EM label model learns LF accuracies and beats majority vote.");
-
-  // Candidate pairs: blocked cross product (keeps it balanced enough).
-  auto candidates = er::AttributeBlocking(bench.left, bench.right, 0);
-  std::vector<int> truth;
-  for (const er::RowPair& p : candidates) {
-    truth.push_back(datagen::IsMatch(bench, p.first, p.second) ? 1 : 0);
-  }
-
-  std::vector<weak::LabelingFunction> lfs;
-  lfs.push_back({"jaccard>0.55", [&](size_t i) {
-                   double s = text::TokenJaccard(
-                       RowText(bench.left.row(candidates[i].first)),
-                       RowText(bench.right.row(candidates[i].second)));
-                   if (s > 0.55) return 1;
-                   if (s < 0.2) return 0;
-                   return weak::kAbstain;
-                 }});
-  lfs.push_back({"price within 10%", [&](size_t i) {
-                   const data::Value& a =
-                       bench.left.at(candidates[i].first, 3);
-                   const data::Value& b =
-                       bench.right.at(candidates[i].second, 3);
-                   if (a.is_null() || b.is_null()) return weak::kAbstain;
-                   double x = a.ToNumeric(), y = b.ToNumeric();
-                   double rel = std::fabs(x - y) / std::max({x, y, 1e-9});
-                   return rel < 0.1 ? 1 : 0;
-                 }});
-  lfs.push_back({"model jw>0.8", [&](size_t i) {
-                   const data::Value& a =
-                       bench.left.at(candidates[i].first, 1);
-                   const data::Value& b =
-                       bench.right.at(candidates[i].second, 1);
-                   if (a.is_null() || b.is_null()) return weak::kAbstain;
-                   return text::JaroWinklerSimilarity(a.ToString(),
-                                                      b.ToString()) > 0.8
-                              ? 1
-                              : 0;
-                 }});
-  // Deliberately poor LF: same category => match (brands share cats).
-  lfs.push_back({"same category (noisy)", [&](size_t i) {
-                   const data::Value& a =
-                       bench.left.at(candidates[i].first, 2);
-                   const data::Value& b =
-                       bench.right.at(candidates[i].second, 2);
-                   if (a.is_null() || b.is_null()) return weak::kAbstain;
-                   return a.ToString() == b.ToString() ? 1 : 0;
-                 }});
-
-  auto votes = weak::ApplyLabelingFunctions(lfs, candidates.size());
-  auto mv = weak::MajorityVote(votes);
-  weak::LabelModel model;
-  auto lm = model.FitPredict(votes);
-
-  auto accuracy = [&](const std::vector<double>& probs) {
-    size_t hit = 0;
-    for (size_t i = 0; i < probs.size(); ++i) {
-      if ((probs[i] >= 0.5 ? 1 : 0) == truth[i]) ++hit;
+    std::vector<er::RowPair> all;
+    for (size_t l = 0; l < bench.left.num_rows(); ++l) {
+      for (size_t r = 0; r < bench.right.num_rows(); ++r) {
+        all.push_back({l, r});
+      }
     }
-    return static_cast<double>(hit) / probs.size();
-  };
-  PrintRow({"method", "label acc"});
-  PrintRow({"majority vote", Fmt(accuracy(mv))});
-  PrintRow({"generative label model", Fmt(accuracy(lm))});
-  std::printf("\nlearned LF accuracies:\n");
-  for (size_t j = 0; j < lfs.size(); ++j) {
-    std::printf("  %-24s %.3f\n", lfs[j].name.c_str(),
-                model.accuracies()[j]);
-  }
-  return 0;
+
+    PrintRow({"#labeled matches", "plain F1", "augmented F1"});
+    for (size_t labels :
+         {size_t{5}, size_t{15}, size_t{40}, bench.matches.size()}) {
+      size_t n = std::min(labels, bench.matches.size());
+      std::vector<er::RowPair> some(bench.matches.begin(),
+                                    bench.matches.begin() + n);
+      Rng rng(7);
+      auto train = er::SampleTrainingPairs(bench.left.num_rows(),
+                                           bench.right.num_rows(), some, 5,
+                                           &rng);
+      // Plain.
+      er::DeepErConfig dcfg;
+      dcfg.epochs = b.Size(30, 15);
+      dcfg.learning_rate = 1e-2f;
+      er::DeepEr plain(&words, dcfg);
+      plain.FitWeights({&bench.left, &bench.right});
+      plain.Train(bench.left, bench.right, train);
+      er::PrfScore s_plain = er::Evaluate(
+          plain.Match(bench.left, bench.right, all, 0.9), bench.matches);
+      // Augmented: perturb positives into extra synthetic matches.
+      data::Table right_aug = bench.right;
+      weak::AugmentConfig acfg;
+      acfg.copies_per_positive = 2;
+      acfg.cell_perturb_prob = 0.15;  // gentle: the rows are already dirty
+      auto aug_train =
+          weak::AugmentErTrainingPairs(bench.left, &right_aug, train, acfg);
+      er::DeepEr augmented(&words, dcfg);
+      augmented.FitWeights({&bench.left, &right_aug});
+      augmented.Train(bench.left, right_aug, aug_train);
+      er::PrfScore s_aug = er::Evaluate(
+          augmented.Match(bench.left, bench.right, all, 0.9), bench.matches);
+      PrintRow({FmtInt(n), Fmt(s_plain.f1), Fmt(s_aug.f1)});
+      // Gate only the interesting low-label corner (and keep the label
+      // count stable across quick/full runs).
+      if (labels == 15) {
+        b.Report("labels_15",
+                 {{"plain_f1", s_plain.f1}, {"augmented_f1", s_aug.f1}});
+      }
+    }
+
+    // ---- Part 2: weak supervision on candidate pairs -------------------
+    PrintHeader(
+        "Experiment C5b — weak supervision: label model vs majority vote",
+        "Labeling functions over candidate pairs (name similarity, price\n"
+        "gap, category equality, a deliberately-noisy heuristic). Shape:\n"
+        "the EM label model learns LF accuracies and beats majority vote.");
+
+    // Candidate pairs: blocked cross product (keeps it balanced enough).
+    auto candidates = er::AttributeBlocking(bench.left, bench.right, 0);
+    std::vector<int> truth;
+    for (const er::RowPair& p : candidates) {
+      truth.push_back(datagen::IsMatch(bench, p.first, p.second) ? 1 : 0);
+    }
+
+    std::vector<weak::LabelingFunction> lfs;
+    lfs.push_back({"jaccard>0.55", [&](size_t i) {
+                     double s = text::TokenJaccard(
+                         RowText(bench.left.row(candidates[i].first)),
+                         RowText(bench.right.row(candidates[i].second)));
+                     if (s > 0.55) return 1;
+                     if (s < 0.2) return 0;
+                     return weak::kAbstain;
+                   }});
+    lfs.push_back({"price within 10%", [&](size_t i) {
+                     const data::Value& a =
+                         bench.left.at(candidates[i].first, 3);
+                     const data::Value& b2 =
+                         bench.right.at(candidates[i].second, 3);
+                     if (a.is_null() || b2.is_null()) return weak::kAbstain;
+                     double x = a.ToNumeric(), y = b2.ToNumeric();
+                     double rel = std::fabs(x - y) / std::max({x, y, 1e-9});
+                     return rel < 0.1 ? 1 : 0;
+                   }});
+    lfs.push_back({"model jw>0.8", [&](size_t i) {
+                     const data::Value& a =
+                         bench.left.at(candidates[i].first, 1);
+                     const data::Value& b2 =
+                         bench.right.at(candidates[i].second, 1);
+                     if (a.is_null() || b2.is_null()) return weak::kAbstain;
+                     return text::JaroWinklerSimilarity(a.ToString(),
+                                                        b2.ToString()) > 0.8
+                                ? 1
+                                : 0;
+                   }});
+    // Deliberately poor LF: same category => match (brands share cats).
+    lfs.push_back({"same category (noisy)", [&](size_t i) {
+                     const data::Value& a =
+                         bench.left.at(candidates[i].first, 2);
+                     const data::Value& b2 =
+                         bench.right.at(candidates[i].second, 2);
+                     if (a.is_null() || b2.is_null()) return weak::kAbstain;
+                     return a.ToString() == b2.ToString() ? 1 : 0;
+                   }});
+
+    auto votes = weak::ApplyLabelingFunctions(lfs, candidates.size());
+    auto mv = weak::MajorityVote(votes);
+    weak::LabelModel model;
+    auto lm = model.FitPredict(votes);
+
+    auto accuracy = [&](const std::vector<double>& probs) {
+      size_t hit = 0;
+      for (size_t i = 0; i < probs.size(); ++i) {
+        if ((probs[i] >= 0.5 ? 1 : 0) == truth[i]) ++hit;
+      }
+      return static_cast<double>(hit) / probs.size();
+    };
+    double mv_acc = accuracy(mv);
+    double lm_acc = accuracy(lm);
+    PrintRow({"method", "label acc"});
+    PrintRow({"majority vote", Fmt(mv_acc)});
+    PrintRow({"generative label model", Fmt(lm_acc)});
+    std::printf("\nlearned LF accuracies:\n");
+    for (size_t j = 0; j < lfs.size(); ++j) {
+      std::printf("  %-24s %.3f\n", lfs[j].name.c_str(),
+                  model.accuracies()[j]);
+    }
+    b.Report("label_model", {{"majority_vote_accuracy", mv_acc},
+                             {"label_model_accuracy", lm_acc}});
+    return 0;
+  });
 }

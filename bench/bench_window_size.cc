@@ -6,7 +6,7 @@
 // ALL cells of a tuple regardless of position).
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "bench/harness.h"
 #include "src/common/rng.h"
 #include "src/data/table_graph.h"
 #include "src/embedding/graph_embedding.h"
@@ -69,38 +69,49 @@ double PairedSimilarity(const embedding::EmbeddingStore& store,
 
 }  // namespace
 
-int main() {
-  PrintHeader(
-      "Experiment C7 — window size vs attribute distance (Sec. 3.1)",
+int main(int argc, char** argv) {
+  BenchSpec spec;
+  spec.name = "window_size";
+  spec.experiment =
+      "Experiment C7 — window size vs attribute distance (Sec. 3.1)";
+  spec.claim =
       "Mean cosine(country, its capital) as the two columns move apart.\n"
       "Naive word2vec (W=3) decays once |i-j| > W; the table graph's\n"
-      "co-occurrence edges are position-independent.");
+      "co-occurrence edges are position-independent.";
+  spec.default_seed = 9;
+  return BenchMain(argc, argv, spec, [](Bench& b) {
+    const size_t rows = b.Size(300, 150);
+    PrintRow({"attribute distance", "naive W=3", "graph"});
+    for (size_t distance : {1, 2, 3, 5, 8}) {
+      data::Table t = MakeTable(distance, rows, b.seed());
+      embedding::Word2VecConfig wcfg;
+      wcfg.sgns.dim = 16;
+      wcfg.sgns.window = 3;
+      wcfg.sgns.epochs = 8;
+      wcfg.sgns.seed = 5;
+      embedding::EmbeddingStore naive =
+          embedding::TrainCellEmbeddingsNaive({&t}, wcfg);
 
-  PrintRow({"attribute distance", "naive W=3", "graph"});
-  for (size_t distance : {1, 2, 3, 5, 8}) {
-    data::Table t = MakeTable(distance, 300, 9);
-    embedding::Word2VecConfig wcfg;
-    wcfg.sgns.dim = 16;
-    wcfg.sgns.window = 3;
-    wcfg.sgns.epochs = 8;
-    wcfg.sgns.seed = 5;
-    embedding::EmbeddingStore naive =
-        embedding::TrainCellEmbeddingsNaive({&t}, wcfg);
+      data::TableGraph graph = data::TableGraph::Build(t, {});
+      embedding::GraphEmbeddingConfig gcfg;
+      gcfg.sgns.dim = 16;
+      gcfg.sgns.epochs = 4;
+      gcfg.sgns.seed = 5;
+      gcfg.walks_per_node = 5;
+      gcfg.walk_length = 6;
+      embedding::EmbeddingStore graph_store =
+          embedding::TrainTableGraphEmbeddings(graph, t.schema(), gcfg);
 
-    data::TableGraph graph = data::TableGraph::Build(t, {});
-    embedding::GraphEmbeddingConfig gcfg;
-    gcfg.sgns.dim = 16;
-    gcfg.sgns.epochs = 4;
-    gcfg.sgns.seed = 5;
-    gcfg.walks_per_node = 5;
-    gcfg.walk_length = 6;
-    embedding::EmbeddingStore graph_store =
-        embedding::TrainTableGraphEmbeddings(graph, t.schema(), gcfg);
-
-    PrintRow({"|i-j| = " + FmtInt(distance),
-              Fmt(PairedSimilarity(naive, false, t.schema(), distance)),
-              Fmt(PairedSimilarity(graph_store, true, t.schema(),
-                                   distance))});
-  }
-  return 0;
+      double naive_sim = PairedSimilarity(naive, false, t.schema(), distance);
+      double graph_sim =
+          PairedSimilarity(graph_store, true, t.schema(), distance);
+      PrintRow({"|i-j| = " + FmtInt(distance), Fmt(naive_sim),
+                Fmt(graph_sim)});
+      if (distance == 1 || distance == 8) {
+        b.Report("distance_" + FmtInt(distance),
+                 {{"naive_sim", naive_sim}, {"graph_sim", graph_sim}});
+      }
+    }
+    return 0;
+  });
 }

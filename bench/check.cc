@@ -1,0 +1,292 @@
+#include "bench/check.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace autodc::bench {
+
+namespace {
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool Contains(const std::string& s, const std::string& needle) {
+  return s.find(needle) != std::string::npos;
+}
+
+}  // namespace
+
+MetricDirection DirectionForMetric(const std::string& name) {
+  static const char* kLowerSuffixes[] = {"_ns", "_us", "_ms",      "_s",
+                                         "_seconds", "_bytes", "_err",
+                                         "_error",   "_pct"};
+  static const char* kHigherSuffixes[] = {"speedup",  "gflops",   "_per_s",
+                                          "f1",       "recall",   "precision",
+                                          "accuracy", "hit_rate", "top1",
+                                          "top3"};
+  for (const char* s : kLowerSuffixes) {
+    if (EndsWith(name, s)) return MetricDirection::kLowerIsBetter;
+  }
+  if (name == "wall_ms" || Contains(name, "loss") ||
+      Contains(name, "overhead") || Contains(name, "dropped")) {
+    return MetricDirection::kLowerIsBetter;
+  }
+  for (const char* s : kHigherSuffixes) {
+    if (EndsWith(name, s)) return MetricDirection::kHigherIsBetter;
+  }
+  return MetricDirection::kTwoSided;
+}
+
+namespace {
+
+double ToleranceFor(const JsonValue& baseline_doc, const std::string& result,
+                    const std::string& metric, const CheckOptions& options) {
+  const JsonValue* tolerances = baseline_doc.Find("tolerances");
+  if (tolerances != nullptr && tolerances->is_object()) {
+    if (const JsonValue* t = tolerances->Find(result + "." + metric)) {
+      if (t->is_number()) return t->number_value;
+    }
+    if (const JsonValue* t = tolerances->Find(metric)) {
+      if (t->is_number()) return t->number_value;
+    }
+    if (!options.tolerance_is_override) {
+      if (const JsonValue* t = tolerances->Find("default")) {
+        if (t->is_number()) return t->number_value;
+      }
+    }
+  }
+  return options.default_tolerance;
+}
+
+/// results[] array → map from row name to its metrics object.
+const JsonValue* FindResultRow(const JsonValue& doc, const std::string& name) {
+  const JsonValue* rows = doc.Find("results");
+  if (rows == nullptr || !rows->is_array()) return nullptr;
+  for (const JsonValue& row : rows->array) {
+    const JsonValue* row_name = row.Find("name");
+    if (row_name != nullptr && row_name->is_string() &&
+        row_name->string_value == name) {
+      return &row;
+    }
+  }
+  return nullptr;
+}
+
+std::string Pct(double frac) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0f%%", frac * 100.0);
+  return buf;
+}
+
+MetricCheckRow CompareMetric(const std::string& label,
+                             const std::string& result,
+                             const std::string& metric, double base,
+                             double cur, double tol) {
+  MetricCheckRow row;
+  row.label = label;
+  row.result = result;
+  row.metric = metric;
+  row.baseline = base;
+  row.current = cur;
+  row.tolerance = tol;
+  row.direction = DirectionForMetric(metric);
+  double delta = base != 0.0 ? (cur - base) / std::fabs(base) : 0.0;
+  switch (row.direction) {
+    case MetricDirection::kLowerIsBetter:
+      if (base == 0.0 ? cur > tol : delta > tol) {
+        row.ok = false;
+        row.note = "regressed +" + Pct(delta) + " (tol " + Pct(tol) + ")";
+      }
+      break;
+    case MetricDirection::kHigherIsBetter:
+      if (base == 0.0 ? cur < -tol : delta < -tol) {
+        row.ok = false;
+        row.note = "regressed " + Pct(delta) + " (tol " + Pct(tol) + ")";
+      }
+      break;
+    case MetricDirection::kTwoSided:
+      if (base == 0.0 ? std::fabs(cur) > tol : std::fabs(delta) > tol) {
+        row.ok = false;
+        row.note = "drifted " + Pct(delta) + " (two-sided tol " + Pct(tol) +
+                   ")";
+      }
+      break;
+  }
+  return row;
+}
+
+}  // namespace
+
+void CompareDocs(const std::string& label, const JsonValue& baseline,
+                 const JsonValue& results, const CheckOptions& options,
+                 CheckReport* report) {
+  const JsonValue* base_rows = baseline.Find("results");
+  if (base_rows == nullptr || !base_rows->is_array()) {
+    report->errors.push_back(label + ": baseline has no results[] array");
+    return;
+  }
+  for (const JsonValue& base_row : base_rows->array) {
+    const JsonValue* name = base_row.Find("name");
+    const JsonValue* base_metrics = base_row.Find("metrics");
+    if (name == nullptr || !name->is_string() || base_metrics == nullptr ||
+        !base_metrics->is_object()) {
+      report->errors.push_back(label +
+                               ": malformed baseline result row (needs "
+                               "\"name\" and \"metrics\")");
+      continue;
+    }
+    const std::string& result_name = name->string_value;
+    const JsonValue* cur_row = FindResultRow(results, result_name);
+    if (cur_row == nullptr) {
+      MetricCheckRow row;
+      row.label = label;
+      row.result = result_name;
+      row.ok = false;
+      row.note = "result row missing from current run";
+      report->rows.push_back(row);
+      continue;
+    }
+    const JsonValue* cur_metrics = cur_row->Find("metrics");
+    for (const auto& [metric, base_value] : base_metrics->object) {
+      double tol = ToleranceFor(baseline, result_name, metric, options);
+      MetricCheckRow row;
+      row.label = label;
+      row.result = result_name;
+      row.metric = metric;
+      row.tolerance = tol;
+      if (base_value.is_null()) {
+        // The writer maps NaN/Inf to null ("not measured") — nothing to
+        // gate on.
+        row.note = "skipped: baseline value is null";
+        report->rows.push_back(row);
+        continue;
+      }
+      if (!base_value.is_number()) {
+        row.ok = false;
+        row.note = "baseline value is not a number";
+        report->rows.push_back(row);
+        continue;
+      }
+      const JsonValue* cur_value =
+          cur_metrics != nullptr ? cur_metrics->Find(metric) : nullptr;
+      if (cur_value == nullptr) {
+        row.ok = false;
+        row.baseline = base_value.number_value;
+        row.note = "metric missing from current run";
+        report->rows.push_back(row);
+        continue;
+      }
+      if (!cur_value->is_number()) {
+        row.ok = false;
+        row.baseline = base_value.number_value;
+        row.note = cur_value->is_null() ? "metric became null (NaN/Inf)"
+                                        : "metric is not a number";
+        report->rows.push_back(row);
+        continue;
+      }
+      report->rows.push_back(CompareMetric(label, result_name, metric,
+                                           base_value.number_value,
+                                           cur_value->number_value, tol));
+    }
+  }
+}
+
+CheckReport CheckDirs(const std::string& baseline_dir,
+                      const std::string& results_dir,
+                      const CheckOptions& options) {
+  namespace fs = std::filesystem;
+  CheckReport report;
+  std::error_code ec;
+  std::vector<fs::path> baselines;
+  for (const auto& entry : fs::directory_iterator(baseline_dir, ec)) {
+    const fs::path& p = entry.path();
+    if (p.extension() == ".json" &&
+        p.filename().string().rfind("BENCH_", 0) == 0) {
+      baselines.push_back(p);
+    }
+  }
+  if (ec) {
+    report.errors.push_back("cannot read baseline dir '" + baseline_dir +
+                            "': " + ec.message());
+    return report;
+  }
+  if (baselines.empty()) {
+    report.errors.push_back("no BENCH_*.json baselines under '" +
+                            baseline_dir + "'");
+    return report;
+  }
+  std::sort(baselines.begin(), baselines.end());
+
+  auto load = [&report](const fs::path& path,
+                        JsonValue* out) {
+    std::ifstream in(path);
+    if (!in) {
+      report.errors.push_back("cannot open '" + path.string() + "'");
+      return false;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    Result<JsonValue> parsed = ParseJson(buffer.str());
+    if (!parsed.ok()) {
+      report.errors.push_back("'" + path.string() +
+                              "': " + parsed.status().ToString());
+      return false;
+    }
+    *out = std::move(parsed).ValueOrDie();
+    return true;
+  };
+
+  for (const fs::path& base_path : baselines) {
+    // BENCH_kernels.json -> label "kernels"
+    std::string stem = base_path.stem().string();
+    std::string label =
+        stem.rfind("BENCH_", 0) == 0 ? stem.substr(6) : stem;
+    fs::path results_path = fs::path(results_dir) / base_path.filename();
+    if (!fs::exists(results_path)) {
+      report.errors.push_back(label + ": no results file '" +
+                              results_path.string() +
+                              "' (bench not run with --out?)");
+      continue;
+    }
+    JsonValue baseline, results;
+    if (!load(base_path, &baseline) || !load(results_path, &results)) {
+      continue;
+    }
+    CompareDocs(label, baseline, results, options, &report);
+  }
+  return report;
+}
+
+std::string FormatCheckReport(const CheckReport& report, bool verbose) {
+  std::ostringstream os;
+  size_t compared = 0;
+  for (const MetricCheckRow& row : report.rows) {
+    if (!row.metric.empty() && row.note.rfind("skipped", 0) != 0) ++compared;
+    if (!verbose && row.ok) continue;
+    char line[512];
+    std::snprintf(line, sizeof(line),
+                  "%-6s %-18s %-28s %-16s base=%-12.6g cur=%-12.6g %s\n",
+                  row.ok ? "ok" : "FAIL", row.label.c_str(),
+                  (row.result + (row.metric.empty() ? "" : "." + row.metric))
+                      .c_str(),
+                  row.note.empty() ? "within tolerance" : row.note.c_str(),
+                  row.baseline, row.current,
+                  row.ok ? "" : "<<<");
+    os << line;
+  }
+  for (const std::string& err : report.errors) {
+    os << "ERROR  " << err << "\n";
+  }
+  os << "bench_check: " << compared << " metrics compared, "
+     << report.failures() << " regressed, " << report.errors.size()
+     << " errors -> " << (report.ok() ? "PASS" : "FAIL") << "\n";
+  return os.str();
+}
+
+}  // namespace autodc::bench

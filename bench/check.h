@@ -1,0 +1,95 @@
+#ifndef AUTODC_BENCH_CHECK_H_
+#define AUTODC_BENCH_CHECK_H_
+
+// The comparison half of the bench regression harness: joins a
+// committed baseline document (bench/baselines/BENCH_<name>.json) with
+// a fresh results document (a --out file from the same bench) on
+// (result name, metric name) and classifies each metric as within
+// tolerance or regressed. tools/bench_check is a thin CLI over
+// CheckDirs(); tests drive CompareDocs() directly.
+//
+// Tolerances are fractional bands. Lookup order for metric `m` of
+// result `r`: the baseline file's "tolerances" object at key "r.m",
+// then "m", then "default"; then the caller's default (CLI --tolerance,
+// which overrides the file's "default" when given). Direction is
+// derived from the metric name (DirectionForMetric): wall-clock-ish
+// names regress only when they grow, quality-ish names only when they
+// shrink, everything else is two-sided.
+
+#include <string>
+#include <vector>
+
+#include "src/common/json_parse.h"
+
+namespace autodc::bench {
+
+enum class MetricDirection {
+  kLowerIsBetter,   ///< times, bytes, losses, error rates
+  kHigherIsBetter,  ///< speedups, throughput, F1/recall/accuracy
+  kTwoSided,        ///< anything else: drift either way is a failure
+};
+
+/// Classifies a metric name by suffix/stem conventions used across the
+/// bench tree (_ns/_us/_ms/_s/_bytes/loss/error → lower; speedup/
+/// gflops/_per_s/f1/recall/precision/accuracy/hit_rate → higher).
+MetricDirection DirectionForMetric(const std::string& name);
+
+struct CheckOptions {
+  double default_tolerance = 0.35;
+  /// True when the caller set default_tolerance explicitly (CLI
+  /// --tolerance); it then overrides the baseline file's "default".
+  bool tolerance_is_override = false;
+};
+
+/// One compared metric (or a structural problem with one).
+struct MetricCheckRow {
+  std::string label;   ///< bench/file label, e.g. "kernels"
+  std::string result;  ///< result row name, e.g. "dot_n4096"
+  std::string metric;
+  double baseline = 0.0;
+  double current = 0.0;
+  double tolerance = 0.0;
+  MetricDirection direction = MetricDirection::kTwoSided;
+  bool ok = true;
+  std::string note;  ///< human explanation when !ok (or "skipped: ...")
+};
+
+struct CheckReport {
+  std::vector<MetricCheckRow> rows;
+  /// File-level problems: unreadable/malformed docs, missing results
+  /// files. Any entry fails the check.
+  std::vector<std::string> errors;
+
+  size_t failures() const {
+    size_t n = 0;
+    for (const MetricCheckRow& r : rows) {
+      if (!r.ok) ++n;
+    }
+    return n;
+  }
+  bool ok() const { return failures() == 0 && errors.empty(); }
+};
+
+/// Compares one parsed baseline doc against one parsed results doc.
+/// Every baseline metric must be present and within band in `results`;
+/// extra metrics/results in `results` are ignored (new benches don't
+/// fail old baselines). Appends rows/errors to `report`.
+void CompareDocs(const std::string& label, const JsonValue& baseline,
+                 const JsonValue& results, const CheckOptions& options,
+                 CheckReport* report);
+
+/// Directory driver: for every BENCH_*.json under `baseline_dir`,
+/// parses it and its namesake under `results_dir` and compares. A
+/// baseline without a results file, or either side failing to parse,
+/// is a file-level error.
+CheckReport CheckDirs(const std::string& baseline_dir,
+                      const std::string& results_dir,
+                      const CheckOptions& options);
+
+/// Human rendering: one line per failed metric (plus a summary); with
+/// `verbose` every compared metric gets a line.
+std::string FormatCheckReport(const CheckReport& report, bool verbose);
+
+}  // namespace autodc::bench
+
+#endif  // AUTODC_BENCH_CHECK_H_

@@ -2,8 +2,9 @@
 
 #include <cctype>
 #include <cerrno>
-#include <cstdio>
 #include <cstdlib>
+
+#include "src/obs/log.h"
 
 namespace autodc {
 
@@ -11,9 +12,8 @@ namespace {
 
 void Warn(const char* name, const char* value, const char* reason,
           size_t fallback) {
-  std::fprintf(stderr,
-               "[autodc] warning: ignoring %s='%s' (%s); using default %zu\n",
-               name, value, reason, fallback);
+  AUTODC_LOG(WARN) << "ignoring " << name << "='" << value << "' (" << reason
+                   << "); using default " << fallback;
 }
 
 }  // namespace

@@ -1,0 +1,57 @@
+#ifndef AUTODC_COMMON_JSON_PARSE_H_
+#define AUTODC_COMMON_JSON_PARSE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+// The read half of common/json.h: a small strict RFC 8259 parser for
+// the JSON this tree itself emits (RESULT_JSON envelopes, BENCH_*.json
+// baseline files, METRICS_JSON snapshots, Chrome trace files). Parses
+// into a plain value tree; no streaming, no comments, no trailing
+// commas. Errors come back as Status with a byte offset so a truncated
+// or hand-mangled baseline file names its own corruption.
+namespace autodc {
+
+/// One parsed JSON value. Numbers are always doubles (the writers in
+/// common/json.h emit %.6g, so nothing in-tree needs 64-bit exactness).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Convenience accessors with fallbacks (never throw).
+  double NumberOr(double fallback) const {
+    return is_number() ? number_value : fallback;
+  }
+  std::string StringOr(const std::string& fallback) const {
+    return is_string() ? string_value : fallback;
+  }
+};
+
+/// Parses one complete JSON document. Trailing non-whitespace after the
+/// document, unterminated strings, bad escapes, and nesting deeper than
+/// 64 levels are all kInvalidArgument with a byte offset in the message.
+Result<JsonValue> ParseJson(const std::string& text);
+
+}  // namespace autodc
+
+#endif  // AUTODC_COMMON_JSON_PARSE_H_

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "src/obs/log.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -47,10 +48,15 @@ Status Pipeline::Run(PipelineContext* context) const {
         obs::MetricsRegistry::Global()
             .GetGauge("pipeline.stage." + stage->name() + ".wall_ms")
             ->Set(ms);
+        AUTODC_LOG(INFO) << "pipeline: stage '" << stage->name() << "' "
+                         << (s.ok() ? "done" : "FAILED") << " in " << ms
+                         << " ms";
       }
 #endif
     }
     if (!s.ok()) {
+      AUTODC_LOG(ERROR) << "pipeline: stage '" << stage->name()
+                        << "' failed: " << s.message();
       return Status(s.code(),
                     "stage '" + stage->name() + "': " + s.message());
     }

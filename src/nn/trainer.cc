@@ -7,6 +7,7 @@
 
 #include "src/nn/serialize.h"
 #include "src/nn/tensor_pool.h"
+#include "src/obs/log.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -88,6 +89,7 @@ TrainResult Trainer::Run(size_t num_examples, Rng* rng, Optimizer* optimizer,
       result.diagnostics.push_back(
           "validation disabled: need >= 2 examples to split, have " +
           std::to_string(num_examples));
+      AUTODC_LOG(WARN) << "trainer: " << result.diagnostics.back();
     } else {
       size_t val_n = static_cast<size_t>(
           static_cast<double>(num_examples) * options_.validation_fraction);
@@ -101,6 +103,7 @@ TrainResult Trainer::Run(size_t num_examples, Rng* rng, Optimizer* optimizer,
             "validation fraction " +
             std::to_string(options_.validation_fraction) + " rounded to 0 of " +
             std::to_string(num_examples) + " examples; clamped to 1");
+        AUTODC_LOG(WARN) << "trainer: " << result.diagnostics.back();
       } else if (val_n >= num_examples) {
         val_n = num_examples - 1;
         result.diagnostics.push_back(
@@ -108,6 +111,7 @@ TrainResult Trainer::Run(size_t num_examples, Rng* rng, Optimizer* optimizer,
             std::to_string(options_.validation_fraction) +
             " would leave no training examples; clamped to " +
             std::to_string(val_n) + " of " + std::to_string(num_examples));
+        AUTODC_LOG(WARN) << "trainer: " << result.diagnostics.back();
       }
       rng->Shuffle(&train_idx);
       val_idx.assign(train_idx.end() - static_cast<ptrdiff_t>(val_n),
@@ -222,6 +226,12 @@ TrainResult Trainer::Run(size_t num_examples, Rng* rng, Optimizer* optimizer,
       AUTODC_OBS_GAUGE_SET("trainer.val_loss", stats.val_loss);
     }
     AUTODC_OBS_GAUGE_SET("trainer.lr", static_cast<double>(stats.lr));
+    AUTODC_LOG(DEBUG) << "trainer: epoch " << epoch + 1 << "/"
+                      << options_.epochs << " train_loss=" << train_loss
+                      << (monitor_val
+                              ? " val_loss=" + std::to_string(val_loss)
+                              : std::string())
+                      << " lr=" << lr << " wall_ms=" << stats.wall_ms;
     if (options_.epoch_callback) options_.epoch_callback(stats);
 
     if (options_.checkpoint_every > 0 && !options_.checkpoint_path.empty() &&
@@ -231,6 +241,9 @@ TrainResult Trainer::Run(size_t num_examples, Rng* rng, Optimizer* optimizer,
         AUTODC_OBS_INC("trainer.checkpoints_saved");
       } else {
         AUTODC_OBS_INC("trainer.checkpoint_failures");
+        AUTODC_LOG(WARN) << "trainer: checkpoint save to '"
+                         << options_.checkpoint_path
+                         << "' failed: " << s.ToString();
         result.checkpoint_status = s;
       }
     }
@@ -248,6 +261,9 @@ TrainResult Trainer::Run(size_t num_examples, Rng* rng, Optimizer* optimizer,
                  options_.early_stopping_patience) {
         result.stopped_early = true;
         AUTODC_OBS_INC("trainer.early_stop_events");
+        AUTODC_LOG(INFO) << "trainer: early stop after epoch " << epoch + 1
+                         << " (best " << result.best_loss << " at epoch "
+                         << result.best_epoch + 1 << ")";
         break;
       }
     }

@@ -8,6 +8,7 @@
 
 #include "src/common/env.h"
 #include "src/common/json.h"
+#include "src/obs/log.h"
 #include "src/obs/trace.h"
 
 namespace autodc::obs {
@@ -42,7 +43,7 @@ std::string JsonArray(const std::vector<uint64_t>& v) {
 
 std::string FormatText(const MetricsSnapshot& snapshot,
                        const std::vector<SpanRecord>& spans,
-                       size_t max_spans) {
+                       size_t max_spans, uint64_t spans_dropped) {
   std::ostringstream os;
   os << "=== autodc metrics snapshot ===\n";
   if (!snapshot.counters.empty()) {
@@ -86,6 +87,7 @@ std::string FormatText(const MetricsSnapshot& snapshot,
   }
   if (max_spans > 0 && !spans.empty()) {
     os << "spans (" << spans.size() << " recorded";
+    if (spans_dropped > 0) os << ", " << spans_dropped << " DROPPED";
     if (spans.size() > max_spans) {
       os << ", last " << max_spans << " shown";
     }
@@ -134,7 +136,7 @@ std::string FormatJson(const MetricsSnapshot& snapshot) {
 bool WriteSnapshot(const std::string& target) {
   MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
   std::vector<SpanRecord> spans = TakeSpans();
-  std::string text = FormatText(snap, spans);
+  std::string text = FormatText(snap, spans, /*max_spans=*/40, SpansDropped());
   std::string json = "METRICS_JSON " + FormatJson(snap) + "\n";
   if (target == "stderr") {
     std::fputs(text.c_str(), stderr);
@@ -148,9 +150,7 @@ bool WriteSnapshot(const std::string& target) {
   }
   std::ofstream out(target, std::ios::app);
   if (!out) {
-    std::fprintf(stderr,
-                 "[autodc] warning: AUTODC_METRICS: cannot open '%s'\n",
-                 target.c_str());
+    AUTODC_LOG(WARN) << "AUTODC_METRICS: cannot open '" << target << "'";
     return false;
   }
   out << text << json;

@@ -16,10 +16,12 @@ namespace autodc::obs {
 /// Multi-line human-readable rendering: counters, gauges, histograms
 /// (with bucket rows), then the most recent spans. `max_spans` bounds
 /// the span section (0 = omit spans entirely). Draining spans is left
-/// to the caller — pass TakeSpans() output.
+/// to the caller — pass TakeSpans() output; a nonzero `spans_dropped`
+/// (pass SpansDropped()) is called out in the span section header so
+/// buffer overflow is never silent.
 std::string FormatText(const MetricsSnapshot& snapshot,
                        const std::vector<SpanRecord>& spans = {},
-                       size_t max_spans = 40);
+                       size_t max_spans = 40, uint64_t spans_dropped = 0);
 
 /// One-line JSON object:
 ///   {"counters":{...},"gauges":{...},

@@ -1,0 +1,200 @@
+#include "src/obs/log.h"
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <mutex>
+
+#include "src/common/env.h"
+#include "src/common/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace autodc::obs {
+
+namespace {
+
+// Sink state. Leaky (like the metrics registry) so records emitted from
+// atexit hooks — the AUTODC_METRICS/AUTODC_TRACE dumps log their own
+// open failures — never touch a destroyed object.
+struct LogState {
+  std::mutex mu;
+  std::ofstream file;
+  std::string file_path;
+  void (*test_sink)(const LogRecord&) = nullptr;
+};
+
+LogState& State() {
+  static auto* state = new LogState();
+  return *state;
+}
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+const char* Basename(const char* path) {
+  const char* base = path;
+  for (const char* p = path; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  return base;
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+bool ParseLogLevel(const std::string& text, LogLevel* out) {
+  std::string t;
+  t.reserve(text.size());
+  for (char c : text) {
+    t.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (t == "debug") *out = LogLevel::kDebug;
+  else if (t == "info") *out = LogLevel::kInfo;
+  else if (t == "warn" || t == "warning") *out = LogLevel::kWarn;
+  else if (t == "error") *out = LogLevel::kError;
+  else if (t == "off" || t == "none") *out = LogLevel::kOff;
+  else return false;
+  return true;
+}
+
+namespace internal {
+
+int LoadedLogLevel() {
+  static bool loaded = [] {
+    std::string text = EnvString("AUTODC_LOG_LEVEL");
+    if (!text.empty()) {
+      LogLevel level;
+      if (ParseLogLevel(text, &level)) {
+        g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+      } else {
+        // Not AUTODC_LOG: a broken level knob must warn unconditionally.
+        std::fprintf(stderr,
+                     "[autodc] warning: AUTODC_LOG_LEVEL: unknown level "
+                     "'%s', using warn\n",
+                     text.c_str());
+      }
+    }
+    std::string path = EnvString("AUTODC_LOG_FILE");
+    if (!path.empty()) SetLogFile(path);
+    return true;
+  }();
+  (void)loaded;
+  return g_level.load(std::memory_order_relaxed);
+}
+
+}  // namespace internal
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(internal::LoadedLogLevel());
+}
+
+void SetLogLevel(LogLevel level) {
+  internal::LoadedLogLevel();  // keep env load ordering deterministic
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool SetLogFile(const std::string& path) {
+  LogState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (state.file.is_open()) state.file.close();
+  state.file_path.clear();
+  if (path.empty()) return true;
+  state.file.open(path, std::ios::app);
+  if (!state.file) {
+    std::fprintf(stderr,
+                 "[autodc] warning: AUTODC_LOG_FILE: cannot open '%s'\n",
+                 path.c_str());
+    return false;
+  }
+  state.file_path = path;
+  return true;
+}
+
+void SetLogSinkForTest(void (*fn)(const LogRecord&)) {
+  LogState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.test_sink = fn;
+}
+
+std::string FormatLogText(const LogRecord& record) {
+  std::time_t secs = static_cast<std::time_t>(record.wall_ms / 1000);
+  int ms = static_cast<int>(record.wall_ms % 1000);
+  std::tm tm_utc{};
+  gmtime_r(&secs, &tm_utc);
+  char ts[96];
+  std::snprintf(ts, sizeof(ts), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
+                tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec, ms);
+  std::string out = "[";
+  out += ts;
+  out += " ";
+  out += LogLevelName(record.level)[0];  // single-letter severity
+  out += " ";
+  out += record.file + ":" + std::to_string(record.line);
+  out += " t" + std::to_string(record.thread);
+  out += " s" + std::to_string(record.span_id);
+  out += "] " + record.message;
+  return out;
+}
+
+std::string FormatLogJson(const LogRecord& record) {
+  std::string level = LogLevelName(record.level);
+  for (char& c : level) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  JsonObject o;
+  o.SetRaw("ts_ms", std::to_string(record.wall_ms))
+      .Set("level", level)
+      .Set("file", record.file)
+      .Set("line", static_cast<size_t>(record.line > 0 ? record.line : 0))
+      .Set("thread", static_cast<size_t>(record.thread))
+      .SetRaw("span", std::to_string(record.span_id))
+      .Set("msg", record.message);
+  return o.str();
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) {
+  record_.level = level;
+  record_.file = Basename(file);
+  record_.line = line;
+  record_.thread = static_cast<uint32_t>(Slot());
+  record_.span_id = CurrentSpanId();
+  record_.wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::system_clock::now().time_since_epoch())
+                        .count();
+}
+
+LogMessage::~LogMessage() {
+  record_.message = stream_.str();
+  LogState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (state.test_sink != nullptr) {
+    state.test_sink(record_);
+    return;
+  }
+  std::string text = FormatLogText(record_) + "\n";
+  std::fputs(text.c_str(), stderr);
+  if (state.file.is_open()) {
+    state.file << FormatLogJson(record_) << "\n";
+    state.file.flush();
+  }
+}
+
+}  // namespace internal
+
+}  // namespace autodc::obs

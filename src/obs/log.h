@@ -1,0 +1,143 @@
+#ifndef AUTODC_OBS_LOG_H_
+#define AUTODC_OBS_LOG_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+// Leveled structured logging for the library's diagnostics, the third
+// leg of the obs layer (metrics count, spans time, logs explain).
+//
+//   AUTODC_LOG(WARN) << "checkpoint save failed: " << status;
+//
+// Each record carries level, source location, the recording thread's
+// obs slot, and — the correlation hook — the innermost live Span id at
+// emit time, so a warning in a trace-instrumented region can be lined
+// up against the trace event that contains it.
+//
+// Sinks: a human text sink on stderr (always on, gated by level) and an
+// optional JSON-lines machine sink (one JsonObject per record, shared
+// common/json escaping) appended to a file. Env knobs, parsed through
+// common/env.h semantics:
+//
+//   AUTODC_LOG_LEVEL = debug|info|warn|error|off   (default warn)
+//   AUTODC_LOG_FILE  = <path>                      (JSONL sink, append)
+//
+// Under AUTODC_DISABLE_OBS the macro compiles to a dead branch: stream
+// arguments are never evaluated and the optimizer deletes the whole
+// statement, same contract as AUTODC_OBS_* and Span.
+namespace autodc::obs {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,  ///< threshold-only: nothing logs at or above this
+};
+
+/// Stable uppercase name ("DEBUG".."ERROR", "OFF").
+const char* LogLevelName(LogLevel level);
+
+/// Parses "debug"/"info"/"warn"(/"warning")/"error"/"off", any case.
+/// Returns false (out untouched) on anything else.
+bool ParseLogLevel(const std::string& text, LogLevel* out);
+
+/// The active threshold. First call reads AUTODC_LOG_LEVEL (default
+/// kWarn) and AUTODC_LOG_FILE.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+/// Points the JSONL sink at `path` (append), replacing any previous
+/// sink; empty closes it. Returns false when the file cannot be opened
+/// (the sink is then closed). SetLogFile("") + SetLogLevel restore a
+/// test-mangled config.
+bool SetLogFile(const std::string& path);
+
+/// True when a record at `level` would be emitted.
+inline bool LogLevelEnabled(LogLevel level);
+
+/// One materialized record, exposed for the formatters and tests.
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  std::string file;      ///< basename of the emitting source file
+  int line = 0;
+  uint32_t thread = 0;   ///< obs thread slot
+  uint64_t span_id = 0;  ///< innermost live Span at emit time (0 = none)
+  int64_t wall_ms = 0;   ///< unix wall clock, milliseconds
+  std::string message;
+};
+
+/// `[2026-08-06T12:34:56.789Z W env.cc:14 t0 s17] message`
+std::string FormatLogText(const LogRecord& record);
+/// `{"ts_ms":...,"level":"warn","file":"env.cc","line":14,"thread":0,
+///   "span":17,"msg":"..."}`
+std::string FormatLogJson(const LogRecord& record);
+
+/// Test hook: when set, records bypass both real sinks and go to `fn`
+/// instead (nullptr restores normal sinks). Not thread-safe against
+/// concurrent logging — install before the threads start.
+void SetLogSinkForTest(void (*fn)(const LogRecord&));
+
+namespace internal {
+
+/// Loads env config on first call, then returns the live threshold.
+int LoadedLogLevel();
+
+/// Builds one record and streams into it; the destructor dispatches to
+/// the sinks. Use via AUTODC_LOG, never directly.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogRecord record_;
+  std::ostringstream stream_;
+};
+
+/// Swallows streamed arguments in the dead branch of the disabled
+/// macro; everything folds to nothing at -O2.
+struct NullLogStream {
+  template <typename T>
+  NullLogStream& operator<<(const T&) {
+    return *this;
+  }
+  NullLogStream& operator<<(std::ostream& (*)(std::ostream&)) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+inline bool LogLevelEnabled(LogLevel level) {
+  return static_cast<int>(level) >= internal::LoadedLogLevel();
+}
+
+}  // namespace autodc::obs
+
+// Severity tokens for the macro: AUTODC_LOG(INFO), AUTODC_LOG(WARN), ...
+#define AUTODC_LOG_LEVEL_DEBUG ::autodc::obs::LogLevel::kDebug
+#define AUTODC_LOG_LEVEL_INFO ::autodc::obs::LogLevel::kInfo
+#define AUTODC_LOG_LEVEL_WARN ::autodc::obs::LogLevel::kWarn
+#define AUTODC_LOG_LEVEL_ERROR ::autodc::obs::LogLevel::kError
+
+#ifdef AUTODC_DISABLE_OBS
+// Dead-branch no-op: arguments compile but never run.
+#define AUTODC_LOG(severity) \
+  if (true) {                \
+  } else                     \
+    ::autodc::obs::internal::NullLogStream()
+#else
+#define AUTODC_LOG(severity)                                          \
+  if (!::autodc::obs::LogLevelEnabled(AUTODC_LOG_LEVEL_##severity)) { \
+  } else                                                              \
+    ::autodc::obs::internal::LogMessage(AUTODC_LOG_LEVEL_##severity,  \
+                                        __FILE__, __LINE__)           \
+        .stream()
+#endif  // AUTODC_DISABLE_OBS
+
+#endif  // AUTODC_OBS_LOG_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/obs/export.h"
+#include "src/obs/trace_export.h"
 
 namespace autodc::obs {
 
@@ -108,6 +109,7 @@ MetricsRegistry& MetricsRegistry::Global() {
   static MetricsRegistry* registry = [] {
     auto* r = new MetricsRegistry();
     InstallExitDumpFromEnv();
+    InstallTraceDumpFromEnv();
     return r;
   }();
   return *registry;

@@ -5,6 +5,8 @@
 #include <memory>
 #include <mutex>
 
+#include "src/obs/trace_export.h"
+
 namespace autodc::obs {
 
 namespace {
@@ -58,6 +60,9 @@ thread_local std::vector<uint64_t> t_span_stack;
 Span::Span(std::string name) : name_(std::move(name)) {
   active_ = Enabled();
   if (!active_) return;
+  // AUTODC_TRACE must work even when nothing ever touches the metrics
+  // registry; the first live span arms the atexit drain.
+  InstallTraceDumpFromEnv();
   id_ = NextSpanId();
   parent_id_ = t_span_stack.empty() ? 0 : t_span_stack.back();
   depth_ = static_cast<uint32_t>(t_span_stack.size());
@@ -93,12 +98,19 @@ Span::~Span() {
       std::chrono::duration_cast<std::chrono::microseconds>(end - start_)
           .count());
   SpanBuffer* buf = ThreadBuffer();
-  std::lock_guard<std::mutex> lock(buf->mu);
-  if (buf->records.size() >= kSpanBufferCap) {
-    buf->records.pop_front();
-    ++buf->dropped;
+  bool dropped = false;
+  {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    if (buf->records.size() >= kSpanBufferCap) {
+      buf->records.pop_front();
+      ++buf->dropped;
+      dropped = true;
+    }
+    buf->records.push_back(std::move(rec));
   }
-  buf->records.push_back(std::move(rec));
+  // Outside the buffer lock: the first drop registers the counter,
+  // which takes the registry mutex.
+  if (dropped) AUTODC_OBS_INC("obs.spans_dropped");
 }
 
 #endif  // !AUTODC_DISABLE_OBS
@@ -135,6 +147,13 @@ uint64_t SpansDropped() {
     total += buf->dropped;
   }
   return total;
+}
+
+uint64_t CurrentSpanId() {
+#ifndef AUTODC_DISABLE_OBS
+  if (!t_span_stack.empty()) return t_span_stack.back();
+#endif
+  return 0;
 }
 
 void ClearSpans() {

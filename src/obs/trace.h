@@ -86,8 +86,15 @@ class ScopedTimer {
 /// Spans recorded after the call stay buffered for the next drain.
 std::vector<SpanRecord> TakeSpans();
 
-/// Spans silently dropped because a per-thread buffer was full.
+/// Spans dropped because a per-thread buffer was full. Every drop also
+/// increments the `obs.spans_dropped` counter, so overflow is visible
+/// in metric snapshots, not just to callers of this accessor.
 uint64_t SpansDropped();
+
+/// The innermost live Span's id on the calling thread (0 when no span
+/// is open, or under AUTODC_DISABLE_OBS). Log records capture this so
+/// log lines correlate with trace events.
+uint64_t CurrentSpanId();
 
 /// Test hook: drops all buffered spans and zeroes the dropped count.
 void ClearSpans();

@@ -1,0 +1,139 @@
+#include "src/obs/trace_export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+
+#include "src/common/env.h"
+#include "src/common/json.h"
+#include "src/obs/log.h"
+
+namespace autodc::obs {
+
+namespace {
+
+// One "ph":"X" complete event. Built with raw string appends rather
+// than JsonObject so a 100k-span drain does not churn through per-event
+// builder allocations.
+void AppendCompleteEvent(const SpanRecord& s, std::string* out) {
+  out->append("{\"name\":\"");
+  out->append(JsonEscape(s.name));
+  out->append("\",\"cat\":\"autodc\",\"ph\":\"X\",\"ts\":");
+  out->append(std::to_string(s.start_us));
+  out->append(",\"dur\":");
+  out->append(std::to_string(s.duration_us));
+  out->append(",\"pid\":");
+  out->append(std::to_string(kTracePid));
+  out->append(",\"tid\":");
+  out->append(std::to_string(s.thread));
+  out->append(",\"args\":{\"span_id\":");
+  out->append(std::to_string(s.id));
+  out->append(",\"parent_id\":");
+  out->append(std::to_string(s.parent_id));
+  out->append(",\"depth\":");
+  out->append(std::to_string(s.depth));
+  out->append("}}");
+}
+
+void AppendMetadataEvent(const std::string& name, int tid,
+                         const std::string& arg_name, std::string* out) {
+  out->append("{\"name\":\"");
+  out->append(name);
+  out->append("\",\"ph\":\"M\",\"pid\":");
+  out->append(std::to_string(kTracePid));
+  out->append(",\"tid\":");
+  out->append(std::to_string(tid));
+  out->append(",\"args\":{\"name\":\"");
+  out->append(JsonEscape(arg_name));
+  out->append("\"}}");
+}
+
+}  // namespace
+
+std::string FormatChromeTrace(const std::vector<SpanRecord>& spans,
+                              uint64_t spans_dropped) {
+  // Parents before children: at equal start the longer span is the
+  // enclosing one, and ids break the remaining ties (ids grow in
+  // creation order, so a zero-length parent still precedes its
+  // zero-length child).
+  std::vector<const SpanRecord*> ordered;
+  ordered.reserve(spans.size());
+  for (const SpanRecord& s : spans) ordered.push_back(&s);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const SpanRecord* a, const SpanRecord* b) {
+                     if (a->start_us != b->start_us) {
+                       return a->start_us < b->start_us;
+                     }
+                     if (a->duration_us != b->duration_us) {
+                       return a->duration_us > b->duration_us;
+                     }
+                     return a->id < b->id;
+                   });
+
+  std::set<uint32_t> tids;
+  for (const SpanRecord& s : spans) tids.insert(s.thread);
+
+  std::string out;
+  out.reserve(64 + spans.size() * 160);
+  out.append("{\"traceEvents\":[");
+  bool first = true;
+  AppendMetadataEvent("process_name", 0, "autodc", &out);
+  first = false;
+  for (uint32_t tid : tids) {
+    out.push_back(',');
+    AppendMetadataEvent("thread_name", static_cast<int>(tid),
+                        "obs-slot-" + std::to_string(tid), &out);
+  }
+  for (const SpanRecord* s : ordered) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendCompleteEvent(*s, &out);
+  }
+  out.append("],\"displayTimeUnit\":\"ms\",\"otherData\":{\"spans\":");
+  out.append(std::to_string(spans.size()));
+  out.append(",\"spans_dropped\":");
+  out.append(std::to_string(spans_dropped));
+  out.append(",\"clock\":\"us since process obs epoch\"}}");
+  return out;
+}
+
+bool WriteTrace(const std::string& path) {
+  std::vector<SpanRecord> spans = TakeSpans();
+  std::string json = FormatChromeTrace(spans, SpansDropped());
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    AUTODC_LOG(WARN) << "AUTODC_TRACE: cannot open '" << path << "'";
+    return false;
+  }
+  out << json << "\n";
+  return static_cast<bool>(out);
+}
+
+namespace {
+
+std::string& TraceDumpPath() {
+  static auto* path = new std::string();
+  return *path;
+}
+
+void DumpTraceAtExit() {
+  if (!TraceDumpPath().empty()) WriteTrace(TraceDumpPath());
+}
+
+}  // namespace
+
+void InstallTraceDumpFromEnv() {
+  static bool installed = [] {
+    std::string path = EnvString("AUTODC_TRACE");
+    if (!path.empty()) {
+      TraceDumpPath() = path;
+      std::atexit(&DumpTraceAtExit);
+    }
+    return true;
+  }();
+  (void)installed;
+}
+
+}  // namespace autodc::obs

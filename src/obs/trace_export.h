@@ -1,0 +1,44 @@
+#ifndef AUTODC_OBS_TRACE_EXPORT_H_
+#define AUTODC_OBS_TRACE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/obs/trace.h"
+
+// Renders drained SpanRecords as Chrome trace-event JSON (the "JSON
+// Object Format" both chrome://tracing and Perfetto load). Every span
+// becomes one "ph":"X" complete event: `ts`/`dur` are the span's
+// microsecond start/duration on the shared process obs epoch, `pid` is
+// a fixed 1 (one process), and `tid` is the recording thread's obs
+// slot — so the viewer's per-track nesting reproduces the Span
+// parent/child tree exactly, and the span id / parent id ride along in
+// `args` for programmatic consumers. A pipeline run with
+// AUTODC_TRACE=<path> set in the environment becomes a file you can
+// drop into ui.perfetto.dev unchanged.
+namespace autodc::obs {
+
+/// Fixed pid for all trace events (single-process tree).
+inline constexpr int kTracePid = 1;
+
+/// Chrome trace-event JSON for `spans` (as drained by TakeSpans()).
+/// Events are sorted by (ts, dur desc, id) so parents precede their
+/// children; `spans_dropped` lands in otherData.spans_dropped, flagging
+/// an incomplete trace. Deterministic: equal inputs, equal bytes.
+std::string FormatChromeTrace(const std::vector<SpanRecord>& spans,
+                              uint64_t spans_dropped = 0);
+
+/// Drains TakeSpans() and writes FormatChromeTrace to `path`
+/// (truncating: a trace file is one JSON document, never an append
+/// log). Returns false when the file cannot be opened.
+bool WriteTrace(const std::string& path);
+
+/// Reads AUTODC_TRACE (a file path) and, when set, registers an atexit
+/// hook draining the final trace there — the tracing twin of
+/// AUTODC_METRICS. Installed from Span creation and registry init; safe
+/// to call repeatedly (first call wins).
+void InstallTraceDumpFromEnv();
+
+}  // namespace autodc::obs
+
+#endif  // AUTODC_OBS_TRACE_EXPORT_H_

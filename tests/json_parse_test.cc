@@ -1,0 +1,124 @@
+// Tests for the strict JSON reader (common/json_parse.h): value kinds,
+// string escapes, structural errors with byte offsets, the depth limit,
+// and a round trip through the in-tree writer (common/json.h).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/common/json.h"
+#include "src/common/json_parse.h"
+
+namespace autodc {
+namespace {
+
+JsonValue MustParse(const std::string& text) {
+  auto parsed = ParseJson(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().message();
+  return parsed.ok() ? std::move(parsed).ValueOrDie() : JsonValue{};
+}
+
+std::string MustFail(const std::string& text) {
+  auto parsed = ParseJson(text);
+  EXPECT_FALSE(parsed.ok()) << "parsed unexpectedly: " << text;
+  return parsed.ok() ? "" : parsed.status().message();
+}
+
+TEST(JsonParseTest, ParsesEveryScalarKind) {
+  EXPECT_TRUE(MustParse("null").is_null());
+  EXPECT_TRUE(MustParse("true").bool_value);
+  EXPECT_FALSE(MustParse("false").bool_value);
+  EXPECT_EQ(MustParse("42").number_value, 42.0);
+  EXPECT_EQ(MustParse("-3.5e2").number_value, -350.0);
+  EXPECT_EQ(MustParse("\"hi\"").string_value, "hi");
+}
+
+TEST(JsonParseTest, ParsesNestedContainersWithWhitespace) {
+  JsonValue v = MustParse(
+      " {\n  \"a\": [1, 2, {\"b\": true}],\n  \"c\": {} \n} ");
+  ASSERT_TRUE(v.is_object());
+  const JsonValue* a = v.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_EQ(a->array[1].number_value, 2.0);
+  EXPECT_TRUE(a->array[2].Find("b")->bool_value);
+  EXPECT_TRUE(v.Find("c")->is_object());
+  EXPECT_TRUE(v.Find("c")->object.empty());
+}
+
+TEST(JsonParseTest, FindIsNullSafeOnNonObjects) {
+  JsonValue v = MustParse("[1]");
+  EXPECT_EQ(v.Find("anything"), nullptr);
+  EXPECT_EQ(MustParse("{}").Find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, AccessorsFallBackOnKindMismatch) {
+  JsonValue v = MustParse("{\"n\": 1.5, \"s\": \"x\"}");
+  EXPECT_EQ(v.Find("n")->NumberOr(-1), 1.5);
+  EXPECT_EQ(v.Find("n")->StringOr("fb"), "fb");
+  EXPECT_EQ(v.Find("s")->StringOr(""), "x");
+  EXPECT_EQ(v.Find("s")->NumberOr(-1), -1.0);
+}
+
+TEST(JsonParseTest, DecodesEscapes) {
+  JsonValue v =
+      MustParse(R"("quote\" slash\\ solidus\/ \b\f\n\r\t uA")");
+  EXPECT_EQ(v.string_value, "quote\" slash\\ solidus/ \b\f\n\r\t uA");
+}
+
+TEST(JsonParseTest, DecodesMultibyteUnicodeEscapes) {
+  EXPECT_EQ(MustParse(R"("é")").string_value, "\xC3\xA9");      // é
+  EXPECT_EQ(MustParse(R"("€")").string_value, "\xE2\x82\xAC");  // €
+}
+
+TEST(JsonParseTest, RejectsMalformedDocuments) {
+  MustFail("");
+  MustFail("{\"a\": }");
+  MustFail("{\"a\" 1}");            // missing colon
+  MustFail("[1, 2");                // unterminated array
+  MustFail("{\"a\": 1,}");          // trailing comma
+  MustFail("\"unterminated");
+  MustFail(R"("bad \x escape")");
+  MustFail(R"("trunc \u00")");
+  MustFail("nul");                  // broken literal
+  MustFail("1.2.3");                // malformed number
+  MustFail("\"tab\tliteral\"");     // unescaped control character
+}
+
+TEST(JsonParseTest, RejectsTrailingContentWithByteOffset) {
+  std::string message = MustFail("{} extra");
+  EXPECT_NE(message.find("trailing characters"), std::string::npos);
+  EXPECT_NE(message.find("byte 3"), std::string::npos);
+}
+
+TEST(JsonParseTest, EnforcesTheDepthLimit) {
+  // 64 nested arrays parse; 70 do not.
+  std::string ok(64, '[');
+  ok += "1";
+  ok.append(64, ']');
+  EXPECT_TRUE(ParseJson(ok).ok());
+  std::string deep(70, '[');
+  deep += "1";
+  deep.append(70, ']');
+  std::string message = MustFail(deep);
+  EXPECT_NE(message.find("nesting deeper"), std::string::npos);
+}
+
+TEST(JsonParseTest, RoundTripsTheInTreeWriter) {
+  JsonObject o;
+  o.Set("name", "bench \"x\"\n")
+      .Set("count", size_t{3})
+      .Set("ratio", 0.25)
+      .SetRaw("nested", "{\"inner\":[1,2,null]}");
+  JsonValue v = MustParse(o.str());
+  EXPECT_EQ(v.Find("name")->StringOr(""), "bench \"x\"\n");
+  EXPECT_EQ(v.Find("count")->NumberOr(-1), 3.0);
+  EXPECT_EQ(v.Find("ratio")->NumberOr(-1), 0.25);
+  const JsonValue* inner = v.Find("nested")->Find("inner");
+  ASSERT_NE(inner, nullptr);
+  ASSERT_EQ(inner->array.size(), 3u);
+  EXPECT_TRUE(inner->array[2].is_null());
+}
+
+}  // namespace
+}  // namespace autodc

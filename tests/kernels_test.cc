@@ -12,7 +12,7 @@
 
 #include <gtest/gtest.h>
 
-#include "bench/bench_util.h"
+#include "bench/harness.h"
 #include "src/common/parallel.h"
 #include "src/common/rng.h"
 #include "src/nn/tensor.h"

@@ -1,0 +1,211 @@
+// Tests for the leveled logging layer: level parsing/threshold gating,
+// the text and JSONL formatters (via the in-tree JSON parser), the test
+// sink capture path, span-id correlation, the JSONL file sink, and the
+// AUTODC_DISABLE_OBS dead-branch contract. Runs under the `obs` label.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/common/json_parse.h"
+#include "src/obs/log.h"
+#include "src/obs/trace.h"
+
+namespace autodc::obs {
+namespace {
+
+// SetLogSinkForTest takes a plain function pointer, so captures go
+// through file-level state.
+std::vector<LogRecord>& Captured() {
+  static auto* records = new std::vector<LogRecord>();
+  return *records;
+}
+
+void CaptureSink(const LogRecord& record) { Captured().push_back(record); }
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_level_ = GetLogLevel();
+    Captured().clear();
+    SetLogSinkForTest(&CaptureSink);
+  }
+  void TearDown() override {
+    SetLogSinkForTest(nullptr);
+    SetLogFile("");
+    SetLogLevel(saved_level_);
+  }
+  LogLevel saved_level_ = LogLevel::kWarn;
+};
+
+TEST_F(LogTest, ParseLogLevelAcceptsKnownSpellings) {
+  LogLevel level = LogLevel::kOff;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("INFO", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("Warning", &level));  // alias for warn
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_TRUE(ParseLogLevel("eRrOr", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_TRUE(ParseLogLevel("off", &level));
+  EXPECT_EQ(level, LogLevel::kOff);
+}
+
+TEST_F(LogTest, ParseLogLevelRejectsJunkAndLeavesOutUntouched) {
+  LogLevel level = LogLevel::kError;
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_FALSE(ParseLogLevel("", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+}
+
+TEST_F(LogTest, LevelNamesAreStable) {
+  EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(LogLevelName(LogLevel::kWarn), "WARN");
+  EXPECT_STREQ(LogLevelName(LogLevel::kOff), "OFF");
+}
+
+TEST_F(LogTest, FormatLogTextRendersEveryField) {
+  LogRecord r;
+  r.level = LogLevel::kWarn;
+  r.file = "env.cc";
+  r.line = 14;
+  r.thread = 2;
+  r.span_id = 17;
+  r.wall_ms = 0;  // unix epoch: a fixed, timezone-free timestamp
+  r.message = "checkpoint save failed";
+  EXPECT_EQ(FormatLogText(r),
+            "[1970-01-01T00:00:00.000Z W env.cc:14 t2 s17] "
+            "checkpoint save failed");
+}
+
+TEST_F(LogTest, FormatLogJsonRoundTripsThroughParser) {
+  LogRecord r;
+  r.level = LogLevel::kError;
+  r.file = "trainer.cc";
+  r.line = 99;
+  r.thread = 1;
+  r.span_id = 5;
+  r.wall_ms = 1722945600123;
+  r.message = "bad \"quote\" and\nnewline";
+  auto parsed = ParseJson(FormatLogJson(r));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const JsonValue& doc = parsed.ValueOrDie();
+  EXPECT_EQ(doc.Find("ts_ms")->NumberOr(0), 1722945600123.0);
+  EXPECT_EQ(doc.Find("level")->StringOr(""), "error");
+  EXPECT_EQ(doc.Find("file")->StringOr(""), "trainer.cc");
+  EXPECT_EQ(doc.Find("line")->NumberOr(0), 99.0);
+  EXPECT_EQ(doc.Find("thread")->NumberOr(-1), 1.0);
+  EXPECT_EQ(doc.Find("span")->NumberOr(0), 5.0);
+  EXPECT_EQ(doc.Find("msg")->StringOr(""), "bad \"quote\" and\nnewline");
+}
+
+#ifndef AUTODC_DISABLE_OBS
+
+TEST_F(LogTest, MacroRespectsThreshold) {
+  SetLogLevel(LogLevel::kWarn);
+  AUTODC_LOG(DEBUG) << "below threshold";
+  AUTODC_LOG(INFO) << "also below";
+  AUTODC_LOG(WARN) << "at threshold";
+  AUTODC_LOG(ERROR) << "above";
+  ASSERT_EQ(Captured().size(), 2u);
+  EXPECT_EQ(Captured()[0].level, LogLevel::kWarn);
+  EXPECT_EQ(Captured()[0].message, "at threshold");
+  EXPECT_EQ(Captured()[1].level, LogLevel::kError);
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  SetLogLevel(LogLevel::kOff);
+  AUTODC_LOG(ERROR) << "never";
+  EXPECT_TRUE(Captured().empty());
+}
+
+TEST_F(LogTest, SuppressedStatementsSkipArgumentEvaluation) {
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto count = [&evaluations] {
+    ++evaluations;
+    return "x";
+  };
+  AUTODC_LOG(DEBUG) << count();
+  EXPECT_EQ(evaluations, 0);
+  AUTODC_LOG(ERROR) << count();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LogTest, RecordsCarrySourceLocationAndStreamedValues) {
+  SetLogLevel(LogLevel::kInfo);
+  AUTODC_LOG(INFO) << "answer=" << 42 << " pi=" << 3.5;
+  ASSERT_EQ(Captured().size(), 1u);
+  const LogRecord& r = Captured()[0];
+  EXPECT_EQ(r.file, "log_test.cc");  // basename, not the full path
+  EXPECT_GT(r.line, 0);
+  EXPECT_GT(r.wall_ms, 0);
+  EXPECT_EQ(r.message, "answer=42 pi=3.5");
+}
+
+TEST_F(LogTest, RecordsCorrelateWithTheEnclosingSpan) {
+  SetLogLevel(LogLevel::kInfo);
+  AUTODC_LOG(INFO) << "outside any span";
+  uint64_t live_id = 0;
+  {
+    Span span("traced region");
+    live_id = CurrentSpanId();
+    AUTODC_LOG(INFO) << "inside";
+  }
+  ASSERT_EQ(Captured().size(), 2u);
+  EXPECT_EQ(Captured()[0].span_id, 0u);
+  ASSERT_NE(live_id, 0u);
+  EXPECT_EQ(Captured()[1].span_id, live_id);
+  ClearSpans();
+}
+
+TEST_F(LogTest, FileSinkAppendsOneJsonObjectPerRecord) {
+  // The file sink only runs when no test sink is installed.
+  SetLogSinkForTest(nullptr);
+  std::string path = ::testing::TempDir() + "/log_test_sink.jsonl";
+  std::remove(path.c_str());
+  ASSERT_TRUE(SetLogFile(path));
+  SetLogLevel(LogLevel::kError);  // ERROR only: keeps stderr quiet too
+  AUTODC_LOG(ERROR) << "first";
+  AUTODC_LOG(ERROR) << "second";
+  SetLogFile("");
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::vector<std::string> messages;
+  std::string line;
+  while (std::getline(in, line)) {
+    auto parsed = ParseJson(line);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+    messages.push_back(parsed.ValueOrDie().Find("msg")->StringOr(""));
+  }
+  ASSERT_EQ(messages.size(), 2u);
+  EXPECT_EQ(messages[0], "first");
+  EXPECT_EQ(messages[1], "second");
+  std::remove(path.c_str());
+}
+
+#else  // AUTODC_DISABLE_OBS
+
+TEST_F(LogTest, DisabledMacroNeverEvaluatesArguments) {
+  SetLogLevel(LogLevel::kDebug);
+  int evaluations = 0;
+  auto count = [&evaluations] {
+    ++evaluations;
+    return "x";
+  };
+  AUTODC_LOG(ERROR) << count();
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_TRUE(Captured().empty());
+}
+
+#endif  // AUTODC_DISABLE_OBS
+
+TEST_F(LogTest, SetLogFileRejectsUnopenablePath) {
+  EXPECT_FALSE(SetLogFile("/nonexistent-dir/log.jsonl"));
+}
+
+}  // namespace
+}  // namespace autodc::obs

@@ -1,0 +1,182 @@
+// Tests for the Chrome trace-event exporter: a deterministic synthetic
+// span tree rendered to golden JSON structure (parsed back through the
+// in-tree parser, not string-compared), the empty-buffer and dropped-
+// span cases, the live Span -> WriteTrace round trip, and the
+// AUTODC_DISABLE_OBS contract. Runs under the `obs` ctest label.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/json_parse.h"
+#include "src/obs/trace.h"
+#include "src/obs/trace_export.h"
+
+namespace autodc::obs {
+namespace {
+
+// A fixed two-thread span tree:
+//   thread 0:  root[0..100us] > child_a[10..30] > grandchild[12..20]
+//              root           > child_b[40..90]
+//   thread 1:  worker[5..95us]
+// Records are appended out of creation order on purpose — the exporter
+// must sort them back into parent-before-child order itself.
+std::vector<SpanRecord> GoldenSpans() {
+  std::vector<SpanRecord> spans;
+  spans.push_back({"child_b", 4, 1, 1, 0, 40, 50});
+  spans.push_back({"grandchild", 3, 2, 2, 0, 12, 8});
+  spans.push_back({"root", 1, 0, 0, 0, 0, 100});
+  spans.push_back({"worker", 5, 0, 0, 1, 5, 90});
+  spans.push_back({"child_a", 2, 1, 1, 0, 10, 20});
+  return spans;
+}
+
+// Pulls the "X" (complete) events out of a parsed trace, in file order.
+std::vector<const JsonValue*> CompleteEvents(const JsonValue& doc) {
+  std::vector<const JsonValue*> out;
+  const JsonValue* events = doc.Find("traceEvents");
+  if (events == nullptr || !events->is_array()) return out;
+  for (const JsonValue& e : events->array) {
+    const JsonValue* ph = e.Find("ph");
+    if (ph != nullptr && ph->StringOr("") == "X") out.push_back(&e);
+  }
+  return out;
+}
+
+TEST(TraceExportTest, GoldenTreeParsesWithParentsBeforeChildren) {
+  std::string json = FormatChromeTrace(GoldenSpans(), 0);
+  auto parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const JsonValue& doc = parsed.ValueOrDie();
+
+  std::vector<const JsonValue*> events = CompleteEvents(doc);
+  ASSERT_EQ(events.size(), 5u);
+  // Sorted by (ts, dur desc, id): root, worker, child_a, grandchild,
+  // child_b — every parent precedes its children.
+  const char* expected[] = {"root", "worker", "child_a", "grandchild",
+                            "child_b"};
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(events[i]->Find("name")->StringOr(""), expected[i]) << i;
+  }
+
+  // Spot-check one event's full shape.
+  const JsonValue& child_a = *events[2];
+  EXPECT_EQ(child_a.Find("cat")->StringOr(""), "autodc");
+  EXPECT_EQ(child_a.Find("ts")->NumberOr(-1), 10.0);
+  EXPECT_EQ(child_a.Find("dur")->NumberOr(-1), 20.0);
+  EXPECT_EQ(child_a.Find("pid")->NumberOr(-1), kTracePid);
+  EXPECT_EQ(child_a.Find("tid")->NumberOr(-1), 0.0);
+  const JsonValue* args = child_a.Find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_EQ(args->Find("span_id")->NumberOr(-1), 2.0);
+  EXPECT_EQ(args->Find("parent_id")->NumberOr(-1), 1.0);
+  EXPECT_EQ(args->Find("depth")->NumberOr(-1), 1.0);
+  // The cross-thread span keeps its own tid track.
+  EXPECT_EQ(events[1]->Find("tid")->NumberOr(-1), 1.0);
+}
+
+TEST(TraceExportTest, EmitsProcessAndPerThreadMetadata) {
+  std::string json = FormatChromeTrace(GoldenSpans(), 0);
+  auto parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue* events = parsed.ValueOrDie().Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  size_t process_meta = 0, thread_meta = 0;
+  for (const JsonValue& e : events->array) {
+    if (e.Find("ph")->StringOr("") != "M") continue;
+    std::string name = e.Find("name")->StringOr("");
+    if (name == "process_name") ++process_meta;
+    if (name == "thread_name") ++thread_meta;
+  }
+  EXPECT_EQ(process_meta, 1u);
+  EXPECT_EQ(thread_meta, 2u);  // one per distinct tid (0 and 1)
+}
+
+TEST(TraceExportTest, OtherDataCarriesCountsAndDrops) {
+  std::string json = FormatChromeTrace(GoldenSpans(), 7);
+  auto parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue* other = parsed.ValueOrDie().Find("otherData");
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(other->Find("spans")->NumberOr(-1), 5.0);
+  EXPECT_EQ(other->Find("spans_dropped")->NumberOr(-1), 7.0);
+}
+
+TEST(TraceExportTest, DeterministicBytesForEqualInput) {
+  EXPECT_EQ(FormatChromeTrace(GoldenSpans(), 3),
+            FormatChromeTrace(GoldenSpans(), 3));
+}
+
+TEST(TraceExportTest, EmptyBufferIsStillAValidTrace) {
+  std::string json = FormatChromeTrace({}, 0);
+  auto parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const JsonValue& doc = parsed.ValueOrDie();
+  EXPECT_TRUE(CompleteEvents(doc).empty());
+  // Process metadata still present so an empty trace loads cleanly.
+  const JsonValue* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_FALSE(events->array.empty());
+  EXPECT_EQ(events->array[0].Find("name")->StringOr(""), "process_name");
+  EXPECT_EQ(doc.Find("otherData")->Find("spans")->NumberOr(-1), 0.0);
+}
+
+TEST(TraceExportTest, EscapesSpanNames) {
+  std::vector<SpanRecord> spans = {{"quote\"back\\slash", 1, 0, 0, 0, 0, 1}};
+  std::string json = FormatChromeTrace(spans, 0);
+  auto parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  std::vector<const JsonValue*> events =
+      CompleteEvents(parsed.ValueOrDie());
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0]->Find("name")->StringOr(""), "quote\"back\\slash");
+}
+
+TEST(TraceExportTest, WriteTraceDrainsLiveSpansToFile) {
+  std::string path =
+      ::testing::TempDir() + "/trace_export_test_live.json";
+  ClearSpans();
+  {
+    Span outer("outer");
+    Span inner("inner");
+  }
+  ASSERT_TRUE(WriteTrace(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  auto parsed = ParseJson(buf.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  std::vector<const JsonValue*> events =
+      CompleteEvents(parsed.ValueOrDie());
+#ifdef AUTODC_DISABLE_OBS
+  // Disabled build: spans never record, the trace is valid but empty.
+  EXPECT_TRUE(events.empty());
+#else
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0]->Find("name")->StringOr(""), "outer");
+  EXPECT_EQ(events[1]->Find("name")->StringOr(""), "inner");
+  // The live parent/child link survives the round trip.
+  EXPECT_EQ(events[1]->Find("args")->Find("parent_id")->NumberOr(-1),
+            events[0]->Find("args")->Find("span_id")->NumberOr(-2));
+  // WriteTrace drained the buffer: a second write is empty.
+  ASSERT_TRUE(WriteTrace(path));
+  std::ifstream in2(path);
+  std::stringstream buf2;
+  buf2 << in2.rdbuf();
+  auto parsed2 = ParseJson(buf2.str());
+  ASSERT_TRUE(parsed2.ok());
+  EXPECT_TRUE(CompleteEvents(parsed2.ValueOrDie()).empty());
+#endif
+  std::remove(path.c_str());
+}
+
+TEST(TraceExportTest, WriteTraceRejectsUnopenablePath) {
+  EXPECT_FALSE(WriteTrace("/nonexistent-dir/trace.json"));
+}
+
+}  // namespace
+}  // namespace autodc::obs

@@ -1,0 +1,79 @@
+// bench_check: the perf regression gate.
+//
+//   tools/bench_check --baselines bench/baselines --results out/
+//                     [--tolerance 0.5] [--verbose]
+//
+// Joins every committed BENCH_*.json baseline with its namesake under
+// --results (written by the bench binaries' --out flag) and compares
+// each baseline metric within its tolerance band (see bench/check.h for
+// the band/direction rules). Exit codes: 0 all within tolerance, 1 any
+// regression / missing result / malformed file, 2 usage error.
+//
+// Typical gate (the CI quick-bench leg):
+//   for b in build/bench/bench_{kernels,trainer,parallel,pipeline,obs}; do
+//     AUTODC_NUM_THREADS=2 $b --quick --repeats 3 --out out/ > /dev/null
+//   done
+//   build/tools/bench_check --baselines bench/baselines --results out/
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench/check.h"
+
+namespace {
+
+void PrintUsage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: bench_check --baselines DIR --results DIR\n"
+               "                   [--tolerance FRACTION] [--verbose]\n"
+               "\n"
+               "Diffs a results dir (bench --out output) against committed\n"
+               "BENCH_*.json baselines. Exits 1 on any regression beyond\n"
+               "tolerance, missing result, or malformed file.\n"
+               "--tolerance overrides the baselines' default band (their\n"
+               "per-metric entries still win).\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baselines, results;
+  autodc::bench::CheckOptions options;
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--baselines" && i + 1 < argc) {
+      baselines = argv[++i];
+    } else if (arg == "--results" && i + 1 < argc) {
+      results = argv[++i];
+    } else if (arg == "--tolerance" && i + 1 < argc) {
+      char* end = nullptr;
+      double tol = std::strtod(argv[++i], &end);
+      if (end == nullptr || *end != '\0' || tol < 0.0) {
+        std::fprintf(stderr, "bench_check: bad --tolerance '%s'\n", argv[i]);
+        return 2;
+      }
+      options.default_tolerance = tol;
+      options.tolerance_is_override = true;
+    } else if (arg == "--verbose" || arg == "-v") {
+      verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage(stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "bench_check: unknown argument '%s'\n",
+                   arg.c_str());
+      PrintUsage(stderr);
+      return 2;
+    }
+  }
+  if (baselines.empty() || results.empty()) {
+    PrintUsage(stderr);
+    return 2;
+  }
+  autodc::bench::CheckReport report =
+      autodc::bench::CheckDirs(baselines, results, options);
+  std::fputs(autodc::bench::FormatCheckReport(report, verbose).c_str(),
+             stdout);
+  return report.ok() ? 0 : 1;
+}
