@@ -85,6 +85,18 @@ int main(int argc, char** argv) {
         }
       }
     }
+    for (size_t k : {5, 10}) {
+      er::AnnBlocker knn(k);
+      auto cands = knn.Candidates(lv, rv);
+      double recall = er::PairCompleteness(cands, bench.matches);
+      double reduction = er::ReductionRatio(cands.size(), lv.size(), rv.size());
+      PrintRow({"knn k=" + FmtInt(k), Fmt(recall), FmtInt(cands.size()),
+                Fmt(reduction)});
+      b.Report("knn_k" + FmtInt(k),
+               {{"recall", recall},
+                {"candidates", static_cast<double>(cands.size())},
+                {"reduction", reduction}});
+    }
     return 0;
   });
 }

@@ -37,6 +37,12 @@ MetricDirection DirectionForMetric(const std::string& name) {
       Contains(name, "overhead") || Contains(name, "dropped")) {
     return MetricDirection::kLowerIsBetter;
   }
+  // Name-derived, position-independent: "recall_at_10" or "qps_ann"
+  // should gate as higher-is-better even though no suffix matches.
+  if (Contains(name, "recall") || Contains(name, "qps") ||
+      Contains(name, "speedup")) {
+    return MetricDirection::kHigherIsBetter;
+  }
   for (const char* s : kHigherSuffixes) {
     if (EndsWith(name, s)) return MetricDirection::kHigherIsBetter;
   }

@@ -2,12 +2,129 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_set>
+#include <memory>
+#include <mutex>
+#include <utility>
 
+#include "src/ann/hnsw.h"
+#include "src/common/parallel.h"
 #include "src/nn/kernels.h"
+#include "src/obs/metrics.h"
 #include "src/text/similarity.h"
 
 namespace autodc::embedding {
+
+namespace {
+
+// Stores below this size never take the AUTODC_ANN lazy path: the exact
+// scan is already microseconds there and stays the recall-1.0 baseline.
+constexpr size_t kAnnAutoMinSize = 1024;
+// The exact scan goes wide once a single thread would chew through this
+// many rows; the grain keeps per-chunk top-k merge cost negligible.
+constexpr size_t kParallelScanMin = 8192;
+constexpr size_t kParallelScanGrain = 4096;
+
+/// Serializes lazy index builds (a const-path side effect). Only the
+/// build takes this lock; ready indexes are read lock-free.
+std::mutex& AnnBuildMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+/// Top-k selector over (similarity, row id) with a total order — higher
+/// similarity wins, lower id on ties — so results are deterministic for
+/// any scan chunking. Keeps the current worst on top of a size-k heap:
+/// O(n log k), and no per-candidate string copies (the old exact scan
+/// materialized a Neighbor for every row before sorting).
+struct TopK {
+  explicit TopK(size_t k) : k(k) { heap.reserve(k + 1); }
+
+  static bool Better(const std::pair<double, size_t>& a,
+                     const std::pair<double, size_t>& b) {
+    return a.first > b.first || (a.first == b.first && a.second < b.second);
+  }
+
+  void Push(double sim, size_t id) {
+    if (k == 0) return;
+    std::pair<double, size_t> item{sim, id};
+    if (heap.size() < k) {
+      heap.push_back(item);
+      std::push_heap(heap.begin(), heap.end(), Better);
+      return;
+    }
+    if (Better(item, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), Better);
+      heap.back() = item;
+      std::push_heap(heap.begin(), heap.end(), Better);
+    }
+  }
+
+  size_t k;
+  std::vector<std::pair<double, size_t>> heap;
+};
+
+/// Exclusion lists are tiny (Analogy passes three keys), so a flat
+/// probe over resolved row ids beats a hash lookup per candidate.
+inline bool IsExcluded(const std::vector<size_t>& exclude_ids, size_t id) {
+  for (size_t e : exclude_ids) {
+    if (e == id) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+struct EmbeddingStore::AnnState {
+  std::unique_ptr<ann::HnswIndex> index;
+  ann::HnswConfig config;
+  /// Set when an indexed vector mutates under the index (overwrite,
+  /// CenterAndNormalize). Queries fall back to the exact scan until
+  /// EnableAnn() rebuilds.
+  bool stale = false;
+};
+
+EmbeddingStore::~EmbeddingStore() {
+  delete ann_.load(std::memory_order_acquire);
+}
+
+EmbeddingStore::EmbeddingStore(const EmbeddingStore& other)
+    : dim_(other.dim_),
+      index_(other.index_),
+      keys_(other.keys_),
+      vectors_(other.vectors_),
+      norms_sq_(other.norms_sq_) {}
+
+EmbeddingStore& EmbeddingStore::operator=(const EmbeddingStore& other) {
+  if (this == &other) return *this;
+  dim_ = other.dim_;
+  index_ = other.index_;
+  keys_ = other.keys_;
+  vectors_ = other.vectors_;
+  norms_sq_ = other.norms_sq_;
+  delete ann_.exchange(nullptr, std::memory_order_acq_rel);
+  return *this;
+}
+
+EmbeddingStore::EmbeddingStore(EmbeddingStore&& other) noexcept
+    : dim_(other.dim_),
+      index_(std::move(other.index_)),
+      keys_(std::move(other.keys_)),
+      vectors_(std::move(other.vectors_)),
+      norms_sq_(std::move(other.norms_sq_)) {
+  ann_.store(other.ann_.exchange(nullptr), std::memory_order_release);
+}
+
+EmbeddingStore& EmbeddingStore::operator=(EmbeddingStore&& other) noexcept {
+  if (this == &other) return *this;
+  dim_ = other.dim_;
+  index_ = std::move(other.index_);
+  keys_ = std::move(other.keys_);
+  vectors_ = std::move(other.vectors_);
+  norms_sq_ = std::move(other.norms_sq_);
+  delete ann_.exchange(other.ann_.exchange(nullptr),
+                       std::memory_order_acq_rel);
+  return *this;
+}
 
 Status EmbeddingStore::Add(const std::string& key, std::vector<float> vector) {
   if (dim_ == 0) dim_ = vector.size();
@@ -21,12 +138,19 @@ Status EmbeddingStore::Add(const std::string& key, std::vector<float> vector) {
   if (it != index_.end()) {
     vectors_[it->second] = std::move(vector);
     norms_sq_[it->second] = norm_sq;
+    // The graph still points at the old geometry; exact fallback until
+    // the owner rebuilds.
+    if (AnnState* st = ann_.load(std::memory_order_acquire)) st->stale = true;
     return Status::OK();
   }
   index_.emplace(key, keys_.size());
   keys_.push_back(key);
   vectors_.push_back(std::move(vector));
   norms_sq_.push_back(norm_sq);
+  if (AnnState* st = ann_.load(std::memory_order_acquire)) {
+    // Streaming path: new keys index as they arrive (row id == index id).
+    if (!st->stale) st->index->Add(vectors_.back().data());
+  }
   return Status::OK();
 }
 
@@ -36,10 +160,9 @@ const std::vector<float>* EmbeddingStore::Find(const std::string& key) const {
   return &vectors_[it->second];
 }
 
-std::vector<Neighbor> EmbeddingStore::NearestToVector(
+std::vector<Neighbor> EmbeddingStore::ExactNearest(
     const std::vector<float>& query, size_t k,
-    const std::vector<std::string>& exclude) const {
-  std::unordered_set<std::string> skip(exclude.begin(), exclude.end());
+    const std::vector<size_t>& exclude_ids) const {
   // The query norm is fixed across candidates and candidate norms are
   // cached, so each candidate costs one dot product. A dimension
   // mismatch scores 0, matching CosineSimilarity on unequal sizes.
@@ -47,25 +170,163 @@ std::vector<Neighbor> EmbeddingStore::NearestToVector(
       query.size() == dim_
           ? nn::kernels::SumSqF32(query.data(), query.size())
           : -1.0;
-  std::vector<Neighbor> scored;
-  scored.reserve(keys_.size());
-  for (size_t i = 0; i < keys_.size(); ++i) {
-    if (skip.count(keys_[i]) > 0) continue;
-    double sim = 0.0;
-    if (query_norm_sq > 0.0 && norms_sq_[i] > 0.0) {
-      double dot =
-          nn::kernels::DotF32D(query.data(), vectors_[i].data(), dim_);
-      sim = dot / (std::sqrt(query_norm_sq) * std::sqrt(norms_sq_[i]));
+  double query_norm =
+      query_norm_sq > 0.0 ? std::sqrt(query_norm_sq) : 0.0;
+  size_t n = keys_.size();
+
+  auto scan = [&](size_t begin, size_t end, TopK* top) {
+    for (size_t i = begin; i < end; ++i) {
+      if (IsExcluded(exclude_ids, i)) continue;
+      double sim = 0.0;
+      if (query_norm_sq > 0.0 && norms_sq_[i] > 0.0) {
+        double dot =
+            nn::kernels::DotF32D(query.data(), vectors_[i].data(), dim_);
+        sim = dot / (query_norm * std::sqrt(norms_sq_[i]));
+      }
+      top->Push(sim, i);
     }
-    scored.push_back(Neighbor{keys_[i], sim});
+  };
+
+  std::vector<std::pair<double, size_t>> best;
+  if (n >= kParallelScanMin && NumThreads() > 1) {
+    // Row-block parallel scan: each chunk keeps its own top-k, chunks
+    // merge under a lock, and the final selection re-applies the same
+    // total order — so the result is identical for any thread count.
+    std::mutex mu;
+    ParallelFor(0, n, kParallelScanGrain, [&](size_t begin, size_t end) {
+      TopK local(k);
+      scan(begin, end, &local);
+      std::lock_guard<std::mutex> lock(mu);
+      best.insert(best.end(), local.heap.begin(), local.heap.end());
+    });
+  } else {
+    TopK top(k);
+    scan(0, n, &top);
+    best = std::move(top.heap);
   }
-  size_t take = std::min(k, scored.size());
-  std::partial_sort(scored.begin(), scored.begin() + take, scored.end(),
-                    [](const Neighbor& a, const Neighbor& b) {
-                      return a.similarity > b.similarity;
-                    });
-  scored.resize(take);
-  return scored;
+  std::sort(best.begin(), best.end(), TopK::Better);
+  if (best.size() > k) best.resize(k);
+
+  AUTODC_OBS_INC("embedding.nearest.exact");
+  std::vector<Neighbor> out;
+  out.reserve(best.size());
+  for (const auto& [sim, id] : best) {
+    out.push_back(Neighbor{keys_[id], sim});
+  }
+  return out;
+}
+
+std::vector<Neighbor> EmbeddingStore::AnnNearest(
+    const std::vector<float>& query, size_t k,
+    const std::vector<size_t>& exclude_ids) const {
+  // Degenerate queries (dim mismatch, zero norm) have no graph
+  // geometry to navigate; keep the exact path's semantics for them.
+  if (query.size() != dim_) return ExactNearest(query, k, exclude_ids);
+  double query_norm_sq = nn::kernels::SumSqF32(query.data(), query.size());
+  if (query_norm_sq <= 0.0) return ExactNearest(query, k, exclude_ids);
+
+  const AnnState* st = ann_.load(std::memory_order_acquire);
+  std::vector<ann::ScoredId> hits =
+      st->index->Search(query.data(), k + exclude_ids.size());
+
+  // Re-score survivors with the exact path's formula so similarity
+  // values agree bit-for-bit with an exact scan returning the same key.
+  double query_norm = std::sqrt(query_norm_sq);
+  std::vector<std::pair<double, size_t>> best;
+  best.reserve(hits.size());
+  for (const ann::ScoredId& hit : hits) {
+    if (IsExcluded(exclude_ids, hit.id)) continue;
+    double sim = 0.0;
+    if (norms_sq_[hit.id] > 0.0) {
+      double dot = nn::kernels::DotF32D(query.data(),
+                                        vectors_[hit.id].data(), dim_);
+      sim = dot / (query_norm * std::sqrt(norms_sq_[hit.id]));
+    }
+    best.emplace_back(sim, hit.id);
+  }
+  std::sort(best.begin(), best.end(), TopK::Better);
+  if (best.size() > k) best.resize(k);
+
+  AUTODC_OBS_INC("embedding.nearest.ann");
+  std::vector<Neighbor> out;
+  out.reserve(best.size());
+  for (const auto& [sim, id] : best) {
+    out.push_back(Neighbor{keys_[id], sim});
+  }
+  return out;
+}
+
+bool EmbeddingStore::UseAnnFor(size_t k, size_t num_excluded) const {
+  size_t n = keys_.size();
+  if (n == 0 || k == 0) return false;
+  // Exact-scan fallback for small result margins: when the caller asks
+  // for a sizable fraction of the store, the scan is both faster and
+  // exact.
+  if ((k + num_excluded) * 4 >= n) return false;
+  if (const AnnState* st = ann_.load(std::memory_order_acquire)) {
+    return !st->stale;
+  }
+  // Lazy env-driven build: AUTODC_ANN=1 turns large stores over to the
+  // index the first time they are queried.
+  if (n < kAnnAutoMinSize || !ann::AnnEnvEnabled()) return false;
+  std::lock_guard<std::mutex> lock(AnnBuildMutex());
+  if (ann_.load(std::memory_order_acquire) == nullptr) {
+    (void)BuildAnn(ann::ConfigFromEnv());
+  }
+  const AnnState* st = ann_.load(std::memory_order_acquire);
+  return st != nullptr && !st->stale;
+}
+
+Status EmbeddingStore::BuildAnn(const ann::HnswConfig& config) const {
+  if (dim_ == 0) {
+    return Status::FailedPrecondition(
+        "cannot build ANN index: store dimensionality unknown (empty store "
+        "constructed without a dim)");
+  }
+  auto st = std::make_unique<AnnState>();
+  st->config = config;
+  st->index = std::make_unique<ann::HnswIndex>(dim_, config);
+  std::vector<const float*> rows;
+  rows.reserve(vectors_.size());
+  for (const std::vector<float>& v : vectors_) rows.push_back(v.data());
+  st->index->Build(rows);
+  delete ann_.exchange(st.release(), std::memory_order_acq_rel);
+  return Status::OK();
+}
+
+Status EmbeddingStore::EnableAnn() { return EnableAnn(ann::ConfigFromEnv()); }
+
+Status EmbeddingStore::EnableAnn(const ann::HnswConfig& config) {
+  return BuildAnn(config);
+}
+
+void EmbeddingStore::DisableAnn() {
+  delete ann_.exchange(nullptr, std::memory_order_acq_rel);
+}
+
+bool EmbeddingStore::AnnActive() const {
+  const AnnState* st = ann_.load(std::memory_order_acquire);
+  return st != nullptr && !st->stale;
+}
+
+std::vector<Neighbor> EmbeddingStore::NearestToVector(
+    const std::vector<float>& query, size_t k,
+    const std::vector<std::string>& exclude) const {
+  // Resolve exclusions to row ids once, up front; keys not in the store
+  // fall away here instead of being probed per candidate.
+  std::vector<size_t> exclude_ids;
+  exclude_ids.reserve(exclude.size());
+  for (const std::string& key : exclude) {
+    auto it = index_.find(key);
+    if (it != index_.end()) exclude_ids.push_back(it->second);
+  }
+  std::sort(exclude_ids.begin(), exclude_ids.end());
+  exclude_ids.erase(std::unique(exclude_ids.begin(), exclude_ids.end()),
+                    exclude_ids.end());
+  if (UseAnnFor(k, exclude_ids.size())) {
+    return AnnNearest(query, k, exclude_ids);
+  }
+  return ExactNearest(query, k, exclude_ids);
 }
 
 Result<std::vector<Neighbor>> EmbeddingStore::Nearest(const std::string& key,
@@ -125,6 +386,7 @@ void EmbeddingStore::CenterAndNormalize() {
     norms_sq_[i] =
         nn::kernels::SumSqF32(vectors_[i].data(), vectors_[i].size());
   }
+  if (AnnState* st = ann_.load(std::memory_order_acquire)) st->stale = true;
 }
 
 std::vector<float> EmbeddingStore::AverageOf(

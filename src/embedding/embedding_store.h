@@ -1,11 +1,16 @@
 #ifndef AUTODC_EMBEDDING_EMBEDDING_STORE_H_
 #define AUTODC_EMBEDDING_EMBEDDING_STORE_H_
 
+#include <atomic>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/common/result.h"
+
+namespace autodc::ann {
+struct HnswConfig;
+}  // namespace autodc::ann
 
 namespace autodc::embedding {
 
@@ -19,10 +24,29 @@ struct Neighbor {
 /// labels) to dense vectors, with cosine nearest-neighbour search and the
 /// vector-arithmetic analogy queries of Sec. 2.2 (king - man + woman ≈
 /// queen).
+///
+/// Retrieval has two paths. The default is the exact scan: top-k
+/// selection over every row (parallelized across row blocks for large
+/// stores), bit-identical in scores to the seed implementation. Calling
+/// EnableAnn() — or setting AUTODC_ANN=1, which builds the index lazily
+/// on the first large-store query — routes NearestToVector through an
+/// HNSW graph index (src/ann) instead: approximate results, sub-linear
+/// query time. Mutating a vector that is already indexed (overwrite or
+/// CenterAndNormalize) invalidates the index; queries fall back to the
+/// exact scan until EnableAnn() is called again (appending new keys via
+/// Add keeps the index live — they are inserted incrementally).
 class EmbeddingStore {
  public:
   EmbeddingStore() = default;
   explicit EmbeddingStore(size_t dim) : dim_(dim) {}
+  ~EmbeddingStore();
+
+  /// Copies duplicate the vectors but not the ANN index (the copy
+  /// rebuilds on demand); moves carry the index along.
+  EmbeddingStore(const EmbeddingStore& other);
+  EmbeddingStore& operator=(const EmbeddingStore& other);
+  EmbeddingStore(EmbeddingStore&& other) noexcept;
+  EmbeddingStore& operator=(EmbeddingStore&& other) noexcept;
 
   /// Inserts or overwrites a vector (must match the store dimensionality;
   /// the first Add fixes it when constructed with dim 0).
@@ -39,7 +63,8 @@ class EmbeddingStore {
   const std::vector<std::string>& keys() const { return keys_; }
 
   /// k nearest neighbours of `query` by cosine similarity, excluding the
-  /// keys listed in `exclude`.
+  /// keys listed in `exclude`. Exact by default; approximate when the
+  /// ANN index is active (see class comment).
   std::vector<Neighbor> NearestToVector(
       const std::vector<float>& query, size_t k,
       const std::vector<std::string>& exclude = {}) const;
@@ -66,10 +91,39 @@ class EmbeddingStore {
   /// every embedding, then L2-normalizes each. Small-corpus embeddings
   /// share a large common direction that crushes all cosine similarities
   /// toward 1; removing it restores discriminative geometry (the SIF
-  /// "common component" trick).
+  /// "common component" trick). Invalidates a live ANN index.
   void CenterAndNormalize();
 
+  /// Builds (or rebuilds) the HNSW index over the current contents and
+  /// routes subsequent NearestToVector calls through it. The no-config
+  /// overload takes defaults + AUTODC_ANN_EF_SEARCH from the
+  /// environment.
+  Status EnableAnn();
+  Status EnableAnn(const ann::HnswConfig& config);
+
+  /// Drops the index; queries return to the exact scan.
+  void DisableAnn();
+
+  /// True when the index is built and fresh (queries take the ANN path).
+  bool AnnActive() const;
+
  private:
+  struct AnnState;  // holds the index + lazy-build lock (see .cc)
+
+  /// Exact top-k scan; `exclude_ids` are row ids, sorted ascending.
+  std::vector<Neighbor> ExactNearest(
+      const std::vector<float>& query, size_t k,
+      const std::vector<size_t>& exclude_ids) const;
+  std::vector<Neighbor> AnnNearest(const std::vector<float>& query, size_t k,
+                                   const std::vector<size_t>& exclude_ids)
+      const;
+  /// Routes a query: lazily builds the index when AUTODC_ANN asks for
+  /// it, and decides between the ANN path and the exact fallback.
+  bool UseAnnFor(size_t k, size_t num_excluded) const;
+  /// Builds and publishes a fresh index (const: the lazy env path runs
+  /// under a query; publication is atomic).
+  Status BuildAnn(const ann::HnswConfig& config) const;
+
   size_t dim_ = 0;
   std::unordered_map<std::string, size_t> index_;
   std::vector<std::string> keys_;
@@ -78,6 +132,11 @@ class EmbeddingStore {
   // CenterAndNormalize, so nearest-neighbour search does one dot per
   // candidate instead of a full cosine (3 reductions).
   std::vector<double> norms_sq_;
+  // Mutable + atomic: the AUTODC_ANN lazy build happens under a const
+  // query, guarded by a build mutex and published with a release store,
+  // so concurrent readers either see no index (exact scan) or a fully
+  // built one — never a partial build. Owned; freed in the destructor.
+  mutable std::atomic<AnnState*> ann_{nullptr};
 };
 
 }  // namespace autodc::embedding

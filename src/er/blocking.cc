@@ -1,10 +1,13 @@
 #include "src/er/blocking.h"
 
+#include <algorithm>
+#include <cmath>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "src/common/parallel.h"
 #include "src/common/rng.h"
+#include "src/nn/kernels.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/text/tokenizer.h"
@@ -94,6 +97,90 @@ std::vector<RowPair> LshBlocker::Candidates(
   }
   AUTODC_OBS_COUNT("blocking.lsh_candidates", seen.size());
   return std::vector<RowPair>(seen.begin(), seen.end());
+}
+
+namespace {
+
+/// Exact top-k right rows for one left vector, (sim desc, id asc)
+/// ordered — the small-n fallback and the recall reference.
+std::vector<size_t> ExactTopK(const std::vector<float>& q,
+                              const std::vector<std::vector<float>>& right,
+                              size_t k) {
+  std::vector<std::pair<double, size_t>> scored;
+  scored.reserve(right.size());
+  for (size_t r = 0; r < right.size(); ++r) {
+    double sim = q.size() == right[r].size() && !q.empty()
+                     ? nn::kernels::CosineF32(q.data(), right[r].data(),
+                                              q.size())
+                     : 0.0;
+    scored.emplace_back(sim, r);
+  }
+  size_t take = std::min(k, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + take, scored.end(),
+                    [](const auto& a, const auto& b) {
+                      return a.first > b.first ||
+                             (a.first == b.first && a.second < b.second);
+                    });
+  std::vector<size_t> out;
+  out.reserve(take);
+  for (size_t i = 0; i < take; ++i) out.push_back(scored[i].second);
+  return out;
+}
+
+}  // namespace
+
+AnnBlocker::AnnBlocker(size_t k, const ann::HnswConfig& config)
+    : k_(k), config_(config) {}
+
+std::vector<RowPair> AnnBlocker::Candidates(
+    const std::vector<std::vector<float>>& left,
+    const std::vector<std::vector<float>>& right) const {
+  AUTODC_OBS_SPAN(ann_span, "blocking.ann_candidates");
+  std::vector<std::vector<RowPair>> per_left(left.size());
+  if (right.empty() || left.empty()) return {};
+
+  if (right.size() <= kExactThreshold) {
+    ParallelFor(0, left.size(), 8, [&](size_t b, size_t e) {
+      for (size_t l = b; l < e; ++l) {
+        for (size_t r : ExactTopK(left[l], right, k_)) {
+          per_left[l].emplace_back(l, r);
+        }
+      }
+    });
+  } else {
+    size_t dim = right[0].size();
+    ann::HnswIndex index(dim, config_);
+    std::vector<const float*> rows;
+    rows.reserve(right.size());
+    // Rows of the wrong width get a zero vector so ids keep matching
+    // row indices; zero-norm rows score 0 against everything, the same
+    // as the exact cosine's mismatch semantics.
+    std::vector<float> zero(dim, 0.0f);
+    for (const std::vector<float>& v : right) {
+      rows.push_back(v.size() == dim ? v.data() : zero.data());
+    }
+    index.Build(rows);
+    // Queries are read-only on the built graph: embarrassingly
+    // parallel, with per-row output slots so the flattened result is
+    // independent of thread count.
+    ParallelFor(0, left.size(), 8, [&](size_t b, size_t e) {
+      for (size_t l = b; l < e; ++l) {
+        if (left[l].size() != dim) continue;
+        for (const ann::ScoredId& hit :
+             index.Search(left[l].data(), k_)) {
+          per_left[l].emplace_back(l, hit.id);
+        }
+      }
+    });
+  }
+
+  std::vector<RowPair> out;
+  out.reserve(left.size() * k_);
+  for (const std::vector<RowPair>& pairs : per_left) {
+    out.insert(out.end(), pairs.begin(), pairs.end());
+  }
+  AUTODC_OBS_COUNT("blocking.ann_candidates", out.size());
+  return out;
 }
 
 }  // namespace autodc::er

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/ann/hnsw.h"
 #include "src/data/table.h"
 #include "src/er/evaluation.h"
 
@@ -43,6 +44,34 @@ class LshBlocker {
   size_t num_tables_;
   /// hyperplanes_[t * bits + b] is one random normal vector of length dim.
   std::vector<std::vector<float>> hyperplanes_;
+};
+
+/// kNN blocking over dense tuple embeddings through the HNSW index
+/// (ROADMAP item 3, sub-linear retrieval): the right table's vectors
+/// are indexed once, then every left row retrieves its k most similar
+/// right rows as candidates. Unlike LSH, the candidate count is an
+/// exact budget (≤ k per left row) rather than an emergent bucket-size
+/// distribution, and cost grows ~n·log n instead of with bucket skew.
+/// Small right tables take an exact top-k scan instead of a graph
+/// build (same candidates, recall 1.0 against the scan by definition).
+class AnnBlocker {
+ public:
+  explicit AnnBlocker(size_t k = 10, const ann::HnswConfig& config = {});
+
+  /// Candidate pairs: for each left row, its k nearest right rows by
+  /// cosine. Queries run in parallel; output is ordered by left row
+  /// and identical for any thread count.
+  std::vector<RowPair> Candidates(
+      const std::vector<std::vector<float>>& left,
+      const std::vector<std::vector<float>>& right) const;
+
+  size_t k() const { return k_; }
+
+ private:
+  size_t k_;
+  ann::HnswConfig config_;
+  /// Right tables at or below this size use the exact scan.
+  static constexpr size_t kExactThreshold = 128;
 };
 
 }  // namespace autodc::er

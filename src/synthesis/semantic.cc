@@ -43,7 +43,9 @@ SemanticTransformLearner::TransformTopK(const std::string& input,
   for (size_t d = 0; d < q.size(); ++d) q[d] = (*vi)[d] + offset_[d];
   // Exclude the input and all training inputs (they are answered by
   // memorization, and their vectors sit close to the query).
-  std::vector<std::string> exclude = {in};
+  std::vector<std::string> exclude;
+  exclude.reserve(memorized_.size() + 1);
+  exclude.push_back(in);
   for (const auto& [train_in, train_out] : memorized_) {
     (void)train_out;
     exclude.push_back(train_in);
