@@ -97,6 +97,23 @@ int main(int argc, char** argv) {
                 {"candidates", static_cast<double>(cands.size())},
                 {"reduction", reduction}});
     }
+    // Quantized kNN arm (DESIGN.md §11): same blocker over an int8
+    // graph. Candidates are a recall set — no rescoring — so this gates
+    // that quantized retrieval keeps pair-completeness.
+    {
+      ann::HnswConfig qcfg = ann::ConfigFromEnv();
+      qcfg.quant = nn::kernels::Quant::kInt8;
+      er::AnnBlocker knn(10, qcfg);
+      auto cands = knn.Candidates(lv, rv);
+      double recall = er::PairCompleteness(cands, bench.matches);
+      double reduction = er::ReductionRatio(cands.size(), lv.size(), rv.size());
+      PrintRow({"knn k=10 int8", Fmt(recall), FmtInt(cands.size()),
+                Fmt(reduction)});
+      b.Report("knn_k10_int8",
+               {{"recall", recall},
+                {"candidates", static_cast<double>(cands.size())},
+                {"reduction", reduction}});
+    }
     return 0;
   });
 }

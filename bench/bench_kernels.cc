@@ -100,6 +100,39 @@ int main(int argc, char** argv) {
       });
     }
 
+    // Low-precision kernels (DESIGN.md §11): the exact int8 integer dot
+    // and fused quantized cosine vs their fp32 counterparts above, the
+    // quantizer itself (the per-insert cost of a quantized store), and
+    // the bf16 dot. Same A/B shape — both dispatch tables, same data.
+    for (size_t n : lengths) {
+      std::vector<float> a = RandomVec(n, &rng);
+      std::vector<float> c = RandomVec(n, &rng);
+      size_t iters = (size_t{1} << (b.quick() ? 20 : 22)) / n;
+      nn::kernels::Int8Params pa =
+          nn::kernels::ComputeInt8Params(a.data(), n, false);
+      nn::kernels::Int8Params pc =
+          nn::kernels::ComputeInt8Params(c.data(), n, false);
+      std::vector<std::int8_t> qa(n), qc(n);
+      nn::kernels::QuantizeI8F32(a.data(), n, pa, qa.data());
+      nn::kernels::QuantizeI8F32(c.data(), n, pc, qc.data());
+      std::vector<std::uint16_t> ha(n), hc(n);
+      nn::kernels::F32ToBf16(a.data(), n, ha.data());
+      nn::kernels::F32ToBf16(c.data(), n, hc.data());
+      AbBench(b, "dot-i8", n, iters, 2.0 * n, [&] {
+        g_sink = nn::kernels::DotI8I32(qa.data(), qc.data(), n);
+      });
+      AbBench(b, "cosine-i8", n, iters, 6.0 * n, [&] {
+        g_sink = nn::kernels::CosineI8(qa.data(), pa, qc.data(), pc, n);
+      });
+      AbBench(b, "quantize-i8", n, iters, 2.0 * n, [&] {
+        nn::kernels::QuantizeI8F32(a.data(), n, pa, qa.data());
+        g_sink = qa[0];
+      });
+      AbBench(b, "dot-bf16", n, iters, 2.0 * n, [&] {
+        g_sink = nn::kernels::DotBf16D(ha.data(), hc.data(), n);
+      });
+    }
+
     // Blocked matmul through the Tensor API (ParallelFor + panel
     // kernels).
     std::vector<size_t> mat_sizes =

@@ -37,10 +37,12 @@ MetricDirection DirectionForMetric(const std::string& name) {
       Contains(name, "overhead") || Contains(name, "dropped")) {
     return MetricDirection::kLowerIsBetter;
   }
-  // Name-derived, position-independent: "recall_at_10" or "qps_ann"
-  // should gate as higher-is-better even though no suffix matches.
+  // Name-derived, position-independent: "recall_at_10", "qps_ann",
+  // "throughput_int8" or "hit_rate_top5" should gate as higher-is-better
+  // even though no suffix matches.
   if (Contains(name, "recall") || Contains(name, "qps") ||
-      Contains(name, "speedup")) {
+      Contains(name, "speedup") || Contains(name, "throughput") ||
+      Contains(name, "hit_rate")) {
     return MetricDirection::kHigherIsBetter;
   }
   for (const char* s : kHigherSuffixes) {

@@ -40,12 +40,22 @@ struct VisitedSet {
 
 thread_local VisitedSet t_visited;
 
+// Per-thread query-conversion scratch for quantized indexes: a search
+// quantizes its query exactly once into these, then every distance
+// evaluation runs on the converted form.
+thread_local std::vector<std::int8_t> t_query_q8;
+thread_local std::vector<std::uint16_t> t_query_bf16;
+
 }  // namespace
 
 HnswConfig ConfigFromEnv() {
   HnswConfig config;
+  config.M = EnvSizeT("AUTODC_ANN_M", config.M, 2, 256);
+  config.ef_construction = EnvSizeT("AUTODC_ANN_EF_CONSTRUCTION",
+                                    config.ef_construction, 1, 1 << 20);
   config.ef_search =
       EnvSizeT("AUTODC_ANN_EF_SEARCH", config.ef_search, 1, 1 << 20);
+  config.quant = nn::kernels::QuantFromEnv();
   return config;
 }
 
@@ -71,23 +81,103 @@ int HnswIndex::LevelFor(size_t id) const {
   return std::min(level, 30);
 }
 
-double HnswIndex::SimTo(const float* q, double q_inv, Id id,
-                        size_t* evals) const {
+HnswIndex::QueryView HnswIndex::RowQuery(Id id) const {
+  QueryView q;
+  q.inv = inv_norms_[id];
+  switch (config_.quant) {
+    case nn::kernels::Quant::kFp32:
+      q.f32 = Row(id);
+      break;
+    case nn::kernels::Quant::kInt8:
+    case nn::kernels::Quant::kInt8Sym:
+      q.q8 = Q8Row(id);
+      q.q8_params = q8_params_[id];
+      q.q8_sum = q8_sums_[id];
+      break;
+    case nn::kernels::Quant::kBf16:
+      q.bf16 = Bf16Row(id);
+      break;
+  }
+  return q;
+}
+
+double HnswIndex::SimTo(const QueryView& q, Id id, size_t* evals) const {
   ++*evals;
-  double dot = nn::kernels::DotF32D(q, Row(id), dim_);
-  return dot * q_inv * inv_norms_[id];
+  double dot;
+  switch (config_.quant) {
+    case nn::kernels::Quant::kInt8:
+    case nn::kernels::Quant::kInt8Sym:
+      dot = nn::kernels::DequantDotD(
+          nn::kernels::DotI8I32(q.q8, Q8Row(id), dim_), q.q8_params,
+          q.q8_sum, q8_params_[id], q8_sums_[id], dim_);
+      break;
+    case nn::kernels::Quant::kBf16:
+      dot = nn::kernels::DotBf16D(q.bf16, Bf16Row(id), dim_);
+      break;
+    case nn::kernels::Quant::kFp32:
+    default:
+      dot = nn::kernels::DotF32D(q.f32, Row(id), dim_);
+      break;
+  }
+  return dot * q.inv * inv_norms_[id];
 }
 
 double HnswIndex::SimBetween(Id a, Id b, size_t* evals) const {
   ++*evals;
-  double dot = nn::kernels::DotF32D(Row(a), Row(b), dim_);
+  double dot;
+  switch (config_.quant) {
+    case nn::kernels::Quant::kInt8:
+    case nn::kernels::Quant::kInt8Sym:
+      dot = nn::kernels::DequantDotD(
+          nn::kernels::DotI8I32(Q8Row(a), Q8Row(b), dim_), q8_params_[a],
+          q8_sums_[a], q8_params_[b], q8_sums_[b], dim_);
+      break;
+    case nn::kernels::Quant::kBf16:
+      dot = nn::kernels::DotBf16D(Bf16Row(a), Bf16Row(b), dim_);
+      break;
+    case nn::kernels::Quant::kFp32:
+    default:
+      dot = nn::kernels::DotF32D(Row(a), Row(b), dim_);
+      break;
+  }
   return dot * inv_norms_[a] * inv_norms_[b];
 }
 
 HnswIndex::Id HnswIndex::AppendRow(const float* v) {
   Id id = static_cast<Id>(size_);
-  data_.insert(data_.end(), v, v + dim_);
-  double norm_sq = nn::kernels::SumSqF32(v, dim_);
+  double norm_sq;
+  switch (config_.quant) {
+    case nn::kernels::Quant::kInt8:
+    case nn::kernels::Quant::kInt8Sym: {
+      nn::kernels::Int8Params params = nn::kernels::ComputeInt8Params(
+          v, dim_, config_.quant == nn::kernels::Quant::kInt8Sym);
+      q8_data_.resize(q8_data_.size() + dim_);
+      std::int8_t* row = q8_data_.data() + size_t(id) * dim_;
+      nn::kernels::QuantizeI8F32(v, dim_, params, row);
+      q8_params_.push_back(params);
+      q8_sums_.push_back(nn::kernels::SumI8I32(row, dim_));
+      // Norms come from the dequantized representation so graph sims
+      // use the same geometry the stored rows actually encode.
+      scratch_.resize(dim_);
+      nn::kernels::DequantizeI8F32(row, dim_, params, scratch_.data());
+      norm_sq = nn::kernels::SumSqF32(scratch_.data(), dim_);
+      break;
+    }
+    case nn::kernels::Quant::kBf16: {
+      bf16_data_.resize(bf16_data_.size() + dim_);
+      std::uint16_t* row = bf16_data_.data() + size_t(id) * dim_;
+      nn::kernels::F32ToBf16(v, dim_, row);
+      scratch_.resize(dim_);
+      nn::kernels::Bf16ToF32(row, dim_, scratch_.data());
+      norm_sq = nn::kernels::SumSqF32(scratch_.data(), dim_);
+      break;
+    }
+    case nn::kernels::Quant::kFp32:
+    default:
+      data_.insert(data_.end(), v, v + dim_);
+      norm_sq = nn::kernels::SumSqF32(v, dim_);
+      break;
+  }
   inv_norms_.push_back(norm_sq > 0.0 ? 1.0 / std::sqrt(norm_sq) : 0.0);
   int level = LevelFor(id);
   levels_.push_back(level);
@@ -99,17 +189,17 @@ HnswIndex::Id HnswIndex::AppendRow(const float* v) {
   return id;
 }
 
-HnswIndex::Id HnswIndex::GreedyDescend(const float* q, double q_inv, Id entry,
+HnswIndex::Id HnswIndex::GreedyDescend(const QueryView& q, Id entry,
                                        int from_level, int to_level,
                                        size_t* evals) const {
   Id cur = entry;
-  double best = SimTo(q, q_inv, cur, evals);
+  double best = SimTo(q, cur, evals);
   for (int lev = from_level; lev > to_level; --lev) {
     bool improved = true;
     while (improved) {
       improved = false;
       for (Id nb : links_[cur][lev]) {
-        double s = SimTo(q, q_inv, nb, evals);
+        double s = SimTo(q, nb, evals);
         // Strictly increasing (sim, -id) keeps the walk terminating
         // and the chosen node independent of neighbour-list order.
         if (s > best || (s == best && nb < cur)) {
@@ -124,7 +214,7 @@ HnswIndex::Id HnswIndex::GreedyDescend(const float* q, double q_inv, Id entry,
 }
 
 std::vector<HnswIndex::Candidate> HnswIndex::SearchLayer(
-    const float* q, double q_inv, Id entry, int level, size_t ef,
+    const QueryView& q, Id entry, int level, size_t ef,
     size_t* evals) const {
   auto closer = [](const Candidate& a, const Candidate& b) {
     return a.sim > b.sim || (a.sim == b.sim && a.id < b.id);
@@ -143,7 +233,7 @@ std::vector<HnswIndex::Candidate> HnswIndex::SearchLayer(
   VisitedSet& visited = t_visited;
   visited.Begin(size_);
   visited.TestAndSet(entry);
-  Candidate first{SimTo(q, q_inv, entry, evals), entry};
+  Candidate first{SimTo(q, entry, evals), entry};
   frontier.push(first);
   results.push(first);
 
@@ -153,7 +243,7 @@ std::vector<HnswIndex::Candidate> HnswIndex::SearchLayer(
     frontier.pop();
     for (Id nb : links_[c.id][level]) {
       if (visited.TestAndSet(nb)) continue;
-      double s = SimTo(q, q_inv, nb, evals);
+      double s = SimTo(q, nb, evals);
       if (results.size() < ef || s > results.top().sim ||
           (s == results.top().sim && nb < results.top().id)) {
         frontier.push(Candidate{s, nb});
@@ -212,18 +302,17 @@ std::vector<HnswIndex::Id> HnswIndex::SelectNeighbors(
 HnswIndex::PendingLink HnswIndex::FindCandidates(Id id, size_t* evals) const {
   PendingLink pending;
   if (max_level_ < 0) return pending;  // first node: nothing to search
-  const float* q = Row(id);
-  double q_inv = inv_norms_[id];
+  QueryView q = RowQuery(id);
   int level = levels_[id];
   int top = std::min(level, max_level_);
   pending.per_level.resize(static_cast<size_t>(top) + 1);
   Id ep = entry_;
   if (max_level_ > level) {
-    ep = GreedyDescend(q, q_inv, entry_, max_level_, level, evals);
+    ep = GreedyDescend(q, entry_, max_level_, level, evals);
   }
   for (int lev = top; lev >= 0; --lev) {
     std::vector<Candidate> found =
-        SearchLayer(q, q_inv, ep, lev, config_.ef_construction, evals);
+        SearchLayer(q, ep, lev, config_.ef_construction, evals);
     ep = found.front().id;
     pending.per_level[static_cast<size_t>(lev)] = std::move(found);
   }
@@ -327,14 +416,38 @@ std::vector<ScoredId> HnswIndex::Search(const float* query, size_t k,
 #endif
   size_t evals = 0;
   double norm_sq = nn::kernels::SumSqF32(query, dim_);
-  double q_inv = norm_sq > 0.0 ? 1.0 / std::sqrt(norm_sq) : 0.0;
+  QueryView q;
+  q.inv = norm_sq > 0.0 ? 1.0 / std::sqrt(norm_sq) : 0.0;
+  switch (config_.quant) {
+    case nn::kernels::Quant::kInt8:
+    case nn::kernels::Quant::kInt8Sym: {
+      // Quantize the query once; every graph hop then runs the exact
+      // integer dot against stored rows.
+      t_query_q8.resize(dim_);
+      q.q8_params = nn::kernels::ComputeInt8Params(
+          query, dim_, config_.quant == nn::kernels::Quant::kInt8Sym);
+      nn::kernels::QuantizeI8F32(query, dim_, q.q8_params,
+                                 t_query_q8.data());
+      q.q8 = t_query_q8.data();
+      q.q8_sum = nn::kernels::SumI8I32(t_query_q8.data(), dim_);
+      break;
+    }
+    case nn::kernels::Quant::kBf16:
+      t_query_bf16.resize(dim_);
+      nn::kernels::F32ToBf16(query, dim_, t_query_bf16.data());
+      q.bf16 = t_query_bf16.data();
+      break;
+    case nn::kernels::Quant::kFp32:
+    default:
+      q.f32 = query;
+      break;
+  }
   size_t beam = std::max(ef != 0 ? ef : config_.ef_search, k);
   Id ep = entry_;
   if (max_level_ > 0) {
-    ep = GreedyDescend(query, q_inv, entry_, max_level_, 0, &evals);
+    ep = GreedyDescend(q, entry_, max_level_, 0, &evals);
   }
-  std::vector<Candidate> found =
-      SearchLayer(query, q_inv, ep, 0, beam, &evals);
+  std::vector<Candidate> found = SearchLayer(q, ep, 0, beam, &evals);
   size_t take = std::min(k, found.size());
   out.reserve(take);
   for (size_t i = 0; i < take; ++i) {
@@ -359,10 +472,27 @@ size_t HnswIndex::num_edges() const {
   return edges;
 }
 
+size_t HnswIndex::resident_bytes() const {
+  size_t bytes = data_.capacity() * sizeof(float) +
+                 q8_data_.capacity() * sizeof(std::int8_t) +
+                 q8_params_.capacity() * sizeof(nn::kernels::Int8Params) +
+                 q8_sums_.capacity() * sizeof(std::int32_t) +
+                 bf16_data_.capacity() * sizeof(std::uint16_t) +
+                 inv_norms_.capacity() * sizeof(double) +
+                 levels_.capacity() * sizeof(int);
+  bytes += links_.capacity() * sizeof(std::vector<std::vector<Id>>);
+  for (const auto& node : links_) {
+    bytes += node.capacity() * sizeof(std::vector<Id>);
+    for (const auto& level : node) bytes += level.capacity() * sizeof(Id);
+  }
+  return bytes;
+}
+
 void HnswIndex::PublishStats() const {
   AUTODC_OBS_GAUGE_SET("ann.nodes", static_cast<double>(size_));
   AUTODC_OBS_GAUGE_SET("ann.edges", static_cast<double>(num_edges()));
   AUTODC_OBS_GAUGE_SET("ann.max_level", static_cast<double>(max_level_));
+  AUTODC_OBS_GAUGE_SET("ann.bytes", static_cast<double>(resident_bytes()));
 }
 
 }  // namespace autodc::ann

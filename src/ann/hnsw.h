@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/nn/kernels.h"
+
 // Sub-linear nearest-neighbour retrieval (ROADMAP item 3): an HNSW
 // graph index over dense float vectors, scored by cosine similarity
 // through the SIMD dot kernels with per-row inverse norms cached at
@@ -38,9 +40,19 @@ struct HnswConfig {
   /// Nodes inserted strictly one-by-one before batching starts, so
   /// early batches search a well-connected graph.
   size_t sequential_prefix = 1024;
+  /// Row storage precision (DESIGN.md §11). Below fp32 every graph
+  /// distance evaluation runs on the quantized rows (int8: exact
+  /// integer dot + cached per-row scale/zero-point/sum; bf16: float dot
+  /// on rounded values); similarities returned by Search are then the
+  /// quantized-row cosines, and retrieval-quality consumers re-score
+  /// their top-k in fp32 (EmbeddingStore does this automatically).
+  nn::kernels::Quant quant = nn::kernels::Quant::kFp32;
 };
 
-/// HnswConfig with ef_search overridden by AUTODC_ANN_EF_SEARCH.
+/// HnswConfig with M / ef_construction / ef_search overridden by
+/// AUTODC_ANN_M / AUTODC_ANN_EF_CONSTRUCTION / AUTODC_ANN_EF_SEARCH
+/// (range-checked; out-of-range values warn and keep the default, per
+/// the env.h contract), and quant by AUTODC_EMB_QUANT.
 HnswConfig ConfigFromEnv();
 
 /// True when AUTODC_ANN requests the index path (flag semantics of
@@ -81,8 +93,11 @@ class HnswIndex {
   int max_level() const { return max_level_; }
   /// Directed edge count over all levels (O(n) walk; used by gauges).
   size_t num_edges() const;
+  /// Heap bytes held by row storage + graph structure (O(n) walk; the
+  /// memory half of the quantization bench gate).
+  size_t resident_bytes() const;
 
-  /// Publishes ann.nodes / ann.edges / ann.max_level gauges.
+  /// Publishes ann.nodes / ann.edges / ann.max_level / ann.bytes gauges.
   void PublishStats() const;
 
  private:
@@ -102,21 +117,42 @@ class HnswIndex {
     std::vector<std::vector<Candidate>> per_level;  // [level] best-first
   };
 
+  /// A query in whatever representation the index's storage mode
+  /// scores against, plus the fp32 inverse norm. Built once per search
+  /// (quantizing the query a single time) or borrowed from a stored
+  /// row during construction.
+  struct QueryView {
+    const float* f32 = nullptr;
+    const std::int8_t* q8 = nullptr;
+    nn::kernels::Int8Params q8_params;
+    std::int32_t q8_sum = 0;
+    const std::uint16_t* bf16 = nullptr;
+    double inv = 0.0;  // 1/|q| (0 for zero-norm queries)
+  };
+
   int LevelFor(size_t id) const;
   const float* Row(Id id) const { return data_.data() + size_t(id) * dim_; }
-  double SimTo(const float* q, double q_inv, Id id, size_t* evals) const;
+  const std::int8_t* Q8Row(Id id) const {
+    return q8_data_.data() + size_t(id) * dim_;
+  }
+  const std::uint16_t* Bf16Row(Id id) const {
+    return bf16_data_.data() + size_t(id) * dim_;
+  }
+  /// QueryView borrowing stored row `id` (cached params, no conversion).
+  QueryView RowQuery(Id id) const;
+  double SimTo(const QueryView& q, Id id, size_t* evals) const;
   double SimBetween(Id a, Id b, size_t* evals) const;
 
-  /// Appends the raw vector (data, inverse norm, level, empty links).
+  /// Appends the raw vector (data in the configured precision, inverse
+  /// norm of the stored representation, level, empty links).
   Id AppendRow(const float* v);
   /// Greedy single-entry descent from `from_level` down to just above
   /// `to_level`.
-  Id GreedyDescend(const float* q, double q_inv, Id entry, int from_level,
+  Id GreedyDescend(const QueryView& q, Id entry, int from_level,
                    int to_level, size_t* evals) const;
   /// Beam search at one level; returns up to ef candidates, best first.
-  std::vector<Candidate> SearchLayer(const float* q, double q_inv, Id entry,
-                                     int level, size_t ef,
-                                     size_t* evals) const;
+  std::vector<Candidate> SearchLayer(const QueryView& q, Id entry, int level,
+                                     size_t ef, size_t* evals) const;
   /// The select-neighbours diversity heuristic (HNSW Algorithm 4), with
   /// pruned-candidate backfill to keep degrees full.
   std::vector<Id> SelectNeighbors(const std::vector<Candidate>& cands,
@@ -133,8 +169,15 @@ class HnswIndex {
   double level_mult_;  // 1 / ln(M)
   size_t size_ = 0;
 
-  std::vector<float> data_;        // size_ * dim_, row-major
-  std::vector<double> inv_norms_;  // 1/|v| (0 for zero-norm rows)
+  // Row storage: exactly one of data_ / q8_data_ / bf16_data_ is
+  // populated, per config_.quant.
+  std::vector<float> data_;            // fp32: size_ * dim_, row-major
+  std::vector<std::int8_t> q8_data_;   // int8: size_ * dim_, row-major
+  std::vector<nn::kernels::Int8Params> q8_params_;  // int8: per row
+  std::vector<std::int32_t> q8_sums_;  // int8: per-row element sums
+  std::vector<std::uint16_t> bf16_data_;  // bf16: size_ * dim_
+  std::vector<float> scratch_;     // serial-phase dequant scratch
+  std::vector<double> inv_norms_;  // 1/|v| of the STORED representation
   std::vector<int> levels_;
   /// links_[node][level] -> neighbour ids (level 0 capped at 2M, else M).
   std::vector<std::vector<std::vector<Id>>> links_;

@@ -61,7 +61,7 @@ void TableSearchEngine::Index(const std::vector<const data::Table*>& tables) {
   if (config_.use_ann && dim > 0 &&
       table_vectors_.size() >= config_.ann_min_tables) {
     AUTODC_OBS_SPAN(index_span, "search.ann_index");
-    ann_ = std::make_unique<ann::HnswIndex>(dim, ann::ConfigFromEnv());
+    ann_ = std::make_unique<ann::HnswIndex>(dim, config_.ann_config);
     std::vector<const float*> rows;
     rows.reserve(table_vectors_.size());
     // Odd-width vectors (dim-0 store rows, schema glitches) get a zero

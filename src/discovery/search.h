@@ -34,6 +34,12 @@ struct SearchConfig {
   /// Lakes smaller than this always take the exact scan.
   size_t ann_min_tables = 64;
   size_t ann_overfetch = 4;
+  /// Graph parameters for the ANN index (M / ef_* / quant). Defaults
+  /// pick up AUTODC_ANN_M, AUTODC_ANN_EF_CONSTRUCTION,
+  /// AUTODC_ANN_EF_SEARCH and AUTODC_EMB_QUANT from the environment;
+  /// candidates are re-scored by the hybrid ranker either way, so a
+  /// quantized index only affects which tables make the shortlist.
+  ann::HnswConfig ann_config = ann::ConfigFromEnv();
 };
 
 /// The "Google-style search engine over the enterprise's relations" of

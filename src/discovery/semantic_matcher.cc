@@ -170,7 +170,7 @@ std::vector<ColumnMatch> SemanticColumnMatcher::MatchLake(
         centroids[idx] = words_->AverageOf(toks);
       }
     });
-    ann::HnswIndex index(dim, ann::ConfigFromEnv());
+    ann::HnswIndex index(dim, config_.ann_config);
     std::vector<const float*> rows;
     rows.reserve(cols.size());
     std::vector<float> zero(dim, 0.0f);

@@ -2,11 +2,14 @@
 #define AUTODC_EMBEDDING_EMBEDDING_STORE_H_
 
 #include <atomic>
+#include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/nn/kernels.h"
 
 namespace autodc::ann {
 struct HnswConfig;
@@ -35,10 +38,24 @@ struct Neighbor {
 /// CenterAndNormalize) invalidates the index; queries fall back to the
 /// exact scan until EnableAnn() is called again (appending new keys via
 /// Add keeps the index live — they are inserted incrementally).
+///
+/// Storage precision (DESIGN.md §11): with AUTODC_EMB_QUANT=int8 (or
+/// int8sym / bf16) — or the explicit quant constructor — rows are
+/// quantized on insert and the fp32 copies are dropped, roughly halving
+/// (bf16) or quartering (int8) row-storage bytes. Exact scans and HNSW
+/// graph hops then score on the quantized rows directly, and the top-k
+/// shortlist is re-scored in fp32 over the dequantized rows, so the
+/// similarities returned stay on the exact-path formula. Find() on a
+/// quantized store dequantizes the row on first access into a per-row
+/// cache (pointers stay stable for the store's lifetime). The default
+/// fp32 mode is bit-identical to the unquantized store.
 class EmbeddingStore {
  public:
-  EmbeddingStore() = default;
-  explicit EmbeddingStore(size_t dim) : dim_(dim) {}
+  EmbeddingStore() : EmbeddingStore(0) {}
+  explicit EmbeddingStore(size_t dim)
+      : EmbeddingStore(dim, nn::kernels::QuantFromEnv()) {}
+  EmbeddingStore(size_t dim, nn::kernels::Quant quant)
+      : dim_(dim), quant_(quant) {}
   ~EmbeddingStore();
 
   /// Copies duplicate the vectors but not the ANN index (the copy
@@ -52,7 +69,9 @@ class EmbeddingStore {
   /// the first Add fixes it when constructed with dim 0).
   Status Add(const std::string& key, std::vector<float> vector);
 
-  /// Vector for key, or nullptr.
+  /// Vector for key, or nullptr. On a quantized store this dequantizes
+  /// on first access and caches the fp32 row (thread-safe; the pointer
+  /// stays valid and tracks later overwrites of the key).
   const std::vector<float>* Find(const std::string& key) const;
 
   bool Contains(const std::string& key) const {
@@ -61,6 +80,13 @@ class EmbeddingStore {
   size_t size() const { return keys_.size(); }
   size_t dim() const { return dim_; }
   const std::vector<std::string>& keys() const { return keys_; }
+  /// Row storage precision.
+  nn::kernels::Quant quant() const { return quant_; }
+  /// Heap bytes of row storage + cached norms/params (keys and the key
+  /// index excluded — they are identical across modes). The memory half
+  /// of the quantization bench gate; published as the
+  /// embedding.store.bytes gauge when an ANN index is built.
+  size_t ResidentBytes() const;
 
   /// k nearest neighbours of `query` by cosine similarity, excluding the
   /// keys listed in `exclude`. Exact by default; approximate when the
@@ -124,14 +150,45 @@ class EmbeddingStore {
   /// under a query; publication is atomic).
   Status BuildAnn(const ann::HnswConfig& config) const;
 
+  /// Materializes row `id` as fp32 into `out` (dim_ floats): a copy in
+  /// fp32 mode, dequantization otherwise.
+  void RowToF32(size_t id, float* out) const;
+  /// Writes `v` into the quantized backing at row `id` (appending when
+  /// id == current row count) and returns the squared norm of the
+  /// stored (dequantized) representation.
+  double WriteQuantRow(size_t id, const float* v);
+  /// Exact-formula similarity against row `id`: fp32 dot over the
+  /// dequantized row (via `scratch` on quantized stores). This is the
+  /// rescoring contract — ANN hits and quantized-scan shortlists both
+  /// come back through here so returned similarities are comparable
+  /// across modes and paths.
+  double RescoredSim(const float* query, double query_norm, size_t id,
+                     std::vector<float>& scratch) const;
+
   size_t dim_ = 0;
+  nn::kernels::Quant quant_ = nn::kernels::Quant::kFp32;
   std::unordered_map<std::string, size_t> index_;
   std::vector<std::string> keys_;
+  // Row storage: vectors_ in fp32 mode, the flat arrays below in
+  // quantized modes (per-row scale/zero-point + cached element sums for
+  // the int8 zero-point correction).
   std::vector<std::vector<float>> vectors_;
-  // Cached squared L2 norm per vector, maintained by Add and
-  // CenterAndNormalize, so nearest-neighbour search does one dot per
-  // candidate instead of a full cosine (3 reductions).
+  std::vector<std::int8_t> q8_data_;
+  std::vector<nn::kernels::Int8Params> q8_params_;
+  std::vector<std::int32_t> q8_sums_;
+  std::vector<std::uint16_t> bf16_data_;
+  std::vector<float> scratch_;  // non-const-path dequant scratch
+  // Cached squared L2 norm per vector (of the stored representation),
+  // maintained by Add and CenterAndNormalize, so nearest-neighbour
+  // search does one dot per candidate instead of a full cosine (3
+  // reductions).
   std::vector<double> norms_sq_;
+  // Find() on a quantized store returns pointers into this per-row
+  // dequant cache; unordered_map's node-based storage keeps mapped
+  // vectors stable across rehash, and overwrites refresh entries in
+  // place so held pointers track the latest value.
+  mutable std::mutex dequant_mu_;
+  mutable std::unordered_map<size_t, std::vector<float>> dequant_cache_;
   // Mutable + atomic: the AUTODC_ANN lazy build happens under a const
   // query, guarded by a build mutex and published with a release store,
   // so concurrent readers either see no index (exact scan) or a fully

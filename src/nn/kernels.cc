@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "src/common/env.h"
+#include "src/obs/log.h"
 #include "src/obs/metrics.h"
 
 // Portable scalar kernel table + runtime dispatch. The scalar loops here
@@ -114,6 +118,169 @@ void ScalarAdamUpdateF32(const float* g, float* m, float* v, float* p,
   }
 }
 
+// ---- Scalar low-precision ---------------------------------------------
+
+// Matches _mm256_cvtps_epi32 semantics: round-to-nearest-even, with
+// out-of-range (and NaN) collapsing to INT32_MIN, so the scalar and
+// AVX2 quantizers agree bit-for-bit even on out-of-contract inputs.
+inline std::int32_t RoundF32ToI32(float r) {
+  if (!(r >= -2147483648.0f && r < 2147483648.0f)) return INT32_MIN;
+  return static_cast<std::int32_t>(std::nearbyintf(r));
+}
+
+void ScalarQuantizeI8F32(const float* x, size_t n, Int8Params p,
+                         std::int8_t* q) {
+  const float inv = 1.0f / p.scale;
+  for (size_t i = 0; i < n; ++i) {
+    std::int32_t v = RoundF32ToI32(x[i] * inv) + p.zero_point;
+    q[i] = static_cast<std::int8_t>(std::clamp(v, -127, 127));
+  }
+}
+
+void ScalarDequantizeI8F32(const std::int8_t* q, size_t n, Int8Params p,
+                           float* x) {
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = p.scale * static_cast<float>(q[i] - p.zero_point);
+  }
+}
+
+std::int32_t ScalarDotI8I32(const std::int8_t* a, const std::int8_t* b,
+                            size_t n) {
+  std::int32_t s = 0;
+  for (size_t i = 0; i < n; ++i) {
+    s += static_cast<std::int32_t>(a[i]) * b[i];
+  }
+  return s;
+}
+
+std::int32_t ScalarSumI8I32(const std::int8_t* x, size_t n) {
+  std::int32_t s = 0;
+  for (size_t i = 0; i < n; ++i) s += x[i];
+  return s;
+}
+
+// One fused integer pass: dot, element sums, sums of squares. All sums
+// are exact, and the final combine goes through the shared inline
+// dequant algebra in kernels.h, so the AVX2 twin produces bit-identical
+// doubles.
+struct Int8Moments {
+  std::int32_t dot = 0, sa = 0, sb = 0;
+  std::int64_t saa = 0, sbb = 0;
+};
+
+Int8Moments ScalarInt8Moments(const std::int8_t* a, const std::int8_t* b,
+                              size_t n) {
+  Int8Moments m;
+  for (size_t i = 0; i < n; ++i) {
+    std::int32_t av = a[i], bv = b[i];
+    m.dot += av * bv;
+    m.sa += av;
+    m.sb += bv;
+    m.saa += av * av;
+    m.sbb += bv * bv;
+  }
+  return m;
+}
+
+double ScalarCosineI8(const std::int8_t* a, Int8Params pa,
+                      const std::int8_t* b, Int8Params pb, size_t n) {
+  Int8Moments m = ScalarInt8Moments(a, b, n);
+  double na = DequantNormSqD(m.saa, pa, m.sa, n);
+  double nb = DequantNormSqD(m.sbb, pb, m.sb, n);
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  double dot = DequantDotD(m.dot, pa, m.sa, pb, m.sb, n);
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+double ScalarSqDistI8(const std::int8_t* a, Int8Params pa,
+                      const std::int8_t* b, Int8Params pb, size_t n) {
+  Int8Moments m = ScalarInt8Moments(a, b, n);
+  double na = DequantNormSqD(m.saa, pa, m.sa, n);
+  double nb = DequantNormSqD(m.sbb, pb, m.sb, n);
+  double dot = DequantDotD(m.dot, pa, m.sa, pb, m.sb, n);
+  return DequantSqDistCombineD(na, nb, dot);
+}
+
+// f32 -> bf16 round-to-nearest-even with NaN preserved (quiet bit
+// forced so a NaN whose payload lives in the truncated bits does not
+// round into infinity). Shared by the AVX2 translation unit's tail
+// loops via the table entry.
+inline std::uint16_t F32ToBf16One(float f) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &f, sizeof(bits));
+  if ((bits & 0x7FFFFFFFu) > 0x7F800000u) {
+    return static_cast<std::uint16_t>((bits >> 16) | 0x0040u);
+  }
+  std::uint32_t r = bits + 0x7FFFu + ((bits >> 16) & 1u);
+  return static_cast<std::uint16_t>(r >> 16);
+}
+
+inline float Bf16ToF32One(std::uint16_t h) {
+  std::uint32_t bits = static_cast<std::uint32_t>(h) << 16;
+  float f;
+  std::memcpy(&f, &bits, sizeof(f));
+  return f;
+}
+
+void ScalarF32ToBf16(const float* x, size_t n, std::uint16_t* y) {
+  for (size_t i = 0; i < n; ++i) y[i] = F32ToBf16One(x[i]);
+}
+
+void ScalarBf16ToF32(const std::uint16_t* x, size_t n, float* y) {
+  for (size_t i = 0; i < n; ++i) y[i] = Bf16ToF32One(x[i]);
+}
+
+double ScalarDotBf16D(const std::uint16_t* a, const std::uint16_t* b,
+                      size_t n) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    s += static_cast<double>(Bf16ToF32One(a[i])) * Bf16ToF32One(b[i]);
+  }
+  return s;
+}
+
+double ScalarCosineBf16(const std::uint16_t* a, const std::uint16_t* b,
+                        size_t n) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double av = Bf16ToF32One(a[i]), bv = Bf16ToF32One(b[i]);
+    dot += av * bv;
+    na += av * av;
+    nb += bv * bv;
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+double ScalarSqDistBf16(const std::uint16_t* a, const std::uint16_t* b,
+                        size_t n) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double d = static_cast<double>(Bf16ToF32One(a[i])) - Bf16ToF32One(b[i]);
+    s += d * d;
+  }
+  return s;
+}
+
+void ScalarGemmI8TransBPanelF32(const std::int8_t* a,
+                                const Int8Params* a_params,
+                                const std::int32_t* a_sums,
+                                const std::int8_t* b,
+                                const Int8Params* b_params,
+                                const std::int32_t* b_sums, float* c,
+                                size_t r0, size_t r1, size_t m, size_t k) {
+  for (size_t i = r0; i < r1; ++i) {
+    const std::int8_t* arow = a + i * m;
+    float* crow = c + i * k;
+    for (size_t t = 0; t < k; ++t) {
+      std::int32_t idot = ScalarDotI8I32(arow, b + t * m, m);
+      crow[t] = static_cast<float>(
+          DequantDotD(idot, a_params[i], a_sums[i], b_params[t], b_sums[t],
+                      m));
+    }
+  }
+}
+
 // ---- Scalar level-3 ---------------------------------------------------
 
 // Tile edge shared with the seed Tensor matmuls: the inner dimension is
@@ -207,6 +374,18 @@ constexpr KernelOps kScalarOps = {
     ScalarGemmPanelF32,
     ScalarGemmTransAPanelF32,
     ScalarGemmTransBPanelF32,
+    ScalarQuantizeI8F32,
+    ScalarDequantizeI8F32,
+    ScalarDotI8I32,
+    ScalarSumI8I32,
+    ScalarCosineI8,
+    ScalarSqDistI8,
+    ScalarF32ToBf16,
+    ScalarBf16ToF32,
+    ScalarDotBf16D,
+    ScalarCosineBf16,
+    ScalarSqDistBf16,
+    ScalarGemmI8TransBPanelF32,
 };
 
 // ---- Dispatch ---------------------------------------------------------
@@ -375,6 +554,143 @@ void GemmTransBPanelF32(const float* a, const float* b, float* c, size_t r0,
   const KernelOps* ops = Active();
   AUTODC_KERNEL_COUNT(gemm_tb_panel_f32, ops);
   ops->gemm_tb_panel_f32(a, b, c, r0, r1, m, k);
+}
+
+// ---- Low-precision public API -----------------------------------------
+
+const char* QuantName(Quant q) {
+  switch (q) {
+    case Quant::kInt8:
+      return "int8";
+    case Quant::kInt8Sym:
+      return "int8sym";
+    case Quant::kBf16:
+      return "bf16";
+    case Quant::kFp32:
+      break;
+  }
+  return "fp32";
+}
+
+Quant ParseQuant(const char* value) {
+  std::string v = value == nullptr ? "" : value;
+  for (char& c : v) c = static_cast<char>(std::tolower(c));
+  if (v == "int8") return Quant::kInt8;
+  if (v == "int8sym") return Quant::kInt8Sym;
+  if (v == "bf16") return Quant::kBf16;
+  return Quant::kFp32;
+}
+
+Quant QuantFromEnv() {
+  std::string value = EnvString("AUTODC_EMB_QUANT");
+  Quant q = ParseQuant(value.c_str());
+  if (q == Quant::kFp32 && !value.empty() && value != "fp32") {
+    AUTODC_LOG(WARN) << "ignoring AUTODC_EMB_QUANT='" << value
+                     << "' (expected int8, int8sym, bf16, or fp32); "
+                     << "using fp32";
+  }
+  return q;
+}
+
+double DequantSqDistCombineD(double na, double nb, double dot) {
+  // One compiled instance on purpose (see the header): this TU builds
+  // without -mfma, so the subtractions can never contract with the
+  // inlined dot product's final multiply, and both kernel paths get
+  // the exact same last bit.
+  return (na - dot) + (nb - dot);
+}
+
+Int8Params ComputeInt8Params(const float* x, size_t n, bool symmetric) {
+  if (n == 0) return {1.0f, 0};
+  float mn = x[0], mx = x[0];
+  for (size_t i = 1; i < n; ++i) {
+    mn = std::min(mn, x[i]);
+    mx = std::max(mx, x[i]);
+  }
+  if (symmetric) {
+    float amax = std::max(std::fabs(mn), std::fabs(mx));
+    if (!(amax > 0.0f)) return {1.0f, 0};
+    return {amax / 127.0f, 0};
+  }
+  // Extend the range to include 0 so zero is exactly representable and
+  // the zero-point derivation below stays within [-127, 127].
+  mn = std::min(mn, 0.0f);
+  mx = std::max(mx, 0.0f);
+  if (!(mx - mn > 0.0f)) return {1.0f, 0};
+  float scale = (mx - mn) / 254.0f;
+  std::int32_t zp = static_cast<std::int32_t>(
+      std::nearbyintf(-127.0f - mn / scale));
+  return {scale, std::clamp(zp, -127, 127)};
+}
+
+void QuantizeI8F32(const float* x, size_t n, Int8Params params,
+                   std::int8_t* q) {
+  const KernelOps* ops = Active();
+  AUTODC_KERNEL_COUNT(quantize_i8, ops);
+  ops->quantize_i8(x, n, params, q);
+}
+void DequantizeI8F32(const std::int8_t* q, size_t n, Int8Params params,
+                     float* x) {
+  const KernelOps* ops = Active();
+  AUTODC_KERNEL_COUNT(dequantize_i8, ops);
+  ops->dequantize_i8(q, n, params, x);
+}
+std::int32_t DotI8I32(const std::int8_t* a, const std::int8_t* b, size_t n) {
+  const KernelOps* ops = Active();
+  AUTODC_KERNEL_COUNT(dot_i8_i32, ops);
+  return ops->dot_i8_i32(a, b, n);
+}
+std::int32_t SumI8I32(const std::int8_t* x, size_t n) {
+  const KernelOps* ops = Active();
+  AUTODC_KERNEL_COUNT(sum_i8_i32, ops);
+  return ops->sum_i8_i32(x, n);
+}
+double CosineI8(const std::int8_t* a, Int8Params pa, const std::int8_t* b,
+                Int8Params pb, size_t n) {
+  const KernelOps* ops = Active();
+  AUTODC_KERNEL_COUNT(cosine_i8, ops);
+  return ops->cosine_i8(a, pa, b, pb, n);
+}
+double SqDistI8(const std::int8_t* a, Int8Params pa, const std::int8_t* b,
+                Int8Params pb, size_t n) {
+  const KernelOps* ops = Active();
+  AUTODC_KERNEL_COUNT(sqdist_i8, ops);
+  return ops->sqdist_i8(a, pa, b, pb, n);
+}
+void F32ToBf16(const float* x, size_t n, std::uint16_t* y) {
+  const KernelOps* ops = Active();
+  AUTODC_KERNEL_COUNT(f32_to_bf16, ops);
+  ops->f32_to_bf16(x, n, y);
+}
+void Bf16ToF32(const std::uint16_t* x, size_t n, float* y) {
+  const KernelOps* ops = Active();
+  AUTODC_KERNEL_COUNT(bf16_to_f32, ops);
+  ops->bf16_to_f32(x, n, y);
+}
+double DotBf16D(const std::uint16_t* a, const std::uint16_t* b, size_t n) {
+  const KernelOps* ops = Active();
+  AUTODC_KERNEL_COUNT(dot_bf16d, ops);
+  return ops->dot_bf16d(a, b, n);
+}
+double CosineBf16(const std::uint16_t* a, const std::uint16_t* b, size_t n) {
+  const KernelOps* ops = Active();
+  AUTODC_KERNEL_COUNT(cosine_bf16, ops);
+  return ops->cosine_bf16(a, b, n);
+}
+double SqDistBf16(const std::uint16_t* a, const std::uint16_t* b, size_t n) {
+  const KernelOps* ops = Active();
+  AUTODC_KERNEL_COUNT(sqdist_bf16, ops);
+  return ops->sqdist_bf16(a, b, n);
+}
+void GemmI8TransBPanelF32(const std::int8_t* a, const Int8Params* a_params,
+                          const std::int32_t* a_sums, const std::int8_t* b,
+                          const Int8Params* b_params,
+                          const std::int32_t* b_sums, float* c, size_t r0,
+                          size_t r1, size_t m, size_t k) {
+  const KernelOps* ops = Active();
+  AUTODC_KERNEL_COUNT(gemm_i8_tb_panel_f32, ops);
+  ops->gemm_i8_tb_panel_f32(a, a_params, a_sums, b, b_params, b_sums, c, r0,
+                            r1, m, k);
 }
 
 }  // namespace autodc::nn::kernels

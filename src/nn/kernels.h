@@ -2,6 +2,7 @@
 #define AUTODC_NN_KERNELS_H_
 
 #include <cstddef>
+#include <cstdint>
 
 // SIMD micro-kernel layer: the single place where per-core throughput is
 // earned. Every dense inner loop in the library (tensor ops, autograd,
@@ -125,6 +126,159 @@ void GemmTransAPanelF32(const float* a, const float* b, float* c, size_t c0,
 void GemmTransBPanelF32(const float* a, const float* b, float* c, size_t r0,
                         size_t r1, size_t m, size_t k);
 
+// ---- Low-precision kernels -------------------------------------------
+// Quantized row formats used by the embedding store and the ANN index
+// (see DESIGN.md §11). Two storage modes exist below fp32:
+//
+//   * int8: per-row affine quantization q = clamp(round(x/scale) + zp)
+//     with q restricted to [-127, 127]. The +-127 (not -128) bound is a
+//     hard invariant: it keeps |q_a * q_b| <= 127*127, so the AVX2
+//     maddubs i16 pair-sums (<= 32258) cannot saturate and the integer
+//     dot is EXACT — the scalar and AVX2 paths agree bit-for-bit, unlike
+//     the float kernels' 1e-5 tolerance. The symmetric option pins
+//     zp = 0 (scale = absmax/127).
+//   * bf16: the top 16 bits of the f32 pattern, rounded to
+//     nearest-even. Conversion back is exact (<<16), so bf16 dots are
+//     ordinary float math on rounded inputs and follow the normal
+//     cross-path tolerance policy.
+//
+// Integer-dot length limit: the i32 accumulator is exact for
+// n <= ~1M elements at |q| <= 127; every caller here is a row dot
+// (n = embedding dim), far below that.
+
+/// Storage precision of a quantized row.
+enum class Quant : std::uint8_t {
+  kFp32 = 0,   // no quantization (default everywhere)
+  kInt8 = 1,   // per-row scale + zero-point, q in [-127, 127]
+  kInt8Sym = 2,  // per-row scale only (zero-point pinned to 0)
+  kBf16 = 3,   // round-to-nearest-even bfloat16
+};
+
+/// Short mode name ("fp32", "int8", "int8sym", "bf16") for logs/benches.
+const char* QuantName(Quant q);
+
+/// True for either int8 flavour.
+inline bool QuantIsInt8(Quant q) {
+  return q == Quant::kInt8 || q == Quant::kInt8Sym;
+}
+
+/// Parses "int8" / "int8sym" / "bf16" / "fp32" (or "", "none", "off") to
+/// a mode; unrecognized values fall back to fp32.
+Quant ParseQuant(const char* value);
+
+/// Reads AUTODC_EMB_QUANT through common/env.h. Not cached — call sites
+/// are store/index construction, never a hot path.
+Quant QuantFromEnv();
+
+/// Per-row affine parameters: x ~= scale * (q - zero_point).
+struct Int8Params {
+  float scale = 1.0f;
+  std::int32_t zero_point = 0;
+};
+
+/// Derives quantization parameters for one row. Asymmetric mode extends
+/// the [min, max] range to include 0 so zero is exactly representable
+/// and |zero_point| <= 127. Degenerate rows (all zeros, n == 0) get
+/// {1, 0} so every element quantizes to 0 exactly.
+Int8Params ComputeInt8Params(const float* x, size_t n, bool symmetric);
+
+/// Dequantized dot product from an exact integer dot plus the cached
+/// per-row element sums:
+///   dot = s_a*s_b * (idot - zp_a*sum_b - zp_b*sum_a + n*zp_a*zp_b)
+/// Inline and shared by the scalar and AVX2 tables (and by ANN/store
+/// callers with cached sums) so every path combines identically.
+inline double DequantDotD(std::int32_t idot, Int8Params pa, std::int32_t sum_a,
+                          Int8Params pb, std::int32_t sum_b, size_t n) {
+  std::int64_t corr = static_cast<std::int64_t>(idot) -
+                      static_cast<std::int64_t>(pa.zero_point) * sum_b -
+                      static_cast<std::int64_t>(pb.zero_point) * sum_a +
+                      static_cast<std::int64_t>(n) * pa.zero_point *
+                          pb.zero_point;
+  return static_cast<double>(pa.scale) * static_cast<double>(pb.scale) *
+         static_cast<double>(corr);
+}
+
+/// Dequantized squared norm from the cached integer moments:
+///   |x|^2 = s^2 * (sumsq - 2*zp*sum + n*zp^2)
+inline double DequantNormSqD(std::int64_t sumsq, Int8Params p,
+                             std::int32_t sum, size_t n) {
+  std::int64_t corr = sumsq -
+                      2 * static_cast<std::int64_t>(p.zero_point) * sum +
+                      static_cast<std::int64_t>(n) * p.zero_point *
+                          p.zero_point;
+  return static_cast<double>(p.scale) * static_cast<double>(p.scale) *
+         static_cast<double>(corr);
+}
+
+/// q[i] = clamp(round(x[i] * (1/params.scale)) + zp, -127, 127).
+/// Round-to-nearest-even on both paths (nearbyintf / cvtps_epi32 under
+/// the default FP environment), with the reciprocal precomputed
+/// identically, so scalar and AVX2 outputs are bit-identical.
+void QuantizeI8F32(const float* x, size_t n, Int8Params params,
+                   std::int8_t* q);
+
+/// x[i] = params.scale * (q[i] - params.zero_point). Bit-identical
+/// across paths (single f32 multiply per element).
+void DequantizeI8F32(const std::int8_t* q, size_t n, Int8Params params,
+                     float* x);
+
+/// Exact i32 dot of two int8 rows. Precondition: elements in
+/// [-127, 127] (the quantizer's invariant); the AVX2 maddubs path would
+/// saturate at -128*-128 pairs otherwise. Scalar/AVX2 bit-identical.
+std::int32_t DotI8I32(const std::int8_t* a, const std::int8_t* b, size_t n);
+
+/// Exact i32 element sum of an int8 row (the cached `sum` used by the
+/// zero-point correction). Scalar/AVX2 bit-identical.
+std::int32_t SumI8I32(const std::int8_t* x, size_t n);
+
+/// Cosine similarity of two quantized rows, computed from one fused
+/// integer pass (dot, sums, sums of squares) + the shared dequant
+/// algebra. 0.0 when either dequantized norm is zero. Scalar/AVX2
+/// bit-identical (all integer sums are exact).
+double CosineI8(const std::int8_t* a, Int8Params pa, const std::int8_t* b,
+                Int8Params pb, size_t n);
+
+/// Squared Euclidean distance between the dequantized rows, same fused
+/// integer pass: |a|^2 + |b|^2 - 2*dot. Scalar/AVX2 bit-identical.
+double SqDistI8(const std::int8_t* a, Int8Params pa, const std::int8_t* b,
+                Int8Params pb, size_t n);
+
+/// (na - dot) + (nb - dot), deliberately OUT of line: inlined into the
+/// AVX2 translation unit, the subtractions contract with the dot
+/// product's final multiply into FMAs, silently breaking SqDistI8's
+/// bit-identical cross-path contract. One definition in the scalar TU
+/// keeps both paths combining with the same instructions.
+double DequantSqDistCombineD(double na, double nb, double dot);
+
+/// f32 -> bf16 round-to-nearest-even (integer bit math; bit-identical
+/// across paths). NaNs keep a NaN pattern.
+void F32ToBf16(const float* x, size_t n, std::uint16_t* y);
+
+/// bf16 -> f32, exact (<<16). Bit-identical across paths.
+void Bf16ToF32(const std::uint16_t* x, size_t n, float* y);
+
+/// Dot of two bf16 rows, double accumulation (mirrors DotF32D on the
+/// widened values; normal 1e-5 cross-path tolerance).
+double DotBf16D(const std::uint16_t* a, const std::uint16_t* b, size_t n);
+
+/// Cosine of two bf16 rows, fused single pass like CosineF32.
+double CosineBf16(const std::uint16_t* a, const std::uint16_t* b, size_t n);
+
+/// Squared Euclidean distance of two bf16 rows, double accumulation.
+double SqDistBf16(const std::uint16_t* a, const std::uint16_t* b, size_t n);
+
+/// Quantized analogue of GemmTransBPanelF32 for batched scoring:
+/// C rows [r0,r1) = dequantized A[r0:r1, 0:m] * B^T for quantized
+/// A {n,m}, B {k,m}, C {n,k}. a_params/a_sums index rows of A (n
+/// entries), b_params/b_sums rows of B (k entries). Assigns the output.
+/// Each element combines an exact integer dot through DequantDotD, so
+/// scalar and AVX2 outputs are bit-identical.
+void GemmI8TransBPanelF32(const std::int8_t* a, const Int8Params* a_params,
+                          const std::int32_t* a_sums, const std::int8_t* b,
+                          const Int8Params* b_params,
+                          const std::int32_t* b_sums, float* c, size_t r0,
+                          size_t r1, size_t m, size_t k);
+
 // ---- Implementation plumbing -----------------------------------------
 
 /// Function table one ISA implements. Internal; exposed so the scalar
@@ -154,6 +308,23 @@ struct KernelOps {
                             size_t, size_t, size_t, size_t);
   void (*gemm_tb_panel_f32)(const float*, const float*, float*, size_t,
                             size_t, size_t, size_t);
+  void (*quantize_i8)(const float*, size_t, Int8Params, std::int8_t*);
+  void (*dequantize_i8)(const std::int8_t*, size_t, Int8Params, float*);
+  std::int32_t (*dot_i8_i32)(const std::int8_t*, const std::int8_t*, size_t);
+  std::int32_t (*sum_i8_i32)(const std::int8_t*, size_t);
+  double (*cosine_i8)(const std::int8_t*, Int8Params, const std::int8_t*,
+                      Int8Params, size_t);
+  double (*sqdist_i8)(const std::int8_t*, Int8Params, const std::int8_t*,
+                      Int8Params, size_t);
+  void (*f32_to_bf16)(const float*, size_t, std::uint16_t*);
+  void (*bf16_to_f32)(const std::uint16_t*, size_t, float*);
+  double (*dot_bf16d)(const std::uint16_t*, const std::uint16_t*, size_t);
+  double (*cosine_bf16)(const std::uint16_t*, const std::uint16_t*, size_t);
+  double (*sqdist_bf16)(const std::uint16_t*, const std::uint16_t*, size_t);
+  void (*gemm_i8_tb_panel_f32)(const std::int8_t*, const Int8Params*,
+                               const std::int32_t*, const std::int8_t*,
+                               const Int8Params*, const std::int32_t*, float*,
+                               size_t, size_t, size_t, size_t);
 };
 
 /// AVX2+FMA table, or nullptr when not compiled in. Defined in

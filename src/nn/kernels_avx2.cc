@@ -22,6 +22,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 namespace autodc::nn::kernels {
 namespace {
@@ -297,6 +298,331 @@ void Avx2AdamUpdateF32(const float* g, float* m, float* v, float* p, size_t n,
   }
 }
 
+// ---- Low-precision ----------------------------------------------------
+
+inline std::int32_t Hsum256i(__m256i v) {
+  __m128i lo = _mm256_castsi256_si128(v);
+  __m128i hi = _mm256_extracti128_si256(v, 1);
+  __m128i s = _mm_add_epi32(lo, hi);
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0x4E));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0xB1));
+  return _mm_cvtsi128_si32(s);
+}
+
+// Exact i32 pair-dot of 32 int8 lanes: |a| as u8 against sign(b, a) as
+// i8 through maddubs (i16 pair sums, saturation impossible while
+// |q| <= 127), widened to i32 lanes by madd against ones.
+inline __m256i DotI8Block(__m256i va, __m256i vb, __m256i ones16) {
+  __m256i abs_a = _mm256_abs_epi8(va);
+  __m256i sgn_b = _mm256_sign_epi8(vb, va);
+  return _mm256_madd_epi16(_mm256_maddubs_epi16(abs_a, sgn_b), ones16);
+}
+
+// Sum of 32 signed int8 lanes as i32 lanes (two epi8->epi16 widenings).
+inline __m256i SumI8Block(__m256i v, __m256i ones16) {
+  __m256i lo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(v));
+  __m256i hi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(v, 1));
+  return _mm256_add_epi32(_mm256_madd_epi16(lo, ones16),
+                          _mm256_madd_epi16(hi, ones16));
+}
+
+void Avx2QuantizeI8F32(const float* x, size_t n, Int8Params p,
+                       std::int8_t* q) {
+  const float inv = 1.0f / p.scale;
+  const __m256 vinv = _mm256_set1_ps(inv);
+  const __m256i vzp = _mm256_set1_epi32(p.zero_point);
+  const __m256i vlo = _mm256_set1_epi32(-127);
+  const __m256i vhi = _mm256_set1_epi32(127);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256i v = _mm256_cvtps_epi32(_mm256_mul_ps(_mm256_loadu_ps(x + i),
+                                                 vinv));
+    v = _mm256_add_epi32(v, vzp);
+    v = _mm256_min_epi32(_mm256_max_epi32(v, vlo), vhi);
+    __m128i lo = _mm256_castsi256_si128(v);
+    __m128i hi = _mm256_extracti128_si256(v, 1);
+    __m128i packed16 = _mm_packs_epi32(lo, hi);
+    __m128i packed8 = _mm_packs_epi16(packed16, packed16);
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(q + i), packed8);
+  }
+  for (; i < n; ++i) {
+    // Same rounding contract as the vector lanes (and the scalar
+    // table): RNE via cvtss, out-of-range -> INT32_MIN.
+    std::int32_t v =
+        _mm_cvtss_si32(_mm_set_ss(x[i] * inv)) + p.zero_point;
+    q[i] = static_cast<std::int8_t>(std::clamp(v, -127, 127));
+  }
+}
+
+void Avx2DequantizeI8F32(const std::int8_t* q, size_t n, Int8Params p,
+                         float* x) {
+  const __m256 vs = _mm256_set1_ps(p.scale);
+  const __m256i vzp = _mm256_set1_epi32(p.zero_point);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m128i raw =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(q + i));
+    __m256i w = _mm256_sub_epi32(_mm256_cvtepi8_epi32(raw), vzp);
+    _mm256_storeu_ps(x + i, _mm256_mul_ps(vs, _mm256_cvtepi32_ps(w)));
+  }
+  for (; i < n; ++i) {
+    x[i] = p.scale * static_cast<float>(q[i] - p.zero_point);
+  }
+}
+
+std::int32_t Avx2DotI8I32(const std::int8_t* a, const std::int8_t* b,
+                          size_t n) {
+  const __m256i ones16 = _mm256_set1_epi16(1);
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    acc = _mm256_add_epi32(acc, DotI8Block(va, vb, ones16));
+  }
+  std::int32_t s = Hsum256i(acc);
+  for (; i < n; ++i) s += static_cast<std::int32_t>(a[i]) * b[i];
+  return s;
+}
+
+std::int32_t Avx2SumI8I32(const std::int8_t* x, size_t n) {
+  const __m256i ones16 = _mm256_set1_epi16(1);
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+    acc = _mm256_add_epi32(acc, SumI8Block(v, ones16));
+  }
+  std::int32_t s = Hsum256i(acc);
+  for (; i < n; ++i) s += x[i];
+  return s;
+}
+
+// Fused integer moments (dot, sums, sums of squares) for the cosine /
+// sqdist combine. Every accumulator is exact, so the doubles produced
+// by the shared dequant algebra match the scalar table bit-for-bit.
+struct Avx2Int8Moments {
+  std::int32_t dot, sa, sb;
+  std::int64_t saa, sbb;
+};
+
+Avx2Int8Moments Int8MomentsImpl(const std::int8_t* a, const std::int8_t* b,
+                                size_t n) {
+  const __m256i ones16 = _mm256_set1_epi16(1);
+  __m256i acc_dot = _mm256_setzero_si256();
+  __m256i acc_sa = _mm256_setzero_si256();
+  __m256i acc_sb = _mm256_setzero_si256();
+  __m256i acc_saa = _mm256_setzero_si256();
+  __m256i acc_sbb = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    __m256i abs_a = _mm256_abs_epi8(va);
+    __m256i abs_b = _mm256_abs_epi8(vb);
+    acc_dot = _mm256_add_epi32(acc_dot, DotI8Block(va, vb, ones16));
+    acc_saa = _mm256_add_epi32(
+        acc_saa,
+        _mm256_madd_epi16(_mm256_maddubs_epi16(abs_a, abs_a), ones16));
+    acc_sbb = _mm256_add_epi32(
+        acc_sbb,
+        _mm256_madd_epi16(_mm256_maddubs_epi16(abs_b, abs_b), ones16));
+    acc_sa = _mm256_add_epi32(acc_sa, SumI8Block(va, ones16));
+    acc_sb = _mm256_add_epi32(acc_sb, SumI8Block(vb, ones16));
+  }
+  Avx2Int8Moments m;
+  m.dot = Hsum256i(acc_dot);
+  m.sa = Hsum256i(acc_sa);
+  m.sb = Hsum256i(acc_sb);
+  m.saa = Hsum256i(acc_saa);
+  m.sbb = Hsum256i(acc_sbb);
+  for (; i < n; ++i) {
+    std::int32_t av = a[i], bv = b[i];
+    m.dot += av * bv;
+    m.sa += av;
+    m.sb += bv;
+    m.saa += av * av;
+    m.sbb += bv * bv;
+  }
+  return m;
+}
+
+double Avx2CosineI8(const std::int8_t* a, Int8Params pa, const std::int8_t* b,
+                    Int8Params pb, size_t n) {
+  Avx2Int8Moments m = Int8MomentsImpl(a, b, n);
+  double na = DequantNormSqD(m.saa, pa, m.sa, n);
+  double nb = DequantNormSqD(m.sbb, pb, m.sb, n);
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  double dot = DequantDotD(m.dot, pa, m.sa, pb, m.sb, n);
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+double Avx2SqDistI8(const std::int8_t* a, Int8Params pa, const std::int8_t* b,
+                    Int8Params pb, size_t n) {
+  Avx2Int8Moments m = Int8MomentsImpl(a, b, n);
+  double na = DequantNormSqD(m.saa, pa, m.sa, n);
+  double nb = DequantNormSqD(m.sbb, pb, m.sb, n);
+  double dot = DequantDotD(m.dot, pa, m.sa, pb, m.sb, n);
+  // Out-of-line combine: see DequantSqDistCombineD's doc for why
+  // inlining it here would break bit-identity.
+  return DequantSqDistCombineD(na, nb, dot);
+}
+
+// Same rounding/NaN contract as the scalar table's F32ToBf16One.
+inline std::uint16_t Bf16One(float f) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &f, sizeof(bits));
+  if ((bits & 0x7FFFFFFFu) > 0x7F800000u) {
+    return static_cast<std::uint16_t>((bits >> 16) | 0x0040u);
+  }
+  std::uint32_t r = bits + 0x7FFFu + ((bits >> 16) & 1u);
+  return static_cast<std::uint16_t>(r >> 16);
+}
+
+inline float Bf16ToFloatOne(std::uint16_t h) {
+  std::uint32_t bits = static_cast<std::uint32_t>(h) << 16;
+  float f;
+  std::memcpy(&f, &bits, sizeof(f));
+  return f;
+}
+
+// Widens 8 bf16 lanes to packed f32 (exact: shift into the high half).
+inline __m256 Bf16Load8(const std::uint16_t* p) {
+  __m128i h = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  return _mm256_castsi256_ps(
+      _mm256_slli_epi32(_mm256_cvtepu16_epi32(h), 16));
+}
+
+void Avx2F32ToBf16(const float* x, size_t n, std::uint16_t* y) {
+  const __m256i bias = _mm256_set1_epi32(0x7FFF);
+  const __m256i one = _mm256_set1_epi32(1);
+  const __m256i qnan = _mm256_set1_epi32(0x0040);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 v = _mm256_loadu_ps(x + i);
+    __m256i bits = _mm256_castps_si256(v);
+    __m256i lsb = _mm256_and_si256(_mm256_srli_epi32(bits, 16), one);
+    __m256i rounded = _mm256_srli_epi32(
+        _mm256_add_epi32(_mm256_add_epi32(bits, bias), lsb), 16);
+    // NaN lanes (v != v) keep their truncated pattern with the quiet
+    // bit forced, instead of rounding into infinity.
+    __m256i nan_val =
+        _mm256_or_si256(_mm256_srli_epi32(bits, 16), qnan);
+    __m256i is_nan =
+        _mm256_castps_si256(_mm256_cmp_ps(v, v, _CMP_UNORD_Q));
+    __m256i out = _mm256_blendv_epi8(rounded, nan_val, is_nan);
+    // Pack 8 u32 (each <= 0xFFFF) to 8 u16; packus interleaves 128-bit
+    // lanes, so restore order with a 64-bit permute.
+    __m256i packed = _mm256_packus_epi32(out, out);
+    packed = _mm256_permute4x64_epi64(packed, 0x08);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(y + i),
+                     _mm256_castsi256_si128(packed));
+  }
+  for (; i < n; ++i) y[i] = Bf16One(x[i]);
+}
+
+void Avx2Bf16ToF32(const std::uint16_t* x, size_t n, float* y) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(y + i, Bf16Load8(x + i));
+  }
+  for (; i < n; ++i) y[i] = Bf16ToFloatOne(x[i]);
+}
+
+double Avx2DotBf16D(const std::uint16_t* a, const std::uint16_t* b,
+                    size_t n) {
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256d alo, ahi, blo, bhi;
+    CvtPd(Bf16Load8(a + i), &alo, &ahi);
+    CvtPd(Bf16Load8(b + i), &blo, &bhi);
+    acc_lo = _mm256_fmadd_pd(alo, blo, acc_lo);
+    acc_hi = _mm256_fmadd_pd(ahi, bhi, acc_hi);
+  }
+  double s = Hsum256d(_mm256_add_pd(acc_lo, acc_hi));
+  for (; i < n; ++i) {
+    s += static_cast<double>(Bf16ToFloatOne(a[i])) * Bf16ToFloatOne(b[i]);
+  }
+  return s;
+}
+
+double Avx2CosineBf16(const std::uint16_t* a, const std::uint16_t* b,
+                      size_t n) {
+  __m256d dot_lo = _mm256_setzero_pd(), dot_hi = _mm256_setzero_pd();
+  __m256d na_lo = _mm256_setzero_pd(), na_hi = _mm256_setzero_pd();
+  __m256d nb_lo = _mm256_setzero_pd(), nb_hi = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256d alo, ahi, blo, bhi;
+    CvtPd(Bf16Load8(a + i), &alo, &ahi);
+    CvtPd(Bf16Load8(b + i), &blo, &bhi);
+    dot_lo = _mm256_fmadd_pd(alo, blo, dot_lo);
+    dot_hi = _mm256_fmadd_pd(ahi, bhi, dot_hi);
+    na_lo = _mm256_fmadd_pd(alo, alo, na_lo);
+    na_hi = _mm256_fmadd_pd(ahi, ahi, na_hi);
+    nb_lo = _mm256_fmadd_pd(blo, blo, nb_lo);
+    nb_hi = _mm256_fmadd_pd(bhi, bhi, nb_hi);
+  }
+  double dot = Hsum256d(_mm256_add_pd(dot_lo, dot_hi));
+  double na = Hsum256d(_mm256_add_pd(na_lo, na_hi));
+  double nb = Hsum256d(_mm256_add_pd(nb_lo, nb_hi));
+  for (; i < n; ++i) {
+    double av = Bf16ToFloatOne(a[i]), bv = Bf16ToFloatOne(b[i]);
+    dot += av * bv;
+    na += av * av;
+    nb += bv * bv;
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+double Avx2SqDistBf16(const std::uint16_t* a, const std::uint16_t* b,
+                      size_t n) {
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256d alo, ahi, blo, bhi;
+    CvtPd(Bf16Load8(a + i), &alo, &ahi);
+    CvtPd(Bf16Load8(b + i), &blo, &bhi);
+    __m256d dlo = _mm256_sub_pd(alo, blo);
+    __m256d dhi = _mm256_sub_pd(ahi, bhi);
+    acc_lo = _mm256_fmadd_pd(dlo, dlo, acc_lo);
+    acc_hi = _mm256_fmadd_pd(dhi, dhi, acc_hi);
+  }
+  double s = Hsum256d(_mm256_add_pd(acc_lo, acc_hi));
+  for (; i < n; ++i) {
+    double d = static_cast<double>(Bf16ToFloatOne(a[i])) - Bf16ToFloatOne(b[i]);
+    s += d * d;
+  }
+  return s;
+}
+
+void Avx2GemmI8TransBPanelF32(const std::int8_t* a, const Int8Params* a_params,
+                              const std::int32_t* a_sums,
+                              const std::int8_t* b,
+                              const Int8Params* b_params,
+                              const std::int32_t* b_sums, float* c, size_t r0,
+                              size_t r1, size_t m, size_t k) {
+  for (size_t i = r0; i < r1; ++i) {
+    const std::int8_t* arow = a + i * m;
+    float* crow = c + i * k;
+    for (size_t t = 0; t < k; ++t) {
+      std::int32_t idot = Avx2DotI8I32(arow, b + t * m, m);
+      crow[t] = static_cast<float>(
+          DequantDotD(idot, a_params[i], a_sums[i], b_params[t], b_sums[t],
+                      m));
+    }
+  }
+}
+
 // ---- Level-3 ----------------------------------------------------------
 
 // C[8x8] += A[8 x kc] * B[kc x 8]. The 8x8 C block lives in eight ymm
@@ -435,6 +761,18 @@ constexpr KernelOps kAvx2Ops = {
     Avx2GemmPanelF32,
     Avx2GemmTransAPanelF32,
     Avx2GemmTransBPanelF32,
+    Avx2QuantizeI8F32,
+    Avx2DequantizeI8F32,
+    Avx2DotI8I32,
+    Avx2SumI8I32,
+    Avx2CosineI8,
+    Avx2SqDistI8,
+    Avx2F32ToBf16,
+    Avx2Bf16ToF32,
+    Avx2DotBf16D,
+    Avx2CosineBf16,
+    Avx2SqDistBf16,
+    Avx2GemmI8TransBPanelF32,
 };
 
 }  // namespace

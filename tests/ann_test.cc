@@ -318,7 +318,7 @@ TEST(EmbeddingStoreAnnTest, CopyDropsIndexMoveCarriesIt) {
 TEST(HnswConfigTest, EnvOverridesEfSearch) {
   HnswConfig defaults;
   HnswConfig cfg = ConfigFromEnv();
-  EXPECT_EQ(cfg.M, defaults.M);  // env only touches ef_search
+  EXPECT_EQ(cfg.M, defaults.M);  // knobs unset -> defaults stand
   // AnnEnvEnabled is just the flag probe — must not throw either way.
   (void)AnnEnvEnabled();
 }

@@ -38,6 +38,16 @@ TEST(DirectionForMetricTest, ClassifiesBySuffixAndStem) {
   EXPECT_EQ(DirectionForMetric("weighted_f1"),
             MetricDirection::kHigherIsBetter);
   EXPECT_EQ(DirectionForMetric("hit_rate"), MetricDirection::kHigherIsBetter);
+  // Position-independent stems: "throughput" / "hit_rate" anywhere in
+  // the name gate as higher-is-better, not just as a suffix.
+  EXPECT_EQ(DirectionForMetric("throughput_int8_mvps"),
+            MetricDirection::kHigherIsBetter);
+  EXPECT_EQ(DirectionForMetric("scan_throughput"),
+            MetricDirection::kHigherIsBetter);
+  EXPECT_EQ(DirectionForMetric("hit_rate_top5"),
+            MetricDirection::kHigherIsBetter);
+  EXPECT_EQ(DirectionForMetric("cache_hit_rate_pct"),
+            MetricDirection::kLowerIsBetter);  // suffix checks still win
   EXPECT_EQ(DirectionForMetric("candidates"), MetricDirection::kTwoSided);
   EXPECT_EQ(DirectionForMetric("separation"), MetricDirection::kTwoSided);
 }
