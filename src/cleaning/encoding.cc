@@ -4,7 +4,50 @@
 #include <cmath>
 #include <map>
 
+#include "src/common/parallel.h"
+
 namespace autodc::cleaning {
+
+namespace {
+
+/// Numeric column moments via a typed chunk scan. Accumulation order is
+/// element order within each chunk, chunks in order — identical to the
+/// row-major loop, so the statistics are bit-for-bit unchanged.
+void NumericStatsColumnar(const data::Table& table, size_t c, double* sum,
+                          double* sq, size_t* n) {
+  bool ints = table.storage_type(c) == data::ValueType::kInt;
+  for (size_t k = 0; k < table.num_chunks(); ++k) {
+    data::TypedChunkRef ch = table.column_chunk(c, k);
+    for (size_t i = 0; i < ch.n; ++i) {
+      if (ch.is_null(i)) continue;
+      double v = ints ? static_cast<double>(ch.i64[i]) : ch.f64[i];
+      *sum += v;
+      *sq += v * v;
+      ++*n;
+    }
+  }
+}
+
+/// Categorical counts via dictionary codes: one array slot per distinct
+/// string instead of a map probe per row.
+void CategoryCountsColumnar(const data::Table& table, size_t c,
+                            std::map<std::string, size_t>* counts) {
+  const data::StringDict& dict = table.dict(c);
+  std::vector<size_t> per_code(dict.size(), 0);
+  for (size_t k = 0; k < table.num_chunks(); ++k) {
+    data::TypedChunkRef ch = table.column_chunk(c, k);
+    for (size_t i = 0; i < ch.n; ++i) {
+      if (!ch.is_null(i)) ++per_code[ch.codes[i]];
+    }
+  }
+  for (uint32_t code = 0; code < per_code.size(); ++code) {
+    if (per_code[code] > 0) {
+      (*counts)[std::string(dict.str(code))] = per_code[code];
+    }
+  }
+}
+
+}  // namespace
 
 void TableEncoder::Fit(const data::Table& table, const Options& options) {
   size_t ncols = table.num_columns();
@@ -15,59 +58,83 @@ void TableEncoder::Fit(const data::Table& table, const Options& options) {
   schema_ = table.schema();
   dim_ = 0;
 
-  for (size_t c = 0; c < ncols; ++c) {
-    data::ValueType ty = table.schema().column(c).type;
-    bool numeric =
-        ty == data::ValueType::kInt || ty == data::ValueType::kDouble;
-    numeric_[c] = numeric;
-    offsets_[c] = dim_;
-    ColumnStats& st = stats_[c];
-    if (numeric) {
-      double sum = 0.0, sq = 0.0;
-      size_t n = 0;
-      for (size_t r = 0; r < table.num_rows(); ++r) {
-        bool ok = false;
-        double v = table.at(r, c).ToNumeric(&ok);
-        if (!ok) continue;
-        sum += v;
-        sq += v * v;
-        ++n;
+  // Columns are independent, so the per-column scans run on the thread
+  // pool. Parallelism is across columns only — within a column the
+  // accumulation order is fixed — so results do not depend on the
+  // thread count.
+  std::vector<ColumnStats> fitted(ncols);
+  std::vector<size_t> width(ncols, 0);
+  ParallelFor(0, ncols, 1, [&](size_t lo, size_t hi) {
+    for (size_t c = lo; c < hi; ++c) {
+      data::ValueType ty = table.schema().column(c).type;
+      bool numeric =
+          ty == data::ValueType::kInt || ty == data::ValueType::kDouble;
+      ColumnStats& st = fitted[c];
+      bool scannable = table.ChunkScannable() && table.ColumnUniform(c);
+      if (numeric) {
+        double sum = 0.0, sq = 0.0;
+        size_t n = 0;
+        if (scannable && (table.storage_type(c) == data::ValueType::kInt ||
+                          table.storage_type(c) == data::ValueType::kDouble)) {
+          NumericStatsColumnar(table, c, &sum, &sq, &n);
+        } else {
+          for (size_t r = 0; r < table.num_rows(); ++r) {
+            bool ok = false;
+            double v = table.at(r, c).ToNumeric(&ok);
+            if (!ok) continue;
+            sum += v;
+            sq += v * v;
+            ++n;
+          }
+        }
+        if (n > 0) {
+          st.mean = sum / static_cast<double>(n);
+          double var = sq / static_cast<double>(n) - st.mean * st.mean;
+          st.stddev = var > 1e-12 ? std::sqrt(var) : 1.0;
+        }
+        width[c] = 1;
+      } else {
+        // Most frequent values get dedicated one-hot slots.
+        std::map<std::string, size_t> counts;
+        if (scannable && table.storage_type(c) == data::ValueType::kString) {
+          CategoryCountsColumnar(table, c, &counts);
+        } else {
+          for (size_t r = 0; r < table.num_rows(); ++r) {
+            const data::Value v = table.at(r, c);
+            if (!v.is_null()) counts[v.ToString()]++;
+          }
+        }
+        std::vector<std::pair<std::string, size_t>> ranked(counts.begin(),
+                                                           counts.end());
+        std::sort(ranked.begin(), ranked.end(),
+                  [](const auto& a, const auto& b) {
+                    if (a.second != b.second) return a.second > b.second;
+                    return a.first < b.first;
+                  });
+        size_t k = std::min(options.max_categories, ranked.size());
+        for (size_t i = 0; i < k; ++i) {
+          st.category_index.emplace(ranked[i].first, i);
+          st.categories.push_back(ranked[i].first);
+        }
+        width[c] = k + 1;  // +1 "other" slot
       }
-      if (n > 0) {
-        st.mean = sum / static_cast<double>(n);
-        double var = sq / static_cast<double>(n) - st.mean * st.mean;
-        st.stddev = var > 1e-12 ? std::sqrt(var) : 1.0;
-      }
-      widths_[c] = 1;
-    } else {
-      // Most frequent values get dedicated one-hot slots.
-      std::map<std::string, size_t> counts;
-      for (size_t r = 0; r < table.num_rows(); ++r) {
-        const data::Value& v = table.at(r, c);
-        if (!v.is_null()) counts[v.ToString()]++;
-      }
-      std::vector<std::pair<std::string, size_t>> ranked(counts.begin(),
-                                                         counts.end());
-      std::sort(ranked.begin(), ranked.end(),
-                [](const auto& a, const auto& b) {
-                  if (a.second != b.second) return a.second > b.second;
-                  return a.first < b.first;
-                });
-      size_t k = std::min(options.max_categories, ranked.size());
-      for (size_t i = 0; i < k; ++i) {
-        st.category_index.emplace(ranked[i].first, i);
-        st.categories.push_back(ranked[i].first);
-      }
-      widths_[c] = k + 1;  // +1 "other" slot
     }
+  });
+
+  for (size_t c = 0; c < ncols; ++c) {
+    numeric_[c] = table.schema().column(c).type == data::ValueType::kInt ||
+                  table.schema().column(c).type == data::ValueType::kDouble;
+    offsets_[c] = dim_;
+    widths_[c] = width[c];
+    stats_[c] = std::move(fitted[c]);
     dim_ += widths_[c];
   }
 }
 
-std::vector<float> TableEncoder::EncodeRow(const data::Row& row) const {
+std::vector<float> TableEncoder::EncodeRow(data::RowView row) const {
   std::vector<float> out(dim_, 0.0f);
   for (size_t c = 0; c < widths_.size(); ++c) {
-    const data::Value& v = row[c];
+    const data::Value v = row[c];
     if (v.is_null()) continue;
     if (numeric_[c]) {
       bool ok = false;
@@ -83,6 +150,90 @@ std::vector<float> TableEncoder::EncodeRow(const data::Row& row) const {
                         : widths_[c] - 1;  // "other"
       out[offsets_[c] + slot] = 1.0f;
     }
+  }
+  return out;
+}
+
+std::vector<std::vector<float>> TableEncoder::EncodeAll(
+    const data::Table& table) const {
+  size_t n = table.num_rows();
+  size_t ncols = widths_.size();
+  std::vector<std::vector<float>> out(n);
+  if (n == 0) return out;
+  if (!table.ChunkScannable()) {
+    ParallelFor(0, n, 64, [&](size_t lo, size_t hi) {
+      for (size_t r = lo; r < hi; ++r) out[r] = EncodeRow(table.row(r));
+    });
+    return out;
+  }
+
+  // Column-at-a-time batch path: each string column resolves its
+  // dictionary codes to one-hot slots ONCE, then every row's encoding is
+  // a couple of array reads per column. Bitwise-identical to EncodeRow.
+  std::vector<std::vector<uint32_t>> code_slot(ncols);
+  for (size_t c = 0; c < ncols; ++c) {
+    if (!numeric_[c] && table.ColumnUniform(c) &&
+        table.storage_type(c) == data::ValueType::kString) {
+      const data::StringDict& dict = table.dict(c);
+      code_slot[c].resize(dict.size());
+      for (uint32_t code = 0; code < dict.size(); ++code) {
+        auto it = stats_[c].category_index.find(std::string(dict.str(code)));
+        code_slot[c][code] =
+            it != stats_[c].category_index.end()
+                ? static_cast<uint32_t>(it->second)
+                : static_cast<uint32_t>(widths_[c] - 1);  // "other"
+      }
+    }
+  }
+
+  ParallelFor(0, n, 256, [&](size_t lo, size_t hi) {
+    for (size_t r = lo; r < hi; ++r) out[r].assign(dim_, 0.0f);
+  });
+  for (size_t c = 0; c < ncols; ++c) {
+    bool fast_numeric = numeric_[c] && table.ColumnUniform(c) &&
+                        (table.storage_type(c) == data::ValueType::kInt ||
+                         table.storage_type(c) == data::ValueType::kDouble);
+    bool fast_string = !code_slot[c].empty();
+    if (!fast_numeric && !fast_string) {
+      ParallelFor(0, n, 64, [&](size_t lo, size_t hi) {
+        for (size_t r = lo; r < hi; ++r) {
+          const data::Value v = table.at(r, c);
+          if (v.is_null()) continue;
+          if (numeric_[c]) {
+            bool ok = false;
+            double x = v.ToNumeric(&ok);
+            if (ok) {
+              out[r][offsets_[c]] = static_cast<float>(
+                  (x - stats_[c].mean) / stats_[c].stddev);
+            }
+          } else {
+            auto it = stats_[c].category_index.find(v.ToString());
+            size_t slot = it != stats_[c].category_index.end()
+                              ? it->second
+                              : widths_[c] - 1;
+            out[r][offsets_[c] + slot] = 1.0f;
+          }
+        }
+      });
+      continue;
+    }
+    bool ints = table.storage_type(c) == data::ValueType::kInt;
+    ParallelFor(0, table.num_chunks(), 1, [&](size_t klo, size_t khi) {
+      for (size_t k = klo; k < khi; ++k) {
+        data::TypedChunkRef ch = table.column_chunk(c, k);
+        for (size_t i = 0; i < ch.n; ++i) {
+          if (ch.is_null(i)) continue;
+          size_t r = ch.base + i;
+          if (fast_numeric) {
+            double x = ints ? static_cast<double>(ch.i64[i]) : ch.f64[i];
+            out[r][offsets_[c]] = static_cast<float>(
+                (x - stats_[c].mean) / stats_[c].stddev);
+          } else {
+            out[r][offsets_[c] + code_slot[c][ch.codes[i]]] = 1.0f;
+          }
+        }
+      }
+    });
   }
   return out;
 }

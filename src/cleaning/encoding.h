@@ -30,7 +30,14 @@ class TableEncoder {
   size_t dim() const { return dim_; }
 
   /// Encodes one row (nulls -> zero block).
-  std::vector<float> EncodeRow(const data::Row& row) const;
+  std::vector<float> EncodeRow(data::RowView row) const;
+
+  /// Encodes every row of `table` — the batch path the cleaning models
+  /// use. On a chunk-scannable table this runs column-at-a-time over the
+  /// typed chunks (dictionary codes resolved to one-hot slots once per
+  /// distinct string) on the thread pool; output is identical to calling
+  /// EncodeRow per row.
+  std::vector<std::vector<float>> EncodeAll(const data::Table& table) const;
 
   /// The [begin, end) slice of the encoding belonging to column `c`.
   std::pair<size_t, size_t> ColumnSpan(size_t c) const {

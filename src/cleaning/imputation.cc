@@ -70,12 +70,9 @@ data::Value MeanModeImputer::Impute(const data::Table& /*table*/,
 
 void KnnImputer::Fit(const data::Table& table) {
   encoder_.Fit(table);
-  encoded_rows_.clear();
-  row_ids_.clear();
-  for (size_t r = 0; r < table.num_rows(); ++r) {
-    encoded_rows_.push_back(encoder_.EncodeRow(table.row(r)));
-    row_ids_.push_back(r);
-  }
+  encoded_rows_ = encoder_.EncodeAll(table);
+  row_ids_.resize(table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) row_ids_[r] = r;
 }
 
 data::Value KnnImputer::Impute(const data::Table& table, size_t row,
@@ -150,16 +147,17 @@ void DaeImputer::Fit(const data::Table& table) {
                                            acfg, rng_.get());
   // Train on rows with no missing values (complete cases); the DAE's own
   // corruption teaches it to restore masked blocks.
+  std::vector<std::vector<float>> all = encoder_.EncodeAll(table);
   nn::Batch complete;
   for (size_t r = 0; r < table.num_rows(); ++r) {
     bool has_null = false;
-    for (const data::Value& v : table.row(r)) {
-      if (v.is_null()) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (table.IsNull(r, c)) {
         has_null = true;
         break;
       }
     }
-    if (!has_null) complete.push_back(encoder_.EncodeRow(table.row(r)));
+    if (!has_null) complete.push_back(std::move(all[r]));
   }
   if (complete.empty()) return;
   nn::TrainOptions options;

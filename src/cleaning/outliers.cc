@@ -8,31 +8,56 @@
 
 namespace autodc::cleaning {
 
+namespace {
+
+/// Invokes fn(row, value) for every numeric cell of `col`, in row
+/// order. On a chunk-scannable uniform column this reads the typed
+/// arrays directly (no Value materialization); the fallback matches the
+/// legacy at()/ToNumeric loop, so both paths visit identical values in
+/// identical order.
+template <typename Fn>
+void ForEachNumeric(const data::Table& table, size_t col, Fn fn) {
+  data::ValueType st = table.storage_type(col);
+  if (table.ChunkScannable() && table.ColumnUniform(col) &&
+      (st == data::ValueType::kInt || st == data::ValueType::kDouble)) {
+    bool ints = st == data::ValueType::kInt;
+    for (size_t k = 0; k < table.num_chunks(); ++k) {
+      data::TypedChunkRef ch = table.column_chunk(col, k);
+      for (size_t i = 0; i < ch.n; ++i) {
+        if (ch.is_null(i)) continue;
+        fn(ch.base + i, ints ? static_cast<double>(ch.i64[i]) : ch.f64[i]);
+      }
+    }
+    return;
+  }
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    bool ok = false;
+    double v = table.at(r, col).ToNumeric(&ok);
+    if (ok) fn(r, v);
+  }
+}
+
+}  // namespace
+
 std::vector<OutlierCell> ZScoreOutliers(const data::Table& table, size_t col,
                                         double threshold) {
   std::vector<OutlierCell> out;
   double sum = 0.0, sq = 0.0;
   size_t n = 0;
-  for (size_t r = 0; r < table.num_rows(); ++r) {
-    bool ok = false;
-    double v = table.at(r, col).ToNumeric(&ok);
-    if (!ok) continue;
+  ForEachNumeric(table, col, [&](size_t, double v) {
     sum += v;
     sq += v * v;
     ++n;
-  }
+  });
   if (n < 2) return out;
   double mean = sum / static_cast<double>(n);
   double var = sq / static_cast<double>(n) - mean * mean;
   double stddev = var > 1e-12 ? std::sqrt(var) : 0.0;
   if (stddev == 0.0) return out;
-  for (size_t r = 0; r < table.num_rows(); ++r) {
-    bool ok = false;
-    double v = table.at(r, col).ToNumeric(&ok);
-    if (!ok) continue;
+  ForEachNumeric(table, col, [&](size_t r, double v) {
     double z = std::fabs(v - mean) / stddev;
     if (z > threshold) out.push_back(OutlierCell{r, col, z});
-  }
+  });
   return out;
 }
 
@@ -40,11 +65,7 @@ std::vector<OutlierCell> IqrOutliers(const data::Table& table, size_t col,
                                      double k) {
   std::vector<OutlierCell> out;
   std::vector<double> values;
-  for (size_t r = 0; r < table.num_rows(); ++r) {
-    bool ok = false;
-    double v = table.at(r, col).ToNumeric(&ok);
-    if (ok) values.push_back(v);
-  }
+  ForEachNumeric(table, col, [&](size_t, double v) { values.push_back(v); });
   if (values.size() < 4) return out;
   std::vector<double> sorted = values;
   std::sort(sorted.begin(), sorted.end());
@@ -53,16 +74,13 @@ std::vector<OutlierCell> IqrOutliers(const data::Table& table, size_t col,
   double iqr = q3 - q1;
   double lo = q1 - k * iqr;
   double hi = q3 + k * iqr;
-  for (size_t r = 0; r < table.num_rows(); ++r) {
-    bool ok = false;
-    double v = table.at(r, col).ToNumeric(&ok);
-    if (!ok) continue;
+  ForEachNumeric(table, col, [&](size_t r, double v) {
     if (v < lo || v > hi) {
       double severity = v < lo ? (lo - v) / std::max(iqr, 1e-9)
                                : (v - hi) / std::max(iqr, 1e-9);
       out.push_back(OutlierCell{r, col, severity});
     }
-  }
+  });
   return out;
 }
 
@@ -72,11 +90,7 @@ std::vector<OutlierCell> AutoencoderRowOutliers(
   if (table.num_rows() < 8) return out;
   TableEncoder encoder;
   encoder.Fit(table);
-  nn::Batch rows;
-  rows.reserve(table.num_rows());
-  for (size_t r = 0; r < table.num_rows(); ++r) {
-    rows.push_back(encoder.EncodeRow(table.row(r)));
-  }
+  nn::Batch rows = encoder.EncodeAll(table);
   Rng rng(config.seed);
   nn::AutoencoderConfig acfg;
   acfg.input_dim = encoder.dim();

@@ -39,11 +39,11 @@ class UnionFind {
   std::vector<size_t> parent_;
 };
 
-std::string RowText(const data::Row& row) {
+std::string RowText(data::RowView row) {
   std::string out;
-  for (const data::Value& v : row) {
-    if (v.is_null()) continue;
-    out += v.ToString();
+  for (size_t c = 0; c < row.size(); ++c) {
+    if (row.is_null(c)) continue;
+    out += row.Text(c);
     out += " ";
   }
   return out;

@@ -1,0 +1,374 @@
+#include "src/data/column_store.h"
+
+#include <cassert>
+#include <sstream>
+
+#include "src/common/env.h"
+#include "src/obs/metrics.h"
+
+namespace autodc::data {
+
+size_t ChunkRowsFromEnv() {
+  return EnvSizeT("AUTODC_TABLE_CHUNK_ROWS", kDefaultChunkRows, 64,
+                  size_t{1} << 22);
+}
+
+// ---- StringDict ------------------------------------------------------
+
+uint32_t StringDict::GetOrAdd(std::string_view s) {
+  if (!index_valid_) BuildIndex();
+  auto it = index_.find(s);
+  if (it != index_.end()) {
+    AUTODC_OBS_INC("data.dict_hits");
+    return it->second;
+  }
+  AUTODC_OBS_INC("data.dict_misses");
+  owned_.emplace_back(s);
+  uint32_t code = static_cast<uint32_t>(views_.size());
+  std::string_view stable(owned_.back());
+  views_.push_back(stable);
+  index_.emplace(stable, code);
+  return code;
+}
+
+void StringDict::ResetBorrowed(std::vector<std::string_view> views) {
+  assert(views_.empty());
+  views_ = std::move(views);
+  index_valid_ = false;  // built lazily on first GetOrAdd
+}
+
+void StringDict::BuildIndex() {
+  index_.reserve(views_.size());
+  for (uint32_t i = 0; i < views_.size(); ++i) {
+    index_.emplace(views_[i], i);
+  }
+  index_valid_ = true;
+}
+
+size_t StringDict::ByteSize() const {
+  size_t bytes = views_.size() * sizeof(std::string_view);
+  for (std::string_view v : views_) bytes += v.size();
+  return bytes;
+}
+
+// ---- ColumnStore -----------------------------------------------------
+
+namespace {
+
+/// Storage type for a schema-declared column type. Columns declared
+/// kNull (the CSV reader's "all cells empty" inference) store as
+/// strings: codes cost 4 bytes/row and accept late-arriving text.
+ValueType StorageTypeFor(ValueType declared) {
+  switch (declared) {
+    case ValueType::kInt:
+    case ValueType::kDouble:
+      return declared;
+    default:
+      return ValueType::kString;
+  }
+}
+
+}  // namespace
+
+ColumnStore::ColumnStore(const Schema& schema, size_t chunk_rows)
+    : chunk_rows_(chunk_rows == 0 ? kDefaultChunkRows : chunk_rows) {
+  columns_.resize(schema.num_columns());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c].type = StorageTypeFor(schema.column(c).type);
+  }
+}
+
+ColumnChunk& ColumnStore::WritableTail(size_t c) {
+  auto& chunks = columns_[c].chunks;
+  if (chunks.empty() || chunks.back().n >= chunk_rows_ ||
+      !chunks.back().owned) {
+    if (!chunks.empty() && !chunks.back().owned &&
+        chunks.back().n < chunk_rows_) {
+      // Appending past a short borrowed tail (a reopened file): own it
+      // first so it can grow.
+      EnsureOwned(c, chunks.size() - 1);
+    } else {
+      chunks.emplace_back();
+    }
+  }
+  ColumnChunk& ch = chunks.back();
+  if ((ch.n & 63) == 0 && ch.nulls.size() <= (ch.n >> 6)) {
+    ch.nulls.push_back(0);
+  }
+  return ch;
+}
+
+void ColumnStore::EnsureOwned(size_t c, size_t k) {
+  ColumnChunk& ch = columns_[c].chunks[k];
+  if (ch.owned) return;
+  size_t words = (ch.n + 63) / 64;
+  ch.nulls.assign(ch.b_nulls, ch.b_nulls + words);
+  switch (columns_[c].type) {
+    case ValueType::kInt:
+      ch.i64.assign(ch.b_i64, ch.b_i64 + ch.n);
+      break;
+    case ValueType::kDouble:
+      ch.f64.assign(ch.b_f64, ch.b_f64 + ch.n);
+      break;
+    default:
+      ch.codes.assign(ch.b_codes, ch.b_codes + ch.n);
+      break;
+  }
+  ch.b_nulls = nullptr;
+  ch.b_i64 = nullptr;
+  ch.b_f64 = nullptr;
+  ch.b_codes = nullptr;
+  ch.owned = true;
+}
+
+void ColumnStore::SetNullBit(ColumnChunk* ch, size_t i, bool null) {
+  uint64_t mask = uint64_t{1} << (i & 63);
+  if (null) {
+    ch->nulls[i >> 6] |= mask;
+  } else {
+    ch->nulls[i >> 6] &= ~mask;
+  }
+}
+
+void ColumnStore::AppendRow(const Row& row) {
+  for (size_t c = 0; c < row.size(); ++c) AppendCell(c, row[c]);
+  ++num_rows_;
+}
+
+void ColumnStore::AppendCell(size_t c, const Value& v) {
+  ColumnData& col = columns_[c];
+  switch (v.type()) {
+    case ValueType::kNull:
+      AppendNull(c);
+      return;
+    case ValueType::kInt:
+      if (col.type == ValueType::kInt) {
+        AppendInt(c, v.AsInt());
+        return;
+      }
+      break;
+    case ValueType::kDouble:
+      if (col.type == ValueType::kDouble) {
+        AppendDouble(c, v.AsDouble());
+        return;
+      }
+      break;
+    case ValueType::kString:
+      if (col.type == ValueType::kString) {
+        AppendString(c, v.AsString());
+        return;
+      }
+      break;
+  }
+  // Type mismatch with the column's storage: record in the overflow
+  // map and mark the slot null so typed scans skip it.
+  uint64_t row = ColumnLength(c);
+  AppendNull(c);
+  col.overflow.emplace(row, v);
+}
+
+void ColumnStore::AppendNull(size_t c) {
+  ColumnChunk& ch = WritableTail(c);
+  SetNullBit(&ch, ch.n, true);
+  switch (columns_[c].type) {
+    case ValueType::kInt: ch.i64.push_back(0); break;
+    case ValueType::kDouble: ch.f64.push_back(0.0); break;
+    default: ch.codes.push_back(0); break;
+  }
+  ++ch.n;
+}
+
+void ColumnStore::AppendInt(size_t c, int64_t v) {
+  ColumnChunk& ch = WritableTail(c);
+  SetNullBit(&ch, ch.n, false);
+  ch.i64.push_back(v);
+  ++ch.n;
+}
+
+void ColumnStore::AppendDouble(size_t c, double v) {
+  ColumnChunk& ch = WritableTail(c);
+  SetNullBit(&ch, ch.n, false);
+  ch.f64.push_back(v);
+  ++ch.n;
+}
+
+void ColumnStore::AppendString(size_t c, std::string_view v) {
+  uint32_t code = columns_[c].dict.GetOrAdd(v);
+  ColumnChunk& ch = WritableTail(c);
+  SetNullBit(&ch, ch.n, false);
+  ch.codes.push_back(code);
+  ++ch.n;
+}
+
+size_t ColumnStore::ColumnLength(size_t c) const {
+  size_t n = 0;
+  for (const ColumnChunk& ch : columns_[c].chunks) n += ch.n;
+  return n;
+}
+
+void ColumnStore::FinishColumnBatch() {
+  num_rows_ = columns_.empty() ? 0 : ColumnLength(0);
+#ifndef NDEBUG
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    assert(ColumnLength(c) == num_rows_ && "ragged column batch");
+  }
+#endif
+}
+
+Value ColumnStore::GetValue(size_t r, size_t c) const {
+  const ColumnData& col = columns_[c];
+  if (!col.overflow.empty()) {
+    auto it = col.overflow.find(r);
+    if (it != col.overflow.end()) return it->second;
+  }
+  size_t k = r / chunk_rows_;
+  size_t i = r % chunk_rows_;
+  const ColumnChunk& ch = col.chunks[k];
+  if (ch.is_null(i)) return Value();
+  switch (col.type) {
+    case ValueType::kInt:
+      return Value(ch.i64_data()[i]);
+    case ValueType::kDouble:
+      return Value(ch.f64_data()[i]);
+    default:
+      return Value(std::string(col.dict.str(ch.code_data()[i])));
+  }
+}
+
+bool ColumnStore::IsNull(size_t r, size_t c) const {
+  const ColumnData& col = columns_[c];
+  if (!col.overflow.empty() && col.overflow.count(r)) return false;
+  return col.chunks[r / chunk_rows_].is_null(r % chunk_rows_);
+}
+
+ValueType ColumnStore::CellType(size_t r, size_t c) const {
+  const ColumnData& col = columns_[c];
+  if (!col.overflow.empty()) {
+    auto it = col.overflow.find(r);
+    if (it != col.overflow.end()) return it->second.type();
+  }
+  if (col.chunks[r / chunk_rows_].is_null(r % chunk_rows_)) {
+    return ValueType::kNull;
+  }
+  return col.type;
+}
+
+std::string ColumnStore::CellText(size_t r, size_t c) const {
+  const ColumnData& col = columns_[c];
+  if (!col.overflow.empty()) {
+    auto it = col.overflow.find(r);
+    if (it != col.overflow.end()) return it->second.ToString();
+  }
+  size_t k = r / chunk_rows_;
+  size_t i = r % chunk_rows_;
+  const ColumnChunk& ch = col.chunks[k];
+  if (ch.is_null(i)) return "";
+  switch (col.type) {
+    case ValueType::kInt:
+      return std::to_string(ch.i64_data()[i]);
+    case ValueType::kDouble: {
+      // Must match Value::ToString exactly (round-trip goldens).
+      std::ostringstream os;
+      os << ch.f64_data()[i];
+      return os.str();
+    }
+    default:
+      return std::string(col.dict.str(ch.code_data()[i]));
+  }
+}
+
+std::string_view ColumnStore::CellStringView(size_t r, size_t c) const {
+  const ColumnData& col = columns_[c];
+  const ColumnChunk& ch = col.chunks[r / chunk_rows_];
+  return col.dict.str(ch.code_data()[r % chunk_rows_]);
+}
+
+uint32_t ColumnStore::CellCode(size_t r, size_t c) const {
+  return columns_[c].chunks[r / chunk_rows_].code_data()[r % chunk_rows_];
+}
+
+void ColumnStore::SetValue(size_t r, size_t c, Value v) {
+  ColumnData& col = columns_[c];
+  size_t k = r / chunk_rows_;
+  size_t i = r % chunk_rows_;
+  EnsureOwned(c, k);
+  ColumnChunk& ch = col.chunks[k];
+  col.overflow.erase(r);
+  switch (v.type()) {
+    case ValueType::kNull:
+      SetNullBit(&ch, i, true);
+      return;
+    case ValueType::kInt:
+      if (col.type == ValueType::kInt) {
+        ch.i64[i] = v.AsInt();
+        SetNullBit(&ch, i, false);
+        return;
+      }
+      break;
+    case ValueType::kDouble:
+      if (col.type == ValueType::kDouble) {
+        ch.f64[i] = v.AsDouble();
+        SetNullBit(&ch, i, false);
+        return;
+      }
+      break;
+    case ValueType::kString:
+      if (col.type == ValueType::kString) {
+        ch.codes[i] = col.dict.GetOrAdd(v.AsString());
+        SetNullBit(&ch, i, false);
+        return;
+      }
+      break;
+  }
+  SetNullBit(&ch, i, true);  // typed slot reads as null; value lives aside
+  col.overflow.emplace(r, std::move(v));
+}
+
+TypedChunkRef ColumnStore::chunk(size_t c, size_t k) const {
+  AUTODC_OBS_INC("data.chunk_scans");
+  const ColumnData& col = columns_[c];
+  const ColumnChunk& ch = col.chunks[k];
+  TypedChunkRef ref;
+  ref.base = k * chunk_rows_;
+  ref.n = ch.n;
+  ref.nulls = ch.null_words();
+  switch (col.type) {
+    case ValueType::kInt: ref.i64 = ch.i64_data(); break;
+    case ValueType::kDouble: ref.f64 = ch.f64_data(); break;
+    default: ref.codes = ch.code_data(); break;
+  }
+  return ref;
+}
+
+size_t ColumnStore::ResidentBytes() const {
+  size_t bytes = 0;
+  for (const ColumnData& col : columns_) {
+    for (const ColumnChunk& ch : col.chunks) {
+      size_t words = (ch.n + 63) / 64;
+      bytes += words * sizeof(uint64_t);
+      switch (col.type) {
+        case ValueType::kInt: bytes += ch.n * sizeof(int64_t); break;
+        case ValueType::kDouble: bytes += ch.n * sizeof(double); break;
+        default: bytes += ch.n * sizeof(uint32_t); break;
+      }
+    }
+    bytes += col.dict.ByteSize();
+    bytes += col.overflow.size() * (sizeof(uint64_t) + sizeof(Value));
+  }
+  return bytes;
+}
+
+void ColumnStore::AdoptBorrowedChunk(size_t c, ColumnChunk chunk) {
+  columns_[c].chunks.push_back(std::move(chunk));
+}
+
+void ColumnStore::AdoptBorrowedDict(size_t c,
+                                    std::vector<std::string_view> views) {
+  columns_[c].dict.ResetBorrowed(std::move(views));
+}
+
+void ColumnStore::AdoptOverflowCell(size_t c, uint64_t row, Value v) {
+  columns_[c].overflow.emplace(row, std::move(v));
+}
+
+}  // namespace autodc::data

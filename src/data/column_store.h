@@ -1,0 +1,224 @@
+#ifndef AUTODC_DATA_COLUMN_STORE_H_
+#define AUTODC_DATA_COLUMN_STORE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/data/schema.h"
+#include "src/data/value.h"
+
+// Columnar backing store for Table (DESIGN.md §12): per-column typed
+// arrays (int64 / double / dictionary-encoded string codes) with null
+// bitmaps, organized into fixed-size row chunks. Chunks either own
+// their arrays (tables built in memory) or borrow them from a binary
+// table file (table_file.h), which is what makes reopen O(1): the
+// arrays ARE the file bytes, mapped or bulk-read, never parsed.
+//
+// Cells whose value type disagrees with the column's storage type (a
+// string written into an int column, say) land in a tiny per-column
+// overflow map keyed by row, preserving the old row-store's full
+// heterogeneity without taxing the typed hot path: a column with an
+// empty overflow map is "uniform" and safe for raw array scans.
+namespace autodc::data {
+
+/// A tuple materialized as owned values (defined here so ColumnStore
+/// can append one; Table re-exports it as the legacy row type).
+using Row = std::vector<Value>;
+
+/// Default rows per chunk; override with AUTODC_TABLE_CHUNK_ROWS.
+inline constexpr size_t kDefaultChunkRows = 65536;
+
+/// Rows per chunk from the environment (AUTODC_TABLE_CHUNK_ROWS,
+/// clamped to [64, 1<<22]); kDefaultChunkRows when unset.
+size_t ChunkRowsFromEnv();
+
+/// Per-column string dictionary: distinct strings get dense uint32
+/// codes; cells store codes. Backing bytes are either owned (built in
+/// memory) or borrowed from a table file's dict blob; strings appended
+/// after a borrow go to an owned side arena, so mixed backing is fine.
+class StringDict {
+ public:
+  StringDict() = default;
+  // Codes index into backing arenas via string_views; default copies
+  // would leave views dangling, so the store deep-copies by re-encoding.
+  StringDict(const StringDict&) = delete;
+  StringDict& operator=(const StringDict&) = delete;
+  StringDict(StringDict&&) = default;
+  StringDict& operator=(StringDict&&) = default;
+
+  /// Code of `s`, interning it on first sight. Builds the lookup index
+  /// lazily (a file-borrowed dict pays for the index only if written to).
+  uint32_t GetOrAdd(std::string_view s);
+
+  std::string_view str(uint32_t code) const { return views_[code]; }
+  size_t size() const { return views_.size(); }
+
+  /// Adopts `views` (pointing into caller-kept backing, e.g. an mmap)
+  /// as codes 0..n-1. Only valid on an empty dict.
+  void ResetBorrowed(std::vector<std::string_view> views);
+
+  /// Bytes of string payload plus per-entry bookkeeping.
+  size_t ByteSize() const;
+
+ private:
+  void BuildIndex();
+
+  std::vector<std::string_view> views_;
+  /// Stable-address arena for strings interned at runtime (deque never
+  /// relocates elements, so views_ entries stay valid as it grows).
+  std::deque<std::string> owned_;
+  std::unordered_map<std::string_view, uint32_t> index_;
+  bool index_valid_ = true;  ///< empty dict has a (trivially) valid index
+};
+
+/// One fixed-size run of rows of one column. Arrays are exposed as raw
+/// pointers; `owned` says whether they live in the vectors below or are
+/// borrowed from a table file kept alive by the store.
+struct ColumnChunk {
+  size_t n = 0;  ///< rows in this chunk
+  bool owned = true;
+
+  // Owned backing (exactly one data vector is used, per column type).
+  std::vector<uint64_t> nulls;  ///< bit set ⇒ null; ceil(n/64) words
+  std::vector<int64_t> i64;
+  std::vector<double> f64;
+  std::vector<uint32_t> codes;
+
+  // Borrowed backing (table file bytes; see table_file.cc).
+  const uint64_t* b_nulls = nullptr;
+  const int64_t* b_i64 = nullptr;
+  const double* b_f64 = nullptr;
+  const uint32_t* b_codes = nullptr;
+
+  const uint64_t* null_words() const { return owned ? nulls.data() : b_nulls; }
+  const int64_t* i64_data() const { return owned ? i64.data() : b_i64; }
+  const double* f64_data() const { return owned ? f64.data() : b_f64; }
+  const uint32_t* code_data() const { return owned ? codes.data() : b_codes; }
+
+  bool is_null(size_t i) const {
+    return (null_words()[i >> 6] >> (i & 63)) & 1u;
+  }
+};
+
+/// A read-only, typed view of one chunk of one column — what hot loops
+/// and ParallelFor-over-chunks consumers iterate. `base` is the store
+/// row index of element 0.
+struct TypedChunkRef {
+  size_t base = 0;
+  size_t n = 0;
+  const uint64_t* nulls = nullptr;  ///< bit set ⇒ null
+  const int64_t* i64 = nullptr;     ///< set iff column stores int64
+  const double* f64 = nullptr;      ///< set iff column stores double
+  const uint32_t* codes = nullptr;  ///< set iff column stores dict codes
+
+  bool is_null(size_t i) const { return (nulls[i >> 6] >> (i & 63)) & 1u; }
+};
+
+class ColumnStore {
+ public:
+  ColumnStore(const Schema& schema, size_t chunk_rows);
+  ColumnStore(const ColumnStore&) = delete;
+  ColumnStore& operator=(const ColumnStore&) = delete;
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+  size_t chunk_rows() const { return chunk_rows_; }
+  size_t num_chunks() const {
+    return num_rows_ == 0 ? 0 : (num_rows_ + chunk_rows_ - 1) / chunk_rows_;
+  }
+
+  /// Physical storage type of column `c`: kInt, kDouble, or kString
+  /// (dict codes). Schema-typed kNull columns store as kString.
+  ValueType storage_type(size_t c) const { return columns_[c].type; }
+
+  /// True when every cell of `c` matches the storage type (no overflow
+  /// entries) — the precondition for raw typed-array scans.
+  bool uniform(size_t c) const { return columns_[c].overflow.empty(); }
+
+  /// Appends one row; arity must already match (Table checks).
+  void AppendRow(const Row& row);
+  /// Appends a single cell to column `c` (bulk builders append
+  /// column-at-a-time; every column must end the batch at equal length).
+  void AppendCell(size_t c, const Value& v);
+  /// Appends a null / int / double / string cell without building a
+  /// Value — the CSV ingest fast path.
+  void AppendNull(size_t c);
+  void AppendInt(size_t c, int64_t v);
+  void AppendDouble(size_t c, double v);
+  void AppendString(size_t c, std::string_view v);
+  /// Called by column-at-a-time builders after appending cells directly:
+  /// adopts the (equal) column lengths as the row count.
+  void FinishColumnBatch();
+
+  Value GetValue(size_t r, size_t c) const;
+  bool IsNull(size_t r, size_t c) const;
+  /// Value type of the cell (overflow-aware), without materializing it.
+  ValueType CellType(size_t r, size_t c) const;
+  /// Canonical text of the cell, identical to GetValue(r,c).ToString()
+  /// but skipping the variant for the common typed cases.
+  std::string CellText(size_t r, size_t c) const;
+  /// Dict string payload of a uniform string cell. Preconditions:
+  /// storage_type(c)==kString, !IsNull(r,c), uniform(c).
+  std::string_view CellStringView(size_t r, size_t c) const;
+  /// Dict code of a uniform string cell (same preconditions).
+  uint32_t CellCode(size_t r, size_t c) const;
+
+  void SetValue(size_t r, size_t c, Value v);
+
+  const StringDict& dict(size_t c) const { return columns_[c].dict; }
+  TypedChunkRef chunk(size_t c, size_t k) const;
+
+  /// Heap/map bytes held by arrays, dicts, and overflow (borrowed file
+  /// bytes count too: they are resident once touched).
+  size_t ResidentBytes() const;
+
+  /// Overflow cells of column c (row -> value), for serialization.
+  const std::unordered_map<uint64_t, Value>& overflow(size_t c) const {
+    return columns_[c].overflow;
+  }
+
+  // --- table_file.cc hooks ---------------------------------------------
+  /// Installs a borrowed chunk (pointers into `backing`) during open.
+  void AdoptBorrowedChunk(size_t c, ColumnChunk chunk);
+  void AdoptBorrowedDict(size_t c, std::vector<std::string_view> views);
+  void AdoptOverflowCell(size_t c, uint64_t row, Value v);
+  void SetRowCount(size_t n) { num_rows_ = n; }
+  /// Keeps the mapped/bulk-read file bytes alive for borrowed chunks.
+  void HoldBacking(std::shared_ptr<const void> backing) {
+    backing_ = std::move(backing);
+  }
+
+ private:
+  struct ColumnData {
+    ValueType type = ValueType::kString;  ///< storage type, never kNull
+    std::vector<ColumnChunk> chunks;
+    StringDict dict;  ///< used iff type == kString
+    /// Cells whose value type mismatches `type`; never holds nulls.
+    std::unordered_map<uint64_t, Value> overflow;
+  };
+
+  /// Tail chunk of column `c` with room for one more row.
+  ColumnChunk& WritableTail(size_t c);
+  /// Total rows appended to column `c` (may differ from num_rows_
+  /// mid-batch during column-at-a-time building).
+  size_t ColumnLength(size_t c) const;
+  /// Copies a borrowed chunk's arrays into owned vectors (pre-write).
+  void EnsureOwned(size_t c, size_t k);
+  void SetNullBit(ColumnChunk* ch, size_t i, bool null);
+
+  std::vector<ColumnData> columns_;
+  size_t num_rows_ = 0;
+  size_t chunk_rows_;
+  /// Backing blob for borrowed chunks (mmap or bulk-read file image).
+  std::shared_ptr<const void> backing_;
+};
+
+}  // namespace autodc::data
+
+#endif  // AUTODC_DATA_COLUMN_STORE_H_

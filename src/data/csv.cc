@@ -2,7 +2,10 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <sstream>
+
+#include "src/obs/metrics.h"
 
 namespace autodc::data {
 
@@ -79,6 +82,144 @@ Result<std::vector<std::vector<std::string>>> Tokenize(
   }
   return records;
 }
+
+// Incremental counterpart of Tokenize: accepts the input in arbitrary
+// buffer slices and emits each complete record through a callback, so
+// file ingest holds O(record) memory instead of O(file). The state
+// machine mirrors Tokenize exactly — including the two lookaheads that
+// can straddle a buffer boundary (`""` escape inside quotes, CRLF
+// outside), which are carried as pending flags.
+class StreamingCsvTokenizer {
+ public:
+  using RecordFn = std::function<Status(std::vector<std::string>&&)>;
+
+  StreamingCsvTokenizer(char delim, RecordFn on_record)
+      : delim_(delim), on_record_(std::move(on_record)) {}
+
+  Status Feed(const char* data, size_t n) {
+    size_t i = 0;
+    while (i < n) {
+      char c = data[i];
+      if (pending_quote_) {
+        // Previous buffer ended with '"' while in quotes.
+        pending_quote_ = false;
+        if (c == '"') {
+          field_.push_back('"');
+          ++i;
+          continue;
+        }
+        in_quotes_ = false;
+        continue;  // reprocess c outside quotes
+      }
+      if (pending_cr_) {
+        // Previous buffer ended with '\r' outside quotes.
+        pending_cr_ = false;
+        if (c != '\n') {
+          field_.push_back('\r');  // bare '\r' is field data
+          any_char_ = true;
+        }
+        continue;  // reprocess c ('\n' terminates the record below)
+      }
+      if (in_quotes_) {
+        if (c == '"') {
+          if (i + 1 < n) {
+            if (data[i + 1] == '"') {
+              field_.push_back('"');
+              i += 2;
+              continue;
+            }
+            in_quotes_ = false;
+            ++i;
+            continue;
+          }
+          pending_quote_ = true;  // lookahead crosses the buffer edge
+          ++i;
+          continue;
+        }
+        field_.push_back(c);
+        ++i;
+        continue;
+      }
+      if (c == '"') {
+        in_quotes_ = true;
+        any_char_ = true;
+        ++i;
+        continue;
+      }
+      if (c == delim_) {
+        fields_.push_back(std::move(field_));
+        field_.clear();
+        any_char_ = true;
+        ++i;
+        continue;
+      }
+      if (c == '\r') {
+        if (i + 1 < n) {
+          if (data[i + 1] == '\n') {
+            ++i;  // CRLF: drop the '\r', '\n' terminates the record
+            continue;
+          }
+          field_.push_back('\r');
+          any_char_ = true;
+          ++i;
+          continue;
+        }
+        pending_cr_ = true;  // lookahead crosses the buffer edge
+        ++i;
+        continue;
+      }
+      if (c == '\n') {
+        if (any_char_ || !field_.empty() || !fields_.empty()) {
+          AUTODC_RETURN_NOT_OK(EmitRecord());
+        }
+        ++i;
+        continue;
+      }
+      field_.push_back(c);
+      any_char_ = true;
+      ++i;
+    }
+    return Status::OK();
+  }
+
+  Status Finish() {
+    if (pending_quote_) {
+      in_quotes_ = false;  // closing quote at EOF
+      pending_quote_ = false;
+    }
+    if (pending_cr_) {
+      field_.push_back('\r');  // bare '\r' at EOF is field data
+      any_char_ = true;
+      pending_cr_ = false;
+    }
+    if (in_quotes_) {
+      return Status::InvalidArgument("unterminated quote in CSV input");
+    }
+    if (any_char_ || !field_.empty() || !fields_.empty()) {
+      AUTODC_RETURN_NOT_OK(EmitRecord());
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status EmitRecord() {
+    fields_.push_back(std::move(field_));
+    field_.clear();
+    std::vector<std::string> rec = std::move(fields_);
+    fields_.clear();
+    any_char_ = false;
+    return on_record_(std::move(rec));
+  }
+
+  char delim_;
+  RecordFn on_record_;
+  std::string field_;
+  std::vector<std::string> fields_;
+  bool in_quotes_ = false;
+  bool any_char_ = false;
+  bool pending_quote_ = false;
+  bool pending_cr_ = false;
+};
 
 bool ParseInt(const std::string& s, int64_t* out) {
   if (s.empty()) return false;
@@ -194,16 +335,138 @@ Result<Table> ReadCsvString(const std::string& text,
 
 #pragma GCC diagnostic pop
 
-Result<Table> ReadCsvFile(const std::string& path, const CsvOptions& options) {
+namespace {
+
+/// Streams `path` through a tokenizer in kCsvIoChunk-byte slices.
+constexpr size_t kCsvIoChunk = size_t{1} << 20;
+
+Status StreamFile(const std::string& path, StreamingCsvTokenizer* tok) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open '" + path + "'");
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  auto result = ReadCsvString(buf.str(), options);
-  if (result.ok()) {
-    result.ValueOrDie().set_name(path);
+  std::vector<char> buf(kCsvIoChunk);
+  while (in) {
+    in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+    std::streamsize got = in.gcount();
+    if (got > 0) {
+      AUTODC_RETURN_NOT_OK(tok->Feed(buf.data(), static_cast<size_t>(got)));
+    }
   }
-  return result;
+  if (in.bad()) return Status::IoError("read failed for '" + path + "'");
+  return tok->Finish();
+}
+
+}  // namespace
+
+Result<Table> ReadCsvFile(const std::string& path, const CsvOptions& options) {
+  // Two streaming passes, O(chunk) memory each: pass 1 collects column
+  // names and type-inference evidence, pass 2 appends typed cells
+  // straight into the column builders. Semantics match ReadCsvString.
+  std::vector<std::string> names;
+  size_t ncols = 0;
+  std::vector<uint8_t> all_int, all_double, any_value;
+  bool saw_record = false;
+
+  {
+    size_t ordinal = 0;
+    StreamingCsvTokenizer tok(
+        options.delimiter,
+        [&](std::vector<std::string>&& rec) -> Status {
+          size_t r = ordinal++;
+          if (r == 0) {
+            saw_record = true;
+            if (options.has_header) {
+              names = std::move(rec);
+            } else {
+              for (size_t c = 0; c < rec.size(); ++c) {
+                names.push_back("c" + std::to_string(c));
+              }
+            }
+            ncols = names.size();
+            all_int.assign(ncols, 1);
+            all_double.assign(ncols, 1);
+            any_value.assign(ncols, 0);
+            if (options.has_header) return Status::OK();
+          }
+          for (size_t c = 0; c < ncols && c < rec.size(); ++c) {
+            const std::string& f = rec[c];
+            if (f.empty()) continue;
+            any_value[c] = 1;
+            int64_t iv;
+            double dv;
+            if (!ParseInt(f, &iv)) all_int[c] = 0;
+            if (!ParseDouble(f, &dv)) all_double[c] = 0;
+          }
+          return Status::OK();
+        });
+    AUTODC_RETURN_NOT_OK(StreamFile(path, &tok));
+  }
+  if (!saw_record) return Table{};
+
+  std::vector<ValueType> types(ncols, ValueType::kString);
+  if (options.infer_types) {
+    for (size_t c = 0; c < ncols; ++c) {
+      if (any_value[c] && all_int[c]) {
+        types[c] = ValueType::kInt;
+      } else if (any_value[c] && all_double[c]) {
+        types[c] = ValueType::kDouble;
+      }
+    }
+  }
+
+  std::vector<Column> cols;
+  cols.reserve(ncols);
+  for (size_t c = 0; c < ncols; ++c) cols.push_back(Column{names[c], types[c]});
+  Schema schema{std::move(cols)};
+  auto store = std::make_shared<ColumnStore>(schema, ChunkRowsFromEnv());
+
+  {
+    size_t ordinal = 0;
+    size_t data_rows = 0;
+    StreamingCsvTokenizer tok(
+        options.delimiter,
+        [&](std::vector<std::string>&& rec) -> Status {
+          size_t r = ordinal++;
+          if (options.has_header && r == 0) return Status::OK();
+          if (rec.size() != ncols) {
+            return Status::InvalidArgument(
+                "CSV record " + std::to_string(r) + " has " +
+                std::to_string(rec.size()) + " fields, expected " +
+                std::to_string(ncols));
+          }
+          for (size_t c = 0; c < ncols; ++c) {
+            const std::string& f = rec[c];
+            if (f.empty()) {
+              store->AppendNull(c);
+              continue;
+            }
+            switch (types[c]) {
+              case ValueType::kInt: {
+                int64_t iv = 0;
+                ParseInt(f, &iv);
+                store->AppendInt(c, iv);
+                break;
+              }
+              case ValueType::kDouble: {
+                double dv = 0.0;
+                ParseDouble(f, &dv);
+                store->AppendDouble(c, dv);
+                break;
+              }
+              default:
+                store->AppendString(c, f);
+            }
+          }
+          ++data_rows;
+          return Status::OK();
+        });
+    AUTODC_RETURN_NOT_OK(StreamFile(path, &tok));
+    store->FinishColumnBatch();
+    AUTODC_OBS_COUNT("data.csv_rows", static_cast<uint64_t>(data_rows));
+  }
+
+  Table table{std::move(schema), path};
+  table.AdoptStore(std::move(store));
+  return table;
 }
 
 namespace {
@@ -235,13 +498,13 @@ std::string WriteCsvString(const Table& table, const CsvOptions& options) {
   for (size_t r = 0; r < table.num_rows(); ++r) {
     // A single empty field would serialize as a blank line, which readers
     // (including ours) skip; quote it so the row survives a round trip.
-    if (table.num_columns() == 1 && table.at(r, 0).ToString().empty()) {
+    if (table.num_columns() == 1 && table.CellText(r, 0).empty()) {
       os << "\"\"\n";
       continue;
     }
     for (size_t c = 0; c < table.num_columns(); ++c) {
       if (c > 0) os << options.delimiter;
-      os << EscapeField(table.at(r, c).ToString(), options.delimiter);
+      os << EscapeField(table.CellText(r, c), options.delimiter);
     }
     os << "\n";
   }

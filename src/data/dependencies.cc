@@ -9,22 +9,61 @@ namespace autodc::data {
 
 namespace {
 
-// Key of a row restricted to `cols`, with a sentinel making nulls unequal
-// to everything (each null gets a unique key suffix).
-std::string LhsKey(const Row& row, const std::vector<size_t>& cols,
-                   size_t row_index, bool* has_null) {
-  std::string key;
-  *has_null = false;
-  for (size_t c : cols) {
-    if (row[c].is_null()) {
-      *has_null = true;
-      key += "\x01null:" + std::to_string(row_index);
-    } else {
-      key += "\x01" + row[c].ToString();
+// Builds the grouping key of a row restricted to `cols`: per-column text
+// joined with a \x01 sentinel, nulls flagged (null LHS never matches).
+// On chunk-scannable tables, uniform string columns render each DISTINCT
+// value's key segment once (cached by dictionary code), so grouping a
+// column costs one dict lookup per row instead of a Value + ToString.
+// The produced keys are byte-identical to the legacy per-row path, so
+// group contents — and violation output order — are unchanged.
+class LhsKeyBuilder {
+ public:
+  LhsKeyBuilder(const Table& table, const std::vector<size_t>& cols)
+      : table_(table), cols_(cols), fast_(cols.size(), 0),
+        cached_(cols.size()), have_(cols.size()) {
+    if (!table.ChunkScannable()) return;
+    for (size_t i = 0; i < cols.size(); ++i) {
+      size_t c = cols[i];
+      if (table.ColumnUniform(c) &&
+          table.storage_type(c) == ValueType::kString) {
+        fast_[i] = 1;
+        cached_[i].resize(table.dict(c).size());
+        have_[i].assign(table.dict(c).size(), 0);
+      }
     }
   }
-  return key;
-}
+
+  std::string Key(size_t r, bool* has_null) {
+    std::string key;
+    *has_null = false;
+    for (size_t i = 0; i < cols_.size(); ++i) {
+      size_t c = cols_[i];
+      if (table_.IsNull(r, c)) {
+        *has_null = true;
+        return key;  // callers skip null-LHS rows; key content unused
+      }
+      if (fast_[i]) {
+        uint32_t code = table_.DictCode(r, c);
+        if (!have_[i][code]) {
+          cached_[i][code] =
+              std::string("\x01") + std::string(table_.dict(c).str(code));
+          have_[i][code] = 1;
+        }
+        key += cached_[i][code];
+      } else {
+        key += "\x01" + table_.CellText(r, c);
+      }
+    }
+    return key;
+  }
+
+ private:
+  const Table& table_;
+  const std::vector<size_t>& cols_;
+  std::vector<char> fast_;
+  std::vector<std::vector<std::string>> cached_;  ///< per col: per-code segment
+  std::vector<std::vector<char>> have_;
+};
 
 }  // namespace
 
@@ -46,18 +85,19 @@ std::vector<Violation> FindViolations(const Table& table,
   // violate. To keep output size linear-ish we report each offending row
   // paired with the group's first row holding a different RHS value.
   std::unordered_map<std::string, std::vector<size_t>> groups;
+  LhsKeyBuilder keys(table, fd.lhs);
   for (size_t r = 0; r < table.num_rows(); ++r) {
     bool has_null = false;
-    std::string key = LhsKey(table.row(r), fd.lhs, r, &has_null);
+    std::string key = keys.Key(r, &has_null);
     if (has_null) continue;  // null LHS never matches anything
-    groups[key].push_back(r);
+    groups[std::move(key)].push_back(r);
   }
   for (const auto& [key, rows] : groups) {
     (void)key;
     if (rows.size() < 2) continue;
     for (size_t i = 1; i < rows.size(); ++i) {
-      const Value& a = table.at(rows[0], fd.rhs);
-      const Value& b = table.at(rows[i], fd.rhs);
+      const Value a = table.at(rows[0], fd.rhs);
+      const Value b = table.at(rows[i], fd.rhs);
       if (a != b) {
         out.push_back(Violation{fd_index, rows[0], rows[i]});
       }
@@ -85,11 +125,12 @@ double Confidence(const Table& table, const FunctionalDependency& fd) {
   // max_count rows; confidence = sum(max_count) / total grouped rows.
   std::unordered_map<std::string, std::map<std::string, size_t>> groups;
   size_t total = 0;
+  LhsKeyBuilder keys(table, fd.lhs);
   for (size_t r = 0; r < table.num_rows(); ++r) {
     bool has_null = false;
-    std::string key = LhsKey(table.row(r), fd.lhs, r, &has_null);
+    std::string key = keys.Key(r, &has_null);
     if (has_null) continue;
-    groups[key][table.at(r, fd.rhs).ToString()]++;
+    groups[std::move(key)][table.CellText(r, fd.rhs)]++;
     ++total;
   }
   if (total == 0) return 1.0;
@@ -161,7 +202,7 @@ std::vector<Violation> FindCfdViolations(const Table& table,
     for (size_t i = 0; i < fd.lhs.size(); ++i) {
       const std::string& p = cfd.pattern[i];
       if (p == ConditionalFd::kWildcard) continue;
-      if (table.at(r, fd.lhs[i]).ToString() != p) return false;
+      if (table.CellText(r, fd.lhs[i]) != p) return false;
     }
     return true;
   };
@@ -171,7 +212,7 @@ std::vector<Violation> FindCfdViolations(const Table& table,
   if (rhs_pattern != ConditionalFd::kWildcard) {
     for (size_t r = 0; r < table.num_rows(); ++r) {
       if (!matches_lhs_pattern(r)) continue;
-      if (table.at(r, fd.rhs).ToString() != rhs_pattern) {
+      if (table.CellText(r, fd.rhs) != rhs_pattern) {
         out.push_back(Violation{fd_index, r, r});
       }
     }
@@ -180,12 +221,13 @@ std::vector<Violation> FindCfdViolations(const Table& table,
 
   // Pairwise violations within the pattern-restricted subset.
   std::unordered_map<std::string, std::vector<size_t>> groups;
+  LhsKeyBuilder keys(table, fd.lhs);
   for (size_t r = 0; r < table.num_rows(); ++r) {
     if (!matches_lhs_pattern(r)) continue;
     bool has_null = false;
-    std::string key = LhsKey(table.row(r), fd.lhs, r, &has_null);
+    std::string key = keys.Key(r, &has_null);
     if (has_null) continue;
-    groups[key].push_back(r);
+    groups[std::move(key)].push_back(r);
   }
   for (const auto& [key, rows] : groups) {
     (void)key;

@@ -5,14 +5,49 @@
 
 namespace autodc::data {
 
+void Table::EnsureStore() {
+  if (store_ == nullptr) {
+    store_ = std::make_shared<ColumnStore>(schema_, ChunkRowsFromEnv());
+  }
+}
+
+void Table::EnsureExclusive() {
+  EnsureStore();
+  if (store_.use_count() == 1 && IsFlatView()) return;
+  auto fresh =
+      std::make_shared<ColumnStore>(schema_, store_->chunk_rows());
+  size_t n = num_rows();
+  size_t cols = num_columns();
+  for (size_t r = 0; r < n; ++r) {
+    size_t pr = PhysRow(r);
+    for (size_t c = 0; c < cols; ++c) {
+      fresh->AppendCell(c, store_->GetValue(pr, PhysCol(c)));
+    }
+  }
+  fresh->FinishColumnBatch();
+  store_ = std::move(fresh);
+  sel_.clear();
+  colmap_.clear();
+  sel_identity_ = true;
+  col_identity_ = true;
+}
+
+void Table::Compact() { EnsureExclusive(); }
+
 Status Table::AppendRow(Row row) {
   if (row.size() != schema_.num_columns()) {
     return Status::InvalidArgument(
         "row arity " + std::to_string(row.size()) + " != schema arity " +
         std::to_string(schema_.num_columns()) + " for table '" + name_ + "'");
   }
-  rows_.push_back(std::move(row));
+  EnsureExclusive();
+  store_->AppendRow(row);
   return Status::OK();
+}
+
+void Table::Set(size_t row, size_t col, Value v) {
+  EnsureExclusive();
+  store_->SetValue(row, col, std::move(v));
 }
 
 Result<Value> Table::Get(size_t row, const std::string& column) const {
@@ -21,59 +56,106 @@ Result<Value> Table::Get(size_t row, const std::string& column) const {
     return Status::NotFound("no column '" + column + "' in table '" + name_ +
                             "'");
   }
-  if (row >= rows_.size()) {
+  if (row >= num_rows()) {
     return Status::OutOfRange("row " + std::to_string(row) + " >= " +
-                              std::to_string(rows_.size()));
+                              std::to_string(num_rows()));
   }
-  return rows_[row][*idx];
+  return at(row, *idx);
 }
 
 std::vector<Value> Table::ColumnValues(size_t col) const {
+  size_t n = num_rows();
   std::vector<Value> out;
-  out.reserve(rows_.size());
-  for (const Row& r : rows_) out.push_back(r[col]);
+  out.reserve(n);
+  for (size_t r = 0; r < n; ++r) out.push_back(at(r, col));
   return out;
 }
 
 std::vector<Value> Table::DistinctColumnValues(size_t col) const {
-  std::unordered_set<Value, ValueHash> seen;
+  size_t n = num_rows();
   std::vector<Value> out;
-  for (const Row& r : rows_) {
-    const Value& v = r[col];
+  if (n == 0) return out;
+  // Dictionary fast path: on a scannable uniform string column, distinct
+  // values are distinct codes — dedup with a flat bitmap over the dict
+  // instead of hashing every string.
+  if (ChunkScannable() && storage_type(col) == ValueType::kString &&
+      ColumnUniform(col)) {
+    const StringDict& d = dict(col);
+    std::vector<uint8_t> seen(d.size(), 0);
+    for (size_t k = 0; k < num_chunks(); ++k) {
+      TypedChunkRef ch = column_chunk(col, k);
+      for (size_t i = 0; i < ch.n; ++i) {
+        if (ch.is_null(i)) continue;
+        uint32_t code = ch.codes[i];
+        if (seen[code] == 0) {
+          seen[code] = 1;
+          out.push_back(Value(std::string(d.str(code))));
+        }
+      }
+    }
+    return out;
+  }
+  std::unordered_set<Value, ValueHash> dedup;
+  for (size_t r = 0; r < n; ++r) {
+    Value v = at(r, col);
     if (v.is_null()) continue;
-    if (seen.insert(v).second) out.push_back(v);
+    if (dedup.insert(v).second) out.push_back(std::move(v));
   }
   return out;
 }
 
 Result<Table> Table::Project(const std::vector<size_t>& cols) const {
   std::vector<Column> out_cols;
+  std::vector<uint32_t> remap;
+  out_cols.reserve(cols.size());
+  remap.reserve(cols.size());
   for (size_t c : cols) {
     if (c >= schema_.num_columns()) {
       return Status::OutOfRange("column index " + std::to_string(c));
     }
     out_cols.push_back(schema_.column(c));
+    remap.push_back(static_cast<uint32_t>(PhysCol(c)));
   }
   Table out{Schema(std::move(out_cols)), name_};
-  for (const Row& r : rows_) {
-    Row nr;
-    nr.reserve(cols.size());
-    for (size_t c : cols) nr.push_back(r[c]);
-    AUTODC_RETURN_NOT_OK(out.AppendRow(std::move(nr)));
-  }
+  out.store_ = store_;
+  out.sel_ = sel_;
+  out.sel_identity_ = sel_identity_;
+  out.colmap_ = std::move(remap);
+  out.col_identity_ = false;
   return out;
 }
 
 double Table::NullFraction() const {
-  if (rows_.empty() || schema_.num_columns() == 0) return 0.0;
+  size_t n = num_rows();
+  size_t cols = schema_.num_columns();
+  if (n == 0 || cols == 0) return 0.0;
   size_t nulls = 0;
-  for (const Row& r : rows_) {
-    for (const Value& v : r) {
-      if (v.is_null()) ++nulls;
+  if (ChunkScannable()) {
+    // Bitmap popcount per chunk; overflow cells were stored with the
+    // null bit set but hold real values, so subtract them back out.
+    for (size_t c = 0; c < cols; ++c) {
+      for (size_t k = 0; k < num_chunks(); ++k) {
+        TypedChunkRef ch = column_chunk(c, k);
+        size_t words = (ch.n + 63) / 64;
+        for (size_t w = 0; w < words; ++w) {
+          uint64_t word = ch.nulls[w];
+          // Mask tail bits beyond ch.n in the last word.
+          if (w == words - 1 && (ch.n & 63) != 0) {
+            word &= (uint64_t{1} << (ch.n & 63)) - 1;
+          }
+          nulls += static_cast<size_t>(__builtin_popcountll(word));
+        }
+      }
+      nulls -= store_->overflow(PhysCol(c)).size();
+    }
+  } else {
+    for (size_t r = 0; r < n; ++r) {
+      for (size_t c = 0; c < cols; ++c) {
+        if (IsNull(r, c)) ++nulls;
+      }
     }
   }
-  return static_cast<double>(nulls) /
-         static_cast<double>(rows_.size() * schema_.num_columns());
+  return static_cast<double>(nulls) / static_cast<double>(n * cols);
 }
 
 std::string Table::ToString(size_t max_rows) const {
@@ -84,15 +166,15 @@ std::string Table::ToString(size_t max_rows) const {
     os << schema_.column(c).name;
   }
   os << "\n";
-  for (size_t r = 0; r < rows_.size() && r < max_rows; ++r) {
+  size_t n = num_rows();
+  for (size_t r = 0; r < n && r < max_rows; ++r) {
     for (size_t c = 0; c < schema_.num_columns(); ++c) {
       if (c > 0) os << " | ";
-      os << rows_[r][c].ToString();
+      os << CellText(r, c);
     }
     os << "\n";
   }
-  if (rows_.size() > max_rows) os << "... (" << rows_.size() - max_rows
-                                  << " more)\n";
+  if (n > max_rows) os << "... (" << n - max_rows << " more)\n";
   return os.str();
 }
 

@@ -1,23 +1,86 @@
 #ifndef AUTODC_DATA_TABLE_H_
 #define AUTODC_DATA_TABLE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/common/result.h"
 #include "src/common/status.h"
+#include "src/data/column_store.h"
 #include "src/data/schema.h"
 #include "src/data/value.h"
 
 namespace autodc::data {
 
-/// A tuple: one row of a relation.
-using Row = std::vector<Value>;
+// Row (std::vector<Value>) comes from column_store.h: the legacy tuple
+// type, still the unit of AppendRow and of code that mutates rows
+// before insert.
 
-/// An in-memory relation: a schema plus a row store. This is the substrate
-/// object every AutoDC task (discovery, ER, cleaning, imputation) operates
-/// on. Row-major storage keeps tuple-level operations (the dominant access
-/// pattern in curation) cache-friendly and simple.
+class Table;
+
+/// A lightweight, non-owning view of one tuple. Reading a cell builds
+/// the Value on the fly from the columnar store — no per-row
+/// std::vector<Value> exists on read paths. Also binds (implicitly) to
+/// a materialized Row so helpers taking RowView accept both.
+///
+/// Validity: a table-backed view borrows the Table; a Row-backed view
+/// borrows the Row. Neither may outlive its source.
+class RowView {
+ public:
+  RowView() = default;
+  RowView(const Table* table, size_t row) : table_(table), row_(row) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): Row must convert freely.
+  RowView(const Row& row) : values_(row.data()), size_(row.size()) {}
+
+  size_t size() const;
+  /// Cell value, BY VALUE (built from column storage on demand).
+  Value operator[](size_t c) const;
+  bool is_null(size_t c) const;
+  /// Canonical text of cell `c` (Value::ToString semantics) without
+  /// materializing a Value for typed columns.
+  std::string Text(size_t c) const;
+
+  /// Materializes an owned Row (copies every cell).
+  // NOLINTNEXTLINE(google-explicit-constructor): legacy call sites copy rows.
+  operator Row() const { return Materialize(); }
+  Row Materialize() const;
+
+  /// Forward iterator yielding Value by value (supports range-for).
+  class const_iterator {
+   public:
+    using value_type = Value;
+    using difference_type = std::ptrdiff_t;
+    const_iterator(const RowView* view, size_t i) : view_(view), i_(i) {}
+    Value operator*() const { return (*view_)[i_]; }
+    const_iterator& operator++() { ++i_; return *this; }
+    bool operator!=(const const_iterator& o) const { return i_ != o.i_; }
+    bool operator==(const const_iterator& o) const { return i_ == o.i_; }
+   private:
+    const RowView* view_;
+    size_t i_;
+  };
+  const_iterator begin() const { return {this, 0}; }
+  const_iterator end() const { return {this, size()}; }
+
+ private:
+  // Exactly one mode is active: table-backed (table_ != nullptr) or
+  // span-backed over a materialized Row.
+  const Table* table_ = nullptr;
+  size_t row_ = 0;
+  const Value* values_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// An in-memory relation: a schema plus a columnar chunk store
+/// (column_store.h). The substrate object every AutoDC task
+/// (discovery, ER, cleaning, imputation) operates on.
+///
+/// Tables are cheap value types: copies share the immutable store;
+/// `Filter` returns a selection vector over it and `Project` a column
+/// remap, so neither copies cell data. The first mutation (Set /
+/// AppendRow) on a shared or view table materializes a private store
+/// (copy-on-write), preserving the old deep-copy semantics exactly.
 class Table {
  public:
   Table() = default;
@@ -28,18 +91,33 @@ class Table {
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
 
-  size_t num_rows() const { return rows_.size(); }
+  size_t num_rows() const {
+    if (!sel_identity_) return sel_.size();
+    return store_ ? store_->num_rows() : 0;
+  }
   size_t num_columns() const { return schema_.num_columns(); }
 
   /// Appends a row; fails if the arity does not match the schema.
   Status AppendRow(Row row);
 
-  const Row& row(size_t i) const { return rows_[i]; }
-  Row* mutable_row(size_t i) { return &rows_[i]; }
-  const std::vector<Row>& rows() const { return rows_; }
+  /// View of row `i`. Cells are built on demand; no Row is allocated.
+  RowView row(size_t i) const { return RowView(this, i); }
 
-  const Value& at(size_t row, size_t col) const { return rows_[row][col]; }
-  void Set(size_t row, size_t col, Value v) { rows_[row][col] = std::move(v); }
+  /// Cell value, BY VALUE (assembled from column storage). Callers that
+  /// held `const Value&` keep working via lifetime extension.
+  Value at(size_t row, size_t col) const {
+    return store_->GetValue(PhysRow(row), PhysCol(col));
+  }
+  bool IsNull(size_t row, size_t col) const {
+    return store_->IsNull(PhysRow(row), PhysCol(col));
+  }
+  /// Canonical text of a cell — equals at(row, col).ToString() but skips
+  /// the Value materialization for typed columns.
+  std::string CellText(size_t row, size_t col) const {
+    return store_->CellText(PhysRow(row), PhysCol(col));
+  }
+
+  void Set(size_t row, size_t col, Value v);
 
   /// Cell addressed by column name; error if the column does not exist or
   /// the row is out of range.
@@ -48,20 +126,28 @@ class Table {
   /// All values of one column, in row order.
   std::vector<Value> ColumnValues(size_t col) const;
 
-  /// Distinct non-null values of one column.
+  /// Distinct non-null values of one column, in first-seen row order.
   std::vector<Value> DistinctColumnValues(size_t col) const;
 
-  /// Rows for which `predicate` returns true, as a new table.
+  /// Rows for which `predicate` returns true, as a new table. O(selected)
+  /// extra memory: the result shares this table's column store.
   template <typename Pred>
   Table Filter(Pred predicate) const {
     Table out(schema_, name_);
-    for (const Row& r : rows_) {
-      if (predicate(r)) out.rows_.push_back(r);
+    out.store_ = store_;
+    out.colmap_ = colmap_;
+    out.col_identity_ = col_identity_;
+    out.sel_identity_ = false;
+    size_t n = num_rows();
+    out.sel_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (predicate(row(i))) out.sel_.push_back(PhysRow(i));
     }
     return out;
   }
 
-  /// New table with only the given column indices (in the given order).
+  /// New table with only the given column indices (in the given order;
+  /// duplicates allowed). Shares the column store — no cell copies.
   Result<Table> Project(const std::vector<size_t>& cols) const;
 
   /// Fraction of cells that are null.
@@ -70,11 +156,114 @@ class Table {
   /// Human-readable rendering of the first `max_rows` rows.
   std::string ToString(size_t max_rows = 10) const;
 
+  // ---- Columnar access (the hot-path API) -----------------------------
+  //
+  // Chunk scans address physical rows 0..store rows, so they require a
+  // table with no row selection (`ChunkScannable()`): either a freshly
+  // built/loaded table or one after Compact(). Column remaps (Project)
+  // are fine — indices pass through PhysCol.
+
+  /// True when logical rows coincide with physical store rows, i.e.
+  /// chunk iteration sees exactly this table's rows, in order.
+  bool ChunkScannable() const { return store_ != nullptr && sel_identity_; }
+  /// True when this table is a direct, unshared image of its store
+  /// (no row selection, no column remap).
+  bool IsFlatView() const { return sel_identity_ && col_identity_; }
+
+  size_t num_chunks() const { return store_ ? store_->num_chunks() : 0; }
+  size_t chunk_rows() const {
+    return store_ ? store_->chunk_rows() : kDefaultChunkRows;
+  }
+  /// Typed view of chunk `k` of logical column `c` (ChunkScannable only).
+  TypedChunkRef column_chunk(size_t c, size_t k) const {
+    return store_->chunk(PhysCol(c), k);
+  }
+  /// Physical storage type of logical column `c`.
+  ValueType storage_type(size_t c) const {
+    return store_ ? store_->storage_type(PhysCol(c)) : ValueType::kString;
+  }
+  /// True when every cell of `c` matches the storage type — the gate for
+  /// raw typed-array scans (mixed-type columns fall back to at()).
+  bool ColumnUniform(size_t c) const {
+    return store_ != nullptr && store_->uniform(PhysCol(c));
+  }
+  /// Dictionary of a string-typed column.
+  const StringDict& dict(size_t c) const { return store_->dict(PhysCol(c)); }
+  /// Dict code of a non-null cell (uniform string columns only) — lets
+  /// consumers key per-distinct-value caches without building strings.
+  uint32_t DictCode(size_t row, size_t col) const {
+    return store_->CellCode(PhysRow(row), PhysCol(col));
+  }
+
+  /// Materializes the logical view (selection + remap) into a private
+  /// flat store. No-op when already exclusive and flat.
+  void Compact();
+
+  /// Bytes resident in column arrays, dictionaries, and overflow maps.
+  size_t ResidentBytes() const {
+    return store_ ? store_->ResidentBytes() : 0;
+  }
+
+  /// The backing store (table_file.cc serialization; requires a store —
+  /// call Compact() first on possibly-empty tables).
+  const ColumnStore& store() const { return *store_; }
+  bool has_store() const { return store_ != nullptr; }
+  /// Installs a store built externally (CSV ingest, file open).
+  void AdoptStore(std::shared_ptr<ColumnStore> store) {
+    store_ = std::move(store);
+    sel_.clear();
+    colmap_.clear();
+    sel_identity_ = true;
+    col_identity_ = true;
+  }
+
+  size_t PhysRow(size_t i) const { return sel_identity_ ? i : sel_[i]; }
+  size_t PhysCol(size_t c) const { return col_identity_ ? c : colmap_[c]; }
+
  private:
+  /// Copy-on-write gate: after this, store_ is exclusively owned and the
+  /// view is flat, so in-place mutation is safe.
+  void EnsureExclusive();
+  void EnsureStore();
+
   Schema schema_;
   std::string name_;
-  std::vector<Row> rows_;
+  std::shared_ptr<ColumnStore> store_;
+  /// Row selection: logical row i is store row sel_[i]. Identity when
+  /// sel_identity_ (sel_ empty ≠ empty selection, hence the flag).
+  std::vector<uint32_t> sel_;
+  /// Column remap: logical column c is store column colmap_[c].
+  std::vector<uint32_t> colmap_;
+  bool sel_identity_ = true;
+  bool col_identity_ = true;
 };
+
+// ---- RowView inline definitions (need complete Table) -----------------
+
+inline size_t RowView::size() const {
+  return table_ != nullptr ? table_->num_columns() : size_;
+}
+
+inline Value RowView::operator[](size_t c) const {
+  return table_ != nullptr ? table_->at(row_, c) : values_[c];
+}
+
+inline bool RowView::is_null(size_t c) const {
+  return table_ != nullptr ? table_->IsNull(row_, c) : values_[c].is_null();
+}
+
+inline std::string RowView::Text(size_t c) const {
+  return table_ != nullptr ? table_->CellText(row_, c)
+                           : values_[c].ToString();
+}
+
+inline Row RowView::Materialize() const {
+  Row out;
+  size_t n = size();
+  out.reserve(n);
+  for (size_t c = 0; c < n; ++c) out.push_back((*this)[c]);
+  return out;
+}
 
 }  // namespace autodc::data
 

@@ -1,0 +1,437 @@
+#include "src/data/table_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <vector>
+
+#include "src/common/env.h"
+#include "src/obs/metrics.h"
+
+namespace autodc::data {
+
+namespace {
+
+constexpr char kMagic[4] = {'A', 'D', 'C', 'T'};
+constexpr uint32_t kVersion = 1;
+
+// Overflow-cell payload tags (nulls never overflow).
+constexpr uint8_t kTagInt = 1;
+constexpr uint8_t kTagDouble = 2;
+constexpr uint8_t kTagString = 3;
+
+// ---- Writer ----------------------------------------------------------
+
+class FileWriter {
+ public:
+  explicit FileWriter(const std::string& path)
+      : out_(path, std::ios::binary | std::ios::trunc) {}
+
+  bool ok() const { return out_.good(); }
+
+  void Bytes(const void* p, size_t n) {
+    out_.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+    off_ += n;
+  }
+
+  template <typename T>
+  void Pod(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Bytes(&v, sizeof(T));
+  }
+
+  void Str(const std::string& s) {
+    Pod(static_cast<uint32_t>(s.size()));
+    Bytes(s.data(), s.size());
+  }
+
+  void Align8() {
+    static const char zeros[8] = {0};
+    size_t pad = (8 - (off_ & 7)) & 7;
+    if (pad != 0) Bytes(zeros, pad);
+  }
+
+ private:
+  std::ofstream out_;
+  uint64_t off_ = 0;
+};
+
+void WriteValue(FileWriter* w, const Value& v) {
+  switch (v.type()) {
+    case ValueType::kInt:
+      w->Pod(kTagInt);
+      w->Pod(v.AsInt());
+      break;
+    case ValueType::kDouble:
+      w->Pod(kTagDouble);
+      w->Pod(v.AsDouble());
+      break;
+    default:
+      w->Pod(kTagString);
+      w->Pod(static_cast<uint64_t>(v.AsString().size()));
+      w->Bytes(v.AsString().data(), v.AsString().size());
+      break;
+  }
+}
+
+// ---- Reader ----------------------------------------------------------
+
+/// Bounds-checked cursor over the file image. All reads of multi-byte
+/// values memcpy (arrays are 8-aligned by construction, but the header
+/// fields are packed).
+class FileReader {
+ public:
+  FileReader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  bool ok() const { return ok_; }
+  size_t offset() const { return off_; }
+
+  template <typename T>
+  bool Pod(T* v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (!Ensure(sizeof(T))) return false;
+    std::memcpy(v, data_ + off_, sizeof(T));
+    off_ += sizeof(T);
+    return true;
+  }
+
+  bool Str(std::string* s) {
+    uint32_t n = 0;
+    if (!Pod(&n) || !Ensure(n)) return false;
+    s->assign(data_ + off_, n);
+    off_ += n;
+    return true;
+  }
+
+  /// Pointer to `bytes` bytes in place, advancing the cursor.
+  const char* Borrow(size_t bytes) {
+    if (!Ensure(bytes)) return nullptr;
+    const char* p = data_ + off_;
+    off_ += bytes;
+    return p;
+  }
+
+  bool Align8() {
+    size_t pad = (8 - (off_ & 7)) & 7;
+    return pad == 0 || Borrow(pad) != nullptr;
+  }
+
+ private:
+  bool Ensure(size_t n) {
+    if (!ok_ || size_ - off_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const char* data_;
+  size_t size_;
+  size_t off_ = 0;
+  bool ok_ = true;
+};
+
+ValueType StorageTypeForDeclared(ValueType declared) {
+  switch (declared) {
+    case ValueType::kInt:
+    case ValueType::kDouble:
+      return declared;
+    default:
+      return ValueType::kString;
+  }
+}
+
+/// Holds the file image (mapping or owned buffer) alive for borrowed
+/// chunks. Registered with the ColumnStore via HoldBacking.
+struct Mapping {
+  const char* data = nullptr;
+  size_t size = 0;
+  bool mapped = false;
+  std::vector<char> owned;
+
+  ~Mapping() {
+    if (mapped && data != nullptr) {
+      ::munmap(const_cast<char*>(data), size);
+    }
+  }
+};
+
+}  // namespace
+
+Status WriteTableFile(const Table& table, const std::string& path) {
+  // Serialize the logical view: a filtered/projected table is compacted
+  // into a private flat store first; an already-flat table serializes
+  // straight from its (shared) store with no copy.
+  Table flat = table;
+  if (!flat.IsFlatView() || !flat.has_store()) flat.Compact();
+
+  FileWriter w(path);
+  if (!w.ok()) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+
+  uint64_t rows = flat.num_rows();
+  uint32_t cols = static_cast<uint32_t>(flat.num_columns());
+  uint64_t chunk_rows = flat.chunk_rows();
+
+  w.Bytes(kMagic, 4);
+  w.Pod(kVersion);
+  w.Pod(rows);
+  w.Pod(chunk_rows);
+  w.Pod(cols);
+  w.Str(flat.name());
+  for (uint32_t c = 0; c < cols; ++c) {
+    w.Str(flat.schema().column(c).name);
+    w.Pod(static_cast<uint8_t>(flat.schema().column(c).type));
+    w.Pod(static_cast<uint8_t>(flat.storage_type(c)));
+  }
+
+  uint64_t num_chunks = flat.num_chunks();
+  for (uint32_t c = 0; c < cols; ++c) {
+    for (uint64_t k = 0; k < num_chunks; ++k) {
+      TypedChunkRef ch = flat.column_chunk(c, k);
+      size_t words = (ch.n + 63) / 64;
+      w.Align8();
+      w.Bytes(ch.nulls, words * sizeof(uint64_t));
+      w.Align8();
+      if (ch.i64 != nullptr) {
+        w.Bytes(ch.i64, ch.n * sizeof(int64_t));
+      } else if (ch.f64 != nullptr) {
+        w.Bytes(ch.f64, ch.n * sizeof(double));
+      } else {
+        w.Bytes(ch.codes, ch.n * sizeof(uint32_t));
+      }
+    }
+    if (flat.storage_type(c) == ValueType::kString) {
+      const StringDict& d = flat.dict(c);
+      uint64_t count = d.size();
+      std::vector<uint64_t> offsets(count + 1, 0);
+      for (uint64_t i = 0; i < count; ++i) {
+        offsets[i + 1] = offsets[i] + d.str(static_cast<uint32_t>(i)).size();
+      }
+      w.Align8();
+      w.Pod(count);
+      w.Bytes(offsets.data(), offsets.size() * sizeof(uint64_t));
+      for (uint64_t i = 0; i < count; ++i) {
+        std::string_view s = d.str(static_cast<uint32_t>(i));
+        w.Bytes(s.data(), s.size());
+      }
+    }
+  }
+
+  // Overflow trailer, sorted (col, row) so files are byte-reproducible
+  // despite unordered_map iteration order.
+  std::vector<std::pair<std::pair<uint64_t, uint64_t>, const Value*>> cells;
+  for (uint32_t c = 0; c < cols; ++c) {
+    for (const auto& [row, v] : flat.store().overflow(c)) {
+      cells.push_back({{c, row}, &v});
+    }
+  }
+  std::sort(cells.begin(), cells.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w.Align8();
+  w.Pod(static_cast<uint64_t>(cells.size()));
+  for (const auto& [key, v] : cells) {
+    w.Pod(key.first);
+    w.Pod(key.second);
+    WriteValue(&w, *v);
+  }
+
+  if (!w.ok()) {
+    return Status::IoError("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Result<Table> OpenTableFile(const std::string& path) {
+  AUTODC_OBS_INC("data.table_file_opens");
+  auto mapping = std::make_shared<Mapping>();
+
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError("cannot open '" + path + "'");
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IoError("cannot stat '" + path + "'");
+  }
+  size_t size = static_cast<size_t>(st.st_size);
+
+  bool use_mmap = EnvFlag("AUTODC_TABLE_MMAP", true);
+  if (use_mmap && size > 0) {
+    void* p = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (p != MAP_FAILED) {
+      mapping->data = static_cast<const char*>(p);
+      mapping->size = size;
+      mapping->mapped = true;
+      AUTODC_OBS_INC("data.table_file_mmap_opens");
+    } else {
+      use_mmap = false;
+    }
+  }
+  if (!mapping->mapped) {
+    mapping->owned.resize(size);
+    size_t got = 0;
+    while (got < size) {
+      ssize_t n = ::read(fd, mapping->owned.data() + got, size - got);
+      if (n <= 0) {
+        ::close(fd);
+        return Status::IoError("short read from '" + path + "'");
+      }
+      got += static_cast<size_t>(n);
+    }
+    mapping->data = mapping->owned.data();
+    mapping->size = size;
+  }
+  ::close(fd);  // the mapping (or buffer) outlives the descriptor
+
+  FileReader r(mapping->data, mapping->size);
+  char magic[4];
+  uint32_t version = 0;
+  uint64_t rows = 0, chunk_rows = 0;
+  uint32_t cols = 0;
+  std::string name;
+  if (!r.Pod(&magic) || std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::InvalidArgument("'" + path + "' is not a table file");
+  }
+  if (!r.Pod(&version) || version != kVersion) {
+    return Status::InvalidArgument("unsupported table file version " +
+                                   std::to_string(version) + " in '" + path +
+                                   "'");
+  }
+  if (!r.Pod(&rows) || !r.Pod(&chunk_rows) || !r.Pod(&cols) || !r.Str(&name) ||
+      chunk_rows == 0) {
+    return Status::IoError("truncated table file header in '" + path + "'");
+  }
+
+  std::vector<Column> columns(cols);
+  std::vector<ValueType> storage(cols);
+  for (uint32_t c = 0; c < cols; ++c) {
+    uint8_t declared = 0, stored = 0;
+    if (!r.Str(&columns[c].name) || !r.Pod(&declared) || !r.Pod(&stored)) {
+      return Status::IoError("truncated schema in '" + path + "'");
+    }
+    columns[c].type = static_cast<ValueType>(declared);
+    storage[c] = static_cast<ValueType>(stored);
+    if (storage[c] != StorageTypeForDeclared(columns[c].type)) {
+      return Status::InvalidArgument("column storage type mismatch in '" +
+                                     path + "'");
+    }
+  }
+
+  Schema schema{std::move(columns)};
+  auto store = std::make_shared<ColumnStore>(schema, chunk_rows);
+  uint64_t num_chunks = rows == 0 ? 0 : (rows + chunk_rows - 1) / chunk_rows;
+
+  for (uint32_t c = 0; c < cols; ++c) {
+    for (uint64_t k = 0; k < num_chunks; ++k) {
+      size_t n = static_cast<size_t>(
+          std::min<uint64_t>(chunk_rows, rows - k * chunk_rows));
+      size_t words = (n + 63) / 64;
+      ColumnChunk ch;
+      ch.n = n;
+      ch.owned = false;
+      if (!r.Align8()) break;
+      ch.b_nulls = reinterpret_cast<const uint64_t*>(
+          r.Borrow(words * sizeof(uint64_t)));
+      if (!r.Align8()) break;
+      switch (storage[c]) {
+        case ValueType::kInt:
+          ch.b_i64 =
+              reinterpret_cast<const int64_t*>(r.Borrow(n * sizeof(int64_t)));
+          break;
+        case ValueType::kDouble:
+          ch.b_f64 =
+              reinterpret_cast<const double*>(r.Borrow(n * sizeof(double)));
+          break;
+        default:
+          ch.b_codes = reinterpret_cast<const uint32_t*>(
+              r.Borrow(n * sizeof(uint32_t)));
+          break;
+      }
+      if (!r.ok()) break;
+      store->AdoptBorrowedChunk(c, std::move(ch));
+    }
+    if (storage[c] == ValueType::kString) {
+      uint64_t count = 0;
+      if (!r.Align8() || !r.Pod(&count)) break;
+      const char* offs_bytes = r.Borrow((count + 1) * sizeof(uint64_t));
+      if (offs_bytes == nullptr) break;
+      const uint64_t* offsets = reinterpret_cast<const uint64_t*>(offs_bytes);
+      const char* blob = r.Borrow(static_cast<size_t>(offsets[count]));
+      if (blob == nullptr && offsets[count] != 0) break;
+      std::vector<std::string_view> views;
+      views.reserve(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        views.emplace_back(blob + offsets[i],
+                           static_cast<size_t>(offsets[i + 1] - offsets[i]));
+      }
+      store->AdoptBorrowedDict(c, std::move(views));
+    }
+    if (!r.ok()) {
+      return Status::IoError("truncated column data in '" + path + "'");
+    }
+  }
+  if (!r.ok()) {
+    return Status::IoError("truncated column data in '" + path + "'");
+  }
+
+  uint64_t overflow_count = 0;
+  if (!r.Align8() || !r.Pod(&overflow_count)) {
+    return Status::IoError("truncated overflow trailer in '" + path + "'");
+  }
+  for (uint64_t i = 0; i < overflow_count; ++i) {
+    uint64_t col = 0, row = 0;
+    uint8_t tag = 0;
+    if (!r.Pod(&col) || !r.Pod(&row) || !r.Pod(&tag) || col >= cols) {
+      return Status::IoError("corrupt overflow cell in '" + path + "'");
+    }
+    switch (tag) {
+      case kTagInt: {
+        int64_t v = 0;
+        if (!r.Pod(&v)) break;
+        store->AdoptOverflowCell(col, row, Value(v));
+        break;
+      }
+      case kTagDouble: {
+        double v = 0;
+        if (!r.Pod(&v)) break;
+        store->AdoptOverflowCell(col, row, Value(v));
+        break;
+      }
+      case kTagString: {
+        uint64_t len = 0;
+        if (!r.Pod(&len)) break;
+        const char* p = r.Borrow(static_cast<size_t>(len));
+        if (p == nullptr) break;
+        store->AdoptOverflowCell(col, row,
+                                 Value(std::string(p, static_cast<size_t>(len))));
+        break;
+      }
+      default:
+        return Status::IoError("corrupt overflow tag in '" + path + "'");
+    }
+    if (!r.ok()) {
+      return Status::IoError("truncated overflow cell in '" + path + "'");
+    }
+  }
+
+  store->SetRowCount(static_cast<size_t>(rows));
+  store->HoldBacking(
+      std::shared_ptr<const void>(mapping, mapping->data));
+  AUTODC_OBS_GAUGE_SET("data.open_table_resident_bytes",
+                       static_cast<double>(store->ResidentBytes()));
+
+  Table table(std::move(schema), std::move(name));
+  table.AdoptStore(std::move(store));
+  return table;
+}
+
+}  // namespace autodc::data

@@ -1,0 +1,38 @@
+#ifndef AUTODC_DATA_TABLE_FILE_H_
+#define AUTODC_DATA_TABLE_FILE_H_
+
+#include <string>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/data/table.h"
+
+// Versioned binary table format ("ADCT", DESIGN.md §12): the columnar
+// store serialized layout-compatibly, so opening a file is O(1) in row
+// count — the chunk arrays and dictionary blobs are used in place from
+// an mmap (or one bulk read when AUTODC_TABLE_MMAP=0), never parsed.
+// Convert a CSV once with WriteTableFile; every later OpenTableFile is
+// instant and shares pages across processes.
+//
+// Layout (little-endian, arrays 8-byte aligned):
+//   header: magic "ADCT", u32 version, u64 rows, u64 chunk_rows,
+//           u32 cols, table name, per-column (name, declared type,
+//           storage type)
+//   per column: per-chunk null bitmap words, per-chunk typed data
+//               (i64 | f64 | u32 dict codes), then for string columns
+//               the dictionary (u64 count, u64 offsets[count+1], blob)
+//   trailer: overflow cells (u64 count, then col/row/tag/payload each)
+namespace autodc::data {
+
+/// Writes `table` to `path`. The table's logical view is what is
+/// written (selection/projection are applied, not stored).
+Status WriteTableFile(const Table& table, const std::string& path);
+
+/// Opens a table file in O(1): maps (or bulk-reads) the bytes and
+/// points the column store's chunks at them. The mapping lives as long
+/// as any Table sharing the store.
+Result<Table> OpenTableFile(const std::string& path);
+
+}  // namespace autodc::data
+
+#endif  // AUTODC_DATA_TABLE_FILE_H_

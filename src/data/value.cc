@@ -45,6 +45,19 @@ std::string Value::ToString() const {
   return "";
 }
 
+bool Value::operator==(const Value& other) const {
+  ValueType a = type();
+  ValueType b = other.type();
+  bool a_num = a == ValueType::kInt || a == ValueType::kDouble;
+  bool b_num = b == ValueType::kInt || b == ValueType::kDouble;
+  if (a_num && b_num) {
+    // Numeric values compare by value across the int/double divide, the
+    // same equivalence operator< induces.
+    return ToNumeric() == other.ToNumeric();
+  }
+  return repr_ == other.repr_;
+}
+
 bool Value::operator<(const Value& other) const {
   ValueType a = type();
   ValueType b = other.type();
@@ -70,9 +83,13 @@ size_t ValueHash::operator()(const Value& v) const {
     case ValueType::kNull:
       return 0x9e3779b97f4a7c15ULL;
     case ValueType::kInt:
-      return std::hash<int64_t>()(v.AsInt());
-    case ValueType::kDouble:
-      return std::hash<double>()(v.AsDouble());
+    case ValueType::kDouble: {
+      // Hash the numeric value so Value(1) and Value(1.0) (equal under
+      // operator==) land in the same bucket. +0.0 canonicalizes -0.0.
+      double d = v.ToNumeric();
+      if (d == 0.0) d = 0.0;
+      return std::hash<double>()(d);
+    }
     case ValueType::kString:
       return std::hash<std::string>()(v.AsString());
   }

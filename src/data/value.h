@@ -52,7 +52,11 @@ class Value {
   /// Null renders as the empty string.
   std::string ToString() const;
 
-  bool operator==(const Value& other) const { return repr_ == other.repr_; }
+  /// Equality is the equivalence of the documented total order below:
+  /// ints and doubles compare BY NUMERIC VALUE, so Value(1) == Value(1.0).
+  /// (Historically int/double pairs were unequal under == while equivalent
+  /// under <, which broke hash-set/sort agreement.)
+  bool operator==(const Value& other) const;
   bool operator!=(const Value& other) const { return !(*this == other); }
   /// Total order: nulls < ints/doubles (by numeric value) < strings.
   bool operator<(const Value& other) const;
@@ -61,7 +65,8 @@ class Value {
   std::variant<std::monostate, int64_t, double, std::string> repr_;
 };
 
-/// Hash functor so Value can key unordered containers.
+/// Hash functor so Value can key unordered containers. Consistent with
+/// operator==: numerically equal ints and doubles hash identically.
 struct ValueHash {
   size_t operator()(const Value& v) const;
 };

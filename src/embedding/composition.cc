@@ -67,12 +67,12 @@ std::vector<float> EmbedTokens(const EmbeddingStore& words,
 }
 
 std::vector<float> EmbedTuple(const EmbeddingStore& words,
-                              const data::Row& row, Composition method,
+                              data::RowView row, Composition method,
                               const SifWeights& sif) {
   std::vector<std::string> tokens;
-  for (const data::Value& v : row) {
-    if (v.is_null()) continue;
-    for (std::string& tok : text::Tokenize(v.ToString())) {
+  for (size_t c = 0; c < row.size(); ++c) {
+    if (row.is_null(c)) continue;
+    for (std::string& tok : text::Tokenize(row.Text(c))) {
       tokens.push_back(std::move(tok));
     }
   }

@@ -46,7 +46,7 @@ std::vector<float> EmbedTokens(const EmbeddingStore& words,
 
 /// Tuple2Vec: tokenizes every cell of the row and composes (Sec. 3.1).
 std::vector<float> EmbedTuple(const EmbeddingStore& words,
-                              const data::Row& row,
+                              data::RowView row,
                               Composition method = Composition::kAverage,
                               const SifWeights& sif = {});
 

@@ -53,8 +53,7 @@ EmbeddingStore TrainCellEmbeddingsNaive(
     for (size_t r = 0; r < t->num_rows(); ++r) {
       std::vector<std::string> sentence;
       for (size_t c = 0; c < t->num_columns(); ++c) {
-        const data::Value& v = t->at(r, c);
-        if (!v.is_null()) sentence.push_back(v.ToString());
+        if (!t->IsNull(r, c)) sentence.push_back(t->CellText(r, c));
       }
       if (!sentence.empty()) sentences.push_back(std::move(sentence));
     }
@@ -67,13 +66,42 @@ EmbeddingStore TrainWordEmbeddingsFromTables(
     const Word2VecConfig& config) {
   std::vector<std::vector<std::string>> sentences;
   for (const data::Table* t : tables) {
+    size_t ncols = t->num_columns();
+    // Uniform string columns tokenize each DISTINCT value once (keyed by
+    // dictionary code) instead of once per cell. The token stream is
+    // emitted in row-major order either way, so the sentences — and
+    // therefore the trained vectors — are identical to the naive loop.
+    std::vector<std::vector<std::vector<std::string>>> cached(ncols);
+    std::vector<std::vector<char>> done(ncols);
+    std::vector<char> fast(ncols, 0);
+    if (t->ChunkScannable()) {
+      for (size_t c = 0; c < ncols; ++c) {
+        if (t->ColumnUniform(c) &&
+            t->storage_type(c) == data::ValueType::kString) {
+          fast[c] = 1;
+          cached[c].resize(t->dict(c).size());
+          done[c].assign(t->dict(c).size(), 0);
+        }
+      }
+    }
     for (size_t r = 0; r < t->num_rows(); ++r) {
       std::vector<std::string> sentence;
-      for (size_t c = 0; c < t->num_columns(); ++c) {
-        const data::Value& v = t->at(r, c);
-        if (v.is_null()) continue;
-        for (std::string& tok : text::Tokenize(v.ToString())) {
-          sentence.push_back(std::move(tok));
+      for (size_t c = 0; c < ncols; ++c) {
+        if (t->IsNull(r, c)) continue;
+        if (fast[c]) {
+          uint32_t code = t->DictCode(r, c);
+          if (!done[c][code]) {
+            cached[c][code] =
+                text::Tokenize(std::string(t->dict(c).str(code)));
+            done[c][code] = 1;
+          }
+          for (const std::string& tok : cached[c][code]) {
+            sentence.push_back(tok);
+          }
+        } else {
+          for (std::string& tok : text::Tokenize(t->CellText(r, c))) {
+            sentence.push_back(std::move(tok));
+          }
         }
       }
       if (!sentence.empty()) sentences.push_back(std::move(sentence));

@@ -7,18 +7,18 @@
 namespace autodc::er {
 
 namespace {
-std::string RowText(const data::Row& row) {
+std::string RowText(data::RowView row) {
   std::string out;
-  for (const data::Value& v : row) {
-    if (v.is_null()) continue;
-    out += v.ToString();
+  for (size_t c = 0; c < row.size(); ++c) {
+    if (row.is_null(c)) continue;
+    out += row.Text(c);
     out += " ";
   }
   return out;
 }
 }  // namespace
 
-double ThresholdMatcher::Score(const data::Row& a, const data::Row& b) const {
+double ThresholdMatcher::Score(data::RowView a, data::RowView b) const {
   return text::TokenJaccard(RowText(a), RowText(b));
 }
 
@@ -68,8 +68,8 @@ double FeatureMatcher::Train(const data::Table& left,
   return last_train_.final_train_loss;
 }
 
-double FeatureMatcher::PredictProba(const data::Row& a,
-                                    const data::Row& b) const {
+double FeatureMatcher::PredictProba(data::RowView a,
+                                    data::RowView b) const {
   return classifier_->PredictProba(HandcraftedPairFeatures(a, b, schema_));
 }
 

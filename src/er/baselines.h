@@ -19,7 +19,7 @@ class ThresholdMatcher {
   explicit ThresholdMatcher(double threshold = 0.5)
       : threshold_(threshold) {}
 
-  double Score(const data::Row& a, const data::Row& b) const;
+  double Score(data::RowView a, data::RowView b) const;
   std::vector<RowPair> Match(const data::Table& left,
                              const data::Table& right,
                              const std::vector<RowPair>& candidates) const;
@@ -39,7 +39,7 @@ class FeatureMatcher {
 
   double Train(const data::Table& left, const data::Table& right,
                const std::vector<PairLabel>& pairs);
-  double PredictProba(const data::Row& a, const data::Row& b) const;
+  double PredictProba(data::RowView a, data::RowView b) const;
   std::vector<RowPair> Match(const data::Table& left,
                              const data::Table& right,
                              const std::vector<RowPair>& candidates,

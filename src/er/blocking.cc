@@ -14,25 +14,58 @@
 
 namespace autodc::er {
 
+namespace {
+
+/// Blocking key (first token, "" when null/empty) of every row of one
+/// table. On a chunk-scannable uniform string column each DISTINCT
+/// value is tokenized once, keyed by its dictionary code; other layouts
+/// fall back to the per-cell path with identical results.
+std::vector<std::string> BlockingKeys(const data::Table& t, size_t column) {
+  std::vector<std::string> keys(t.num_rows());
+  if (t.ChunkScannable() && t.ColumnUniform(column) &&
+      t.storage_type(column) == data::ValueType::kString) {
+    const data::StringDict& dict = t.dict(column);
+    std::vector<std::string> key_of_code(dict.size());
+    std::vector<char> done(dict.size(), 0);
+    for (size_t k = 0; k < t.num_chunks(); ++k) {
+      data::TypedChunkRef ch = t.column_chunk(column, k);
+      for (size_t i = 0; i < ch.n; ++i) {
+        if (ch.is_null(i)) continue;
+        uint32_t code = ch.codes[i];
+        if (!done[code]) {
+          std::vector<std::string> toks =
+              text::Tokenize(std::string(dict.str(code)));
+          if (!toks.empty()) key_of_code[code] = std::move(toks[0]);
+          done[code] = 1;
+        }
+        keys[ch.base + i] = key_of_code[code];
+      }
+    }
+    return keys;
+  }
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    if (t.IsNull(r, column)) continue;
+    std::vector<std::string> toks = text::Tokenize(t.CellText(r, column));
+    if (!toks.empty()) keys[r] = std::move(toks[0]);
+  }
+  return keys;
+}
+
+}  // namespace
+
 std::vector<RowPair> AttributeBlocking(const data::Table& left,
                                        const data::Table& right,
                                        size_t column) {
-  auto key_of = [column](const data::Table& t, size_t r) -> std::string {
-    const data::Value& v = t.at(r, column);
-    if (v.is_null()) return "";
-    std::vector<std::string> toks = text::Tokenize(v.ToString());
-    return toks.empty() ? "" : toks[0];
-  };
+  std::vector<std::string> right_keys = BlockingKeys(right, column);
   std::unordered_map<std::string, std::vector<size_t>> right_blocks;
-  for (size_t r = 0; r < right.num_rows(); ++r) {
-    std::string key = key_of(right, r);
-    if (!key.empty()) right_blocks[key].push_back(r);
+  for (size_t r = 0; r < right_keys.size(); ++r) {
+    if (!right_keys[r].empty()) right_blocks[right_keys[r]].push_back(r);
   }
+  std::vector<std::string> left_keys = BlockingKeys(left, column);
   std::vector<RowPair> out;
-  for (size_t l = 0; l < left.num_rows(); ++l) {
-    std::string key = key_of(left, l);
-    if (key.empty()) continue;
-    auto it = right_blocks.find(key);
+  for (size_t l = 0; l < left_keys.size(); ++l) {
+    if (left_keys[l].empty()) continue;
+    auto it = right_blocks.find(left_keys[l]);
     if (it == right_blocks.end()) continue;
     for (size_t r : it->second) out.emplace_back(l, r);
   }

@@ -118,7 +118,7 @@ std::vector<nn::VarPtr> DeepEr::AllParameters() const {
   return params;
 }
 
-nn::VarPtr DeepEr::EncodeTuple(const data::Row& row) const {
+nn::VarPtr DeepEr::EncodeTuple(data::RowView row) const {
   std::vector<nn::VarPtr> seq;
   for (const data::Value& v : row) {
     if (v.is_null()) continue;
@@ -146,7 +146,7 @@ nn::VarPtr Abs(const nn::VarPtr& x) {
 }
 }  // namespace
 
-nn::VarPtr DeepEr::PairLogit(const data::Row& a, const data::Row& b,
+nn::VarPtr DeepEr::PairLogit(data::RowView a, data::RowView b,
                              bool train) const {
   nn::VarPtr ea = EncodeTuple(a);
   nn::VarPtr eb = EncodeTuple(b);
@@ -166,9 +166,40 @@ nn::VarPtr DeepEr::PairLogit(const data::Row& a, const data::Row& b,
 void DeepEr::FitWeights(const std::vector<const data::Table*>& tables) {
   token_counts_ = text::Vocabulary();
   for (const data::Table* t : tables) {
-    for (size_t r = 0; r < t->num_rows(); ++r) {
-      for (size_t c = 0; c < t->num_columns(); ++c) {
-        const data::Value& v = t->at(r, c);
+    size_t rows = t->num_rows();
+    size_t cols = t->num_columns();
+    // Dictionary-encoded columns tokenize each DISTINCT string once and
+    // replay the cached token list per row; a column with d distinct
+    // values costs d tokenizations instead of n. The row-major emission
+    // order (and thus every vocabulary count and id) is unchanged.
+    std::vector<std::vector<std::vector<std::string>>> cached(cols);
+    std::vector<char> use_dict(cols, 0);
+    for (size_t c = 0; c < cols; ++c) {
+      if (t->ChunkScannable() &&
+          t->storage_type(c) == data::ValueType::kString &&
+          t->ColumnUniform(c)) {
+        use_dict[c] = 1;
+        cached[c].resize(t->dict(c).size());
+      }
+    }
+    std::vector<std::vector<char>> done(cols);
+    for (size_t c = 0; c < cols; ++c) {
+      if (use_dict[c]) done[c].assign(cached[c].size(), 0);
+    }
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t c = 0; c < cols; ++c) {
+        if (use_dict[c]) {
+          if (t->IsNull(r, c)) continue;
+          uint32_t code = t->DictCode(r, c);
+          if (!done[c][code]) {
+            cached[c][code] =
+                text::Tokenize(std::string(t->dict(c).str(code)));
+            done[c][code] = 1;
+          }
+          token_counts_.AddAll(cached[c][code]);
+          continue;
+        }
+        const data::Value v = t->at(r, c);
         if (v.is_null()) continue;
         token_counts_.AddAll(text::Tokenize(v.ToString()));
       }
@@ -190,12 +221,15 @@ std::vector<float> DeepEr::AttributeEmbedding(const data::Value& v) const {
   return embedding::EmbedTokens(*words_, tokens);
 }
 
-std::vector<float> DeepEr::SimilarityVector(const data::Row& a,
-                                            const data::Row& b) const {
+std::vector<float> DeepEr::SimilarityVector(data::RowView a,
+                                            data::RowView b) const {
   std::vector<float> f;
   f.reserve(3 * a.size() + 1);
   for (size_t c = 0; c < a.size(); ++c) {
-    bool any_null = a[c].is_null() || b[c].is_null();
+    // Cells are assembled from column storage once per attribute.
+    const data::Value va = a[c];
+    const data::Value vb = b[c];
+    bool any_null = va.is_null() || vb.is_null();
     f.push_back(any_null ? 1.0f : 0.0f);
     if (any_null) {
       f.push_back(0.0f);
@@ -203,8 +237,8 @@ std::vector<float> DeepEr::SimilarityVector(const data::Row& a,
       continue;
     }
     bool a_num = false, b_num = false;
-    double x = a[c].ToNumeric(&a_num);
-    double y = b[c].ToNumeric(&b_num);
+    double x = va.ToNumeric(&a_num);
+    double y = vb.ToNumeric(&b_num);
     if (a_num && b_num) {
       // Heterogeneity handling (Sec. 3.2): numeric cells compare
       // numerically — token embeddings of digit strings carry no metric
@@ -214,8 +248,8 @@ std::vector<float> DeepEr::SimilarityVector(const data::Row& a,
       f.push_back(x == y ? 1.0f : 0.0f);
       continue;
     }
-    std::vector<float> ea = AttributeEmbedding(a[c]);
-    std::vector<float> eb = AttributeEmbedding(b[c]);
+    std::vector<float> ea = AttributeEmbedding(va);
+    std::vector<float> eb = AttributeEmbedding(vb);
     f.push_back(static_cast<float>(text::CosineSimilarity(ea, eb)));
     f.push_back(static_cast<float>(text::EuclideanDistance(ea, eb)));
   }
@@ -300,7 +334,7 @@ double DeepEr::Train(const data::Table& left, const data::Table& right,
   return last_train_.final_train_loss;
 }
 
-double DeepEr::PredictProba(const data::Row& a, const data::Row& b) const {
+double DeepEr::PredictProba(data::RowView a, data::RowView b) const {
   if (config_.composition == TupleComposition::kAverage) {
     if (avg_classifier_ == nullptr) return 0.0;  // untrained
     return avg_classifier_->PredictProba(SimilarityVector(a, b));
@@ -372,7 +406,7 @@ Status DeepEr::LoadCheckpoint(const std::string& path) {
   return nn::LoadParametersFromFile(params, path);
 }
 
-std::vector<float> DeepEr::EmbedTupleVector(const data::Row& row) const {
+std::vector<float> DeepEr::EmbedTupleVector(data::RowView row) const {
   if (config_.composition == TupleComposition::kAverage) {
     if (use_sif_) {
       embedding::SifWeights sif;

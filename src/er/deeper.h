@@ -98,7 +98,7 @@ class DeepEr {
   const nn::TrainResult& last_train_result() const { return last_train_; }
 
   /// Match probability for one tuple pair.
-  double PredictProba(const data::Row& a, const data::Row& b) const;
+  double PredictProba(data::RowView a, data::RowView b) const;
 
   /// Classifies every candidate pair and returns those above threshold.
   std::vector<RowPair> Match(const data::Table& left,
@@ -109,13 +109,12 @@ class DeepEr {
   /// Tuple embedding under the configured composition (average path uses
   /// the word store; LSTM path runs the trained encoder). Exposed for
   /// LSH blocking over tuple vectors.
-  std::vector<float> EmbedTupleVector(const data::Row& row) const;
+  std::vector<float> EmbedTupleVector(data::RowView row) const;
 
   /// DeepER's similarity vector (Figure 5): per attribute, the cosine,
   /// L2 distance, and a null indicator between the two cells' composed
   /// embeddings, plus the whole-tuple cosine.
-  std::vector<float> SimilarityVector(const data::Row& a,
-                                      const data::Row& b) const;
+  std::vector<float> SimilarityVector(data::RowView a, data::RowView b) const;
 
   const DeepErConfig& config() const { return config_; }
 
@@ -142,9 +141,8 @@ class DeepEr {
   /// TrainOptions assembled from the config's Trainer knobs.
   nn::TrainOptions MakeTrainOptions(size_t batch_size, float grad_clip) const;
   // LSTM path helpers (tape-building).
-  nn::VarPtr EncodeTuple(const data::Row& row) const;
-  nn::VarPtr PairLogit(const data::Row& a, const data::Row& b,
-                       bool train) const;
+  nn::VarPtr EncodeTuple(data::RowView row) const;
+  nn::VarPtr PairLogit(data::RowView a, data::RowView b, bool train) const;
   std::vector<nn::VarPtr> AllParameters() const;
 
   const embedding::EmbeddingStore* words_;

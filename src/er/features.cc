@@ -27,14 +27,13 @@ size_t HandcraftedFeatureDim(const data::Schema& schema) {
   return dim;
 }
 
-std::vector<float> HandcraftedPairFeatures(const data::Row& a,
-                                           const data::Row& b,
+std::vector<float> HandcraftedPairFeatures(data::RowView a, data::RowView b,
                                            const data::Schema& schema) {
   std::vector<float> f;
   f.reserve(HandcraftedFeatureDim(schema));
   for (size_t c = 0; c < schema.num_columns(); ++c) {
-    const data::Value& va = a[c];
-    const data::Value& vb = b[c];
+    const data::Value va = a[c];
+    const data::Value vb = b[c];
     bool any_null = va.is_null() || vb.is_null();
     f.push_back(any_null ? 1.0f : 0.0f);
     bool numeric = schema.column(c).type == data::ValueType::kInt ||

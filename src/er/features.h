@@ -13,8 +13,7 @@ namespace autodc::er {
 /// Levenshtein, Jaro-Winkler, token Jaccard, trigram Jaccard, Monge-Elkan
 /// for strings; relative difference for numerics; a both/either-null
 /// indicator per attribute.
-std::vector<float> HandcraftedPairFeatures(const data::Row& a,
-                                           const data::Row& b,
+std::vector<float> HandcraftedPairFeatures(data::RowView a, data::RowView b,
                                            const data::Schema& schema);
 
 /// Dimensionality of HandcraftedPairFeatures for `schema`.

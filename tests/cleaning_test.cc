@@ -84,7 +84,7 @@ TEST(TableEncoderTest, RareCategoriesMapToOtherSlot) {
   opt.max_categories = 1;
   enc.Fit(t, opt);
   EXPECT_EQ(enc.dim(), 2u);  // one slot + other
-  std::vector<float> v = enc.EncodeRow({Value("rare")});
+  std::vector<float> v = enc.EncodeRow(data::Row{Value("rare")});
   EXPECT_FLOAT_EQ(v[1], 1.0f);
 }
 

@@ -1,0 +1,400 @@
+// Columnar data plane (DESIGN.md §12): chunk store semantics, the
+// Table facade's view/copy-on-write behavior, the ADCT binary format
+// round trip (mmap and bulk-read paths), and a property sweep pinning
+// the columnar row views to a row-major oracle.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "src/common/parallel.h"
+#include "src/common/rng.h"
+#include "src/data/csv.h"
+#include "src/data/table.h"
+#include "src/data/table_file.h"
+
+namespace autodc {
+namespace {
+
+using data::Row;
+using data::Schema;
+using data::Table;
+using data::Value;
+using data::ValueType;
+
+Schema MixedSchema() {
+  return Schema({{"id", ValueType::kInt},
+                 {"price", ValueType::kDouble},
+                 {"name", ValueType::kString},
+                 {"qty", ValueType::kInt}});
+}
+
+/// Mixed-type table exercising every storage path: typed columns,
+/// nulls, dictionary strings (unicode included), and overflow cells
+/// (a string stored into the int column).
+Table MixedTable(size_t rows) {
+  Table t(MixedSchema(), "mixed");
+  const char* names[] = {"alpha", "beta", "gämmä", "δelta", "beta"};
+  for (size_t r = 0; r < rows; ++r) {
+    Row row;
+    row.push_back(Value(static_cast<int64_t>(r)));
+    row.push_back(r % 7 == 0 ? Value::Null() : Value(0.5 * r));
+    row.push_back(Value(std::string(names[r % 5])));
+    // Every 11th qty holds a string -> overflow cell in an int column.
+    if (r % 11 == 3) {
+      row.push_back(Value("n/a"));
+    } else if (r % 5 == 0) {
+      row.push_back(Value::Null());
+    } else {
+      row.push_back(Value(static_cast<int64_t>(r % 10)));
+    }
+    EXPECT_TRUE(t.AppendRow(std::move(row)).ok());
+  }
+  return t;
+}
+
+void ExpectTablesEqual(const Table& a, const Table& b) {
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  ASSERT_EQ(a.num_columns(), b.num_columns());
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    for (size_t c = 0; c < a.num_columns(); ++c) {
+      EXPECT_EQ(a.IsNull(r, c), b.IsNull(r, c)) << r << "," << c;
+      EXPECT_TRUE(a.at(r, c) == b.at(r, c) &&
+                  !(a.at(r, c) < b.at(r, c)) && !(b.at(r, c) < a.at(r, c)))
+          << r << "," << c << ": " << a.at(r, c).ToString() << " vs "
+          << b.at(r, c).ToString();
+      EXPECT_EQ(a.CellText(r, c), b.CellText(r, c)) << r << "," << c;
+    }
+  }
+}
+
+// ---------- store + facade semantics -----------------------------------
+
+TEST(ColumnarTest, TypedColumnsAreUniformAndScannable) {
+  Table t = MixedTable(100);
+  ASSERT_TRUE(t.ChunkScannable());
+  EXPECT_TRUE(t.ColumnUniform(0));   // all ints
+  EXPECT_TRUE(t.ColumnUniform(1));   // doubles + nulls
+  EXPECT_TRUE(t.ColumnUniform(2));   // strings
+  EXPECT_FALSE(t.ColumnUniform(3));  // overflow cells present
+  EXPECT_EQ(t.storage_type(0), ValueType::kInt);
+  EXPECT_EQ(t.storage_type(1), ValueType::kDouble);
+  EXPECT_EQ(t.storage_type(2), ValueType::kString);
+  // Dictionary holds the 4 distinct names.
+  EXPECT_EQ(t.dict(2).size(), 4u);
+}
+
+TEST(ColumnarTest, ChunkScanMatchesCellReads) {
+  Table t = MixedTable(300);
+  size_t seen = 0;
+  for (size_t k = 0; k < t.num_chunks(); ++k) {
+    data::TypedChunkRef ch = t.column_chunk(0, k);
+    for (size_t i = 0; i < ch.n; ++i) {
+      ASSERT_FALSE(ch.is_null(i));
+      EXPECT_EQ(ch.i64[i], t.at(ch.base + i, 0).AsInt());
+      ++seen;
+    }
+  }
+  EXPECT_EQ(seen, t.num_rows());
+}
+
+TEST(ColumnarTest, CopiesShareStoreUntilWritten) {
+  Table t = MixedTable(50);
+  Table copy = t;
+  // Shared store: no data copied yet.
+  EXPECT_EQ(&t.store(), &copy.store());
+  copy.Set(7, 2, Value("rewritten"));
+  // Copy-on-write: the copy got a private store, the original is intact.
+  EXPECT_NE(&t.store(), &copy.store());
+  EXPECT_EQ(t.at(7, 2).ToString(), "gämmä");
+  EXPECT_EQ(copy.at(7, 2).ToString(), "rewritten");
+}
+
+TEST(ColumnarTest, FilterSharesStoreAndCompactRestoresScans) {
+  Table t = MixedTable(120);
+  Table even = t.Filter(
+      [](const Row& row) { return row[0].AsInt() % 2 == 0; });
+  EXPECT_EQ(even.num_rows(), 60u);
+  EXPECT_EQ(&even.store(), &t.store());  // selection vector, no copy
+  EXPECT_FALSE(even.ChunkScannable());
+  for (size_t r = 0; r < even.num_rows(); ++r) {
+    EXPECT_EQ(even.at(r, 0).AsInt(), static_cast<int64_t>(2 * r));
+  }
+  even.Compact();
+  EXPECT_TRUE(even.ChunkScannable());
+  EXPECT_NE(&even.store(), &t.store());
+  for (size_t r = 0; r < even.num_rows(); ++r) {
+    EXPECT_EQ(even.at(r, 0).AsInt(), static_cast<int64_t>(2 * r));
+  }
+}
+
+TEST(ColumnarTest, ProjectAllowsDuplicateColumns) {
+  Table t = MixedTable(20);
+  auto res = t.Project({2, 0, 2});
+  ASSERT_TRUE(res.ok());
+  const Table& p = res.ValueOrDie();
+  ASSERT_EQ(p.num_columns(), 3u);
+  EXPECT_EQ(&p.store(), &t.store());  // remap, no copy
+  for (size_t r = 0; r < p.num_rows(); ++r) {
+    EXPECT_EQ(p.at(r, 0).ToString(), t.at(r, 2).ToString());
+    EXPECT_EQ(p.at(r, 1).AsInt(), t.at(r, 0).AsInt());
+    EXPECT_EQ(p.at(r, 2).ToString(), t.at(r, 2).ToString());
+  }
+}
+
+TEST(ColumnarTest, ProjectOutOfRangeAndGetEdgeCases) {
+  Table t = MixedTable(5);
+  EXPECT_EQ(t.Project({0, 9}).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(t.Get(0, "nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(t.Get(99, "id").status().code(), StatusCode::kOutOfRange);
+  auto ok = t.Get(3, "name");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ValueOrDie().ToString(), "δelta");
+}
+
+TEST(ColumnarTest, NullFractionOnEmptyAndFilteredEmptyTables) {
+  Table empty(MixedSchema());
+  EXPECT_EQ(empty.NullFraction(), 0.0);
+  EXPECT_EQ(empty.num_rows(), 0u);
+
+  Table t = MixedTable(40);
+  Table none = t.Filter([](const Row&) { return false; });
+  EXPECT_EQ(none.num_rows(), 0u);  // empty selection != identity
+  EXPECT_EQ(none.NullFraction(), 0.0);
+}
+
+TEST(ColumnarTest, NullFractionCountsOverflowAsNonNull) {
+  Table t = MixedTable(100);
+  size_t nulls = 0;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      if (t.IsNull(r, c)) ++nulls;
+    }
+  }
+  double expect = static_cast<double>(nulls) /
+                  static_cast<double>(t.num_rows() * t.num_columns());
+  EXPECT_DOUBLE_EQ(t.NullFraction(), expect);
+}
+
+TEST(ColumnarTest, SmallChunksSpanChunkBoundaries) {
+  ASSERT_EQ(setenv("AUTODC_TABLE_CHUNK_ROWS", "64", 1), 0);
+  Table t = MixedTable(200);  // 4 chunks of 64 (last partial)
+  unsetenv("AUTODC_TABLE_CHUNK_ROWS");
+  EXPECT_EQ(t.chunk_rows(), 64u);
+  EXPECT_EQ(t.num_chunks(), 4u);
+  ExpectTablesEqual(t, MixedTable(200));
+}
+
+// ---------- binary table format ----------------------------------------
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(TableFileTest, RoundTripPreservesEveryCell) {
+  Table t = MixedTable(500);
+  std::string path = TempPath("columnar_roundtrip.adct");
+  ASSERT_TRUE(data::WriteTableFile(t, path).ok());
+  auto reopened = data::OpenTableFile(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  const Table& r = reopened.ValueOrDie();
+  EXPECT_EQ(r.name(), "mixed");
+  EXPECT_TRUE(r.ChunkScannable());
+  EXPECT_FALSE(r.ColumnUniform(3));  // overflow cells survive
+  ExpectTablesEqual(t, r);
+}
+
+TEST(TableFileTest, RoundTripUnderBulkReadFallback) {
+  Table t = MixedTable(80);
+  std::string path = TempPath("columnar_nommap.adct");
+  ASSERT_TRUE(data::WriteTableFile(t, path).ok());
+  ASSERT_EQ(setenv("AUTODC_TABLE_MMAP", "0", 1), 0);
+  auto reopened = data::OpenTableFile(path);
+  unsetenv("AUTODC_TABLE_MMAP");
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  ExpectTablesEqual(t, reopened.ValueOrDie());
+}
+
+TEST(TableFileTest, WriteAppliesSelectionAndProjection) {
+  Table t = MixedTable(60);
+  Table view = t.Filter(
+      [](const Row& row) { return row[0].AsInt() < 10; });
+  auto projected = view.Project({2, 0});
+  ASSERT_TRUE(projected.ok());
+  std::string path = TempPath("columnar_view.adct");
+  ASSERT_TRUE(data::WriteTableFile(projected.ValueOrDie(), path).ok());
+  auto reopened = data::OpenTableFile(path);
+  ASSERT_TRUE(reopened.ok());
+  const Table& r = reopened.ValueOrDie();
+  ASSERT_EQ(r.num_rows(), 10u);
+  ASSERT_EQ(r.num_columns(), 2u);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(r.at(i, 0).ToString(), t.at(i, 2).ToString());
+    EXPECT_EQ(r.at(i, 1).AsInt(), static_cast<int64_t>(i));
+  }
+}
+
+TEST(TableFileTest, WritesAreByteReproducible) {
+  Table t = MixedTable(150);
+  std::string p1 = TempPath("columnar_repro1.adct");
+  std::string p2 = TempPath("columnar_repro2.adct");
+  ASSERT_TRUE(data::WriteTableFile(t, p1).ok());
+  ASSERT_TRUE(data::WriteTableFile(t, p2).ok());
+  std::ifstream f1(p1, std::ios::binary), f2(p2, std::ios::binary);
+  std::string b1((std::istreambuf_iterator<char>(f1)),
+                 std::istreambuf_iterator<char>());
+  std::string b2((std::istreambuf_iterator<char>(f2)),
+                 std::istreambuf_iterator<char>());
+  ASSERT_FALSE(b1.empty());
+  EXPECT_EQ(b1, b2);
+}
+
+TEST(TableFileTest, RejectsCorruptAndTruncatedFiles) {
+  std::string path = TempPath("columnar_bad.adct");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "NOPE this is not a table file";
+  }
+  EXPECT_FALSE(data::OpenTableFile(path).ok());
+  EXPECT_FALSE(data::OpenTableFile(TempPath("columnar_missing.adct")).ok());
+
+  Table t = MixedTable(40);
+  std::string good = TempPath("columnar_trunc_src.adct");
+  ASSERT_TRUE(data::WriteTableFile(t, good).ok());
+  std::ifstream in(good, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  std::string trunc_path = TempPath("columnar_trunc.adct");
+  {
+    std::ofstream f(trunc_path, std::ios::binary);
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_FALSE(data::OpenTableFile(trunc_path).ok());
+}
+
+TEST(TableFileTest, CsvToBinaryToRowViewsIsExact) {
+  std::string csv_path = TempPath("columnar_src.csv");
+  {
+    std::ofstream f(csv_path);
+    f << "id,name,score\n";
+    f << "1,\"comma, quote\"\" done\",0.5\n";
+    f << "2,ünïcödé,\n";
+    f << "3,,2.25\n";
+  }
+  auto from_csv = data::ReadCsvFile(csv_path);
+  ASSERT_TRUE(from_csv.ok()) << from_csv.status().ToString();
+  std::string bin_path = TempPath("columnar_src.adct");
+  ASSERT_TRUE(data::WriteTableFile(from_csv.ValueOrDie(), bin_path).ok());
+  auto reopened = data::OpenTableFile(bin_path);
+  ASSERT_TRUE(reopened.ok());
+  ExpectTablesEqual(from_csv.ValueOrDie(), reopened.ValueOrDie());
+  const Table& r = reopened.ValueOrDie();
+  EXPECT_EQ(r.at(0, 1).ToString(), "comma, quote\" done");
+  EXPECT_EQ(r.at(1, 1).ToString(), "ünïcödé");
+  EXPECT_TRUE(r.IsNull(1, 2));
+  EXPECT_TRUE(r.IsNull(2, 1));
+}
+
+TEST(TableFileTest, ConcurrentReadersSeeConsistentData) {
+  Table t = MixedTable(400);
+  std::string path = TempPath("columnar_concurrent.adct");
+  ASSERT_TRUE(data::WriteTableFile(t, path).ok());
+  auto reopened = data::OpenTableFile(path);
+  ASSERT_TRUE(reopened.ok());
+  const Table& r = reopened.ValueOrDie();
+  // Reads on a frozen store are lock-free and must be race-free: hammer
+  // cells, text, and chunk scans from the pool (TSan leg's target).
+  std::atomic<size_t> mismatches{0};
+  ParallelFor(0, r.num_rows(), 16, [&](size_t lo, size_t hi) {
+    for (size_t row = lo; row < hi; ++row) {
+      for (size_t c = 0; c < r.num_columns(); ++c) {
+        if (r.IsNull(row, c) != t.IsNull(row, c) ||
+            r.CellText(row, c) != t.CellText(row, c)) {
+          mismatches.fetch_add(1);
+        }
+      }
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0u);
+}
+
+// ---------- property sweep: columnar views vs row-major oracle ---------
+
+class ColumnarOracleProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ColumnarOracleProperty, RowViewsMatchMaterializedRows) {
+  Rng rng(GetParam());
+  // Small chunks so multi-chunk paths are exercised at tiny row counts.
+  ASSERT_EQ(setenv("AUTODC_TABLE_CHUNK_ROWS", "64", 1), 0);
+  size_t ncols = static_cast<size_t>(rng.UniformInt(1, 5));
+  std::vector<data::Column> cols;
+  for (size_t c = 0; c < ncols; ++c) {
+    ValueType ty = static_cast<int>(rng.UniformInt(0, 2)) == 0
+                       ? ValueType::kInt
+                       : (rng.UniformInt(0, 1) != 0 ? ValueType::kDouble
+                                                    : ValueType::kString);
+    cols.push_back(data::Column{"c" + std::to_string(c), ty});
+  }
+  Table t{Schema(cols)};
+  const char* strings[] = {"", "x", "ünïcödé", "with\nnewline", "dup", "dup"};
+  std::vector<Row> oracle;
+  size_t nrows = static_cast<size_t>(rng.UniformInt(0, 200));
+  for (size_t r = 0; r < nrows; ++r) {
+    Row row;
+    for (size_t c = 0; c < ncols; ++c) {
+      double dice = rng.Uniform();
+      if (dice < 0.15) {
+        row.push_back(Value::Null());
+      } else if (dice < 0.25) {
+        // Off-type cell: forces the overflow path for this column.
+        row.push_back(Value(std::string(strings[rng.UniformInt(0, 5)])));
+      } else if (cols[c].type == ValueType::kInt) {
+        row.push_back(Value(static_cast<int64_t>(rng.UniformInt(-50, 50))));
+      } else if (cols[c].type == ValueType::kDouble) {
+        row.push_back(Value(rng.Normal()));
+      } else {
+        row.push_back(Value(std::string(strings[rng.UniformInt(0, 5)])));
+      }
+    }
+    oracle.push_back(row);
+    ASSERT_TRUE(t.AppendRow(std::move(row)).ok());
+  }
+  unsetenv("AUTODC_TABLE_CHUNK_ROWS");
+
+  ASSERT_EQ(t.num_rows(), oracle.size());
+  for (size_t r = 0; r < oracle.size(); ++r) {
+    data::RowView view = t.row(r);
+    Row materialized = view;  // via operator Row()
+    ASSERT_EQ(materialized.size(), ncols);
+    for (size_t c = 0; c < ncols; ++c) {
+      const Value& want = oracle[r][c];
+      EXPECT_EQ(view.is_null(c), want.is_null()) << r << "," << c;
+      EXPECT_EQ(view.Text(c), want.ToString()) << r << "," << c;
+      // Order-equivalence is the store's contract for value identity.
+      EXPECT_TRUE(!(view[c] < want) && !(want < view[c]))
+          << r << "," << c << ": " << view[c].ToString() << " vs "
+          << want.ToString();
+      EXPECT_TRUE(!(materialized[c] < want) && !(want < materialized[c]));
+    }
+  }
+
+  // Round-trip the same random table through the binary format.
+  if (!oracle.empty()) {
+    std::string path =
+        TempPath("columnar_prop_" + std::to_string(GetParam()) + ".adct");
+    ASSERT_TRUE(data::WriteTableFile(t, path).ok());
+    auto reopened = data::OpenTableFile(path);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    ExpectTablesEqual(t, reopened.ValueOrDie());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ColumnarOracleProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+}  // namespace
+}  // namespace autodc

@@ -42,7 +42,12 @@ TEST(ValueTest, ToStringRendering) {
 
 TEST(ValueTest, EqualityAndOrdering) {
   EXPECT_EQ(Value(int64_t{1}), Value(int64_t{1}));
-  EXPECT_NE(Value(int64_t{1}), Value(1.0));  // different types
+  // Equality agrees with the total order: ints and doubles compare by
+  // numeric value (they were historically unequal under ==, which made
+  // == disagree with <).
+  EXPECT_EQ(Value(int64_t{1}), Value(1.0));
+  EXPECT_NE(Value(int64_t{1}), Value(1.5));
+  EXPECT_NE(Value(int64_t{1}), Value("1"));
   EXPECT_LT(Value::Null(), Value(int64_t{0}));
   EXPECT_LT(Value(int64_t{1}), Value(int64_t{2}));
   EXPECT_LT(Value(int64_t{3}), Value("a"));  // numbers < strings
@@ -51,10 +56,32 @@ TEST(ValueTest, EqualityAndOrdering) {
   EXPECT_LT(Value(int64_t{1}), Value(1.5));
 }
 
+TEST(ValueTest, EqualityMatchesOrderEquivalence) {
+  // a == b must hold exactly when !(a < b) && !(b < a), for every
+  // cross-type pair the order ranks equal.
+  const Value vals[] = {Value::Null(),      Value(int64_t{0}), Value(0.0),
+                        Value(int64_t{1}),  Value(1.0),        Value(1.5),
+                        Value(int64_t{-3}), Value(-3.0),       Value("1"),
+                        Value("")};
+  for (const Value& a : vals) {
+    for (const Value& b : vals) {
+      bool order_equiv = !(a < b) && !(b < a);
+      EXPECT_EQ(a == b, order_equiv)
+          << a.ToString() << " (" << ValueTypeName(a.type()) << ") vs "
+          << b.ToString() << " (" << ValueTypeName(b.type()) << ")";
+    }
+  }
+}
+
 TEST(ValueTest, HashConsistentWithEquality) {
   ValueHash h;
   EXPECT_EQ(h(Value("abc")), h(Value("abc")));
   EXPECT_EQ(h(Value(int64_t{7})), h(Value(int64_t{7})));
+  // Equal values must hash equal across the int/double divide.
+  EXPECT_EQ(h(Value(int64_t{1})), h(Value(1.0)));
+  EXPECT_EQ(h(Value(int64_t{-3})), h(Value(-3.0)));
+  EXPECT_EQ(h(Value(0.0)), h(Value(-0.0)));  // -0.0 == 0.0
+  EXPECT_EQ(h(Value(int64_t{0})), h(Value(-0.0)));
 }
 
 TEST(SchemaTest, IndexLookup) {
