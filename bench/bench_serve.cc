@@ -1,0 +1,278 @@
+// Curation server bench (DESIGN.md §13): closed-loop load generator
+// against the batched serving path vs the unbatched sequential oracle.
+// Shape: with ONE worker thread and several pipelined clients, micro-
+// batching coalesces concurrent score requests into single batched
+// forwards and sustains >= 4x the sequential QPS — the speedup is
+// Gemm amortization, not parallelism. Responses stay byte-identical
+// to the sequential path and nothing is rejected at this load.
+#include <algorithm>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/data/table.h"
+#include "src/serve/request.h"
+#include "src/serve/server.h"
+#include "src/serve/session.h"
+
+using namespace autodc;         // NOLINT
+using namespace autodc::bench;  // NOLINT
+
+namespace {
+
+using data::Row;
+using data::Schema;
+using data::Table;
+using data::Value;
+using data::ValueType;
+using serve::CurationServer;
+using serve::RequestKind;
+using serve::ServeConfig;
+using serve::ServeRequest;
+using serve::ServeResponse;
+
+/// The serving dataset: mixed numeric/categorical with nulls and a
+/// planted outlier, same shape the serve tests use.
+Table ServingTable(size_t rows) {
+  Schema schema({{"id", ValueType::kInt},
+                 {"price", ValueType::kDouble},
+                 {"qty", ValueType::kInt},
+                 {"category", ValueType::kString}});
+  Table t(schema, "serving");
+  const char* cats[] = {"tools", "toys", "food", "books"};
+  for (size_t r = 0; r < rows; ++r) {
+    Row row;
+    row.push_back(Value(static_cast<int64_t>(r)));
+    if (r % 13 == 5) {
+      row.push_back(Value::Null());
+    } else if (r == 7) {
+      row.push_back(Value(1e6));  // planted outlier
+    } else {
+      row.push_back(Value(10.0 + 0.25 * static_cast<double>(r % 40)));
+    }
+    row.push_back(Value(static_cast<int64_t>(r % 9)));
+    row.push_back(Value(std::string(cats[r % 4])));
+    if (!t.AppendRow(std::move(row)).ok()) break;
+  }
+  return t;
+}
+
+/// The timed workload: score-pair requests (the coalescable kind) with
+/// deterministic pseudo-random row pairs.
+std::vector<ServeRequest> ScoreRequests(uint64_t session, size_t rows,
+                                        size_t count) {
+  std::vector<ServeRequest> reqs;
+  reqs.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    ServeRequest r;
+    r.session = session;
+    r.tenant = "bench";
+    r.kind = RequestKind::kScorePair;
+    r.row_a = (i * 2654435761u) % rows;
+    r.row_b = (i * 40503u + 13) % rows;
+    reqs.push_back(std::move(r));
+  }
+  return reqs;
+}
+
+/// A request mix covering every kind — the byte-identity sweep.
+std::vector<ServeRequest> MixedRequests(uint64_t session, size_t rows,
+                                        size_t count) {
+  std::vector<ServeRequest> reqs;
+  reqs.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    ServeRequest r;
+    r.session = session;
+    r.tenant = "bench";
+    switch (i % 4) {
+      case 0:
+      case 1:
+        r.kind = RequestKind::kScorePair;
+        r.row_a = i % rows;
+        r.row_b = (i * 7 + 3) % rows;
+        break;
+      case 2:
+        r.kind = RequestKind::kOutlierCheck;
+        r.row_a = i % rows;
+        r.col = 1;
+        break;
+      default:
+        r.kind = RequestKind::kNearestRows;
+        r.row_a = i % rows;
+        r.k = 3;
+        break;
+    }
+    reqs.push_back(std::move(r));
+  }
+  return reqs;
+}
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchSpec spec;
+  spec.name = "serve";
+  spec.experiment = "Batched curation serving vs sequential (DESIGN.md s13)";
+  spec.claim =
+      "One worker + pipelined clients: micro-batching coalesces score\n"
+      "requests into batched forwards for >= 4x sequential QPS on a\n"
+      "single core, byte-identical responses, zero rejects at this load.";
+  return BenchMain(argc, argv, spec, [](Bench& b) {
+    const size_t rows = b.Size(512, 192);
+    const size_t total_requests = b.Size(16384, 4096);
+    const size_t num_clients = 4;
+    const size_t window = 128;  // requests per SubmitMany call
+
+    ServeConfig cfg;
+    cfg.threads = 1;  // the speedup must come from batching, not cores
+    cfg.queue_cap = 4096;
+    cfg.batch_max = 128;
+    cfg.batch_wait_us = 200;
+    // Each client is its own tenant with room for its whole pipeline: a
+    // client wakes from Wait() slightly before the worker decrements its
+    // previous window, so the cap must absorb two windows in flight.
+    cfg.tenant_inflight_cap = 4 * window;
+    cfg.session.seed = b.seed();
+    // The deep-and-narrow head from DESIGN.md §13: per-call dispatch
+    // overhead dominates per-row compute, the regime micro-batching is
+    // built to amortize.
+    cfg.session.scorer_hidden = {24, 24, 24, 24};
+
+    Table table = ServingTable(rows);
+    CurationServer server(cfg);
+    Timer build_timer;
+    auto opened = server.OpenSessionFromTable(table);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "OpenSessionFromTable: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    double build_ms = build_timer.Seconds() * 1e3;
+    uint64_t session = opened.ValueOrDie();
+
+    std::vector<ServeRequest> reqs = ScoreRequests(session, rows, total_requests);
+
+    // Sequential arm: the unbatched inline path, one thread, no queue —
+    // the oracle QPS a non-serving caller would get.
+    double seq_ms = b.TimeMs([&] {
+      for (const ServeRequest& r : reqs) server.ExecuteSequential(r);
+    });
+
+    // Pre-slice each client's share into windows (request construction
+    // is not serving cost), tagging each client as its own tenant.
+    std::vector<std::vector<std::vector<ServeRequest>>> client_windows(
+        num_clients);
+    for (size_t start = 0, w = 0; start < reqs.size(); start += window, ++w) {
+      size_t c = w % num_clients;
+      size_t end = std::min(start + window, reqs.size());
+      std::vector<ServeRequest> win(reqs.begin() + start, reqs.begin() + end);
+      for (ServeRequest& r : win) r.tenant = "client-" + std::to_string(c);
+      client_windows[c].push_back(std::move(win));
+    }
+
+    // Served arm: closed-loop clients each submit their windows back to
+    // back (one completion handle per window, one wakeup per window —
+    // not per request). Window wait times double as the client-observed
+    // latency distribution.
+    std::vector<double> window_ms;
+    std::mutex window_mu;
+    double serve_ms = b.TimeMs([&] {
+      std::vector<std::thread> clients;
+      clients.reserve(num_clients);
+      for (size_t c = 0; c < num_clients; ++c) {
+        clients.emplace_back([&, c] {
+          std::vector<double> local;
+          local.reserve(client_windows[c].size());
+          for (const std::vector<ServeRequest>& win : client_windows[c]) {
+            Timer t;
+            auto pending = server.SubmitMany(win);
+            pending->Wait();
+            local.push_back(t.Seconds() * 1e3);
+          }
+          std::lock_guard<std::mutex> lock(window_mu);
+          window_ms.insert(window_ms.end(), local.begin(), local.end());
+        });
+      }
+      for (std::thread& t : clients) t.join();
+    });
+
+    CurationServer::Stats stats = server.stats();
+    double submitted = static_cast<double>(stats.admitted +
+                                           stats.rejected_queue_full +
+                                           stats.rejected_tenant_cap);
+    double reject_rate =
+        submitted > 0.0
+            ? static_cast<double>(stats.rejected_queue_full +
+                                  stats.rejected_tenant_cap) /
+                  submitted
+            : 0.0;
+
+    // Byte-identity sweep over a mixed request set: every served
+    // response must compare equal (bit-for-bit on scores) to the
+    // sequential oracle for the same request.
+    std::vector<ServeRequest> mixed =
+        MixedRequests(session, rows, b.Size(1024, 512));
+    std::vector<ServeResponse> expected;
+    expected.reserve(mixed.size());
+    for (const ServeRequest& r : mixed) {
+      expected.push_back(server.ExecuteSequential(r));
+    }
+    size_t identical = 0;
+    for (size_t start = 0; start < mixed.size(); start += window) {
+      size_t end = std::min(start + window, mixed.size());
+      std::vector<ServeRequest> win(mixed.begin() + start,
+                                    mixed.begin() + end);
+      auto pending = server.SubmitMany(win);  // keeps Wait()'s vector alive
+      const std::vector<ServeResponse>& got = pending->Wait();
+      for (size_t i = 0; i < got.size(); ++i) {
+        if (got[i] == expected[start + i]) ++identical;
+      }
+    }
+    double correctness =
+        mixed.empty() ? 1.0
+                      : static_cast<double>(identical) /
+                            static_cast<double>(mixed.size());
+
+    double n = static_cast<double>(total_requests);
+    double qps_seq = seq_ms > 0.0 ? n / (seq_ms / 1e3) : 0.0;
+    double qps_serve = serve_ms > 0.0 ? n / (serve_ms / 1e3) : 0.0;
+    double speedup = serve_ms > 0.0 ? seq_ms / serve_ms : 0.0;
+    double p50 = Percentile(window_ms, 0.50);
+    double p99 = Percentile(window_ms, 0.99);
+    double mean_batch = stats.MeanBatch();
+
+    PrintRow({"metric", "value"});
+    PrintRow({"rows / requests", FmtInt(rows) + " / " + FmtInt(total_requests)});
+    PrintRow({"session_build_ms", Fmt(build_ms, 1)});
+    PrintRow({"qps_sequential", Fmt(qps_seq, 0)});
+    PrintRow({"qps_serve", Fmt(qps_serve, 0)});
+    PrintRow({"speedup", Fmt(speedup, 2)});
+    PrintRow({"mean_batch", Fmt(mean_batch, 2)});
+    PrintRow({"window_p50_ms", Fmt(p50, 3)});
+    PrintRow({"window_p99_ms", Fmt(p99, 3)});
+    PrintRow({"reject_rate", Fmt(reject_rate, 4)});
+    PrintRow({"correctness", Fmt(correctness, 4)});
+
+    b.Report("build", {{"session_build_ms", build_ms},
+                       {"rows", static_cast<double>(rows)}});
+    b.Report("throughput", {{"qps_sequential", qps_seq},
+                            {"qps_serve", qps_serve},
+                            {"speedup", speedup},
+                            {"mean_batch", mean_batch}});
+    b.Report("latency", {{"window_p50_ms", p50}, {"window_p99_ms", p99}});
+    b.Report("admission",
+             {{"reject_rate", reject_rate}, {"correctness", correctness}});
+    server.Stop();
+    return 0;
+  });
+}

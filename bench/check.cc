@@ -34,7 +34,8 @@ MetricDirection DirectionForMetric(const std::string& name) {
     if (EndsWith(name, s)) return MetricDirection::kLowerIsBetter;
   }
   if (name == "wall_ms" || Contains(name, "loss") ||
-      Contains(name, "overhead") || Contains(name, "dropped")) {
+      Contains(name, "overhead") || Contains(name, "dropped") ||
+      Contains(name, "reject")) {
     return MetricDirection::kLowerIsBetter;
   }
   // Name-derived, position-independent: "recall_at_10", "qps_ann",

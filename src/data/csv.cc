@@ -5,6 +5,7 @@
 #include <functional>
 #include <sstream>
 
+#include "src/common/env.h"
 #include "src/obs/metrics.h"
 
 namespace autodc::data {
@@ -338,12 +339,16 @@ Result<Table> ReadCsvString(const std::string& text,
 namespace {
 
 /// Streams `path` through a tokenizer in kCsvIoChunk-byte slices.
+/// AUTODC_CSV_CHUNK_BYTES overrides the slice size — primarily a test
+/// hook: a 1-byte chunk puts every quote/CR/LF boundary case (quoted
+/// field at EOF, lone \r straddling the final chunk) on a read edge.
 constexpr size_t kCsvIoChunk = size_t{1} << 20;
 
 Status StreamFile(const std::string& path, StreamingCsvTokenizer* tok) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open '" + path + "'");
-  std::vector<char> buf(kCsvIoChunk);
+  std::vector<char> buf(
+      EnvSizeT("AUTODC_CSV_CHUNK_BYTES", kCsvIoChunk, 1, kCsvIoChunk));
   while (in) {
     in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
     std::streamsize got = in.gcount();

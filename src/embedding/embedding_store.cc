@@ -512,6 +512,20 @@ Status EmbeddingStore::EnableAnn(const ann::HnswConfig& config) {
   return BuildAnn(config);
 }
 
+Status EmbeddingStore::RebuildAnn() {
+  const AnnState* st = ann_.load(std::memory_order_acquire);
+  if (st == nullptr) {
+    return Status::FailedPrecondition(
+        "RebuildAnn: no ANN index was ever built for this store (call "
+        "EnableAnn first)");
+  }
+  if (!st->stale) return Status::OK();
+  // The stored config is copied out before BuildAnn deletes the old
+  // state on publication.
+  ann::HnswConfig config = st->config;
+  return BuildAnn(config);
+}
+
 void EmbeddingStore::DisableAnn() {
   delete ann_.exchange(nullptr, std::memory_order_acq_rel);
 }

@@ -127,6 +127,16 @@ class EmbeddingStore {
   Status EnableAnn();
   Status EnableAnn(const ann::HnswConfig& config);
 
+  /// Re-freshens a stale index in place: when an overwrite or
+  /// CenterAndNormalize has invalidated the index, rebuilds it with the
+  /// config it was originally built with (no-op when the index is still
+  /// fresh). Unlike the lazy AUTODC_ANN path — which only ever builds a
+  /// *first* index — this is the recovery call for long-running owners
+  /// (the serve-layer session refresh): without it a store that took one
+  /// in-place update silently serves exact-scan latency forever.
+  /// FailedPrecondition when no index was ever built.
+  Status RebuildAnn();
+
   /// Drops the index; queries return to the exact scan.
   void DisableAnn();
 

@@ -1,0 +1,69 @@
+#include "src/serve/fingerprint.h"
+
+#include <fstream>
+#include <vector>
+
+namespace autodc::serve {
+
+namespace {
+
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+/// Length-prefixes a string into the hash so concatenation is
+/// unambiguous ("ab","c" vs "a","bc").
+uint64_t HashString(const std::string& s, uint64_t state) {
+  uint64_t len = s.size();
+  state = FingerprintBytes(&len, sizeof(len), state);
+  return FingerprintBytes(s.data(), s.size(), state);
+}
+
+}  // namespace
+
+uint64_t FingerprintBytes(const void* data, size_t n, uint64_t state) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    state ^= p[i];
+    state *= kFnvPrime;
+  }
+  return state;
+}
+
+Result<uint64_t> FingerprintFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open '" + path + "'");
+  uint64_t state = kFnvOffset;
+  std::vector<char> buf(size_t{1} << 20);
+  while (in) {
+    in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+    std::streamsize got = in.gcount();
+    if (got > 0) {
+      state = FingerprintBytes(buf.data(), static_cast<size_t>(got), state);
+    }
+  }
+  if (in.bad()) return Status::IoError("read failed for '" + path + "'");
+  return state;
+}
+
+uint64_t FingerprintTable(const data::Table& table) {
+  uint64_t state = kFnvOffset;
+  size_t cols = table.num_columns();
+  size_t rows = table.num_rows();
+  state = FingerprintBytes(&cols, sizeof(cols), state);
+  state = FingerprintBytes(&rows, sizeof(rows), state);
+  for (size_t c = 0; c < cols; ++c) {
+    const data::Column& col = table.schema().column(c);
+    state = HashString(col.name, state);
+    auto type = static_cast<uint8_t>(col.type);
+    state = FingerprintBytes(&type, sizeof(type), state);
+  }
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      uint8_t null = table.IsNull(r, c) ? 1 : 0;
+      state = FingerprintBytes(&null, sizeof(null), state);
+      if (!null) state = HashString(table.CellText(r, c), state);
+    }
+  }
+  return state;
+}
+
+}  // namespace autodc::serve

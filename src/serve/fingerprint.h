@@ -1,0 +1,34 @@
+#ifndef AUTODC_SERVE_FINGERPRINT_H_
+#define AUTODC_SERVE_FINGERPRINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/data/table.h"
+
+// Content fingerprints keying the server's session/model cache: two
+// tenants pointing at byte-identical datasets share one trained model
+// zoo, and a changed file gets a fresh session instead of stale models.
+namespace autodc::serve {
+
+inline constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
+
+/// FNV-1a 64 over a byte span, chainable via `state`.
+uint64_t FingerprintBytes(const void* data, size_t n,
+                          uint64_t state = kFnvOffset);
+
+/// Fingerprint of a file's bytes (streamed; O(chunk) memory). The key
+/// for sessions opened from ADCT table files.
+Result<uint64_t> FingerprintFile(const std::string& path);
+
+/// Fingerprint of a table's logical content: schema (names + declared
+/// types) and every cell (null markers + canonical text), row-major.
+/// Selection/projection views hash as what they show, so a view and its
+/// Compact()ed copy collide — deliberately.
+uint64_t FingerprintTable(const data::Table& table);
+
+}  // namespace autodc::serve
+
+#endif  // AUTODC_SERVE_FINGERPRINT_H_

@@ -1,0 +1,112 @@
+#ifndef AUTODC_SERVE_REQUEST_H_
+#define AUTODC_SERVE_REQUEST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+// Wire-level types of the curation server (DESIGN.md §13): what a
+// tenant asks of a session and what comes back. Kept free of model
+// headers so request producers (load generators, future RPC shims)
+// compile against this file alone.
+namespace autodc::serve {
+
+/// What the request asks the session's model zoo to do.
+enum class RequestKind : uint8_t {
+  /// DeepER-style match probability for the row pair (row_a, row_b).
+  kScorePair = 0,
+  /// Predicted value for cell (row_a, col) as if it were missing
+  /// (KNN imputer).
+  kImpute,
+  /// Z-score outlier check of numeric cell (row_a, col).
+  kOutlierCheck,
+  /// k most similar rows to row_a (embedding store, ANN when active).
+  kNearestRows,
+};
+
+/// Typed disposition of a request — the admission-control and lifecycle
+/// vocabulary. Everything except kOk and kError is decided without
+/// touching a model.
+enum class ServeStatus : uint8_t {
+  kOk = 0,
+  /// Bounded queue at capacity; retry with backoff.
+  kRejectedQueueFull,
+  /// The tenant already has its in-flight cap worth of admitted work.
+  kRejectedTenantCap,
+  /// Server stopping: the request was queued but never executed.
+  kShutdown,
+  /// Executed but failed (unknown session, bad row/col, ...); see
+  /// message.
+  kError,
+};
+
+const char* RequestKindName(RequestKind kind);
+const char* ServeStatusName(ServeStatus status);
+
+struct ServeRequest {
+  RequestKind kind = RequestKind::kScorePair;
+  /// Session handle from CurationServer::OpenSession (the dataset
+  /// fingerprint).
+  uint64_t session = 0;
+  /// Admission-control key; empty is a valid (shared) tenant.
+  std::string tenant;
+  size_t row_a = 0;
+  size_t row_b = 0;
+  size_t col = 0;
+  size_t k = 1;
+};
+
+/// One neighbour from a kNearestRows request.
+struct RowNeighbor {
+  size_t row = 0;
+  double similarity = 0.0;
+  bool operator==(const RowNeighbor& o) const {
+    return row == o.row && similarity == o.similarity;
+  }
+};
+
+struct ServeResponse {
+  ServeStatus status = ServeStatus::kOk;
+  std::string message;
+  /// kScorePair: match probability; kOutlierCheck: |z| score.
+  double score = 0.0;
+  /// kOutlierCheck: whether the cell breached the threshold.
+  bool flagged = false;
+  /// kImpute: predicted cell text.
+  std::string value;
+  /// kNearestRows.
+  std::vector<RowNeighbor> neighbors;
+
+  /// Exact equality, scores compared bit-for-bit — the byte-identity
+  /// oracle the batched path is held to against sequential execution.
+  bool operator==(const ServeResponse& o) const {
+    return status == o.status && message == o.message && score == o.score &&
+           flagged == o.flagged && value == o.value && neighbors == o.neighbors;
+  }
+};
+
+inline const char* RequestKindName(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kScorePair: return "score_pair";
+    case RequestKind::kImpute: return "impute";
+    case RequestKind::kOutlierCheck: return "outlier_check";
+    case RequestKind::kNearestRows: return "nearest_rows";
+  }
+  return "unknown";
+}
+
+inline const char* ServeStatusName(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kOk: return "ok";
+    case ServeStatus::kRejectedQueueFull: return "rejected_queue_full";
+    case ServeStatus::kRejectedTenantCap: return "rejected_tenant_cap";
+    case ServeStatus::kShutdown: return "shutdown";
+    case ServeStatus::kError: return "error";
+  }
+  return "unknown";
+}
+
+}  // namespace autodc::serve
+
+#endif  // AUTODC_SERVE_REQUEST_H_

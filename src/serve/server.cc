@@ -1,0 +1,373 @@
+#include "src/serve/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/env.h"
+#include "src/data/table_file.h"
+#include "src/obs/metrics.h"
+#include "src/serve/fingerprint.h"
+
+namespace autodc::serve {
+
+namespace {
+
+ServeResponse StatusResponse(ServeStatus status, std::string message) {
+  ServeResponse resp;
+  resp.status = status;
+  resp.message = std::move(message);
+  return resp;
+}
+
+double MicrosSince(std::chrono::steady_clock::time_point since,
+                   std::chrono::steady_clock::time_point now) {
+  return std::chrono::duration<double, std::micro>(now - since).count();
+}
+
+}  // namespace
+
+ServeConfig ServeConfigFromEnv() {
+  ServeConfig c;
+  c.threads = EnvSizeT("AUTODC_SERVE_THREADS", c.threads, 1, 256);
+  c.queue_cap =
+      EnvSizeT("AUTODC_SERVE_QUEUE_CAP", c.queue_cap, 1, size_t{1} << 20);
+  c.batch_max = EnvSizeT("AUTODC_SERVE_BATCH_MAX", c.batch_max, 1, 4096);
+  c.batch_wait_us =
+      EnvSizeT("AUTODC_SERVE_BATCH_WAIT_US", c.batch_wait_us, 0, 10000000);
+  c.tenant_inflight_cap = EnvSizeT("AUTODC_SERVE_TENANT_CAP",
+                                   c.tenant_inflight_cap, 1, size_t{1} << 20);
+  c.session_capacity =
+      EnvSizeT("AUTODC_SERVE_SESSIONS", c.session_capacity, 1, 4096);
+  return c;
+}
+
+// ---- PendingBatch ------------------------------------------------------
+
+const std::vector<ServeResponse>& PendingBatch::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return remaining_ == 0; });
+  return responses_;
+}
+
+bool PendingBatch::Ready() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return remaining_ == 0;
+}
+
+void PendingBatch::CompleteSlot(size_t slot, ServeResponse&& resp) {
+  bool done;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    responses_[slot] = std::move(resp);
+    done = (--remaining_ == 0);
+  }
+  // One wakeup per window, not per request — the client sleeps through
+  // every completion but the last.
+  if (done) cv_.notify_all();
+}
+
+void PendingBatch::CompleteSlots(const size_t* slots, ServeResponse* resps,
+                                 size_t count) {
+  bool done;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < count; ++i) {
+      responses_[slots[i]] = std::move(resps[i]);
+    }
+    remaining_ -= count;
+    done = (remaining_ == 0);
+  }
+  if (done) cv_.notify_all();
+}
+
+// ---- CurationServer ----------------------------------------------------
+
+CurationServer::CurationServer(const ServeConfig& config)
+    : config_(config), sessions_(std::max<size_t>(1, config.session_capacity)) {
+  if (config_.threads == 0) config_.threads = 1;
+  if (config_.batch_max == 0) config_.batch_max = 1;
+  if (config_.queue_cap == 0) config_.queue_cap = 1;
+  workers_.reserve(config_.threads);
+  for (size_t i = 0; i < config_.threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+CurationServer::~CurationServer() { Stop(); }
+
+Result<uint64_t> CurationServer::OpenSession(const std::string& adct_path) {
+  auto fpr = FingerprintFile(adct_path);
+  if (!fpr.ok()) return fpr.status();
+  uint64_t fp = fpr.ValueOrDie();
+  if (sessions_.Get(fp) != nullptr) return fp;  // byte-identical data: reuse
+  auto table = data::OpenTableFile(adct_path);
+  if (!table.ok()) return table.status();
+  auto session =
+      Session::Build(std::move(table).ValueOrDie(), fp, config_.session);
+  if (!session.ok()) return session.status();
+  sessions_.Put(fp, std::move(session).ValueOrDie());
+  return fp;
+}
+
+Result<uint64_t> CurationServer::OpenSessionFromTable(
+    const data::Table& table) {
+  uint64_t fp = FingerprintTable(table);
+  if (sessions_.Get(fp) != nullptr) return fp;
+  auto session = Session::Build(table, fp, config_.session);
+  if (!session.ok()) return session.status();
+  sessions_.Put(fp, std::move(session).ValueOrDie());
+  return fp;
+}
+
+std::shared_ptr<Session> CurationServer::FindSession(uint64_t fingerprint) {
+  return sessions_.Get(fingerprint);
+}
+
+Status CurationServer::RefreshSession(uint64_t fingerprint) {
+  std::shared_ptr<Session> session = sessions_.Get(fingerprint);
+  if (session == nullptr) {
+    return Status::NotFound("no session for fingerprint " +
+                            std::to_string(fingerprint));
+  }
+  return session->Refresh();
+}
+
+std::shared_ptr<PendingBatch> CurationServer::Submit(
+    const ServeRequest& request) {
+  return SubmitMany({request});
+}
+
+std::shared_ptr<PendingBatch> CurationServer::SubmitMany(
+    const std::vector<ServeRequest>& requests) {
+  auto group =
+      std::shared_ptr<PendingBatch>(new PendingBatch(requests.size()));
+  size_t enqueued = 0;
+  auto now = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Windows are usually single-tenant; unordered_map references are
+    // stable, so one lookup serves the whole run.
+    size_t* inflight_slot = nullptr;
+    const std::string* inflight_tenant = nullptr;
+    for (size_t i = 0; i < requests.size(); ++i) {
+      const ServeRequest& r = requests[i];
+      if (stopping_) {
+        shutdown_flushed_.fetch_add(1, std::memory_order_relaxed);
+        AUTODC_OBS_INC("serve.reject.shutdown");
+        group->CompleteSlot(
+            i, StatusResponse(ServeStatus::kShutdown, "server stopping"));
+        continue;
+      }
+      if (queue_.size() >= config_.queue_cap) {
+        rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
+        AUTODC_OBS_INC("serve.reject.queue_full");
+        group->CompleteSlot(
+            i, StatusResponse(ServeStatus::kRejectedQueueFull,
+                              "request queue at capacity"));
+        continue;
+      }
+      if (inflight_slot == nullptr || *inflight_tenant != r.tenant) {
+        inflight_slot = &tenant_inflight_[r.tenant];
+        inflight_tenant = &r.tenant;
+      }
+      size_t& inflight = *inflight_slot;
+      if (inflight >= config_.tenant_inflight_cap) {
+        rejected_tenant_cap_.fetch_add(1, std::memory_order_relaxed);
+        AUTODC_OBS_INC("serve.reject.tenant_cap");
+        group->CompleteSlot(
+            i, StatusResponse(ServeStatus::kRejectedTenantCap,
+                              "tenant in-flight cap reached"));
+        continue;
+      }
+      ++inflight;
+      ++enqueued;
+      queue_.push_back(Item{r, group, i, now});
+    }
+    admitted_.fetch_add(enqueued, std::memory_order_relaxed);
+    AUTODC_OBS_COUNT("serve.admit", enqueued);
+    AUTODC_OBS_GAUGE_SET("serve.queue.depth",
+                         static_cast<double>(queue_.size()));
+  }
+  if (enqueued > 0) {
+    // A window bigger than one batch is work for several workers.
+    if (config_.threads > 1 && enqueued > config_.batch_max) {
+      cv_.notify_all();
+    } else {
+      cv_.notify_one();
+    }
+  }
+  return group;
+}
+
+ServeResponse CurationServer::ExecuteSequential(const ServeRequest& request) {
+  std::shared_ptr<Session> session = sessions_.Get(request.session);
+  if (session == nullptr) {
+    return StatusResponse(ServeStatus::kError,
+                          "unknown session " + std::to_string(request.session));
+  }
+  return session->Execute(request);
+}
+
+void CurationServer::WorkerLoop() {
+  std::vector<Item> batch;
+  for (;;) {
+    batch.clear();
+    if (!NextBatch(&batch)) return;
+    ExecuteAndComplete(&batch);
+  }
+}
+
+bool CurationServer::NextBatch(std::vector<Item>* batch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    if (stopping_) return false;
+    if (config_.batch_wait_us > 0 && queue_.size() < config_.batch_max) {
+      // Deadline coalescing: hold the oldest request briefly so
+      // concurrent submitters can fill the batch.
+      auto deadline = queue_.front().enqueued +
+                      std::chrono::microseconds(config_.batch_wait_us);
+      cv_.wait_until(lock, deadline, [&] {
+        return stopping_ || queue_.size() >= config_.batch_max;
+      });
+      if (stopping_) return false;
+      if (queue_.empty()) continue;  // a sibling worker drained it
+    }
+    break;
+  }
+  // Coalesce from the front: everything bound for the same (session,
+  // kind) joins this batch, other requests keep their queue position.
+  uint64_t session = queue_.front().request.session;
+  RequestKind kind = queue_.front().request.kind;
+  batch->push_back(std::move(queue_.front()));
+  queue_.pop_front();
+  for (auto it = queue_.begin();
+       it != queue_.end() && batch->size() < config_.batch_max;) {
+    if (it->request.session == session && it->request.kind == kind) {
+      batch->push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  AUTODC_OBS_GAUGE_SET("serve.queue.depth", static_cast<double>(queue_.size()));
+  if (!queue_.empty()) cv_.notify_one();
+  return true;
+}
+
+void CurationServer::ExecuteAndComplete(std::vector<Item>* batch) {
+  size_t n = batch->size();
+  auto start = std::chrono::steady_clock::now();
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  AUTODC_OBS_INC("serve.batches");
+  AUTODC_OBS_HIST("serve.batch.size", static_cast<double>(n));
+  for (const Item& item : *batch) {
+    AUTODC_OBS_HIST("serve.queue.wait_us", MicrosSince(item.enqueued, start));
+  }
+
+  std::shared_ptr<Session> session = sessions_.Get((*batch)[0].request.session);
+  std::vector<ServeResponse> responses;
+  if (session == nullptr) {
+    responses.reserve(n);
+    for (const Item& item : *batch) {
+      responses.push_back(
+          StatusResponse(ServeStatus::kError,
+                         "unknown session " +
+                             std::to_string(item.request.session)));
+    }
+  } else {
+    std::vector<const ServeRequest*> requests;
+    requests.reserve(n);
+    for (const Item& item : *batch) requests.push_back(&item.request);
+    responses = session->ExecuteBatch(requests);
+  }
+
+  // Account BEFORE waking clients: a caller returning from Wait() must
+  // see its requests in stats().completed and its tenant's in-flight
+  // budget already released (otherwise an immediate pipelined resubmit
+  // can bounce off its own not-yet-decremented window).
+  auto end = std::chrono::steady_clock::now();
+  for (const Item& item : *batch) {
+    AUTODC_OBS_HIST("serve.latency_us", MicrosSince(item.enqueued, end));
+  }
+  completed_.fetch_add(n, std::memory_order_relaxed);
+  AUTODC_OBS_COUNT("serve.completed", n);
+  DecrementInflight(*batch);
+
+  // A batch is usually one client window (or a few runs of them):
+  // complete each same-group run under a single group lock.
+  std::vector<size_t> slots;
+  slots.reserve(n);
+  for (size_t i = 0; i < n;) {
+    PendingBatch* group = (*batch)[i].group.get();
+    size_t j = i;
+    slots.clear();
+    while (j < n && (*batch)[j].group.get() == group) {
+      slots.push_back((*batch)[j].slot);
+      ++j;
+    }
+    group->CompleteSlots(slots.data(), responses.data() + i, slots.size());
+    i = j;
+  }
+}
+
+void CurationServer::DecrementInflight(const std::vector<Item>& batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Coalesced batches come from contiguous queue runs, so same-tenant
+  // items are adjacent: one map lookup per run, not per request.
+  for (size_t i = 0; i < batch.size();) {
+    const std::string& tenant = batch[i].request.tenant;
+    size_t j = i + 1;
+    while (j < batch.size() && batch[j].request.tenant == tenant) ++j;
+    auto it = tenant_inflight_.find(tenant);
+    if (it != tenant_inflight_.end()) {
+      it->second -= std::min(it->second, j - i);
+      if (it->second == 0) tenant_inflight_.erase(it);
+    }
+    i = j;
+  }
+}
+
+void CurationServer::Stop() {
+  std::call_once(stop_once_, [this] {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    // Workers finish the batch they already extracted (in-flight work
+    // drains), then exit without taking more.
+    for (std::thread& t : workers_) {
+      if (t.joinable()) t.join();
+    }
+    // Everything still queued gets the typed shutdown status.
+    std::deque<Item> leftover;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      leftover.swap(queue_);
+      tenant_inflight_.clear();
+      AUTODC_OBS_GAUGE_SET("serve.queue.depth", 0.0);
+    }
+    for (Item& item : leftover) {
+      shutdown_flushed_.fetch_add(1, std::memory_order_relaxed);
+      AUTODC_OBS_INC("serve.shutdown.flushed");
+      item.group->CompleteSlot(
+          item.slot, StatusResponse(ServeStatus::kShutdown,
+                                    "server stopped before execution"));
+    }
+    stopped_.store(true, std::memory_order_release);
+  });
+}
+
+CurationServer::Stats CurationServer::stats() const {
+  Stats s;
+  s.admitted = admitted_.load(std::memory_order_relaxed);
+  s.rejected_queue_full = rejected_queue_full_.load(std::memory_order_relaxed);
+  s.rejected_tenant_cap = rejected_tenant_cap_.load(std::memory_order_relaxed);
+  s.shutdown_flushed = shutdown_flushed_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace autodc::serve

@@ -1,0 +1,59 @@
+#include "src/serve/session_cache.h"
+
+#include <utility>
+
+#include "src/obs/metrics.h"
+
+namespace autodc::serve {
+
+std::shared_ptr<Session> SessionCache::Get(uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(fingerprint);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    AUTODC_OBS_INC("serve.session.miss");
+    return nullptr;
+  }
+  ++stats_.hits;
+  AUTODC_OBS_INC("serve.session.hit");
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return it->second.session;
+}
+
+void SessionCache::Put(uint64_t fingerprint, std::shared_ptr<Session> session) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(fingerprint);
+  if (it != entries_.end()) {
+    it->second.session = std::move(session);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return;
+  }
+  lru_.push_front(fingerprint);
+  entries_[fingerprint] = Entry{std::move(session), lru_.begin()};
+  while (capacity_ > 0 && entries_.size() > capacity_) {
+    uint64_t victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);  // holders of the shared_ptr keep it alive
+    ++stats_.evictions;
+    AUTODC_OBS_INC("serve.session.evict");
+  }
+  AUTODC_OBS_GAUGE_SET("serve.session.resident",
+                       static_cast<double>(entries_.size()));
+}
+
+bool SessionCache::Contains(uint64_t fingerprint) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.count(fingerprint) > 0;
+}
+
+size_t SessionCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+SessionCache::Stats SessionCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace autodc::serve

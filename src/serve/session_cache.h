@@ -1,0 +1,55 @@
+#ifndef AUTODC_SERVE_SESSION_CACHE_H_
+#define AUTODC_SERVE_SESSION_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/serve/session.h"
+
+namespace autodc::serve {
+
+/// LRU cache of built sessions keyed on dataset fingerprint. Capacity
+/// bounds the number of resident model zoos; eviction drops the cache's
+/// shared_ptr only — an in-flight batch holding the session keeps it
+/// alive until the batch completes (no use-after-free by construction).
+class SessionCache {
+ public:
+  explicit SessionCache(size_t capacity) : capacity_(capacity) {}
+
+  /// The session for `fingerprint` (refreshing its recency), or null.
+  std::shared_ptr<Session> Get(uint64_t fingerprint);
+
+  /// Inserts (or replaces) a session, evicting the least recently used
+  /// entry when over capacity.
+  void Put(uint64_t fingerprint, std::shared_ptr<Session> session);
+
+  bool Contains(uint64_t fingerprint) const;
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<Session> session;
+    std::list<uint64_t>::iterator lru_pos;
+  };
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::list<uint64_t> lru_;  ///< front = most recently used
+  std::unordered_map<uint64_t, Entry> entries_;
+  Stats stats_;
+};
+
+}  // namespace autodc::serve
+
+#endif  // AUTODC_SERVE_SESSION_CACHE_H_

@@ -48,6 +48,12 @@ TEST(DirectionForMetricTest, ClassifiesBySuffixAndStem) {
             MetricDirection::kHigherIsBetter);
   EXPECT_EQ(DirectionForMetric("cache_hit_rate_pct"),
             MetricDirection::kLowerIsBetter);  // suffix checks still win
+  // Admission-control rejects gate as lower-is-better wherever the
+  // stem appears (the serve bench's "reject_rate").
+  EXPECT_EQ(DirectionForMetric("reject_rate"),
+            MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(DirectionForMetric("rejected_total"),
+            MetricDirection::kLowerIsBetter);
   EXPECT_EQ(DirectionForMetric("candidates"), MetricDirection::kTwoSided);
   EXPECT_EQ(DirectionForMetric("separation"), MetricDirection::kTwoSided);
 }

@@ -4,6 +4,8 @@
 // repair restores consistency, and golden-record fusion.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "src/cleaning/encoding.h"
 #include "src/cleaning/imputation.h"
 #include "src/cleaning/outliers.h"
@@ -123,6 +125,43 @@ TEST(OutlierTest, DetectorsIgnoreNonNumericAndSmallInputs) {
   EXPECT_TRUE(ZScoreOutliers(t, 0).empty());
   EXPECT_TRUE(IqrOutliers(t, 0).empty());
   EXPECT_TRUE(AutoencoderRowOutliers(t).empty());  // < 8 rows
+}
+
+TEST(OutlierTest, ZeroRowTablesYieldNoStatsAndNoNaN) {
+  // The 0-row regression sweep (companion to Table::NullFraction's):
+  // every per-column statistic must degrade to "nothing" on an empty
+  // table or an empty Filter selection — never divide by the row count.
+  Table empty(Schema({{"city", data::ValueType::kString},
+                      {"salary", data::ValueType::kDouble}}));
+  Table filtered_empty =
+      StructuredTable(20, 3).Filter([](data::RowView) { return false; });
+  ASSERT_EQ(filtered_empty.num_rows(), 0u);
+
+  for (const Table* t : {&empty, &filtered_empty}) {
+    EXPECT_TRUE(ZScoreOutliers(*t, 1).empty());
+    EXPECT_TRUE(IqrOutliers(*t, 1).empty());
+    EXPECT_TRUE(AutoencoderRowOutliers(*t).empty());
+
+    TableEncoder enc;
+    enc.Fit(*t);  // stats from zero observations: no NaN, no crash
+    EXPECT_TRUE(enc.EncodeAll(*t).empty());
+
+    Table copy = *t;
+    MeanModeImputer mm;
+    EXPECT_EQ(mm.FitAndFillAll(&copy), 0u);
+    Table copy2 = *t;
+    KnnImputer knn;
+    EXPECT_EQ(knn.FitAndFillAll(&copy2), 0u);
+  }
+
+  // A fitted encoder's row encoding of a 0-row view's source stays
+  // finite even when a column had no observed values at fit time.
+  Table one_null(Schema({{"x", data::ValueType::kDouble}}));
+  ASSERT_TRUE(one_null.AppendRow({Value::Null()}).ok());
+  TableEncoder enc;
+  enc.Fit(one_null);
+  std::vector<float> encoded = enc.EncodeRow(one_null.row(0));
+  for (float v : encoded) EXPECT_TRUE(std::isfinite(v));
 }
 
 TEST(OutlierTest, AutoencoderFlagsStructuralAnomaly) {

@@ -396,5 +396,77 @@ TEST_P(ColumnarOracleProperty, RowViewsMatchMaterializedRows) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ColumnarOracleProperty,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
 
+// ---------- streaming CSV ingest: chunk-boundary fuzz ------------------
+//
+// ReadCsvFile streams in chunks while ReadCsvString parses one buffer;
+// the two must agree on every input regardless of where the chunk
+// boundary falls. AUTODC_CSV_CHUNK_BYTES shrinks the I/O chunk so tiny
+// fixtures put every tokenizer state transition on a read edge — chunk
+// size 1 makes *each byte* its own chunk, the adversarial extreme.
+
+/// Parses `text` as a file at the given streaming chunk size and
+/// expects cell-exact agreement with the in-memory parse.
+void ExpectStreamedParseMatches(const std::string& text, size_t chunk,
+                                const std::string& tag) {
+  SCOPED_TRACE(tag + " chunk=" + std::to_string(chunk));
+  std::string path = TempPath("columnar_csv_fuzz.csv");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << text;
+  }
+  ASSERT_EQ(setenv("AUTODC_CSV_CHUNK_BYTES", std::to_string(chunk).c_str(), 1),
+            0);
+  auto streamed = data::ReadCsvFile(path);
+  ASSERT_EQ(unsetenv("AUTODC_CSV_CHUNK_BYTES"), 0);
+  auto whole = data::ReadCsvString(text);
+  ASSERT_EQ(streamed.ok(), whole.ok());
+  if (!whole.ok()) return;
+  ExpectTablesEqual(whole.ValueOrDie(), streamed.ValueOrDie());
+  std::remove(path.c_str());
+}
+
+TEST(CsvStreamBoundaryTest, NastyInputsAgreeAtEveryChunkSize) {
+  // The regression set: quoted field terminated by EOF with no trailing
+  // newline, a lone \r as the very last byte (straddling the final
+  // chunk at size 1), CRLF split across chunks, escaped quotes on
+  // boundaries, empty trailing fields, and embedded newlines.
+  const struct {
+    const char* tag;
+    const char* text;
+  } kCases[] = {
+      {"quoted-eof", "a,b\n1,\"qu\"\"oted,\nfield\""},
+      {"lone-cr-at-eof", "a,b\r\n1,2\r"},
+      {"cr-only-endings", "a,b\r1,2\r3,4\r"},
+      {"crlf-splits", "a,b\r\n\"x\r\ny\",2\r\n"},
+      {"escaped-quote-runs", "a\n\"\"\"\"\n\"\"\"x\"\"\"\n"},
+      {"empty-trailing-field", "a,b\n1,\n2,"},
+      {"empty-quoted-eof", "a,b\n1,\"\""},
+      {"blank-lines", "a,b\n\n1,2\n\n"},
+      {"delimiter-heavy", ",\n,,\n"},
+  };
+  for (const auto& c : kCases) {
+    for (size_t chunk : {size_t{1}, size_t{2}, size_t{3}, size_t{7}}) {
+      ExpectStreamedParseMatches(c.text, chunk, c.tag);
+    }
+  }
+}
+
+TEST(CsvStreamBoundaryTest, RandomizedQuoteCrlfSoupAgreesAtOneByteChunks) {
+  // Property sweep: random strings over the adversarial alphabet,
+  // streamed byte-at-a-time vs parsed whole. Seeded — failures
+  // reproduce.
+  const char kAlphabet[] = {'a', ',', '"', '\r', '\n'};
+  Rng rng(99);
+  for (int trial = 0; trial < 60; ++trial) {
+    size_t len = static_cast<size_t>(rng.UniformInt(1, 24));
+    std::string text = "h1,h2\n";
+    for (size_t i = 0; i < len; ++i) {
+      text.push_back(kAlphabet[static_cast<size_t>(rng.UniformInt(0, 4))]);
+    }
+    ExpectStreamedParseMatches(text, 1, "trial" + std::to_string(trial));
+    ExpectStreamedParseMatches(text, 3, "trial" + std::to_string(trial));
+  }
+}
+
 }  // namespace
 }  // namespace autodc

@@ -1,0 +1,520 @@
+// Curation server (DESIGN.md §13): dataset fingerprints, the LRU
+// session cache, batched-vs-sequential byte-identity, admission
+// control (typed queue-full / tenant-cap rejects), shutdown ordering
+// (in-flight drains, queued work gets kShutdown, no use-after-free of
+// evicted sessions), the stale-ANN RebuildAnn recovery arc, and
+// concurrent multi-tenant load (the TSan leg's subject).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/data/table.h"
+#include "src/data/table_file.h"
+#include "src/embedding/embedding_store.h"
+#include "src/serve/fingerprint.h"
+#include "src/serve/request.h"
+#include "src/serve/server.h"
+#include "src/serve/session.h"
+#include "src/serve/session_cache.h"
+
+namespace autodc {
+namespace {
+
+using data::Row;
+using data::Schema;
+using data::Table;
+using data::Value;
+using data::ValueType;
+using serve::CurationServer;
+using serve::RequestKind;
+using serve::ServeConfig;
+using serve::ServeRequest;
+using serve::ServeResponse;
+using serve::ServeStatus;
+using serve::Session;
+using serve::SessionCache;
+using serve::SessionConfig;
+
+/// Mixed numeric/categorical table with some nulls and one planted
+/// outlier — enough surface for every request kind.
+Table ServingTable(size_t rows, uint64_t salt = 0) {
+  Schema schema({{"id", ValueType::kInt},
+                 {"price", ValueType::kDouble},
+                 {"qty", ValueType::kInt},
+                 {"category", ValueType::kString}});
+  Table t(schema, "serving");
+  const char* cats[] = {"tools", "toys", "food", "books"};
+  for (size_t r = 0; r < rows; ++r) {
+    Row row;
+    row.push_back(Value(static_cast<int64_t>(r + salt)));
+    if (r % 13 == 5) {
+      row.push_back(Value::Null());
+    } else if (r == 7) {
+      row.push_back(Value(1e6));  // planted outlier
+    } else {
+      row.push_back(Value(10.0 + 0.25 * static_cast<double>((r + salt) % 40)));
+    }
+    row.push_back(Value(static_cast<int64_t>((r + salt) % 9)));
+    row.push_back(Value(std::string(cats[(r + salt) % 4])));
+    EXPECT_TRUE(t.AppendRow(std::move(row)).ok());
+  }
+  return t;
+}
+
+SessionConfig QuickSessionConfig() {
+  SessionConfig c;
+  c.scorer_epochs = 2;
+  c.max_train_rows = 32;
+  return c;
+}
+
+/// A request mix covering every kind, rows wrapping over the table.
+std::vector<ServeRequest> MixedRequests(uint64_t session, size_t rows,
+                                        size_t count,
+                                        const std::string& tenant) {
+  std::vector<ServeRequest> reqs;
+  reqs.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    ServeRequest r;
+    r.session = session;
+    r.tenant = tenant;
+    switch (i % 4) {
+      case 0:
+      case 1:  // score pairs dominate, as in the bench
+        r.kind = RequestKind::kScorePair;
+        r.row_a = i % rows;
+        r.row_b = (i * 7 + 3) % rows;
+        break;
+      case 2:
+        r.kind = RequestKind::kOutlierCheck;
+        r.row_a = i % rows;
+        r.col = 1;
+        break;
+      default:
+        r.kind = RequestKind::kNearestRows;
+        r.row_a = i % rows;
+        r.k = 3;
+        break;
+    }
+    reqs.push_back(std::move(r));
+  }
+  return reqs;
+}
+
+// ---------- fingerprints ----------------------------------------------
+
+TEST(ServeFingerprintTest, TableFingerprintIsContentKeyed) {
+  Table a = ServingTable(40);
+  Table b = ServingTable(40);
+  Table c = ServingTable(40, /*salt=*/1);
+  EXPECT_EQ(serve::FingerprintTable(a), serve::FingerprintTable(b));
+  EXPECT_NE(serve::FingerprintTable(a), serve::FingerprintTable(c));
+
+  // A view hashes as what it shows: filter-to-all equals the original.
+  Table all = a.Filter([](data::RowView) { return true; });
+  EXPECT_EQ(serve::FingerprintTable(a), serve::FingerprintTable(all));
+  Table some = a.Filter(
+      [](data::RowView row) { return !row.is_null(1); });
+  EXPECT_NE(serve::FingerprintTable(a), serve::FingerprintTable(some));
+}
+
+TEST(ServeFingerprintTest, FileFingerprintIsStableAndContentSensitive) {
+  std::string path = testing::TempDir() + "/serve_fp.adct";
+  ASSERT_TRUE(data::WriteTableFile(ServingTable(60), path).ok());
+  auto fp1 = serve::FingerprintFile(path);
+  auto fp2 = serve::FingerprintFile(path);
+  ASSERT_TRUE(fp1.ok());
+  ASSERT_TRUE(fp2.ok());
+  EXPECT_EQ(fp1.ValueOrDie(), fp2.ValueOrDie());
+
+  ASSERT_TRUE(data::WriteTableFile(ServingTable(60, 1), path).ok());
+  auto fp3 = serve::FingerprintFile(path);
+  ASSERT_TRUE(fp3.ok());
+  EXPECT_NE(fp1.ValueOrDie(), fp3.ValueOrDie());
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(serve::FingerprintFile("/nonexistent/nope.adct").ok());
+}
+
+// ---------- EmbeddingStore::RebuildAnn (the stale-index bugfix) --------
+
+TEST(ServeRebuildAnnTest, StaleIndexRecoversWithBitIdenticalSims) {
+  const size_t kDim = 16;
+  embedding::EmbeddingStore store(kDim);
+  Rng rng(11);
+  for (size_t i = 0; i < 200; ++i) {
+    std::vector<float> v(kDim);
+    for (float& x : v) x = static_cast<float>(rng.Normal());
+    ASSERT_TRUE(store.Add("k" + std::to_string(i), std::move(v)).ok());
+  }
+  ASSERT_TRUE(store.EnableAnn().ok());
+  ASSERT_TRUE(store.AnnActive());
+
+  // Overwrite one key: the index goes stale, queries silently fall back
+  // to the exact scan — and before RebuildAnn existed, stayed there
+  // forever.
+  std::vector<float> repl(kDim, 0.5f);
+  ASSERT_TRUE(store.Add("k3", repl).ok());
+  EXPECT_FALSE(store.AnnActive());
+
+  ASSERT_TRUE(store.RebuildAnn().ok());
+  EXPECT_TRUE(store.AnnActive());
+
+  // Rebuilding when fresh is a no-op, not another build.
+  ASSERT_TRUE(store.RebuildAnn().ok());
+  EXPECT_TRUE(store.AnnActive());
+
+  // Post-rebuild similarities are bit-identical to the exact scan
+  // (ANN hits are rescored through the exact formula).
+  for (size_t q = 0; q < 10; ++q) {
+    std::string key = "k" + std::to_string(q * 17);
+    auto ann = store.Nearest(key, 5);
+    ASSERT_TRUE(ann.ok());
+    store.DisableAnn();
+    auto exact = store.Nearest(key, 5);
+    ASSERT_TRUE(exact.ok());
+    // DisableAnn dropped the index outright, so RebuildAnn (which only
+    // refreshes an existing one) must refuse; EnableAnn restores it.
+    EXPECT_EQ(store.RebuildAnn().code(), StatusCode::kFailedPrecondition);
+    ASSERT_TRUE(store.EnableAnn().ok());
+    ASSERT_EQ(ann.ValueOrDie().size(), exact.ValueOrDie().size());
+    for (size_t i = 0; i < ann.ValueOrDie().size(); ++i) {
+      EXPECT_EQ(ann.ValueOrDie()[i].key, exact.ValueOrDie()[i].key);
+      EXPECT_EQ(ann.ValueOrDie()[i].similarity,
+                exact.ValueOrDie()[i].similarity);
+    }
+  }
+}
+
+TEST(ServeRebuildAnnTest, RebuildWithoutIndexIsFailedPrecondition) {
+  embedding::EmbeddingStore store(4);
+  ASSERT_TRUE(store.Add("a", {1.f, 0.f, 0.f, 0.f}).ok());
+  Status st = store.RebuildAnn();
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+}
+
+// ---------- session cache ---------------------------------------------
+
+TEST(ServeSessionCacheTest, LruEvictsOldestAndPinsLiveHandles) {
+  SessionCache cache(2);
+  auto s1 = Session::Build(ServingTable(24, 1), 1, QuickSessionConfig());
+  auto s2 = Session::Build(ServingTable(24, 2), 2, QuickSessionConfig());
+  auto s3 = Session::Build(ServingTable(24, 3), 3, QuickSessionConfig());
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  ASSERT_TRUE(s3.ok());
+  cache.Put(1, s1.ValueOrDie());
+  cache.Put(2, s2.ValueOrDie());
+
+  // Touch 1 so 2 becomes the LRU victim.
+  std::shared_ptr<Session> pinned = cache.Get(1);
+  ASSERT_NE(pinned, nullptr);
+  cache.Put(3, s3.ValueOrDie());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  // An evicted session's handle stays usable (eviction drops the
+  // cache's reference only — no use-after-free by construction).
+  cache.Put(4, s1.ValueOrDie());  // evicts 1 or 3; pinned still held
+  ServeRequest req;
+  req.kind = RequestKind::kScorePair;
+  req.row_a = 0;
+  req.row_b = 1;
+  ServeResponse resp = pinned->Execute(req);
+  EXPECT_EQ(resp.status, ServeStatus::kOk);
+  EXPECT_GE(resp.score, 0.0);
+  EXPECT_LE(resp.score, 1.0);
+}
+
+// ---------- batched execution: the byte-identity contract -------------
+
+TEST(ServeServerTest, BatchedResponsesByteIdenticalToSequential) {
+  ServeConfig cfg;
+  cfg.threads = 1;
+  cfg.batch_max = 16;
+  cfg.batch_wait_us = 500;
+  cfg.session = QuickSessionConfig();
+  CurationServer server(cfg);
+  auto open = server.OpenSessionFromTable(ServingTable(48));
+  ASSERT_TRUE(open.ok());
+  uint64_t fp = open.ValueOrDie();
+
+  std::vector<ServeRequest> reqs = MixedRequests(fp, 48, 96, "t0");
+  // Sequential oracle first (unbatched path, PredictProba per pair).
+  std::vector<ServeResponse> expected;
+  expected.reserve(reqs.size());
+  for (const ServeRequest& r : reqs) expected.push_back(server.ExecuteSequential(r));
+
+  auto pending = server.SubmitMany(reqs);
+  const std::vector<ServeResponse>& got = pending->Wait();
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].status, ServeStatus::kOk) << i << ": " << got[i].message;
+    EXPECT_TRUE(got[i] == expected[i])
+        << "response " << i << " diverged from the sequential path "
+        << "(score " << got[i].score << " vs " << expected[i].score << ")";
+  }
+  // The window arrived at once, so the batcher must have coalesced.
+  EXPECT_GT(server.stats().MeanBatch(), 1.0);
+  EXPECT_EQ(server.stats().completed, reqs.size());
+}
+
+TEST(ServeServerTest, UnknownSessionAndBadRowsAreTypedErrors) {
+  ServeConfig cfg;
+  cfg.threads = 1;
+  cfg.batch_wait_us = 0;
+  cfg.session = QuickSessionConfig();
+  CurationServer server(cfg);
+  ServeRequest bogus;
+  bogus.session = 0xdeadbeef;
+  ServeResponse resp = server.Submit(bogus)->Wait()[0];
+  EXPECT_EQ(resp.status, ServeStatus::kError);
+
+  auto open = server.OpenSessionFromTable(ServingTable(10));
+  ASSERT_TRUE(open.ok());
+  ServeRequest oob;
+  oob.session = open.ValueOrDie();
+  oob.kind = RequestKind::kScorePair;
+  oob.row_a = 99;  // out of range
+  resp = server.Submit(oob)->Wait()[0];
+  EXPECT_EQ(resp.status, ServeStatus::kError);
+  // And identically on the sequential path.
+  EXPECT_EQ(server.ExecuteSequential(oob).status, ServeStatus::kError);
+}
+
+// ---------- admission control -----------------------------------------
+
+TEST(ServeServerTest, QueueFullRejectsAreTypedAndImmediate) {
+  ServeConfig cfg;
+  cfg.threads = 1;
+  cfg.queue_cap = 8;
+  cfg.batch_max = 64;          // a batch never fills from 8 items...
+  cfg.batch_wait_us = 2000000;  // ...so the worker deadline-waits 2 s
+  cfg.session = QuickSessionConfig();
+  CurationServer server(cfg);
+  auto open = server.OpenSessionFromTable(ServingTable(16));
+  ASSERT_TRUE(open.ok());
+  uint64_t fp = open.ValueOrDie();
+
+  // Fill the queue, then overflow it.
+  auto admitted = server.SubmitMany(MixedRequests(fp, 16, 8, "t0"));
+  auto overflow = server.SubmitMany(MixedRequests(fp, 16, 4, "t1"));
+  ASSERT_TRUE(overflow->Ready());  // rejects settle without a worker
+  for (const ServeResponse& r : overflow->Wait()) {
+    EXPECT_EQ(r.status, ServeStatus::kRejectedQueueFull);
+  }
+  EXPECT_EQ(server.stats().rejected_queue_full, 4u);
+
+  server.Stop();  // the held batch drains or flushes as kShutdown
+  for (const ServeResponse& r : admitted->Wait()) {
+    EXPECT_TRUE(r.status == ServeStatus::kOk ||
+                r.status == ServeStatus::kShutdown)
+        << ServeStatusName(r.status);
+  }
+}
+
+TEST(ServeServerTest, TenantInflightCapIsPerTenant) {
+  ServeConfig cfg;
+  cfg.threads = 1;
+  cfg.queue_cap = 1024;
+  cfg.batch_max = 64;
+  cfg.batch_wait_us = 2000000;
+  cfg.tenant_inflight_cap = 3;
+  cfg.session = QuickSessionConfig();
+  CurationServer server(cfg);
+  auto open = server.OpenSessionFromTable(ServingTable(16));
+  ASSERT_TRUE(open.ok());
+  uint64_t fp = open.ValueOrDie();
+
+  auto heavy = server.SubmitMany(MixedRequests(fp, 16, 5, "greedy"));
+  auto light = server.SubmitMany(MixedRequests(fp, 16, 2, "polite"));
+
+  // greedy: 3 admitted, 2 typed rejects; polite: unaffected.
+  size_t rejected = 0;
+  // Only the rejected slots are settled now; count via stats.
+  EXPECT_EQ(server.stats().rejected_tenant_cap, 2u);
+  server.Stop();
+  for (const ServeResponse& r : heavy->Wait()) {
+    if (r.status == ServeStatus::kRejectedTenantCap) ++rejected;
+  }
+  EXPECT_EQ(rejected, 2u);
+  for (const ServeResponse& r : light->Wait()) {
+    EXPECT_NE(r.status, ServeStatus::kRejectedTenantCap);
+  }
+}
+
+// ---------- shutdown ordering -----------------------------------------
+
+TEST(ServeServerTest, ShutdownDrainsInFlightAndFlushesQueuedTyped) {
+  ServeConfig cfg;
+  cfg.threads = 1;
+  cfg.queue_cap = 4096;
+  cfg.tenant_inflight_cap = 4096;
+  cfg.batch_max = 8;
+  cfg.batch_wait_us = 0;
+  cfg.session = QuickSessionConfig();
+  CurationServer server(cfg);
+  auto open = server.OpenSessionFromTable(ServingTable(32));
+  ASSERT_TRUE(open.ok());
+  uint64_t fp = open.ValueOrDie();
+
+  auto pending = server.SubmitMany(MixedRequests(fp, 32, 512, "t0"));
+  server.Stop();  // races the worker on purpose
+
+  // Every request is settled exactly once: executed (kOk) or typed
+  // shutdown — never dropped, never hung.
+  const std::vector<ServeResponse>& got = pending->Wait();
+  size_t ok = 0, shut = 0;
+  for (const ServeResponse& r : got) {
+    if (r.status == ServeStatus::kOk) {
+      ++ok;
+    } else {
+      ASSERT_EQ(r.status, ServeStatus::kShutdown) << ServeStatusName(r.status);
+      ++shut;
+    }
+  }
+  EXPECT_EQ(ok + shut, got.size());
+  auto stats = server.stats();
+  EXPECT_EQ(stats.completed, ok);
+  EXPECT_EQ(stats.shutdown_flushed, shut);
+  EXPECT_EQ(stats.admitted, got.size());
+
+  // Post-stop submissions settle immediately with kShutdown.
+  auto late = server.Submit(MixedRequests(fp, 32, 1, "t0")[0]);
+  ASSERT_TRUE(late->Ready());
+  EXPECT_EQ(late->Wait()[0].status, ServeStatus::kShutdown);
+  // Stop is idempotent.
+  server.Stop();
+}
+
+// ---------- session refresh: the stale-ANN arc end to end -------------
+
+TEST(ServeServerTest, RefreshReactivatesAnnAfterUpdate) {
+  ServeConfig cfg;
+  cfg.threads = 1;
+  cfg.session = QuickSessionConfig();
+  CurationServer server(cfg);
+  auto open = server.OpenSessionFromTable(ServingTable(64));
+  ASSERT_TRUE(open.ok());
+  uint64_t fp = open.ValueOrDie();
+  std::shared_ptr<Session> session = server.FindSession(fp);
+  ASSERT_NE(session, nullptr);
+  ASSERT_TRUE(session->AnnActive());
+
+  // A cell update leaves serving state stale after the re-encode
+  // overwrites the store — Refresh must come back with a live index.
+  ASSERT_TRUE(session->Update(3, 1, Value(123.5)).ok());
+  ASSERT_TRUE(server.RefreshSession(fp).ok());
+  EXPECT_TRUE(session->AnnActive());
+
+  // And the refreshed state actually serves: neighbors of the updated
+  // row, scores in range.
+  ServeRequest req;
+  req.session = fp;
+  req.kind = RequestKind::kNearestRows;
+  req.row_a = 3;
+  req.k = 4;
+  ServeResponse resp = server.ExecuteSequential(req);
+  ASSERT_EQ(resp.status, ServeStatus::kOk) << resp.message;
+  EXPECT_EQ(resp.neighbors.size(), 4u);
+
+  EXPECT_FALSE(server.RefreshSession(0xabcd).ok());  // unknown session
+}
+
+// ---------- ADCT-file sessions + fingerprint cache keying -------------
+
+TEST(ServeServerTest, OpenSessionFromFileIsFingerprintCached) {
+  std::string path = testing::TempDir() + "/serve_session.adct";
+  ASSERT_TRUE(data::WriteTableFile(ServingTable(40), path).ok());
+  ServeConfig cfg;
+  cfg.threads = 1;
+  cfg.session = QuickSessionConfig();
+  CurationServer server(cfg);
+
+  auto first = server.OpenSession(path);
+  ASSERT_TRUE(first.ok());
+  auto again = server.OpenSession(path);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(first.ValueOrDie(), again.ValueOrDie());
+  // Second open hit the cache instead of rebuilding the zoo.
+  EXPECT_GE(server.sessions().stats().hits, 1u);
+
+  ServeRequest req;
+  req.session = first.ValueOrDie();
+  req.kind = RequestKind::kScorePair;
+  req.row_a = 1;
+  req.row_b = 2;
+  EXPECT_EQ(server.Submit(req)->Wait()[0].status, ServeStatus::kOk);
+  std::remove(path.c_str());
+}
+
+// ---------- concurrency (the TSan subject) ----------------------------
+
+TEST(ServeServerTest, ConcurrentTenantsCacheChurnAndRefresh) {
+  ServeConfig cfg;
+  cfg.threads = 2;
+  cfg.queue_cap = 4096;
+  cfg.batch_max = 16;
+  cfg.batch_wait_us = 100;
+  cfg.session_capacity = 1;  // maximal eviction pressure
+  cfg.session = QuickSessionConfig();
+  CurationServer server(cfg);
+
+  Table t1 = ServingTable(32, 1);
+  Table t2 = ServingTable(32, 2);
+  auto open1 = server.OpenSessionFromTable(t1);
+  ASSERT_TRUE(open1.ok());
+  uint64_t fp1 = open1.ValueOrDie();
+
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([&, c] {
+      for (int w = 0; w < 8; ++w) {
+        auto pending = server.SubmitMany(
+            MixedRequests(fp1, 32, 24, "tenant" + std::to_string(c)));
+        for (const ServeResponse& r : pending->Wait()) {
+          // kError covers "session evicted mid-flight by the churn
+          // thread" — a served answer or a typed miss, never a hang or
+          // a stale pointer.
+          if (r.status != ServeStatus::kOk &&
+              r.status != ServeStatus::kError &&
+              r.status != ServeStatus::kRejectedQueueFull) {
+            failed.store(true);
+          }
+        }
+      }
+    });
+  }
+  // Churn thread: re-opens the second dataset (evicting the first from
+  // the capacity-1 cache) and refreshes whichever session is resident.
+  clients.emplace_back([&] {
+    for (int i = 0; i < 4; ++i) {
+      auto open2 = server.OpenSessionFromTable(t2);
+      if (!open2.ok()) failed.store(true);
+      (void)server.RefreshSession(fp1);
+      auto reopened = server.OpenSessionFromTable(t1);
+      if (!reopened.ok() || reopened.ValueOrDie() != fp1) failed.store(true);
+      (void)server.RefreshSession(fp1);
+    }
+  });
+  for (std::thread& th : clients) th.join();
+  EXPECT_FALSE(failed.load());
+  server.Stop();
+  EXPECT_EQ(server.stats().completed + server.stats().shutdown_flushed +
+                server.stats().rejected_queue_full +
+                server.stats().rejected_tenant_cap,
+            server.stats().admitted + server.stats().rejected_queue_full +
+                server.stats().rejected_tenant_cap);
+}
+
+}  // namespace
+}  // namespace autodc
