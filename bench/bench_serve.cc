@@ -14,6 +14,9 @@
 
 #include "bench/harness.h"
 #include "src/data/table.h"
+#include "src/obs/live.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/serve/request.h"
 #include "src/serve/server.h"
 #include "src/serve/session.h"
@@ -186,11 +189,11 @@ int main(int argc, char** argv) {
     // latency distribution.
     std::vector<double> window_ms;
     std::mutex window_mu;
-    double serve_ms = b.TimeMs([&] {
+    auto run_clients = [&](std::vector<double>* latencies) {
       std::vector<std::thread> clients;
       clients.reserve(num_clients);
       for (size_t c = 0; c < num_clients; ++c) {
-        clients.emplace_back([&, c] {
+        clients.emplace_back([&, c, latencies] {
           std::vector<double> local;
           local.reserve(client_windows[c].size());
           for (const std::vector<ServeRequest>& win : client_windows[c]) {
@@ -199,12 +202,15 @@ int main(int argc, char** argv) {
             pending->Wait();
             local.push_back(t.Seconds() * 1e3);
           }
-          std::lock_guard<std::mutex> lock(window_mu);
-          window_ms.insert(window_ms.end(), local.begin(), local.end());
+          if (latencies != nullptr) {
+            std::lock_guard<std::mutex> lock(window_mu);
+            latencies->insert(latencies->end(), local.begin(), local.end());
+          }
         });
       }
       for (std::thread& t : clients) t.join();
-    });
+    };
+    double serve_ms = b.TimeMs([&] { run_clients(&window_ms); });
 
     CurationServer::Stats stats = server.stats();
     double submitted = static_cast<double>(stats.admitted +
@@ -216,6 +222,35 @@ int main(int argc, char** argv) {
                                   stats.rejected_tenant_cap) /
                   submitted
             : 0.0;
+
+    // Observed arm: the same closed-loop load with the live monitor
+    // ticking at 250ms — sliding-window quantile gauges, SLO checks,
+    // per-tenant labeled rollups, and an atomically rewritten snapshot
+    // file, all riding on the exporter thread. Acceptance: <= 2% QPS
+    // overhead vs the unmonitored served arm.
+    const std::string snap_path = "bench_serve.live.json";
+    obs::LiveMonitorConfig mon;
+    mon.interval_ms = 250;
+    mon.window_ticks = 8;
+    mon.snapshot_path = snap_path;
+    mon.slo.p99_us = 1e9;  // engaged but never tripping
+    bool monitor_started = obs::StartLiveMonitor(mon);
+    uint64_t ticks_before = obs::LiveMonitorTicks();
+    // Seed tick: attaches the window estimators to the serve histograms
+    // (which exist after the served arm) so the post-run tick below
+    // absorbs this arm's recordings as window deltas.
+    obs::LiveMonitorTickForTest();
+    double observed_ms = b.TimeMs([&] { run_clients(nullptr); });
+    // At least one tick so the run exercised a real snapshot write.
+    obs::LiveMonitorTickForTest();
+    uint64_t monitor_ticks = obs::LiveMonitorTicks() - ticks_before;
+    if (monitor_started) obs::StopLiveMonitor();
+    double live_p99_us = 0.0;
+    if (const obs::Gauge* g =
+            obs::MetricsRegistry::Global().FindGauge("serve.latency_p99")) {
+      live_p99_us = g->Value();
+    }
+    std::remove(snap_path.c_str());
 
     // Byte-identity sweep over a mixed request set: every served
     // response must compare equal (bit-for-bit on scores) to the
@@ -243,9 +278,57 @@ int main(int argc, char** argv) {
                       : static_cast<double>(identical) /
                             static_cast<double>(mixed.size());
 
+    // Traced arm: a fresh server with every request traced
+    // (admission → batch → execute under one trace id). The worker
+    // span buffer is sized so a full run drops nothing; the submitting
+    // thread raises its own cap to match.
+    obs::ClearSpans();
+    ServeConfig traced_cfg = cfg;
+    traced_cfg.trace_sample = 1.0;
+    size_t spans_dropped = 0;
+    size_t serve_spans = 0;
+    double traced_ms = 0.0;
+    {
+      CurationServer traced(traced_cfg);
+      auto topen = traced.OpenSessionFromTable(table);
+      if (!topen.ok()) {
+        std::fprintf(stderr, "traced OpenSessionFromTable: %s\n",
+                     topen.status().ToString().c_str());
+        return 1;
+      }
+      std::vector<ServeRequest> treqs =
+          ScoreRequests(topen.ValueOrDie(), rows, total_requests);
+      // The session build just recorded its own library spans against
+      // the submitting thread's default-capacity buffer; they are not
+      // the subject here and their overflow is not a serving drop.
+      obs::ClearSpans();
+      // One timed pass (not TimeMs): repeats would re-fill the span
+      // buffers and turn the zero-drop check into a buffer-size check.
+      obs::SetThreadSpanBufferCap(traced_cfg.worker_span_buffer);
+      Timer traced_timer;
+      for (size_t start = 0; start < treqs.size(); start += window) {
+        size_t end = std::min(start + window, treqs.size());
+        std::vector<ServeRequest> win(treqs.begin() + start,
+                                      treqs.begin() + end);
+        traced.SubmitMany(win)->Wait();
+      }
+      traced_ms = traced_timer.Seconds() * 1e3;
+      obs::SetThreadSpanBufferCap(0);
+      traced.Stop();  // workers join; their buffers hold the worker side
+      spans_dropped = static_cast<size_t>(obs::SpansDropped());
+      for (const obs::SpanRecord& s : obs::TakeSpans()) {
+        if (s.name.rfind("serve.", 0) == 0) ++serve_spans;
+      }
+      obs::ClearSpans();
+    }
+
     double n = static_cast<double>(total_requests);
     double qps_seq = seq_ms > 0.0 ? n / (seq_ms / 1e3) : 0.0;
     double qps_serve = serve_ms > 0.0 ? n / (serve_ms / 1e3) : 0.0;
+    double qps_observed = observed_ms > 0.0 ? n / (observed_ms / 1e3) : 0.0;
+    double qps_traced = traced_ms > 0.0 ? n / (traced_ms / 1e3) : 0.0;
+    double monitor_overhead_pct =
+        qps_serve > 0.0 ? (qps_serve - qps_observed) / qps_serve * 100.0 : 0.0;
     double speedup = serve_ms > 0.0 ? seq_ms / serve_ms : 0.0;
     double p50 = Percentile(window_ms, 0.50);
     double p99 = Percentile(window_ms, 0.99);
@@ -256,6 +339,13 @@ int main(int argc, char** argv) {
     PrintRow({"session_build_ms", Fmt(build_ms, 1)});
     PrintRow({"qps_sequential", Fmt(qps_seq, 0)});
     PrintRow({"qps_serve", Fmt(qps_serve, 0)});
+    PrintRow({"qps_observed", Fmt(qps_observed, 0)});
+    PrintRow({"monitor_overhead_pct", Fmt(monitor_overhead_pct, 2)});
+    PrintRow({"monitor_ticks", FmtInt(monitor_ticks)});
+    PrintRow({"live_p99_us", Fmt(live_p99_us, 1)});
+    PrintRow({"qps_traced", Fmt(qps_traced, 0)});
+    PrintRow({"serve_spans", FmtInt(serve_spans)});
+    PrintRow({"spans_dropped", FmtInt(spans_dropped)});
     PrintRow({"speedup", Fmt(speedup, 2)});
     PrintRow({"mean_batch", Fmt(mean_batch, 2)});
     PrintRow({"window_p50_ms", Fmt(p50, 3)});
@@ -272,6 +362,11 @@ int main(int argc, char** argv) {
     b.Report("latency", {{"window_p50_ms", p50}, {"window_p99_ms", p99}});
     b.Report("admission",
              {{"reject_rate", reject_rate}, {"correctness", correctness}});
+    b.Report("observability",
+             {{"qps_observed", qps_observed},
+              {"monitor_overhead_pct", monitor_overhead_pct},
+              {"qps_traced", qps_traced},
+              {"spans_dropped", static_cast<double>(spans_dropped)}});
     server.Stop();
     return 0;
   });

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 #include "src/obs/log.h"
@@ -12,6 +13,12 @@ namespace {
 
 void Warn(const char* name, const char* value, const char* reason,
           size_t fallback) {
+  AUTODC_LOG(WARN) << "ignoring " << name << "='" << value << "' (" << reason
+                   << "); using default " << fallback;
+}
+
+void WarnDouble(const char* name, const char* value, const char* reason,
+                double fallback) {
   AUTODC_LOG(WARN) << "ignoring " << name << "='" << value << "' (" << reason
                    << "); using default " << fallback;
 }
@@ -54,6 +61,39 @@ size_t EnvSizeT(const char* name, size_t fallback, size_t min_value,
     return fallback;
   }
   return static_cast<size_t>(u);
+}
+
+double EnvDouble(const char* name, double fallback, double min_value,
+                 double max_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  const char* p = raw;
+  while (std::isspace(static_cast<unsigned char>(*p))) ++p;
+  if (*p == '\0') {
+    WarnDouble(name, raw, "empty value", fallback);
+    return fallback;
+  }
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(p, &end);
+  if (end == p) {
+    WarnDouble(name, raw, "not a number", fallback);
+    return fallback;
+  }
+  while (std::isspace(static_cast<unsigned char>(*end))) ++end;
+  if (*end != '\0') {
+    WarnDouble(name, raw, "trailing garbage", fallback);
+    return fallback;
+  }
+  if (errno == ERANGE || !std::isfinite(v)) {
+    WarnDouble(name, raw, "out of range", fallback);
+    return fallback;
+  }
+  if (v < min_value || v > max_value) {
+    WarnDouble(name, raw, "outside the supported range", fallback);
+    return fallback;
+  }
+  return v;
 }
 
 bool EnvFlag(const char* name, bool fallback) {

@@ -24,6 +24,13 @@ size_t EnvSizeT(const char* name, size_t fallback, size_t min_value,
 /// are false; anything else is true.
 bool EnvFlag(const char* name, bool fallback);
 
+/// Parses `name` as a double with the same hardening as EnvSizeT:
+/// unset returns `fallback` silently; empty, non-numeric, trailing
+/// garbage, non-finite, or outside [min_value, max_value] warn and
+/// fall back. (SLO thresholds like AUTODC_SLO_REJECT_RATE are ratios.)
+double EnvDouble(const char* name, double fallback, double min_value,
+                 double max_value);
+
 /// Raw string value, or `fallback` when unset or empty.
 std::string EnvString(const char* name, const std::string& fallback = "");
 

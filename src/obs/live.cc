@@ -1,0 +1,353 @@
+#include "src/obs/live.h"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+#include "src/common/env.h"
+#include "src/obs/export.h"
+#include "src/obs/log.h"
+
+namespace autodc::obs {
+
+// ---- SlidingQuantile --------------------------------------------------
+
+SlidingQuantile::SlidingQuantile(const Histogram* hist, size_t window_ticks)
+    : hist_(hist),
+      window_(std::max<size_t>(1, window_ticks)),
+      bounds_(hist->bounds()),
+      last_(hist->BucketCounts()),
+      window_sum_(bounds_.size() + 1, 0) {}
+
+void SlidingQuantile::Tick() {
+  std::vector<uint64_t> cur = hist_->BucketCounts();
+  std::vector<uint64_t> delta(cur.size());
+  for (size_t i = 0; i < cur.size(); ++i) {
+    // A ResetValues() between ticks makes cumulative counts shrink;
+    // treat the post-reset count as this tick's recording.
+    delta[i] = cur[i] >= last_[i] ? cur[i] - last_[i] : cur[i];
+    window_sum_[i] += delta[i];
+  }
+  last_ = std::move(cur);
+  ring_.push_back(std::move(delta));
+  if (ring_.size() > window_) {
+    const std::vector<uint64_t>& old = ring_.front();
+    for (size_t i = 0; i < old.size(); ++i) window_sum_[i] -= old[i];
+    ring_.pop_front();
+  }
+}
+
+uint64_t SlidingQuantile::WindowCount() const {
+  uint64_t total = 0;
+  for (uint64_t c : window_sum_) total += c;
+  return total;
+}
+
+double SlidingQuantile::Quantile(double q) const {
+  uint64_t total = WindowCount();
+  if (total == 0) return std::numeric_limits<double>::quiet_NaN();
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank in [1, total]; walk buckets until the cumulative count covers
+  // it, then interpolate linearly inside the covering bucket.
+  double target = std::max(1.0, q * static_cast<double>(total));
+  uint64_t cum = 0;
+  for (size_t i = 0; i < window_sum_.size(); ++i) {
+    if (window_sum_[i] == 0) continue;
+    double before = static_cast<double>(cum);
+    cum += window_sum_[i];
+    if (static_cast<double>(cum) < target) continue;
+    if (i >= bounds_.size()) {
+      // Overflow bucket: the true value is >= bounds_.back(), which is
+      // all the histogram knows — clamp rather than extrapolate.
+      return bounds_.empty() ? std::numeric_limits<double>::quiet_NaN()
+                             : bounds_.back();
+    }
+    double lo = i == 0 ? 0.0 : bounds_[i - 1];
+    double hi = bounds_[i];
+    double frac = (target - before) / static_cast<double>(window_sum_[i]);
+    return lo + (hi - lo) * frac;
+  }
+  return bounds_.empty() ? std::numeric_limits<double>::quiet_NaN()
+                         : bounds_.back();
+}
+
+// ---- Config -----------------------------------------------------------
+
+SloConfig SloConfigFromEnv() {
+  SloConfig s;
+  s.p99_us = EnvDouble("AUTODC_SLO_P99_US", s.p99_us, 0.0, 1e12);
+  s.queue_depth =
+      EnvDouble("AUTODC_SLO_QUEUE_DEPTH", s.queue_depth, 0.0, 1e12);
+  s.reject_rate =
+      EnvDouble("AUTODC_SLO_REJECT_RATE", s.reject_rate, 0.0, 1.0);
+  return s;
+}
+
+LiveMonitorConfig LiveMonitorConfigFromEnv() {
+  LiveMonitorConfig c;
+  c.interval_ms =
+      EnvSizeT("AUTODC_METRICS_INTERVAL_MS", c.interval_ms, 0, 3600000);
+  c.window_ticks = EnvSizeT("AUTODC_METRICS_WINDOW", c.window_ticks, 1, 4096);
+  c.snapshot_path = EnvString("AUTODC_METRICS_SNAPSHOT");
+  c.slo = SloConfigFromEnv();
+  return c;
+}
+
+// ---- Monitor ----------------------------------------------------------
+
+namespace {
+
+// One SLO dimension's edge-trigger state: WARN once on breach entry,
+// INFO once on recovery, a 0/1 gauge either way.
+struct SloDimension {
+  const char* what;        // human name for the log line
+  const char* gauge_name;  // serve.slo.breached.<dim>
+  bool breached = false;
+};
+
+struct LiveMonitor {
+  LiveMonitorConfig config;
+  std::thread thread;
+  std::mutex mu;  // guards everything below + serializes ticks
+  std::condition_variable cv;
+  bool stop = false;
+
+  std::unique_ptr<SlidingQuantile> latency;
+  std::unique_ptr<SlidingQuantile> queue_wait;
+  // Cumulative (rejected, attempted) samples, one per tick, newest
+  // last; the window rate is the diff between the ends.
+  std::deque<std::array<uint64_t, 2>> rate_ring;
+  SloDimension slo_p99{"serve.latency_p99", "serve.slo.breached.p99"};
+  SloDimension slo_depth{"serve.queue.depth", "serve.slo.breached.queue_depth"};
+  SloDimension slo_reject{"serve.reject_rate",
+                          "serve.slo.breached.reject_rate"};
+};
+
+std::mutex g_monitor_mu;
+LiveMonitor* g_monitor = nullptr;
+std::atomic<uint64_t> g_ticks{0};
+
+uint64_t CounterValueOrZero(const MetricsRegistry& reg,
+                            const std::string& name) {
+  const Counter* c = reg.FindCounter(name);
+  return c != nullptr ? c->Value() : 0;
+}
+
+void EvaluateSlo(SloDimension* dim, double value, double threshold) {
+  auto& reg = MetricsRegistry::Global();
+  bool breach = std::isfinite(value) && value > threshold;
+  reg.GetGauge(dim->gauge_name)->Set(breach ? 1.0 : 0.0);
+  if (breach && !dim->breached) {
+    reg.GetCounter("serve.slo.breaches")->Inc();
+    AUTODC_LOG(WARN) << "SLO breach: " << dim->what << "=" << value << " > "
+                     << threshold;
+  } else if (!breach && dim->breached) {
+    AUTODC_LOG(INFO) << "SLO recovered: " << dim->what << "=" << value
+                     << " <= " << threshold;
+  }
+  dim->breached = breach;
+}
+
+// One exporter tick: refresh window quantiles, evaluate SLOs, rewrite
+// the snapshot file. Caller holds m->mu.
+void TickLocked(LiveMonitor* m) {
+  auto& reg = MetricsRegistry::Global();
+
+  // Quantiles attach lazily: the serve histograms exist only once a
+  // server has run, and observing must never fabricate metrics.
+  if (m->latency == nullptr) {
+    if (const Histogram* h = reg.FindHistogram("serve.latency_us")) {
+      m->latency =
+          std::make_unique<SlidingQuantile>(h, m->config.window_ticks);
+    }
+  }
+  if (m->queue_wait == nullptr) {
+    if (const Histogram* h = reg.FindHistogram("serve.queue.wait_us")) {
+      m->queue_wait =
+          std::make_unique<SlidingQuantile>(h, m->config.window_ticks);
+    }
+  }
+
+  double p99 = std::numeric_limits<double>::quiet_NaN();
+  if (m->latency != nullptr) {
+    m->latency->Tick();
+    if (m->latency->WindowCount() > 0) {
+      double p50 = m->latency->Quantile(0.50);
+      p99 = m->latency->Quantile(0.99);
+      reg.GetGauge("serve.latency_p50")->Set(p50);
+      reg.GetGauge("serve.latency_p99")->Set(p99);
+    }
+  }
+  if (m->queue_wait != nullptr) {
+    m->queue_wait->Tick();
+    if (m->queue_wait->WindowCount() > 0) {
+      reg.GetGauge("serve.queue.wait_p50")
+          ->Set(m->queue_wait->Quantile(0.50));
+      reg.GetGauge("serve.queue.wait_p99")
+          ->Set(m->queue_wait->Quantile(0.99));
+    }
+  }
+
+  // Window reject rate from cumulative admission counters (shutdown
+  // flushes are not admission decisions and stay out of it).
+  double reject_rate = std::numeric_limits<double>::quiet_NaN();
+  if (reg.FindCounter("serve.admit") != nullptr ||
+      reg.FindCounter("serve.reject.queue_full") != nullptr ||
+      reg.FindCounter("serve.reject.tenant_cap") != nullptr) {
+    uint64_t rejected = CounterValueOrZero(reg, "serve.reject.queue_full") +
+                        CounterValueOrZero(reg, "serve.reject.tenant_cap");
+    uint64_t attempts = CounterValueOrZero(reg, "serve.admit") + rejected;
+    if (!m->rate_ring.empty() && (rejected < m->rate_ring.back()[0] ||
+                                  attempts < m->rate_ring.back()[1])) {
+      m->rate_ring.clear();  // counters were reset; restart the window
+    }
+    m->rate_ring.push_back({rejected, attempts});
+    if (m->rate_ring.size() > m->config.window_ticks + 1) {
+      m->rate_ring.pop_front();
+    }
+    uint64_t d_rej = m->rate_ring.back()[0] - m->rate_ring.front()[0];
+    uint64_t d_att = m->rate_ring.back()[1] - m->rate_ring.front()[1];
+    reject_rate = d_att > 0 ? static_cast<double>(d_rej) /
+                                  static_cast<double>(d_att)
+                            : 0.0;
+    reg.GetGauge("serve.reject_rate")->Set(reject_rate);
+  }
+
+  const SloConfig& slo = m->config.slo;
+  if (slo.p99_us > 0.0) EvaluateSlo(&m->slo_p99, p99, slo.p99_us);
+  if (slo.queue_depth > 0.0) {
+    const Gauge* depth = reg.FindGauge("serve.queue.depth");
+    if (depth != nullptr) {
+      EvaluateSlo(&m->slo_depth, depth->Value(), slo.queue_depth);
+    }
+  }
+  if (slo.reject_rate > 0.0) {
+    EvaluateSlo(&m->slo_reject, reject_rate, slo.reject_rate);
+  }
+
+  uint64_t tick = g_ticks.fetch_add(1, std::memory_order_relaxed) + 1;
+  reg.GetGauge("obs.live.ticks")->Set(static_cast<double>(tick));
+
+  if (!m->config.snapshot_path.empty()) {
+    // Snapshot after publishing, so the file carries this tick's
+    // quantiles; collectors (span-buffer gauges etc.) run inside.
+    MetricsSnapshot snap = reg.Snapshot();
+    int64_t ts_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::system_clock::now().time_since_epoch())
+                        .count();
+    std::string body;
+    body.reserve(4096);
+    body.append("{\"ts_ms\":");
+    body.append(std::to_string(ts_ms));
+    body.append(",\"tick\":");
+    body.append(std::to_string(tick));
+    body.append(",\"interval_ms\":");
+    body.append(std::to_string(m->config.interval_ms));
+    body.append(",\"window_ticks\":");
+    body.append(std::to_string(m->config.window_ticks));
+    body.append(",\"metrics\":");
+    body.append(FormatJson(snap));
+    body.append("}\n");
+    // tmp + rename: obs_top polling the file never reads a torn write.
+    std::string tmp = m->config.snapshot_path + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::trunc);
+      if (!out) {
+        AUTODC_LOG(WARN) << "live monitor: cannot open '" << tmp << "'";
+        return;
+      }
+      out << body;
+      if (!out.flush()) {
+        AUTODC_LOG(WARN) << "live monitor: short write to '" << tmp << "'";
+        return;
+      }
+    }
+    if (std::rename(tmp.c_str(), m->config.snapshot_path.c_str()) != 0) {
+      AUTODC_LOG(WARN) << "live monitor: rename to '"
+                       << m->config.snapshot_path << "' failed";
+    }
+  }
+}
+
+void MonitorLoop(LiveMonitor* m) {
+  std::unique_lock<std::mutex> lock(m->mu);
+  while (!m->stop) {
+    bool stopping = m->cv.wait_for(
+        lock, std::chrono::milliseconds(m->config.interval_ms),
+        [m] { return m->stop; });
+    if (stopping) break;
+    TickLocked(m);
+  }
+}
+
+}  // namespace
+
+bool StartLiveMonitor(const LiveMonitorConfig& config) {
+  std::lock_guard<std::mutex> lock(g_monitor_mu);
+  if (g_monitor != nullptr) return false;
+  auto* m = new LiveMonitor();
+  m->config = config;
+  if (m->config.interval_ms == 0) m->config.interval_ms = 1;
+  if (m->config.window_ticks == 0) m->config.window_ticks = 1;
+  m->thread = std::thread(&MonitorLoop, m);
+  g_monitor = m;
+  // Stop before the atexit metric/trace dumps (registered earlier →
+  // they run after us in LIFO order), so the final dump is quiescent.
+  static bool atexit_installed = [] {
+    std::atexit(&StopLiveMonitor);
+    return true;
+  }();
+  (void)atexit_installed;
+  return true;
+}
+
+void StopLiveMonitor() {
+  LiveMonitor* m = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(g_monitor_mu);
+    m = g_monitor;
+    g_monitor = nullptr;
+  }
+  if (m == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(m->mu);
+    m->stop = true;
+  }
+  m->cv.notify_all();
+  if (m->thread.joinable()) m->thread.join();
+  delete m;
+}
+
+bool LiveMonitorRunning() {
+  std::lock_guard<std::mutex> lock(g_monitor_mu);
+  return g_monitor != nullptr;
+}
+
+uint64_t LiveMonitorTicks() {
+  return g_ticks.load(std::memory_order_relaxed);
+}
+
+void LiveMonitorTickForTest() {
+  std::lock_guard<std::mutex> lock(g_monitor_mu);
+  if (g_monitor == nullptr) return;
+  std::lock_guard<std::mutex> tick_lock(g_monitor->mu);
+  TickLocked(g_monitor);
+}
+
+void InstallLiveMonitorFromEnv() {
+  static bool installed = [] {
+    LiveMonitorConfig config = LiveMonitorConfigFromEnv();
+    if (config.interval_ms > 0) StartLiveMonitor(config);
+    return true;
+  }();
+  (void)installed;
+}
+
+}  // namespace autodc::obs

@@ -1,0 +1,126 @@
+#ifndef AUTODC_OBS_LIVE_H_
+#define AUTODC_OBS_LIVE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+// The live observability plane (DESIGN.md §14): everything PRs 4–5
+// built reports at process exit; this file makes a long-running server
+// watchable while it runs. A background exporter thread ticks every
+// AUTODC_METRICS_INTERVAL_MS, derives sliding-window tail quantiles
+// from the cumulative serve histograms, evaluates SLO tripwires, and
+// atomically rewrites a JSON snapshot file that `tools/obs_top` tails.
+//
+// Nothing here touches a request hot path: quantiles come from
+// *diffing* histogram bucket counts the serve layer already records,
+// so the entire plane costs one registry snapshot per tick.
+namespace autodc::obs {
+
+/// Sliding-window quantile estimator over an existing cumulative
+/// Histogram. Each Tick() absorbs the bucket counts recorded since the
+/// previous tick as one delta frame in a fixed-length ring; Quantile()
+/// interpolates within the merged window, so the answer reflects the
+/// last `window_ticks` ticks only — a histogram serving for days still
+/// yields a *current* p99. Not thread-safe: owned and ticked by one
+/// thread (the live monitor's).
+class SlidingQuantile {
+ public:
+  /// `hist` must outlive this object (registry histograms always do).
+  /// `window_ticks` = 0 is clamped to 1.
+  SlidingQuantile(const Histogram* hist, size_t window_ticks);
+
+  /// Absorbs counts recorded since the last Tick (or construction)
+  /// into the window, evicting the oldest tick past the window length.
+  void Tick();
+
+  /// The q-quantile (q in [0,1]) of values recorded within the window,
+  /// linearly interpolated inside the covering bucket. Values in the
+  /// overflow bucket clamp to the top bound. NaN when the window holds
+  /// no samples.
+  double Quantile(double q) const;
+
+  /// Samples inside the current window.
+  uint64_t WindowCount() const;
+
+  size_t window_ticks() const { return window_; }
+
+ private:
+  const Histogram* hist_;
+  size_t window_;
+  std::vector<double> bounds_;
+  std::vector<uint64_t> last_;              // cumulative counts at last Tick
+  std::deque<std::vector<uint64_t>> ring_;  // per-tick deltas, newest last
+  std::vector<uint64_t> window_sum_;        // running sum over ring_
+};
+
+/// SLO thresholds the monitor trips on. 0 disables a dimension.
+struct SloConfig {
+  double p99_us = 0.0;       ///< serve.latency_p99 ceiling, microseconds
+  double queue_depth = 0.0;  ///< serve.queue.depth ceiling
+  double reject_rate = 0.0;  ///< window rejected/(admitted+rejected) ceiling
+};
+
+/// From AUTODC_SLO_P99_US, AUTODC_SLO_QUEUE_DEPTH,
+/// AUTODC_SLO_REJECT_RATE (all default 0 = disabled).
+SloConfig SloConfigFromEnv();
+
+struct LiveMonitorConfig {
+  /// Tick period. 0 means "do not start" for the env installer;
+  /// StartLiveMonitor clamps 0 to 1ms.
+  size_t interval_ms = 0;
+  /// Sliding-window length in ticks (window seconds = ticks * interval).
+  size_t window_ticks = 8;
+  /// When nonempty, every tick atomically rewrites this file with a
+  /// one-line JSON snapshot (tmp + rename — readers never see a torn
+  /// write). The obs_top CLI polls this file.
+  std::string snapshot_path;
+  SloConfig slo;
+};
+
+/// From AUTODC_METRICS_INTERVAL_MS, AUTODC_METRICS_WINDOW,
+/// AUTODC_METRICS_SNAPSHOT, and the SLO knobs.
+LiveMonitorConfig LiveMonitorConfigFromEnv();
+
+/// Starts the background exporter thread. Returns false (and does
+/// nothing) when a monitor is already running. The monitor publishes:
+///   serve.latency_p50 / serve.latency_p99      (gauges, microseconds)
+///   serve.queue.wait_p50 / serve.queue.wait_p99
+///   serve.reject_rate                          (window ratio)
+///   serve.slo.breached.{p99,queue_depth,reject_rate}  (0/1 gauges)
+///   serve.slo.breaches                         (counter, breach entries)
+///   obs.live.ticks                             (gauge)
+/// plus whatever registered collectors publish (span-buffer gauges).
+/// SLO breaches are edge-triggered: one WARN log line on entry, one
+/// INFO on recovery — a sustained breach does not spam.
+bool StartLiveMonitor(const LiveMonitorConfig& config);
+
+/// Stops and joins the monitor thread (no-op when not running). Also
+/// registered atexit by StartLiveMonitor, so the thread never outlives
+/// the registry dumps.
+void StopLiveMonitor();
+
+bool LiveMonitorRunning();
+
+/// Monotonic process-wide tick count (survives monitor restarts).
+/// Tests and benches use this to wait for "at least one tick".
+uint64_t LiveMonitorTicks();
+
+/// Test hook: runs one tick synchronously on the calling thread (the
+/// same code path the background thread runs, under the same lock).
+/// No-op when no monitor is running. Deterministic tests start the
+/// monitor with a large interval and drive ticks through this.
+void LiveMonitorTickForTest();
+
+/// Reads the env config and starts the monitor when
+/// AUTODC_METRICS_INTERVAL_MS > 0. Called once from
+/// MetricsRegistry::Global(); safe to call again (no-op).
+void InstallLiveMonitorFromEnv();
+
+}  // namespace autodc::obs
+
+#endif  // AUTODC_OBS_LIVE_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/obs/export.h"
+#include "src/obs/live.h"
 #include "src/obs/trace_export.h"
 
 namespace autodc::obs {
@@ -34,6 +35,29 @@ Histogram::Histogram(std::string name, std::vector<double> bounds)
 
 std::vector<double> Histogram::DefaultBoundsMs() {
   return {0.01, 0.1, 1.0, 10.0, 100.0, 1000.0, 10000.0, 100000.0};
+}
+
+std::vector<double> Histogram::LogBounds(double lo, double hi,
+                                         int per_decade) {
+  std::vector<double> out;
+  if (!(lo > 0.0) || !(hi > lo) || per_decade < 1) return out;
+  const double step = std::pow(10.0, 1.0 / per_decade);
+  // Multiply up from lo; regenerate each bound from lo via pow so a
+  // long ladder does not accumulate rounding drift.
+  for (int i = 0;; ++i) {
+    double b = lo * std::pow(step, static_cast<double>(i));
+    // Snap near-integers (1000.0000000002 → 1000): keeps bucket edges
+    // printable and the ladder exactly periodic per decade.
+    double r = std::round(b);
+    if (r != 0.0 && std::fabs(b - r) / r < 1e-9) b = r;
+    if (b > hi * (1.0 + 1e-9)) break;
+    out.push_back(b);
+  }
+  return out;
+}
+
+std::vector<double> Histogram::LogBoundsUs() {
+  return LogBounds(1.0, 1e7, 4);
 }
 
 void Histogram::Record(double v) {
@@ -77,6 +101,106 @@ void Histogram::Reset() {
              std::memory_order_relaxed);
 }
 
+// ---- Labeled metrics --------------------------------------------------
+
+std::string LabeledMetricName(const std::string& base, const std::string& key,
+                              const std::string& value) {
+  std::string out;
+  out.reserve(base.size() + key.size() + value.size() + 3);
+  out.append(base);
+  out.push_back('{');
+  out.append(key);
+  out.push_back('=');
+  out.append(value);
+  out.push_back('}');
+  return out;
+}
+
+LabeledCounter::LabeledCounter(MetricsRegistry* reg, std::string base,
+                               std::string key, size_t max_cardinality)
+    : reg_(reg),
+      base_(std::move(base)),
+      key_(std::move(key)),
+      max_cardinality_(max_cardinality == 0 ? 1 : max_cardinality) {}
+
+Counter* LabeledCounter::WithLabel(const std::string& value) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = children_.find(value);
+    if (it != children_.end()) return it->second;
+    if (children_.size() >= max_cardinality_ && overflow_ != nullptr) {
+      return overflow_;
+    }
+  }
+  return Materialize(value);
+}
+
+Counter* LabeledCounter::Materialize(const std::string& value) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = children_.find(value);
+  if (it != children_.end()) return it->second;
+  // Lock order is always LabeledCounter -> registry; the registry never
+  // calls back into a labeled metric while holding its own mutex.
+  if (children_.size() >= max_cardinality_) {
+    if (overflow_ == nullptr) {
+      overflow_ =
+          reg_->GetCounter(LabeledMetricName(base_, key_, kLabelOverflow));
+    }
+    return overflow_;
+  }
+  Counter* child = reg_->GetCounter(LabeledMetricName(base_, key_, value));
+  children_.emplace(value, child);
+  return child;
+}
+
+size_t LabeledCounter::cardinality() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return children_.size();
+}
+
+LabeledHistogram::LabeledHistogram(MetricsRegistry* reg, std::string base,
+                                   std::string key, std::vector<double> bounds,
+                                   size_t max_cardinality)
+    : reg_(reg),
+      base_(std::move(base)),
+      key_(std::move(key)),
+      bounds_(std::move(bounds)),
+      max_cardinality_(max_cardinality == 0 ? 1 : max_cardinality) {}
+
+Histogram* LabeledHistogram::WithLabel(const std::string& value) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = children_.find(value);
+    if (it != children_.end()) return it->second;
+    if (children_.size() >= max_cardinality_ && overflow_ != nullptr) {
+      return overflow_;
+    }
+  }
+  return Materialize(value);
+}
+
+Histogram* LabeledHistogram::Materialize(const std::string& value) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = children_.find(value);
+  if (it != children_.end()) return it->second;
+  if (children_.size() >= max_cardinality_) {
+    if (overflow_ == nullptr) {
+      overflow_ = reg_->GetHistogram(
+          LabeledMetricName(base_, key_, kLabelOverflow), bounds_);
+    }
+    return overflow_;
+  }
+  Histogram* child =
+      reg_->GetHistogram(LabeledMetricName(base_, key_, value), bounds_);
+  children_.emplace(value, child);
+  return child;
+}
+
+size_t LabeledHistogram::cardinality() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return children_.size();
+}
+
 // ---- Snapshot lookups -------------------------------------------------
 
 namespace {
@@ -110,6 +234,9 @@ MetricsRegistry& MetricsRegistry::Global() {
     auto* r = new MetricsRegistry();
     InstallExitDumpFromEnv();
     InstallTraceDumpFromEnv();
+    // After the dump hooks: atexit runs LIFO, so the live monitor
+    // thread stops before the final metric/trace dumps read state.
+    InstallLiveMonitorFromEnv();
     return r;
   }();
   return *registry;
@@ -135,6 +262,47 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
   auto& slot = histograms_[name];
   if (slot == nullptr) slot.reset(new Histogram(name, std::move(bounds)));
   return slot.get();
+}
+
+LabeledCounter* MetricsRegistry::GetLabeledCounter(const std::string& base,
+                                                   const std::string& label_key,
+                                                   size_t max_cardinality) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = labeled_counters_[base + '\0' + label_key];
+  if (slot == nullptr) {
+    slot.reset(new LabeledCounter(this, base, label_key, max_cardinality));
+  }
+  return slot.get();
+}
+
+LabeledHistogram* MetricsRegistry::GetLabeledHistogram(
+    const std::string& base, const std::string& label_key,
+    std::vector<double> bounds, size_t max_cardinality) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = labeled_histograms_[base + '\0' + label_key];
+  if (slot == nullptr) {
+    slot.reset(new LabeledHistogram(this, base, label_key, std::move(bounds),
+                                    max_cardinality));
+  }
+  return slot.get();
+}
+
+Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it != counters_.end() ? it->second.get() : nullptr;
+}
+
+Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it != gauges_.end() ? it->second.get() : nullptr;
+}
+
+Histogram* MetricsRegistry::FindHistogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  return it != histograms_.end() ? it->second.get() : nullptr;
 }
 
 void MetricsRegistry::AddCollector(std::function<void()> fn) {

@@ -9,7 +9,9 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 // Process-wide, thread-safe metrics for the whole library (the
@@ -165,6 +167,17 @@ class Histogram {
   /// The default bounds: decades of milliseconds, 10us .. 100s.
   static std::vector<double> DefaultBoundsMs();
 
+  /// Geometric (log-scale) bounds: `per_decade` upper bounds in every
+  /// decade of [lo, hi]. Unlike the decade-wide defaults, these resolve
+  /// tail quantiles to ~1/per_decade of a decade instead of collapsing
+  /// a whole decade of latencies into one bucket.
+  static std::vector<double> LogBounds(double lo, double hi, int per_decade);
+
+  /// Log-scale preset for microsecond-valued latency histograms:
+  /// 1us .. 10s at 4 buckets per decade (29 bounds). The serve-layer
+  /// latency/wait histograms record in us and use this.
+  static std::vector<double> LogBoundsUs();
+
  private:
   friend class MetricsRegistry;
   Histogram(std::string name, std::vector<double> bounds);
@@ -177,6 +190,77 @@ class Histogram {
   std::atomic<double> sum_{0.0};
   std::atomic<double> min_{std::numeric_limits<double>::infinity()};
   std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+// ---- Labeled metrics --------------------------------------------------
+
+class MetricsRegistry;
+
+/// Cardinality cap a labeled metric defaults to. Past the cap, every
+/// unseen label value is folded into one `_other` child, so a tenant
+/// id chosen by traffic can never grow the registry without bound.
+inline constexpr size_t kDefaultLabelCardinality = 32;
+
+/// The label value overflow children are registered under.
+inline constexpr const char* kLabelOverflow = "_other";
+
+/// The composed registry name of one labeled child:
+/// `base{key=value}` — e.g. `serve.completed{tenant=acme}`. Children
+/// are ordinary registry metrics, so every existing snapshot/export
+/// path breaks them down with zero new machinery.
+std::string LabeledMetricName(const std::string& base, const std::string& key,
+                              const std::string& value);
+
+/// One label dimension over Counters: `WithLabel(v)` resolves (and on
+/// first sight registers) the child counter `base{key=v}`. The resolve
+/// path takes a shared lock over a small hash map — no global registry
+/// mutex, and writer threads never contend with each other once the
+/// children they touch exist. Cardinality is bounded at construction;
+/// children past the cap alias the `_other` overflow child.
+class LabeledCounter {
+ public:
+  Counter* WithLabel(const std::string& value);
+  /// Distinct non-overflow children registered so far.
+  size_t cardinality() const;
+  const std::string& base() const { return base_; }
+
+ private:
+  friend class MetricsRegistry;
+  LabeledCounter(MetricsRegistry* reg, std::string base, std::string key,
+                 size_t max_cardinality);
+  Counter* Materialize(const std::string& value);
+
+  MetricsRegistry* reg_;
+  std::string base_;
+  std::string key_;
+  size_t max_cardinality_;
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, Counter*> children_;
+  Counter* overflow_ = nullptr;
+};
+
+/// LabeledCounter's shape over Histograms; all children share the
+/// bounds given at registration.
+class LabeledHistogram {
+ public:
+  Histogram* WithLabel(const std::string& value);
+  size_t cardinality() const;
+  const std::string& base() const { return base_; }
+
+ private:
+  friend class MetricsRegistry;
+  LabeledHistogram(MetricsRegistry* reg, std::string base, std::string key,
+                   std::vector<double> bounds, size_t max_cardinality);
+  Histogram* Materialize(const std::string& value);
+
+  MetricsRegistry* reg_;
+  std::string base_;
+  std::string key_;
+  std::vector<double> bounds_;
+  size_t max_cardinality_;
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, Histogram*> children_;
+  Histogram* overflow_ = nullptr;
 };
 
 // ---- Snapshot ---------------------------------------------------------
@@ -226,6 +310,24 @@ class MetricsRegistry {
   Histogram* GetHistogram(const std::string& name,
                           std::vector<double> bounds = {});
 
+  /// Labeled get-or-create, keyed by (base, label key). Cardinality and
+  /// bounds apply only on first registration. Children live in this
+  /// registry under `base{key=value}` names.
+  LabeledCounter* GetLabeledCounter(
+      const std::string& base, const std::string& label_key,
+      size_t max_cardinality = kDefaultLabelCardinality);
+  LabeledHistogram* GetLabeledHistogram(
+      const std::string& base, const std::string& label_key,
+      std::vector<double> bounds = {},
+      size_t max_cardinality = kDefaultLabelCardinality);
+
+  /// Non-creating lookups (nullptr when the name was never registered).
+  /// Introspection paths use these so that *observing* a metric never
+  /// fabricates it.
+  Counter* FindCounter(const std::string& name) const;
+  Gauge* FindGauge(const std::string& name) const;
+  Histogram* FindHistogram(const std::string& name) const;
+
   /// Registers a hook run at the start of every Snapshot() — the way
   /// subsystems with their own internal stats (TensorPool, ThreadPool)
   /// publish gauges without paying anything on their hot paths.
@@ -248,6 +350,10 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // Keyed by base + '\0' + label key (names alone could collide with a
+  // plain metric). Children live in the maps above.
+  std::map<std::string, std::unique_ptr<LabeledCounter>> labeled_counters_;
+  std::map<std::string, std::unique_ptr<LabeledHistogram>> labeled_histograms_;
   std::vector<std::function<void()>> collectors_;
 };
 

@@ -18,6 +18,9 @@ struct SpanBuffer {
   std::mutex mu;
   std::deque<SpanRecord> records;
   uint64_t dropped = 0;
+  size_t cap = kSpanBufferCap;
+  size_t hwm = 0;     ///< max records.size() ever reached
+  uint32_t slot = 0;  ///< obs slot of the owning thread, for HWM gauges
 };
 
 std::mutex g_buffers_mu;
@@ -26,17 +29,49 @@ std::vector<std::shared_ptr<SpanBuffer>>& AllBuffers() {
   return *buffers;
 }
 
-#ifndef AUTODC_DISABLE_OBS
+// Publishes span-buffer health into the snapshot (obs.spans.* gauges):
+// total buffered, total dropped, and the max per-thread high-water
+// mark. Registered once, from the first buffer's creation, so the
+// periodic live exporter surfaces overflow without waiting for the
+// atexit dump.
+void PublishSpanBufferGauges() {
+  std::vector<std::shared_ptr<SpanBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(g_buffers_mu);
+    buffers = AllBuffers();
+  }
+  uint64_t buffered = 0, dropped = 0, hwm = 0;
+  for (const auto& buf : buffers) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    buffered += buf->records.size();
+    dropped += buf->dropped;
+    hwm = std::max<uint64_t>(hwm, buf->hwm);
+  }
+  auto& reg = MetricsRegistry::Global();
+  reg.GetGauge("obs.spans.buffered")->Set(static_cast<double>(buffered));
+  reg.GetGauge("obs.spans.dropped")->Set(static_cast<double>(dropped));
+  reg.GetGauge("obs.spans.hwm")->Set(static_cast<double>(hwm));
+}
 
 SpanBuffer* ThreadBuffer() {
   thread_local std::shared_ptr<SpanBuffer> buffer = [] {
     auto b = std::make_shared<SpanBuffer>();
-    std::lock_guard<std::mutex> lock(g_buffers_mu);
-    AllBuffers().push_back(b);
+    b->slot = static_cast<uint32_t>(internal::Slot());
+    bool first;
+    {
+      std::lock_guard<std::mutex> lock(g_buffers_mu);
+      first = AllBuffers().empty();
+      AllBuffers().push_back(b);
+    }
+    if (first) {
+      MetricsRegistry::Global().AddCollector(&PublishSpanBufferGauges);
+    }
     return b;
   }();
   return buffer.get();
 }
+
+#ifndef AUTODC_DISABLE_OBS
 
 std::chrono::steady_clock::time_point ProcessEpoch() {
   static const auto epoch = std::chrono::steady_clock::now();
@@ -48,25 +83,59 @@ uint64_t NextSpanId() {
   return next.fetch_add(1, std::memory_order_relaxed);
 }
 
-// The innermost live span id on this thread (parent for new spans).
-thread_local std::vector<uint64_t> t_span_stack;
+// The innermost live span on this thread (parent for new spans), plus
+// the trace id nested children inherit.
+struct LiveSpan {
+  uint64_t id = 0;
+  uint64_t trace_id = 0;
+};
+thread_local std::vector<LiveSpan> t_span_stack;
 
 #endif  // !AUTODC_DISABLE_OBS
 
 }  // namespace
 
+uint64_t MintTraceId() {
+#ifndef AUTODC_DISABLE_OBS
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+#else
+  return 0;
+#endif
+}
+
+TraceContext NewTrace() { return {MintTraceId(), 0}; }
+
 #ifndef AUTODC_DISABLE_OBS
 
-Span::Span(std::string name) : name_(std::move(name)) {
+Span::Span(std::string name) : name_(std::move(name)) { Init(nullptr); }
+
+Span::Span(std::string name, const TraceContext& ctx)
+    : name_(std::move(name)) {
+  Init(&ctx);
+}
+
+void Span::Init(const TraceContext* ctx) {
   active_ = Enabled();
   if (!active_) return;
   // AUTODC_TRACE must work even when nothing ever touches the metrics
   // registry; the first live span arms the atexit drain.
   InstallTraceDumpFromEnv();
   id_ = NextSpanId();
-  parent_id_ = t_span_stack.empty() ? 0 : t_span_stack.back();
+  uint64_t local_parent = t_span_stack.empty() ? 0 : t_span_stack.back().id;
+  uint64_t local_trace =
+      t_span_stack.empty() ? 0 : t_span_stack.back().trace_id;
+  if (ctx != nullptr) {
+    // Explicit context wins: the remote parent is the point of handing
+    // a context across threads, even inside another local span.
+    trace_id_ = ctx->trace_id;
+    parent_id_ = ctx->parent_span_id != 0 ? ctx->parent_span_id : local_parent;
+  } else {
+    trace_id_ = local_trace;
+    parent_id_ = local_parent;
+  }
   depth_ = static_cast<uint32_t>(t_span_stack.size());
-  t_span_stack.push_back(id_);
+  t_span_stack.push_back({id_, trace_id_});
   // Pin the process epoch no later than any span's start: if it were
   // first touched in ~Span, the first span would start *before* the
   // epoch and its unsigned start_us would wrap to a huge value,
@@ -79,8 +148,9 @@ Span::~Span() {
   if (!active_) return;
   auto end = std::chrono::steady_clock::now();
   // Pop self. RAII nesting means we are the innermost live span; the
-  // find() tolerates pathological out-of-order destruction anyway.
-  auto it = std::find(t_span_stack.rbegin(), t_span_stack.rend(), id_);
+  // find tolerates pathological out-of-order destruction anyway.
+  auto it = std::find_if(t_span_stack.rbegin(), t_span_stack.rend(),
+                         [&](const LiveSpan& s) { return s.id == id_; });
   if (it != t_span_stack.rend()) {
     t_span_stack.erase(std::next(it).base());
   }
@@ -88,6 +158,7 @@ Span::~Span() {
   rec.name = std::move(name_);
   rec.id = id_;
   rec.parent_id = parent_id_;
+  rec.trace_id = trace_id_;
   rec.depth = depth_;
   rec.thread = static_cast<uint32_t>(internal::Slot());
   rec.start_us = static_cast<uint64_t>(
@@ -101,12 +172,13 @@ Span::~Span() {
   bool dropped = false;
   {
     std::lock_guard<std::mutex> lock(buf->mu);
-    if (buf->records.size() >= kSpanBufferCap) {
+    if (buf->records.size() >= buf->cap) {
       buf->records.pop_front();
       ++buf->dropped;
       dropped = true;
     }
     buf->records.push_back(std::move(rec));
+    buf->hwm = std::max(buf->hwm, buf->records.size());
   }
   // Outside the buffer lock: the first drop registers the counter,
   // which takes the registry mutex.
@@ -151,9 +223,28 @@ uint64_t SpansDropped() {
 
 uint64_t CurrentSpanId() {
 #ifndef AUTODC_DISABLE_OBS
-  if (!t_span_stack.empty()) return t_span_stack.back();
+  if (!t_span_stack.empty()) return t_span_stack.back().id;
 #endif
   return 0;
+}
+
+uint64_t CurrentTraceId() {
+#ifndef AUTODC_DISABLE_OBS
+  if (!t_span_stack.empty()) return t_span_stack.back().trace_id;
+#endif
+  return 0;
+}
+
+void SetThreadSpanBufferCap(size_t cap) {
+  SpanBuffer* buf = ThreadBuffer();
+  std::lock_guard<std::mutex> lock(buf->mu);
+  buf->cap = cap == 0 ? kSpanBufferCap : cap;
+  // Shrinking below the current backlog drops oldest-first, same as
+  // the record path would.
+  while (buf->records.size() > buf->cap) {
+    buf->records.pop_front();
+    ++buf->dropped;
+  }
 }
 
 void ClearSpans() {
@@ -166,6 +257,7 @@ void ClearSpans() {
     std::lock_guard<std::mutex> lock(buf->mu);
     buf->records.clear();
     buf->dropped = 0;
+    buf->hwm = 0;
   }
 }
 

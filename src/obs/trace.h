@@ -14,6 +14,16 @@
 // TakeSpans() drains for export. A ScopedTimer is the cheaper cousin:
 // no record, no parentage — just "elapsed ms into this histogram".
 //
+// Request-scoped tracing: a TraceContext carries a (trace id, span id)
+// pair across thread boundaries. Mint a trace id where a request is
+// admitted, hand the admission span's Context() to whichever thread
+// picks the request up, and construct the downstream Span with that
+// context — the child records the remote span as its parent and the
+// shared trace id, so one request renders as a single connected tree
+// in the Chrome-trace export even though its spans live on different
+// threads. Spans without an explicit context inherit the innermost
+// live span's trace id (0 = untraced).
+//
 // Under AUTODC_DISABLE_OBS both classes compile to empty objects.
 namespace autodc::obs {
 
@@ -26,7 +36,22 @@ struct SpanRecord {
   uint32_t thread = 0;     ///< obs thread slot of the recording thread
   uint64_t start_us = 0;   ///< microseconds since the process obs epoch
   uint64_t duration_us = 0;
+  uint64_t trace_id = 0;   ///< request trace this span belongs to (0 = none)
 };
+
+/// The cross-thread link: enough of a span's identity to parent remote
+/// children under it. Obtained from Span::Context() (or built from
+/// MintTraceId() for a fresh root) and safe to copy through queues.
+struct TraceContext {
+  uint64_t trace_id = 0;       ///< 0 = no trace (children stay untraced)
+  uint64_t parent_span_id = 0; ///< 0 = the remote span becomes a root
+};
+
+/// A fresh process-unique nonzero trace id (0 under AUTODC_DISABLE_OBS).
+uint64_t MintTraceId();
+
+/// Root context for a new request trace: fresh trace id, no parent.
+TraceContext NewTrace();
 
 #ifndef AUTODC_DISABLE_OBS
 
@@ -36,14 +61,26 @@ struct SpanRecord {
 class Span {
  public:
   explicit Span(std::string name);
+  /// Cross-thread form: adopts `ctx`'s trace id and records
+  /// ctx.parent_span_id as the parent (falling back to the local
+  /// innermost span when the context has no parent). While this span
+  /// lives, locally nested Spans inherit the adopted trace id.
+  Span(std::string name, const TraceContext& ctx);
   ~Span();
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
 
+  /// This span's identity as a context for remote children. Valid
+  /// whether or not recording was enabled (ids are 0 when it was not).
+  TraceContext Context() const { return {trace_id_, id_}; }
+
  private:
+  void Init(const TraceContext* ctx);
+
   std::string name_;
   uint64_t id_ = 0;
   uint64_t parent_id_ = 0;
+  uint64_t trace_id_ = 0;
   uint32_t depth_ = 0;
   std::chrono::steady_clock::time_point start_;
   bool active_ = false;  // Enabled() at entry
@@ -73,6 +110,8 @@ class ScopedTimer {
 class Span {
  public:
   explicit Span(const std::string&) {}
+  Span(const std::string&, const TraceContext&) {}
+  TraceContext Context() const { return {}; }
 };
 
 class ScopedTimer {
@@ -96,7 +135,18 @@ uint64_t SpansDropped();
 /// log lines correlate with trace events.
 uint64_t CurrentSpanId();
 
-/// Test hook: drops all buffered spans and zeroes the dropped count.
+/// The innermost live Span's trace id on the calling thread (0 when no
+/// span is open or the innermost span is untraced).
+uint64_t CurrentTraceId();
+
+/// Overrides the calling thread's completed-span buffer capacity
+/// (0 restores kSpanBufferCap). Long-running span-heavy threads — serve
+/// workers tracing sampled requests — raise this so a full load run
+/// drops nothing; the cost is memory on that thread only.
+void SetThreadSpanBufferCap(size_t cap);
+
+/// Test hook: drops all buffered spans and zeroes the dropped count
+/// and per-buffer high-water marks.
 void ClearSpans();
 
 // Per-thread completed-span buffer capacity; older spans are dropped

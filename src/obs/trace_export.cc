@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <set>
+#include <unordered_map>
 
 #include "src/common/env.h"
 #include "src/common/json.h"
@@ -32,6 +33,8 @@ void AppendCompleteEvent(const SpanRecord& s, std::string* out) {
   out->append(std::to_string(s.id));
   out->append(",\"parent_id\":");
   out->append(std::to_string(s.parent_id));
+  out->append(",\"trace_id\":");
+  out->append(std::to_string(s.trace_id));
   out->append(",\"depth\":");
   out->append(std::to_string(s.depth));
   out->append("}}");
@@ -50,14 +53,37 @@ void AppendMetadataEvent(const std::string& name, int tid,
   out->append("\"}}");
 }
 
+// One flow arrow (ph "s" start / ph "f" finish) binding a cross-thread
+// parent to its child so the viewer draws the request as one connected
+// tree instead of two unrelated slices. The flow id is the child's span
+// id — unique per edge.
+void AppendFlowEvent(const char* ph, uint64_t flow_id, uint64_t ts,
+                     uint32_t tid, std::string* out) {
+  out->append("{\"name\":\"autodc.link\",\"cat\":\"autodc\",\"ph\":\"");
+  out->append(ph);
+  out->append("\",\"id\":");
+  out->append(std::to_string(flow_id));
+  out->append(",\"ts\":");
+  out->append(std::to_string(ts));
+  out->append(",\"pid\":");
+  out->append(std::to_string(kTracePid));
+  out->append(",\"tid\":");
+  out->append(std::to_string(tid));
+  if (ph[0] == 'f') out->append(",\"bp\":\"e\"");
+  out->append("}");
+}
+
 }  // namespace
 
 std::string FormatChromeTrace(const std::vector<SpanRecord>& spans,
                               uint64_t spans_dropped) {
-  // Parents before children: at equal start the longer span is the
-  // enclosing one, and ids break the remaining ties (ids grow in
-  // creation order, so a zero-length parent still precedes its
-  // zero-length child).
+  // Parents before children: span ids are allotted in creation order,
+  // and a parent exists before any of its children — on its own thread
+  // by RAII nesting, across threads because a TraceContext is copied
+  // out of a live span. So sorting by (ts, id) puts every parent ahead
+  // of its children even when microsecond truncation collapses their
+  // start times (where a duration tie-break would misorder a short
+  // cross-thread admission span behind its long-running child).
   std::vector<const SpanRecord*> ordered;
   ordered.reserve(spans.size());
   for (const SpanRecord& s : spans) ordered.push_back(&s);
@@ -66,14 +92,14 @@ std::string FormatChromeTrace(const std::vector<SpanRecord>& spans,
                      if (a->start_us != b->start_us) {
                        return a->start_us < b->start_us;
                      }
-                     if (a->duration_us != b->duration_us) {
-                       return a->duration_us > b->duration_us;
-                     }
                      return a->id < b->id;
                    });
 
   std::set<uint32_t> tids;
   for (const SpanRecord& s : spans) tids.insert(s.thread);
+  std::unordered_map<uint64_t, const SpanRecord*> by_id;
+  by_id.reserve(spans.size());
+  for (const SpanRecord& s : spans) by_id.emplace(s.id, &s);
 
   std::string out;
   out.reserve(64 + spans.size() * 160);
@@ -91,10 +117,27 @@ std::string FormatChromeTrace(const std::vector<SpanRecord>& spans,
     first = false;
     AppendCompleteEvent(*s, &out);
   }
+  // Flow arrows for every parent/child edge that crosses threads (the
+  // in-thread edges are already drawn by track nesting). Emitted in the
+  // children's sorted order, so equal inputs yield equal bytes.
+  uint64_t flow_edges = 0;
+  for (const SpanRecord* s : ordered) {
+    if (s->parent_id == 0) continue;
+    auto it = by_id.find(s->parent_id);
+    if (it == by_id.end() || it->second->thread == s->thread) continue;
+    const SpanRecord* parent = it->second;
+    out.push_back(',');
+    AppendFlowEvent("s", s->id, parent->start_us, parent->thread, &out);
+    out.push_back(',');
+    AppendFlowEvent("f", s->id, s->start_us, s->thread, &out);
+    ++flow_edges;
+  }
   out.append("],\"displayTimeUnit\":\"ms\",\"otherData\":{\"spans\":");
   out.append(std::to_string(spans.size()));
   out.append(",\"spans_dropped\":");
   out.append(std::to_string(spans_dropped));
+  out.append(",\"flow_edges\":");
+  out.append(std::to_string(flow_edges));
   out.append(",\"clock\":\"us since process obs epoch\"}}");
   return out;
 }

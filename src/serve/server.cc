@@ -1,9 +1,11 @@
 #include "src/serve/server.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "src/common/env.h"
+#include "src/common/json.h"
 #include "src/data/table_file.h"
 #include "src/obs/metrics.h"
 #include "src/serve/fingerprint.h"
@@ -18,6 +20,43 @@ ServeResponse StatusResponse(ServeStatus status, std::string message) {
   resp.message = std::move(message);
   return resp;
 }
+
+#ifndef AUTODC_DISABLE_OBS
+// The serve layer's metric handles, resolved once. Latency/wait
+// histograms record MICROSECONDS and need the log-scale preset — the
+// old default decade-of-ms bounds collapsed every µs-scale latency
+// into one bucket, making p99 unresolvable from bucket counts. The
+// labeled families break serve.completed / serve.latency_us down per
+// tenant and per request kind with bounded cardinality.
+//
+// Direct pointer members (not the AUTODC_OBS_* macros) would break the
+// zero-overhead AUTODC_DISABLE_OBS contract as server fields, so they
+// live in this #ifdef'd function-local static instead.
+struct ServeMetrics {
+  obs::Histogram* latency_us;
+  obs::Histogram* queue_wait_us;
+  obs::LabeledCounter* completed_tenant;
+  obs::LabeledCounter* completed_kind;
+  obs::LabeledHistogram* latency_tenant;
+
+  static const ServeMetrics& Get() {
+    static const ServeMetrics m = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      ServeMetrics s;
+      s.latency_us = reg.GetHistogram("serve.latency_us",
+                                      obs::Histogram::LogBoundsUs());
+      s.queue_wait_us = reg.GetHistogram("serve.queue.wait_us",
+                                         obs::Histogram::LogBoundsUs());
+      s.completed_tenant = reg.GetLabeledCounter("serve.completed", "tenant");
+      s.completed_kind = reg.GetLabeledCounter("serve.completed", "kind");
+      s.latency_tenant = reg.GetLabeledHistogram(
+          "serve.latency_us", "tenant", obs::Histogram::LogBoundsUs());
+      return s;
+    }();
+    return m;
+  }
+};
+#endif  // !AUTODC_DISABLE_OBS
 
 double MicrosSince(std::chrono::steady_clock::time_point since,
                    std::chrono::steady_clock::time_point now) {
@@ -38,6 +77,10 @@ ServeConfig ServeConfigFromEnv() {
                                    c.tenant_inflight_cap, 1, size_t{1} << 20);
   c.session_capacity =
       EnvSizeT("AUTODC_SERVE_SESSIONS", c.session_capacity, 1, 4096);
+  c.trace_sample =
+      EnvDouble("AUTODC_SERVE_TRACE_SAMPLE", c.trace_sample, 0.0, 1.0);
+  c.worker_span_buffer = EnvSizeT("AUTODC_SERVE_SPAN_BUFFER",
+                                  c.worker_span_buffer, 0, size_t{1} << 24);
   return c;
 }
 
@@ -181,7 +224,18 @@ std::shared_ptr<PendingBatch> CurationServer::SubmitMany(
       }
       ++inflight;
       ++enqueued;
-      queue_.push_back(Item{r, group, i, now});
+      Item item{r, group, i, now, obs::TraceContext{}};
+#ifndef AUTODC_DISABLE_OBS
+      if (SampleTrace()) {
+        // The admission span is the trace root: it marks where the
+        // request entered and hands its identity to whichever worker
+        // picks the request up. It closes here (admission is a point
+        // event); the worker spans parent under it by context.
+        obs::Span admit("serve.admit", obs::NewTrace());
+        item.trace = admit.Context();
+      }
+#endif
+      queue_.push_back(std::move(item));
     }
     admitted_.fetch_add(enqueued, std::memory_order_relaxed);
     AUTODC_OBS_COUNT("serve.admit", enqueued);
@@ -208,7 +262,27 @@ ServeResponse CurationServer::ExecuteSequential(const ServeRequest& request) {
   return session->Execute(request);
 }
 
+bool CurationServer::SampleTrace() {
+#ifndef AUTODC_DISABLE_OBS
+  double rate = config_.trace_sample;
+  if (rate <= 0.0) return false;
+  if (rate >= 1.0) return true;
+  // Stride sampling: request n is traced when the accumulated quota
+  // floor((n+1)*rate) crosses an integer. Deterministic — no RNG on
+  // the admission path — and exact over any window: k of every
+  // ceil(1/rate)-ish requests.
+  uint64_t n = trace_seq_.fetch_add(1, std::memory_order_relaxed);
+  double a = static_cast<double>(n) * rate;
+  return std::floor(a + rate) > std::floor(a);
+#else
+  return false;
+#endif
+}
+
 void CurationServer::WorkerLoop() {
+  // Workers are long-lived and span-heavy under sampling; a bigger
+  // completed-span buffer means a full bench run drops zero spans.
+  obs::SetThreadSpanBufferCap(config_.worker_span_buffer);
   std::vector<Item> batch;
   for (;;) {
     batch.clear();
@@ -261,9 +335,34 @@ void CurationServer::ExecuteAndComplete(std::vector<Item>* batch) {
   batches_.fetch_add(1, std::memory_order_relaxed);
   AUTODC_OBS_INC("serve.batches");
   AUTODC_OBS_HIST("serve.batch.size", static_cast<double>(n));
+#ifndef AUTODC_DISABLE_OBS
+  const ServeMetrics& sm = ServeMetrics::Get();
   for (const Item& item : *batch) {
-    AUTODC_OBS_HIST("serve.queue.wait_us", MicrosSince(item.enqueued, start));
+    sm.queue_wait_us->Record(MicrosSince(item.enqueued, start));
   }
+  // Worker-side spans for sampled requests: "serve.batch" covers the
+  // request's whole residency in this batch, "serve.execute" the model
+  // forward inside it. Both adopt the admission span's context, so the
+  // request is one connected tree across the submitter thread and this
+  // worker. Untraced batches never touch the vectors.
+  std::vector<std::unique_ptr<obs::Span>> batch_spans;
+  bool any_traced = false;
+  for (const Item& item : *batch) {
+    if (item.trace.trace_id != 0) {
+      any_traced = true;
+      break;
+    }
+  }
+  if (any_traced) {
+    batch_spans.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      if ((*batch)[i].trace.trace_id != 0) {
+        batch_spans[i] =
+            std::make_unique<obs::Span>("serve.batch", (*batch)[i].trace);
+      }
+    }
+  }
+#endif
 
   std::shared_ptr<Session> session = sessions_.Get((*batch)[0].request.session);
   std::vector<ServeResponse> responses;
@@ -279,7 +378,23 @@ void CurationServer::ExecuteAndComplete(std::vector<Item>* batch) {
     std::vector<const ServeRequest*> requests;
     requests.reserve(n);
     for (const Item& item : *batch) requests.push_back(&item.request);
+#ifndef AUTODC_DISABLE_OBS
+    {
+      std::vector<std::unique_ptr<obs::Span>> exec_spans;
+      if (any_traced) {
+        exec_spans.resize(n);
+        for (size_t i = 0; i < n; ++i) {
+          if (batch_spans[i] != nullptr) {
+            exec_spans[i] = std::make_unique<obs::Span>(
+                "serve.execute", batch_spans[i]->Context());
+          }
+        }
+      }
+      responses = session->ExecuteBatch(requests);
+    }
+#else
     responses = session->ExecuteBatch(requests);
+#endif
   }
 
   // Account BEFORE waking clients: a caller returning from Wait() must
@@ -287,9 +402,26 @@ void CurationServer::ExecuteAndComplete(std::vector<Item>* batch) {
   // budget already released (otherwise an immediate pipelined resubmit
   // can bounce off its own not-yet-decremented window).
   auto end = std::chrono::steady_clock::now();
-  for (const Item& item : *batch) {
-    AUTODC_OBS_HIST("serve.latency_us", MicrosSince(item.enqueued, end));
+#ifndef AUTODC_DISABLE_OBS
+  // Per-tenant rollups by coalesced run: batches come off the queue in
+  // contiguous same-tenant stretches, so label resolution happens once
+  // per run, not once per request.
+  sm.completed_kind->WithLabel(RequestKindName((*batch)[0].request.kind))
+      ->Add(n);
+  for (size_t i = 0; i < n;) {
+    const std::string& tenant = (*batch)[i].request.tenant;
+    size_t j = i;
+    obs::Histogram* tenant_lat = sm.latency_tenant->WithLabel(tenant);
+    while (j < n && (*batch)[j].request.tenant == tenant) {
+      double lat = MicrosSince((*batch)[j].enqueued, end);
+      sm.latency_us->Record(lat);
+      tenant_lat->Record(lat);
+      ++j;
+    }
+    sm.completed_tenant->WithLabel(tenant)->Add(j - i);
+    i = j;
   }
+#endif
   completed_.fetch_add(n, std::memory_order_relaxed);
   AUTODC_OBS_COUNT("serve.completed", n);
   DecrementInflight(*batch);
@@ -357,6 +489,63 @@ void CurationServer::Stop() {
     }
     stopped_.store(true, std::memory_order_release);
   });
+}
+
+CurationServer::DebugSnapshot CurationServer::GetDebugSnapshot() {
+  DebugSnapshot d;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    d.queue_depth = queue_.size();
+    d.inflight_tenants = tenant_inflight_.size();
+    for (const auto& [tenant, count] : tenant_inflight_) {
+      d.inflight_requests += count;
+    }
+    d.stopping = stopping_;
+  }
+  d.stats = stats();
+  d.sessions = sessions_.size();
+  d.session_capacity = sessions_.capacity();
+  SessionCache::Stats cs = sessions_.stats();
+  d.session_hits = cs.hits;
+  d.session_misses = cs.misses;
+  d.session_evictions = cs.evictions;
+  d.threads = config_.threads;
+  d.queue_cap = config_.queue_cap;
+  d.batch_max = config_.batch_max;
+  return d;
+}
+
+std::string CurationServer::DebugSnapshotJson() {
+  DebugSnapshot d = GetDebugSnapshot();
+  JsonObject queue;
+  queue.Set("depth", static_cast<size_t>(d.queue_depth))
+      .Set("cap", d.queue_cap)
+      .Set("inflight_tenants", d.inflight_tenants)
+      .Set("inflight_requests", static_cast<size_t>(d.inflight_requests));
+  JsonObject stats;
+  stats.Set("admitted", static_cast<size_t>(d.stats.admitted))
+      .Set("rejected_queue_full",
+           static_cast<size_t>(d.stats.rejected_queue_full))
+      .Set("rejected_tenant_cap",
+           static_cast<size_t>(d.stats.rejected_tenant_cap))
+      .Set("shutdown_flushed", static_cast<size_t>(d.stats.shutdown_flushed))
+      .Set("completed", static_cast<size_t>(d.stats.completed))
+      .Set("batches", static_cast<size_t>(d.stats.batches))
+      .Set("mean_batch", d.stats.MeanBatch());
+  JsonObject sessions;
+  sessions.Set("resident", d.sessions)
+      .Set("capacity", d.session_capacity)
+      .Set("hits", static_cast<size_t>(d.session_hits))
+      .Set("misses", static_cast<size_t>(d.session_misses))
+      .Set("evictions", static_cast<size_t>(d.session_evictions));
+  JsonObject out;
+  out.SetRaw("stopping", d.stopping ? "true" : "false");
+  out.Set("threads", d.threads)
+      .Set("batch_max", d.batch_max)
+      .SetRaw("queue", queue.str())
+      .SetRaw("stats", stats.str())
+      .SetRaw("sessions", sessions.str());
+  return out.str();
 }
 
 CurationServer::Stats CurationServer::stats() const {

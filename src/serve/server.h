@@ -15,6 +15,7 @@
 
 #include "src/common/result.h"
 #include "src/data/table.h"
+#include "src/obs/trace.h"
 #include "src/serve/request.h"
 #include "src/serve/session.h"
 #include "src/serve/session_cache.h"
@@ -42,12 +43,21 @@ struct ServeConfig {
   size_t tenant_inflight_cap = 256;
   /// LRU slots in the session/model cache.
   size_t session_capacity = 8;
+  /// Fraction of admitted requests that get a request-scoped trace
+  /// (admission → batch → execute spans under one trace id). 0 = off
+  /// (the default: tracing every request costs real QPS), 1 = all.
+  double trace_sample = 0.0;
+  /// Per-worker completed-span buffer capacity (0 = the library
+  /// default, obs::kSpanBufferCap). Sized so a full bench_serve run at
+  /// trace_sample=1 drops zero spans.
+  size_t worker_span_buffer = 65536;
   SessionConfig session;
 };
 
 /// ServeConfig from AUTODC_SERVE_THREADS, AUTODC_SERVE_QUEUE_CAP,
 /// AUTODC_SERVE_BATCH_MAX, AUTODC_SERVE_BATCH_WAIT_US,
-/// AUTODC_SERVE_TENANT_CAP, AUTODC_SERVE_SESSIONS (defaults above).
+/// AUTODC_SERVE_TENANT_CAP, AUTODC_SERVE_SESSIONS,
+/// AUTODC_SERVE_TRACE_SAMPLE, AUTODC_SERVE_SPAN_BUFFER (defaults above).
 ServeConfig ServeConfigFromEnv();
 
 /// Completion handle for one Submit/SubmitMany call: responses land
@@ -144,12 +154,37 @@ class CurationServer {
   };
   Stats stats() const;
 
+  /// One consistent live view of the server's internals — what obs_top
+  /// renders and what an operator asks for when the server misbehaves.
+  /// Cheap: one short critical section, no model or session work.
+  struct DebugSnapshot {
+    uint64_t queue_depth = 0;
+    size_t inflight_tenants = 0;    ///< tenants with admitted work
+    uint64_t inflight_requests = 0; ///< admitted-but-incomplete requests
+    bool stopping = false;
+    Stats stats;
+    size_t sessions = 0;
+    size_t session_capacity = 0;
+    uint64_t session_hits = 0;
+    uint64_t session_misses = 0;
+    uint64_t session_evictions = 0;
+    size_t threads = 0;
+    size_t queue_cap = 0;
+    size_t batch_max = 0;
+  };
+  DebugSnapshot GetDebugSnapshot();
+  /// The snapshot as a one-line JSON object (common/json escaping).
+  std::string DebugSnapshotJson();
+
  private:
   struct Item {
     ServeRequest request;
     std::shared_ptr<PendingBatch> group;
     size_t slot = 0;
     std::chrono::steady_clock::time_point enqueued;
+    /// Nonzero trace_id = this request was sampled for tracing; the
+    /// context is the admission span, which worker spans parent under.
+    obs::TraceContext trace;
   };
 
   void WorkerLoop();
@@ -158,6 +193,8 @@ class CurationServer {
   bool NextBatch(std::vector<Item>* batch);
   void ExecuteAndComplete(std::vector<Item>* batch);
   void DecrementInflight(const std::vector<Item>& batch);
+  /// Deterministic stride sampling against config_.trace_sample.
+  bool SampleTrace();
 
   ServeConfig config_;
   SessionCache sessions_;
@@ -180,6 +217,7 @@ class CurationServer {
   std::atomic<uint64_t> shutdown_flushed_{0};
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> trace_seq_{0};  ///< stride-sampling sequence
 };
 
 }  // namespace autodc::serve

@@ -1,0 +1,442 @@
+// The live observability plane (DESIGN.md §14): log-scale histogram
+// bounds, bounded-cardinality labeled metrics (including the concurrent
+// WithLabel path — a TSan subject), the sliding-window quantile
+// estimator, the edge-triggered SLO tripwire, the background monitor's
+// atomic snapshot-file writes, and the per-thread span buffer knob the
+// serve workers use.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/json_parse.h"
+#include "src/obs/live.h"
+#include "src/obs/log.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace autodc::obs {
+namespace {
+
+MetricsRegistry& Reg() { return MetricsRegistry::Global(); }
+
+// ---------- log-scale bounds ------------------------------------------
+
+TEST(LogBoundsTest, OnePerDecadeIsSnappedPowersOfTen) {
+  std::vector<double> b = Histogram::LogBounds(1.0, 1000.0, 1);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_DOUBLE_EQ(b[0], 1.0);
+  EXPECT_DOUBLE_EQ(b[1], 10.0);
+  EXPECT_DOUBLE_EQ(b[2], 100.0);
+  EXPECT_DOUBLE_EQ(b[3], 1000.0);
+}
+
+TEST(LogBoundsTest, StrictlyAscendingAndGeometric) {
+  std::vector<double> b = Histogram::LogBounds(1.0, 1e6, 4);
+  ASSERT_GE(b.size(), 2u);
+  EXPECT_DOUBLE_EQ(b.front(), 1.0);
+  EXPECT_DOUBLE_EQ(b.back(), 1e6);
+  const double step = std::pow(10.0, 0.25);
+  for (size_t i = 1; i < b.size(); ++i) {
+    EXPECT_GT(b[i], b[i - 1]);
+    EXPECT_NEAR(b[i] / b[i - 1], step, 1e-6);
+  }
+}
+
+TEST(LogBoundsTest, MicrosecondPresetCoversServingLatencies) {
+  std::vector<double> b = Histogram::LogBoundsUs();
+  ASSERT_FALSE(b.empty());
+  EXPECT_DOUBLE_EQ(b.front(), 1.0);   // 1us floor
+  EXPECT_DOUBLE_EQ(b.back(), 1e7);    // 10s ceiling
+  // 7 decades at 4 per decade plus the 1us floor bound.
+  EXPECT_EQ(b.size(), 29u);
+  // The old decade-wide default collapsed 100us..1ms into one bucket;
+  // the preset must resolve inside that decade.
+  size_t inside = 0;
+  for (double x : b) {
+    if (x > 100.0 && x < 1000.0) ++inside;
+  }
+  EXPECT_EQ(inside, 3u);
+}
+
+// ---------- labeled metrics -------------------------------------------
+
+TEST(LabeledMetricsTest, ChildNameFormatAndRegistryVisibility) {
+  EXPECT_EQ(LabeledMetricName("serve.completed", "tenant", "acme"),
+            "serve.completed{tenant=acme}");
+
+  LabeledCounter* lc = Reg().GetLabeledCounter("live_test.reqs", "tenant");
+  Counter* acme = lc->WithLabel("acme");
+  ASSERT_NE(acme, nullptr);
+  EXPECT_EQ(acme->name(), "live_test.reqs{tenant=acme}");
+  acme->Add(3);
+  // Same label resolves to the same child; a different label does not.
+  EXPECT_EQ(lc->WithLabel("acme"), acme);
+  EXPECT_NE(lc->WithLabel("other"), acme);
+  EXPECT_EQ(lc->cardinality(), 2u);
+
+  // Children are ordinary registry metrics: every existing export path
+  // (snapshot, exit dump, the live snapshot file) sees them for free.
+  MetricsSnapshot snap = Reg().Snapshot();
+  const CounterSample* s = snap.FindCounter("live_test.reqs{tenant=acme}");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->value, 3u);
+}
+
+TEST(LabeledMetricsTest, SameBaseAndKeyShareOneFamily) {
+  LabeledCounter* a = Reg().GetLabeledCounter("live_test.fam", "tenant");
+  LabeledCounter* b = Reg().GetLabeledCounter("live_test.fam", "tenant");
+  EXPECT_EQ(a, b);
+  // A different label key on the same base is a distinct family.
+  LabeledCounter* c = Reg().GetLabeledCounter("live_test.fam", "kind");
+  EXPECT_NE(a, c);
+}
+
+TEST(LabeledMetricsTest, CardinalityCapFoldsIntoOverflowChild) {
+  LabeledCounter* lc =
+      Reg().GetLabeledCounter("live_test.capped", "tenant", /*max=*/3);
+  for (int i = 0; i < 3; ++i) {
+    lc->WithLabel("t" + std::to_string(i))->Inc();
+  }
+  EXPECT_EQ(lc->cardinality(), 3u);
+
+  // Every unseen label past the cap aliases the one _other child — an
+  // adversarial tenant id stream cannot grow the registry unboundedly.
+  Counter* spill1 = lc->WithLabel("surprise");
+  Counter* spill2 = lc->WithLabel("another");
+  ASSERT_NE(spill1, nullptr);
+  EXPECT_EQ(spill1, spill2);
+  EXPECT_EQ(spill1->name(), "live_test.capped{tenant=_other}");
+  spill1->Inc();
+  spill2->Inc();
+  EXPECT_EQ(lc->cardinality(), 3u);
+  EXPECT_EQ(spill1->Value(), 2u);
+  // Pre-cap children keep resolving to themselves, not to _other.
+  EXPECT_EQ(lc->WithLabel("t1")->name(), "live_test.capped{tenant=t1}");
+}
+
+TEST(LabeledMetricsTest, LabeledHistogramChildrenShareBounds) {
+  std::vector<double> bounds = {1.0, 10.0, 100.0};
+  LabeledHistogram* lh =
+      Reg().GetLabeledHistogram("live_test.lat", "tenant", bounds);
+  Histogram* h = lh->WithLabel("acme");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->bounds(), bounds);
+  EXPECT_EQ(lh->WithLabel("zeta")->bounds(), bounds);
+  h->Record(5.0);
+  EXPECT_EQ(h->TotalCount(), 1u);
+}
+
+// The TSan subject: many threads resolving a mix of new and existing
+// labels concurrently, with every increment landing exactly once.
+TEST(LabeledMetricsTest, ConcurrentWithLabelIsExactAndRaceFree) {
+  LabeledCounter* lc =
+      Reg().GetLabeledCounter("live_test.conc", "tenant", /*max=*/8);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([lc, t] {
+      for (int i = 0; i < kIters; ++i) {
+        // 12 distinct labels over a cap of 8: the tail contends on the
+        // Materialize path and the overflow child simultaneously.
+        lc->WithLabel("t" + std::to_string((t + i) % 12))->Inc();
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(lc->cardinality(), 8u);
+
+  MetricsSnapshot snap = Reg().Snapshot();
+  uint64_t total = 0;
+  for (const CounterSample& c : snap.counters) {
+    if (c.name.rfind("live_test.conc{", 0) == 0) total += c.value;
+  }
+  EXPECT_EQ(total, static_cast<uint64_t>(kThreads) * kIters);
+}
+
+// ---------- sliding-window quantiles ----------------------------------
+
+TEST(SlidingQuantileTest, EmptyWindowIsNaN) {
+  Histogram* h = Reg().GetHistogram("live_test.sq.empty", {1.0, 10.0, 100.0});
+  SlidingQuantile sq(h, 4);
+  EXPECT_EQ(sq.WindowCount(), 0u);
+  EXPECT_TRUE(std::isnan(sq.Quantile(0.5)));
+  sq.Tick();  // a tick over no recordings is still empty
+  EXPECT_TRUE(std::isnan(sq.Quantile(0.99)));
+}
+
+TEST(SlidingQuantileTest, InterpolatesInsideTheCoveringBucket) {
+  Histogram* h = Reg().GetHistogram("live_test.sq.interp", {10.0, 20.0, 40.0});
+  SlidingQuantile sq(h, 4);
+  // 10 samples in [10, 20): ranks 1..10 all land in bucket 1.
+  for (int i = 0; i < 10; ++i) h->Record(15.0);
+  sq.Tick();
+  EXPECT_EQ(sq.WindowCount(), 10u);
+  // p50 → rank 5 of 10 → halfway through [10, 20).
+  EXPECT_NEAR(sq.Quantile(0.5), 15.0, 1e-9);
+  EXPECT_NEAR(sq.Quantile(1.0), 20.0, 1e-9);
+  // Values recorded before construction are not in the window: the
+  // estimator seeds from the histogram's current cumulative counts.
+  SlidingQuantile fresh(h, 4);
+  fresh.Tick();
+  EXPECT_EQ(fresh.WindowCount(), 0u);
+}
+
+TEST(SlidingQuantileTest, OverflowBucketClampsToTopBound) {
+  Histogram* h = Reg().GetHistogram("live_test.sq.over", {10.0, 100.0});
+  SlidingQuantile sq(h, 2);
+  for (int i = 0; i < 4; ++i) h->Record(1e6);  // all overflow
+  sq.Tick();
+  EXPECT_DOUBLE_EQ(sq.Quantile(0.99), 100.0);
+}
+
+TEST(SlidingQuantileTest, WindowEvictsOldTicks) {
+  Histogram* h = Reg().GetHistogram("live_test.sq.window", {10.0, 100.0});
+  SlidingQuantile sq(h, 3);
+  for (int i = 0; i < 8; ++i) h->Record(5.0);
+  sq.Tick();  // the burst lands in tick 1
+  EXPECT_EQ(sq.WindowCount(), 8u);
+  sq.Tick();
+  sq.Tick();
+  EXPECT_EQ(sq.WindowCount(), 8u);  // still inside the 3-tick window
+  sq.Tick();  // tick 4 evicts tick 1
+  EXPECT_EQ(sq.WindowCount(), 0u);
+  EXPECT_TRUE(std::isnan(sq.Quantile(0.99)));
+  // The histogram itself is cumulative and unaffected by the window.
+  EXPECT_EQ(h->TotalCount(), 8u);
+}
+
+TEST(SlidingQuantileTest, WindowTracksShiftingDistribution) {
+  Histogram* h =
+      Reg().GetHistogram("live_test.sq.shift", Histogram::LogBoundsUs());
+  SlidingQuantile sq(h, 2);
+  for (int i = 0; i < 100; ++i) h->Record(50.0);  // fast regime
+  sq.Tick();
+  double fast_p99 = sq.Quantile(0.99);
+  for (int i = 0; i < 100; ++i) h->Record(5000.0);  // slow regime
+  sq.Tick();
+  sq.Tick();  // fast tick evicted; only the slow regime remains
+  double slow_p99 = sq.Quantile(0.99);
+  EXPECT_LT(fast_p99, 100.0);
+  EXPECT_GT(slow_p99, 1000.0);
+}
+
+TEST(SlidingQuantileTest, SurvivesRegistryReset) {
+  Histogram* h = Reg().GetHistogram("live_test.sq.reset", {10.0, 100.0});
+  h->Record(5.0);
+  SlidingQuantile sq(h, 4);
+  Reg().ResetValues();  // cumulative counts shrink under the estimator
+  h->Record(50.0);
+  h->Record(50.0);
+  sq.Tick();  // post-reset counts absorbed as this tick's delta
+  EXPECT_EQ(sq.WindowCount(), 2u);
+  EXPECT_NEAR(sq.Quantile(1.0), 100.0, 1e-9);
+}
+
+// ---------- SLO tripwire ----------------------------------------------
+
+std::vector<LogRecord>* CapturedLogs() {
+  static std::vector<LogRecord> logs;
+  return &logs;
+}
+void CaptureLog(const LogRecord& r) { CapturedLogs()->push_back(r); }
+
+size_t CountLogs(const std::string& needle) {
+  size_t n = 0;
+  for (const LogRecord& r : *CapturedLogs()) {
+    if (r.message.find(needle) != std::string::npos) ++n;
+  }
+  return n;
+}
+
+TEST(SloTripwireTest, QueueDepthBreachIsEdgeTriggered) {
+  ASSERT_FALSE(LiveMonitorRunning());
+  Gauge* depth = Reg().GetGauge("serve.queue.depth");
+  depth->Set(0.0);
+  uint64_t breaches_before = 0;
+  if (const Counter* c = Reg().FindCounter("serve.slo.breaches")) {
+    breaches_before = c->Value();
+  }
+
+  LogLevel saved_level = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);  // the recovery line is INFO
+  CapturedLogs()->clear();
+  SetLogSinkForTest(&CaptureLog);
+
+  LiveMonitorConfig cfg;
+  cfg.interval_ms = 3600 * 1000;  // never fires on its own
+  cfg.slo.queue_depth = 10.0;
+  ASSERT_TRUE(StartLiveMonitor(cfg));
+  EXPECT_TRUE(LiveMonitorRunning());
+  EXPECT_FALSE(StartLiveMonitor(cfg));  // one monitor at a time
+
+  LiveMonitorTickForTest();  // depth 0: healthy
+  EXPECT_EQ(Reg().FindGauge("serve.slo.breached.queue_depth")->Value(), 0.0);
+
+  depth->Set(50.0);
+  LiveMonitorTickForTest();  // breach entry
+  LiveMonitorTickForTest();  // sustained breach
+  LiveMonitorTickForTest();
+  EXPECT_EQ(Reg().FindGauge("serve.slo.breached.queue_depth")->Value(), 1.0);
+
+  depth->Set(2.0);
+  LiveMonitorTickForTest();  // recovery
+  EXPECT_EQ(Reg().FindGauge("serve.slo.breached.queue_depth")->Value(), 0.0);
+
+  StopLiveMonitor();
+  SetLogSinkForTest(nullptr);
+  SetLogLevel(saved_level);
+  EXPECT_FALSE(LiveMonitorRunning());
+
+  // One breach entry → exactly one counter bump, regardless of how many
+  // ticks the breach lasted.
+  EXPECT_EQ(Reg().FindCounter("serve.slo.breaches")->Value(),
+            breaches_before + 1);
+#ifndef AUTODC_DISABLE_OBS
+  // Edge-triggered logging: one WARN on entry, one INFO on recovery —
+  // a sustained breach never spams.
+  EXPECT_EQ(CountLogs("SLO breach: serve.queue.depth"), 1u);
+  EXPECT_EQ(CountLogs("SLO recovered: serve.queue.depth"), 1u);
+#endif
+  CapturedLogs()->clear();
+}
+
+// ---------- the monitor end to end ------------------------------------
+
+TEST(LiveMonitorTest, PublishesWindowQuantilesFromServeHistograms) {
+  ASSERT_FALSE(LiveMonitorRunning());
+  // The serve layer registers these on first request; here the test
+  // stands in for it (same name, same log-scale bounds).
+  Histogram* lat =
+      Reg().GetHistogram("serve.latency_us", Histogram::LogBoundsUs());
+  // Counters must exist before the first tick for that tick to seed the
+  // rate window (observation never fabricates serve metrics).
+  Counter* admit = Reg().GetCounter("serve.admit");
+  Counter* reject = Reg().GetCounter("serve.reject.queue_full");
+
+  LiveMonitorConfig cfg;
+  cfg.interval_ms = 3600 * 1000;
+  cfg.window_ticks = 4;
+  ASSERT_TRUE(StartLiveMonitor(cfg));
+  uint64_t tick0 = LiveMonitorTicks();
+  LiveMonitorTickForTest();  // attaches the estimator, seeds the window
+  for (int i = 0; i < 200; ++i) lat->Record(100.0);
+  admit->Add(90);
+  reject->Add(10);
+  LiveMonitorTickForTest();
+  EXPECT_EQ(LiveMonitorTicks(), tick0 + 2);
+
+  const Gauge* p50 = Reg().FindGauge("serve.latency_p50");
+  const Gauge* p99 = Reg().FindGauge("serve.latency_p99");
+  ASSERT_NE(p50, nullptr);
+  ASSERT_NE(p99, nullptr);
+  // All 200 samples sit in the log bucket covering 100us.
+  EXPECT_GT(p50->Value(), 50.0);
+  EXPECT_LE(p50->Value(), 180.0);
+  EXPECT_GE(p99->Value(), p50->Value());
+
+  // Reject rate over the window: the 10 rejects / 100 attempts between
+  // the two ticks show up exactly.
+  const Gauge* rate = Reg().FindGauge("serve.reject_rate");
+  ASSERT_NE(rate, nullptr);
+  EXPECT_NEAR(rate->Value(), 0.1, 1e-9);
+
+  StopLiveMonitor();
+}
+
+TEST(LiveMonitorTest, SnapshotFileIsAtomicallyRewrittenValidJson) {
+  ASSERT_FALSE(LiveMonitorRunning());
+  std::string path = testing::TempDir() + "/live_snap.json";
+  std::remove(path.c_str());
+
+  LiveMonitorConfig cfg;
+  cfg.interval_ms = 3600 * 1000;
+  cfg.snapshot_path = path;
+  ASSERT_TRUE(StartLiveMonitor(cfg));
+  LiveMonitorTickForTest();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "monitor tick did not write " << path;
+  std::string body((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  auto parsed = ParseJson(body);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const JsonValue& doc = parsed.ValueOrDie();
+  EXPECT_NE(doc.Find("ts_ms"), nullptr);
+  EXPECT_NE(doc.Find("tick"), nullptr);
+  const JsonValue* metrics = doc.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  // The embedded snapshot carries the monitor's own tick gauge.
+  bool saw_ticks = false;
+  if (const JsonValue* gauges = metrics->Find("gauges")) {
+    for (const auto& [name, v] : gauges->object) {
+      (void)v;
+      if (name == "obs.live.ticks") saw_ticks = true;
+    }
+  }
+  EXPECT_TRUE(saw_ticks);
+
+  // tmp + rename: no .tmp litter after a completed tick, and a reader
+  // polling the path never sees a torn write.
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+
+  // A second tick rewrites in place with a higher tick number.
+  double tick1 = doc.Find("tick")->number_value;
+  LiveMonitorTickForTest();
+  std::ifstream in2(path);
+  std::string body2((std::istreambuf_iterator<char>(in2)),
+                    std::istreambuf_iterator<char>());
+  auto parsed2 = ParseJson(body2);
+  ASSERT_TRUE(parsed2.ok());
+  EXPECT_GT(parsed2.ValueOrDie().Find("tick")->number_value, tick1);
+
+  StopLiveMonitor();
+  std::remove(path.c_str());
+}
+
+// ---------- per-thread span buffer knob -------------------------------
+
+TEST(SpanBufferTest, ThreadCapBoundsBufferAndCountsDrops) {
+  ClearSpans();
+  std::thread worker([] {
+    SetThreadSpanBufferCap(4);
+    for (int i = 0; i < 10; ++i) {
+      Span s("span" + std::to_string(i));
+    }
+    SetThreadSpanBufferCap(0);  // restore the library default
+  });
+  worker.join();
+  std::vector<SpanRecord> spans = TakeSpans();
+#ifdef AUTODC_DISABLE_OBS
+  EXPECT_TRUE(spans.empty());
+#else
+  // Oldest-first drops: the 4 newest spans survive.
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans.front().name, "span6");
+  EXPECT_EQ(spans.back().name, "span9");
+  EXPECT_GE(SpansDropped(), 6u);
+
+  // The drop shows up in metric snapshots too (obs.spans.dropped gauge
+  // via the span-buffer collector), so a starved trace is visible to
+  // obs_top, not just to TakeSpans callers.
+  MetricsSnapshot snap = Reg().Snapshot();
+  const GaugeSample* dropped = snap.FindGauge("obs.spans.dropped");
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_GE(dropped->value, 6.0);
+  const GaugeSample* hwm = snap.FindGauge("obs.spans.hwm");
+  ASSERT_NE(hwm, nullptr);
+  EXPECT_GE(hwm->value, 4.0);
+#endif
+  ClearSpans();
+}
+
+}  // namespace
+}  // namespace autodc::obs

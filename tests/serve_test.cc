@@ -8,11 +8,15 @@
 
 #include <atomic>
 #include <cstdio>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/common/json_parse.h"
 #include "src/data/table.h"
+#include "src/obs/trace.h"
+#include "src/obs/trace_export.h"
 #include "src/data/table_file.h"
 #include "src/embedding/embedding_store.h"
 #include "src/serve/fingerprint.h"
@@ -514,6 +518,166 @@ TEST(ServeServerTest, ConcurrentTenantsCacheChurnAndRefresh) {
                 server.stats().rejected_tenant_cap,
             server.stats().admitted + server.stats().rejected_queue_full +
                 server.stats().rejected_tenant_cap);
+}
+
+// ---------- request tracing across the queue/worker handoff -----------
+
+TEST(ServeServerTest, TracedRequestsShareOneTraceIdAcrossThreads) {
+  obs::ClearSpans();
+  ServeConfig cfg;
+  cfg.threads = 2;
+  cfg.queue_cap = 4096;
+  cfg.tenant_inflight_cap = 4096;
+  cfg.batch_max = 8;
+  cfg.batch_wait_us = 100;
+  cfg.trace_sample = 1.0;  // trace every request
+  cfg.session = QuickSessionConfig();
+  CurationServer server(cfg);
+  auto open = server.OpenSessionFromTable(ServingTable(32));
+  ASSERT_TRUE(open.ok());
+  uint64_t fp = open.ValueOrDie();
+
+  const size_t kCount = 48;
+  auto pending = server.SubmitMany(MixedRequests(fp, 32, kCount, "t0"));
+  for (const ServeResponse& r : pending->Wait()) {
+    ASSERT_EQ(r.status, ServeStatus::kOk) << r.message;
+  }
+  server.Stop();  // workers join; their span buffers hold the worker side
+
+  std::vector<obs::SpanRecord> spans = obs::TakeSpans();
+#ifdef AUTODC_DISABLE_OBS
+  EXPECT_TRUE(spans.empty());
+#else
+  // Every admitted request minted one trace: an admission span on the
+  // submitting thread plus batch/execute spans on a worker thread, all
+  // stitched under one trace id. (Session building recorded its own
+  // untraced spans — trainer.fit and friends — which stay out of every
+  // trace group.)
+  std::map<uint64_t, std::vector<const obs::SpanRecord*>> traces;
+  for (const obs::SpanRecord& s : spans) {
+    if (s.name.rfind("serve.", 0) == 0) {
+      EXPECT_NE(s.trace_id, 0u) << s.name << " escaped its trace";
+    }
+    if (s.trace_id != 0) traces[s.trace_id].push_back(&s);
+  }
+  EXPECT_EQ(traces.size(), kCount);
+  EXPECT_EQ(obs::SpansDropped(), 0u);
+
+  for (const auto& [trace_id, group] : traces) {
+    (void)trace_id;
+    const obs::SpanRecord* admit = nullptr;
+    const obs::SpanRecord* batch = nullptr;
+    const obs::SpanRecord* execute = nullptr;
+    for (const obs::SpanRecord* s : group) {
+      if (s->name == "serve.admit") admit = s;
+      if (s->name == "serve.batch") batch = s;
+      if (s->name == "serve.execute") execute = s;
+    }
+    ASSERT_EQ(group.size(), 3u);
+    ASSERT_NE(admit, nullptr);
+    ASSERT_NE(batch, nullptr);
+    ASSERT_NE(execute, nullptr);
+    // The chain: admission (root) → micro-batch → batched execute.
+    EXPECT_EQ(admit->parent_id, 0u);
+    EXPECT_EQ(batch->parent_id, admit->id);
+    EXPECT_EQ(execute->parent_id, batch->id);
+    // The handoff crossed threads: the admission span was recorded on
+    // the submitting thread, the worker spans on a worker.
+    EXPECT_NE(admit->thread, batch->thread);
+    EXPECT_EQ(batch->thread, execute->thread);
+  }
+
+  // TakeSpans order (start_us, id) puts every parent before its
+  // children — the invariant the Chrome-trace exporter renders by.
+  std::map<uint64_t, size_t> position;
+  for (size_t i = 0; i < spans.size(); ++i) position[spans[i].id] = i;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].parent_id == 0) continue;
+    auto it = position.find(spans[i].parent_id);
+    ASSERT_NE(it, position.end());
+    EXPECT_LT(it->second, i) << spans[i].name << " rendered before its parent";
+  }
+
+  // And the export stitches the handoff: valid JSON, one flow edge per
+  // cross-thread parent/child hop (admit→batch for every request).
+  std::string doc = obs::FormatChromeTrace(spans);
+  auto parsed = ParseJson(doc);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const JsonValue* other = parsed.ValueOrDie().Find("otherData");
+  ASSERT_NE(other, nullptr);
+  const JsonValue* edges = other->Find("flow_edges");
+  ASSERT_NE(edges, nullptr);
+  EXPECT_GE(edges->number_value, static_cast<double>(kCount));
+#endif
+  obs::ClearSpans();
+}
+
+TEST(ServeServerTest, UntracedServerRecordsNoSpans) {
+  obs::ClearSpans();
+  ServeConfig cfg;
+  cfg.threads = 1;
+  cfg.trace_sample = 0.0;  // the default: tracing off
+  cfg.session = QuickSessionConfig();
+  CurationServer server(cfg);
+  auto open = server.OpenSessionFromTable(ServingTable(16));
+  ASSERT_TRUE(open.ok());
+  auto pending =
+      server.SubmitMany(MixedRequests(open.ValueOrDie(), 16, 24, "t0"));
+  pending->Wait();
+  server.Stop();
+  // Session building records its own library spans; what must not
+  // appear is any request-scoped serving span or a minted trace id.
+  for (const obs::SpanRecord& s : obs::TakeSpans()) {
+    EXPECT_EQ(s.trace_id, 0u) << s.name;
+    EXPECT_NE(s.name.rfind("serve.", 0), 0u) << s.name;
+  }
+  obs::ClearSpans();
+}
+
+// ---------- the operator's live view ----------------------------------
+
+TEST(ServeServerTest, DebugSnapshotReflectsServerState) {
+  ServeConfig cfg;
+  cfg.threads = 2;
+  cfg.queue_cap = 512;
+  cfg.batch_max = 16;
+  cfg.session = QuickSessionConfig();
+  CurationServer server(cfg);
+  auto open = server.OpenSessionFromTable(ServingTable(24));
+  ASSERT_TRUE(open.ok());
+  auto pending =
+      server.SubmitMany(MixedRequests(open.ValueOrDie(), 24, 32, "t0"));
+  pending->Wait();
+
+  CurationServer::DebugSnapshot d = server.GetDebugSnapshot();
+  EXPECT_EQ(d.queue_depth, 0u);          // everything drained
+  EXPECT_EQ(d.inflight_requests, 0u);
+  EXPECT_FALSE(d.stopping);
+  EXPECT_EQ(d.stats.admitted, 32u);
+  EXPECT_EQ(d.stats.completed, 32u);
+  EXPECT_EQ(d.sessions, 1u);
+  EXPECT_EQ(d.session_capacity, cfg.session_capacity);
+  EXPECT_EQ(d.threads, 2u);
+  EXPECT_EQ(d.queue_cap, 512u);
+  EXPECT_EQ(d.batch_max, 16u);
+
+  // The JSON view parses and carries the same numbers.
+  auto parsed = ParseJson(server.DebugSnapshotJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const JsonValue& doc = parsed.ValueOrDie();
+  ASSERT_NE(doc.Find("queue"), nullptr);
+  EXPECT_EQ(doc.Find("queue")->Find("cap")->number_value, 512.0);
+  EXPECT_EQ(doc.Find("stats")->Find("admitted")->number_value, 32.0);
+  EXPECT_EQ(doc.Find("stats")->Find("completed")->number_value, 32.0);
+  EXPECT_EQ(doc.Find("sessions")->Find("resident")->number_value, 1.0);
+  EXPECT_TRUE(doc.Find("stopping")->is_bool());
+  EXPECT_FALSE(doc.Find("stopping")->bool_value);
+
+  server.Stop();
+  EXPECT_TRUE(server.GetDebugSnapshot().stopping);
+  auto parsed2 = ParseJson(server.DebugSnapshotJson());
+  ASSERT_TRUE(parsed2.ok());
+  EXPECT_TRUE(parsed2.ValueOrDie().Find("stopping")->bool_value);
 }
 
 }  // namespace

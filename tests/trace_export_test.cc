@@ -9,6 +9,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/common/json_parse.h"
@@ -54,8 +55,9 @@ TEST(TraceExportTest, GoldenTreeParsesWithParentsBeforeChildren) {
 
   std::vector<const JsonValue*> events = CompleteEvents(doc);
   ASSERT_EQ(events.size(), 5u);
-  // Sorted by (ts, dur desc, id): root, worker, child_a, grandchild,
-  // child_b — every parent precedes its children.
+  // Sorted by (ts, id): root, worker, child_a, grandchild, child_b —
+  // ids are allotted in creation order, so every parent precedes its
+  // children even across threads.
   const char* expected[] = {"root", "worker", "child_a", "grandchild",
                             "child_b"};
   for (size_t i = 0; i < 5; ++i) {
@@ -176,6 +178,107 @@ TEST(TraceExportTest, WriteTraceDrainsLiveSpansToFile) {
 
 TEST(TraceExportTest, WriteTraceRejectsUnopenablePath) {
   EXPECT_FALSE(WriteTrace("/nonexistent-dir/trace.json"));
+}
+
+// Collects flow events ("s"/"f") from a parsed trace, in file order.
+std::vector<const JsonValue*> FlowEvents(const JsonValue& doc,
+                                         const std::string& ph) {
+  std::vector<const JsonValue*> out;
+  const JsonValue* events = doc.Find("traceEvents");
+  if (events == nullptr || !events->is_array()) return out;
+  for (const JsonValue& e : events->array) {
+    const JsonValue* p = e.Find("ph");
+    if (p != nullptr && p->StringOr("") == ph) out.push_back(&e);
+  }
+  return out;
+}
+
+TEST(TraceExportTest, CrossThreadParentEdgeEmitsFlowEvents) {
+  // Admission span on thread 0, execute span parented under it on
+  // thread 1, one shared trace id — the serve-layer shape.
+  std::vector<SpanRecord> spans;
+  spans.push_back({"admit", 1, 0, 0, 0, 10, 1, 42});
+  spans.push_back({"execute", 2, 1, 0, 1, 15, 30, 42});
+  std::string json = FormatChromeTrace(spans, 0);
+  auto parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const JsonValue& doc = parsed.ValueOrDie();
+
+  std::vector<const JsonValue*> starts = FlowEvents(doc, "s");
+  std::vector<const JsonValue*> finishes = FlowEvents(doc, "f");
+  ASSERT_EQ(starts.size(), 1u);
+  ASSERT_EQ(finishes.size(), 1u);
+  // The arrow runs from the parent's slice (its thread, its start) to
+  // the child's (its thread, its start), keyed by the child's span id.
+  EXPECT_EQ(starts[0]->Find("id")->NumberOr(-1), 2.0);
+  EXPECT_EQ(starts[0]->Find("ts")->NumberOr(-1), 10.0);
+  EXPECT_EQ(starts[0]->Find("tid")->NumberOr(-1), 0.0);
+  EXPECT_EQ(finishes[0]->Find("id")->NumberOr(-1), 2.0);
+  EXPECT_EQ(finishes[0]->Find("ts")->NumberOr(-1), 15.0);
+  EXPECT_EQ(finishes[0]->Find("tid")->NumberOr(-1), 1.0);
+  EXPECT_EQ(finishes[0]->Find("bp")->StringOr(""), "e");
+
+  // Both complete events carry the shared trace id.
+  std::vector<const JsonValue*> events = CompleteEvents(doc);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0]->Find("args")->Find("trace_id")->NumberOr(-1), 42.0);
+  EXPECT_EQ(events[1]->Find("args")->Find("trace_id")->NumberOr(-1), 42.0);
+  EXPECT_EQ(doc.Find("otherData")->Find("flow_edges")->NumberOr(-1), 1.0);
+}
+
+TEST(TraceExportTest, SameThreadEdgesGetNoFlowEvents) {
+  // The golden tree's only parent/child edges are intra-thread; track
+  // nesting already draws those, so no arrows.
+  std::string json = FormatChromeTrace(GoldenSpans(), 0);
+  auto parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue& doc = parsed.ValueOrDie();
+  EXPECT_TRUE(FlowEvents(doc, "s").empty());
+  EXPECT_TRUE(FlowEvents(doc, "f").empty());
+  EXPECT_EQ(doc.Find("otherData")->Find("flow_edges")->NumberOr(-1), 0.0);
+}
+
+TEST(TraceExportTest, EqualTimestampCrossThreadParentSortsFirst) {
+  // Microsecond truncation can give a 1us admission span and its
+  // 40us cross-thread child the same start. A duration tie-break
+  // would put the longer child first; the id order (creation order)
+  // must keep the parent ahead.
+  std::vector<SpanRecord> spans;
+  spans.push_back({"execute", 9, 3, 0, 1, 50, 40, 7});
+  spans.push_back({"admit", 3, 0, 0, 0, 50, 1, 7});
+  std::string json = FormatChromeTrace(spans, 0);
+  auto parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok());
+  std::vector<const JsonValue*> events =
+      CompleteEvents(parsed.ValueOrDie());
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0]->Find("name")->StringOr(""), "admit");
+  EXPECT_EQ(events[1]->Find("name")->StringOr(""), "execute");
+}
+
+TEST(TraceExportTest, LiveSpansLinkAcrossRealThreads) {
+  ClearSpans();
+  TraceContext handoff;
+  {
+    Span admit("admit", NewTrace());
+    handoff = admit.Context();
+  }
+  std::thread worker([&] { Span execute("execute", handoff); });
+  worker.join();
+  std::vector<SpanRecord> spans = TakeSpans();
+#ifdef AUTODC_DISABLE_OBS
+  EXPECT_TRUE(spans.empty());
+  EXPECT_EQ(handoff.trace_id, 0u);
+#else
+  ASSERT_EQ(spans.size(), 2u);
+  // TakeSpans orders parents before children even across threads.
+  EXPECT_EQ(spans[0].name, "admit");
+  EXPECT_EQ(spans[1].name, "execute");
+  EXPECT_NE(spans[0].trace_id, 0u);
+  EXPECT_EQ(spans[0].trace_id, spans[1].trace_id);
+  EXPECT_EQ(spans[1].parent_id, spans[0].id);
+  EXPECT_EQ(spans[0].parent_id, 0u);
+#endif
 }
 
 }  // namespace

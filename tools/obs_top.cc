@@ -1,0 +1,309 @@
+// obs_top: a top(1)-style viewer for a running curation server.
+//
+// The live monitor (src/obs/live.cc, armed by AUTODC_METRICS_INTERVAL_MS
+// with AUTODC_METRICS_SNAPSHOT=<file>) atomically rewrites a one-line
+// JSON snapshot every tick; this tool polls that file and renders the
+// serving picture — throughput, window tail latencies, SLO state, the
+// per-tenant/per-kind breakdown from the labeled metrics, and span
+// buffer health — refreshing in place until interrupted.
+//
+//   obs_top --file /tmp/autodc.metrics.json [--interval-ms 1000] [--once]
+//
+// Nothing here talks to the server process: the snapshot file is the
+// whole interface, so a wedged server can still be inspected.
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/json_parse.h"
+
+namespace {
+
+using autodc::JsonValue;
+
+struct TenantRow {
+  std::string tenant;
+  double completed = 0.0;
+  double lat_count = 0.0;
+  double lat_sum = 0.0;
+  double lat_p99 = std::numeric_limits<double>::quiet_NaN();
+};
+
+// Splits a labeled metric name "base{key=value}"; false when `name` is
+// not labeled or the label key differs.
+bool SplitLabel(const std::string& name, const std::string& base,
+                const std::string& key, std::string* value) {
+  const std::string prefix = base + "{" + key + "=";
+  if (name.size() <= prefix.size() + 1 || name.compare(0, prefix.size(), prefix) != 0 ||
+      name.back() != '}') {
+    return false;
+  }
+  *value = name.substr(prefix.size(), name.size() - prefix.size() - 1);
+  return true;
+}
+
+double NumberAt(const JsonValue* obj, const std::string& key, double fallback) {
+  if (obj == nullptr) return fallback;
+  const JsonValue* v = obj->Find(key);
+  return v != nullptr ? v->NumberOr(fallback) : fallback;
+}
+
+// Interpolated quantile from a histogram object's bounds/counts arrays
+// (same estimator the live monitor uses for its window quantiles).
+double HistQuantile(const JsonValue& hist, double q) {
+  const JsonValue* bounds = hist.Find("bounds");
+  const JsonValue* counts = hist.Find("counts");
+  if (bounds == nullptr || counts == nullptr || !bounds->is_array() ||
+      !counts->is_array()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  double total = 0.0;
+  for (const JsonValue& c : counts->array) total += c.NumberOr(0.0);
+  if (total <= 0.0) return std::numeric_limits<double>::quiet_NaN();
+  double target = std::max(1.0, q * total);
+  double cum = 0.0;
+  for (size_t i = 0; i < counts->array.size(); ++i) {
+    double c = counts->array[i].NumberOr(0.0);
+    if (c <= 0.0) continue;
+    double before = cum;
+    cum += c;
+    if (cum < target) continue;
+    if (i >= bounds->array.size()) {
+      return bounds->array.empty() ? std::numeric_limits<double>::quiet_NaN()
+                                   : bounds->array.back().NumberOr(0.0);
+    }
+    double lo = i == 0 ? 0.0 : bounds->array[i - 1].NumberOr(0.0);
+    double hi = bounds->array[i].NumberOr(0.0);
+    return lo + (hi - lo) * ((target - before) / c);
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+std::string FmtUs(double us) {
+  char buf[32];
+  if (!std::isfinite(us)) return "-";
+  if (us >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", us / 1e6);
+  } else if (us >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", us / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fus", us);
+  }
+  return buf;
+}
+
+std::string FmtCount(double v) {
+  char buf[32];
+  if (!std::isfinite(v)) return "-";
+  std::snprintf(buf, sizeof(buf), "%.0f", v);
+  return buf;
+}
+
+struct RenderState {
+  double last_completed = std::numeric_limits<double>::quiet_NaN();
+  std::chrono::steady_clock::time_point last_read;
+};
+
+int Render(const std::string& text, RenderState* state, bool clear) {
+  auto parsed = autodc::ParseJson(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "obs_top: bad snapshot: %s\n",
+                 parsed.status().message().c_str());
+    return 1;
+  }
+  const JsonValue root = std::move(parsed).ValueOrDie();
+  const JsonValue* metrics = root.Find("metrics");
+  const JsonValue* counters = metrics ? metrics->Find("counters") : nullptr;
+  const JsonValue* gauges = metrics ? metrics->Find("gauges") : nullptr;
+  const JsonValue* hists = metrics ? metrics->Find("histograms") : nullptr;
+
+  double tick = NumberAt(&root, "tick", 0.0);
+  double interval_ms = NumberAt(&root, "interval_ms", 0.0);
+  double ts_ms = NumberAt(&root, "ts_ms", 0.0);
+  double now_ms = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  double age_s = ts_ms > 0.0 ? (now_ms - ts_ms) / 1e3 : 0.0;
+
+  double completed = NumberAt(counters, "serve.completed", 0.0);
+  double admitted = NumberAt(counters, "serve.admit", 0.0);
+  double rej_q = NumberAt(counters, "serve.reject.queue_full", 0.0);
+  double rej_t = NumberAt(counters, "serve.reject.tenant_cap", 0.0);
+  double depth = NumberAt(gauges, "serve.queue.depth", 0.0);
+  double p50 = NumberAt(gauges, "serve.latency_p50",
+                        std::numeric_limits<double>::quiet_NaN());
+  double p99 = NumberAt(gauges, "serve.latency_p99",
+                        std::numeric_limits<double>::quiet_NaN());
+  double wait_p99 = NumberAt(gauges, "serve.queue.wait_p99",
+                             std::numeric_limits<double>::quiet_NaN());
+  double reject_rate = NumberAt(gauges, "serve.reject_rate",
+                                std::numeric_limits<double>::quiet_NaN());
+
+  // QPS from completed-counter deltas between our own reads.
+  auto now = std::chrono::steady_clock::now();
+  double qps = std::numeric_limits<double>::quiet_NaN();
+  if (std::isfinite(state->last_completed) && completed >= state->last_completed) {
+    double dt = std::chrono::duration<double>(now - state->last_read).count();
+    if (dt > 0.0) qps = (completed - state->last_completed) / dt;
+  }
+  state->last_completed = completed;
+  state->last_read = now;
+
+  std::ostringstream out;
+  if (clear) out << "\x1b[2J\x1b[H";
+  out << "autodc obs_top — tick " << FmtCount(tick) << ", snapshot "
+      << (age_s < 0.05 ? std::string("fresh") : FmtCount(age_s * 1e3) + "ms old")
+      << ", exporter interval " << FmtCount(interval_ms) << "ms\n\n";
+  out << "serving   completed=" << FmtCount(completed)
+      << " admitted=" << FmtCount(admitted) << " rejected="
+      << FmtCount(rej_q + rej_t) << " (queue_full=" << FmtCount(rej_q)
+      << " tenant_cap=" << FmtCount(rej_t) << ")\n";
+  out << "          queue_depth=" << FmtCount(depth);
+  if (std::isfinite(qps)) out << "  ~qps=" << FmtCount(qps);
+  out << "\n";
+  out << "window    latency p50=" << FmtUs(p50) << " p99=" << FmtUs(p99)
+      << "  queue_wait p99=" << FmtUs(wait_p99) << "  reject_rate="
+      << (std::isfinite(reject_rate)
+              ? std::to_string(reject_rate).substr(0, 6)
+              : "-")
+      << "\n";
+
+  // SLO lights: any serve.slo.breached.* gauge present renders.
+  if (gauges != nullptr && gauges->is_object()) {
+    std::string slo_line;
+    for (const auto& [name, value] : gauges->object) {
+      const std::string prefix = "serve.slo.breached.";
+      if (name.compare(0, prefix.size(), prefix) != 0) continue;
+      slo_line += "  " + name.substr(prefix.size()) + "=" +
+                  (value.NumberOr(0.0) > 0.0 ? "BREACH" : "ok");
+    }
+    if (!slo_line.empty()) {
+      out << "slo     " << slo_line << "  (breaches="
+          << FmtCount(NumberAt(counters, "serve.slo.breaches", 0.0)) << ")\n";
+    }
+  }
+
+  // Per-tenant table from the labeled metrics.
+  std::map<std::string, TenantRow> tenants;
+  if (counters != nullptr && counters->is_object()) {
+    for (const auto& [name, value] : counters->object) {
+      std::string tenant;
+      if (SplitLabel(name, "serve.completed", "tenant", &tenant)) {
+        TenantRow& row = tenants[tenant];
+        row.tenant = tenant;
+        row.completed = value.NumberOr(0.0);
+      }
+    }
+  }
+  if (hists != nullptr && hists->is_object()) {
+    for (const auto& [name, value] : hists->object) {
+      std::string tenant;
+      if (SplitLabel(name, "serve.latency_us", "tenant", &tenant)) {
+        TenantRow& row = tenants[tenant];
+        row.tenant = tenant;
+        row.lat_count = NumberAt(&value, "count", 0.0);
+        row.lat_sum = NumberAt(&value, "sum", 0.0);
+        row.lat_p99 = HistQuantile(value, 0.99);
+      }
+    }
+  }
+  if (!tenants.empty()) {
+    out << "\n  tenant               completed    share   mean_lat    p99_lat\n";
+    for (const auto& [name, row] : tenants) {
+      double share = completed > 0.0 ? row.completed / completed : 0.0;
+      double mean =
+          row.lat_count > 0.0 ? row.lat_sum / row.lat_count
+                              : std::numeric_limits<double>::quiet_NaN();
+      char line[160];
+      std::snprintf(line, sizeof(line),
+                    "  %-20s %10.0f   %5.1f%%   %8s   %8s\n",
+                    row.tenant.empty() ? "(shared)" : row.tenant.c_str(),
+                    row.completed, share * 100.0, FmtUs(mean).c_str(),
+                    FmtUs(row.lat_p99).c_str());
+      out << line;
+    }
+  }
+
+  // Per-kind rollup.
+  if (counters != nullptr && counters->is_object()) {
+    std::string kinds;
+    for (const auto& [name, value] : counters->object) {
+      std::string kind;
+      if (SplitLabel(name, "serve.completed", "kind", &kind)) {
+        kinds += "  " + kind + "=" + FmtCount(value.NumberOr(0.0));
+      }
+    }
+    if (!kinds.empty()) out << "\nkinds   " << kinds << "\n";
+  }
+
+  out << "\nspans     buffered=" << FmtCount(NumberAt(gauges, "obs.spans.buffered", 0.0))
+      << " dropped=" << FmtCount(NumberAt(gauges, "obs.spans.dropped", 0.0))
+      << " hwm=" << FmtCount(NumberAt(gauges, "obs.spans.hwm", 0.0)) << "\n";
+  std::fputs(out.str().c_str(), stdout);
+  std::fflush(stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string file;
+  size_t interval_ms = 1000;
+  bool once = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--file" && i + 1 < argc) {
+      file = argv[++i];
+    } else if (arg == "--interval-ms" && i + 1 < argc) {
+      interval_ms = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--once") {
+      once = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: obs_top --file <snapshot.json> [--interval-ms N] [--once]\n"
+          "Point --file at the AUTODC_METRICS_SNAPSHOT path of a server\n"
+          "running with AUTODC_METRICS_INTERVAL_MS set.\n");
+      return 0;
+    } else if (file.empty() && arg[0] != '-') {
+      file = arg;  // positional form: obs_top <file>
+    } else {
+      std::fprintf(stderr, "obs_top: unknown flag '%s' (try --help)\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  if (file.empty()) {
+    std::fprintf(stderr, "obs_top: --file is required (try --help)\n");
+    return 2;
+  }
+  if (interval_ms == 0) interval_ms = 1000;
+
+  RenderState state;
+  for (;;) {
+    std::ifstream in(file);
+    if (!in) {
+      if (once) {
+        std::fprintf(stderr, "obs_top: cannot read '%s'\n", file.c_str());
+        return 1;
+      }
+      std::printf("obs_top: waiting for '%s'...\n", file.c_str());
+    } else {
+      std::stringstream buf;
+      buf << in.rdbuf();
+      int rc = Render(buf.str(), &state, /*clear=*/!once);
+      if (once) return rc;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}
